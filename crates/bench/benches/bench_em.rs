@@ -1,0 +1,47 @@
+//! Criterion micro-benches for the CATHYHIN EM (the Chapter-3 kernel):
+//! per-fit cost across network sizes and weight modes, plus the learned-
+//! weight ablation called out in DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lesm_bench::datasets::dblp_small;
+use lesm_hier::em::{CathyHinEm, EmConfig, WeightMode};
+use lesm_net::collapsed_network;
+
+fn em_config(weights: WeightMode) -> EmConfig {
+    EmConfig {
+        k: 2,
+        iters: 30,
+        restarts: 1,
+        seed: 5,
+        background: true,
+        weights,
+        ..EmConfig::default()
+    }
+}
+
+fn bench_em(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cathyhin_em");
+    group.sample_size(10);
+    for &n_docs in &[200usize, 400, 800] {
+        let papers = dblp_small(n_docs, 7);
+        let net = collapsed_network(&papers.corpus);
+        group.bench_with_input(BenchmarkId::new("fit_equal_30it", n_docs), &net, |b, net| {
+            b.iter(|| CathyHinEm::fit(net, &em_config(WeightMode::Equal)).unwrap());
+        });
+    }
+    let papers = dblp_small(400, 7);
+    let net = collapsed_network(&papers.corpus);
+    for (name, mode) in [
+        ("equal", WeightMode::Equal),
+        ("normalized", WeightMode::Normalized),
+        ("learned", WeightMode::Learned),
+    ] {
+        group.bench_function(BenchmarkId::new("weight_mode", name), |b| {
+            b.iter(|| CathyHinEm::fit(&net, &em_config(mode.clone())).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_em);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benches for Chapter-4 phrase mining: Algorithm 1
+//! (frequent contiguous phrases), Algorithm 2 (segmentation), and the
+//! ToPMine ablation over the min-support μ and merge threshold α
+//! (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lesm_bench::datasets::labeled;
+use lesm_phrases::topmine::{FrequentPhrases, Segmenter, SegmenterConfig};
+
+fn bench_phrases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topmine");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000] {
+        let lc = labeled(n, 5, 11);
+        let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+        group.bench_with_input(BenchmarkId::new("mine", n), &docs, |b, docs| {
+            b.iter(|| FrequentPhrases::mine(docs, 5, 4));
+        });
+        let fp = FrequentPhrases::mine(&docs, 5, 4);
+        group.bench_with_input(BenchmarkId::new("segment", n), &docs, |b, docs| {
+            b.iter(|| Segmenter::segment(docs, &fp, &SegmenterConfig { alpha: 2.0 }));
+        });
+    }
+    // Ablation: support threshold and merge threshold.
+    let lc = labeled(2_000, 5, 13);
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    for &mu in &[3u64, 10, 30] {
+        group.bench_with_input(BenchmarkId::new("mine_min_support", mu), &mu, |b, &mu| {
+            b.iter(|| FrequentPhrases::mine(&docs, mu, 4));
+        });
+    }
+    let fp = FrequentPhrases::mine(&docs, 5, 4);
+    for &alpha in &[1.0f64, 2.0, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::new("segment_alpha", format!("{alpha}")),
+            &alpha,
+            |b, &alpha| {
+                b.iter(|| Segmenter::segment(&docs, &fp, &SegmenterConfig { alpha }));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phrases);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion micro-benches for the STROD kernels: whitening, whitened-
+//! tensor accumulation (sequential vs parallel — the PSTROD ablation of
+//! DESIGN.md §5), and the tensor power method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lesm_bench::datasets::labeled;
+use lesm_strod::moments::{whitened_third_moment, DocStats, WhitenedMoments};
+use lesm_strod::power::{tensor_power_method, PowerConfig};
+
+fn bench_strod(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strod");
+    group.sample_size(10);
+    let lc = labeled(3_000, 5, 17);
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let stats = DocStats::from_docs(&docs, lc.corpus.num_words()).unwrap();
+    group.bench_function("whiten_k5", |b| {
+        b.iter(|| WhitenedMoments::compute(&stats, 5, 0.5, 3, 1).unwrap());
+    });
+    let wm = WhitenedMoments::compute(&stats, 5, 0.5, 3, 1).unwrap();
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("t3_accumulate", threads), &threads, |b, &t| {
+            b.iter(|| whitened_third_moment(&stats, &wm.w, 0.5, t));
+        });
+    }
+    group.bench_function("power_method_k5", |b| {
+        b.iter(|| tensor_power_method(&wm.t3, 5, &PowerConfig::default()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strod);
+criterion_main!(benches);

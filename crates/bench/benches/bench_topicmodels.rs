@@ -1,0 +1,49 @@
+//! Criterion micro-benches comparing the topic-model substrates: LDA,
+//! PhraseLDA, PLSA, NetClus, and STROD on a common corpus (fixed, small
+//! iteration budgets so per-iteration costs are comparable).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lesm_bench::datasets::{dblp_small, labeled};
+use lesm_phrases::topmine::{FrequentPhrases, Segmenter, SegmenterConfig};
+use lesm_strod::{Strod, StrodConfig};
+use lesm_topicmodel::lda::{Lda, LdaConfig};
+use lesm_topicmodel::netclus::{NetClus, NetClusConfig};
+use lesm_topicmodel::phrase_lda::{PhraseLda, PhraseLdaConfig};
+use lesm_topicmodel::plsa::{Plsa, PlsaConfig};
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topicmodels");
+    group.sample_size(10);
+    let lc = labeled(1_500, 5, 23);
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let v = lc.corpus.num_words();
+    group.bench_function("lda_50it", |b| {
+        b.iter(|| Lda::fit(&docs, v, &LdaConfig { k: 5, iters: 50, ..Default::default() }));
+    });
+    group.bench_function("plsa_50it", |b| {
+        b.iter(|| Plsa::fit(&docs, v, &PlsaConfig { k: 5, iters: 50, ..Default::default() }));
+    });
+    let fp = FrequentPhrases::mine(&docs, 5, 4);
+    let segs = Segmenter::segment(&docs, &fp, &SegmenterConfig { alpha: 2.0 });
+    group.bench_function("phrase_lda_50it", |b| {
+        b.iter(|| {
+            PhraseLda::fit(&segs, v, &PhraseLdaConfig { k: 5, iters: 50, ..Default::default() })
+        });
+    });
+    group.bench_function("strod_k5", |b| {
+        b.iter(|| {
+            Strod::fit(&docs, v, &StrodConfig { k: 5, alpha0: Some(0.5), ..Default::default() })
+                .unwrap()
+        });
+    });
+    let papers = dblp_small(800, 29);
+    group.bench_function("netclus_30it", |b| {
+        b.iter(|| {
+            NetClus::fit(&papers.corpus, &NetClusConfig { k: 4, iters: 30, ..Default::default() })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

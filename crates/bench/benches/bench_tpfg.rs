@@ -1,0 +1,36 @@
+//! Criterion micro-benches for Chapter-6: candidate-graph preprocessing
+//! and TPFG message passing across genealogy sizes, plus the constraint
+//! on/off ablation (IndMAX is the "off" arm; DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lesm_bench::datasets::genealogy;
+use lesm_relations::baselines::indmax_predict;
+use lesm_relations::preprocess::{CandidateGraph, PreprocessConfig};
+use lesm_relations::tpfg::{Tpfg, TpfgConfig};
+
+fn bench_tpfg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpfg");
+    group.sample_size(10);
+    for &n in &[200usize, 400, 800] {
+        let gen = genealogy(n, 19);
+        group.bench_with_input(BenchmarkId::new("preprocess", n), &gen, |b, gen| {
+            b.iter(|| {
+                CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default())
+                    .unwrap()
+            });
+        });
+        let graph =
+            CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default())
+                .unwrap();
+        group.bench_with_input(BenchmarkId::new("infer", n), &graph, |b, graph| {
+            b.iter(|| Tpfg::infer(graph, &TpfgConfig::default()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("indmax", n), &graph, |b, graph| {
+            b.iter(|| indmax_predict(graph));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpfg);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 3.8 — learned link-type weights at different hierarchy levels.
+//!
+//! Expected shape (paper): venue-involved link types carry high learned
+//! weight at the first level (venues discriminate areas) and much lower
+//! weight inside an area (venues don't separate subareas).
+
+use lesm_bench::ch3::em_config;
+use lesm_bench::datasets::{dblp, subtree_corpus};
+use lesm_bench::{f4, print_table};
+use lesm_hier::em::{CathyHinEm, WeightMode};
+use lesm_net::collapsed_network;
+
+fn learned_weights(corpus: &lesm_corpus::Corpus, k: usize, seed: u64) -> Vec<(String, f64)> {
+    let net = collapsed_network(corpus);
+    let fit = CathyHinEm::fit(&net, &em_config(k, WeightMode::Learned, seed)).expect("non-empty");
+    let t = net.num_types();
+    let mut out = Vec::new();
+    for blk in &net.blocks {
+        let name = format!("{}-{}", net.type_names[blk.tx], net.type_names[blk.ty]);
+        out.push((name, fit.alpha[blk.tx * t + blk.ty]));
+    }
+    out
+}
+
+fn main() {
+    println!("# Figure 3.8 — learned link-type weights by level");
+    let papers = dblp(3000, 61);
+    let level1 = learned_weights(&papers.corpus, 5, 3);
+    let area = papers.truth.hierarchy.nodes[0].children[0];
+    let (sub, _) = subtree_corpus(&papers, area);
+    let level2 = learned_weights(&sub, 4, 5);
+    let mut rows = Vec::new();
+    for (name, w1) in &level1 {
+        let w2 = level2.iter().find(|(n, _)| n == name).map(|&(_, w)| w).unwrap_or(f64::NAN);
+        rows.push(vec![name.clone(), f4(*w1), f4(w2)]);
+    }
+    print_table("Learned α by link type", &["Link type", "Level 1 (areas)", "Level 2 (inside one area)"], &rows);
+    let venue1: f64 = level1
+        .iter()
+        .filter(|(n, _)| n.contains("venue"))
+        .map(|&(_, w)| w)
+        .sum::<f64>()
+        / level1.iter().filter(|(n, _)| n.contains("venue")).count().max(1) as f64;
+    let venue2: f64 = level2
+        .iter()
+        .filter(|(n, _)| n.contains("venue"))
+        .map(|&(_, w)| w)
+        .sum::<f64>()
+        / level2.iter().filter(|(n, _)| n.contains("venue")).count().max(1) as f64;
+    println!(
+        "\nmean venue-link weight: level 1 = {venue1:.4}, level 2 = {venue2:.4} (paper: level 1 ≫ level 2)"
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 4.2 — mutual information MI_K between phrase-represented topics
+//! and gold categories, as a function of the number of top phrases K.
+//!
+//! Expected shape (paper): KERTpop+pur highest, then KERT; kpRel ≈
+//! KERTpop in the middle; KERTpur far worst.
+
+use lesm_bench::datasets::labeled;
+use lesm_bench::{f4, print_table};
+use lesm_eval::mi::mutual_information_at_k;
+use lesm_phrases::baselines::{kp_rel, kp_rel_int};
+use lesm_phrases::kert::{Kert, KertConfig, KertVariant, TopicalPhrase};
+use lesm_topicmodel::lda::{Lda, LdaConfig};
+
+/// Dedupe phrases across topics: each phrase labeled by the topic ranking
+/// it highest (the paper's MI_K construction).
+fn dedupe(topics: &[Vec<TopicalPhrase>], k_cut: usize) -> Vec<Vec<Vec<u32>>> {
+    let k = topics.len();
+    let mut best: std::collections::HashMap<&[u32], (usize, f64)> = std::collections::HashMap::new();
+    for (t, list) in topics.iter().enumerate() {
+        for p in list.iter().take(k_cut) {
+            let e = best.entry(p.tokens.as_slice()).or_insert((t, p.score));
+            if p.score > e.1 {
+                *e = (t, p.score);
+            }
+        }
+    }
+    let mut out = vec![Vec::new(); k];
+    for (tokens, (t, _)) in best {
+        out[t].push(tokens.to_vec());
+    }
+    out
+}
+
+fn main() {
+    println!("# Figure 4.2 — MI_K vs K");
+    let lc = labeled(4000, 5, 101);
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let labels: Vec<u32> = lc.corpus.docs.iter().map(|d| d.label.unwrap()).collect();
+    let k = 5;
+    let lda = Lda::fit(&docs, lc.corpus.num_words(), &LdaConfig { k, iters: 150, seed: 5, ..Default::default() });
+    let base = KertConfig { min_support: 5, max_len: 3, top_n: 200, ..Default::default() };
+    let patterns = Kert::mine(&docs, &lda.assignments, k, &base).expect("valid config");
+
+    let methods: Vec<(String, Vec<Vec<TopicalPhrase>>)> = vec![
+        ("KERTpop+pur".into(), Kert::rank(&patterns, &KertConfig { variant: KertVariant::PopularityPurity, ..base.clone() })),
+        ("KERT".into(), Kert::rank(&patterns, &KertConfig { variant: KertVariant::Full, ..base.clone() })),
+        ("KERTpop".into(), Kert::rank(&patterns, &KertConfig { variant: KertVariant::PopularityOnly, ..base.clone() })),
+        ("kpRel".into(), (0..k).map(|t| kp_rel(&patterns, t, 200)).collect()),
+        ("kpRelInt*".into(), (0..k).map(|t| kp_rel_int(&patterns, t, 200)).collect()),
+        ("KERTpur".into(), Kert::rank(&patterns, &KertConfig { variant: KertVariant::PurityOnly, ..base.clone() })),
+    ];
+    let ks = [25usize, 50, 100, 150, 200];
+    let rows: Vec<Vec<String>> = methods
+        .iter()
+        .map(|(name, topics)| {
+            let mut row = vec![name.clone()];
+            for &kk in &ks {
+                let labeled_phrases = dedupe(topics, kk);
+                let mi = mutual_information_at_k(&docs, &labels, 5, &labeled_phrases);
+                row.push(f4(mi));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "MI_K (bits)",
+        &["Method", "K=25", "K=50", "K=100", "K=150", "K=200"],
+        &rows,
+    );
+}

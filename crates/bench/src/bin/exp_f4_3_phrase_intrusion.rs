@@ -1,0 +1,73 @@
+//! Figure 4.3 — phrase-intrusion accuracy for the five topical-phrase
+//! methods of §4.4.2.
+//!
+//! Expected shape (paper): ToPMine ≈ KERT best; TurboTopics above
+//! average; TNG and PD-LDA poor.
+
+use lesm_bench::ch4::run_all;
+use lesm_bench::datasets::labeled;
+use lesm_bench::signatures::phrase_signature;
+use lesm_bench::{f2, print_table};
+use lesm_eval::annotator::{panel_intrusion_accuracy, SimulatedAnnotator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("# Figure 4.3 — phrase intrusion (avg correct of 20 questions, 3 annotators)");
+    let lc = labeled(2500, 5, 111);
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let outputs = run_all(&docs, lc.corpus.num_words(), 5, 300, 3);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut rows = Vec::new();
+    for o in &outputs {
+        // 20 questions: 4 phrases of one topic + 1 of another.
+        let usable: Vec<usize> =
+            (0..o.topic_phrases.len()).filter(|&t| o.topic_phrases[t].len() >= 4).collect();
+        let mut questions = Vec::new();
+        let mut guard = 0;
+        while questions.len() < 20 && guard < 400 && usable.len() >= 2 {
+            guard += 1;
+            let t = usable[rng.gen_range(0..usable.len())];
+            let s = usable[rng.gen_range(0..usable.len())];
+            if s == t || o.topic_phrases[s].is_empty() {
+                continue;
+            }
+            let own = &o.topic_phrases[t];
+            let intruder = &o.topic_phrases[s][rng.gen_range(0..o.topic_phrases[s].len().min(8))];
+            let mut picks: Vec<&Vec<u32>> = Vec::new();
+            let mut tries = 0;
+            while picks.len() < 4 && tries < 40 {
+                tries += 1;
+                let cand = &own[rng.gen_range(0..own.len().min(10))];
+                if !picks.contains(&cand) && cand != intruder {
+                    picks.push(cand);
+                }
+            }
+            if picks.len() < 4 {
+                continue;
+            }
+            let pos = rng.gen_range(0..=picks.len());
+            let mut sigs: Vec<Vec<f64>> =
+                picks.iter().map(|p| phrase_signature(&lc.truth, p)).collect();
+            sigs.insert(pos, phrase_signature(&lc.truth, intruder));
+            questions.push((sigs, pos));
+        }
+        let acc = if questions.is_empty() {
+            0.0
+        } else {
+            let mut panel = SimulatedAnnotator::panel(13, 3);
+            panel_intrusion_accuracy(&mut panel, &questions)
+        };
+        rows.push(vec![
+            o.name.clone(),
+            format!("{}", questions.len()),
+            f2(acc * questions.len() as f64),
+            f2(acc),
+        ]);
+    }
+    print_table(
+        "Phrase intrusion",
+        &["Method", "#questions", "avg correct", "accuracy"],
+        &rows,
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 4.4 — topical coherence z-scores for the five §4.4.2 methods,
+//! rated by a simulated 5-expert panel.
+//!
+//! Expected shape (paper): ToPMine best; KERT strong; TNG / PD-LDA weak.
+
+use lesm_bench::ch4::run_all;
+use lesm_bench::datasets::labeled;
+use lesm_bench::signatures::topic_coherence;
+use lesm_bench::{f2, print_table};
+use lesm_eval::annotator::SimulatedAnnotator;
+use lesm_eval::z_scores;
+
+fn main() {
+    println!("# Figure 4.4 — topical coherence (z-scores over methods)");
+    let lc = labeled(2500, 5, 121);
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let outputs = run_all(&docs, lc.corpus.num_words(), 5, 300, 3);
+    let mut experts = SimulatedAnnotator::panel(17, 5);
+    // Raw score per method: mean expert rating of each topic's coherence.
+    let raw: Vec<f64> = outputs
+        .iter()
+        .map(|o| {
+            let mut total = 0.0;
+            let mut n = 0;
+            for t in &o.topic_phrases {
+                if t.is_empty() {
+                    continue;
+                }
+                let list: Vec<Vec<u32>> = t.iter().take(10).cloned().collect();
+                let q = topic_coherence(&lc.truth, &list);
+                for e in experts.iter_mut() {
+                    total += e.rate(q) as f64;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                1.0
+            } else {
+                total / n as f64
+            }
+        })
+        .collect();
+    let z = z_scores(&raw);
+    let rows: Vec<Vec<String>> = outputs
+        .iter()
+        .zip(raw.iter().zip(&z))
+        .map(|(o, (r, zz))| vec![o.name.clone(), f2(*r), f2(*zz)])
+        .collect();
+    print_table("Coherence", &["Method", "mean rating (1-5)", "z-score"], &rows);
+}

@@ -1,0 +1,50 @@
+//! Figure 4.5 — phrase quality z-scores for the five §4.4.2 methods.
+//!
+//! Expected shape (paper): ToPMine best; KERT *lowest* of the five on
+//! long text (its word-set patterns glue extra unigrams onto phrases);
+//! TurboTopics above average.
+
+use lesm_bench::ch4::run_all;
+use lesm_bench::datasets::labeled;
+use lesm_bench::signatures::phrase_quality;
+use lesm_bench::{f2, print_table};
+use lesm_eval::annotator::SimulatedAnnotator;
+use lesm_eval::z_scores;
+
+fn main() {
+    println!("# Figure 4.5 — phrase quality (z-scores over methods)");
+    let lc = labeled(2500, 5, 131);
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let outputs = run_all(&docs, lc.corpus.num_words(), 5, 300, 3);
+    let mut experts = SimulatedAnnotator::panel(19, 5);
+    let raw: Vec<f64> = outputs
+        .iter()
+        .map(|o| {
+            let mut total = 0.0;
+            let mut n = 0;
+            for t in &o.topic_phrases {
+                // Judges rate the *phrases* (multi-word) of each list, as
+                // in the paper's phrase-quality question.
+                for p in t.iter().filter(|p| p.len() >= 2).take(10) {
+                    let q = phrase_quality(&lc.truth, p);
+                    for e in experts.iter_mut() {
+                        total += e.rate(q) as f64;
+                        n += 1;
+                    }
+                }
+            }
+            if n == 0 {
+                1.0
+            } else {
+                total / n as f64
+            }
+        })
+        .collect();
+    let z = z_scores(&raw);
+    let rows: Vec<Vec<String>> = outputs
+        .iter()
+        .zip(raw.iter().zip(&z))
+        .map(|(o, (r, zz))| vec![o.name.clone(), f2(*r), f2(*zz)])
+        .collect();
+    print_table("Phrase quality", &["Method", "mean rating (1-5)", "z-score"], &rows);
+}

@@ -1,0 +1,42 @@
+//! §7.4.1 scalability — STROD (and its parallel variant) vs collapsed-
+//! Gibbs LDA as the corpus grows.
+//!
+//! Expected shape (paper): STROD runs orders of magnitude faster than
+//! Gibbs sampling at scale and grows linearly in corpus size; the
+//! parallel variant adds a further speedup.
+
+use lesm_bench::datasets::labeled;
+use lesm_bench::{f2, print_table, timed};
+use lesm_strod::{Strod, StrodConfig};
+use lesm_topicmodel::lda::{Lda, LdaConfig};
+
+fn main() {
+    println!("# §7.4.1 — STROD vs Gibbs LDA runtime");
+    let sizes = [2_000usize, 8_000, 32_000];
+    let k = 5;
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let lc = labeled(n, k, 261);
+        let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+        let v = lc.corpus.num_words();
+        let (_, gibbs_s) = timed(|| {
+            Lda::fit(&docs, v, &LdaConfig { k, iters: 300, seed: 3, ..Default::default() })
+        });
+        let cfg = StrodConfig { k, alpha0: Some(0.5), threads: 1, ..Default::default() };
+        let (_, strod_s) = timed(|| Strod::fit(&docs, v, &cfg).expect("fit"));
+        let cfg_p = StrodConfig { threads: 4, ..cfg };
+        let (_, pstrod_s) = timed(|| Strod::fit(&docs, v, &cfg_p).expect("fit"));
+        rows.push(vec![
+            format!("{n}"),
+            f2(gibbs_s),
+            f2(strod_s),
+            f2(pstrod_s),
+            f2(gibbs_s / strod_s.max(1e-9)),
+        ]);
+    }
+    print_table(
+        "Runtime (s)",
+        &["#docs", "Gibbs LDA (300 it)", "STROD", "PSTROD (4 threads)", "speedup vs Gibbs"],
+        &rows,
+    );
+}

@@ -1,0 +1,82 @@
+//! Table 3.2 — heterogeneous PMI on the DBLP-like corpus, full collection
+//! and one "area" sub-corpus.
+//!
+//! Expected shape (paper): TopK < NetClus < CATHYHIN(equal) ≈
+//! CATHYHIN(norm) < CATHYHIN(learn) in the Overall column.
+
+use lesm_bench::ch3::{cathyhin_subtopics, netclus_subtopics, topk_subtopics, SubtopicRanking};
+use lesm_bench::datasets::{dblp, subtree_corpus};
+use lesm_bench::{f4, print_table};
+use lesm_corpus::Corpus;
+use lesm_eval::pmi::{hpmi_pair, CoOccurrenceStats, Item};
+use lesm_hier::em::WeightMode;
+
+/// HPMI of a method: averaged over subtopics, per link type plus overall.
+fn hpmi_table(corpus: &Corpus, r: &SubtopicRanking, k_terms: usize, k_small: usize) -> Vec<f64> {
+    let stats = CoOccurrenceStats::from_corpus(corpus);
+    let n_types = corpus.entities.num_types() + 1;
+    // Link types evaluated: every unordered type pair with links in DBLP:
+    // term-term, term-author, author-author, term-venue, author-venue.
+    let pairs: [(usize, usize); 5] = [(2, 2), (2, 0), (0, 0), (2, 1), (0, 1)];
+    let mut scores = Vec::new();
+    for &(x, y) in &pairs {
+        let mut total = 0.0;
+        let mut n = 0;
+        for topic in &r.per_topic {
+            let take = |t: usize| -> Vec<Item> {
+                let cap = if t == 1 { k_small } else { k_terms };
+                topic[t].iter().take(cap).map(|&(id, _)| (t, id)).collect()
+            };
+            let xi = take(x);
+            let yi = take(y);
+            if xi.is_empty() || yi.is_empty() {
+                continue;
+            }
+            let v = if x == y { hpmi_pair(&stats, &xi, &xi) } else { hpmi_pair(&stats, &xi, &yi) };
+            total += v;
+            n += 1;
+        }
+        scores.push(if n > 0 { total / n as f64 } else { 0.0 });
+    }
+    let overall = scores.iter().sum::<f64>() / scores.len() as f64;
+    scores.push(overall);
+    let _ = n_types;
+    scores
+}
+
+fn run_block(title: &str, corpus: &Corpus, k: usize, seed: u64) {
+    let methods: Vec<SubtopicRanking> = vec![
+        topk_subtopics(corpus, k, 20),
+        netclus_subtopics(corpus, k, 0.3, seed, 20),
+        cathyhin_subtopics(corpus, k, WeightMode::Equal, seed, 20),
+        cathyhin_subtopics(corpus, k, WeightMode::Normalized, seed, 20),
+        cathyhin_subtopics(corpus, k, WeightMode::Learned, seed, 20),
+    ];
+    let rows: Vec<Vec<String>> = methods
+        .iter()
+        .map(|m| {
+            let mut row = vec![m.name.clone()];
+            row.extend(hpmi_table(corpus, m, 20, 3).into_iter().map(f4));
+            row
+        })
+        .collect();
+    print_table(
+        title,
+        &["Method", "Term-Term", "Term-Author", "Author-Author", "Term-Venue", "Author-Venue", "Overall"],
+        &rows,
+    );
+}
+
+fn main() {
+    println!("# Table 3.2 — HPMI on DBLP-like corpora");
+    let papers = dblp(3000, 42);
+    // Full collection: k = number of ground-truth areas.
+    let k_full = papers.truth.hierarchy.nodes[0].children.len();
+    run_block("DBLP (full collection)", &papers.corpus, k_full, 7);
+    // One area sub-corpus (the "Database area" analogue).
+    let area = papers.truth.hierarchy.nodes[0].children[0];
+    let (sub, kept) = subtree_corpus(&papers, area);
+    let k_sub = papers.truth.hierarchy.nodes[area].children.len();
+    println!("\narea sub-corpus: {} docs of {}", kept.len(), papers.corpus.num_docs());
+    run_block("DBLP (one area)", &sub, k_sub, 11);
+}

@@ -1,0 +1,77 @@
+//! Table 3.3 — heterogeneous PMI on the NEWS-like corpus (16 top stories
+//! and a 4-topic subset).
+//!
+//! Expected shape (paper): TopK < NetClus ≪ CATHYHIN variants, with the
+//! gap larger than on DBLP because the entity links are noisier.
+
+use lesm_bench::ch3::{cathyhin_subtopics, netclus_subtopics, topk_subtopics, SubtopicRanking};
+use lesm_bench::datasets::{news, news_subset};
+use lesm_bench::{f4, print_table};
+use lesm_corpus::Corpus;
+use lesm_eval::pmi::{hpmi_pair, CoOccurrenceStats, Item};
+use lesm_hier::em::WeightMode;
+
+fn hpmi_row(corpus: &Corpus, r: &SubtopicRanking) -> Vec<f64> {
+    let stats = CoOccurrenceStats::from_corpus(corpus);
+    // NEWS schema: person (0), location (1), term (2).
+    let pairs: [(usize, usize); 6] = [(2, 2), (2, 0), (0, 0), (2, 1), (0, 1), (1, 1)];
+    let mut out = Vec::new();
+    for &(x, y) in &pairs {
+        let mut total = 0.0;
+        let mut n = 0;
+        for topic in &r.per_topic {
+            let take = |t: usize| -> Vec<Item> {
+                topic[t].iter().take(20).map(|&(id, _)| (t, id)).collect()
+            };
+            let xi = take(x);
+            let yi = take(y);
+            if xi.is_empty() || yi.is_empty() {
+                continue;
+            }
+            total += if x == y { hpmi_pair(&stats, &xi, &xi) } else { hpmi_pair(&stats, &xi, &yi) };
+            n += 1;
+        }
+        out.push(if n > 0 { total / n as f64 } else { 0.0 });
+    }
+    let overall = out.iter().sum::<f64>() / out.len() as f64;
+    out.push(overall);
+    out
+}
+
+fn run_block(title: &str, corpus: &Corpus, k: usize, seed: u64) {
+    let methods = [topk_subtopics(corpus, k, 20),
+        netclus_subtopics(corpus, k, 0.5, seed, 20),
+        cathyhin_subtopics(corpus, k, WeightMode::Equal, seed, 20),
+        cathyhin_subtopics(corpus, k, WeightMode::Normalized, seed, 20),
+        cathyhin_subtopics(corpus, k, WeightMode::Learned, seed, 20)];
+    let rows: Vec<Vec<String>> = methods
+        .iter()
+        .map(|m| {
+            let mut row = vec![m.name.clone()];
+            row.extend(hpmi_row(corpus, m).into_iter().map(f4));
+            row
+        })
+        .collect();
+    print_table(
+        title,
+        &[
+            "Method",
+            "Term-Term",
+            "Term-Person",
+            "Person-Person",
+            "Term-Location",
+            "Person-Location",
+            "Location-Location",
+            "Overall",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    println!("# Table 3.3 — HPMI on NEWS-like corpora");
+    let sixteen = news(4000, 33);
+    run_block("NEWS (16 topics)", &sixteen.corpus, 16, 3);
+    let four = news_subset(1200, 34);
+    run_block("NEWS (4-topic subset)", &four.corpus, 4, 5);
+}

@@ -1,0 +1,72 @@
+//! Table 4.4 — nKQM@K for the KERT variants and the kpRel / kpRelInt*
+//! baselines, judged by a simulated 10-judge panel.
+//!
+//! Expected shape (paper): KERT−pop worst ≪ baselines < KERT−con <
+//! KERT−com ≈ KERT < KERT−pur.
+
+use lesm_bench::datasets::labeled;
+use lesm_bench::signatures::phrase_quality;
+use lesm_bench::{f4, print_table};
+use lesm_eval::annotator::SimulatedAnnotator;
+use lesm_eval::nkqm::nkqm_at_k;
+use lesm_phrases::baselines::{kp_rel, kp_rel_int};
+use lesm_phrases::kert::{Kert, KertConfig, KertVariant, TopicalPhrase};
+use lesm_topicmodel::lda::{Lda, LdaConfig};
+
+fn main() {
+    println!("# Table 4.4 — nKQM@K (simulated 10-judge panel)");
+    let lc = labeled(3000, 5, 91);
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let k = 5;
+    let lda = Lda::fit(&docs, lc.corpus.num_words(), &LdaConfig { k, iters: 150, seed: 5, ..Default::default() });
+    let base_cfg = KertConfig { min_support: 5, max_len: 3, top_n: 20, ..Default::default() };
+    let patterns = Kert::mine(&docs, &lda.assignments, k, &base_cfg).expect("valid config");
+
+    // Methods: name -> ranked phrases per topic.
+    let mut methods: Vec<(String, Vec<Vec<TopicalPhrase>>)> = vec![
+        ("kpRel".into(), (0..k).map(|t| kp_rel(&patterns, t, 20)).collect()),
+        ("kpRelInt*".into(), (0..k).map(|t| kp_rel_int(&patterns, t, 20)).collect()),
+    ];
+    for variant in [
+        KertVariant::NoPopularity,
+        KertVariant::NoConcordance,
+        KertVariant::NoCompleteness,
+        KertVariant::Full,
+        KertVariant::NoPurity,
+    ] {
+        let cfg = KertConfig { variant, ..base_cfg.clone() };
+        let name = match variant {
+            KertVariant::Full => "KERT".into(),
+            v => format!("KERT-{v:?}"),
+        };
+        methods.push((name, Kert::rank(&patterns, &cfg)));
+    }
+
+    // Judge every distinct phrase once with a 10-judge panel.
+    let mut judges = SimulatedAnnotator::panel(7, 10);
+    let mut judged: std::collections::HashMap<Vec<u32>, Vec<u8>> = std::collections::HashMap::new();
+    for (_, topics) in &methods {
+        for t in topics {
+            for p in t.iter().take(20) {
+                judged.entry(p.tokens.clone()).or_insert_with(|| {
+                    let q = phrase_quality(&lc.truth, &p.tokens);
+                    judges.iter_mut().map(|j| j.rate(q)).collect()
+                });
+            }
+        }
+    }
+    let all_scores: Vec<Vec<u8>> = judged.values().cloned().collect();
+    let mut rows = Vec::new();
+    for (name, topics) in &methods {
+        let per_topic: Vec<Vec<Vec<u8>>> = topics
+            .iter()
+            .map(|t| t.iter().take(20).map(|p| judged[&p.tokens].clone()).collect())
+            .collect();
+        let cells: Vec<String> = [5usize, 10, 20]
+            .iter()
+            .map(|&kk| f4(nkqm_at_k(&per_topic, &all_scores, kk, 5)))
+            .collect();
+        rows.push(vec![name.clone(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+    }
+    print_table("nKQM@K", &["Method", "nKQM@5", "nKQM@10", "nKQM@20"], &rows);
+}

@@ -1,0 +1,66 @@
+//! Table 4.5 — runtime of the topical-phrase methods across dataset sizes.
+//!
+//! Expected shape (paper): PD-LDA and TurboTopics orders of magnitude
+//! slower (the paper extrapolates them to days); TNG several times LDA;
+//! KERT and ToPMine within a small factor of LDA, with ToPMine the only
+//! method tractable on the largest corpora.
+
+use lesm_bench::ch4::{run_kert, run_pdlda, run_tng, run_topmine, run_turbo};
+use lesm_bench::datasets::labeled;
+use lesm_bench::{f2, print_table, timed};
+use lesm_phrases::kert::KertVariant;
+use lesm_topicmodel::lda::{Lda, LdaConfig};
+
+fn main() {
+    println!("# Table 4.5 — method runtimes (seconds; Gibbs iterations capped at 100)");
+    let sizes = [1_000usize, 4_000, 16_000];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let lc = labeled(n, 5, 141);
+        let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+        let v = lc.corpus.num_words();
+        let iters = 100;
+        // PD-LDA and Turbo only on the smallest size (the paper marks them
+        // intractable beyond small samples; we extrapolate linearly).
+        let (pdlda_s, turbo_s) = if n == sizes[0] {
+            let p = run_pdlda(&docs, v, 5, iters, 3).seconds;
+            let t = run_turbo(&docs, v, 5, iters, 3).seconds;
+            (Some(p), Some(t))
+        } else {
+            (None, None)
+        };
+        let (_, lda_s) = timed(|| Lda::fit(&docs, v, &LdaConfig { k: 5, iters, seed: 3, ..Default::default() }));
+        let tng_s = run_tng(&docs, v, 5, iters, 3).seconds;
+        let kert_s = run_kert(&docs, v, 5, iters, 3, KertVariant::Full).seconds;
+        let topmine_s = run_topmine(&docs, v, 5, iters, 3).seconds;
+        let fmt_opt = |x: Option<f64>, scale: f64| match x {
+            Some(s) => f2(s),
+            None => format!("~{} (extrapolated)", f2(scale)),
+        };
+        let base = sizes[0] as f64;
+        rows.push(vec![
+            format!("{n} docs"),
+            fmt_opt(pdlda_s, pdlda_base(&rows) * n as f64 / base),
+            fmt_opt(turbo_s, turbo_base(&rows) * n as f64 / base),
+            f2(tng_s),
+            f2(lda_s),
+            f2(kert_s),
+            f2(topmine_s),
+        ]);
+    }
+    print_table(
+        "Runtimes (s)",
+        &["Dataset", "PD-LDA-like", "TurboTopics", "TNG", "LDA", "KERT", "ToPMine"],
+        &rows,
+    );
+    println!("\n(PD-LDA-like / TurboTopics are run only at the smallest size and linearly");
+    println!(" extrapolated, mirroring the paper's '*' estimates for intractable cells)");
+}
+
+fn pdlda_base(rows: &[Vec<String>]) -> f64 {
+    rows.first().and_then(|r| r[1].parse().ok()).unwrap_or(0.0)
+}
+
+fn turbo_base(rows: &[Vec<String>]) -> f64 {
+    rows.first().and_then(|r| r[2].parse().ok()).unwrap_or(0.0)
+}

@@ -1,0 +1,52 @@
+//! Table 5.4 — the top-ranked authors (by `ERankPop+Pur`) in two sibling
+//! subtopics, each with their personal top phrases in that subtopic.
+
+use lesm_bench::ch3::miner_config;
+use lesm_bench::datasets::dblp_small;
+use lesm_core::pipeline::LatentStructureMiner;
+use lesm_corpus::EntityRef;
+use lesm_roles::type_a::{combined_phrase_rank, entity_phrase_rank, entity_subtopic_distribution};
+use lesm_roles::type_b::erank_pop_pur;
+
+fn main() {
+    println!("# Table 5.4 — author profiles in two sibling subtopics\n");
+    let papers = dblp_small(1500, 211);
+    let corpus = &papers.corpus;
+    let mined = LatentStructureMiner::mine(corpus, &miner_config(&[2, 2], 3)).expect("pipeline");
+    let area = mined.hierarchy.topics[0].children[0];
+    let subs = mined.hierarchy.topics[area].children.clone();
+    let doc_sub: Vec<Vec<f64>> = (0..corpus.num_docs())
+        .map(|d| subs.iter().map(|&s| mined.doc_topic[d][s]).collect())
+        .collect();
+    let n_authors = corpus.entities.count(0);
+    let mut freq = vec![vec![0.0f64; n_authors]; subs.len()];
+    for id in 0..n_authors as u32 {
+        let dist = entity_subtopic_distribution(corpus, &doc_sub, EntityRef::new(0, id));
+        for (z, &f) in dist.iter().enumerate() {
+            freq[z][id as usize] = f;
+        }
+    }
+    for (z, &s) in subs.iter().enumerate() {
+        let head: Vec<String> = mined.topic_phrases[s]
+            .iter()
+            .take(4)
+            .map(|p| corpus.vocab.render(&p.tokens))
+            .collect();
+        println!("== subtopic {} {{{}}} ==", mined.hierarchy.topics[s].path, head.join("; "));
+        let w: Vec<f64> = (0..corpus.num_docs()).map(|d| mined.doc_topic[d][s]).collect();
+        for (id, score) in erank_pop_pur(&freq, z, 4) {
+            let entity = EntityRef::new(0, id);
+            let er = entity_phrase_rank(corpus, &mined.segments, &w, entity);
+            let comb = combined_phrase_rank(&er, &mined.topic_phrases[s], 0.5);
+            let phr: Vec<String> =
+                comb.iter().take(3).map(|(p, _)| corpus.vocab.render(p)).collect();
+            println!(
+                "  {:<22} (score {:.4}): {}",
+                corpus.entities.name(entity),
+                score,
+                phr.join(" / ")
+            );
+        }
+        println!();
+    }
+}

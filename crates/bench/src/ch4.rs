@@ -1,0 +1,151 @@
+//! Chapter-4 experiment machinery: runs the five topical-phrase-mining
+//! methods of §4.4.2 on a common corpus and returns comparable per-topic
+//! phrase lists.
+
+use lesm_phrases::kert::{Kert, KertConfig, KertVariant};
+use lesm_phrases::topmine::{ToPMine, ToPMineConfig};
+use lesm_topicmodel::lda::{Lda, LdaConfig};
+use lesm_topicmodel::pdlda::{PdLdaLike, PdLdaLikeConfig};
+use lesm_topicmodel::phrase_lda::PhraseLdaConfig;
+use lesm_topicmodel::tng::{Tng, TngConfig};
+use lesm_topicmodel::turbo::{TurboTopics, TurboTopicsConfig};
+
+/// One chapter-4 method's output: ranked phrase token lists per topic.
+pub struct Ch4Output {
+    /// Method display name.
+    pub name: String,
+    /// `topic_phrases[t]` — ranked phrases of topic `t`.
+    pub topic_phrases: Vec<Vec<Vec<u32>>>,
+    /// Wall-clock seconds the method took.
+    pub seconds: f64,
+}
+
+/// Runs ToPMine.
+pub fn run_topmine(docs: &[Vec<u32>], vocab: usize, k: usize, iters: usize, seed: u64) -> Ch4Output {
+    let (res, secs) = crate::timed(|| {
+        ToPMine::run(
+            docs,
+            vocab,
+            &ToPMineConfig {
+                min_support: 5,
+                max_len: 4,
+                seg_alpha: 2.0,
+                lda: PhraseLdaConfig { k, iters, seed, ..Default::default() },
+                omega: 0.3,
+                top_n: 30,
+            },
+        )
+        .expect("valid config")
+    });
+    let topic_phrases = res
+        .topical_phrases
+        .iter()
+        .map(|list| list.iter().map(|p| p.tokens.clone()).collect())
+        .collect();
+    Ch4Output { name: "ToPMine".into(), topic_phrases, seconds: secs }
+}
+
+/// Runs KERT on top of a background LDA, with a configurable variant.
+pub fn run_kert(
+    docs: &[Vec<u32>],
+    vocab: usize,
+    k: usize,
+    iters: usize,
+    seed: u64,
+    variant: KertVariant,
+) -> Ch4Output {
+    let (ranked, secs) = crate::timed(|| {
+        let lda = Lda::fit(docs, vocab, &LdaConfig { k, iters, seed, ..Default::default() });
+        Kert::run(
+            docs,
+            &lda.assignments,
+            k,
+            &KertConfig { min_support: 5, max_len: 3, variant, top_n: 30, ..Default::default() },
+        )
+        .expect("valid config")
+    });
+    let name = match variant {
+        KertVariant::Full => "KERT".to_string(),
+        v => format!("KERT-{v:?}"),
+    };
+    let topic_phrases = ranked
+        .iter()
+        .map(|list| list.iter().map(|p| p.tokens.clone()).collect())
+        .collect();
+    Ch4Output { name, topic_phrases, seconds: secs }
+}
+
+/// Runs the TNG baseline.
+pub fn run_tng(docs: &[Vec<u32>], vocab: usize, k: usize, iters: usize, seed: u64) -> Ch4Output {
+    let (phrases, secs) = crate::timed(|| {
+        let m = Tng::fit(docs, vocab, &TngConfig { k, iters, seed, ..Default::default() });
+        m.top_phrases(docs, 30)
+    });
+    let topic_phrases =
+        phrases.into_iter().map(|l| l.into_iter().map(|(p, _)| p).collect()).collect();
+    Ch4Output { name: "TNG".into(), topic_phrases, seconds: secs }
+}
+
+/// Runs the PD-LDA-like baseline.
+pub fn run_pdlda(docs: &[Vec<u32>], vocab: usize, k: usize, iters: usize, seed: u64) -> Ch4Output {
+    let (phrases, secs) = crate::timed(|| {
+        let m = PdLdaLike::fit(docs, vocab, &PdLdaLikeConfig { k, iters, seed, ..Default::default() });
+        m.top_phrases(30)
+    });
+    let topic_phrases =
+        phrases.into_iter().map(|l| l.into_iter().map(|(p, _)| p).collect()).collect();
+    Ch4Output { name: "PD-LDA-like".into(), topic_phrases, seconds: secs }
+}
+
+/// Runs TurboTopics-lite.
+pub fn run_turbo(docs: &[Vec<u32>], vocab: usize, k: usize, iters: usize, seed: u64) -> Ch4Output {
+    let (res, secs) = crate::timed(|| {
+        TurboTopics::run(
+            docs,
+            vocab,
+            &TurboTopicsConfig {
+                lda: LdaConfig { k, iters, seed, ..Default::default() },
+                sig_threshold: 3.0,
+                min_count: 3,
+                max_rounds: 3,
+            },
+        )
+    });
+    let topic_phrases = res
+        .topic_phrases
+        .into_iter()
+        .map(|l| l.into_iter().take(30).map(|(p, _)| p).collect())
+        .collect();
+    Ch4Output { name: "TurboTopics".into(), topic_phrases, seconds: secs }
+}
+
+/// Runs the full §4.4.2 comparison suite.
+pub fn run_all(docs: &[Vec<u32>], vocab: usize, k: usize, iters: usize, seed: u64) -> Vec<Ch4Output> {
+    vec![
+        run_pdlda(docs, vocab, k, iters, seed),
+        run_topmine(docs, vocab, k, iters, seed),
+        run_kert(docs, vocab, k, iters, seed, KertVariant::Full),
+        run_tng(docs, vocab, k, iters, seed),
+        run_turbo(docs, vocab, k, iters, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::labeled;
+
+    #[test]
+    fn all_methods_produce_phrases() {
+        let lc = labeled(300, 3, 7);
+        let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+        let outputs = run_all(&docs, lc.corpus.num_words(), 3, 30, 1);
+        assert_eq!(outputs.len(), 5);
+        for o in &outputs {
+            assert_eq!(o.topic_phrases.len(), 3, "{} topic count", o.name);
+            let total: usize = o.topic_phrases.iter().map(Vec::len).sum();
+            assert!(total > 0, "{} produced no phrases", o.name);
+            assert!(o.seconds >= 0.0);
+        }
+    }
+}

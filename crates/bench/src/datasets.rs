@@ -1,0 +1,101 @@
+//! Standard experiment datasets (the DBLP / NEWS / labeled / genealogy
+//! substitutes of DESIGN.md §3, at the sizes the experiment binaries use).
+
+use lesm_corpus::synth::{
+    GenealogyConfig, Genealogy, HierarchySpec, LabeledConfig, LabeledCorpus, PapersConfig,
+    SyntheticPapers,
+};
+
+/// DBLP-like corpus: 5 areas × 4 subareas, authors at leaves, venues at
+/// areas (mirrors the 20-conference corpus of §3.3).
+pub fn dblp(n_docs: usize, seed: u64) -> SyntheticPapers {
+    SyntheticPapers::generate(&PapersConfig::dblp(n_docs, seed)).expect("valid preset")
+}
+
+/// A smaller 2×2 DBLP-like corpus for fast hierarchy experiments.
+pub fn dblp_small(n_docs: usize, seed: u64) -> SyntheticPapers {
+    let mut cfg = PapersConfig::dblp(n_docs, seed);
+    cfg.hierarchy = HierarchySpec {
+        branching: vec![2, 2],
+        words_per_topic: 20,
+        phrases_per_topic: 6,
+        background_words: 40,
+        zipf_s: 1.0,
+    };
+    cfg.entity_specs[0].pool_per_node = 12;
+    cfg.entity_specs[1].pool_per_node = 3;
+    SyntheticPapers::generate(&cfg).expect("valid config")
+}
+
+/// NEWS-like corpus: 16 flat top stories with noisy person/location links.
+pub fn news(n_docs: usize, seed: u64) -> SyntheticPapers {
+    SyntheticPapers::generate(&PapersConfig::news(n_docs, seed)).expect("valid preset")
+}
+
+/// The 4-topic NEWS subset of §3.3.
+pub fn news_subset(n_docs: usize, seed: u64) -> SyntheticPapers {
+    let mut cfg = PapersConfig::news(n_docs, seed);
+    cfg.hierarchy.branching = vec![4];
+    SyntheticPapers::generate(&cfg).expect("valid preset")
+}
+
+/// Labeled flat corpus (the arXiv-physics stand-in of §4.4.1).
+pub fn labeled(n_docs: usize, n_categories: usize, seed: u64) -> LabeledCorpus {
+    LabeledCorpus::generate(&LabeledConfig { n_categories, n_docs, seed }).expect("valid config")
+}
+
+/// Academic genealogy with ground-truth advisor edges (§6.1.6).
+pub fn genealogy(n_authors: usize, seed: u64) -> Genealogy {
+    Genealogy::generate(&GenealogyConfig { n_authors, seed, ..GenealogyConfig::default() })
+        .expect("valid config")
+}
+
+/// Restricts a corpus to the documents of one ground-truth level-1 subtree
+/// — the "Database area" sub-corpus construction of Table 3.2.
+pub fn subtree_corpus(
+    papers: &SyntheticPapers,
+    level1_node: usize,
+) -> (lesm_corpus::Corpus, Vec<usize>) {
+    let gt = &papers.truth.hierarchy;
+    let keep: Vec<usize> = papers
+        .truth
+        .doc_leaf
+        .iter()
+        .enumerate()
+        .filter(|&(_, &leaf)| gt.path_nodes(leaf).contains(&level1_node))
+        .map(|(d, _)| d)
+        .collect();
+    let mut corpus = lesm_corpus::Corpus::new();
+    corpus.vocab = papers.corpus.vocab.clone();
+    corpus.entities = papers.corpus.entities.clone();
+    for &d in &keep {
+        corpus.docs.push(papers.corpus.docs[d].clone());
+    }
+    (corpus, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_generate() {
+        assert_eq!(dblp(50, 1).corpus.num_docs(), 50);
+        assert_eq!(news(50, 1).corpus.num_docs(), 50);
+        assert_eq!(labeled(50, 5, 1).corpus.num_docs(), 50);
+        assert!(genealogy(40, 1).num_relations() > 0);
+    }
+
+    #[test]
+    fn subtree_extraction_filters_docs() {
+        let p = dblp_small(200, 2);
+        let node1 = p.truth.hierarchy.nodes[0].children[0];
+        let (sub, keep) = subtree_corpus(&p, node1);
+        assert_eq!(sub.num_docs(), keep.len());
+        assert!(keep.len() < 200);
+        assert!(!keep.is_empty());
+        for (&d, doc) in keep.iter().zip(&sub.docs) {
+            assert_eq!(doc.tokens, p.corpus.docs[d].tokens);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Library backing the `lesm` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `lesm synth --docs N --seed S` — emit a synthetic DBLP-like corpus
+//!   as TSV (for demos and smoke tests);
+//! * `lesm mine <corpus.tsv> [--k K --depth D]` — mine a topical
+//!   hierarchy and print it as JSON;
+//! * `lesm search <corpus.tsv> <query…>` — topic-aware document search;
+//! * `lesm advisors <corpus.tsv>` — TPFG advisor–advisee mining over the
+//!   corpus' author/year structure, rendered as an advising forest.
+//!
+//! Argument parsing is hand-rolled (the workspace avoids a CLI
+//! dependency); all logic lives here so it is unit-testable, and
+//! `main.rs` stays a thin shell.
+
+use lesm_core::pipeline::{LatentStructureMiner, MinerConfig};
+use lesm_corpus::synth::GenPaper;
+use lesm_corpus::{Corpus, LoadOptions};
+use lesm_hier::em::{EmConfig, WeightMode};
+use lesm_hier::hierarchy::{CathyConfig, ChildCount};
+use lesm_relations::preprocess::{CandidateGraph, PreprocessConfig};
+use lesm_relations::tpfg::{Tpfg, TpfgConfig};
+use lesm_relations::AdvisingForest;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Emit a synthetic corpus as TSV.
+    Synth {
+        /// Number of documents.
+        docs: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Mine a hierarchy and print JSON.
+    Mine {
+        /// Input TSV path.
+        input: String,
+        /// Children per topic.
+        k: usize,
+        /// Hierarchy depth.
+        depth: usize,
+    },
+    /// Topic-aware search.
+    Search {
+        /// Input TSV path.
+        input: String,
+        /// Query text.
+        query: String,
+    },
+    /// Advisor-advisee mining.
+    Advisors {
+        /// Input TSV path.
+        input: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parses command-line arguments (excluding `argv[0]`).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "synth" => {
+            let mut docs = 1000usize;
+            let mut seed = 42u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--docs" => docs = next_value(&mut it, flag)?,
+                    "--seed" => seed = next_value(&mut it, flag)?,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Synth { docs, seed })
+        }
+        "mine" => {
+            let input = it.next().ok_or("mine needs an input path")?.clone();
+            let mut k = 4usize;
+            let mut depth = 2usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--k" => k = next_value(&mut it, flag)?,
+                    "--depth" => depth = next_value(&mut it, flag)?,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if k == 0 || depth == 0 {
+                return Err("--k and --depth must be positive".into());
+            }
+            Ok(Command::Mine { input, k, depth })
+        }
+        "search" => {
+            let input = it.next().ok_or("search needs an input path")?.clone();
+            let query: Vec<String> = it.cloned().collect();
+            if query.is_empty() {
+                return Err("search needs a query".into());
+            }
+            Ok(Command::Search { input, query: query.join(" ") })
+        }
+        "advisors" => {
+            let input = it.next().ok_or("advisors needs an input path")?.clone();
+            Ok(Command::Advisors { input })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command {other}; try `lesm help`")),
+    }
+}
+
+fn next_value<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} value is not valid"))
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+lesm — latent entity structure mining
+
+USAGE:
+  lesm synth [--docs N] [--seed S]        emit a synthetic corpus as TSV
+  lesm mine <corpus.tsv> [--k K] [--depth D]   mine a hierarchy, print JSON
+  lesm search <corpus.tsv> <query...>     topic-aware document search
+  lesm advisors <corpus.tsv>              mine advisor-advisee relations
+
+TSV format (one doc per line):
+  title text<TAB>etype=name|etype=name<TAB>year
+";
+
+/// Default miner configuration used by the CLI.
+pub fn cli_miner_config(k: usize, depth: usize) -> MinerConfig {
+    MinerConfig {
+        hierarchy: CathyConfig {
+            children: ChildCount::Fixed(k),
+            max_depth: depth,
+            em: EmConfig {
+                iters: 200,
+                restarts: 4,
+                seed: 7,
+                background: true,
+                weights: WeightMode::Learned,
+                ..EmConfig::default()
+            },
+            min_links: 20,
+            subnet_threshold: 0.5,
+        },
+        ..MinerConfig::default()
+    }
+}
+
+/// Runs `mine` on an already-loaded corpus; returns the JSON.
+pub fn run_mine(corpus: &Corpus, k: usize, depth: usize) -> Result<String, String> {
+    let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth))
+        .map_err(|e| e.to_string())?;
+    Ok(lesm_core::export::hierarchy_to_json(corpus, &mined, 10))
+}
+
+/// Runs `search`; returns rendered result lines.
+pub fn run_search(corpus: &Corpus, query: &str, k: usize, depth: usize) -> Result<Vec<String>, String> {
+    let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth))
+        .map_err(|e| e.to_string())?;
+    Ok(lesm_core::search::search(corpus, &mined, query, 10)
+        .into_iter()
+        .map(|hit| {
+            format!(
+                "doc {:>5}  score {:.3}  topic {}  {}",
+                hit.doc,
+                hit.score,
+                mined.hierarchy.topics[hit.topic].path,
+                corpus.render_doc(hit.doc)
+            )
+        })
+        .collect())
+}
+
+/// Converts a corpus with author links and years into TPFG paper records.
+///
+/// The author entity type is located by name (`"author"`); docs lacking a
+/// year or authors are skipped.
+pub fn corpus_to_papers(corpus: &Corpus) -> Result<(Vec<GenPaper>, usize), String> {
+    let author = (0..corpus.entities.num_types())
+        .find(|&t| corpus.entities.type_name(t) == Some("author"))
+        .ok_or("corpus has no 'author' entity type")?;
+    let n_authors = corpus.entities.count(author);
+    let papers: Vec<GenPaper> = corpus
+        .docs
+        .iter()
+        .filter_map(|d| {
+            let year = d.year?;
+            let authors: Vec<u32> = d.entities_of(author).collect();
+            if authors.is_empty() {
+                None
+            } else {
+                Some(GenPaper { year, authors })
+            }
+        })
+        .collect();
+    if papers.is_empty() {
+        return Err("no documents with both a year and author links".into());
+    }
+    Ok((papers, n_authors))
+}
+
+/// Runs `advisors`; returns the rendered advising forest.
+pub fn run_advisors(corpus: &Corpus) -> Result<String, String> {
+    let (papers, n_authors) = corpus_to_papers(corpus)?;
+    let author = (0..corpus.entities.num_types())
+        .find(|&t| corpus.entities.type_name(t) == Some("author"))
+        .expect("checked in corpus_to_papers");
+    let graph = CandidateGraph::build(&papers, n_authors, &PreprocessConfig::default())
+        .map_err(|e| e.to_string())?;
+    let result = Tpfg::infer(&graph, &TpfgConfig::default()).map_err(|e| e.to_string())?;
+    let forest = AdvisingForest::from_result(&result, 1, 0.3);
+    let name = |a: u32| {
+        corpus
+            .entities
+            .name(lesm_corpus::EntityRef::new(author, a))
+            .to_string()
+    };
+    Ok(forest.render(&name, 10))
+}
+
+/// Loads a TSV corpus from a file path.
+pub fn load_corpus(path: &str) -> Result<Corpus, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    lesm_corpus::load_tsv(std::io::BufReader::new(file), &LoadOptions::default())
+        .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommands() {
+        assert_eq!(
+            parse_args(&s(&["synth", "--docs", "50", "--seed", "9"])).unwrap(),
+            Command::Synth { docs: 50, seed: 9 }
+        );
+        assert_eq!(
+            parse_args(&s(&["mine", "in.tsv", "--k", "3", "--depth", "1"])).unwrap(),
+            Command::Mine { input: "in.tsv".into(), k: 3, depth: 1 }
+        );
+        assert_eq!(
+            parse_args(&s(&["search", "in.tsv", "query", "processing"])).unwrap(),
+            Command::Search { input: "in.tsv".into(), query: "query processing".into() }
+        );
+        assert_eq!(
+            parse_args(&s(&["advisors", "in.tsv"])).unwrap(),
+            Command::Advisors { input: "in.tsv".into() }
+        );
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&s(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        assert!(parse_args(&s(&["mine"])).is_err());
+        assert!(parse_args(&s(&["mine", "x", "--k", "zero"])).is_err());
+        assert!(parse_args(&s(&["mine", "x", "--k", "0"])).is_err());
+        assert!(parse_args(&s(&["search", "x"])).is_err());
+        assert!(parse_args(&s(&["frobnicate"])).is_err());
+        assert!(parse_args(&s(&["synth", "--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn corpus_to_papers_extracts_author_year_records() {
+        let tsv = "a b\tauthor=x|author=y\t2001\nc d\tauthor=x\t2002\nno year\tauthor=z\t\n";
+        let corpus =
+            lesm_corpus::load_tsv(tsv.as_bytes(), &LoadOptions::default()).unwrap();
+        let (papers, n) = corpus_to_papers(&corpus).unwrap();
+        assert_eq!(papers.len(), 2, "the year-less doc is skipped");
+        assert_eq!(n, 3);
+        assert_eq!(papers[0].year, 2001);
+        assert_eq!(papers[0].authors.len(), 2);
+    }
+
+    #[test]
+    fn corpus_without_authors_is_an_error() {
+        let tsv = "a b\tvenue=V\t2001\n";
+        let corpus =
+            lesm_corpus::load_tsv(tsv.as_bytes(), &LoadOptions::default()).unwrap();
+        assert!(corpus_to_papers(&corpus).is_err());
+    }
+}

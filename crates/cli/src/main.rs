@@ -1,0 +1,55 @@
+//! The `lesm` command-line tool (thin shell over [`lesm_cli`]).
+
+use lesm_cli::{parse_args, Command, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let outcome = run(command);
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Synth { docs, seed } => {
+            let papers = lesm_corpus::synth::SyntheticPapers::generate(
+                &lesm_corpus::synth::PapersConfig::dblp(docs, seed),
+            )
+            .map_err(|e| e.to_string())?;
+            let stdout = std::io::stdout();
+            lesm_corpus::io::write_tsv(&papers.corpus, stdout.lock())
+                .map_err(|e| e.to_string())
+        }
+        Command::Mine { input, k, depth } => {
+            let corpus = lesm_cli::load_corpus(&input)?;
+            let json = lesm_cli::run_mine(&corpus, k, depth)?;
+            print!("{json}");
+            Ok(())
+        }
+        Command::Search { input, query } => {
+            let corpus = lesm_cli::load_corpus(&input)?;
+            for line in lesm_cli::run_search(&corpus, &query, 4, 1)? {
+                println!("{line}");
+            }
+            Ok(())
+        }
+        Command::Advisors { input } => {
+            let corpus = lesm_cli::load_corpus(&input)?;
+            print!("{}", lesm_cli::run_advisors(&corpus)?);
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Integration tests for the CLI library: the synth → mine / search /
+//! advisors round trip on temporary files.
+
+use lesm_cli::{corpus_to_papers, load_corpus, run_advisors, run_mine, run_search};
+use lesm_corpus::io::write_tsv;
+use lesm_corpus::synth::{GenealogyConfig, Genealogy, PapersConfig, SyntheticPapers};
+use lesm_corpus::Corpus;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("lesm-cli-test-{name}-{}", std::process::id()));
+    p
+}
+
+fn write_corpus(corpus: &Corpus, name: &str) -> std::path::PathBuf {
+    let path = temp_path(name);
+    let file = std::fs::File::create(&path).expect("create temp file");
+    write_tsv(corpus, std::io::BufWriter::new(file)).expect("write tsv");
+    path
+}
+
+#[test]
+fn synth_mine_roundtrip_produces_balanced_json() {
+    let mut cfg = PapersConfig::dblp(500, 17);
+    cfg.hierarchy.branching = vec![2];
+    cfg.entity_specs[0].level = 1;
+    cfg.entity_specs[0].pool_per_node = 5;
+    cfg.entity_specs[1].pool_per_node = 2;
+    let papers = SyntheticPapers::generate(&cfg).unwrap();
+    let path = write_corpus(&papers.corpus, "mine");
+    let corpus = load_corpus(path.to_str().unwrap()).unwrap();
+    assert_eq!(corpus.num_docs(), 500);
+    let json = run_mine(&corpus, 2, 1).unwrap();
+    assert!(lesm_core::export::is_balanced_json(&json));
+    assert!(json.contains("\"phrases\""));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn search_returns_relevant_lines() {
+    let mut cfg = PapersConfig::dblp(500, 19);
+    cfg.hierarchy.branching = vec![2];
+    cfg.entity_specs[0].level = 1;
+    cfg.entity_specs[0].pool_per_node = 5;
+    cfg.entity_specs[1].pool_per_node = 2;
+    let papers = SyntheticPapers::generate(&cfg).unwrap();
+    let path = write_corpus(&papers.corpus, "search");
+    let corpus = load_corpus(path.to_str().unwrap()).unwrap();
+    // Query a ground-truth leaf word (names survive the TSV round trip).
+    let leaf = papers.truth.hierarchy.leaves[0];
+    let word = papers.truth.hierarchy.own_words[leaf][0];
+    let query = papers.corpus.vocab.name_or_unk(word);
+    let lines = run_search(&corpus, query, 2, 1).unwrap();
+    assert!(!lines.is_empty());
+    assert!(lines[0].contains("score"));
+    assert!(lines.iter().filter(|l| l.contains(query)).count() * 2 >= lines.len());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn advisors_runs_on_genealogy_tsv() {
+    // Build a corpus whose author/year structure carries the genealogy.
+    let gen = Genealogy::generate(&GenealogyConfig {
+        n_authors: 80,
+        seed: 21,
+        ..GenealogyConfig::default()
+    })
+    .unwrap();
+    let mut corpus = Corpus::new();
+    let author = corpus.entities.add_type("author");
+    for p in gen.papers.iter().take(4000) {
+        let d = corpus.push_text("paper");
+        corpus.docs[d].year = Some(p.year);
+        for &a in &p.authors {
+            corpus.link_entity(d, author, &format!("a{a}")).unwrap();
+        }
+    }
+    let path = write_corpus(&corpus, "advisors");
+    let loaded = load_corpus(path.to_str().unwrap()).unwrap();
+    let (papers, n) = corpus_to_papers(&loaded).unwrap();
+    assert_eq!(papers.len(), corpus.num_docs());
+    assert!(n <= 80);
+    let rendered = run_advisors(&loaded).unwrap();
+    assert!(rendered.contains("a"), "forest renders author labels");
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,220 @@
+//! Export mined structures to JSON (hand-rolled writer — the workspace
+//! deliberately avoids a JSON dependency).
+//!
+//! The output is the artifact a downstream application would consume: the
+//! phrase-represented, entity-enriched topic tree with per-topic scores,
+//! in the spirit of the Figure 3.4 visualization.
+
+use crate::pipeline::MinedStructure;
+use lesm_corpus::{Corpus, EntityRef};
+
+/// Serializes a mined structure to a pretty-printed JSON string.
+pub fn hierarchy_to_json(corpus: &Corpus, mined: &MinedStructure, top_n: usize) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"topics\": [\n");
+    let n = mined.hierarchy.len();
+    for t in 0..n {
+        let topic = &mined.hierarchy.topics[t];
+        out.push_str("    {\n");
+        push_kv(&mut out, 6, "path", &json_string(&topic.path));
+        push_kv(&mut out, 6, "parent", &match topic.parent {
+            Some(p) => p.to_string(),
+            None => "null".into(),
+        });
+        push_kv(&mut out, 6, "level", &topic.level.to_string());
+        push_kv(&mut out, 6, "rho", &json_number(topic.rho));
+        // Phrases.
+        out.push_str("      \"phrases\": [");
+        let phrases = &mined.topic_phrases[t];
+        for (i, p) in phrases.iter().take(top_n).enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"text\": {}, \"score\": {}, \"freq\": {}}}",
+                json_string(&corpus.vocab.render(&p.tokens)),
+                json_number(p.score),
+                json_number(p.topic_freq)
+            ));
+        }
+        out.push_str("],\n");
+        // Entities per type.
+        out.push_str("      \"entities\": {");
+        for (etype, list) in mined.topic_entities[t].iter().enumerate() {
+            if etype > 0 {
+                out.push_str(", ");
+            }
+            let type_name = corpus.entities.type_name(etype).unwrap_or("entity");
+            out.push_str(&format!("{}: [", json_string(type_name)));
+            for (i, &(id, score)) in list.iter().take(top_n).enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let name = corpus.entities.name(EntityRef::new(etype, id));
+                out.push_str(&format!(
+                    "{{\"name\": {}, \"score\": {}}}",
+                    json_string(name),
+                    json_number(score)
+                ));
+            }
+            out.push(']');
+        }
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "      \"children\": [{}]\n",
+            topic
+                .children
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(if t + 1 < n { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn push_kv(out: &mut String, indent: usize, key: &str, value: &str) {
+    out.push_str(&" ".repeat(indent));
+    out.push_str(&format!("\"{key}\": {value},\n"));
+}
+
+/// Escapes a string per RFC 8259.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite float as a JSON number (`null` for non-finite values).
+pub fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// A minimal structural well-formedness check used by tests and callers
+/// that want a sanity guarantee without a JSON parser dependency: verifies
+/// bracket balance outside strings and escape validity inside them.
+pub fn is_balanced_json(s: &str) -> bool {
+    let mut stack = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => stack.push(c),
+            '}' => {
+                if stack.pop() != Some('{') {
+                    return false;
+                }
+            }
+            ']' => {
+                if stack.pop() != Some('[') {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    stack.is_empty() && !in_string
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_is_rfc8259_compliant() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_are_finite_or_null() {
+        assert_eq!(json_number(1.5), "1.500000");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn balance_checker_works() {
+        assert!(is_balanced_json("{\"a\": [1, 2, {\"b\": \"}\"}]}"));
+        assert!(!is_balanced_json("{\"a\": [}"));
+        assert!(!is_balanced_json("{\"a\": \"unterminated}"));
+    }
+
+    #[test]
+    fn export_produces_balanced_json_with_expected_keys() {
+        use crate::pipeline::{LatentStructureMiner, MinerConfig};
+        use lesm_corpus::synth::{PapersConfig, SyntheticPapers};
+        use lesm_hier::em::{EmConfig, WeightMode};
+        use lesm_hier::hierarchy::{CathyConfig, ChildCount};
+
+        let mut cfg = PapersConfig::dblp(300, 7);
+        cfg.hierarchy.branching = vec![2];
+        cfg.hierarchy.words_per_topic = 10;
+        cfg.entity_specs[0].pool_per_node = 4;
+        cfg.entity_specs[0].level = 1; // flat tree: authors attach at leaves
+        cfg.entity_specs[1].pool_per_node = 2;
+        let papers = SyntheticPapers::generate(&cfg).unwrap();
+        let mined = LatentStructureMiner::mine(
+            &papers.corpus,
+            &MinerConfig {
+                hierarchy: CathyConfig {
+                    children: ChildCount::Fixed(2),
+                    max_depth: 1,
+                    em: EmConfig {
+                        iters: 60,
+                        restarts: 2,
+                        seed: 1,
+                        background: true,
+                        weights: WeightMode::Equal,
+                        ..EmConfig::default()
+                    },
+                    min_links: 10,
+                    subnet_threshold: 0.5,
+                },
+                phrase_min_support: 3,
+                ..MinerConfig::default()
+            },
+        )
+        .unwrap();
+        let json = hierarchy_to_json(&papers.corpus, &mined, 5);
+        assert!(is_balanced_json(&json), "unbalanced JSON:\n{json}");
+        assert!(json.contains("\"topics\""));
+        assert!(json.contains("\"phrases\""));
+        assert!(json.contains("\"entities\""));
+        assert!(json.contains("\"author\""));
+        assert!(json.contains("\"venue\""));
+        assert!(json.contains("\"path\": \"o/1\""));
+    }
+}

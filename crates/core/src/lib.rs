@@ -1,0 +1,57 @@
+//! The integrated latent entity structure mining framework (§1.4).
+//!
+//! [`LatentStructureMiner`] chains the dissertation's modules end to end:
+//!
+//! 1. collapse a text-attached heterogeneous network ([`lesm_net`]),
+//! 2. construct a multi-typed topical hierarchy (CATHYHIN, Chapter 3),
+//! 3. mine and attach ranked topical phrases (ToPMine machinery, Chapter 4)
+//!    so every topic is phrase-represented,
+//! 4. attach ranked entity lists per topic (entity-embedded topics), and
+//! 5. answer Type-A / Type-B role queries (Chapter 5).
+//!
+//! Hierarchical relation mining (Chapter 6) and the STROD backend
+//! (Chapter 7) are exposed through the re-exported crates; see
+//! `examples/` for end-to-end usage.
+
+// Index-based loops are kept where they mirror the paper's equations.
+#![allow(clippy::needless_range_loop)]
+
+pub mod export;
+pub mod pipeline;
+pub mod search;
+
+pub use export::hierarchy_to_json;
+pub use search::{search, SearchHit};
+pub use pipeline::{MinedStructure, MinerConfig, LatentStructureMiner};
+
+/// Errors surfaced by the integrated pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Hierarchy construction failed.
+    Hier(lesm_hier::HierError),
+    /// Phrase mining failed.
+    Phrase(lesm_phrases::PhraseError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Hier(e) => write!(f, "hierarchy construction: {e}"),
+            CoreError::Phrase(e) => write!(f, "phrase mining: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<lesm_hier::HierError> for CoreError {
+    fn from(e: lesm_hier::HierError) -> Self {
+        CoreError::Hier(e)
+    }
+}
+
+impl From<lesm_phrases::PhraseError> for CoreError {
+    fn from(e: lesm_phrases::PhraseError) -> Self {
+        CoreError::Phrase(e)
+    }
+}

@@ -1,0 +1,367 @@
+//! The end-to-end mining pipeline.
+
+use crate::CoreError;
+use lesm_corpus::{Corpus, EntityRef};
+use lesm_hier::{CathyConfig, TopicHierarchy};
+use lesm_net::collapsed_network;
+use lesm_phrases::topmine::{FrequentPhrases, Segmenter, SegmenterConfig};
+use lesm_phrases::TopicalPhrase;
+use std::collections::HashMap;
+
+/// Configuration for [`LatentStructureMiner::mine`].
+#[derive(Debug, Clone)]
+pub struct MinerConfig {
+    /// Hierarchy construction settings (Chapter 3).
+    pub hierarchy: CathyConfig,
+    /// Minimum support for frequent phrase mining (Chapter 4).
+    pub phrase_min_support: u64,
+    /// Maximum mined phrase length.
+    pub phrase_max_len: usize,
+    /// Segmentation significance threshold α.
+    pub seg_alpha: f64,
+    /// Ranked phrases kept per topic.
+    pub phrases_per_topic: usize,
+    /// Ranked entities kept per topic and type.
+    pub entities_per_topic: usize,
+    /// Minimum topical frequency for a phrase to stay attached to a topic.
+    pub min_topic_freq: f64,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self {
+            hierarchy: CathyConfig::default(),
+            phrase_min_support: 5,
+            phrase_max_len: 4,
+            seg_alpha: 2.0,
+            phrases_per_topic: 20,
+            entities_per_topic: 20,
+            min_topic_freq: 1.0,
+        }
+    }
+}
+
+/// The full mined structure: a phrase-represented, entity-enriched topical
+/// hierarchy plus per-document topic attributions.
+#[derive(Debug)]
+pub struct MinedStructure {
+    /// The multi-typed topical hierarchy.
+    pub hierarchy: TopicHierarchy,
+    /// Ranked phrases per topic (aligned with `hierarchy.topics`).
+    pub topic_phrases: Vec<Vec<TopicalPhrase>>,
+    /// Ranked entities per topic, per entity type:
+    /// `topic_entities[t][etype]` is a `(entity id, score)` list.
+    pub topic_entities: Vec<Vec<Vec<(u32, f64)>>>,
+    /// Topical frequency `f_t(P)` tables per topic.
+    pub phrase_topic_freq: Vec<HashMap<Vec<u32>, f64>>,
+    /// Bag-of-phrases segmentation of every document.
+    pub segments: Vec<Vec<Vec<u32>>>,
+    /// Per-document topic weights (aligned with `hierarchy.topics`;
+    /// `doc_topic[d][t]`, with the root fixed at 1.0).
+    pub doc_topic: Vec<Vec<f64>>,
+}
+
+impl MinedStructure {
+    /// Renders topic `t` as "phrases / entities…" (the Figure 3.4 artifact).
+    pub fn render_topic(&self, corpus: &Corpus, t: usize, n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "[{}] ", self.hierarchy.topics[t].path);
+        let phrases: Vec<String> = self.topic_phrases[t]
+            .iter()
+            .take(n)
+            .map(|p| corpus.vocab.render(&p.tokens))
+            .collect();
+        let _ = write!(s, "{{{}}}", phrases.join("; "));
+        for (etype, list) in self.topic_entities[t].iter().enumerate() {
+            let names: Vec<&str> =
+                list.iter().take(n).map(|&(id, _)| corpus.entities.name(EntityRef::new(etype, id))).collect();
+            let _ = write!(s, " / {{{}}}", names.join("; "));
+        }
+        s
+    }
+
+    /// The leaf topic with the largest weight for document `d`.
+    pub fn doc_leaf(&self, d: usize) -> usize {
+        self.hierarchy
+            .leaves()
+            .into_iter()
+            .max_by(|&a, &b| {
+                self.doc_topic[d][a]
+                    .partial_cmp(&self.doc_topic[d][b])
+                    .expect("non-NaN weight")
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// The integrated miner.
+#[derive(Debug, Default)]
+pub struct LatentStructureMiner;
+
+impl LatentStructureMiner {
+    /// Runs the full pipeline on a corpus.
+    pub fn mine(corpus: &Corpus, config: &MinerConfig) -> Result<MinedStructure, CoreError> {
+        // 1-2. Collapsed network → hierarchy.
+        let net = collapsed_network(corpus);
+        let hierarchy = TopicHierarchy::construct(net, &config.hierarchy)?;
+        let term_type = corpus.entities.num_types();
+
+        // 3. Frequent phrases + segmentation (shared across topics).
+        let docs: Vec<Vec<u32>> = corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+        let phrases = FrequentPhrases::mine(&docs, config.phrase_min_support, config.phrase_max_len);
+        let segments =
+            Segmenter::segment(&docs, &phrases, &SegmenterConfig { alpha: config.seg_alpha });
+
+        // 4. Topical frequency estimation, top-down (Definition 3 / eq. 4.3):
+        //    the root owns the raw corpus counts; each expanded node splits
+        //    its phrases among children by the children's term-type phi.
+        let n_topics = hierarchy.len();
+        let mut ptf: Vec<HashMap<Vec<u32>, f64>> = vec![HashMap::new(); n_topics];
+        for doc_segs in &segments {
+            for seg in doc_segs {
+                if !seg.is_empty() {
+                    *ptf[0].entry(seg.clone()).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        // Walk topics in index order: parents precede children by construction.
+        for t in 0..n_topics {
+            let children = hierarchy.topics[t].children.clone();
+            if children.is_empty() {
+                continue;
+            }
+            let Some(fit) = hierarchy.fits[t].as_ref() else { continue };
+            let parent_table = std::mem::take(&mut ptf[t]);
+            let mut child_tables: Vec<HashMap<Vec<u32>, f64>> =
+                vec![HashMap::new(); children.len()];
+            for (p, &f) in &parent_table {
+                let mut post = vec![0.0f64; children.len()];
+                let mut norm = 0.0;
+                for (z, _) in children.iter().enumerate() {
+                    let mut lp = fit.rho[z + 1].max(1e-12).ln();
+                    for &w in p {
+                        lp += fit.phi[term_type][z][w as usize].max(1e-300).ln();
+                    }
+                    post[z] = lp;
+                }
+                let max_lp = post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                for v in post.iter_mut() {
+                    *v = (*v - max_lp).exp();
+                    norm += *v;
+                }
+                for (z, v) in post.iter().enumerate() {
+                    let fz = f * v / norm;
+                    if fz >= 1e-6 {
+                        child_tables[z].insert(p.clone(), fz);
+                    }
+                }
+            }
+            ptf[t] = parent_table;
+            for (z, table) in child_tables.into_iter().enumerate() {
+                ptf[children[z]] = table;
+            }
+        }
+
+        // 5. Rank phrases per topic by pointwise KL vs the parent (eq. 4.9).
+        let mut topic_phrases: Vec<Vec<TopicalPhrase>> = Vec::with_capacity(n_topics);
+        for t in 0..n_topics {
+            let n_t: f64 = ptf[t].values().sum();
+            let parent = hierarchy.topics[t].parent;
+            let mut list: Vec<TopicalPhrase> = ptf[t]
+                .iter()
+                .filter(|&(_, &f)| f >= config.min_topic_freq)
+                .map(|(p, &f)| {
+                    let p_t = f / n_t.max(1e-12);
+                    let score = match parent {
+                        None => p_t,
+                        Some(pt) => {
+                            let n_p: f64 = ptf[pt].values().sum();
+                            let p_parent =
+                                ptf[pt].get(p).copied().unwrap_or(f) / n_p.max(1e-12);
+                            p_t * (p_t / p_parent.max(1e-300)).ln()
+                        }
+                    };
+                    TopicalPhrase { tokens: p.clone(), score, topic_freq: f }
+                })
+                .collect();
+            list.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .expect("non-NaN score")
+                    .then_with(|| a.tokens.cmp(&b.tokens))
+            });
+            list.truncate(config.phrases_per_topic);
+            topic_phrases.push(list);
+        }
+
+        // 6. Entity rankings straight from the hierarchy's phi.
+        let mut topic_entities: Vec<Vec<Vec<(u32, f64)>>> = Vec::with_capacity(n_topics);
+        for t in 0..n_topics {
+            let mut per_type = Vec::with_capacity(term_type);
+            for etype in 0..term_type {
+                per_type.push(hierarchy.top_nodes(t, etype, config.entities_per_topic));
+            }
+            topic_entities.push(per_type);
+        }
+
+        // 7. Document topic attribution via topical phrase frequencies
+        //    (eqs. 5.4-5.5, applied top-down).
+        let mut doc_topic = vec![vec![0.0f64; n_topics]; corpus.num_docs()];
+        for (d, doc_segs) in segments.iter().enumerate() {
+            doc_topic[d][0] = 1.0;
+            // Process expanded topics in index order (parents first).
+            for t in 0..n_topics {
+                let children = &hierarchy.topics[t].children;
+                if children.is_empty() || doc_topic[d][t] <= 0.0 {
+                    continue;
+                }
+                let mut tpf = vec![0.0f64; children.len()];
+                for seg in doc_segs {
+                    if seg.is_empty() {
+                        continue;
+                    }
+                    let mut weights = vec![0.0f64; children.len()];
+                    let mut norm = 0.0;
+                    for (z, &c) in children.iter().enumerate() {
+                        let f = ptf[c].get(seg).copied().unwrap_or(0.0);
+                        weights[z] = f;
+                        norm += f;
+                    }
+                    if norm > 0.0 {
+                        for (z, w) in weights.iter().enumerate() {
+                            tpf[z] += w / norm;
+                        }
+                    }
+                }
+                let total: f64 = tpf.iter().sum();
+                if total > 0.0 {
+                    for (z, &c) in children.iter().enumerate() {
+                        doc_topic[d][c] = doc_topic[d][t] * tpf[z] / total;
+                    }
+                }
+            }
+        }
+
+        Ok(MinedStructure {
+            hierarchy,
+            topic_phrases,
+            topic_entities,
+            phrase_topic_freq: ptf,
+            segments,
+            doc_topic,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lesm_corpus::synth::{PapersConfig, SyntheticPapers};
+    use lesm_hier::em::{EmConfig, WeightMode};
+    use lesm_hier::hierarchy::ChildCount;
+
+    fn small_corpus() -> SyntheticPapers {
+        let mut cfg = PapersConfig::dblp(400, 21);
+        cfg.hierarchy.branching = vec![2, 2];
+        cfg.hierarchy.words_per_topic = 14;
+        cfg.hierarchy.phrases_per_topic = 4;
+        cfg.entity_specs[0].pool_per_node = 6;
+        cfg.entity_specs[1].pool_per_node = 2;
+        SyntheticPapers::generate(&cfg).unwrap()
+    }
+
+    fn miner_config() -> MinerConfig {
+        MinerConfig {
+            hierarchy: CathyConfig {
+                children: ChildCount::Fixed(2),
+                max_depth: 2,
+                em: EmConfig {
+                    iters: 200,
+                    restarts: 5,
+                    seed: 5,
+                    background: true,
+                    weights: WeightMode::Learned,
+                    ..EmConfig::default()
+                },
+                min_links: 20,
+                subnet_threshold: 0.5,
+            },
+            phrase_min_support: 4,
+            ..MinerConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_structure() {
+        let s = small_corpus();
+        let mined = LatentStructureMiner::mine(&s.corpus, &miner_config()).unwrap();
+        let n = mined.hierarchy.len();
+        assert!(n >= 3, "hierarchy should expand");
+        assert_eq!(mined.topic_phrases.len(), n);
+        assert_eq!(mined.topic_entities.len(), n);
+        assert_eq!(mined.doc_topic.len(), s.corpus.num_docs());
+        // Every expanded non-root topic carries phrases and entities.
+        for t in 1..n {
+            if mined.hierarchy.topics[t].rho > 0.2 {
+                assert!(
+                    !mined.topic_phrases[t].is_empty(),
+                    "topic {t} ({}) has no phrases",
+                    mined.hierarchy.topics[t].path
+                );
+            }
+        }
+        // Child doc weights never exceed the parent's.
+        for d in 0..mined.doc_topic.len() {
+            for t in 0..n {
+                if let Some(p) = mined.hierarchy.topics[t].parent {
+                    assert!(mined.doc_topic[d][t] <= mined.doc_topic[d][p] + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_topic_is_human_readable() {
+        let s = small_corpus();
+        let mined = LatentStructureMiner::mine(&s.corpus, &miner_config()).unwrap();
+        let txt = mined.render_topic(&s.corpus, 1, 5);
+        assert!(txt.contains("o/1"));
+        assert!(txt.contains('{'));
+    }
+
+    #[test]
+    fn level1_topics_align_with_ground_truth_supertopics() {
+        let s = small_corpus();
+        let mined = LatentStructureMiner::mine(&s.corpus, &miner_config()).unwrap();
+        // For each level-1 topic, look at its top words: most should come
+        // from a single ground-truth level-1 subtree.
+        let gt = &s.truth.hierarchy;
+        let l1: Vec<usize> = mined.hierarchy.topics[0].children.clone();
+        let term_type = s.corpus.entities.num_types();
+        let mut distinct_supers = std::collections::HashSet::new();
+        for &t in &l1 {
+            let top = mined.hierarchy.top_nodes(t, term_type, 10);
+            let mut votes: HashMap<usize, usize> = HashMap::new();
+            for &(w, _) in &top {
+                if let Some(owner) = s.truth.word_topic(w) {
+                    // Map to its level-1 ancestor.
+                    let mut cur = owner;
+                    while gt.nodes[cur].level > 1 {
+                        cur = gt.nodes[cur].parent.unwrap();
+                    }
+                    *votes.entry(cur).or_insert(0) += 1;
+                }
+            }
+            if let Some((&winner, &count)) = votes.iter().max_by_key(|&(_, &c)| c) {
+                let total: usize = votes.values().sum();
+                assert!(
+                    count * 3 >= total * 2,
+                    "mined topic mixes ground-truth supertopics: {votes:?}"
+                );
+                distinct_supers.insert(winner);
+            }
+        }
+        assert_eq!(distinct_supers.len(), 2, "the two supertopics should both be found");
+    }
+}

@@ -1,0 +1,178 @@
+//! Relevance targeting — the §8.1.2 application.
+//!
+//! Given a free-text query, locate the most relevant topics in a mined
+//! hierarchy and rank documents by a mixture of direct phrase overlap and
+//! topical affinity. This is the "retrieving knowledge from data that are
+//! otherwise hard to handle due to the lack of structures" use case the
+//! introduction motivates.
+
+use crate::pipeline::MinedStructure;
+use lesm_corpus::Corpus;
+
+/// A scored search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Document index.
+    pub doc: usize,
+    /// Relevance score (higher is better).
+    pub score: f64,
+    /// The best-matching topic for this hit.
+    pub topic: usize,
+}
+
+/// Ranks the hierarchy's topics by relevance to a token-id query.
+///
+/// A topic's relevance is the summed topical frequency of query tokens
+/// among its ranked phrases, normalized by the topic's total phrase mass.
+pub fn rank_topics(mined: &MinedStructure, query: &[u32], top_n: usize) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> = (0..mined.hierarchy.len())
+        .map(|t| {
+            let total: f64 = mined.phrase_topic_freq[t].values().sum();
+            if total <= 0.0 {
+                return (t, 0.0);
+            }
+            let mut hit = 0.0;
+            for (phrase, &f) in &mined.phrase_topic_freq[t] {
+                if query.iter().any(|q| phrase.contains(q)) {
+                    hit += f;
+                }
+            }
+            (t, hit / total)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+    scored.truncate(top_n);
+    scored
+}
+
+/// Searches documents: `score = overlap + topical`, where `overlap` is the
+/// fraction of query tokens present in the document and `topical` is the
+/// document's membership in the best query topic (so on-topic documents
+/// rank above off-topic documents with the same literal overlap).
+pub fn search(
+    corpus: &Corpus,
+    mined: &MinedStructure,
+    query_text: &str,
+    top_n: usize,
+) -> Vec<SearchHit> {
+    let query: Vec<u32> = lesm_corpus::text::tokenize(query_text)
+        .filter_map(|t| corpus.vocab.get(&lesm_corpus::text::lowercase(t)))
+        .collect();
+    if query.is_empty() {
+        return Vec::new();
+    }
+    // Best-matching non-root topic (fall back to root when nothing scores).
+    let topics = rank_topics(mined, &query, 3);
+    let best_topic = topics
+        .iter()
+        .find(|&&(t, s)| t != 0 && s > 0.0)
+        .map(|&(t, _)| t)
+        .unwrap_or(0);
+    let mut hits: Vec<SearchHit> = corpus
+        .docs
+        .iter()
+        .enumerate()
+        .filter_map(|(d, doc)| {
+            let matched = query.iter().filter(|q| doc.tokens.contains(q)).count();
+            let overlap = matched as f64 / query.len() as f64;
+            let topical = mined.doc_topic[d][best_topic];
+            let score = overlap + topical;
+            if matched == 0 && topical <= 0.0 {
+                None
+            } else {
+                Some(SearchHit { doc: d, score, topic: best_topic })
+            }
+        })
+        .collect();
+    hits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("non-NaN").then_with(|| a.doc.cmp(&b.doc)));
+    hits.truncate(top_n);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{LatentStructureMiner, MinerConfig};
+    use lesm_corpus::synth::{PapersConfig, SyntheticPapers};
+    use lesm_hier::em::{EmConfig, WeightMode};
+    use lesm_hier::hierarchy::{CathyConfig, ChildCount};
+
+    fn mined() -> (SyntheticPapers, MinedStructure) {
+        let mut cfg = PapersConfig::dblp(400, 61);
+        cfg.hierarchy.branching = vec![2];
+        cfg.hierarchy.words_per_topic = 12;
+        cfg.entity_specs[0].level = 1;
+        cfg.entity_specs[0].pool_per_node = 4;
+        cfg.entity_specs[1].pool_per_node = 2;
+        let papers = SyntheticPapers::generate(&cfg).unwrap();
+        let m = LatentStructureMiner::mine(
+            &papers.corpus,
+            &MinerConfig {
+                hierarchy: CathyConfig {
+                    children: ChildCount::Fixed(2),
+                    max_depth: 1,
+                    em: EmConfig {
+                        iters: 100,
+                        restarts: 3,
+                        seed: 3,
+                        background: true,
+                        weights: WeightMode::Equal,
+                        ..EmConfig::default()
+                    },
+                    min_links: 10,
+                    subnet_threshold: 0.5,
+                },
+                phrase_min_support: 3,
+                ..MinerConfig::default()
+            },
+        )
+        .unwrap();
+        (papers, m)
+    }
+
+    #[test]
+    fn query_finds_on_topic_documents() {
+        let (papers, m) = mined();
+        // Query with a ground-truth leaf word.
+        let leaf = papers.truth.hierarchy.leaves[0];
+        let word = papers.truth.hierarchy.own_words[leaf][0];
+        let query = papers.corpus.vocab.name_or_unk(word).to_string();
+        let hits = search(&papers.corpus, &m, &query, 10);
+        assert!(!hits.is_empty());
+        // Most hits should be documents of that ground-truth leaf.
+        let on_topic = hits
+            .iter()
+            .filter(|h| papers.truth.doc_leaf[h.doc] == leaf)
+            .count();
+        assert!(
+            on_topic * 2 >= hits.len(),
+            "only {on_topic}/{} hits on topic",
+            hits.len()
+        );
+        // Results sorted by score.
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn unknown_query_returns_empty() {
+        let (papers, m) = mined();
+        assert!(search(&papers.corpus, &m, "zzzz-not-a-word", 10).is_empty());
+        assert!(search(&papers.corpus, &m, "", 10).is_empty());
+    }
+
+    #[test]
+    fn topic_ranking_prefers_owning_topic() {
+        let (papers, m) = mined();
+        let leaf = papers.truth.hierarchy.leaves[0];
+        let word = papers.truth.hierarchy.own_words[leaf][0];
+        let ranked = rank_topics(&m, &[word], 5);
+        assert!(!ranked.is_empty());
+        // The top-ranked non-root topic should carry the word in its
+        // phrase table.
+        let (t, s) = ranked[0];
+        assert!(s > 0.0);
+        assert!(m.phrase_topic_freq[t].keys().any(|p| p.contains(&word)));
+    }
+}

@@ -1,0 +1,44 @@
+//! Document model, vocabulary interning, tokenization, and synthetic data
+//! generators for the `lesm` workspace.
+//!
+//! The dissertation's experiments run on DBLP titles, Google News crawls,
+//! labeled arXiv titles and academic-genealogy ground truth — none of which
+//! can ship with an offline reproduction. This crate provides
+//! *behaviour-preserving* synthetic substitutes (module [`synth`]): every
+//! generator draws from an explicit ground-truth structure (a topic
+//! hierarchy, entity→topic affinities, an advisor forest) so downstream
+//! experiments can score methods against exact truth. See `DESIGN.md` §3 for
+//! the substitution table.
+
+pub mod doc;
+pub mod io;
+pub mod synth;
+pub mod text;
+pub mod vocab;
+
+pub use doc::{Corpus, Doc, EntityCatalog, EntityRef};
+pub use io::{load_tsv, LoadOptions};
+pub use vocab::Vocabulary;
+
+/// Errors produced by corpus construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusError {
+    /// An entity type index was out of range for the catalog.
+    UnknownEntityType(usize),
+    /// A document index was out of range.
+    DocOutOfRange(usize),
+    /// A generator was configured with impossible parameters.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::UnknownEntityType(t) => write!(f, "unknown entity type {t}"),
+            CorpusError::DocOutOfRange(d) => write!(f, "document index {d} out of range"),
+            CorpusError::InvalidConfig(msg) => write!(f, "invalid generator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}

@@ -1,0 +1,364 @@
+//! Synthetic academic genealogy (the Mathematics-Genealogy stand-in for the
+//! TPFG experiments of §6.1.6).
+//!
+//! The generator first draws an advisor forest with per-author career
+//! timelines, then emits paper records that carry the temporal signals TPFG
+//! exploits:
+//!
+//! * an advisor always starts publishing years before the advisee
+//!   (Assumption 6.2);
+//! * during the advising interval the pair's co-publication count rises
+//!   (rule R2's Kulczynski increase) and the advisor out-publishes the
+//!   advisee (positive imbalance ratio, rule R1);
+//! * after graduation the collaboration decays;
+//! * noise collaborations with contemporaries create false candidates.
+
+use crate::CorpusError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One synthetic paper: a year and its author list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenPaper {
+    /// Publication year.
+    pub year: i32,
+    /// Author ids (indices in `0..n_authors`).
+    pub authors: Vec<u32>,
+}
+
+/// Configuration for [`Genealogy::generate`].
+#[derive(Debug, Clone)]
+pub struct GenealogyConfig {
+    /// Number of authors.
+    pub n_authors: usize,
+    /// Career-start era (inclusive years).
+    pub era: (i32, i32),
+    /// Advising duration range in years.
+    pub advising_years: (u32, u32),
+    /// Expected random (non-advising) collaborations per author-year.
+    pub coauthor_noise: f64,
+    /// Maximum simultaneous advisees per advisor.
+    pub max_advisees: usize,
+    /// Probability an author also gets a *confounder*: a senior
+    /// collaborator (not the advisor) with a sustained multi-year
+    /// co-publication burst that passes the R1–R4 filters. Confounders are
+    /// what makes the task non-trivial (postdoc hosts, senior co-authors).
+    pub confounder_prob: f64,
+    /// Probability the advisor's co-publications are dropped from the
+    /// record (simulating incomplete bibliographies; bounds every method's
+    /// achievable recall).
+    pub missing_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenealogyConfig {
+    fn default() -> Self {
+        Self {
+            n_authors: 300,
+            era: (1970, 2010),
+            advising_years: (4, 6),
+            coauthor_noise: 0.35,
+            max_advisees: 6,
+            confounder_prob: 0.6,
+            missing_prob: 0.05,
+            seed: 17,
+        }
+    }
+}
+
+/// A generated genealogy: observable papers plus the latent advisor forest.
+#[derive(Debug, Clone)]
+pub struct Genealogy {
+    /// Number of authors.
+    pub n_authors: usize,
+    /// All generated papers (ascending year order).
+    pub papers: Vec<GenPaper>,
+    /// Ground-truth advisor of each author (`None` for roots).
+    pub advisor: Vec<Option<u32>>,
+    /// Ground-truth advising interval `[start, end]` per author.
+    pub interval: Vec<Option<(i32, i32)>>,
+    /// Career start (first publication year) per author.
+    pub start_year: Vec<i32>,
+    /// Whether the advising co-publications were dropped from the record
+    /// (such authors' advisors are unrecoverable from the data).
+    pub missing: Vec<bool>,
+}
+
+impl Genealogy {
+    /// Generates a genealogy per `config`.
+    pub fn generate(config: &GenealogyConfig) -> Result<Self, CorpusError> {
+        if config.n_authors < 2 {
+            return Err(CorpusError::InvalidConfig("need at least 2 authors".into()));
+        }
+        if config.era.0 >= config.era.1 {
+            return Err(CorpusError::InvalidConfig("era must span at least 2 years".into()));
+        }
+        if config.advising_years.0 < 1 || config.advising_years.0 > config.advising_years.1 {
+            return Err(CorpusError::InvalidConfig("bad advising_years range".into()));
+        }
+        let n = config.n_authors;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Career starts, sorted so that author ids increase with start year;
+        // this makes "advisor has smaller id" a convenient (not required)
+        // invariant for tests.
+        let mut start_year: Vec<i32> =
+            (0..n).map(|_| rng.gen_range(config.era.0..=config.era.1)).collect();
+        start_year.sort_unstable();
+
+        // Advisor forest.
+        let mut advisor: Vec<Option<u32>> = vec![None; n];
+        let mut interval: Vec<Option<(i32, i32)>> = vec![None; n];
+        let mut advisee_count = vec![0usize; n];
+        for i in 0..n {
+            let s_i = start_year[i];
+            // Eligible advisors: started >= 6 years earlier, still active,
+            // not over-subscribed.
+            let eligible: Vec<usize> = (0..i)
+                .filter(|&j| {
+                    start_year[j] + 6 <= s_i
+                        && start_year[j] + 40 >= s_i
+                        && advisee_count[j] < config.max_advisees
+                })
+                .collect();
+            if eligible.is_empty() {
+                continue; // a root
+            }
+            let j = eligible[rng.gen_range(0..eligible.len())];
+            advisor[i] = Some(j as u32);
+            advisee_count[j] += 1;
+            let dur = rng.gen_range(config.advising_years.0..=config.advising_years.1) as i32;
+            interval[i] = Some((s_i, s_i + dur - 1));
+        }
+
+        // Confounders: a senior non-advisor collaborator with a sustained
+        // burst; its intensity is randomized so local measures are
+        // sometimes fooled. For authors who later advise students, the
+        // burst is placed to overlap their first advisee's start year, so
+        // the Assumption 6.1 time constraint (not local evidence) is what
+        // rules the confounder out — the signal TPFG exploits and IndMAX
+        // cannot.
+        let mut first_advisee_start = vec![i32::MAX; n];
+        for i in 0..n {
+            if let (Some(a), Some((st, _))) = (advisor[i], interval[i]) {
+                let a = a as usize;
+                first_advisee_start[a] = first_advisee_start[a].min(st);
+            }
+        }
+        let mut confounder: Vec<Option<(u32, i32, i32, u32)>> = vec![None; n]; // (who, st, ed, rate)
+        for i in 0..n {
+            if advisor[i].is_none() || !rng.gen_bool(config.confounder_prob.clamp(0.0, 1.0)) {
+                continue;
+            }
+            let s_i = start_year[i];
+            let candidates: Vec<usize> = (0..n)
+                .filter(|&j| {
+                    j != i
+                        && Some(j as u32) != advisor[i]
+                        && start_year[j] + 6 <= s_i
+                        && start_year[j] + 40 >= s_i
+                })
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let j = candidates[rng.gen_range(0..candidates.len())];
+            let dur = rng.gen_range(3..=4);
+            let st = if first_advisee_start[i] < i32::MAX {
+                (first_advisee_start[i] - rng.gen_range(0..dur)).max(s_i + 1)
+            } else {
+                s_i + rng.gen_range(1..=8)
+            };
+            let rate = rng.gen_range(1..=3u32);
+            confounder[i] = Some((j as u32, st, st + dur - 1, rate));
+        }
+        // Missing advisors: the record drops the advising co-publications.
+        let missing: Vec<bool> =
+            (0..n).map(|_| rng.gen_bool(config.missing_prob.clamp(0.0, 1.0))).collect();
+
+        // Papers.
+        let horizon = config.era.1 + 10;
+        let mut papers: Vec<GenPaper> = Vec::new();
+        for i in 0..n {
+            let s_i = start_year[i];
+            let active_end = (s_i + 35).min(horizon);
+            for y in s_i..=active_end {
+                // Confounder co-publications (rising like an advisor's,
+                // with yearly jitter).
+                if let Some((j, cst, ced, rate)) = confounder[i] {
+                    if y >= cst && y <= ced {
+                        let base = (1 + (y - cst) as u32).min(rate);
+                        let count = base + rng.gen_range(0..=1);
+                        for _ in 0..count {
+                            papers.push(GenPaper { year: y, authors: vec![i as u32, j] });
+                        }
+                    }
+                }
+                // Advising-period co-publications with rising (jittered)
+                // count; the first year always produces at least one paper.
+                if let (Some(a), Some((st, ed))) = (advisor[i], interval[i]) {
+                    if missing[i] {
+                        // dropped from the record
+                    } else if y >= st && y <= ed {
+                        let base = (1 + (y - st)).min(3) as u32;
+                        let jitter = rng.gen_range(0..=1u32);
+                        let count = if y == st { base.max(1) } else { (base + jitter).saturating_sub(1).max(1) };
+                        for _ in 0..count {
+                            papers.push(GenPaper { year: y, authors: vec![i as u32, a] });
+                        }
+                    } else if y > ed && y <= ed + 2 {
+                        // Post-graduation decay: occasional joint paper.
+                        if rng.gen_bool(0.4) {
+                            papers.push(GenPaper { year: y, authors: vec![i as u32, a] });
+                        }
+                    }
+                }
+                // Solo output: modest while being advised, larger afterwards.
+                let being_advised =
+                    matches!(interval[i], Some((st, ed)) if y >= st && y <= ed) && advisor[i].is_some();
+                let solo = if being_advised { 1 } else { 2 + ((y - s_i) / 8).clamp(0, 3) };
+                for _ in 0..solo {
+                    papers.push(GenPaper { year: y, authors: vec![i as u32] });
+                }
+                // Advisors with current students publish extra (keeps the
+                // imbalance ratio positive during advising).
+                let has_students = (0..n).any(|k| {
+                    advisor[k] == Some(i as u32)
+                        && matches!(interval[k], Some((st, ed)) if y >= st && y <= ed)
+                });
+                if has_students {
+                    for _ in 0..2 {
+                        papers.push(GenPaper { year: y, authors: vec![i as u32] });
+                    }
+                }
+                // Noise collaborations with contemporaries.
+                if rng.gen_bool(config.coauthor_noise.clamp(0.0, 1.0)) {
+                    let contemporaries: Vec<usize> = (0..n)
+                        .filter(|&k| k != i && start_year[k] <= y && y <= start_year[k] + 35)
+                        .collect();
+                    if !contemporaries.is_empty() {
+                        let k = contemporaries[rng.gen_range(0..contemporaries.len())];
+                        papers.push(GenPaper { year: y, authors: vec![i as u32, k as u32] });
+                    }
+                }
+            }
+        }
+        papers.sort_by_key(|p| p.year);
+        Ok(Self { n_authors: n, papers, advisor, interval, start_year, missing })
+    }
+
+    /// Number of ground-truth advisor edges.
+    pub fn num_relations(&self) -> usize {
+        self.advisor.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Verifies the forest is acyclic (always true by construction; used by
+    /// property tests).
+    pub fn is_acyclic(&self) -> bool {
+        for mut cur in 0..self.n_authors {
+            let mut steps = 0;
+            while let Some(a) = self.advisor[cur] {
+                cur = a as usize;
+                steps += 1;
+                if steps > self.n_authors {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Genealogy {
+        Genealogy::generate(&GenealogyConfig { n_authors: 80, ..GenealogyConfig::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn forest_properties() {
+        let g = small();
+        assert!(g.is_acyclic());
+        assert!(g.num_relations() > 20, "most authors should have advisors");
+        for (i, adv) in g.advisor.iter().enumerate() {
+            if let Some(a) = adv {
+                assert!(
+                    g.start_year[*a as usize] + 6 <= g.start_year[i],
+                    "advisor must start >= 6 years earlier"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn papers_sorted_and_well_formed() {
+        let g = small();
+        assert!(!g.papers.is_empty());
+        for w in g.papers.windows(2) {
+            assert!(w[0].year <= w[1].year);
+        }
+        for p in &g.papers {
+            assert!(!p.authors.is_empty());
+            for &a in &p.authors {
+                assert!((a as usize) < g.n_authors);
+            }
+        }
+    }
+
+    #[test]
+    fn advising_pairs_copublish_with_rising_counts() {
+        let g = small();
+        let mut checked = 0;
+        for i in 0..g.n_authors {
+            let (Some(a), Some((st, ed))) = (g.advisor[i], g.interval[i]) else { continue };
+            if ed - st < 2 || g.missing[i] {
+                continue;
+            }
+            let count_in = |y: i32| {
+                g.papers
+                    .iter()
+                    .filter(|p| {
+                        p.year == y
+                            && p.authors.contains(&(i as u32))
+                            && p.authors.contains(&a)
+                    })
+                    .count()
+            };
+            assert!(count_in(st) >= 1);
+            assert!(count_in(st + 2) >= count_in(st), "co-publication should not shrink early");
+            checked += 1;
+        }
+        assert!(checked > 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.advisor, b.advisor);
+        assert_eq!(a.papers.len(), b.papers.len());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Genealogy::generate(&GenealogyConfig {
+            n_authors: 1,
+            ..GenealogyConfig::default()
+        })
+        .is_err());
+        assert!(Genealogy::generate(&GenealogyConfig {
+            era: (2000, 2000),
+            ..GenealogyConfig::default()
+        })
+        .is_err());
+        assert!(Genealogy::generate(&GenealogyConfig {
+            advising_years: (5, 3),
+            ..GenealogyConfig::default()
+        })
+        .is_err());
+    }
+}

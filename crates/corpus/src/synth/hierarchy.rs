@@ -1,0 +1,260 @@
+//! Ground-truth topic hierarchies.
+//!
+//! A [`GroundTruthHierarchy`] plays the role of the real-world latent
+//! structure the dissertation mines: a topic tree where each node owns a
+//! set of unigrams and multi-word phrases, and each leaf has a full word
+//! distribution. Generators sample documents from it; evaluation code
+//! scores recovered structures against it.
+
+use crate::synth::zipf::Zipf;
+use crate::vocab::Vocabulary;
+use crate::CorpusError;
+
+/// One node of the ground-truth topic tree.
+#[derive(Debug, Clone)]
+pub struct TopicNode {
+    /// Parent node index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Child node indices.
+    pub children: Vec<usize>,
+    /// Depth (root = 0).
+    pub level: usize,
+    /// Human-readable path such as `"o/1/2"`.
+    pub path: String,
+}
+
+/// Configuration for [`GroundTruthHierarchy::generate`].
+#[derive(Debug, Clone)]
+pub struct HierarchySpec {
+    /// Children per node at each level; e.g. `[5, 4]` builds a root with 5
+    /// children, each with 4 children (25 leaves + 6 internal nodes).
+    pub branching: Vec<usize>,
+    /// Topic-specific unigrams owned by every node.
+    pub words_per_topic: usize,
+    /// Multi-word phrases owned by every node (built from its own words).
+    pub phrases_per_topic: usize,
+    /// Background (topic-neutral) words shared across the corpus.
+    pub background_words: usize,
+    /// Zipf exponent for within-topic word popularity.
+    pub zipf_s: f64,
+}
+
+impl Default for HierarchySpec {
+    fn default() -> Self {
+        Self {
+            branching: vec![5, 4],
+            words_per_topic: 40,
+            phrases_per_topic: 8,
+            background_words: 60,
+            zipf_s: 1.05,
+        }
+    }
+}
+
+/// A fully materialized ground-truth hierarchy.
+#[derive(Debug, Clone)]
+pub struct GroundTruthHierarchy {
+    /// Tree nodes; node 0 is the root.
+    pub nodes: Vec<TopicNode>,
+    /// Indices of leaf nodes.
+    pub leaves: Vec<usize>,
+    /// Words owned by each node (ids into [`Self::vocab`]).
+    pub own_words: Vec<Vec<u32>>,
+    /// Phrases owned by each node, as token-id sequences.
+    pub phrases: Vec<Vec<Vec<u32>>>,
+    /// Background word ids.
+    pub background: Vec<u32>,
+    /// The word vocabulary (generators share it with the emitted corpus).
+    pub vocab: Vocabulary,
+    /// Zipf sampler over a node's own words.
+    pub word_zipf: Zipf,
+}
+
+impl GroundTruthHierarchy {
+    /// Generates a hierarchy per `spec`. Word names are synthetic but
+    /// readable (`"t3w7"`, `"bg12"`); phrase words are drawn from each
+    /// node's own words so ground-truth phrases are perfectly concordant.
+    pub fn generate(spec: &HierarchySpec) -> Result<Self, CorpusError> {
+        if spec.branching.is_empty() {
+            return Err(CorpusError::InvalidConfig("branching must be non-empty".into()));
+        }
+        if spec.branching.contains(&0) {
+            return Err(CorpusError::InvalidConfig("branching factors must be >= 1".into()));
+        }
+        if spec.words_per_topic < 4 {
+            return Err(CorpusError::InvalidConfig("need at least 4 words per topic".into()));
+        }
+        let mut nodes = vec![TopicNode { parent: None, children: vec![], level: 0, path: "o".into() }];
+        let mut frontier = vec![0usize];
+        for &b in &spec.branching {
+            let mut next = Vec::new();
+            for &p in &frontier {
+                for c in 0..b {
+                    let id = nodes.len();
+                    let path = format!("{}/{}", nodes[p].path, c + 1);
+                    nodes.push(TopicNode {
+                        parent: Some(p),
+                        children: vec![],
+                        level: nodes[p].level + 1,
+                        path,
+                    });
+                    nodes[p].children.push(id);
+                    next.push(id);
+                }
+            }
+            frontier = next;
+        }
+        let leaves = frontier;
+        let mut vocab = Vocabulary::new();
+        let mut own_words = Vec::with_capacity(nodes.len());
+        for t in 0..nodes.len() {
+            let words: Vec<u32> =
+                (0..spec.words_per_topic).map(|i| vocab.intern(&format!("t{t}w{i}"))).collect();
+            own_words.push(words);
+        }
+        let background: Vec<u32> =
+            (0..spec.background_words).map(|i| vocab.intern(&format!("bg{i}"))).collect();
+        // Phrases: node t's i-th phrase uses consecutive own words so that
+        // the words co-occur far above chance (the concordance criterion).
+        let mut phrases = Vec::with_capacity(nodes.len());
+        for words in &own_words {
+            let mut ps = Vec::with_capacity(spec.phrases_per_topic);
+            for i in 0..spec.phrases_per_topic {
+                let len = 2 + (i % 2); // alternate bigrams and trigrams
+                let start = (i * 2) % (words.len().saturating_sub(len).max(1));
+                let phrase: Vec<u32> = (0..len).map(|j| words[(start + j) % words.len()]).collect();
+                ps.push(phrase);
+            }
+            phrases.push(ps);
+        }
+        let word_zipf = Zipf::new(spec.words_per_topic, spec.zipf_s);
+        Ok(Self { nodes, leaves, own_words, phrases, background, vocab, word_zipf })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the hierarchy is trivial (never true after `generate`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ancestors of `t` from parent to root (exclusive of `t`).
+    pub fn ancestors(&self, t: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[t].parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.nodes[p].parent;
+        }
+        out
+    }
+
+    /// The leaf-index (position in `self.leaves`) of node `t`, if a leaf.
+    pub fn leaf_index(&self, t: usize) -> Option<usize> {
+        self.leaves.iter().position(|&l| l == t)
+    }
+
+    /// Depth-first check that a word belongs to the subtree rooted at `t`.
+    pub fn subtree_owns_word(&self, t: usize, w: u32) -> bool {
+        if self.own_words[t].contains(&w) {
+            return true;
+        }
+        self.nodes[t].children.iter().any(|&c| self.subtree_owns_word(c, w))
+    }
+
+    /// The set of topic nodes on the root-to-leaf path for leaf node `t`
+    /// (root first, `t` last).
+    pub fn path_nodes(&self, t: usize) -> Vec<usize> {
+        let mut anc = self.ancestors(t);
+        anc.reverse();
+        anc.push(t);
+        anc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GroundTruthHierarchy {
+        GroundTruthHierarchy::generate(&HierarchySpec {
+            branching: vec![3, 2],
+            words_per_topic: 10,
+            phrases_per_topic: 4,
+            background_words: 5,
+            zipf_s: 1.0,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn tree_shape() {
+        let h = small();
+        // 1 root + 3 + 6 = 10 nodes, 6 leaves.
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.leaves.len(), 6);
+        assert_eq!(h.nodes[0].children.len(), 3);
+        for &l in &h.leaves {
+            assert_eq!(h.nodes[l].level, 2);
+            assert!(h.nodes[l].children.is_empty());
+        }
+    }
+
+    #[test]
+    fn paths_follow_parents() {
+        let h = small();
+        let first_child = h.nodes[0].children[0];
+        assert_eq!(h.nodes[first_child].path, "o/1");
+        let grandchild = h.nodes[first_child].children[1];
+        assert_eq!(h.nodes[grandchild].path, "o/1/2");
+        assert_eq!(h.ancestors(grandchild), vec![first_child, 0]);
+        assert_eq!(h.path_nodes(grandchild), vec![0, first_child, grandchild]);
+    }
+
+    #[test]
+    fn words_are_disjoint_across_topics() {
+        let h = small();
+        for t in 0..h.len() {
+            for u in (t + 1)..h.len() {
+                for w in &h.own_words[t] {
+                    assert!(!h.own_words[u].contains(w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phrases_use_own_words() {
+        let h = small();
+        for t in 0..h.len() {
+            for p in &h.phrases[t] {
+                assert!(p.len() >= 2);
+                for w in p {
+                    assert!(h.own_words[t].contains(w), "phrase word outside topic");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(GroundTruthHierarchy::generate(&HierarchySpec {
+            branching: vec![],
+            ..HierarchySpec::default()
+        })
+        .is_err());
+        assert!(GroundTruthHierarchy::generate(&HierarchySpec {
+            branching: vec![0],
+            ..HierarchySpec::default()
+        })
+        .is_err());
+        assert!(GroundTruthHierarchy::generate(&HierarchySpec {
+            words_per_topic: 2,
+            ..HierarchySpec::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Labeled flat-category corpora (the arXiv-physics stand-in of §4.4.1).
+//!
+//! The MI_K experiment (Figure 4.2) needs documents carrying gold category
+//! labels whose vocabulary correlates with the label. [`LabeledCorpus`]
+//! reuses the hierarchical generator with a single-level tree and keeps the
+//! leaf index as the document label.
+
+use crate::synth::hierarchy::HierarchySpec;
+use crate::synth::papers::{PapersConfig, PapersGroundTruth, SyntheticPapers};
+use crate::Corpus;
+use crate::CorpusError;
+
+/// Configuration for [`LabeledCorpus::generate`].
+#[derive(Debug, Clone)]
+pub struct LabeledConfig {
+    /// Number of categories (arXiv uses 5 physics subfields).
+    pub n_categories: usize,
+    /// Number of documents.
+    pub n_docs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LabeledConfig {
+    fn default() -> Self {
+        Self { n_categories: 5, n_docs: 2_000, seed: 7 }
+    }
+}
+
+/// A flat labeled corpus plus ground truth.
+#[derive(Debug, Clone)]
+pub struct LabeledCorpus {
+    /// The observable data; `Doc::label` is the gold category.
+    pub corpus: Corpus,
+    /// Generator ground truth (category = leaf index).
+    pub truth: PapersGroundTruth,
+}
+
+impl LabeledCorpus {
+    /// Generates a labeled corpus with `config.n_categories` categories.
+    pub fn generate(config: &LabeledConfig) -> Result<Self, CorpusError> {
+        if config.n_categories == 0 {
+            return Err(CorpusError::InvalidConfig("need at least one category".into()));
+        }
+        let papers_cfg = PapersConfig {
+            hierarchy: HierarchySpec {
+                branching: vec![config.n_categories],
+                words_per_topic: 60,
+                phrases_per_topic: 12,
+                background_words: 80,
+                zipf_s: 1.0,
+            },
+            n_docs: config.n_docs,
+            title_len: (6, 12),
+            phrase_prob: 0.5,
+            background_prob: 0.15,
+            mix_noise: 0.06,
+            root_phrase_prob: 0.0,
+            entity_specs: vec![],
+            years: (2010, 2013),
+            seed: config.seed,
+        };
+        let papers = SyntheticPapers::generate(&papers_cfg)?;
+        Ok(Self { corpus: papers.corpus, truth: papers.truth })
+    }
+
+    /// Number of categories.
+    pub fn n_categories(&self) -> usize {
+        self.truth.hierarchy.leaves.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_cover_all_categories() {
+        let lc = LabeledCorpus::generate(&LabeledConfig { n_categories: 5, n_docs: 500, seed: 3 })
+            .unwrap();
+        assert_eq!(lc.n_categories(), 5);
+        let mut seen = [false; 5];
+        for d in &lc.corpus.docs {
+            let l = d.label.expect("every doc labeled") as usize;
+            assert!(l < 5);
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all categories represented");
+    }
+
+    #[test]
+    fn zero_categories_rejected() {
+        assert!(LabeledCorpus::generate(&LabeledConfig {
+            n_categories: 0,
+            n_docs: 10,
+            seed: 1
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn label_correlates_with_vocabulary() {
+        let lc = LabeledCorpus::generate(&LabeledConfig::default()).unwrap();
+        // For each doc, the plurality of topical words should belong to the
+        // doc's own category.
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for d in &lc.corpus.docs {
+            let label_leaf = lc.truth.hierarchy.leaves[d.label.unwrap() as usize];
+            let mut own = 0;
+            let mut topical = 0;
+            for &w in &d.tokens {
+                if let Some(t) = lc.truth.word_topic(w) {
+                    topical += 1;
+                    if t == label_leaf {
+                        own += 1;
+                    }
+                }
+            }
+            if topical > 0 {
+                total += 1;
+                if own * 2 >= topical {
+                    correct += 1;
+                }
+            }
+        }
+        let frac = correct as f64 / total as f64;
+        assert!(frac > 0.7, "label/vocabulary correlation too weak: {frac:.3}");
+    }
+}

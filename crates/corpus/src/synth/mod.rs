@@ -1,0 +1,19 @@
+//! Synthetic data generators with explicit ground truth.
+//!
+//! Each generator substitutes for a dataset the dissertation evaluates on
+//! (DESIGN.md §3). The generators are *structure-first*: they first draw a
+//! latent structure (topic hierarchy, entity affinities, advisor forest) and
+//! then emit observable data from it, so experiments can score any mining
+//! method against exact truth.
+
+pub mod genealogy;
+pub mod hierarchy;
+pub mod labeled;
+pub mod papers;
+pub mod zipf;
+
+pub use genealogy::{Genealogy, GenealogyConfig, GenPaper};
+pub use hierarchy::{GroundTruthHierarchy, HierarchySpec, TopicNode};
+pub use labeled::{LabeledConfig, LabeledCorpus};
+pub use papers::{EntitySpec, PapersConfig, PapersGroundTruth, SyntheticPapers};
+pub use zipf::Zipf;

@@ -1,0 +1,496 @@
+//! Synthetic DBLP-like and NEWS-like corpora.
+//!
+//! [`SyntheticPapers::generate`] draws a ground-truth topic hierarchy and
+//! emits short documents ("titles") plus typed entity links from it. The
+//! generator reproduces the statistical signals the dissertation's methods
+//! exploit:
+//!
+//! * topical words and *contiguous* topical phrases (for CATHY / ToPMine);
+//! * entity pools attached at a configurable tree level — venues at the top
+//!   level (discriminative for areas, useless for subareas, cf. Fig 3.8),
+//!   authors at the leaves;
+//! * "prolific" shared entities spanning many topics (the stars that purity
+//!   must demote in Table 5.3);
+//! * background words and cross-topic mixing noise.
+
+use crate::doc::{Corpus, Doc, EntityRef};
+use crate::synth::hierarchy::{GroundTruthHierarchy, HierarchySpec};
+use crate::synth::zipf::Zipf;
+use crate::CorpusError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one entity type in the generator.
+#[derive(Debug, Clone)]
+pub struct EntitySpec {
+    /// Display name ("author", "venue", "person", "location").
+    pub name: String,
+    /// Tree level the pools attach to (0 = root, `branching.len()` = leaves).
+    pub level: usize,
+    /// Dedicated entities per node at `level`.
+    pub pool_per_node: usize,
+    /// Prolific entities shared across all topics.
+    pub shared_pool: usize,
+    /// Min/max entities of this type linked to a document.
+    pub per_doc: (usize, usize),
+    /// Probability an entity is drawn from the document's own-topic pool.
+    pub dedication: f64,
+    /// Zipf exponent over the pool (entity productivity skew).
+    pub zipf_s: f64,
+}
+
+/// Configuration for [`SyntheticPapers::generate`].
+#[derive(Debug, Clone)]
+pub struct PapersConfig {
+    /// Topic tree shape and vocabulary sizes.
+    pub hierarchy: HierarchySpec,
+    /// Number of documents to emit.
+    pub n_docs: usize,
+    /// Min/max title length in tokens.
+    pub title_len: (usize, usize),
+    /// Probability each emission step produces a phrase (contiguous tokens).
+    pub phrase_prob: f64,
+    /// Probability a unigram is a background word.
+    pub background_prob: f64,
+    /// Probability a unigram leaks from a random other leaf topic.
+    pub mix_noise: f64,
+    /// Probability that a phrase emission sourced at the *root* actually
+    /// produces a phrase (vs falling back to a unigram). Stopword-filtered
+    /// title corpora have almost no corpus-wide phrases, so flat labeled
+    /// corpora set this to 0.
+    pub root_phrase_prob: f64,
+    /// Entity types to attach.
+    pub entity_specs: Vec<EntitySpec>,
+    /// Publication-year range (inclusive).
+    pub years: (i32, i32),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PapersConfig {
+    /// DBLP-like preset: 2-level hierarchy (areas / subareas), authors at the
+    /// leaves, venues at level 1 — matching the schema of §3.3.
+    pub fn dblp(n_docs: usize, seed: u64) -> Self {
+        Self {
+            hierarchy: HierarchySpec { branching: vec![5, 4], ..HierarchySpec::default() },
+            n_docs,
+            title_len: (6, 12),
+            phrase_prob: 0.55,
+            background_prob: 0.12,
+            mix_noise: 0.05,
+            root_phrase_prob: 1.0,
+            entity_specs: vec![
+                EntitySpec {
+                    name: "author".into(),
+                    level: 2,
+                    pool_per_node: 30,
+                    shared_pool: 12,
+                    per_doc: (2, 4),
+                    dedication: 0.85,
+                    zipf_s: 1.1,
+                },
+                EntitySpec {
+                    name: "venue".into(),
+                    level: 1,
+                    pool_per_node: 4,
+                    shared_pool: 1,
+                    per_doc: (1, 1),
+                    dedication: 0.92,
+                    zipf_s: 0.8,
+                },
+            ],
+            years: (2000, 2013),
+            seed,
+        }
+    }
+
+    /// NEWS-like preset: 16 flat top stories, noisy automatically-extracted
+    /// person/location links — matching the NEWS dataset of §3.3.
+    pub fn news(n_docs: usize, seed: u64) -> Self {
+        Self {
+            hierarchy: HierarchySpec {
+                branching: vec![16],
+                words_per_topic: 50,
+                phrases_per_topic: 10,
+                background_words: 80,
+                zipf_s: 1.0,
+            },
+            n_docs,
+            title_len: (8, 16),
+            phrase_prob: 0.45,
+            background_prob: 0.2,
+            mix_noise: 0.08,
+            root_phrase_prob: 0.5,
+            entity_specs: vec![
+                EntitySpec {
+                    name: "person".into(),
+                    level: 1,
+                    pool_per_node: 20,
+                    shared_pool: 10,
+                    per_doc: (1, 3),
+                    dedication: 0.7,
+                    zipf_s: 1.0,
+                },
+                EntitySpec {
+                    name: "location".into(),
+                    level: 1,
+                    pool_per_node: 15,
+                    shared_pool: 8,
+                    per_doc: (1, 3),
+                    dedication: 0.65,
+                    zipf_s: 1.0,
+                },
+            ],
+            years: (2012, 2013),
+            seed,
+        }
+    }
+}
+
+/// Ground truth emitted alongside the corpus.
+#[derive(Debug, Clone)]
+pub struct PapersGroundTruth {
+    /// The latent topic hierarchy documents were sampled from.
+    pub hierarchy: GroundTruthHierarchy,
+    /// Leaf topic (node index) of every document.
+    pub doc_leaf: Vec<usize>,
+    /// Home node per entity, per type (`None` for shared/prolific entities).
+    pub entity_home: Vec<Vec<Option<usize>>>,
+    /// Empirical entity→leaf link counts, per type: `counts[etype][id]` is a
+    /// sparse `(leaf node, count)` list.
+    pub entity_leaf_counts: Vec<Vec<Vec<(usize, u32)>>>,
+}
+
+impl PapersGroundTruth {
+    /// The ground-truth topic node owning word `w`, if any (background words
+    /// return `None`).
+    pub fn word_topic(&self, w: u32) -> Option<usize> {
+        for (t, words) in self.hierarchy.own_words.iter().enumerate() {
+            if words.contains(&w) {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Normalized leaf distribution for an entity.
+    pub fn entity_leaf_dist(&self, etype: usize, id: u32) -> Vec<(usize, f64)> {
+        let counts = &self.entity_leaf_counts[etype][id as usize];
+        let total: u32 = counts.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        counts.iter().map(|&(l, c)| (l, c as f64 / total as f64)).collect()
+    }
+}
+
+/// A generated corpus plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticPapers {
+    /// The observable data.
+    pub corpus: Corpus,
+    /// The latent structure it was sampled from.
+    pub truth: PapersGroundTruth,
+}
+
+impl SyntheticPapers {
+    /// Generates a corpus per `config`.
+    pub fn generate(config: &PapersConfig) -> Result<Self, CorpusError> {
+        if config.n_docs == 0 {
+            return Err(CorpusError::InvalidConfig("n_docs must be positive".into()));
+        }
+        if config.title_len.0 < 2 || config.title_len.0 > config.title_len.1 {
+            return Err(CorpusError::InvalidConfig("bad title_len range".into()));
+        }
+        let max_level = config.hierarchy.branching.len();
+        for es in &config.entity_specs {
+            if es.level > max_level {
+                return Err(CorpusError::InvalidConfig(format!(
+                    "entity type {} attaches at level {} but tree depth is {max_level}",
+                    es.name, es.level
+                )));
+            }
+            if es.per_doc.0 > es.per_doc.1 {
+                return Err(CorpusError::InvalidConfig("bad per_doc range".into()));
+            }
+        }
+        let hierarchy = GroundTruthHierarchy::generate(&config.hierarchy)?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut corpus = Corpus::new();
+        corpus.vocab = hierarchy.vocab.clone();
+
+        // --- Entity pools -------------------------------------------------
+        // pools[etype][node-at-level index] = Vec<entity id>; shared ids too.
+        let mut pools: Vec<Vec<Vec<u32>>> = Vec::new();
+        let mut shared: Vec<Vec<u32>> = Vec::new();
+        let mut entity_home: Vec<Vec<Option<usize>>> = Vec::new();
+        let mut level_nodes: Vec<Vec<usize>> = Vec::new();
+        for (t_idx, es) in config.entity_specs.iter().enumerate() {
+            let etype = corpus.entities.add_type(&es.name);
+            debug_assert_eq!(etype, t_idx);
+            let nodes_at: Vec<usize> =
+                (0..hierarchy.len()).filter(|&n| hierarchy.nodes[n].level == es.level).collect();
+            let mut type_pools = Vec::with_capacity(nodes_at.len());
+            let mut homes = Vec::new();
+            for &node in &nodes_at {
+                let mut pool = Vec::with_capacity(es.pool_per_node);
+                for i in 0..es.pool_per_node {
+                    let e = corpus
+                        .entities
+                        .intern(etype, &format!("{}_{}_{}", es.name, hierarchy.nodes[node].path, i))?;
+                    pool.push(e.id);
+                    homes.push(Some(node));
+                }
+                type_pools.push(pool);
+            }
+            let mut shared_pool = Vec::with_capacity(es.shared_pool);
+            for i in 0..es.shared_pool {
+                let e = corpus.entities.intern(etype, &format!("{}_shared_{}", es.name, i))?;
+                shared_pool.push(e.id);
+                homes.push(None);
+            }
+            pools.push(type_pools);
+            shared.push(shared_pool);
+            entity_home.push(homes);
+            level_nodes.push(nodes_at);
+        }
+
+        // --- Documents -----------------------------------------------------
+        let n_leaves = hierarchy.leaves.len();
+        let leaf_zipf = Zipf::new(n_leaves, 0.3); // mild popularity skew over topics
+        let mut doc_leaf = Vec::with_capacity(config.n_docs);
+        let mut entity_leaf_counts: Vec<Vec<Vec<(usize, u32)>>> = config
+            .entity_specs
+            .iter()
+            .enumerate()
+            .map(|(t, _)| vec![Vec::new(); corpus.entities.count(t)])
+            .collect();
+
+        for _ in 0..config.n_docs {
+            let leaf = hierarchy.leaves[leaf_zipf.sample(&mut rng)];
+            let path = hierarchy.path_nodes(leaf);
+            let target_len = rng.gen_range(config.title_len.0..=config.title_len.1);
+            let mut tokens = Vec::with_capacity(target_len + 2);
+            while tokens.len() < target_len {
+                let node = sample_path_node(&path, &mut rng);
+                let phrase_allowed = node != 0 || rng.gen_bool(config.root_phrase_prob);
+                if phrase_allowed && rng.gen_bool(config.phrase_prob) {
+                    let ps = &hierarchy.phrases[node];
+                    if !ps.is_empty() {
+                        let p = &ps[rng.gen_range(0..ps.len())];
+                        tokens.extend_from_slice(p);
+                        continue;
+                    }
+                }
+                // Unigram emission.
+                let w = if rng.gen_bool(config.background_prob) && !hierarchy.background.is_empty()
+                {
+                    hierarchy.background[rng.gen_range(0..hierarchy.background.len())]
+                } else if rng.gen_bool(config.mix_noise) {
+                    let other = hierarchy.leaves[rng.gen_range(0..n_leaves)];
+                    let words = &hierarchy.own_words[other];
+                    words[hierarchy.word_zipf.sample(&mut rng)]
+                } else {
+                    let words = &hierarchy.own_words[node];
+                    words[hierarchy.word_zipf.sample(&mut rng)]
+                };
+                tokens.push(w);
+            }
+            let year = rng.gen_range(config.years.0..=config.years.1);
+            let mut doc = Doc::from_tokens(tokens);
+            doc.year = Some(year);
+            doc.label = hierarchy.leaf_index(leaf).map(|l| l as u32);
+
+            // Entities.
+            for (etype, es) in config.entity_specs.iter().enumerate() {
+                let count = rng.gen_range(es.per_doc.0..=es.per_doc.1);
+                // The document's ancestor node at this type's level.
+                let own_node = path[es.level.min(path.len() - 1)];
+                let own_pool_idx =
+                    level_nodes[etype].iter().position(|&n| n == own_node).unwrap_or(0);
+                let pool_zipf = Zipf::new(es.pool_per_node.max(1), es.zipf_s);
+                let mut chosen = Vec::with_capacity(count);
+                let mut guard = 0;
+                while chosen.len() < count && guard < count * 10 {
+                    guard += 1;
+                    let id = if rng.gen_bool(es.dedication) {
+                        pools[etype][own_pool_idx][pool_zipf.sample(&mut rng)]
+                    } else if !shared[etype].is_empty() && rng.gen_bool(0.5) {
+                        shared[etype][rng.gen_range(0..shared[etype].len())]
+                    } else {
+                        let other = rng.gen_range(0..pools[etype].len());
+                        pools[etype][other][pool_zipf.sample(&mut rng)]
+                    };
+                    if !chosen.contains(&id) {
+                        chosen.push(id);
+                    }
+                }
+                for id in chosen {
+                    doc.entities.push(EntityRef::new(etype, id));
+                    bump(&mut entity_leaf_counts[etype][id as usize], leaf);
+                }
+            }
+            doc_leaf.push(leaf);
+            corpus.docs.push(doc);
+        }
+
+        Ok(Self {
+            corpus,
+            truth: PapersGroundTruth { hierarchy, doc_leaf, entity_home, entity_leaf_counts },
+        })
+    }
+}
+
+/// Samples a node from a root-to-leaf path, biased toward the leaf
+/// (leaf 60%, its parent 30%, remaining mass split among higher ancestors).
+///
+/// The 30% parent share is the hierarchical "glue": sibling leaves share
+/// their parent's vocabulary the way DBLP subareas share area terminology,
+/// which is what makes top-down construction recover coarse topics first.
+fn sample_path_node<R: Rng + ?Sized>(path: &[usize], rng: &mut R) -> usize {
+    let n = path.len();
+    if n == 1 {
+        return path[0];
+    }
+    let u: f64 = rng.gen();
+    if n == 2 {
+        // Flat hierarchy: the root is pure background glue. Stopword-
+        // filtered titles carry little corpus-wide vocabulary, so the glue
+        // share is small (the labeled-corpus / MI_K setting).
+        return if u < 0.88 { path[1] } else { path[0] };
+    }
+    if u < 0.6 {
+        path[n - 1]
+    } else if u < 0.9 {
+        path[n - 2]
+    } else {
+        path[rng.gen_range(0..n - 2)]
+    }
+}
+
+/// Increments the count for `leaf` in a sparse `(leaf, count)` list.
+fn bump(counts: &mut Vec<(usize, u32)>, leaf: usize) {
+    if let Some(entry) = counts.iter_mut().find(|(l, _)| *l == leaf) {
+        entry.1 += 1;
+    } else {
+        counts.push((leaf, 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SyntheticPapers {
+        let mut cfg = PapersConfig::dblp(300, 11);
+        cfg.hierarchy.branching = vec![3, 2];
+        cfg.hierarchy.words_per_topic = 12;
+        cfg.hierarchy.phrases_per_topic = 4;
+        cfg.entity_specs[0].pool_per_node = 8;
+        cfg.entity_specs[1].pool_per_node = 2;
+        SyntheticPapers::generate(&cfg).unwrap()
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let s = tiny();
+        assert_eq!(s.corpus.num_docs(), 300);
+        assert_eq!(s.truth.doc_leaf.len(), 300);
+        assert_eq!(s.corpus.entities.num_types(), 2);
+        for d in &s.corpus.docs {
+            assert!(d.tokens.len() >= 6);
+            assert!(d.year.is_some());
+            // Exactly one venue.
+            assert_eq!(d.entities_of(1).count(), 1);
+            let na = d.entities_of(0).count();
+            assert!((2..=4).contains(&na), "got {na} authors");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.corpus.docs[7].tokens, b.corpus.docs[7].tokens);
+        assert_eq!(a.truth.doc_leaf, b.truth.doc_leaf);
+    }
+
+    #[test]
+    fn doc_words_mostly_from_doc_topic_path() {
+        let s = tiny();
+        let mut on_path = 0usize;
+        let mut total = 0usize;
+        for (d, &leaf) in s.corpus.docs.iter().zip(&s.truth.doc_leaf) {
+            let path = s.truth.hierarchy.path_nodes(leaf);
+            for &w in &d.tokens {
+                total += 1;
+                match s.truth.word_topic(w) {
+                    Some(t) if path.contains(&t) => on_path += 1,
+                    None => on_path += 1, // background words don't violate topicality
+                    _ => {}
+                }
+            }
+        }
+        let frac = on_path as f64 / total as f64;
+        assert!(frac > 0.85, "only {frac:.3} of tokens on-topic");
+    }
+
+    #[test]
+    fn dedicated_entities_concentrate_on_home_subtree() {
+        let s = tiny();
+        let mut consistent = 0usize;
+        let mut checked = 0usize;
+        for (id, home) in s.truth.entity_home[0].iter().enumerate() {
+            let Some(home) = home else { continue };
+            let dist = s.truth.entity_leaf_dist(0, id as u32);
+            if dist.is_empty() {
+                continue;
+            }
+            checked += 1;
+            // The modal leaf should be the home leaf for most dedicated authors.
+            let (best_leaf, _) = dist
+                .iter()
+                .copied()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            if best_leaf == *home {
+                consistent += 1;
+            }
+        }
+        assert!(checked > 10);
+        assert!(
+            consistent as f64 / checked as f64 > 0.7,
+            "only {consistent}/{checked} authors concentrated at home"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = PapersConfig::dblp(10, 1);
+        cfg.n_docs = 0;
+        assert!(SyntheticPapers::generate(&cfg).is_err());
+        let mut cfg = PapersConfig::dblp(10, 1);
+        cfg.entity_specs[0].level = 9;
+        assert!(SyntheticPapers::generate(&cfg).is_err());
+        let mut cfg = PapersConfig::dblp(10, 1);
+        cfg.title_len = (5, 3);
+        assert!(SyntheticPapers::generate(&cfg).is_err());
+    }
+
+    #[test]
+    fn phrases_appear_contiguously() {
+        let s = tiny();
+        // Pick a ground-truth leaf phrase and verify it occurs contiguously
+        // somewhere in the corpus.
+        let leaf = s.truth.hierarchy.leaves[0];
+        let phrase = &s.truth.hierarchy.phrases[leaf][0];
+        let mut found = false;
+        for d in &s.corpus.docs {
+            if d.tokens.windows(phrase.len()).any(|w| w == phrase.as_slice()) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "ground-truth phrase never emitted contiguously");
+    }
+}

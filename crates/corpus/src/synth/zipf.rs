@@ -1,0 +1,112 @@
+//! Zipf-distributed sampling over ranked items.
+
+use rand::Rng;
+
+/// A precomputed Zipf sampler over ranks `0..n` with exponent `s`:
+/// `P(rank r) ∝ 1 / (r + 1)^s`.
+///
+/// Natural-language word frequencies, author productivity and venue sizes
+/// are all approximately Zipfian, which is why every synthetic generator in
+/// this crate draws ranks through this sampler.
+///
+/// ```
+/// use lesm_corpus::synth::Zipf;
+///
+/// let z = Zipf::new(10, 1.2);
+/// assert!(z.pmf(0) > z.pmf(5));
+/// let total: f64 = (0..10).map(|r| z.pmf(r)).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s` (`s >= 0`).
+    ///
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has zero ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first rank whose cumulative mass >= u.
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+
+    /// Probability of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[r] - self.cumulative[r - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(10, 1.2);
+        let total: f64 = (0..10).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_zero_is_most_likely() {
+        let z = Zipf::new(5, 1.0);
+        for r in 1..5 {
+            assert!(z.pmf(0) > z.pmf(r));
+        }
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_follow_ordering() {
+        let z = Zipf::new(20, 1.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 20];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[1] > counts[10]);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+}

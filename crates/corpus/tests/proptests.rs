@@ -1,0 +1,147 @@
+//! Property-based tests for the corpus substrate and the synthetic
+//! generators.
+
+use lesm_corpus::synth::{
+    Genealogy, GenealogyConfig, GroundTruthHierarchy, HierarchySpec, PapersConfig,
+    SyntheticPapers, Zipf,
+};
+use lesm_corpus::text::{is_stopword, stem, tokenize};
+use lesm_corpus::{Corpus, Vocabulary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn vocabulary_roundtrips(names in proptest::collection::vec("[a-z]{1,8}", 1..30)) {
+        let mut v = Vocabulary::new();
+        let ids: Vec<u32> = names.iter().map(|n| v.intern(n)).collect();
+        for (name, &id) in names.iter().zip(&ids) {
+            prop_assert_eq!(v.name(id), Some(name.as_str()));
+            prop_assert_eq!(v.get(name), Some(id));
+        }
+        prop_assert!(v.len() <= names.len());
+    }
+
+    #[test]
+    fn tokenize_yields_alphanumeric_tokens(text in ".{0,120}") {
+        for tok in tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn stem_never_grows_words(word in "[a-z]{1,15}") {
+        let s = stem(&word);
+        prop_assert!(s.len() <= word.len() + 2, "{word} -> {s}"); // 'ies'->'y' can add relative to base
+        prop_assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn stopwords_are_lowercase(_x in 0..1) {
+        for w in lesm_corpus::text::STOPWORDS {
+            prop_assert!(is_stopword(w));
+            prop_assert_eq!(&w.to_ascii_lowercase(), w);
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_is_a_decreasing_distribution(n in 1usize..40, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..n {
+            prop_assert!(z.pmf(r - 1) >= z.pmf(r) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn doc_freq_bounded_by_num_docs(texts in proptest::collection::vec("[a-z ]{0,40}", 1..15)) {
+        let mut c = Corpus::new();
+        for t in &texts {
+            c.push_text(t);
+        }
+        let df = c.doc_freq();
+        for &f in &df {
+            prop_assert!((f as usize) <= c.num_docs());
+        }
+        let tf = c.term_freq();
+        for (f, t) in df.iter().zip(&tf) {
+            prop_assert!((*f as u64) <= *t, "doc freq exceeds term freq");
+        }
+    }
+
+    #[test]
+    fn hierarchy_generation_invariants(b1 in 2usize..5, b2 in 1usize..4, words in 4usize..20) {
+        let h = GroundTruthHierarchy::generate(&HierarchySpec {
+            branching: vec![b1, b2],
+            words_per_topic: words,
+            phrases_per_topic: 3,
+            background_words: 5,
+            zipf_s: 1.0,
+        }).unwrap();
+        prop_assert_eq!(h.leaves.len(), b1 * b2);
+        prop_assert_eq!(h.len(), 1 + b1 + b1 * b2);
+        // Every leaf's path has exactly 3 nodes ending at the leaf.
+        for &l in &h.leaves {
+            let p = h.path_nodes(l);
+            prop_assert_eq!(p.len(), 3);
+            prop_assert_eq!(p[0], 0);
+            prop_assert_eq!(*p.last().unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn papers_generator_counts_consistent(n_docs in 20usize..120, seed in 0u64..500) {
+        let mut cfg = PapersConfig::dblp(n_docs, seed);
+        cfg.hierarchy.branching = vec![2, 2];
+        cfg.hierarchy.words_per_topic = 8;
+        cfg.entity_specs[0].pool_per_node = 4;
+        cfg.entity_specs[1].pool_per_node = 2;
+        let s = SyntheticPapers::generate(&cfg).unwrap();
+        prop_assert_eq!(s.corpus.num_docs(), n_docs);
+        prop_assert_eq!(s.truth.doc_leaf.len(), n_docs);
+        for (d, doc) in s.corpus.docs.iter().enumerate() {
+            // Every doc's leaf is an actual leaf of the hierarchy.
+            prop_assert!(s.truth.hierarchy.leaves.contains(&s.truth.doc_leaf[d]));
+            // Entity refs are valid.
+            for e in &doc.entities {
+                prop_assert!(e.etype < s.corpus.entities.num_types());
+                prop_assert!((e.id as usize) < s.corpus.entities.count(e.etype));
+            }
+        }
+        // Entity-leaf counts agree with document links.
+        for etype in 0..2 {
+            let total_links: u32 = s.truth.entity_leaf_counts[etype]
+                .iter()
+                .flat_map(|l| l.iter().map(|&(_, c)| c))
+                .sum();
+            let doc_links: usize = s.corpus.docs.iter().map(|d| d.entities_of(etype).count()).sum();
+            prop_assert_eq!(total_links as usize, doc_links);
+        }
+    }
+
+    #[test]
+    fn genealogy_invariants(n in 10usize..80, seed in 0u64..200) {
+        let g = Genealogy::generate(&GenealogyConfig {
+            n_authors: n,
+            seed,
+            ..GenealogyConfig::default()
+        }).unwrap();
+        prop_assert!(g.is_acyclic());
+        for i in 0..n {
+            if let Some(a) = g.advisor[i] {
+                prop_assert!((a as usize) < n);
+                prop_assert!(g.start_year[a as usize] < g.start_year[i]);
+                let (st, ed) = g.interval[i].unwrap();
+                prop_assert!(st <= ed);
+                prop_assert_eq!(st, g.start_year[i]);
+            } else {
+                prop_assert!(g.interval[i].is_none());
+            }
+        }
+        // Papers are year-sorted.
+        for w in g.papers.windows(2) {
+            prop_assert!(w[0].year <= w[1].year);
+        }
+    }
+}

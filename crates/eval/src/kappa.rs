@@ -1,0 +1,146 @@
+//! Weighted Cohen's kappa for ordinal rating agreement.
+//!
+//! The nKQM@K measure of §4.4.1 weights each phrase's mean judge score by
+//! inter-judge agreement so that unanimous (3,3,3) outranks scattered
+//! (1,3,5). We use linearly weighted Cohen's kappa between two raters and
+//! average over rater pairs for panels of three or more.
+
+/// Linearly weighted Cohen's kappa between two raters over paired ordinal
+/// ratings in `1..=levels`.
+///
+/// Returns `1.0` for perfect agreement; values near `0` indicate chance
+/// agreement. Returns `0.0` for empty input or degenerate marginals.
+///
+/// ```
+/// use lesm_eval::kappa::weighted_cohen_kappa;
+///
+/// let a = [1, 2, 3, 4, 5];
+/// assert!((weighted_cohen_kappa(&a, &a, 5) - 1.0).abs() < 1e-12);
+/// let close = [1, 2, 3, 4, 4];
+/// let far = [5, 4, 3, 2, 1];
+/// assert!(weighted_cohen_kappa(&a, &close, 5) > weighted_cohen_kappa(&a, &far, 5));
+/// ```
+pub fn weighted_cohen_kappa(a: &[u8], b: &[u8], levels: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "raters must score the same items");
+    if a.is_empty() || levels < 2 {
+        return 0.0;
+    }
+    let n = a.len() as f64;
+    let l = levels;
+    let mut observed = vec![vec![0.0; l]; l];
+    let mut marg_a = vec![0.0; l];
+    let mut marg_b = vec![0.0; l];
+    for (&x, &y) in a.iter().zip(b) {
+        let (x, y) = ((x as usize).clamp(1, l) - 1, (y as usize).clamp(1, l) - 1);
+        observed[x][y] += 1.0;
+        marg_a[x] += 1.0;
+        marg_b[y] += 1.0;
+    }
+    let weight = |i: usize, j: usize| 1.0 - (i as f64 - j as f64).abs() / (l - 1) as f64;
+    let mut po = 0.0;
+    let mut pe = 0.0;
+    for i in 0..l {
+        for j in 0..l {
+            po += weight(i, j) * observed[i][j] / n;
+            pe += weight(i, j) * (marg_a[i] / n) * (marg_b[j] / n);
+        }
+    }
+    if (1.0 - pe).abs() < 1e-12 {
+        // Both raters degenerate on one category: full credit iff identical.
+        return if po >= 1.0 - 1e-12 { 1.0 } else { 0.0 };
+    }
+    (po - pe) / (1.0 - pe)
+}
+
+/// Mean pairwise weighted kappa across a panel of raters.
+///
+/// `ratings[r]` holds rater `r`'s scores over the common item list.
+pub fn panel_kappa(ratings: &[Vec<u8>], levels: usize) -> f64 {
+    let r = ratings.len();
+    if r < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0;
+    for i in 0..r {
+        for j in (i + 1)..r {
+            total += weighted_cohen_kappa(&ratings[i], &ratings[j], levels);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Per-item agreement weight in `[0, 1]`: the mean pairwise linear
+/// agreement `1 - |s_i - s_j| / (levels - 1)` over judge pairs.
+///
+/// This is the per-phrase factor used inside nKQM's `score_aw` — a single
+/// item cannot carry a full kappa, so the linear-weight kernel of the kappa
+/// is applied directly.
+pub fn item_agreement(scores: &[u8], levels: usize) -> f64 {
+    let n = scores.len();
+    if n < 2 || levels < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += 1.0 - (scores[i] as f64 - scores[j] as f64).abs() / (levels - 1) as f64;
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        let a = vec![1, 2, 3, 4, 5, 3, 2];
+        assert!((weighted_cohen_kappa(&a, &a, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_agreement_beats_scattered() {
+        let a = vec![3, 3, 4, 2, 5, 1, 3, 4];
+        let close = vec![3, 4, 4, 2, 4, 1, 3, 5];
+        let far = vec![5, 1, 1, 5, 1, 5, 1, 1];
+        let k_close = weighted_cohen_kappa(&a, &close, 5);
+        let k_far = weighted_cohen_kappa(&a, &far, 5);
+        assert!(k_close > k_far);
+    }
+
+    #[test]
+    fn degenerate_identical_raters() {
+        let a = vec![3, 3, 3];
+        assert_eq!(weighted_cohen_kappa(&a, &a, 5), 1.0);
+        let b = vec![4, 4, 4];
+        assert_eq!(weighted_cohen_kappa(&a, &b, 5), 0.0);
+    }
+
+    #[test]
+    fn item_agreement_orders_consensus() {
+        // (3,3,3) has full agreement; (1,3,5) does not.
+        assert!((item_agreement(&[3, 3, 3], 5) - 1.0).abs() < 1e-12);
+        let scattered = item_agreement(&[1, 3, 5], 5);
+        assert!(scattered < 0.7);
+        assert!(scattered > 0.0);
+    }
+
+    #[test]
+    fn panel_averages_pairs() {
+        let ratings = vec![vec![1, 2, 3], vec![1, 2, 3], vec![3, 2, 1]];
+        let k = panel_kappa(&ratings, 3);
+        assert!(k < 1.0);
+        let unanimous = vec![vec![1, 2, 3]; 3];
+        assert!((panel_kappa(&unanimous, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(weighted_cohen_kappa(&[], &[], 5), 0.0);
+    }
+}

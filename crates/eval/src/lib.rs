@@ -1,0 +1,64 @@
+//! Evaluation metrics and simulated annotators.
+//!
+//! Implements every quantitative measure the dissertation's experiments
+//! report: pointwise mutual information and its heterogeneous extension HPMI
+//! (eqs. 3.44–3.45), the nKQM@K phrase-quality measure with weighted Cohen's
+//! kappa agreement (§4.4.1), the MI_K mutual-information curve (§4.4.1),
+//! precision/recall/accuracy for relation mining (§6.1.6), plus the
+//! *simulated annotators* that stand in for the human judges of the
+//! intrusion-detection and coherence studies (see DESIGN.md §3).
+
+// Index-based loops are kept where they mirror the paper's equations.
+#![allow(clippy::needless_range_loop)]
+
+pub mod annotator;
+pub mod kappa;
+pub mod mi;
+pub mod nkqm;
+pub mod perplexity;
+pub mod pmi;
+pub mod relation;
+
+pub use annotator::SimulatedAnnotator;
+pub use perplexity::heldout_perplexity;
+pub use kappa::weighted_cohen_kappa;
+pub use mi::mutual_information_at_k;
+pub use nkqm::nkqm_at_k;
+pub use pmi::{CoOccurrenceStats, hpmi_pair, pmi_topic};
+pub use relation::RelationMetrics;
+
+/// Standardizes scores to z-scores (mean 0, sd 1), the normalization used in
+/// Figures 4.4–4.5. Returns zeros when the standard deviation vanishes.
+pub fn z_scores(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd < 1e-12 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - mean) / sd).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_scores_standardize() {
+        let z = z_scores(&[1.0, 2.0, 3.0]);
+        assert!((z[0] + z[2]).abs() < 1e-12);
+        assert!(z[1].abs() < 1e-12);
+        let mean: f64 = z.iter().sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_scores_constant_input() {
+        assert_eq!(z_scores(&[5.0, 5.0]), vec![0.0, 0.0]);
+        assert!(z_scores(&[]).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! MI_K — mutual information between phrase-represented topics and gold
+//! document categories (§4.4.1, Figure 4.2).
+//!
+//! Each of the top-K phrases per topic is labeled with the topic that ranks
+//! it highest. For every document we look for contained labeled phrases:
+//! if any are present, the joint event count `(topic, category)` is updated
+//! with the averaged counts of the contained phrases; otherwise the count
+//! is spread uniformly over topics. The score is the mutual information of
+//! the resulting joint distribution.
+
+use std::collections::HashMap;
+
+/// Computes MI_K.
+///
+/// * `docs` — token-id sequences.
+/// * `labels` — gold category per document (`0..n_categories`).
+/// * `n_categories` — number of gold categories.
+/// * `topic_phrases` — per topic, its top-K phrases as token sequences
+///   (already deduplicated across topics: each phrase labeled by the topic
+///   ranking it highest).
+pub fn mutual_information_at_k(
+    docs: &[Vec<u32>],
+    labels: &[u32],
+    n_categories: usize,
+    topic_phrases: &[Vec<Vec<u32>>],
+) -> f64 {
+    assert_eq!(docs.len(), labels.len(), "every document needs a label");
+    let k_topics = topic_phrases.len();
+    if k_topics == 0 || n_categories == 0 || docs.is_empty() {
+        return 0.0;
+    }
+    // Index phrases by first token for fast containment scanning.
+    let mut by_first: HashMap<u32, Vec<(usize, &[u32])>> = HashMap::new();
+    for (t, phrases) in topic_phrases.iter().enumerate() {
+        for p in phrases {
+            if let Some(&f) = p.first() {
+                by_first.entry(f).or_default().push((t, p.as_slice()));
+            }
+        }
+    }
+    let mut joint = vec![vec![0.0f64; n_categories]; k_topics];
+    for (doc, &label) in docs.iter().zip(labels) {
+        let c = label as usize;
+        if c >= n_categories {
+            continue;
+        }
+        let mut topic_hits = vec![0.0f64; k_topics];
+        let mut n_hits = 0usize;
+        for start in 0..doc.len() {
+            if let Some(cands) = by_first.get(&doc[start]) {
+                for &(t, p) in cands {
+                    if start + p.len() <= doc.len() && &doc[start..start + p.len()] == p {
+                        topic_hits[t] += 1.0;
+                        n_hits += 1;
+                    }
+                }
+            }
+        }
+        if n_hits > 0 {
+            for (t, h) in topic_hits.iter().enumerate() {
+                if *h > 0.0 {
+                    joint[t][c] += h / n_hits as f64;
+                }
+            }
+        } else {
+            let u = 1.0 / k_topics as f64;
+            for row in joint.iter_mut() {
+                row[c] += u;
+            }
+        }
+    }
+    mutual_information(&joint)
+}
+
+/// Mutual information of an (unnormalized, non-negative) joint count table.
+pub fn mutual_information(joint: &[Vec<f64>]) -> f64 {
+    let total: f64 = joint.iter().flat_map(|r| r.iter()).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let rows = joint.len();
+    let cols = joint.first().map_or(0, Vec::len);
+    let row_sums: Vec<f64> = joint.iter().map(|r| r.iter().sum::<f64>() / total).collect();
+    let mut col_sums = vec![0.0; cols];
+    for r in joint {
+        for (c, &v) in r.iter().enumerate() {
+            col_sums[c] += v / total;
+        }
+    }
+    let mut mi = 0.0;
+    for t in 0..rows {
+        for c in 0..cols {
+            let p = joint[t][c] / total;
+            if p > 0.0 && row_sums[t] > 0.0 && col_sums[c] > 0.0 {
+                mi += p * (p / (row_sums[t] * col_sums[c])).log2();
+            }
+        }
+    }
+    mi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_alignment_has_high_mi() {
+        // 2 categories; topic phrases perfectly predict the category.
+        let docs = vec![vec![0, 1, 2], vec![0, 1, 3], vec![4, 5, 6], vec![4, 5, 7]];
+        let labels = vec![0, 0, 1, 1];
+        let topics = vec![vec![vec![0, 1]], vec![vec![4, 5]]];
+        let mi = mutual_information_at_k(&docs, &labels, 2, &topics);
+        assert!((mi - 1.0).abs() < 1e-9, "perfect 2-way alignment should be 1 bit, got {mi}");
+    }
+
+    #[test]
+    fn uninformative_phrases_have_zero_mi() {
+        let docs = vec![vec![0, 1], vec![0, 1], vec![0, 1], vec![0, 1]];
+        let labels = vec![0, 0, 1, 1];
+        // Both topics claim disjoint phrases that never occur -> uniform spread.
+        let topics = vec![vec![vec![8, 9]], vec![vec![10, 11]]];
+        let mi = mutual_information_at_k(&docs, &labels, 2, &topics);
+        assert!(mi.abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_alignment_between_zero_and_one() {
+        let docs = vec![vec![0, 1], vec![0, 1], vec![4, 5], vec![0, 1]];
+        let labels = vec![0, 0, 1, 1];
+        let topics = vec![vec![vec![0, 1]], vec![vec![4, 5]]];
+        let mi = mutual_information_at_k(&docs, &labels, 2, &topics);
+        assert!(mi > 0.0 && mi < 1.0);
+    }
+
+    #[test]
+    fn mutual_information_of_independent_table_is_zero() {
+        let joint = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert!(mutual_information(&joint).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mutual_information_at_k(&[], &[], 2, &[vec![]]), 0.0);
+        assert_eq!(mutual_information(&[]), 0.0);
+    }
+}

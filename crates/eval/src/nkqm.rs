@@ -1,0 +1,114 @@
+//! nKQM@K — normalized phrase quality measure for top-K phrases (§4.4.1).
+//!
+//! For method `M` with topics `t = 1..T` and per-rank judge scores:
+//!
+//! ```text
+//! nKQM@K = (1/T) * sum_t [ sum_{j=1..K} score_aw(M_{t,j}) / log2(j+1) ] / IdealScore_K
+//! ```
+//!
+//! `score_aw` is the agreement-weighted mean judge score (mean × linear
+//! agreement kernel, see [`crate::kappa::item_agreement`]); `IdealScore_K`
+//! is the DCG of the K best agreement-weighted scores over *all* judged
+//! phrases, making methods comparable.
+
+use crate::kappa::item_agreement;
+
+/// Judge scores (1..=5 Likert) for one ranked phrase.
+pub type JudgeScores = Vec<u8>;
+
+/// Agreement-weighted score of one phrase: mean judge score × agreement.
+pub fn score_aw(scores: &[u8], levels: usize) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let mean = scores.iter().map(|&s| s as f64).sum::<f64>() / scores.len() as f64;
+    mean * item_agreement(scores, levels)
+}
+
+/// Computes nKQM@K.
+///
+/// * `per_topic` — for each topic, the judge-score vectors of that method's
+///   ranked phrases (rank order preserved; may be shorter than `k`).
+/// * `all_judged` — judge-score vectors of every phrase judged in the study
+///   (across all methods), used for the ideal score.
+/// * `k` — cutoff rank.
+/// * `levels` — Likert scale size (5 in the paper).
+pub fn nkqm_at_k(
+    per_topic: &[Vec<JudgeScores>],
+    all_judged: &[JudgeScores],
+    k: usize,
+    levels: usize,
+) -> f64 {
+    if per_topic.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut ideal: Vec<f64> = all_judged.iter().map(|s| score_aw(s, levels)).collect();
+    ideal.sort_by(|a, b| b.partial_cmp(a).expect("non-NaN score"));
+    let ideal_score: f64 = ideal
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(j, s)| s / ((j + 2) as f64).log2())
+        .sum();
+    if ideal_score <= 0.0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for topic in per_topic {
+        let dcg: f64 = topic
+            .iter()
+            .take(k)
+            .enumerate()
+            .map(|(j, scores)| score_aw(scores, levels) / ((j + 2) as f64).log2())
+            .sum();
+        total += dcg / ideal_score;
+    }
+    total / per_topic.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_aw_prefers_consensus() {
+        // Same mean (3), different agreement.
+        assert!(score_aw(&[3, 3, 3], 5) > score_aw(&[1, 3, 5], 5));
+    }
+
+    #[test]
+    fn perfect_method_scores_one() {
+        // One topic whose phrases are exactly the K best judged phrases,
+        // in agreement-weighted score order.
+        let top: Vec<JudgeScores> = vec![vec![5, 5, 5], vec![4, 4, 4], vec![3, 3, 3]];
+        let all = top.clone();
+        let v = nkqm_at_k(&[top], &all, 3, 5);
+        assert!((v - 1.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn worse_ranking_scores_lower() {
+        let good: Vec<JudgeScores> = vec![vec![5, 5, 5], vec![4, 4, 4], vec![2, 2, 2]];
+        let bad: Vec<JudgeScores> = vec![vec![2, 2, 2], vec![4, 4, 4], vec![5, 5, 5]];
+        let all: Vec<JudgeScores> = good.clone();
+        let vg = nkqm_at_k(&[good], &all, 3, 5);
+        let vb = nkqm_at_k(&[bad], &all, 3, 5);
+        assert!(vg > vb);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(nkqm_at_k(&[], &[], 5, 5), 0.0);
+        assert_eq!(nkqm_at_k(&[vec![]], &[vec![3, 3]], 0, 5), 0.0);
+    }
+
+    #[test]
+    fn averages_over_topics() {
+        let t1: Vec<JudgeScores> = vec![vec![5, 5, 5]];
+        let t2: Vec<JudgeScores> = vec![vec![1, 1, 1]];
+        let all = vec![vec![5, 5, 5], vec![1, 1, 1]];
+        let both = nkqm_at_k(&[t1.clone(), t2.clone()], &all, 1, 5);
+        let only_good = nkqm_at_k(&[t1], &all, 1, 5);
+        assert!(only_good > both);
+    }
+}

@@ -1,0 +1,100 @@
+//! Held-out perplexity for topic models.
+//!
+//! §3.3 notes PMI "is generally preferred over other quantitative metrics
+//! such as perplexity or the likelihood of held-out data" — but perplexity
+//! remains the standard sanity metric for the topic-model substrates, so
+//! we provide it alongside PMI.
+
+/// Per-token held-out perplexity of a fitted topic model on unseen
+/// documents.
+///
+/// Document-topic proportions for held-out docs are estimated by a few
+/// fold-in EM steps with the topic-word distributions frozen (the standard
+/// evaluation protocol), then
+/// `perplexity = exp( − Σ log p(w|d) / Σ |d| )`.
+pub fn heldout_perplexity(
+    docs: &[Vec<u32>],
+    topic_word: &[Vec<f64>],
+    alpha: f64,
+    fold_in_iters: usize,
+) -> f64 {
+    let k = topic_word.len();
+    if k == 0 || docs.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut total_ll = 0.0;
+    let mut total_tokens = 0usize;
+    for doc in docs {
+        if doc.is_empty() {
+            continue;
+        }
+        // Fold-in EM over theta with phi fixed.
+        let mut theta = vec![1.0 / k as f64; k];
+        for _ in 0..fold_in_iters.max(1) {
+            let mut counts = vec![alpha; k];
+            for &w in doc {
+                let mut post: Vec<f64> =
+                    (0..k).map(|z| theta[z] * topic_word[z][w as usize].max(1e-300)).collect();
+                let s: f64 = post.iter().sum();
+                if s > 0.0 {
+                    for p in &mut post {
+                        *p /= s;
+                    }
+                }
+                for (c, p) in counts.iter_mut().zip(&post) {
+                    *c += p;
+                }
+            }
+            let s: f64 = counts.iter().sum();
+            theta = counts.into_iter().map(|c| c / s).collect();
+        }
+        for &w in doc {
+            let p: f64 = (0..k).map(|z| theta[z] * topic_word[z][w as usize]).sum();
+            total_ll += p.max(1e-300).ln();
+            total_tokens += 1;
+        }
+    }
+    if total_tokens == 0 {
+        return f64::INFINITY;
+    }
+    (-total_ll / total_tokens as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint "topics" over a 4-word vocabulary.
+    fn phi() -> Vec<Vec<f64>> {
+        vec![vec![0.45, 0.45, 0.05, 0.05], vec![0.05, 0.05, 0.45, 0.45]]
+    }
+
+    #[test]
+    fn good_model_has_lower_perplexity_than_uniform() {
+        let docs = vec![vec![0, 1, 0, 1], vec![2, 3, 2, 3]];
+        let good = heldout_perplexity(&docs, &phi(), 0.1, 10);
+        let uniform = vec![vec![0.25; 4]; 2];
+        let bad = heldout_perplexity(&docs, &uniform, 0.1, 10);
+        assert!(good < bad, "good {good:.2} vs uniform {bad:.2}");
+        // Uniform model's perplexity equals the vocabulary size.
+        assert!((bad - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_docs_raise_perplexity() {
+        // Docs that mix both topics in every position are harder than
+        // single-topic docs under the same model.
+        let pure = vec![vec![0, 1, 0, 1]];
+        let mixed = vec![vec![0, 2, 1, 3]];
+        let p_pure = heldout_perplexity(&pure, &phi(), 0.1, 10);
+        let p_mixed = heldout_perplexity(&mixed, &phi(), 0.1, 10);
+        assert!(p_pure < p_mixed);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(heldout_perplexity(&[], &phi(), 0.1, 5).is_infinite());
+        assert!(heldout_perplexity(&[vec![]], &phi(), 0.1, 5).is_infinite());
+        assert!(heldout_perplexity(&[vec![0]], &[], 0.1, 5).is_infinite());
+    }
+}

@@ -1,0 +1,216 @@
+//! Pointwise mutual information (PMI) and the heterogeneous extension HPMI.
+//!
+//! Eq. 3.44 scores the semantic coherence of one topic's top-K words; the
+//! dissertation extends it to multi-typed topics as HPMI (eq. 3.45). Both
+//! estimate probabilities from document-level co-occurrence frequencies in
+//! the evaluated corpus.
+
+use lesm_corpus::Corpus;
+use std::collections::HashMap;
+
+/// An item whose occurrence statistics HPMI tracks: `(type, id)` where
+/// types follow the collapsed-network convention (entity types first, the
+/// term type last).
+pub type Item = (usize, u32);
+
+/// Document-occurrence statistics for PMI/HPMI estimation.
+///
+/// For every item we store the sorted list of documents containing it;
+/// joint probabilities are computed by sorted-list intersection. Smoothing
+/// (`0.01` pseudo-documents) avoids `-inf` for never-co-occurring pairs.
+#[derive(Debug, Clone)]
+pub struct CoOccurrenceStats {
+    n_docs: usize,
+    postings: HashMap<Item, Vec<u32>>,
+    term_type: usize,
+}
+
+impl CoOccurrenceStats {
+    /// Builds statistics from a corpus. The term type index is
+    /// `corpus.entities.num_types()` (matching `lesm_net::collapsed_network`).
+    pub fn from_corpus(corpus: &Corpus) -> Self {
+        let term_type = corpus.entities.num_types();
+        let mut postings: HashMap<Item, Vec<u32>> = HashMap::new();
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            let d = d as u32;
+            for &w in &doc.tokens {
+                let e = postings.entry((term_type, w)).or_default();
+                if e.last() != Some(&d) {
+                    e.push(d);
+                }
+            }
+            for ent in &doc.entities {
+                let e = postings.entry((ent.etype, ent.id)).or_default();
+                if e.last() != Some(&d) {
+                    e.push(d);
+                }
+            }
+        }
+        Self { n_docs: corpus.num_docs(), postings, term_type }
+    }
+
+    /// The term type index used for word items.
+    pub fn term_type(&self) -> usize {
+        self.term_type
+    }
+
+    /// Number of documents.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Number of documents containing `item`.
+    pub fn count(&self, item: Item) -> usize {
+        self.postings.get(&item).map_or(0, Vec::len)
+    }
+
+    /// Number of documents containing both items.
+    pub fn joint_count(&self, a: Item, b: Item) -> usize {
+        if a == b {
+            return self.count(a);
+        }
+        let (Some(pa), Some(pb)) = (self.postings.get(&a), self.postings.get(&b)) else {
+            return 0;
+        };
+        let (short, long) = if pa.len() <= pb.len() { (pa, pb) } else { (pb, pa) };
+        // Galloping would be faster asymptotically; linear merge is fine for
+        // the top-K lists this metric evaluates.
+        let mut i = 0;
+        let mut j = 0;
+        let mut c = 0;
+        while i < short.len() && j < long.len() {
+            match short[i].cmp(&long[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    c += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Smoothed pointwise mutual information between two items:
+    /// `log p(a, b) / (p(a) p(b))`.
+    pub fn pmi(&self, a: Item, b: Item) -> f64 {
+        const SMOOTH: f64 = 0.01;
+        let n = self.n_docs as f64;
+        let pa = (self.count(a) as f64 + SMOOTH) / n;
+        let pb = (self.count(b) as f64 + SMOOTH) / n;
+        let pab = (self.joint_count(a, b) as f64 + SMOOTH) / n;
+        (pab / (pa * pb)).ln()
+    }
+}
+
+/// PMI of a topic's top-K items of a single type (eq. 3.44): the average
+/// pairwise PMI over unordered pairs.
+pub fn pmi_topic(stats: &CoOccurrenceStats, items: &[Item]) -> f64 {
+    let k = items.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            total += stats.pmi(items[i], items[j]);
+        }
+    }
+    total * 2.0 / (k as f64 * (k - 1) as f64)
+}
+
+/// HPMI between two typed top-K lists (eq. 3.45).
+///
+/// When both lists are the same type this reduces to [`pmi_topic`] on the
+/// first list; for cross-type lists all `|x| * |y|` pairs are averaged.
+pub fn hpmi_pair(stats: &CoOccurrenceStats, x_items: &[Item], y_items: &[Item]) -> f64 {
+    let same_type = !x_items.is_empty()
+        && !y_items.is_empty()
+        && x_items[0].0 == y_items[0].0
+        && x_items == y_items;
+    if same_type {
+        return pmi_topic(stats, x_items);
+    }
+    if x_items.is_empty() || y_items.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for &a in x_items {
+        for &b in y_items {
+            total += stats.pmi(a, b);
+        }
+    }
+    total / (x_items.len() * y_items.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lesm_corpus::Corpus;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        let author = c.entities.add_type("author");
+        // "data mining" pair co-occurs in 3 docs; "data" and "web" never.
+        for _ in 0..3 {
+            let d = c.push_text("data mining");
+            c.link_entity(d, author, "alice").unwrap();
+        }
+        let d = c.push_text("web search");
+        c.link_entity(d, author, "bob").unwrap();
+        c
+    }
+
+    #[test]
+    fn joint_counts_intersect() {
+        let c = corpus();
+        let s = CoOccurrenceStats::from_corpus(&c);
+        let t = s.term_type();
+        let data = (t, c.vocab.get("data").unwrap());
+        let mining = (t, c.vocab.get("mining").unwrap());
+        let web = (t, c.vocab.get("web").unwrap());
+        assert_eq!(s.count(data), 3);
+        assert_eq!(s.joint_count(data, mining), 3);
+        assert_eq!(s.joint_count(data, web), 0);
+        assert_eq!(s.joint_count(data, data), 3);
+    }
+
+    #[test]
+    fn pmi_signs() {
+        let c = corpus();
+        let s = CoOccurrenceStats::from_corpus(&c);
+        let t = s.term_type();
+        let data = (t, c.vocab.get("data").unwrap());
+        let mining = (t, c.vocab.get("mining").unwrap());
+        let web = (t, c.vocab.get("web").unwrap());
+        assert!(s.pmi(data, mining) > 0.0, "perfect co-occurrence is positive");
+        assert!(s.pmi(data, web) < 0.0, "never co-occurring is negative");
+    }
+
+    #[test]
+    fn hpmi_cross_type() {
+        let c = corpus();
+        let s = CoOccurrenceStats::from_corpus(&c);
+        let t = s.term_type();
+        let data = (t, c.vocab.get("data").unwrap());
+        let alice = (0usize, 0u32);
+        let bob = (0usize, 1u32);
+        // alice always with data, bob never.
+        let good = hpmi_pair(&s, &[data], &[alice]);
+        let bad = hpmi_pair(&s, &[data], &[bob]);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn pmi_topic_of_coherent_set_beats_incoherent() {
+        let c = corpus();
+        let s = CoOccurrenceStats::from_corpus(&c);
+        let t = s.term_type();
+        let data = (t, c.vocab.get("data").unwrap());
+        let mining = (t, c.vocab.get("mining").unwrap());
+        let web = (t, c.vocab.get("web").unwrap());
+        assert!(pmi_topic(&s, &[data, mining]) > pmi_topic(&s, &[data, web]));
+        assert_eq!(pmi_topic(&s, &[data]), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Metrics for hierarchical relation mining (§6.1.6).
+//!
+//! TPFG predicts, for every author, a ranked list of potential advisors;
+//! the prediction rule P@(k, θ) accepts the true advisor if it appears in
+//! the top-k candidates with sufficient probability. We report accuracy
+//! over authors with ground truth, plus standard precision/recall/F1 over
+//! pair decisions.
+
+/// Confusion counts over binary pair decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RelationMetrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl RelationMetrics {
+    /// Precision `tp / (tp + fp)` (0 when undefined).
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall `tp / (tp + fn)` (0 when undefined).
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r <= 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all decisions.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.tp + self.tn + self.fp + self.fn_)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Accuracy of parent predictions: the fraction of nodes with ground truth
+/// whose predicted parent matches (the headline number of §6.1.6).
+///
+/// Nodes without ground truth (roots) are skipped; a prediction of `None`
+/// for a node that has a true advisor counts as wrong.
+pub fn parent_accuracy(predicted: &[Option<u32>], truth: &[Option<u32>]) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    let mut total = 0usize;
+    let mut correct = 0usize;
+    for (p, t) in predicted.iter().zip(truth) {
+        if let Some(t) = t {
+            total += 1;
+            if p.as_ref() == Some(t) {
+                correct += 1;
+            }
+        }
+    }
+    ratio(correct, total)
+}
+
+/// Builds pair-level confusion counts from ranked candidate decisions.
+///
+/// `decisions[i]` holds `(candidate, accepted)` pairs for node `i`; the
+/// truth is the node's true parent. Every accepted wrong candidate is a
+/// false positive; a missed true parent is a false negative; accepted true
+/// parents are true positives.
+pub fn pair_metrics(decisions: &[Vec<(u32, bool)>], truth: &[Option<u32>]) -> RelationMetrics {
+    assert_eq!(decisions.len(), truth.len());
+    let mut m = RelationMetrics::default();
+    for (cands, t) in decisions.iter().zip(truth) {
+        let mut found_true = false;
+        for &(c, accepted) in cands {
+            let is_true = t.is_some_and(|tt| tt == c);
+            match (accepted, is_true) {
+                (true, true) => {
+                    m.tp += 1;
+                    found_true = true;
+                }
+                (true, false) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => {}
+            }
+        }
+        if t.is_some() && !found_true {
+            m.fn_ += 1;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_accuracy_counts_only_truthful_nodes() {
+        let truth = vec![None, Some(0), Some(0), Some(1)];
+        let pred = vec![Some(3), Some(0), Some(1), Some(1)];
+        // Node 0 is a root (skipped); nodes 1 and 3 correct, node 2 wrong.
+        assert!((parent_accuracy(&pred, &truth) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_prediction_is_wrong_when_truth_exists() {
+        let truth = vec![Some(0), Some(0)];
+        let pred = vec![None, Some(0)];
+        assert!((parent_accuracy(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_formulas() {
+        let m = RelationMetrics { tp: 3, fp: 1, fn_: 2, tn: 4 };
+        assert!((m.precision() - 0.75).abs() < 1e-12);
+        assert!((m.recall() - 0.6).abs() < 1e-12);
+        assert!((m.f1() - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-12);
+        assert!((m.accuracy() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_metrics_assembles_confusion() {
+        let truth = vec![Some(1), Some(2)];
+        let decisions = vec![
+            vec![(1, true), (3, true), (4, false)],  // tp, fp, tn
+            vec![(5, false), (6, true)],             // tn, fp, and missed truth -> fn
+        ];
+        let m = pair_metrics(&decisions, &truth);
+        assert_eq!(m, RelationMetrics { tp: 1, fp: 2, fn_: 1, tn: 2 });
+    }
+
+    #[test]
+    fn zero_denominators_are_zero() {
+        let m = RelationMetrics::default();
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(parent_accuracy(&[], &[]), 0.0);
+    }
+}

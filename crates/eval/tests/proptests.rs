@@ -1,0 +1,87 @@
+//! Property-based tests for evaluation metrics.
+
+use lesm_eval::kappa::{item_agreement, panel_kappa, weighted_cohen_kappa};
+use lesm_eval::mi::mutual_information;
+use lesm_eval::nkqm::{nkqm_at_k, score_aw};
+use lesm_eval::z_scores;
+use proptest::prelude::*;
+
+fn ratings(n: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(1u8..=5, n)
+}
+
+proptest! {
+    #[test]
+    fn kappa_self_agreement_is_one(a in ratings(10)) {
+        let k = weighted_cohen_kappa(&a, &a, 5);
+        prop_assert!((k - 1.0).abs() < 1e-9 || k == 0.0); // 0 only for degenerate single-category marginals handled as 1 in code
+        prop_assert!(k >= 0.99 || a.iter().all(|&x| x == a[0]));
+    }
+
+    #[test]
+    fn kappa_is_symmetric(a in ratings(12), b in ratings(12)) {
+        let k1 = weighted_cohen_kappa(&a, &b, 5);
+        let k2 = weighted_cohen_kappa(&b, &a, 5);
+        prop_assert!((k1 - k2).abs() < 1e-9);
+        prop_assert!(k1 <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn item_agreement_bounds(scores in ratings(5)) {
+        let a = item_agreement(&scores, 5);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn panel_kappa_bounded_above(rs in proptest::collection::vec(ratings(8), 2..5)) {
+        let k = panel_kappa(&rs, 5);
+        prop_assert!(k <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn z_scores_have_zero_mean_unit_sd(xs in proptest::collection::vec(-100.0f64..100.0, 2..40)) {
+        let z = z_scores(&xs);
+        let n = z.len() as f64;
+        let mean: f64 = z.iter().sum::<f64>() / n;
+        prop_assert!(mean.abs() < 1e-8);
+        let var: f64 = z.iter().map(|v| v * v).sum::<f64>() / n;
+        prop_assert!(var < 1.0 + 1e-8);
+        // Unit variance unless input was constant.
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        if spread > 1e-6 {
+            prop_assert!((var - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mutual_information_nonnegative_and_bounded(
+        joint in proptest::collection::vec(proptest::collection::vec(0.0f64..5.0, 3), 3)
+    ) {
+        let mi = mutual_information(&joint);
+        prop_assert!(mi >= -1e-9);
+        prop_assert!(mi <= (3f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn mi_zero_for_product_distributions(r in proptest::collection::vec(0.1f64..5.0, 3), c in proptest::collection::vec(0.1f64..5.0, 4)) {
+        let joint: Vec<Vec<f64>> = r.iter().map(|&ri| c.iter().map(|&cj| ri * cj).collect()).collect();
+        let mi = mutual_information(&joint);
+        prop_assert!(mi.abs() < 1e-9, "independent table has MI {mi}");
+    }
+
+    #[test]
+    fn nkqm_is_bounded(per_topic in proptest::collection::vec(proptest::collection::vec(ratings(3), 1..6), 1..4), k in 1usize..6) {
+        let all: Vec<Vec<u8>> = per_topic.iter().flatten().cloned().collect();
+        let v = nkqm_at_k(&per_topic, &all, k, 5);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "nKQM = {v}");
+    }
+
+    #[test]
+    fn score_aw_bounded_by_mean(scores in ratings(4)) {
+        let s = score_aw(&scores, 5);
+        let mean: f64 = scores.iter().map(|&x| x as f64).sum::<f64>() / 4.0;
+        prop_assert!(s <= mean + 1e-9);
+        prop_assert!(s >= 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Held-out cross-validation for choosing the number of subtopics
+//! (§3.2.3, Smyth \[75\]).
+//!
+//! For each fold, a random fraction of the network's links is held out,
+//! the model is fitted on the remainder, and the held-out links are
+//! scored by the predictive log-rate `Σ w ln s(i, j)` under the fitted
+//! parameters (higher is better). The paper recommends this criterion
+//! over BIC whenever the network carries enough links.
+
+use crate::em::{CathyHinEm, EmConfig, EmFit};
+use crate::HierError;
+use lesm_net::{LinkBlock, TypedNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`select_k_cv`].
+#[derive(Debug, Clone)]
+pub struct CvConfig {
+    /// Number of random folds averaged per candidate `k`.
+    pub folds: usize,
+    /// Fraction of links held out per fold.
+    pub holdout_frac: f64,
+    /// RNG seed for the splits.
+    pub seed: u64,
+}
+
+impl Default for CvConfig {
+    fn default() -> Self {
+        Self { folds: 3, holdout_frac: 0.2, seed: 42 }
+    }
+}
+
+/// Splits a network's links into `(train, held_out)` edge sets.
+fn split(net: &TypedNetwork, frac: f64, rng: &mut StdRng) -> (TypedNetwork, TypedNetwork) {
+    let mut train = TypedNetwork::new(net.type_names.clone(), net.node_counts.clone());
+    let mut held = TypedNetwork::new(net.type_names.clone(), net.node_counts.clone());
+    for blk in &net.blocks {
+        let mut tr = Vec::new();
+        let mut ho = Vec::new();
+        for &e in &blk.edges {
+            if rng.gen_bool(frac) {
+                ho.push(e);
+            } else {
+                tr.push(e);
+            }
+        }
+        if !tr.is_empty() {
+            train.blocks.push(LinkBlock { tx: blk.tx, ty: blk.ty, edges: tr });
+        }
+        if !ho.is_empty() {
+            held.blocks.push(LinkBlock { tx: blk.tx, ty: blk.ty, edges: ho });
+        }
+    }
+    (train, held)
+}
+
+/// Predictive score of held-out links: the weighted mean log mixture rate
+/// `Σ w ln s / Σ w` over held-out links (higher is better).
+pub fn heldout_score(fit: &EmFit, held: &TypedNetwork) -> f64 {
+    let mut total = 0.0;
+    let mut weight = 0.0;
+    for blk in &held.blocks {
+        for &(i, j, w) in &blk.edges {
+            // The unnormalized mixture rate s under the fitted parameters
+            // (the quantity the link posterior normalizes).
+            let mut s = 0.0;
+            for z in 0..fit.k {
+                s += fit.rho[z + 1]
+                    * fit.phi[blk.tx][z][i as usize]
+                    * fit.phi[blk.ty][z][j as usize];
+            }
+            if fit.rho[0] > 0.0 {
+                s += 0.5
+                    * fit.rho[0]
+                    * (fit.phi0[blk.tx][i as usize] * fit.parent_phi[blk.ty][j as usize]
+                        + fit.phi0[blk.ty][j as usize] * fit.parent_phi[blk.tx][i as usize]);
+            }
+            if s > 0.0 {
+                total += w * s.ln();
+                weight += w;
+            } else {
+                // A held-out link the model assigns zero rate: strong
+                // penalty bounded away from -inf.
+                total += w * (-30.0);
+                weight += w;
+            }
+        }
+    }
+    if weight > 0.0 {
+        total / weight
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+/// Chooses `k` by averaged held-out predictive score.
+///
+/// Returns `(best_k, scores)` with one `(k, mean score)` entry per
+/// candidate; higher scores win, ties break toward smaller `k`.
+pub fn select_k_cv(
+    net: &TypedNetwork,
+    k_range: std::ops::RangeInclusive<usize>,
+    base: &EmConfig,
+    cv: &CvConfig,
+) -> Result<(usize, Vec<(usize, f64)>), HierError> {
+    if cv.folds == 0 {
+        return Err(HierError::InvalidConfig("folds must be >= 1".into()));
+    }
+    if !(0.0..1.0).contains(&cv.holdout_frac) || cv.holdout_frac <= 0.0 {
+        return Err(HierError::InvalidConfig("holdout_frac must be in (0, 1)".into()));
+    }
+    let mut scores = Vec::new();
+    let mut best: Option<(usize, f64)> = None;
+    for k in k_range {
+        if k == 0 {
+            continue;
+        }
+        let mut total = 0.0;
+        let mut folds_done = 0usize;
+        for fold in 0..cv.folds {
+            let mut rng = StdRng::seed_from_u64(cv.seed.wrapping_add(fold as u64 * 101));
+            let (train, held) = split(net, cv.holdout_frac, &mut rng);
+            if train.num_links() == 0 || held.num_links() == 0 {
+                continue;
+            }
+            let cfg = EmConfig { k, ..base.clone() };
+            let fit = CathyHinEm::fit(&train, &cfg)?;
+            total += heldout_score(&fit, &held);
+            folds_done += 1;
+        }
+        if folds_done == 0 {
+            continue;
+        }
+        let mean = total / folds_done as f64;
+        scores.push((k, mean));
+        if best.is_none_or(|(_, s)| mean > s) {
+            best = Some((k, mean));
+        }
+    }
+    let (best_k, _) =
+        best.ok_or_else(|| HierError::InvalidConfig("no candidate k produced a score".into()))?;
+    Ok((best_k, scores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::em::WeightMode;
+    use lesm_net::NetworkBuilder;
+
+    fn three_communities() -> TypedNetwork {
+        let mut b = NetworkBuilder::new(vec!["term".into()], vec![12]);
+        for grp in [0u32, 4, 8] {
+            for i in grp..grp + 4 {
+                for j in (i + 1)..grp + 4 {
+                    b.add(0, i, 0, j, 12.0);
+                }
+            }
+        }
+        b.add(0, 3, 0, 4, 1.0);
+        b.add(0, 7, 0, 8, 1.0);
+        b.build()
+    }
+
+    fn base() -> EmConfig {
+        EmConfig {
+            iters: 120,
+            restarts: 3,
+            seed: 11,
+            background: false,
+            weights: WeightMode::Equal,
+            ..EmConfig::default()
+        }
+    }
+
+    #[test]
+    fn cv_prefers_a_plausible_k() {
+        let net = three_communities();
+        let (k, scores) = select_k_cv(&net, 2..=5, &base(), &CvConfig::default()).unwrap();
+        assert_eq!(scores.len(), 4);
+        assert!((2..=4).contains(&k), "CV chose {k}: {scores:?}");
+        // Scores are finite.
+        for (_, s) in &scores {
+            assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn heldout_score_penalizes_wrong_k() {
+        // With k = 1 the model cannot separate the communities; its
+        // held-out score should trail the true k = 3 on average.
+        let net = three_communities();
+        let (_, scores) = select_k_cv(&net, 1..=3, &base(), &CvConfig::default()).unwrap();
+        let s1 = scores.iter().find(|(k, _)| *k == 1).unwrap().1;
+        let s3 = scores.iter().find(|(k, _)| *k == 3).unwrap().1;
+        assert!(s3 > s1, "k=3 ({s3:.3}) should beat k=1 ({s1:.3})");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let net = three_communities();
+        assert!(select_k_cv(&net, 2..=3, &base(), &CvConfig { folds: 0, ..Default::default() })
+            .is_err());
+        assert!(select_k_cv(
+            &net,
+            2..=3,
+            &base(),
+            &CvConfig { holdout_frac: 0.0, ..Default::default() }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,772 @@
+//! The unified Poisson link-generation model and its EM inference.
+//!
+//! Every observed link weight `e^{x,y}_{i,j}` is modeled as a Poisson sum
+//! over subtopic contributions (eq. 3.8):
+//!
+//! ```text
+//! e ~ Pois( M θ_{x,y} [ Σ_z ρ_z φ^x_{z,i} φ^y_{z,j} + ρ_0 φ^x_{0,i} φ^y_{t,j} ] )
+//! ```
+//!
+//! The EM updates (eqs. 3.24–3.29) soft-assign each link to subtopics
+//! (E-step) and re-estimate the ranking distributions `φ` and topic weights
+//! `ρ` (M-step). Link-type weights `α_{x,y}` may be fixed, normalized, or
+//! learned via eqs. 3.37–3.38 under the geometric-mean constraint of
+//! Theorem 3.2.
+//!
+//! Undirected links are stored once; the model's both-direction duplication
+//! is folded into symmetric accumulation (each endpoint receives the link's
+//! expected subtopic weight; the asymmetric background term is averaged
+//! over the two directions).
+
+use crate::HierError;
+use lesm_net::TypedNetwork;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How link-type weights `α_{x,y}` are chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightMode {
+    /// All types weighted 1 (the basic model of §3.2.1).
+    Equal,
+    /// `α_{x,y} = 1 / Σ e^{x,y}` — the heuristic normalization compared in
+    /// Tables 3.2–3.3 (rescaled to the Theorem 3.2 constraint).
+    Normalized,
+    /// Learned by eq. 3.37 (re-estimated between EM rounds).
+    Learned,
+    /// Explicit per-type-pair weights, keyed like `theta` by `tx * T + ty`.
+    Fixed(Vec<f64>),
+}
+
+/// Configuration for [`CathyHinEm::fit`].
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Number of subtopics `k`.
+    pub k: usize,
+    /// EM iterations per restart.
+    pub iters: usize,
+    /// Random restarts (best objective kept).
+    pub restarts: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether to include the background topic `t/0` (CATHYHIN uses it;
+    /// plain CATHY of §3.1 does not).
+    pub background: bool,
+    /// Prior share of the background topic at initialization.
+    pub background_init: f64,
+    /// Whether the background node distribution `φ_0` is re-estimated by
+    /// eq. 3.29 (`true`) or pinned to the parent-topic importance
+    /// (`false`, the default). A free `φ_0` can specialize into a dominant
+    /// subtopic and swallow it; pinning keeps the background a strict
+    /// global-noise model.
+    pub learn_background: bool,
+    /// Upper bound on the background share `ρ_0` (excess mass is
+    /// redistributed to the subtopics proportionally after each M-step).
+    pub background_cap: f64,
+    /// Link-type weight mode.
+    pub weights: WeightMode,
+    /// Rounds of alternating EM / weight re-estimation when
+    /// `weights == Learned`.
+    pub weight_rounds: usize,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            iters: 100,
+            restarts: 2,
+            seed: 42,
+            background: true,
+            background_init: 0.2,
+            learn_background: false,
+            background_cap: 0.4,
+            weights: WeightMode::Equal,
+            weight_rounds: 3,
+        }
+    }
+}
+
+/// A fitted subtopic decomposition of one topic's network.
+#[derive(Debug, Clone)]
+pub struct EmFit {
+    /// Number of subtopics.
+    pub k: usize,
+    /// `phi[x][z][i]`: ranking distribution of type-`x` nodes in subtopic
+    /// `z` (rows sum to 1 per `(x, z)`).
+    pub phi: Vec<Vec<Vec<f64>>>,
+    /// Background distributions `phi0[x][i]` (all zeros when the background
+    /// topic is disabled).
+    pub phi0: Vec<Vec<f64>>,
+    /// Topic shares: `rho[0]` is the background share, `rho[1..=k]` the
+    /// subtopic shares (sums to 1).
+    pub rho: Vec<f64>,
+    /// Link-type weights actually used, keyed by `tx * T + ty`.
+    pub alpha: Vec<f64>,
+    /// Type-pair distribution `θ_{x,y}` (same keying).
+    pub theta: Vec<f64>,
+    /// Final surrogate objective `Σ αe ln s` (monotone during EM).
+    pub objective: f64,
+    /// Per-iteration objective values. The paper's auxiliary-function
+    /// argument (after eq. 3.17) guarantees this trace is non-decreasing;
+    /// property tests verify it.
+    pub objective_trace: Vec<f64>,
+    /// Full Poisson log-likelihood of the observed links (for BIC).
+    pub loglik: f64,
+    /// The parent-topic node importance used by the background term.
+    pub parent_phi: Vec<Vec<f64>>,
+}
+
+impl EmFit {
+    /// Top `n` nodes of type `x` in subtopic `z` (0-based subtopic index).
+    pub fn top_nodes(&self, x: usize, z: usize, n: usize) -> Vec<(u32, f64)> {
+        let mut idx: Vec<(u32, f64)> =
+            self.phi[x][z].iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN"));
+        idx.truncate(n);
+        idx
+    }
+
+    /// Posterior subtopic distribution `q` of a single link (E-step formula,
+    /// eqs. 3.12–3.13). Index 0 is the background.
+    pub fn link_posterior(&self, tx: usize, i: u32, ty: usize, j: u32) -> Vec<f64> {
+        let (i, j) = (i as usize, j as usize);
+        let mut q = vec![0.0; self.k + 1];
+        let mut total = 0.0;
+        for z in 0..self.k {
+            let v = self.rho[z + 1] * self.phi[tx][z][i] * self.phi[ty][z][j];
+            q[z + 1] = v;
+            total += v;
+        }
+        if self.rho[0] > 0.0 {
+            let v = 0.5
+                * self.rho[0]
+                * (self.phi0[tx][i] * self.parent_phi[ty][j]
+                    + self.phi0[ty][j] * self.parent_phi[tx][i]);
+            q[0] = v;
+            total += v;
+        }
+        if total > 0.0 {
+            for v in &mut q {
+                *v /= total;
+            }
+        }
+        q
+    }
+
+    /// Extracts the expected-weight subnetwork of subtopic `z` (0-based):
+    /// links keep the fraction `e q_z`, and links whose expected weight
+    /// falls below `threshold` are dropped (§3.2.1 uses 1.0).
+    pub fn subnetwork(&self, net: &TypedNetwork, z: usize, threshold: f64) -> TypedNetwork {
+        let mut out = TypedNetwork::new(net.type_names.clone(), net.node_counts.clone());
+        for blk in &net.blocks {
+            let mut edges = Vec::new();
+            for &(i, j, w) in &blk.edges {
+                let q = self.link_posterior(blk.tx, i, blk.ty, j);
+                let ew = w * q[z + 1];
+                if ew >= threshold {
+                    edges.push((i, j, ew));
+                }
+            }
+            if !edges.is_empty() {
+                out.blocks.push(lesm_net::LinkBlock { tx: blk.tx, ty: blk.ty, edges });
+            }
+        }
+        out
+    }
+}
+
+/// Flattened edge list used internally by the EM loop.
+struct Edges {
+    tx: Vec<usize>,
+    ty: Vec<usize>,
+    i: Vec<u32>,
+    j: Vec<u32>,
+    w: Vec<f64>,
+    /// type-pair key `tx * T + ty` per edge
+    tp: Vec<usize>,
+}
+
+/// CATHYHIN EM fitter. For text-only CATHY (§3.1), run on a single-type
+/// network with `background: false`.
+///
+/// ```
+/// use lesm_hier::em::{CathyHinEm, EmConfig, WeightMode};
+/// use lesm_net::NetworkBuilder;
+///
+/// // Two 3-cliques joined by a weak bridge.
+/// let mut b = NetworkBuilder::new(vec!["term".into()], vec![6]);
+/// for group in [0u32, 3] {
+///     for i in group..group + 3 {
+///         for j in (i + 1)..group + 3 {
+///             b.add(0, i, 0, j, 8.0);
+///         }
+///     }
+/// }
+/// b.add(0, 2, 0, 3, 1.0);
+/// let net = b.build();
+/// let cfg = EmConfig {
+///     k: 2, iters: 120, restarts: 3, seed: 7,
+///     background: false, weights: WeightMode::Equal,
+///     ..EmConfig::default()
+/// };
+/// let fit = CathyHinEm::fit(&net, &cfg).unwrap();
+/// let low_mass: f64 = fit.phi[0][0][..3].iter().sum();
+/// assert!(low_mass > 0.9 || low_mass < 0.1, "cliques separate");
+/// ```
+#[derive(Debug, Default)]
+pub struct CathyHinEm;
+
+impl CathyHinEm {
+    /// Fits the model to `net` with `config`.
+    pub fn fit(net: &TypedNetwork, config: &EmConfig) -> Result<EmFit, HierError> {
+        if config.k == 0 {
+            return Err(HierError::InvalidConfig("k must be >= 1".into()));
+        }
+        if net.num_links() == 0 {
+            return Err(HierError::EmptyNetwork);
+        }
+        let t_count = net.num_types();
+        let edges = flatten(net);
+        let n_edges = edges.w.len();
+
+        // θ and per-type-pair totals (constants).
+        let mut pair_weight = vec![0.0f64; t_count * t_count];
+        let mut pair_links = vec![0usize; t_count * t_count];
+        for e in 0..n_edges {
+            pair_weight[edges.tp[e]] += edges.w[e];
+            pair_links[edges.tp[e]] += 1;
+        }
+
+        // Parent-topic importance: normalized weighted degree per type.
+        let mut parent_phi = net.weighted_degrees();
+        for row in &mut parent_phi {
+            let s: f64 = row.iter().sum();
+            if s > 0.0 {
+                row.iter_mut().for_each(|x| *x /= s);
+            }
+        }
+
+        // Initial α per mode.
+        let mut alpha = initial_alpha(&config.weights, &pair_weight, &pair_links, t_count);
+
+        // Phase 1: multi-restart EM under the initial weights; the best
+        // objective wins (restart objectives are comparable because the
+        // weights are identical).
+        let fit_best = |alpha_cur: &[f64], warm: Option<&EmFit>| -> EmFit {
+            let mut best: Option<EmFit> = None;
+            for restart in 0..config.restarts.max(1) {
+                let f = run_em(
+                    net,
+                    &edges,
+                    config,
+                    alpha_cur,
+                    &parent_phi,
+                    config.seed.wrapping_add(restart as u64 * 1313),
+                    warm,
+                );
+                if best.as_ref().is_none_or(|b| f.objective > b.objective) {
+                    best = Some(f);
+                }
+                if warm.is_some() {
+                    break; // warm-started rounds are deterministic
+                }
+            }
+            best.expect("at least one restart")
+        };
+        let mut best = fit_best(&alpha, None);
+        // Phase 2 (learned weights only): alternate α re-estimation with
+        // warm-started EM refinement (eq. 3.37's outer loop), starting from
+        // the best equal-weight partition so weight learning refines rather
+        // than re-discovers the clustering.
+        if config.weights == WeightMode::Learned {
+            for _ in 1..config.weight_rounds.max(1) {
+                alpha = learn_alpha(&edges, &best, &pair_weight, &pair_links, t_count);
+                let warm = best.clone();
+                best = fit_best(&alpha, Some(&warm));
+            }
+            best.alpha = alpha;
+        }
+        Ok(best)
+    }
+}
+
+fn flatten(net: &TypedNetwork) -> Edges {
+    let t = net.num_types();
+    let n: usize = net.num_links();
+    let mut e = Edges {
+        tx: Vec::with_capacity(n),
+        ty: Vec::with_capacity(n),
+        i: Vec::with_capacity(n),
+        j: Vec::with_capacity(n),
+        w: Vec::with_capacity(n),
+        tp: Vec::with_capacity(n),
+    };
+    for blk in &net.blocks {
+        for &(i, j, w) in &blk.edges {
+            e.tx.push(blk.tx);
+            e.ty.push(blk.ty);
+            e.i.push(i);
+            e.j.push(j);
+            e.w.push(w);
+            e.tp.push(blk.tx * t + blk.ty);
+        }
+    }
+    e
+}
+
+fn initial_alpha(
+    mode: &WeightMode,
+    pair_weight: &[f64],
+    pair_links: &[usize],
+    t_count: usize,
+) -> Vec<f64> {
+    let mut alpha = vec![1.0; t_count * t_count];
+    match mode {
+        WeightMode::Equal | WeightMode::Learned => {}
+        WeightMode::Normalized => {
+            for (tp, a) in alpha.iter_mut().enumerate() {
+                if pair_weight[tp] > 0.0 {
+                    *a = 1.0 / pair_weight[tp];
+                }
+            }
+        }
+        WeightMode::Fixed(v) => {
+            for (tp, a) in alpha.iter_mut().enumerate() {
+                if let Some(&x) = v.get(tp) {
+                    if x > 0.0 {
+                        *a = x;
+                    }
+                }
+            }
+        }
+    }
+    rescale_alpha(&mut alpha, pair_links);
+    alpha
+}
+
+/// Rescales α to the Theorem 3.2 constraint `Π α^{n_{x,y}} = 1` so that
+/// different weightings are comparable (scale invariance, Lemma 3.1).
+fn rescale_alpha(alpha: &mut [f64], pair_links: &[usize]) {
+    let mut log_sum = 0.0;
+    let mut n_total = 0usize;
+    for (tp, &n) in pair_links.iter().enumerate() {
+        if n > 0 {
+            log_sum += (n as f64) * alpha[tp].max(1e-300).ln();
+            n_total += n;
+        }
+    }
+    if n_total == 0 {
+        return;
+    }
+    let scale = (-log_sum / n_total as f64).exp();
+    for a in alpha.iter_mut() {
+        *a *= scale;
+    }
+}
+
+/// One full EM run (fixed α). When `warm` is given, parameters start from
+/// the previous round's fit instead of random initialization.
+#[allow(clippy::too_many_arguments)]
+fn run_em(
+    net: &TypedNetwork,
+    edges: &Edges,
+    config: &EmConfig,
+    alpha: &[f64],
+    parent_phi: &[Vec<f64>],
+    seed: u64,
+    warm: Option<&EmFit>,
+) -> EmFit {
+    let k = config.k;
+    let t_count = net.num_types();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Scaled edge weights and totals.
+    let n_edges = edges.w.len();
+    let scaled: Vec<f64> = (0..n_edges).map(|e| alpha[edges.tp[e]] * edges.w[e]).collect();
+    let m_total: f64 = scaled.iter().sum();
+
+    // θ over type pairs.
+    let mut theta = vec![0.0; t_count * t_count];
+    for e in 0..n_edges {
+        theta[edges.tp[e]] += scaled[e] / m_total;
+    }
+
+    // Initialize φ, φ0, ρ.
+    let (mut phi, mut phi0, mut rho) = match warm {
+        Some(f) => (f.phi.clone(), f.phi0.clone(), f.rho.clone()),
+        None => {
+            let phi: Vec<Vec<Vec<f64>>> = (0..t_count)
+                .map(|x| {
+                    (0..k)
+                        .map(|_| {
+                            let mut row: Vec<f64> =
+                                (0..net.node_counts[x]).map(|_| rng.gen::<f64>() + 0.05).collect();
+                            normalize(&mut row);
+                            row
+                        })
+                        .collect()
+                })
+                .collect();
+            let phi0: Vec<Vec<f64>> = if config.background {
+                parent_phi.to_vec()
+            } else {
+                (0..t_count).map(|x| vec![0.0; net.node_counts[x]]).collect()
+            };
+            let mut rho = vec![0.0; k + 1];
+            if config.background {
+                rho[0] = config.background_init;
+                for z in 1..=k {
+                    rho[z] = (1.0 - config.background_init) / k as f64;
+                }
+            } else {
+                for z in 1..=k {
+                    rho[z] = 1.0 / k as f64;
+                }
+            }
+            (phi, phi0, rho)
+        }
+    };
+
+    let mut objective = f64::NEG_INFINITY;
+    let mut objective_trace = Vec::with_capacity(config.iters);
+    let mut q = vec![0.0f64; k + 1];
+    for _ in 0..config.iters {
+        let mut rho_new = vec![1e-12; k + 1];
+        let mut phi_new: Vec<Vec<Vec<f64>>> =
+            (0..t_count).map(|x| vec![vec![1e-12; net.node_counts[x]]; k]).collect();
+        let mut phi0_new: Vec<Vec<f64>> =
+            (0..t_count).map(|x| vec![1e-12; net.node_counts[x]]).collect();
+        let mut obj = 0.0;
+        for e in 0..n_edges {
+            let (tx, ty) = (edges.tx[e], edges.ty[e]);
+            let (i, j) = (edges.i[e] as usize, edges.j[e] as usize);
+            let w = scaled[e];
+            let mut s = 0.0;
+            for z in 0..k {
+                let v = rho[z + 1] * phi[tx][z][i] * phi[ty][z][j];
+                q[z + 1] = v;
+                s += v;
+            }
+            // Background: average of the two link directions.
+            let (bg_a, bg_b);
+            if config.background {
+                bg_a = 0.5 * rho[0] * phi0[tx][i] * parent_phi[ty][j];
+                bg_b = 0.5 * rho[0] * phi0[ty][j] * parent_phi[tx][i];
+                q[0] = bg_a + bg_b;
+                s += q[0];
+            } else {
+                bg_a = 0.0;
+                bg_b = 0.0;
+                q[0] = 0.0;
+            }
+            if s <= 0.0 {
+                continue;
+            }
+            obj += w * s.ln();
+            let inv = w / s;
+            for z in 0..k {
+                let ew = q[z + 1] * inv;
+                rho_new[z + 1] += ew;
+                phi_new[tx][z][i] += ew;
+                phi_new[ty][z][j] += ew;
+            }
+            if config.background {
+                let e0 = q[0] * inv;
+                rho_new[0] += e0;
+                if q[0] > 0.0 {
+                    phi0_new[tx][i] += inv * bg_a;
+                    phi0_new[ty][j] += inv * bg_b;
+                }
+            }
+        }
+        normalize(&mut rho_new);
+        if config.background && rho_new[0] > config.background_cap {
+            let excess = rho_new[0] - config.background_cap;
+            let sub_total: f64 = rho_new[1..].iter().sum();
+            rho_new[0] = config.background_cap;
+            if sub_total > 0.0 {
+                for z in 1..=k {
+                    rho_new[z] += excess * rho_new[z] / sub_total;
+                }
+            }
+        }
+        for x in 0..t_count {
+            for z in 0..k {
+                normalize(&mut phi_new[x][z]);
+            }
+            normalize(&mut phi0_new[x]);
+        }
+        rho = rho_new;
+        phi = phi_new;
+        if config.background && config.learn_background {
+            phi0 = phi0_new;
+        }
+        objective = obj;
+        objective_trace.push(obj);
+    }
+
+    // Full Poisson log-likelihood (for BIC): Σ_nonzero [w ln(M θ s) - lnΓ(w+1)] - M.
+    let mut loglik = -m_total;
+    for e in 0..n_edges {
+        let (tx, ty) = (edges.tx[e], edges.ty[e]);
+        let (i, j) = (edges.i[e] as usize, edges.j[e] as usize);
+        let w = scaled[e];
+        let mut s = 0.0;
+        for z in 0..k {
+            s += rho[z + 1] * phi[tx][z][i] * phi[ty][z][j];
+        }
+        if config.background {
+            s += 0.5
+                * rho[0]
+                * (phi0[tx][i] * parent_phi[ty][j] + phi0[ty][j] * parent_phi[tx][i]);
+        }
+        let lambda = m_total * theta[edges.tp[e]] * s;
+        if lambda > 0.0 {
+            loglik += w * lambda.ln() - ln_gamma(w + 1.0);
+        }
+    }
+
+    EmFit {
+        k,
+        phi,
+        phi0,
+        rho,
+        alpha: alpha.to_vec(),
+        theta,
+        objective,
+        objective_trace,
+        loglik,
+        parent_phi: parent_phi.to_vec(),
+    }
+}
+
+/// Learns link-type weights from the current fit (eqs. 3.37–3.38), then
+/// rescales to the Theorem 3.2 constraint.
+fn learn_alpha(
+    edges: &Edges,
+    fit: &EmFit,
+    pair_weight: &[f64],
+    pair_links: &[usize],
+    t_count: usize,
+) -> Vec<f64> {
+    let k = fit.k;
+    let n_edges = edges.w.len();
+    // σ_{x,y} = (1/n_{x,y}) Σ e ln( e / (M_{x,y} s) )
+    let mut sigma = vec![0.0f64; t_count * t_count];
+    for e in 0..n_edges {
+        let (tx, ty) = (edges.tx[e], edges.ty[e]);
+        let (i, j) = (edges.i[e] as usize, edges.j[e] as usize);
+        let w = edges.w[e];
+        let mut s = 0.0;
+        for z in 0..k {
+            s += fit.rho[z + 1] * fit.phi[tx][z][i] * fit.phi[ty][z][j];
+        }
+        if fit.rho[0] > 0.0 {
+            s += 0.5
+                * fit.rho[0]
+                * (fit.phi0[tx][i] * fit.parent_phi[ty][j]
+                    + fit.phi0[ty][j] * fit.parent_phi[tx][i]);
+        }
+        let m_xy = pair_weight[edges.tp[e]];
+        let pred = (m_xy * s).max(1e-300);
+        sigma[edges.tp[e]] += w * (w / pred).ln();
+    }
+    let mut alpha = vec![1.0; t_count * t_count];
+    let mut log_gm = 0.0;
+    let mut n_total = 0usize;
+    for (tp, s) in sigma.iter_mut().enumerate() {
+        if pair_links[tp] > 0 {
+            *s = (*s / pair_links[tp] as f64).max(1e-6);
+            log_gm += pair_links[tp] as f64 * s.ln();
+            n_total += pair_links[tp];
+        }
+    }
+    if n_total == 0 {
+        return alpha;
+    }
+    let gm = (log_gm / n_total as f64).exp();
+    for (tp, a) in alpha.iter_mut().enumerate() {
+        if pair_links[tp] > 0 {
+            *a = gm / sigma[tp];
+        }
+    }
+    rescale_alpha(&mut alpha, pair_links);
+    alpha
+}
+
+fn normalize(row: &mut [f64]) {
+    let s: f64 = row.iter().sum();
+    if s > 0.0 {
+        row.iter_mut().for_each(|x| *x /= s);
+    }
+}
+
+/// Natural log of the Gamma function (Lanczos approximation, |err| < 1e-10
+/// for x > 0). Used by the Poisson likelihood with non-integer weights.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9 (Numerical Recipes style).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lesm_net::NetworkBuilder;
+
+    /// A two-community single-type network: nodes 0-3 densely linked,
+    /// nodes 4-7 densely linked, one weak bridge.
+    fn two_communities() -> TypedNetwork {
+        let mut b = NetworkBuilder::new(vec!["term".into()], vec![8]);
+        for grp in [0u32, 4] {
+            for i in grp..grp + 4 {
+                for j in (i + 1)..grp + 4 {
+                    b.add(0, i, 0, j, 10.0);
+                }
+            }
+        }
+        b.add(0, 3, 0, 4, 1.0);
+        b.build()
+    }
+
+    /// Heterogeneous version: authors 0-1 attach to community A terms,
+    /// authors 2-3 to community B.
+    fn two_communities_hin() -> TypedNetwork {
+        let mut b = NetworkBuilder::new(vec!["author".into(), "term".into()], vec![4, 8]);
+        for grp in [0u32, 4] {
+            for i in grp..grp + 4 {
+                for j in (i + 1)..grp + 4 {
+                    b.add(1, i, 1, j, 10.0);
+                }
+            }
+        }
+        for t in 0..4u32 {
+            b.add(0, 0, 1, t, 6.0);
+            b.add(0, 1, 1, t, 6.0);
+            b.add(0, 2, 1, t + 4, 6.0);
+            b.add(0, 3, 1, t + 4, 6.0);
+        }
+        b.add(1, 3, 1, 4, 1.0);
+        b.build()
+    }
+
+    fn cfg(k: usize, background: bool) -> EmConfig {
+        EmConfig { k, iters: 150, restarts: 3, seed: 7, background, ..EmConfig::default() }
+    }
+
+    #[test]
+    fn cathy_splits_two_communities() {
+        let net = two_communities();
+        let fit = CathyHinEm::fit(&net, &cfg(2, false)).unwrap();
+        // Each subtopic should concentrate on one community.
+        let mass_a0: f64 = fit.phi[0][0][..4].iter().sum();
+        let mass_a1: f64 = fit.phi[0][1][..4].iter().sum();
+        assert!(
+            (mass_a0 > 0.9 && mass_a1 < 0.1) || (mass_a0 < 0.1 && mass_a1 > 0.9),
+            "communities not separated: {mass_a0:.3} vs {mass_a1:.3}"
+        );
+    }
+
+    #[test]
+    fn distributions_normalized() {
+        let net = two_communities_hin();
+        let fit = CathyHinEm::fit(&net, &cfg(2, true)).unwrap();
+        let rho_sum: f64 = fit.rho.iter().sum();
+        assert!((rho_sum - 1.0).abs() < 1e-9);
+        for x in 0..2 {
+            for z in 0..2 {
+                let s: f64 = fit.phi[x][z].iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "phi[{x}][{z}] sums to {s}");
+            }
+            let s0: f64 = fit.phi0[x].iter().sum();
+            assert!((s0 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hin_entities_follow_their_terms() {
+        let net = two_communities_hin();
+        let fit = CathyHinEm::fit(&net, &cfg(2, true)).unwrap();
+        // Whichever subtopic owns terms 0-3 should also own authors 0-1.
+        let z_a = if fit.phi[1][0][..4].iter().sum::<f64>() > 0.5 { 0 } else { 1 };
+        let auth_mass: f64 = fit.phi[0][z_a][..2].iter().sum();
+        assert!(auth_mass > 0.8, "authors did not align with terms: {auth_mass:.3}");
+    }
+
+    #[test]
+    fn posterior_sums_to_one_and_subnetwork_extracts() {
+        let net = two_communities_hin();
+        let fit = CathyHinEm::fit(&net, &cfg(2, true)).unwrap();
+        let q = fit.link_posterior(1, 0, 1, 1);
+        let s: f64 = q.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        let sub = fit.subnetwork(&net, 0, 1.0);
+        assert!(sub.num_links() > 0);
+        assert!(sub.total_weight() < net.total_weight());
+    }
+
+    #[test]
+    fn learned_weights_satisfy_constraint() {
+        let net = two_communities_hin();
+        let mut c = cfg(2, true);
+        c.weights = WeightMode::Learned;
+        let fit = CathyHinEm::fit(&net, &c).unwrap();
+        // Π α^{n} = 1  (log-domain check over pairs with links).
+        let mut log_sum = 0.0;
+        for blk in &net.blocks {
+            let tp = blk.tx * net.num_types() + blk.ty;
+            log_sum += blk.len() as f64 * fit.alpha[tp].ln();
+        }
+        assert!(log_sum.abs() < 1e-6, "constraint violated: {log_sum}");
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        let net = TypedNetwork::new(vec!["t".into()], vec![3]);
+        assert!(matches!(CathyHinEm::fit(&net, &cfg(2, false)), Err(HierError::EmptyNetwork)));
+        let net2 = two_communities();
+        assert!(CathyHinEm::fit(&net2, &cfg(0, false)).is_err());
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for (n, f) in [(1u32, 1.0f64), (2, 1.0), (3, 2.0), (5, 24.0), (10, 362880.0)] {
+            assert!(
+                (ln_gamma(n as f64) - f.ln()).abs() < 1e-8,
+                "lnΓ({n}) != ln({f})"
+            );
+        }
+        // Γ(0.5) = sqrt(pi)
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn objective_improves_with_more_restarts_or_equal() {
+        let net = two_communities();
+        let one = CathyHinEm::fit(&net, &EmConfig { restarts: 1, ..cfg(2, false) }).unwrap();
+        let five = CathyHinEm::fit(&net, &EmConfig { restarts: 5, ..cfg(2, false) }).unwrap();
+        assert!(five.objective >= one.objective - 1e-9);
+    }
+}

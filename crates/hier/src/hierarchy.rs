@@ -1,0 +1,368 @@
+//! Recursive top-down hierarchy construction (the CATHY/CATHYHIN outer
+//! loop: Steps 1–3 of §3.1/§3.2).
+
+use crate::em::{CathyHinEm, EmConfig, EmFit};
+use crate::select::{select_k, Criterion};
+use crate::HierError;
+use lesm_net::TypedNetwork;
+
+/// How the number of children per topic is chosen.
+#[derive(Debug, Clone)]
+pub enum ChildCount {
+    /// Fixed `k` at every node.
+    Fixed(usize),
+    /// Per-level `k` (last entry reused below).
+    PerLevel(Vec<usize>),
+    /// BIC selection over an inclusive range (§3.2.3).
+    Auto {
+        /// Minimum candidate `k`.
+        min: usize,
+        /// Maximum candidate `k`.
+        max: usize,
+    },
+}
+
+/// Configuration for [`TopicHierarchy::construct`].
+#[derive(Debug, Clone)]
+pub struct CathyConfig {
+    /// Children per topic.
+    pub children: ChildCount,
+    /// Maximum depth (root = level 0; depth 2 gives two expansion rounds).
+    pub max_depth: usize,
+    /// EM settings applied at every node.
+    pub em: EmConfig,
+    /// Stop expanding when a topic's network has fewer links than this.
+    pub min_links: usize,
+    /// Expected-weight threshold for subnetwork extraction (§3.2.1 uses 1).
+    pub subnet_threshold: f64,
+}
+
+impl Default for CathyConfig {
+    fn default() -> Self {
+        Self {
+            children: ChildCount::Fixed(4),
+            max_depth: 2,
+            em: EmConfig::default(),
+            min_links: 30,
+            subnet_threshold: 1.0,
+        }
+    }
+}
+
+/// One topic in a constructed hierarchy.
+#[derive(Debug, Clone)]
+pub struct HierTopic {
+    /// Parent topic index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Child topic indices.
+    pub children: Vec<usize>,
+    /// Depth (root = 0).
+    pub level: usize,
+    /// Path notation `o/1/2`.
+    pub path: String,
+    /// Ranking distribution per node type (`phi[x][i]`; empty at the root,
+    /// where global importance is the parent distribution).
+    pub phi: Vec<Vec<f64>>,
+    /// The topic's share of its parent's links (`ρ`; 1.0 at the root).
+    pub rho: f64,
+    /// The expected-weight network owned by this topic.
+    pub network: TypedNetwork,
+}
+
+/// A constructed multi-typed topical hierarchy.
+#[derive(Debug, Clone)]
+pub struct TopicHierarchy {
+    /// Node type names (shared by every topic's network).
+    pub type_names: Vec<String>,
+    /// Topics; index 0 is the root.
+    pub topics: Vec<HierTopic>,
+    /// Per-topic fitted EM models for internal nodes (index-aligned with
+    /// `topics`; `None` for leaves and unexpanded nodes).
+    pub fits: Vec<Option<EmFit>>,
+    /// Learned link-type weights per expanded topic (keyed `tx * T + ty`).
+    pub alphas: Vec<Option<Vec<f64>>>,
+}
+
+impl TopicHierarchy {
+    /// Recursively constructs a hierarchy from a root network.
+    pub fn construct(root_net: TypedNetwork, config: &CathyConfig) -> Result<Self, HierError> {
+        if config.max_depth == 0 {
+            return Err(HierError::InvalidConfig("max_depth must be >= 1".into()));
+        }
+        let type_names = root_net.type_names.clone();
+        let n_types = root_net.num_types();
+        // Root node: global importance as phi.
+        let mut root_phi = root_net.weighted_degrees();
+        for row in &mut root_phi {
+            let s: f64 = row.iter().sum();
+            if s > 0.0 {
+                row.iter_mut().for_each(|x| *x /= s);
+            }
+        }
+        let mut hierarchy = TopicHierarchy {
+            type_names,
+            topics: vec![HierTopic {
+                parent: None,
+                children: vec![],
+                level: 0,
+                path: "o".into(),
+                phi: root_phi,
+                rho: 1.0,
+                network: root_net,
+            }],
+            fits: vec![None],
+            alphas: vec![None],
+        };
+        let mut frontier = vec![0usize];
+        for level in 0..config.max_depth {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                if hierarchy.topics[node].network.num_links() < config.min_links {
+                    continue;
+                }
+                let k = match &config.children {
+                    ChildCount::Fixed(k) => *k,
+                    ChildCount::PerLevel(v) => *v.get(level).or(v.last()).unwrap_or(&2),
+                    ChildCount::Auto { min, max } => {
+                        let (best, _) = select_k(
+                            &hierarchy.topics[node].network,
+                            *min..=*max,
+                            &config.em,
+                            Criterion::Bic,
+                        )?;
+                        best
+                    }
+                };
+                if k < 1 {
+                    continue;
+                }
+                let em_cfg = EmConfig { k, ..config.em.clone() };
+                let fit = CathyHinEm::fit(&hierarchy.topics[node].network, &em_cfg)?;
+                for z in 0..k {
+                    let subnet =
+                        fit.subnetwork(&hierarchy.topics[node].network, z, config.subnet_threshold);
+                    let child_idx = hierarchy.topics.len();
+                    let path = format!("{}/{}", hierarchy.topics[node].path, z + 1);
+                    let phi: Vec<Vec<f64>> = (0..n_types).map(|x| fit.phi[x][z].clone()).collect();
+                    hierarchy.topics.push(HierTopic {
+                        parent: Some(node),
+                        children: vec![],
+                        level: level + 1,
+                        path,
+                        phi,
+                        rho: fit.rho[z + 1],
+                        network: subnet,
+                    });
+                    hierarchy.fits.push(None);
+                    hierarchy.alphas.push(None);
+                    hierarchy.topics[node].children.push(child_idx);
+                    next.push(child_idx);
+                }
+                hierarchy.alphas[node] = Some(fit.alpha.clone());
+                hierarchy.fits[node] = Some(fit);
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        Ok(hierarchy)
+    }
+
+    /// Convenience: CATHY on a text-only corpus (§3.1) — builds the term
+    /// co-occurrence network and constructs the hierarchy. The paper's
+    /// text-only model has no background topic; the config's `background`
+    /// flag is honored as given.
+    pub fn from_corpus_text(
+        corpus: &lesm_corpus::Corpus,
+        config: &CathyConfig,
+    ) -> Result<Self, HierError> {
+        Self::construct(lesm_net::co_occurrence_network(corpus), config)
+    }
+
+    /// Convenience: CATHYHIN on a corpus with typed entities (§3.2) —
+    /// builds the collapsed heterogeneous network and constructs the
+    /// hierarchy.
+    pub fn from_corpus_hin(
+        corpus: &lesm_corpus::Corpus,
+        config: &CathyConfig,
+    ) -> Result<Self, HierError> {
+        Self::construct(lesm_net::collapsed_network(corpus), config)
+    }
+
+    /// Number of topics (including the root).
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Whether the hierarchy is empty (never true after `construct`).
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// Indices of leaf topics.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.topics.len()).filter(|&t| self.topics[t].children.is_empty()).collect()
+    }
+
+    /// Top `n` nodes of type `x` in topic `t`.
+    pub fn top_nodes(&self, t: usize, x: usize, n: usize) -> Vec<(u32, f64)> {
+        let mut idx: Vec<(u32, f64)> =
+            self.topics[t].phi[x].iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN"));
+        idx.truncate(n);
+        idx
+    }
+
+    /// Root-to-node path indices (root first).
+    pub fn path_nodes(&self, t: usize) -> Vec<usize> {
+        let mut out = vec![t];
+        let mut cur = t;
+        while let Some(p) = self.topics[cur].parent {
+            out.push(p);
+            cur = p;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Siblings of `t` (children of its parent excluding `t`).
+    pub fn siblings(&self, t: usize) -> Vec<usize> {
+        match self.topics[t].parent {
+            None => vec![],
+            Some(p) => {
+                self.topics[p].children.iter().copied().filter(|&c| c != t).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::em::WeightMode;
+    use lesm_net::NetworkBuilder;
+
+    /// 2x2 nested communities: terms 0-7 and 8-15; within each, two
+    /// sub-blocks of 4.
+    fn nested_network() -> TypedNetwork {
+        let mut b = NetworkBuilder::new(vec!["term".into()], vec![16]);
+        for blk in [0u32, 4, 8, 12] {
+            for i in blk..blk + 4 {
+                for j in (i + 1)..blk + 4 {
+                    b.add(0, i, 0, j, 20.0);
+                }
+            }
+        }
+        // Weak intra-supergroup ties.
+        for (a, bnode) in [(0u32, 4u32), (1, 5), (8, 12), (9, 13)] {
+            b.add(0, a, 0, bnode, 6.0);
+        }
+        // Very weak cross-supergroup tie.
+        b.add(0, 7, 0, 8, 1.0);
+        b.build()
+    }
+
+    fn config() -> CathyConfig {
+        CathyConfig {
+            children: ChildCount::Fixed(2),
+            max_depth: 2,
+            em: EmConfig {
+                iters: 150,
+                restarts: 4,
+                seed: 3,
+                background: false,
+                weights: WeightMode::Equal,
+                ..EmConfig::default()
+            },
+            min_links: 4,
+            subnet_threshold: 0.5,
+        }
+    }
+
+    #[test]
+    fn constructs_two_levels() {
+        let h = TopicHierarchy::construct(nested_network(), &config()).unwrap();
+        assert_eq!(h.topics[0].children.len(), 2);
+        assert!(h.len() >= 3);
+        // Level-1 topics should separate the supergroups.
+        let c0 = h.topics[0].children[0];
+        let c1 = h.topics[0].children[1];
+        let mass_low_c0: f64 = h.topics[c0].phi[0][..8].iter().sum();
+        let mass_low_c1: f64 = h.topics[c1].phi[0][..8].iter().sum();
+        assert!(
+            (mass_low_c0 > 0.85) != (mass_low_c1 > 0.85),
+            "level-1 split failed: {mass_low_c0:.2} vs {mass_low_c1:.2}"
+        );
+        // Paths follow the o/i/j convention.
+        assert_eq!(h.topics[c0].path, "o/1");
+        for &g in &h.topics[c0].children {
+            assert!(h.topics[g].path.starts_with("o/1/"));
+            assert_eq!(h.topics[g].level, 2);
+        }
+    }
+
+    #[test]
+    fn path_and_siblings() {
+        let h = TopicHierarchy::construct(nested_network(), &config()).unwrap();
+        let c0 = h.topics[0].children[0];
+        if let Some(&g) = h.topics[c0].children.first() {
+            assert_eq!(h.path_nodes(g), vec![0, c0, g]);
+            assert_eq!(h.siblings(g).len(), h.topics[c0].children.len() - 1);
+        }
+        assert!(h.siblings(0).is_empty());
+    }
+
+    #[test]
+    fn rho_shares_sum_to_at_most_one() {
+        let h = TopicHierarchy::construct(nested_network(), &config()).unwrap();
+        let s: f64 = h.topics[0].children.iter().map(|&c| h.topics[c].rho).sum();
+        assert!(s <= 1.0 + 1e-9);
+        assert!(s > 0.5, "children should own most links, got {s}");
+    }
+
+    #[test]
+    fn min_links_stops_recursion() {
+        let mut cfg = config();
+        cfg.min_links = 10_000;
+        let h = TopicHierarchy::construct(nested_network(), &cfg).unwrap();
+        assert_eq!(h.len(), 1, "root too small to expand");
+    }
+
+    #[test]
+    fn zero_depth_rejected() {
+        let mut cfg = config();
+        cfg.max_depth = 0;
+        assert!(TopicHierarchy::construct(nested_network(), &cfg).is_err());
+    }
+
+    #[test]
+    fn corpus_constructors_work() {
+        let mut corpus = lesm_corpus::Corpus::new();
+        let author = corpus.entities.add_type("author");
+        for i in 0..40 {
+            let d = if i % 2 == 0 {
+                corpus.push_text("query database index storage engine")
+            } else {
+                corpus.push_text("ranking retrieval search relevance feedback")
+            };
+            corpus
+                .link_entity(d, author, if i % 2 == 0 { "alice" } else { "bob" })
+                .unwrap();
+        }
+        let mut cfg = config();
+        cfg.max_depth = 1;
+        cfg.min_links = 4;
+        let text = TopicHierarchy::from_corpus_text(&corpus, &cfg).unwrap();
+        assert_eq!(text.type_names, vec!["term"]);
+        assert_eq!(text.topics[0].children.len(), 2);
+        let hin = TopicHierarchy::from_corpus_hin(&corpus, &cfg).unwrap();
+        assert_eq!(hin.type_names, vec!["author", "term"]);
+        assert_eq!(hin.topics[0].children.len(), 2);
+        // The HIN variant ranks authors: each child topic's top author is
+        // the theme's dedicated author.
+        let c0 = hin.topics[0].children[0];
+        let top_author = hin.top_nodes(c0, 0, 1)[0].0;
+        assert!(top_author <= 1);
+    }
+}

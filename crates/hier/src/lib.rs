@@ -1,0 +1,50 @@
+//! CATHY and CATHYHIN — recursive hierarchical topic and community
+//! discovery (dissertation Chapter 3).
+//!
+//! The construction is top-down: every topic node owns an edge-weighted
+//! (typed) network; a Poisson link-generation model is fitted by EM to
+//! softly partition the link weights into `k` subtopics (plus an optional
+//! background topic), each subtopic's expected-weight subnetwork is
+//! extracted, and the procedure recurses.
+//!
+//! * [`em`] — the unified generative model and its EM inference
+//!   (eqs. 3.5–3.7 for text-only CATHY; eqs. 3.24–3.29 with background
+//!   topic for CATHYHIN), including link-type weight learning
+//!   (eqs. 3.37–3.38 under the Theorem 3.2 normalization).
+//! * [`select`] — BIC/AIC model selection for the number of subtopics
+//!   (§3.2.3).
+//! * [`hierarchy`] — the recursive constructor and the resulting
+//!   [`TopicHierarchy`].
+
+// Index-based loops are kept where they mirror the paper's equations.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cv;
+pub mod em;
+pub mod hierarchy;
+pub mod select;
+
+pub use cv::{select_k_cv, CvConfig};
+pub use em::{CathyHinEm, EmConfig, EmFit, WeightMode};
+pub use hierarchy::{CathyConfig, HierTopic, TopicHierarchy};
+pub use select::{bic_score, select_k};
+
+/// Errors produced by hierarchy construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HierError {
+    /// The input network has no links.
+    EmptyNetwork,
+    /// An invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for HierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HierError::EmptyNetwork => write!(f, "network has no links"),
+            HierError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HierError {}

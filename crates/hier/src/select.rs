@@ -1,0 +1,130 @@
+//! Model selection for the number of subtopics (§3.2.3).
+//!
+//! The dissertation recommends cross-validation with BIC as the
+//! small-network fallback. We implement BIC (and AIC) over the full Poisson
+//! likelihood of [`crate::em::EmFit`]; `select_k` scans a candidate range
+//! and returns the `k` minimizing the penalized criterion.
+
+use crate::em::{CathyHinEm, EmConfig};
+use crate::HierError;
+use lesm_net::TypedNetwork;
+
+/// Information criterion flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Bayesian information criterion (`penalty = |params| ln |E|`).
+    Bic,
+    /// Akaike information criterion (`penalty = 2 |params|`).
+    Aic,
+}
+
+/// The BIC score of a fit: `-2 ln L + |V| k ln |E|` (lower is better).
+///
+/// As in §3.2.3 only the `k`-dependent `|V| * k` part of the parameter
+/// count enters.
+pub fn bic_score(loglik: f64, total_nodes: usize, k: usize, n_links: usize) -> f64 {
+    -2.0 * loglik + (total_nodes * k) as f64 * (n_links.max(2) as f64).ln()
+}
+
+/// The AIC score of a fit (lower is better).
+pub fn aic_score(loglik: f64, total_nodes: usize, k: usize) -> f64 {
+    -2.0 * loglik + 2.0 * (total_nodes * k) as f64
+}
+
+/// Fits the model for every `k` in `k_range` and returns
+/// `(best_k, scores)` where `scores[i]` pairs with `k_range` in order.
+///
+/// Lower scores win. Ties break toward smaller `k` (cheaper browsing).
+pub fn select_k(
+    net: &TypedNetwork,
+    k_range: std::ops::RangeInclusive<usize>,
+    base: &EmConfig,
+    criterion: Criterion,
+) -> Result<(usize, Vec<(usize, f64)>), HierError> {
+    let total_nodes: usize = net.node_counts.iter().sum();
+    let n_links = net.num_links();
+    let mut scores = Vec::new();
+    let mut best: Option<(usize, f64)> = None;
+    for k in k_range {
+        if k == 0 {
+            continue;
+        }
+        let cfg = EmConfig { k, ..base.clone() };
+        let fit = CathyHinEm::fit(net, &cfg)?;
+        let score = match criterion {
+            Criterion::Bic => bic_score(fit.loglik, total_nodes, k, n_links),
+            Criterion::Aic => aic_score(fit.loglik, total_nodes, k),
+        };
+        scores.push((k, score));
+        if best.is_none_or(|(_, s)| score < s) {
+            best = Some((k, score));
+        }
+    }
+    let (best_k, _) = best.ok_or_else(|| HierError::InvalidConfig("empty k range".into()))?;
+    Ok((best_k, scores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::em::WeightMode;
+    use lesm_net::NetworkBuilder;
+
+    /// Three clean communities.
+    fn three_communities() -> TypedNetwork {
+        let mut b = NetworkBuilder::new(vec!["term".into()], vec![12]);
+        for grp in [0u32, 4, 8] {
+            for i in grp..grp + 4 {
+                for j in (i + 1)..grp + 4 {
+                    b.add(0, i, 0, j, 12.0);
+                }
+            }
+        }
+        b.add(0, 3, 0, 4, 1.0);
+        b.add(0, 7, 0, 8, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn bic_prefers_true_k() {
+        let net = three_communities();
+        let base = EmConfig {
+            iters: 120,
+            restarts: 3,
+            seed: 11,
+            background: false,
+            weights: WeightMode::Equal,
+            ..EmConfig::default()
+        };
+        let (k, scores) = select_k(&net, 2..=5, &base, Criterion::Bic).unwrap();
+        assert_eq!(scores.len(), 4);
+        assert!(
+            (2..=4).contains(&k),
+            "BIC should land near the true 3 communities, chose {k}: {scores:?}"
+        );
+    }
+
+    #[test]
+    fn bic_penalty_grows_with_k() {
+        let b1 = bic_score(-100.0, 10, 2, 50);
+        let b2 = bic_score(-100.0, 10, 4, 50);
+        assert!(b2 > b1);
+    }
+
+    #[test]
+    fn aic_penalty_weaker_than_bic_on_large_networks() {
+        // With ln|E| > 2 the BIC penalty dominates AIC's.
+        let bic = bic_score(-100.0, 10, 3, 1000);
+        let aic = aic_score(-100.0, 10, 3);
+        assert!(bic > aic);
+    }
+
+    #[test]
+    fn empty_range_is_error() {
+        let net = three_communities();
+        let base = EmConfig { background: false, ..EmConfig::default() };
+        #[allow(clippy::reversed_empty_ranges)]
+        let r = select_k(&net, 3..=2, &base, Criterion::Bic);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Dense and sparse linear-algebra kernels used across the `lesm` workspace.
+//!
+//! This crate is a from-scratch substrate: the STROD inference of Chapter 7
+//! needs top-k eigenpairs of an implicitly defined word co-occurrence matrix,
+//! a whitening transform, and a robust tensor power method on a small
+//! symmetric 3-mode tensor. None of that requires BLAS; everything here is
+//! plain safe Rust tuned for the sizes that occur in topic modeling
+//! (vocabulary up to ~10^5, topic count up to ~10^2).
+//!
+//! Modules:
+//! * [`mat`] — row-major dense matrices with the handful of ops we need.
+//! * [`eig`] — Jacobi eigendecomposition (small dense) and matrix-free
+//!   subspace iteration for top-k eigenpairs of symmetric operators.
+//! * [`tensor`] — dense symmetric 3-mode tensors and contractions.
+//! * [`sparse`] — CSR-style document/term count matrices.
+
+// Index-based loops are kept where they mirror the paper's equations.
+#![allow(clippy::needless_range_loop)]
+
+pub mod eig;
+pub mod mat;
+pub mod sparse;
+pub mod tensor;
+
+pub use eig::{jacobi_eigen, topk_eigen, SymOp};
+pub use mat::Mat;
+pub use sparse::SparseRows;
+pub use tensor::Tensor3;
+
+/// Numerical tolerance used by decomposition routines in this crate.
+pub const EPS: f64 = 1e-12;
+
+/// Dot product of two equal-length slices.
+///
+/// Panics if the slices differ in length (programming error, not data error).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Normalizes `a` to unit Euclidean norm in place; returns the original norm.
+///
+/// A zero vector is left unchanged and `0.0` is returned.
+pub fn normalize(a: &mut [f64]) -> f64 {
+    let n = norm2(a);
+    if n > EPS {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+    n
+}
+
+/// `y += alpha * x` for equal-length slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Normalizes a non-negative slice to sum to one (an empirical distribution).
+///
+/// If the sum is not positive the slice is set to the uniform distribution.
+pub fn to_distribution(a: &mut [f64]) {
+    let s: f64 = a.iter().sum();
+    if s > EPS {
+        for x in a.iter_mut() {
+            *x /= s;
+        }
+    } else if !a.is_empty() {
+        let u = 1.0 / a.len() as f64;
+        for x in a.iter_mut() {
+            *x = u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_unit() {
+        let mut v = vec![3.0, 4.0];
+        let n = normalize(&mut v);
+        assert!((n - 5.0).abs() < 1e-12);
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn to_distribution_sums_to_one() {
+        let mut v = vec![2.0, 6.0];
+        to_distribution(&mut v);
+        assert_eq!(v, vec![0.25, 0.75]);
+        let mut z = vec![0.0, 0.0, 0.0, 0.0];
+        to_distribution(&mut z);
+        assert_eq!(z, vec![0.25; 4]);
+    }
+}

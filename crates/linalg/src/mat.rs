@@ -1,0 +1,249 @@
+//! Row-major dense matrices.
+
+use crate::{dot, EPS};
+
+/// A dense, row-major `rows x cols` matrix of `f64`.
+///
+/// This intentionally implements only the operations the workspace needs;
+/// it is not a general linear-algebra library.
+///
+/// ```
+/// use lesm_linalg::Mat;
+///
+/// let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(a.matvec(&[1.0, 0.0]), vec![1.0, 3.0]);
+/// assert_eq!(a.matmul(&Mat::identity(2)), a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Dense matrix product `self * other`.
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "dimension mismatch");
+        (0..self.rows).map(|r| dot(self.row(r), x)).collect()
+    }
+
+    /// `self^T * x` without materializing the transpose.
+    pub fn tmatvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, x.len(), "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(r)) {
+                *o += xr * a;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute off-diagonal entry (square matrices only).
+    pub fn max_offdiag(&self) -> f64 {
+        assert_eq!(self.rows, self.cols);
+        let mut m = 0.0f64;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    m = m.max(self[(i, j)].abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// Orthonormalizes the columns in place with modified Gram–Schmidt.
+    ///
+    /// Columns that become (numerically) zero are replaced by zero vectors;
+    /// the return value is the number of independent columns kept.
+    pub fn orthonormalize_cols(&mut self) -> usize {
+        let mut kept = 0;
+        for c in 0..self.cols {
+            // Subtract projections on previously processed columns.
+            for p in 0..c {
+                let proj: f64 = (0..self.rows).map(|r| self[(r, c)] * self[(r, p)]).sum();
+                for r in 0..self.rows {
+                    let v = self[(r, p)];
+                    self[(r, c)] -= proj * v;
+                }
+            }
+            let n: f64 = (0..self.rows).map(|r| self[(r, c)] * self[(r, c)]).sum::<f64>().sqrt();
+            if n > EPS {
+                for r in 0..self.rows {
+                    self[(r, c)] /= n;
+                }
+                kept += 1;
+            } else {
+                for r in 0..self.rows {
+                    self[(r, c)] = 0.0;
+                }
+            }
+        }
+        kept
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Mat::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_and_tmatvec_agree_with_transpose() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = vec![1.0, -1.0];
+        assert_eq!(a.tmatvec(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn gram_schmidt_orthonormal() {
+        let mut a = Mat::from_vec(3, 2, vec![1.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
+        let kept = a.orthonormalize_cols();
+        assert_eq!(kept, 2);
+        let c0 = a.col(0);
+        let c1 = a.col(1);
+        assert!((dot(&c0, &c0) - 1.0).abs() < 1e-10);
+        assert!((dot(&c1, &c1) - 1.0).abs() < 1e-10);
+        assert!(dot(&c0, &c1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gram_schmidt_detects_dependence() {
+        let mut a = Mat::from_vec(3, 2, vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        assert_eq!(a.orthonormalize_cols(), 1);
+    }
+
+    use crate::dot;
+}

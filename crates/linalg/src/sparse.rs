@@ -1,0 +1,141 @@
+//! CSR-style sparse row collections.
+//!
+//! [`SparseRows`] stores a ragged matrix (one sparse row per document) in
+//! three flat vectors, the layout recommended by the perf-book for cache
+//! friendliness: `indptr` delimits each row's span inside `indices`/`values`.
+
+/// A sparse non-negative matrix stored row-wise (CSR without column sort
+/// guarantees — rows preserve insertion order).
+#[derive(Debug, Clone, Default)]
+pub struct SparseRows {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+    cols: usize,
+}
+
+impl SparseRows {
+    /// Creates an empty collection with `cols` columns.
+    pub fn new(cols: usize) -> Self {
+        Self { indptr: vec![0], indices: Vec::new(), values: Vec::new(), cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of stored (possibly zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Appends a row given `(column, value)` pairs.
+    ///
+    /// Panics if any column is out of range.
+    pub fn push_row(&mut self, entries: &[(u32, f64)]) {
+        for &(c, v) in entries {
+            assert!((c as usize) < self.cols, "column {c} out of range");
+            self.indices.push(c);
+            self.values.push(v);
+        }
+        self.indptr.push(self.indices.len());
+    }
+
+    /// Iterator over the `(column, value)` pairs of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        self.indices[s..e].iter().copied().zip(self.values[s..e].iter().copied())
+    }
+
+    /// Sum of values in row `r`.
+    pub fn row_sum(&self, r: usize) -> f64 {
+        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        self.values[s..e].iter().sum()
+    }
+
+    /// Number of stored entries in row `r`.
+    pub fn row_len(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Column sums over all rows (a dense length-`cols` vector).
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for (&c, &v) in self.indices.iter().zip(&self.values) {
+            out[c as usize] += v;
+        }
+        out
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Sparse dot of row `r` with a dense vector `x`.
+    pub fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
+        self.row(r).map(|(c, v)| v * x[c as usize]).sum()
+    }
+
+    /// Accumulates `alpha * row_r` into a dense vector `y`.
+    pub fn row_axpy(&self, r: usize, alpha: f64, y: &mut [f64]) {
+        for (c, v) in self.row(r) {
+            y[c as usize] += alpha * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseRows {
+        let mut s = SparseRows::new(4);
+        s.push_row(&[(0, 1.0), (2, 2.0)]);
+        s.push_row(&[]);
+        s.push_row(&[(1, 3.0), (3, 4.0), (0, 5.0)]);
+        s
+    }
+
+    #[test]
+    fn shape_and_nnz() {
+        let s = sample();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 4);
+        assert_eq!(s.nnz(), 5);
+        assert_eq!(s.row_len(1), 0);
+    }
+
+    #[test]
+    fn row_iteration_and_sums() {
+        let s = sample();
+        let r0: Vec<_> = s.row(0).collect();
+        assert_eq!(r0, vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(s.row_sum(2), 12.0);
+        assert_eq!(s.total(), 15.0);
+        assert_eq!(s.col_sums(), vec![6.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn row_dot_and_axpy() {
+        let s = sample();
+        let x = vec![1.0, 1.0, 1.0, 1.0];
+        assert_eq!(s.row_dot(2, &x), 12.0);
+        let mut y = vec![0.0; 4];
+        s.row_axpy(0, 2.0, &mut y);
+        assert_eq!(y, vec![2.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_out_of_range_panics() {
+        let mut s = SparseRows::new(2);
+        s.push_row(&[(2, 1.0)]);
+    }
+}

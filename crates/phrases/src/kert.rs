@@ -1,0 +1,467 @@
+//! KERT — mining and ranking topical phrases in short, content-
+//! representative text (§4.2).
+//!
+//! KERT assumes topic discovery has already assigned a topic to every token
+//! (a "background LDA" in the paper's experiments, or CATHY's link
+//! clustering). For each topic it treats a document's topic-`t` words as an
+//! unordered transaction, mines frequent word sets, and ranks them by the
+//! four criteria of §4.1 combined in eq. 4.6:
+//!
+//! ```text
+//! Quality_t(P) = 0                                    if κ_com <= γ
+//!              = κ_pop * [(1-ω) κ_pur + ω κ_con](P)   otherwise
+//! ```
+
+use crate::PhraseError;
+use std::collections::{HashMap, HashSet};
+
+/// A ranked topical phrase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicalPhrase {
+    /// Token ids (for KERT: a word set rendered in canonical order; for
+    /// ToPMine: the contiguous token sequence).
+    pub tokens: Vec<u32>,
+    /// Ranking score.
+    pub score: f64,
+    /// Estimated topical frequency `f_t(P)`.
+    pub topic_freq: f64,
+}
+
+/// Which criteria participate in the ranking — the ablation grid of
+/// Table 4.3 / Table 4.4 / Figure 4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KertVariant {
+    /// All four criteria (γ = 0.5, ω = 0.5 in the paper).
+    Full,
+    /// Popularity removed (worst performer of Table 4.4).
+    NoPopularity,
+    /// Purity removed (ω = 1): concordance only alongside popularity.
+    NoPurity,
+    /// Concordance removed (ω = 0).
+    NoConcordance,
+    /// Completeness filter removed (γ = 0).
+    NoCompleteness,
+    /// Popularity only (the `KERTpop` curve of Figure 4.2).
+    PopularityOnly,
+    /// Purity only (the `KERTpur` curve of Figure 4.2).
+    PurityOnly,
+    /// Popularity × purity (the best MI_K curve, `KERTpop+pur`).
+    PopularityPurity,
+}
+
+/// Configuration for [`Kert::run`].
+#[derive(Debug, Clone)]
+pub struct KertConfig {
+    /// Minimum topical support μ for a pattern to be considered frequent.
+    pub min_support: u64,
+    /// Maximum pattern size (word count).
+    pub max_len: usize,
+    /// Completeness threshold γ (patterns with κ_com <= γ are filtered).
+    pub gamma: f64,
+    /// Purity/concordance mix ω.
+    pub omega: f64,
+    /// Criteria variant.
+    pub variant: KertVariant,
+    /// Ranked phrases kept per topic.
+    pub top_n: usize,
+}
+
+impl Default for KertConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 5,
+            max_len: 3,
+            gamma: 0.5,
+            omega: 0.5,
+            variant: KertVariant::Full,
+            top_n: 30,
+        }
+    }
+}
+
+/// KERT runner.
+#[derive(Debug, Default)]
+pub struct Kert;
+
+/// Per-topic mined pattern statistics, reusable across ranking variants.
+#[derive(Debug, Clone)]
+pub struct KertPatterns {
+    /// Number of topics.
+    pub k: usize,
+    /// Topical frequency `f_t(P)` per pattern (word sets stored sorted).
+    pub topic_freq: Vec<HashMap<Vec<u32>, u64>>,
+    /// Total frequency `f(P) = Σ_t f_t(P)`.
+    pub total_freq: HashMap<Vec<u32>, u64>,
+    /// `N_t`: documents containing at least one frequent topic-`t` pattern.
+    pub n_t: Vec<u64>,
+    /// Total documents `N`.
+    pub n_docs: u64,
+    /// Unigram document frequencies (for concordance).
+    pub word_doc_freq: HashMap<u32, u64>,
+}
+
+impl Kert {
+    /// Mines per-topic frequent word-set patterns from topic-labeled tokens.
+    ///
+    /// `docs[d]` and `topics[d]` are parallel: `topics[d][i]` is the topic
+    /// of `docs[d][i]` (e.g. from an LDA fit).
+    pub fn mine(
+        docs: &[Vec<u32>],
+        topics: &[Vec<u16>],
+        k: usize,
+        config: &KertConfig,
+    ) -> Result<KertPatterns, PhraseError> {
+        if config.min_support == 0 {
+            return Err(PhraseError::InvalidConfig("min_support must be >= 1".into()));
+        }
+        if config.max_len == 0 {
+            return Err(PhraseError::InvalidConfig("max_len must be >= 1".into()));
+        }
+        if docs.len() != topics.len() {
+            return Err(PhraseError::InvalidConfig("docs/topics length mismatch".into()));
+        }
+        let n_docs = docs.len() as u64;
+        // Per-topic transactions: the sorted distinct topic-t words of a doc.
+        let mut transactions: Vec<Vec<Vec<u32>>> = vec![Vec::new(); k];
+        let mut word_doc_freq: HashMap<u32, u64> = HashMap::new();
+        for (doc, tops) in docs.iter().zip(topics) {
+            let mut per_topic: Vec<HashSet<u32>> = vec![HashSet::new(); k];
+            let mut seen_words: HashSet<u32> = HashSet::new();
+            for (&w, &t) in doc.iter().zip(tops) {
+                if (t as usize) < k {
+                    per_topic[t as usize].insert(w);
+                }
+                seen_words.insert(w);
+            }
+            for &w in &seen_words {
+                *word_doc_freq.entry(w).or_insert(0) += 1;
+            }
+            for (t, set) in per_topic.into_iter().enumerate() {
+                if !set.is_empty() {
+                    let mut v: Vec<u32> = set.into_iter().collect();
+                    v.sort_unstable();
+                    transactions[t].push(v);
+                }
+            }
+        }
+        // Apriori per topic.
+        let mut topic_freq: Vec<HashMap<Vec<u32>, u64>> = Vec::with_capacity(k);
+        for tx in &transactions {
+            topic_freq.push(apriori(tx, config.min_support, config.max_len));
+        }
+        let mut total_freq: HashMap<Vec<u32>, u64> = HashMap::new();
+        for tf in &topic_freq {
+            for (p, &c) in tf {
+                *total_freq.entry(p.clone()).or_insert(0) += c;
+            }
+        }
+        let n_t: Vec<u64> = transactions
+            .iter()
+            .zip(&topic_freq)
+            .map(|(tx, tf)| {
+                tx.iter()
+                    .filter(|trans| {
+                        trans.iter().any(|w| tf.contains_key(std::slice::from_ref(w) as &[u32]))
+                    })
+                    .count() as u64
+            })
+            .collect();
+        Ok(KertPatterns { k, topic_freq, total_freq, n_t, n_docs, word_doc_freq })
+    }
+
+    /// Ranks the mined patterns of every topic per the configured variant.
+    pub fn rank(patterns: &KertPatterns, config: &KertConfig) -> Vec<Vec<TopicalPhrase>> {
+        let k = patterns.k;
+        let mut out = Vec::with_capacity(k);
+        for t in 0..k {
+            let mut list: Vec<TopicalPhrase> = Vec::new();
+            for (p, &ft) in &patterns.topic_freq[t] {
+                let scores = criteria(patterns, t, p, ft);
+                // Completeness filter (unless disabled by the variant).
+                let use_completeness = !matches!(
+                    config.variant,
+                    KertVariant::NoCompleteness
+                        | KertVariant::PopularityOnly
+                        | KertVariant::PurityOnly
+                        | KertVariant::PopularityPurity
+                );
+                if use_completeness && scores.completeness <= config.gamma {
+                    continue;
+                }
+                let score = combine(&scores, config);
+                list.push(TopicalPhrase { tokens: p.clone(), score, topic_freq: ft as f64 });
+            }
+            list.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .expect("non-NaN score")
+                    .then_with(|| a.tokens.cmp(&b.tokens))
+            });
+            list.truncate(config.top_n);
+            out.push(list);
+        }
+        out
+    }
+
+    /// Convenience: mine then rank.
+    pub fn run(
+        docs: &[Vec<u32>],
+        topics: &[Vec<u16>],
+        k: usize,
+        config: &KertConfig,
+    ) -> Result<Vec<Vec<TopicalPhrase>>, PhraseError> {
+        let patterns = Self::mine(docs, topics, k, config)?;
+        Ok(Self::rank(&patterns, config))
+    }
+}
+
+/// The four criteria values of one pattern in one topic.
+#[derive(Debug, Clone, Copy)]
+pub struct Criteria {
+    /// κ_pop (eq. 4.4).
+    pub popularity: f64,
+    /// κ_pur (eq. 4.5).
+    pub purity: f64,
+    /// κ_con (eq. 4.1).
+    pub concordance: f64,
+    /// κ_com (eq. 4.2).
+    pub completeness: f64,
+}
+
+/// Computes the four criteria for a pattern.
+pub fn criteria(patterns: &KertPatterns, t: usize, p: &[u32], ft: u64) -> Criteria {
+    let n = patterns.n_docs.max(1) as f64;
+    let n_t = patterns.n_t[t].max(1) as f64;
+    // Popularity (eq. 4.4).
+    let popularity = ft as f64 / n_t;
+    // Purity (eq. 4.5): contrast against the worst mixed collection
+    // {t, t'} over sibling topics t' != t.
+    let mut worst_mix = 0.0f64;
+    for t2 in 0..patterns.k {
+        if t2 == t {
+            continue;
+        }
+        let ft2 = patterns.topic_freq[t2].get(p).copied().unwrap_or(0);
+        let n_mix = (patterns.n_t[t] + patterns.n_t[t2]).max(1) as f64;
+        let mix = (ft + ft2) as f64 / n_mix;
+        if mix > worst_mix {
+            worst_mix = mix;
+        }
+    }
+    let purity = if worst_mix > 0.0 {
+        (popularity.max(1e-12) / worst_mix).ln()
+    } else {
+        0.0
+    };
+    // Concordance (eq. 4.1): total-frequency based.
+    let f_total = patterns.total_freq.get(p).copied().unwrap_or(ft).max(1) as f64;
+    let mut concordance = (f_total / n).ln();
+    for w in p {
+        let fw = patterns.word_doc_freq.get(w).copied().unwrap_or(1).max(1) as f64;
+        concordance -= (fw / n).ln();
+    }
+    // Completeness (eq. 4.2): 1 - max_{P ⊕ v} f(P ⊕ v) / f(P).
+    let mut max_super = 0u64;
+    for (q, &fq) in &patterns.topic_freq[t] {
+        if q.len() == p.len() + 1 && is_subset(p, q) {
+            max_super = max_super.max(fq);
+        }
+    }
+    let completeness = 1.0 - max_super as f64 / ft.max(1) as f64;
+    Criteria { popularity, purity, concordance, completeness }
+}
+
+fn combine(c: &Criteria, config: &KertConfig) -> f64 {
+    match config.variant {
+        KertVariant::Full | KertVariant::NoCompleteness => {
+            c.popularity * ((1.0 - config.omega) * c.purity + config.omega * c.concordance)
+        }
+        KertVariant::NoPopularity => (1.0 - config.omega) * c.purity + config.omega * c.concordance,
+        KertVariant::NoPurity => c.popularity * c.concordance,
+        KertVariant::NoConcordance => c.popularity * c.purity,
+        KertVariant::PopularityOnly => c.popularity,
+        KertVariant::PurityOnly => c.purity,
+        KertVariant::PopularityPurity => c.popularity * c.purity,
+    }
+}
+
+fn is_subset(p: &[u32], q: &[u32]) -> bool {
+    // Both sorted.
+    let mut qi = 0;
+    for &w in p {
+        while qi < q.len() && q[qi] < w {
+            qi += 1;
+        }
+        if qi >= q.len() || q[qi] != w {
+            return false;
+        }
+        qi += 1;
+    }
+    true
+}
+
+/// Apriori over unordered transactions: frequent word sets up to `max_len`.
+fn apriori(transactions: &[Vec<u32>], min_support: u64, max_len: usize) -> HashMap<Vec<u32>, u64> {
+    let mut out: HashMap<Vec<u32>, u64> = HashMap::new();
+    // Size-1.
+    let mut counts: HashMap<Vec<u32>, u64> = HashMap::new();
+    for tx in transactions {
+        for &w in tx {
+            *counts.entry(vec![w]).or_insert(0) += 1;
+        }
+    }
+    counts.retain(|_, &mut c| c >= min_support);
+    let mut frequent_prev: Vec<Vec<u32>> = counts.keys().cloned().collect();
+    out.extend(counts);
+    let mut size = 2usize;
+    while !frequent_prev.is_empty() && size <= max_len {
+        // Candidate generation: join sets sharing a (size-2)-prefix.
+        frequent_prev.sort();
+        let mut candidates: HashSet<Vec<u32>> = HashSet::new();
+        for i in 0..frequent_prev.len() {
+            for j in (i + 1)..frequent_prev.len() {
+                let (a, b) = (&frequent_prev[i], &frequent_prev[j]);
+                if a[..size - 2] != b[..size - 2] {
+                    break; // sorted: no further joins for i
+                }
+                let mut c = a.clone();
+                c.push(b[size - 2]);
+                candidates.insert(c);
+            }
+        }
+        let mut counts: HashMap<Vec<u32>, u64> = HashMap::new();
+        for tx in transactions {
+            if tx.len() < size {
+                continue;
+            }
+            let set: HashSet<u32> = tx.iter().copied().collect();
+            for cand in &candidates {
+                if cand.iter().all(|w| set.contains(w)) {
+                    *counts.entry(cand.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        counts.retain(|_, &mut c| c >= min_support);
+        frequent_prev = counts.keys().cloned().collect();
+        out.extend(counts);
+        size += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Topic 0 docs use {0,1,2} ("support vector machines" analog, with
+    /// {0,1} never occurring without 2); topic 1 docs use {5,6} and the
+    /// cross-topic word 9 appears in both.
+    fn data() -> (Vec<Vec<u32>>, Vec<Vec<u16>>) {
+        let mut docs = Vec::new();
+        let mut tops = Vec::new();
+        for i in 0..40 {
+            if i % 2 == 0 {
+                docs.push(vec![0, 1, 2, 9, 3]);
+                tops.push(vec![0, 0, 0, 0, 0]);
+            } else {
+                docs.push(vec![5, 6, 9, 7]);
+                tops.push(vec![1, 1, 1, 1]);
+            }
+        }
+        (docs, tops)
+    }
+
+    fn cfg() -> KertConfig {
+        KertConfig { min_support: 5, max_len: 3, gamma: 0.5, omega: 0.5, ..Default::default() }
+    }
+
+    #[test]
+    fn mine_counts_topical_frequency() {
+        let (docs, tops) = data();
+        let p = Kert::mine(&docs, &tops, 2, &cfg()).unwrap();
+        assert_eq!(p.topic_freq[0].get(&vec![0, 1, 2]).copied(), Some(20));
+        assert_eq!(p.topic_freq[1].get(&vec![5, 6]).copied(), Some(20));
+        // Word 9 frequent in both topics.
+        assert!(p.topic_freq[0].contains_key(&vec![9]));
+        assert!(p.topic_freq[1].contains_key(&vec![9]));
+        assert_eq!(p.total_freq[&vec![9]], 40);
+    }
+
+    #[test]
+    fn completeness_filters_subphrases() {
+        let (docs, tops) = data();
+        let patterns = Kert::mine(&docs, &tops, 2, &cfg()).unwrap();
+        // {0,1} always accompanied by 2 -> completeness 0 -> filtered.
+        let c = criteria(&patterns, 0, &[0, 1], 20);
+        assert!(c.completeness < 0.5, "incomplete pattern should score low: {}", c.completeness);
+        let full = criteria(&patterns, 0, &[0, 1, 2], 20);
+        assert!((full.completeness - 1.0).abs() < 1e-12);
+        let ranked = Kert::rank(&patterns, &cfg());
+        assert!(
+            !ranked[0].iter().any(|p| p.tokens == vec![0, 1]),
+            "incomplete pattern must be filtered"
+        );
+        assert!(ranked[0].iter().any(|p| p.tokens == vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn purity_demotes_shared_words() {
+        let (docs, tops) = data();
+        let patterns = Kert::mine(&docs, &tops, 2, &cfg()).unwrap();
+        let shared = criteria(&patterns, 0, &[9], 20);
+        let dedicated = criteria(&patterns, 0, &[3], 20);
+        assert!(dedicated.purity > shared.purity, "shared word must be less pure");
+    }
+
+    #[test]
+    fn variant_no_popularity_is_worst_for_frequent_good_phrases() {
+        let (docs, tops) = data();
+        let patterns = Kert::mine(&docs, &tops, 2, &cfg()).unwrap();
+        let full = Kert::rank(&patterns, &cfg());
+        let nopop = Kert::rank(
+            &patterns,
+            &KertConfig { variant: KertVariant::NoPopularity, ..cfg() },
+        );
+        // Under Full, the dominant trigram ranks near the top.
+        let full_pos = full[0].iter().position(|p| p.tokens == vec![0, 1, 2]);
+        let nopop_pos = nopop[0].iter().position(|p| p.tokens == vec![0, 1, 2]);
+        assert!(full_pos.is_some());
+        if let (Some(f), Some(n)) = (full_pos, nopop_pos) {
+            assert!(f <= n, "popularity should promote the dominant phrase");
+        }
+    }
+
+    #[test]
+    fn ranked_lists_are_sorted() {
+        let (docs, tops) = data();
+        let ranked = Kert::run(&docs, &tops, 2, &cfg()).unwrap();
+        for topic in &ranked {
+            for w in topic.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (docs, tops) = data();
+        assert!(Kert::mine(&docs, &tops, 2, &KertConfig { min_support: 0, ..cfg() }).is_err());
+        assert!(Kert::mine(&docs, &tops, 2, &KertConfig { max_len: 0, ..cfg() }).is_err());
+        assert!(Kert::mine(&docs, &tops[..1], 2, &cfg()).is_err());
+    }
+
+    #[test]
+    fn apriori_subset_property() {
+        let tx = vec![vec![1, 2, 3], vec![1, 2, 3], vec![1, 2], vec![2, 3], vec![1, 2, 3]];
+        let f = apriori(&tx, 3, 3);
+        assert_eq!(f[&vec![1, 2]], 4);
+        assert_eq!(f[&vec![1, 2, 3]], 3);
+        for (p, &c) in &f {
+            if p.len() == 2 {
+                for w in p {
+                    assert!(f[&vec![*w]] >= c);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! KERT and ToPMine — topical phrase mining (dissertation Chapter 4).
+//!
+//! * [`kert`] — phrase mining and ranking for short, content-representative
+//!   text (§4.2): frequent word-set mining plus the four criteria
+//!   (popularity, purity, concordance, completeness) combined by eq. 4.6.
+//! * [`topmine`] — phrase mining for general text (§4.3): contiguous
+//!   frequent phrase mining (Algorithm 1), bottom-up significance-guided
+//!   segmentation (Algorithm 2), and topical phrase ranking (eq. 4.9).
+//! * [`baselines`] — the kpRel / kpRelInt* ranking baselines of §4.4.1.
+
+pub mod baselines;
+pub mod kert;
+pub mod topmine;
+
+pub use kert::{Kert, KertConfig, KertVariant, TopicalPhrase};
+pub use topmine::{FrequentPhrases, Segmenter, SegmenterConfig, ToPMine, ToPMineConfig};
+
+/// Errors produced by phrase mining.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhraseError {
+    /// Invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for PhraseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhraseError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PhraseError {}

@@ -1,0 +1,47 @@
+//! Mining hierarchical relations (dissertation Chapter 6).
+//!
+//! The case study is advisor–advisee discovery from temporal collaboration
+//! networks:
+//!
+//! * [`preprocess`] — Stage 1 (§6.1.3): project papers onto a coauthor
+//!   network with per-year publication vectors, compute the Kulczynski and
+//!   imbalance-ratio sequences (eqs. 6.1–6.2), apply filter rules R1–R4,
+//!   estimate advising intervals (YEAR1/YEAR2/YEAR) and local likelihoods,
+//!   and emit the candidate DAG.
+//! * [`tpfg`] — Stage 2 (§6.1.4–6.1.5): the Time-constrained Probabilistic
+//!   Factor Graph and its two-phase message-passing inference, producing
+//!   ranked advisor probabilities `r_ij` and P@(k, θ) predictions.
+//! * [`baselines`] — RULE, IndMAX and a linear-SVM pairwise classifier
+//!   (the comparators of §6.1.6).
+//! * [`crf`] — the supervised conditional-random-field variant (§6.2) with
+//!   log-linear potentials trained by regularized pseudo-likelihood.
+
+pub mod baselines;
+pub mod crf;
+pub mod preprocess;
+pub mod render;
+pub mod tpfg;
+
+pub use preprocess::{CandidateGraph, Candidate, PreprocessConfig, LocalLikelihood, YearRule};
+pub use render::AdvisingForest;
+pub use tpfg::{Tpfg, TpfgConfig, TpfgResult};
+
+/// Errors produced by relation mining.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelError {
+    /// Invalid configuration value.
+    InvalidConfig(String),
+    /// The candidate graph is empty (no pair passed the filters).
+    NoCandidates,
+}
+
+impl std::fmt::Display for RelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            RelError::NoCandidates => write!(f, "no candidate relations after filtering"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}

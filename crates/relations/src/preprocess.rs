@@ -1,0 +1,458 @@
+//! Stage 1 preprocessing (§6.1.3): coauthor-network projection, temporal
+//! correlation measures, filter rules, advising-interval estimation and
+//! local likelihoods.
+
+use crate::RelError;
+use lesm_corpus::synth::GenPaper;
+use std::collections::HashMap;
+
+/// Which measure defines the local likelihood `l_ij` (ablated in §6.1.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalLikelihood {
+    /// Average Kulczynski over the advising interval.
+    Kulczynski,
+    /// Average imbalance ratio over the advising interval.
+    ImbalanceRatio,
+    /// Average of both (eq. 6.3).
+    Average,
+}
+
+/// How the advising end year is estimated (§6.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YearRule {
+    /// The year the Kulczynski sequence starts to decrease.
+    Year1,
+    /// The year maximizing the before/after Kulczynski contrast.
+    Year2,
+    /// The earlier of YEAR1 and YEAR2.
+    Year,
+}
+
+/// Configuration of the preprocessing stage.
+#[derive(Debug, Clone)]
+pub struct PreprocessConfig {
+    /// Apply rule R1: reject if the imbalance ratio ever goes negative
+    /// during the collaboration period.
+    pub rule_ir: bool,
+    /// Apply rule R2: reject if the Kulczynski sequence never increases.
+    pub rule_kulc_increase: bool,
+    /// Apply rule R3: reject single-year collaborations.
+    pub rule_min_years: bool,
+    /// Apply rule R4: reject unless the advisor published at least 2 years
+    /// before the first collaboration.
+    pub rule_head_start: bool,
+    /// Minimum total co-publications for a pair to be considered at all.
+    pub min_copubs: u32,
+    /// Local-likelihood measure.
+    pub likelihood: LocalLikelihood,
+    /// Advising end-year estimator.
+    pub year_rule: YearRule,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        Self {
+            rule_ir: true,
+            rule_kulc_increase: true,
+            rule_min_years: true,
+            rule_head_start: true,
+            min_copubs: 2,
+            likelihood: LocalLikelihood::Average,
+            year_rule: YearRule::Year,
+        }
+    }
+}
+
+/// One candidate advisor for an author.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The potential advisor's id.
+    pub advisor: u32,
+    /// Estimated advising interval `[st, ed]`.
+    pub interval: (i32, i32),
+    /// Local likelihood `l_ij`.
+    pub likelihood: f64,
+    /// Feature vector for supervised methods: `[avg kulc, avg IR,
+    /// collaboration years, total co-pubs (log), start-year gap]`.
+    pub features: [f64; 5],
+}
+
+/// The candidate DAG `G'` (§6.1.3): per-author candidate advisor lists.
+#[derive(Debug, Clone)]
+pub struct CandidateGraph {
+    /// `candidates[i]` — candidate advisors of author `i`, sorted by
+    /// descending likelihood.
+    pub candidates: Vec<Vec<Candidate>>,
+    /// First publication year of every author (`i32::MAX` if none).
+    pub first_year: Vec<i32>,
+    /// Number of authors.
+    pub n_authors: usize,
+}
+
+/// Per-pair yearly collaboration profile.
+struct PairProfile {
+    years: Vec<i32>,
+    /// cumulative co-publications by the end of `years[t]`
+    cum_pair: Vec<f64>,
+    cum_a: Vec<f64>,
+    cum_b: Vec<f64>,
+}
+
+impl CandidateGraph {
+    /// Builds the candidate graph from paper records.
+    pub fn build(
+        papers: &[GenPaper],
+        n_authors: usize,
+        config: &PreprocessConfig,
+    ) -> Result<Self, RelError> {
+        if n_authors == 0 {
+            return Err(RelError::InvalidConfig("need at least one author".into()));
+        }
+        // Per-author yearly publication counts and per-pair yearly co-counts.
+        let mut per_author: Vec<HashMap<i32, f64>> = vec![HashMap::new(); n_authors];
+        let mut per_pair: HashMap<(u32, u32), HashMap<i32, f64>> = HashMap::new();
+        let mut first_year = vec![i32::MAX; n_authors];
+        for p in papers {
+            for &a in &p.authors {
+                let a_us = a as usize;
+                if a_us >= n_authors {
+                    return Err(RelError::InvalidConfig(format!("author {a} out of range")));
+                }
+                *per_author[a_us].entry(p.year).or_insert(0.0) += 1.0;
+                if p.year < first_year[a_us] {
+                    first_year[a_us] = p.year;
+                }
+            }
+            for (ai, &a) in p.authors.iter().enumerate() {
+                for &b in &p.authors[ai + 1..] {
+                    if a == b {
+                        continue;
+                    }
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    *per_pair.entry(key).or_default().entry(p.year).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        let mut candidates: Vec<Vec<Candidate>> = vec![Vec::new(); n_authors];
+        for (&(a, b), pair_years) in &per_pair {
+            let total: f64 = pair_years.values().sum();
+            if (total as u32) < config.min_copubs {
+                continue;
+            }
+            // Potential directions: x advised by y requires y publishing
+            // strictly earlier (Assumption 6.2).
+            for (advisee, advisor) in [(a, b), (b, a)] {
+                if first_year[advisor as usize] >= first_year[advisee as usize] {
+                    continue;
+                }
+                if let Some(c) =
+                    evaluate_pair(advisee, advisor, pair_years, &per_author, &first_year, config)
+                {
+                    candidates[advisee as usize].push(c);
+                }
+            }
+        }
+        for list in &mut candidates {
+            list.sort_by(|x, y| {
+                y.likelihood
+                    .partial_cmp(&x.likelihood)
+                    .expect("non-NaN likelihood")
+                    .then_with(|| x.advisor.cmp(&y.advisor))
+            });
+        }
+        if candidates.iter().all(Vec::is_empty) {
+            return Err(RelError::NoCandidates);
+        }
+        Ok(Self { candidates, first_year, n_authors })
+    }
+
+    /// Verifies the candidate graph is a DAG (always true: every candidate
+    /// edge points to an author with a strictly earlier first year).
+    pub fn is_dag(&self) -> bool {
+        self.candidates.iter().enumerate().all(|(i, list)| {
+            list.iter().all(|c| self.first_year[c.advisor as usize] < self.first_year[i])
+        })
+    }
+
+    /// Total number of candidate edges.
+    pub fn num_edges(&self) -> usize {
+        self.candidates.iter().map(Vec::len).sum()
+    }
+}
+
+fn evaluate_pair(
+    advisee: u32,
+    advisor: u32,
+    pair_years: &HashMap<i32, f64>,
+    per_author: &[HashMap<i32, f64>],
+    first_year: &[i32],
+    config: &PreprocessConfig,
+) -> Option<Candidate> {
+    let profile = profile_pair(advisee, advisor, pair_years, per_author);
+    if profile.years.is_empty() {
+        return None;
+    }
+    // Rule R3: single-year collaborations.
+    let span = profile.years.last().unwrap() - profile.years[0] + 1;
+    if config.rule_min_years && span < 2 {
+        return None;
+    }
+    // Rule R4: advisor head start before first collaboration.
+    if config.rule_head_start && first_year[advisor as usize] + 2 > profile.years[0] {
+        return None;
+    }
+    let kulc: Vec<f64> = (0..profile.years.len()).map(|t| kulc_at(&profile, t)).collect();
+    let ir: Vec<f64> = (0..profile.years.len()).map(|t| ir_at(&profile, t)).collect();
+    // Rule R1: negative imbalance during the collaboration period.
+    if config.rule_ir && ir.iter().any(|&v| v < 0.0) {
+        return None;
+    }
+    // Rule R2: Kulczynski must increase at least once.
+    if config.rule_kulc_increase
+        && kulc.len() >= 2
+        && !kulc.windows(2).any(|w| w[1] > w[0] + 1e-12)
+    {
+        return None;
+    }
+    // Interval estimation.
+    let st = profile.years[0];
+    let ed_idx = end_index(&kulc, config.year_rule);
+    let ed = profile.years[ed_idx].max(st + 1);
+    // Local likelihood over [st, ed].
+    let in_range: Vec<usize> =
+        (0..profile.years.len()).filter(|&t| profile.years[t] <= ed).collect();
+    let avg = |xs: &[f64]| -> f64 {
+        let v: Vec<f64> = in_range.iter().map(|&t| xs[t]).collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let avg_kulc = avg(&kulc);
+    let avg_ir = avg(&ir);
+    let likelihood = match config.likelihood {
+        LocalLikelihood::Kulczynski => avg_kulc,
+        LocalLikelihood::ImbalanceRatio => avg_ir.max(0.0),
+        LocalLikelihood::Average => (avg_kulc + avg_ir.max(0.0)) / 2.0,
+    };
+    let total_copubs: f64 = pair_years.values().sum();
+    let gap = (first_year[advisee as usize] - first_year[advisor as usize]) as f64;
+    Some(Candidate {
+        advisor,
+        interval: (st, ed),
+        likelihood,
+        features: [avg_kulc, avg_ir, span as f64, total_copubs.ln_1p(), gap],
+    })
+}
+
+fn profile_pair(
+    advisee: u32,
+    advisor: u32,
+    pair_years: &HashMap<i32, f64>,
+    per_author: &[HashMap<i32, f64>],
+) -> PairProfile {
+    let mut years: Vec<i32> = pair_years.keys().copied().collect();
+    years.sort_unstable();
+    let mut cum_pair = Vec::with_capacity(years.len());
+    let mut cum_a = Vec::with_capacity(years.len());
+    let mut cum_b = Vec::with_capacity(years.len());
+    let (mut cp, mut ca, mut cb) = (0.0, 0.0, 0.0);
+    let mut prev_year = i32::MIN;
+    for &y in &years {
+        cp += pair_years[&y];
+        // Accumulate the authors' own publications over (prev_year, y].
+        ca += range_sum(&per_author[advisee as usize], prev_year, y);
+        cb += range_sum(&per_author[advisor as usize], prev_year, y);
+        cum_pair.push(cp);
+        cum_a.push(ca);
+        cum_b.push(cb);
+        prev_year = y;
+    }
+    PairProfile { years, cum_pair, cum_a, cum_b }
+}
+
+fn range_sum(counts: &HashMap<i32, f64>, after: i32, upto: i32) -> f64 {
+    counts.iter().filter(|(&y, _)| y > after && y <= upto).map(|(_, &c)| c).sum()
+}
+
+/// Kulczynski measure at time index `t` (eq. 6.1).
+fn kulc_at(p: &PairProfile, t: usize) -> f64 {
+    let cp = p.cum_pair[t];
+    let (ca, cb) = (p.cum_a[t].max(1.0), p.cum_b[t].max(1.0));
+    0.5 * cp * (1.0 / ca + 1.0 / cb)
+}
+
+/// Imbalance ratio at time index `t` (eq. 6.2).
+fn ir_at(p: &PairProfile, t: usize) -> f64 {
+    let cp = p.cum_pair[t];
+    let (ca, cb) = (p.cum_a[t], p.cum_b[t]);
+    let denom = ca + cb - cp;
+    if denom <= 0.0 {
+        0.0
+    } else {
+        (cb - ca) / denom
+    }
+}
+
+/// Index of the estimated advising end year within the Kulczynski sequence.
+fn end_index(kulc: &[f64], rule: YearRule) -> usize {
+    let n = kulc.len();
+    if n <= 1 {
+        return 0;
+    }
+    let year1 = || -> usize {
+        // First decrease after the peak so far.
+        for t in 1..n {
+            if kulc[t] < kulc[t - 1] - 1e-12 {
+                return t - 1;
+            }
+        }
+        n - 1
+    };
+    let year2 = || -> usize {
+        // Split maximizing mean(before) - mean(after).
+        let mut best = n - 1;
+        let mut best_diff = f64::NEG_INFINITY;
+        for split in 0..n - 1 {
+            let before: f64 = kulc[..=split].iter().sum::<f64>() / (split + 1) as f64;
+            let after: f64 = kulc[split + 1..].iter().sum::<f64>() / (n - split - 1) as f64;
+            let diff = before - after;
+            if diff > best_diff {
+                best_diff = diff;
+                best = split;
+            }
+        }
+        best
+    };
+    match rule {
+        YearRule::Year1 => year1(),
+        YearRule::Year2 => year2(),
+        YearRule::Year => year1().min(year2()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lesm_corpus::synth::{Genealogy, GenealogyConfig};
+
+    fn papers_for(pairs: &[(i32, Vec<u32>)]) -> Vec<GenPaper> {
+        pairs.iter().map(|(y, a)| GenPaper { year: *y, authors: a.clone() }).collect()
+    }
+
+    /// Author 1 starts 1990 (advisor-like), author 0 starts 2000 and
+    /// co-publishes with 1 at rising rate 2000-2003.
+    fn advising_papers() -> Vec<GenPaper> {
+        let mut p = Vec::new();
+        for y in 1990..2005 {
+            p.push(GenPaper { year: y, authors: vec![1] });
+            p.push(GenPaper { year: y, authors: vec![1] });
+        }
+        for (y, n) in [(2000, 1), (2001, 2), (2002, 3), (2003, 3)] {
+            for _ in 0..n {
+                p.push(GenPaper { year: y, authors: vec![0, 1] });
+            }
+            p.push(GenPaper { year: y, authors: vec![0] });
+        }
+        p
+    }
+
+    #[test]
+    fn builds_candidate_in_correct_direction() {
+        let g = CandidateGraph::build(&advising_papers(), 2, &PreprocessConfig::default()).unwrap();
+        assert!(g.is_dag());
+        assert_eq!(g.candidates[1].len(), 0, "senior author has no candidates");
+        assert_eq!(g.candidates[0].len(), 1);
+        let c = &g.candidates[0][0];
+        assert_eq!(c.advisor, 1);
+        assert_eq!(c.interval.0, 2000);
+        assert!(c.likelihood > 0.0);
+    }
+
+    #[test]
+    fn rule_r4_rejects_simultaneous_starters() {
+        // Advisor-like author starts only 1 year before collaborating.
+        let p = papers_for(&[
+            (1999, vec![1]),
+            (2000, vec![0, 1]),
+            (2001, vec![0, 1]),
+            (2002, vec![0, 1]),
+        ]);
+        let r = CandidateGraph::build(&p, 2, &PreprocessConfig::default());
+        assert!(matches!(r, Err(RelError::NoCandidates)));
+        // Relaxing R4 admits the pair.
+        let relaxed = PreprocessConfig { rule_head_start: false, ..Default::default() };
+        let g = CandidateGraph::build(&p, 2, &relaxed).unwrap();
+        assert_eq!(g.candidates[0].len(), 1);
+    }
+
+    #[test]
+    fn rule_r3_rejects_single_year() {
+        let p = papers_for(&[
+            (1990, vec![1]),
+            (1991, vec![1]),
+            (2000, vec![0, 1]),
+            (2000, vec![0, 1]),
+        ]);
+        let r = CandidateGraph::build(&p, 2, &PreprocessConfig::default());
+        assert!(matches!(r, Err(RelError::NoCandidates)));
+    }
+
+    #[test]
+    fn rule_r1_rejects_inverted_imbalance() {
+        // "Advisor" publishes once; advisee out-publishes massively.
+        let mut p = vec![GenPaper { year: 1990, authors: vec![1] }];
+        for y in 2000..2004 {
+            p.push(GenPaper { year: y, authors: vec![0, 1] });
+            for _ in 0..10 {
+                p.push(GenPaper { year: y, authors: vec![0] });
+            }
+        }
+        let strict = PreprocessConfig::default();
+        assert!(matches!(CandidateGraph::build(&p, 2, &strict), Err(RelError::NoCandidates)));
+    }
+
+    #[test]
+    fn interval_estimation_detects_graduation() {
+        // Collaboration peaks 2000-2003 then trails off 2004-2006.
+        let mut p = Vec::new();
+        for y in 1990..2008 {
+            p.push(GenPaper { year: y, authors: vec![1] });
+            p.push(GenPaper { year: y, authors: vec![1] });
+        }
+        for (y, n) in [(2000, 1), (2001, 2), (2002, 3), (2003, 3), (2004, 1), (2006, 1)] {
+            for _ in 0..n {
+                p.push(GenPaper { year: y, authors: vec![0, 1] });
+            }
+            p.push(GenPaper { year: y, authors: vec![0] });
+        }
+        let g = CandidateGraph::build(&p, 2, &PreprocessConfig::default()).unwrap();
+        let c = &g.candidates[0][0];
+        assert!(c.interval.1 >= 2002 && c.interval.1 <= 2004, "ed = {}", c.interval.1);
+    }
+
+    #[test]
+    fn synthetic_genealogy_keeps_most_true_edges() {
+        let gen = Genealogy::generate(&GenealogyConfig {
+            n_authors: 120,
+            ..GenealogyConfig::default()
+        })
+        .unwrap();
+        let g = CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default())
+            .unwrap();
+        assert!(g.is_dag());
+        let mut kept = 0usize;
+        let mut total = 0usize;
+        for (i, adv) in gen.advisor.iter().enumerate() {
+            if let Some(a) = adv {
+                total += 1;
+                if g.candidates[i].iter().any(|c| c.advisor == *a) {
+                    kept += 1;
+                }
+            }
+        }
+        let recall = kept as f64 / total as f64;
+        assert!(recall > 0.8, "candidate recall too low: {recall:.3} ({kept}/{total})");
+    }
+}

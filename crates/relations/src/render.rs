@@ -1,0 +1,167 @@
+//! Rendering inferred genealogies — the "visualized chronological
+//! hierarchies" of Figure 6.2's right panel.
+
+use crate::tpfg::TpfgResult;
+
+/// One node of the reconstructed advising forest.
+#[derive(Debug, Clone)]
+pub struct ForestNode {
+    /// Author id.
+    pub author: u32,
+    /// Predicted advisor probability (`None` for roots).
+    pub confidence: Option<f64>,
+    /// Predicted advisees.
+    pub children: Vec<usize>,
+}
+
+/// The advising forest induced by a set of parent predictions.
+#[derive(Debug, Clone)]
+pub struct AdvisingForest {
+    /// Nodes, indexed by author id.
+    pub nodes: Vec<ForestNode>,
+    /// Root author ids (no predicted advisor).
+    pub roots: Vec<u32>,
+}
+
+impl AdvisingForest {
+    /// Builds the forest from a TPFG result with prediction rule
+    /// `P@(k, θ)`. Predictions that would create a cycle are dropped (the
+    /// candidate DAG already prevents this; the check is defensive).
+    pub fn from_result(result: &TpfgResult, k: usize, theta: f64) -> Self {
+        let pred = result.predict(k, theta);
+        let n = pred.len();
+        let mut nodes: Vec<ForestNode> = (0..n)
+            .map(|i| ForestNode { author: i as u32, confidence: None, children: vec![] })
+            .collect();
+        for (i, p) in pred.iter().enumerate() {
+            let Some(parent) = p else { continue };
+            let parent = *parent as usize;
+            if parent >= n || would_cycle(&nodes, i, parent) {
+                continue;
+            }
+            nodes[parent].children.push(i);
+            nodes[i].confidence = result.ranking[i]
+                .iter()
+                .find(|&&(a, _)| a as usize == parent)
+                .map(|&(_, r)| r);
+        }
+        // Roots: nodes with no confidence (no accepted advisor) that have
+        // descendants or appear as someone's ancestor — plus isolated
+        // authors are omitted for readable output.
+        let mut is_child = vec![false; n];
+        for node in &nodes {
+            for &c in &node.children {
+                is_child[c] = true;
+            }
+        }
+        let roots = (0..n)
+            .filter(|&i| !is_child[i] && !nodes[i].children.is_empty())
+            .map(|i| i as u32)
+            .collect();
+        Self { nodes, roots }
+    }
+
+    /// Renders the forest as an indented tree, one root lineage per block.
+    ///
+    /// `name` maps an author id to a display label (e.g. the author's name
+    /// and start year).
+    pub fn render(&self, name: &dyn Fn(u32) -> String, max_depth: usize) -> String {
+        let mut out = String::new();
+        for &r in &self.roots {
+            self.render_node(&mut out, r as usize, 0, max_depth, name);
+        }
+        out
+    }
+
+    fn render_node(
+        &self,
+        out: &mut String,
+        i: usize,
+        depth: usize,
+        max_depth: usize,
+        name: &dyn Fn(u32) -> String,
+    ) {
+        let indent = "  ".repeat(depth);
+        let conf = match self.nodes[i].confidence {
+            Some(c) => format!(" (r={c:.2})"),
+            None => String::new(),
+        };
+        out.push_str(&format!("{indent}{}{}\n", name(self.nodes[i].author), conf));
+        if depth >= max_depth {
+            return;
+        }
+        for &c in &self.nodes[i].children {
+            self.render_node(out, c, depth + 1, max_depth, name);
+        }
+    }
+
+    /// Number of predicted advising edges.
+    pub fn num_edges(&self) -> usize {
+        self.nodes.iter().map(|n| n.children.len()).sum()
+    }
+}
+
+fn would_cycle(nodes: &[ForestNode], child: usize, mut parent: usize) -> bool {
+    // Walk up from `parent` through already-assigned edges.
+    let mut hops = 0;
+    loop {
+        if parent == child {
+            return true;
+        }
+        // Find parent's parent: the node that lists `parent` as a child.
+        let up = nodes.iter().position(|n| n.children.contains(&parent));
+        match up {
+            Some(p) => parent = p,
+            None => return false,
+        }
+        hops += 1;
+        if hops > nodes.len() {
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{CandidateGraph, PreprocessConfig};
+    use crate::tpfg::{Tpfg, TpfgConfig};
+    use lesm_corpus::synth::{Genealogy, GenealogyConfig};
+
+    fn result() -> (Genealogy, TpfgResult) {
+        let gen = Genealogy::generate(&GenealogyConfig {
+            n_authors: 80,
+            seed: 61,
+            ..GenealogyConfig::default()
+        })
+        .unwrap();
+        let g = CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default())
+            .unwrap();
+        let r = Tpfg::infer(&g, &TpfgConfig::default()).unwrap();
+        (gen, r)
+    }
+
+    #[test]
+    fn forest_is_acyclic_and_renders() {
+        let (gen, r) = result();
+        let forest = AdvisingForest::from_result(&r, 1, 0.3);
+        assert!(forest.num_edges() > 10);
+        assert!(!forest.roots.is_empty());
+        let text = forest.render(&|a| format!("author{a} ({})", gen.start_year[a as usize]), 6);
+        assert!(text.contains("author"));
+        assert!(text.contains("r=0."), "confidences rendered");
+        // Sanity: every line's indentation depth <= max_depth.
+        for line in text.lines() {
+            let spaces = line.len() - line.trim_start().len();
+            assert!(spaces / 2 <= 6);
+        }
+    }
+
+    #[test]
+    fn higher_theta_prunes_edges() {
+        let (_, r) = result();
+        let loose = AdvisingForest::from_result(&r, 1, 0.1);
+        let strict = AdvisingForest::from_result(&r, 1, 0.8);
+        assert!(strict.num_edges() <= loose.num_edges());
+    }
+}

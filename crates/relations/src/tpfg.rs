@@ -1,0 +1,263 @@
+//! TPFG — the Time-constrained Probabilistic Factor Graph (§6.1.4–6.1.5).
+//!
+//! Each author `i` carries a hidden variable `y_i` ranging over its
+//! candidate advisors `Y_i` plus the virtual root `0`. The joint
+//! probability is a product of local factors `f_i(y_i | {y_x})` combining
+//! the local likelihood `g` with the time-conflict indicator of eq. 6.9:
+//! `y_x = i` is incompatible with `y_i = j` whenever `ed_{ij} >= st_{xi}`
+//! (one cannot still be advised when starting to advise).
+//!
+//! Inference runs sum-product message passing over the candidate DAG with
+//! the paper's two-phase schedule: a descending pass (old → young) and an
+//! ascending pass (young → old), repeated until the ranking probabilities
+//! `r_{ij}` stabilize. Because every conflict couples an author only with
+//! its potential advisees, messages reduce to per-edge compatibility terms
+//! `1 - r_x(i) · I(conflict)`, and each sweep costs `O(|E'|)`.
+
+use crate::preprocess::CandidateGraph;
+use crate::RelError;
+
+/// Configuration for [`Tpfg::infer`].
+#[derive(Debug, Clone)]
+pub struct TpfgConfig {
+    /// Prior (unnormalized) likelihood of the virtual root advisor — the
+    /// chance the advisor is missing from the data.
+    pub root_prior: f64,
+    /// Maximum two-phase sweeps.
+    pub max_sweeps: usize,
+    /// Convergence tolerance on the max change of any `r_ij`.
+    pub tol: f64,
+    /// Message damping in `[0, 1)` (0 = undamped).
+    pub damping: f64,
+}
+
+impl Default for TpfgConfig {
+    fn default() -> Self {
+        Self { root_prior: 0.15, max_sweeps: 30, tol: 1e-6, damping: 0.0 }
+    }
+}
+
+/// Inference output.
+#[derive(Debug, Clone)]
+pub struct TpfgResult {
+    /// `ranking[i]` — `(advisor, r_ij)` pairs sorted by descending
+    /// probability, excluding the virtual root.
+    pub ranking: Vec<Vec<(u32, f64)>>,
+    /// `r_{i0}`: probability mass on the virtual root per author.
+    pub root_prob: Vec<f64>,
+    /// Number of sweeps executed.
+    pub sweeps: usize,
+}
+
+impl TpfgResult {
+    /// P@(k, θ) prediction (§6.1.1): the top-ranked advisor if it falls in
+    /// the top `k` and its probability exceeds both the root's and `θ`.
+    pub fn predict(&self, k: usize, theta: f64) -> Vec<Option<u32>> {
+        self.ranking
+            .iter()
+            .zip(&self.root_prob)
+            .map(|(cands, &r0)| {
+                cands
+                    .iter()
+                    .take(k.max(1))
+                    .find(|&&(_, r)| r > r0 && r > theta)
+                    .map(|&(a, _)| a)
+            })
+            .collect()
+    }
+}
+
+/// TPFG inference engine.
+#[derive(Debug, Default)]
+pub struct Tpfg;
+
+impl Tpfg {
+    /// Runs two-phase message passing on the candidate graph.
+    pub fn infer(graph: &CandidateGraph, config: &TpfgConfig) -> Result<TpfgResult, RelError> {
+        if config.root_prior < 0.0 {
+            return Err(RelError::InvalidConfig("root_prior must be >= 0".into()));
+        }
+        if !(0.0..1.0).contains(&config.damping) {
+            return Err(RelError::InvalidConfig("damping must be in [0,1)".into()));
+        }
+        let n = graph.n_authors;
+        // Advisee adjacency: for author j, the list of (advisee x, candidate
+        // index within x's list).
+        let mut advisees: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (x, cands) in graph.candidates.iter().enumerate() {
+            for (ci, c) in cands.iter().enumerate() {
+                advisees[c.advisor as usize].push((x, ci));
+            }
+        }
+        // r[i]: belief over candidates (index-aligned) plus root at the end.
+        let mut r: Vec<Vec<f64>> = graph
+            .candidates
+            .iter()
+            .map(|cands| init_belief(cands.iter().map(|c| c.likelihood), config.root_prior))
+            .collect();
+        // Processing order: two-phase schedule over first-publication years.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| graph.first_year[i]);
+        let mut sweeps = 0;
+        for sweep in 0..config.max_sweeps {
+            sweeps = sweep + 1;
+            let mut max_delta = 0.0f64;
+            let pass: Box<dyn Iterator<Item = &usize>> = if sweep % 2 == 0 {
+                Box::new(order.iter().rev()) // ascending phase: young → old
+            } else {
+                Box::new(order.iter()) // descending phase: old → young
+            };
+            for &i in pass {
+                let cands = &graph.candidates[i];
+                if cands.is_empty() {
+                    continue;
+                }
+                let mut belief: Vec<f64> = Vec::with_capacity(cands.len() + 1);
+                for (ci, c) in cands.iter().enumerate() {
+                    let _ = ci;
+                    // Compatibility with every potential advisee of i: if x
+                    // picks i with probability r_x(i) and i's advising-by-j
+                    // ends at ed_ij on/after x's start st_xi, the
+                    // configurations conflict.
+                    let mut compat = c.likelihood;
+                    for &(x, xi) in &advisees[i] {
+                        let st_xi = graph.candidates[x][xi].interval.0;
+                        if c.interval.1 >= st_xi {
+                            let r_xi = r[x][xi];
+                            compat *= (1.0 - r_xi).max(1e-9);
+                        }
+                    }
+                    belief.push(compat);
+                }
+                belief.push(config.root_prior);
+                normalize(&mut belief);
+                for (slot, new) in r[i].iter_mut().zip(&belief) {
+                    let updated = if config.damping > 0.0 {
+                        config.damping * *slot + (1.0 - config.damping) * new
+                    } else {
+                        *new
+                    };
+                    max_delta = max_delta.max((updated - *slot).abs());
+                    *slot = updated;
+                }
+            }
+            if max_delta < config.tol {
+                break;
+            }
+        }
+        let mut ranking = Vec::with_capacity(n);
+        let mut root_prob = Vec::with_capacity(n);
+        for (i, cands) in graph.candidates.iter().enumerate() {
+            let mut list: Vec<(u32, f64)> =
+                cands.iter().zip(&r[i]).map(|(c, &p)| (c.advisor, p)).collect();
+            list.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+            root_prob.push(*r[i].last().unwrap_or(&1.0));
+            ranking.push(list);
+        }
+        Ok(TpfgResult { ranking, root_prob, sweeps })
+    }
+}
+
+fn init_belief(likelihoods: impl Iterator<Item = f64>, root_prior: f64) -> Vec<f64> {
+    let mut v: Vec<f64> = likelihoods.collect();
+    v.push(root_prior);
+    normalize(&mut v);
+    v
+}
+
+fn normalize(v: &mut [f64]) {
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        v.iter_mut().for_each(|x| *x /= s);
+    } else if !v.is_empty() {
+        let u = 1.0 / v.len() as f64;
+        v.iter_mut().for_each(|x| *x = u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{CandidateGraph, PreprocessConfig};
+    use lesm_corpus::synth::{Genealogy, GenealogyConfig};
+    use lesm_eval::relation::parent_accuracy;
+
+    fn genealogy(n: usize, seed: u64) -> Genealogy {
+        Genealogy::generate(&GenealogyConfig { n_authors: n, seed, ..GenealogyConfig::default() })
+            .unwrap()
+    }
+
+    fn run(gen: &Genealogy) -> (CandidateGraph, TpfgResult) {
+        let g = CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default())
+            .unwrap();
+        let r = Tpfg::infer(&g, &TpfgConfig::default()).unwrap();
+        (g, r)
+    }
+
+    #[test]
+    fn probabilities_normalize() {
+        let gen = genealogy(100, 5);
+        let (g, r) = run(&gen);
+        for i in 0..g.n_authors {
+            if g.candidates[i].is_empty() {
+                continue;
+            }
+            let s: f64 = r.ranking[i].iter().map(|&(_, p)| p).sum::<f64>() + r.root_prob[i];
+            assert!((s - 1.0).abs() < 1e-6, "beliefs of {i} sum to {s}");
+        }
+    }
+
+    #[test]
+    fn recovers_most_advisors() {
+        let gen = genealogy(150, 7);
+        let (_, r) = run(&gen);
+        let pred = r.predict(3, 0.2);
+        let acc = parent_accuracy(&pred, &gen.advisor);
+        assert!(acc > 0.6, "TPFG accuracy too low: {acc:.3}");
+    }
+
+    #[test]
+    fn beats_or_matches_independent_maximization() {
+        let gen = genealogy(150, 11);
+        let g = CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default())
+            .unwrap();
+        let r = Tpfg::infer(&g, &TpfgConfig::default()).unwrap();
+        let tpfg_pred = r.predict(1, 0.0);
+        // IndMAX: top local likelihood, ignoring joint constraints.
+        let ind_pred: Vec<Option<u32>> = g
+            .candidates
+            .iter()
+            .map(|cands| cands.first().map(|c| c.advisor))
+            .collect();
+        let acc_tpfg = parent_accuracy(&tpfg_pred, &gen.advisor);
+        let acc_ind = parent_accuracy(&ind_pred, &gen.advisor);
+        assert!(
+            acc_tpfg >= acc_ind - 0.02,
+            "TPFG ({acc_tpfg:.3}) should not lose to IndMAX ({acc_ind:.3})"
+        );
+    }
+
+    #[test]
+    fn predict_respects_threshold() {
+        let gen = genealogy(80, 3);
+        let (_, r) = run(&gen);
+        let none_pred = r.predict(3, 1.1); // impossible threshold
+        assert!(none_pred.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let gen = genealogy(50, 1);
+        let g = CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default())
+            .unwrap();
+        assert!(Tpfg::infer(&g, &TpfgConfig { root_prior: -1.0, ..Default::default() }).is_err());
+        assert!(Tpfg::infer(&g, &TpfgConfig { damping: 1.0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn converges_within_sweeps() {
+        let gen = genealogy(100, 9);
+        let (_, r) = run(&gen);
+        assert!(r.sweeps <= 30);
+    }
+}

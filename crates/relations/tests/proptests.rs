@@ -1,0 +1,112 @@
+//! Property-based tests for relation-mining invariants.
+
+use lesm_corpus::synth::{Genealogy, GenealogyConfig};
+use lesm_relations::preprocess::{CandidateGraph, PreprocessConfig};
+use lesm_relations::tpfg::{Tpfg, TpfgConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn candidate_graph_is_always_a_dag(n in 20usize..80, seed in 0u64..100) {
+        let gen = Genealogy::generate(&GenealogyConfig {
+            n_authors: n,
+            seed,
+            ..GenealogyConfig::default()
+        }).unwrap();
+        if let Ok(g) = CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default()) {
+            prop_assert!(g.is_dag());
+            // Candidates are sorted by descending likelihood.
+            for cands in &g.candidates {
+                for w in cands.windows(2) {
+                    prop_assert!(w[0].likelihood >= w[1].likelihood);
+                }
+                for c in cands {
+                    prop_assert!(c.likelihood.is_finite());
+                    prop_assert!(c.interval.0 <= c.interval.1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relaxing_rules_never_shrinks_the_candidate_set(n in 20usize..60, seed in 0u64..50) {
+        let gen = Genealogy::generate(&GenealogyConfig {
+            n_authors: n,
+            seed,
+            ..GenealogyConfig::default()
+        }).unwrap();
+        let strict = CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default());
+        let relaxed_cfg = PreprocessConfig {
+            rule_ir: false,
+            rule_kulc_increase: false,
+            rule_min_years: false,
+            rule_head_start: false,
+            ..PreprocessConfig::default()
+        };
+        let relaxed = CandidateGraph::build(&gen.papers, gen.n_authors, &relaxed_cfg);
+        if let (Ok(s), Ok(r)) = (strict, relaxed) {
+            prop_assert!(r.num_edges() >= s.num_edges());
+            // Every strict candidate survives relaxation.
+            for (i, cands) in s.candidates.iter().enumerate() {
+                for c in cands {
+                    prop_assert!(
+                        r.candidates[i].iter().any(|rc| rc.advisor == c.advisor),
+                        "strict candidate lost under relaxation"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tpfg_beliefs_are_probabilities(n in 30usize..80, seed in 0u64..50, damping in 0.0f64..0.8) {
+        let gen = Genealogy::generate(&GenealogyConfig {
+            n_authors: n,
+            seed,
+            ..GenealogyConfig::default()
+        }).unwrap();
+        let Ok(g) = CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default()) else {
+            return Ok(());
+        };
+        let r = Tpfg::infer(&g, &TpfgConfig { damping, ..TpfgConfig::default() }).unwrap();
+        for i in 0..g.n_authors {
+            if g.candidates[i].is_empty() {
+                continue;
+            }
+            let s: f64 = r.ranking[i].iter().map(|&(_, p)| p).sum::<f64>() + r.root_prob[i];
+            prop_assert!((s - 1.0).abs() < 1e-6);
+            for &(_, p) in &r.ranking[i] {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+            }
+            // Rankings sorted descending.
+            for w in r.ranking[i].windows(2) {
+                prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn stricter_thresholds_predict_fewer_advisors(n in 40usize..80, seed in 0u64..30) {
+        let gen = Genealogy::generate(&GenealogyConfig {
+            n_authors: n,
+            seed,
+            ..GenealogyConfig::default()
+        }).unwrap();
+        let Ok(g) = CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default()) else {
+            return Ok(());
+        };
+        let r = Tpfg::infer(&g, &TpfgConfig::default()).unwrap();
+        let loose = r.predict(3, 0.1);
+        let strict = r.predict(3, 0.6);
+        let count = |p: &Vec<Option<u32>>| p.iter().filter(|x| x.is_some()).count();
+        prop_assert!(count(&strict) <= count(&loose));
+        // Every strict prediction also appears in the loose set.
+        for (s, l) in strict.iter().zip(&loose) {
+            if s.is_some() {
+                prop_assert_eq!(s, l);
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Entity topical role analysis (dissertation Chapter 5).
+//!
+//! Two question types over a constructed topical hierarchy:
+//!
+//! * **Type-A** (given entities, find their positions): entity-specific
+//!   phrase ranking (eqs. 5.1–5.2) and entity distributions over subtopics
+//!   (eqs. 5.3–5.6) — module [`type_a`].
+//! * **Type-B** (given roles, find entities): the popularity × purity
+//!   entity ranking `ERankPop+Pur` (§5.2) — module [`type_b`].
+
+// Index-based loops are kept where they mirror the paper's equations.
+#![allow(clippy::needless_range_loop)]
+
+pub mod influence;
+pub mod patterns;
+pub mod type_a;
+pub mod type_b;
+
+pub use influence::{topical_influence, InfluenceConfig};
+pub use patterns::entity_patterns;
+pub use type_a::{combined_phrase_rank, entity_phrase_rank, entity_subtopic_distribution, EntityProfile};
+pub use type_b::{erank_pop, erank_pop_pur};

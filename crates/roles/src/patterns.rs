@@ -1,0 +1,141 @@
+//! Per-topic frequent *entity patterns* (§3.3.2).
+//!
+//! The intrusion study of Table 3.5 evaluates "entity patterns" — small
+//! sets of entities (e.g. recurring coauthor groups) that characterize a
+//! topic — with pattern length restricted to 1 for well-structured types
+//! like venues. This module reuses the KERT machinery over entity
+//! transactions: a document's entities of one type form a transaction,
+//! weighted by the document's topic membership, and the mined sets are
+//! ranked by the popularity × purity criterion.
+
+use lesm_corpus::Corpus;
+use lesm_phrases::kert::{Kert, KertConfig, TopicalPhrase};
+use lesm_phrases::PhraseError;
+
+/// Mines ranked entity patterns per topic.
+///
+/// * `doc_topic[d][t]` — topic membership of every document over the
+///   sibling topics being contrasted (hard-assigns each doc to its argmax
+///   topic, mirroring the topical-frequency attribution of Definition 3).
+/// * `etype` — which entity type to mine.
+/// * `max_len` — maximum pattern size (1 reproduces the CATHYHIN1 /
+///   venue-style restriction).
+///
+/// Returns `patterns[t]`: ranked entity-id sets for each topic.
+pub fn entity_patterns(
+    corpus: &Corpus,
+    doc_topic: &[Vec<f64>],
+    etype: usize,
+    min_support: u64,
+    max_len: usize,
+    top_n: usize,
+) -> Result<Vec<Vec<TopicalPhrase>>, PhraseError> {
+    assert_eq!(doc_topic.len(), corpus.num_docs());
+    let k = doc_topic.first().map_or(0, Vec::len);
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    // Build pseudo-documents: the entity ids of each doc, all labeled with
+    // the doc's argmax topic (KERT's per-token topic input).
+    let mut docs: Vec<Vec<u32>> = Vec::with_capacity(corpus.num_docs());
+    let mut topics: Vec<Vec<u16>> = Vec::with_capacity(corpus.num_docs());
+    for (d, doc) in corpus.docs.iter().enumerate() {
+        let ids: Vec<u32> = doc.entities_of(etype).collect();
+        let (best_t, best_w) = doc_topic[d]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+            .map(|(t, &w)| (t, w))
+            .unwrap_or((0, 0.0));
+        if ids.is_empty() || best_w <= 0.0 {
+            docs.push(Vec::new());
+            topics.push(Vec::new());
+            continue;
+        }
+        topics.push(vec![best_t as u16; ids.len()]);
+        docs.push(ids);
+    }
+    let cfg = KertConfig {
+        min_support,
+        max_len,
+        // Entity sets have no concordance analogue; rank by pop × purity.
+        variant: lesm_phrases::kert::KertVariant::PopularityPurity,
+        top_n,
+        ..KertConfig::default()
+    };
+    Kert::run(&docs, &topics, k, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lesm_corpus::Corpus;
+
+    /// Topic 0 docs carry the coauthor pair (alice, adam); topic 1 docs
+    /// carry bob; carol appears everywhere.
+    fn fixture() -> (Corpus, Vec<Vec<f64>>) {
+        let mut c = Corpus::new();
+        let author = c.entities.add_type("author");
+        let mut doc_topic = Vec::new();
+        for i in 0..30 {
+            let d = c.push_text("x y");
+            if i % 2 == 0 {
+                c.link_entity(d, author, "alice").unwrap();
+                c.link_entity(d, author, "adam").unwrap();
+                doc_topic.push(vec![1.0, 0.0]);
+            } else {
+                c.link_entity(d, author, "bob").unwrap();
+                doc_topic.push(vec![0.0, 1.0]);
+            }
+            c.link_entity(d, author, "carol").unwrap();
+        }
+        (c, doc_topic)
+    }
+
+    #[test]
+    fn finds_coauthor_pairs_in_their_topic() {
+        let (c, dt) = fixture();
+        let patterns = entity_patterns(&c, &dt, 0, 3, 2, 10).unwrap();
+        assert_eq!(patterns.len(), 2);
+        let alice = c.entities.table(0).unwrap().get("alice").unwrap();
+        let adam = c.entities.table(0).unwrap().get("adam").unwrap();
+        let pair = {
+            let mut p = vec![alice, adam];
+            p.sort_unstable();
+            p
+        };
+        assert!(
+            patterns[0].iter().any(|p| p.tokens == pair),
+            "coauthor pair missing from topic 0: {:?}",
+            patterns[0]
+        );
+        // The pair never appears in topic 1.
+        assert!(!patterns[1].iter().any(|p| p.tokens == pair));
+    }
+
+    #[test]
+    fn purity_demotes_ubiquitous_entities() {
+        let (c, dt) = fixture();
+        let patterns = entity_patterns(&c, &dt, 0, 3, 1, 10).unwrap();
+        let carol = c.entities.table(0).unwrap().get("carol").unwrap();
+        let alice = c.entities.table(0).unwrap().get("alice").unwrap();
+        let score = |t: usize, id: u32| {
+            patterns[t].iter().find(|p| p.tokens == vec![id]).map(|p| p.score)
+        };
+        let (Some(s_alice), Some(s_carol)) = (score(0, alice), score(0, carol)) else {
+            panic!("singleton patterns missing");
+        };
+        assert!(s_alice > s_carol, "dedicated author must outrank the ubiquitous one");
+    }
+
+    #[test]
+    fn max_len_one_restricts_to_singletons() {
+        let (c, dt) = fixture();
+        let patterns = entity_patterns(&c, &dt, 0, 3, 1, 10).unwrap();
+        for t in &patterns {
+            for p in t {
+                assert_eq!(p.tokens.len(), 1);
+            }
+        }
+    }
+}

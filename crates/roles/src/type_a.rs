@@ -1,0 +1,358 @@
+//! Type-A role analysis: given entities, find their positions (§5.1).
+
+use lesm_corpus::{Corpus, EntityRef};
+use lesm_phrases::TopicalPhrase;
+use std::collections::HashMap;
+
+/// Entity-specific phrase ranking (eq. 5.1):
+///
+/// ```text
+/// r(P | t, E) = p(P|t) * log( p(P|t,E) / p(P|t) )
+/// ```
+///
+/// * `segments[d]` — the bag-of-phrases partition of document `d`.
+/// * `doc_topic_weight[d]` — document `d`'s (soft) membership in topic `t`.
+/// * `entity` — the focal entity `E`.
+///
+/// Returns phrases ranked by `r`, highest first. Phrases never co-occurring
+/// with the entity in topic `t` are omitted (their pointwise KL is `-inf`).
+pub fn entity_phrase_rank(
+    corpus: &Corpus,
+    segments: &[Vec<Vec<u32>>],
+    doc_topic_weight: &[f64],
+    entity: EntityRef,
+) -> Vec<(Vec<u32>, f64)> {
+    assert_eq!(segments.len(), corpus.num_docs());
+    assert_eq!(doc_topic_weight.len(), corpus.num_docs());
+    let mut ft: HashMap<&[u32], f64> = HashMap::new();
+    let mut ft_e: HashMap<&[u32], f64> = HashMap::new();
+    let mut n_t = 0.0f64;
+    let mut n_te = 0.0f64;
+    for (d, segs) in segments.iter().enumerate() {
+        let w = doc_topic_weight[d];
+        if w <= 0.0 {
+            continue;
+        }
+        let has_entity = corpus.docs[d].entities.contains(&entity);
+        n_t += w;
+        if has_entity {
+            n_te += w;
+        }
+        for seg in segs {
+            if seg.is_empty() {
+                continue;
+            }
+            *ft.entry(seg.as_slice()).or_insert(0.0) += w;
+            if has_entity {
+                *ft_e.entry(seg.as_slice()).or_insert(0.0) += w;
+            }
+        }
+    }
+    if n_t <= 0.0 || n_te <= 0.0 {
+        return Vec::new();
+    }
+    let mut out: Vec<(Vec<u32>, f64)> = ft_e
+        .iter()
+        .map(|(&p, &fe)| {
+            let p_t = ft[p] / n_t;
+            let p_te = fe / n_te;
+            (p.to_vec(), p_t * (p_te / p_t.max(1e-300)).ln())
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// Combined ranking (eq. 5.2): `α r(P|t,E) + (1-α) r(P|t)`, where `r(P|t)`
+/// is the topical phrase quality score from Chapter 4.
+///
+/// `quality` supplies `r(P|t)` (e.g. KERT or ToPMine output for topic `t`);
+/// both inputs are z-normalized before mixing so the scales are comparable.
+pub fn combined_phrase_rank(
+    entity_rank: &[(Vec<u32>, f64)],
+    quality: &[TopicalPhrase],
+    alpha: f64,
+) -> Vec<(Vec<u32>, f64)> {
+    let alpha = alpha.clamp(0.0, 1.0);
+    let qmap: HashMap<&[u32], f64> =
+        quality.iter().map(|p| (p.tokens.as_slice(), p.score)).collect();
+    let norm = |xs: &[f64]| -> (f64, f64) {
+        if xs.is_empty() {
+            return (0.0, 1.0);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let sd = (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64)
+            .sqrt()
+            .max(1e-12);
+        (mean, sd)
+    };
+    let e_scores: Vec<f64> = entity_rank.iter().map(|(_, s)| *s).collect();
+    let q_scores: Vec<f64> = entity_rank
+        .iter()
+        .map(|(p, _)| qmap.get(p.as_slice()).copied().unwrap_or(0.0))
+        .collect();
+    let (em, es) = norm(&e_scores);
+    let (qm, qs) = norm(&q_scores);
+    let mut out: Vec<(Vec<u32>, f64)> = entity_rank
+        .iter()
+        .zip(&q_scores)
+        .map(|((p, e), &q)| {
+            let score = alpha * (e - em) / es + (1.0 - alpha) * (q - qm) / qs;
+            (p.clone(), score)
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// Per-phrase subtopic frequencies from a topic model (eq. 4.3 / eq. 5.3's
+/// Bayes step): `f_{t/z}(P) ∝ ρ_z Π_{v ∈ P} φ_{z,v}`, normalized over `z`.
+pub fn phrase_subtopic_posterior(
+    phrase: &[u32],
+    topic_word: &[Vec<f64>],
+    rho: &[f64],
+) -> Vec<f64> {
+    let k = topic_word.len();
+    let mut post = vec![0.0f64; k];
+    for z in 0..k {
+        let mut lp = rho[z].max(1e-12).ln();
+        for &w in phrase {
+            lp += topic_word[z][w as usize].max(1e-300).ln();
+        }
+        post[z] = lp;
+    }
+    let max_lp = post.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut total = 0.0;
+    for p in &mut post {
+        *p = (*p - max_lp).exp();
+        total += *p;
+    }
+    if total > 0.0 {
+        for p in &mut post {
+            *p /= total;
+        }
+    }
+    post
+}
+
+/// Document subtopic frequencies (eqs. 5.4–5.5): the total phrase frequency
+/// `TPF_{t/z}(d)` aggregated from per-phrase posteriors, normalized so each
+/// document's subtopic masses sum to its parent-topic weight. Documents
+/// containing no frequent topical phrase contribute nothing (§5.1.2).
+pub fn doc_subtopic_frequency(
+    segments: &[Vec<Vec<u32>>],
+    topic_word: &[Vec<f64>],
+    rho: &[f64],
+    doc_parent_weight: &[f64],
+) -> Vec<Vec<f64>> {
+    let k = topic_word.len();
+    segments
+        .iter()
+        .zip(doc_parent_weight)
+        .map(|(segs, &parent_w)| {
+            let mut tpf = vec![0.0f64; k];
+            for seg in segs {
+                if seg.is_empty() {
+                    continue;
+                }
+                let post = phrase_subtopic_posterior(seg, topic_word, rho);
+                for (z, p) in post.iter().enumerate() {
+                    tpf[z] += p;
+                }
+            }
+            let total: f64 = tpf.iter().sum();
+            if total > 0.0 {
+                for v in &mut tpf {
+                    *v = *v / total * parent_w;
+                }
+            }
+            tpf
+        })
+        .collect()
+}
+
+/// Entity subtopic frequency (eq. 5.6): `f_{t/z}(E) = Σ_{d ∈ D_E} f_{t/z}(d)`.
+pub fn entity_subtopic_distribution(
+    corpus: &Corpus,
+    doc_subtopic: &[Vec<f64>],
+    entity: EntityRef,
+) -> Vec<f64> {
+    assert_eq!(doc_subtopic.len(), corpus.num_docs());
+    let k = doc_subtopic.first().map_or(0, Vec::len);
+    let mut out = vec![0.0; k];
+    for (d, doc) in corpus.docs.iter().enumerate() {
+        if doc.entities.contains(&entity) {
+            for (z, v) in doc_subtopic[d].iter().enumerate() {
+                out[z] += v;
+            }
+        }
+    }
+    out
+}
+
+/// A rendered Type-A profile: the entity's subtopic frequencies and its
+/// top entity-specific phrases (the Figure 5.2/5.3 artifact).
+#[derive(Debug, Clone)]
+pub struct EntityProfile {
+    /// The profiled entity.
+    pub entity: EntityRef,
+    /// `f_{t/z}(E)` per subtopic.
+    pub subtopic_freq: Vec<f64>,
+    /// Combined-ranked phrases (eq. 5.2), highest first.
+    pub top_phrases: Vec<(Vec<u32>, f64)>,
+}
+
+impl EntityProfile {
+    /// Builds a full Type-A profile for one entity within one topic:
+    /// its subtopic frequency split (eqs. 5.3–5.6) plus the combined
+    /// entity-specific phrase ranking (eq. 5.2) inside the topic.
+    ///
+    /// * `segments` — bag-of-phrases partitions of every document.
+    /// * `doc_topic_weight` — per-document membership in the focal topic.
+    /// * `topic_word`/`rho` — the focal topic's subtopic model (children's
+    ///   word distributions and shares).
+    /// * `quality` — the topic's quality-ranked phrases (Chapter 4 output).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        corpus: &Corpus,
+        segments: &[Vec<Vec<u32>>],
+        doc_topic_weight: &[f64],
+        topic_word: &[Vec<f64>],
+        rho: &[f64],
+        quality: &[TopicalPhrase],
+        entity: EntityRef,
+        alpha: f64,
+        top_n: usize,
+    ) -> Self {
+        let doc_sub = doc_subtopic_frequency(segments, topic_word, rho, doc_topic_weight);
+        let subtopic_freq = entity_subtopic_distribution(corpus, &doc_sub, entity);
+        let er = entity_phrase_rank(corpus, segments, doc_topic_weight, entity);
+        let mut top_phrases = combined_phrase_rank(&er, quality, alpha);
+        top_phrases.truncate(top_n);
+        Self { entity, subtopic_freq, top_phrases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lesm_corpus::Corpus;
+
+    /// Docs 0-3 about phrase [0,1] with alice; docs 4-7 about [5,6] with bob;
+    /// phrase [9] common.
+    fn fixture() -> (Corpus, Vec<Vec<Vec<u32>>>) {
+        let mut c = Corpus::new();
+        let author = c.entities.add_type("author");
+        let mut segments = Vec::new();
+        for i in 0..8 {
+            let d = c.push_text("x x x"); // tokens unused; segments below drive the test
+            if i < 4 {
+                c.link_entity(d, author, "alice").unwrap();
+                segments.push(vec![vec![0, 1], vec![9]]);
+            } else {
+                c.link_entity(d, author, "bob").unwrap();
+                segments.push(vec![vec![5, 6], vec![9]]);
+            }
+        }
+        (c, segments)
+    }
+
+    #[test]
+    fn entity_phrases_rank_their_specialty_first() {
+        let (c, segs) = fixture();
+        let alice = EntityRef::new(0, 0);
+        let w = vec![1.0; 8];
+        let ranked = entity_phrase_rank(&c, &segs, &w, alice);
+        assert!(!ranked.is_empty());
+        assert_eq!(ranked[0].0, vec![0, 1], "alice's specialty should rank first: {ranked:?}");
+        // The common phrase [9] is shared, so its KL is lower.
+        let common = ranked.iter().find(|(p, _)| p == &vec![9]).expect("common phrase present");
+        assert!(ranked[0].1 > common.1);
+    }
+
+    #[test]
+    fn entity_with_no_docs_yields_empty() {
+        let (c, segs) = fixture();
+        let ghost = EntityRef::new(0, 99);
+        let w = vec![1.0; 8];
+        assert!(entity_phrase_rank(&c, &segs, &w, ghost).is_empty());
+    }
+
+    #[test]
+    fn phrase_posterior_sums_to_one_and_picks_right_topic() {
+        // Topic 0 likes words 0,1; topic 1 likes 5,6.
+        let tw = vec![
+            vec![0.4, 0.4, 0.05, 0.05, 0.05, 0.025, 0.025],
+            vec![0.025, 0.025, 0.05, 0.05, 0.05, 0.4, 0.4],
+        ];
+        let rho = vec![0.5, 0.5];
+        let post = phrase_subtopic_posterior(&[0, 1], &tw, &rho);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(post[0] > 0.9);
+    }
+
+    #[test]
+    fn doc_and_entity_subtopic_distributions() {
+        let (c, segs) = fixture();
+        let tw = vec![
+            vec![0.3, 0.3, 0.0, 0.0, 0.0, 0.01, 0.01, 0.0, 0.0, 0.19],
+            vec![0.01, 0.01, 0.0, 0.0, 0.0, 0.3, 0.3, 0.0, 0.0, 0.19],
+        ];
+        let rho = vec![0.5, 0.5];
+        let parent_w = vec![1.0; 8];
+        let ds = doc_subtopic_frequency(&segs, &tw, &rho, &parent_w);
+        // Row masses equal parent weight.
+        for row in &ds {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        let alice = EntityRef::new(0, 0);
+        let dist = entity_subtopic_distribution(&c, &ds, alice);
+        assert!(dist[0] > dist[1], "alice concentrates in subtopic 0: {dist:?}");
+        let bob = EntityRef::new(0, 1);
+        let dist_b = entity_subtopic_distribution(&c, &ds, bob);
+        assert!(dist_b[1] > dist_b[0]);
+    }
+
+    #[test]
+    fn entity_profile_builder_assembles_everything() {
+        let (c, segs) = fixture();
+        let tw = vec![
+            vec![0.3, 0.3, 0.0, 0.0, 0.0, 0.01, 0.01, 0.0, 0.0, 0.19],
+            vec![0.01, 0.01, 0.0, 0.0, 0.0, 0.3, 0.3, 0.0, 0.0, 0.19],
+        ];
+        let rho = vec![0.5, 0.5];
+        let quality = vec![TopicalPhrase { tokens: vec![0, 1], score: 1.0, topic_freq: 4.0 }];
+        let profile = EntityProfile::build(
+            &c,
+            &segs,
+            &vec![1.0; 8],
+            &tw,
+            &rho,
+            &quality,
+            EntityRef::new(0, 0),
+            0.5,
+            3,
+        );
+        assert_eq!(profile.subtopic_freq.len(), 2);
+        assert!(profile.subtopic_freq[0] > profile.subtopic_freq[1]);
+        assert!(!profile.top_phrases.is_empty());
+        assert!(profile.top_phrases.len() <= 3);
+    }
+
+    #[test]
+    fn combined_rank_mixes_quality() {
+        let (c, segs) = fixture();
+        let alice = EntityRef::new(0, 0);
+        let w = vec![1.0; 8];
+        let er = entity_phrase_rank(&c, &segs, &w, alice);
+        // Quality strongly favors the common phrase [9].
+        let quality = vec![
+            TopicalPhrase { tokens: vec![9], score: 10.0, topic_freq: 8.0 },
+            TopicalPhrase { tokens: vec![0, 1], score: 0.1, topic_freq: 4.0 },
+        ];
+        let pure_entity = combined_phrase_rank(&er, &quality, 1.0);
+        let pure_quality = combined_phrase_rank(&er, &quality, 0.0);
+        assert_eq!(pure_entity[0].0, vec![0, 1]);
+        assert_eq!(pure_quality[0].0, vec![9]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Type-B role analysis: given roles (topics), find the top contributing
+//! entities (§5.2).
+//!
+//! Entities are ranked by popularity `p(e|t)` alone or by the unified
+//! popularity × purity criterion `ERankPop+Pur`, which demotes prolific
+//! entities whose contributions spread evenly across sibling topics
+//! (Table 5.3's effect).
+
+/// Ranks entities of one type by popularity within topic `t`.
+///
+/// `topic_entity_freq[z][e]` is the entity frequency `f_{t/z}(e)` for every
+/// sibling subtopic `z` (as produced by
+/// [`crate::type_a::entity_subtopic_distribution`] stacked over entities).
+pub fn erank_pop(topic_entity_freq: &[Vec<f64>], t: usize, top_n: usize) -> Vec<(u32, f64)> {
+    let nt: f64 = topic_entity_freq[t].iter().sum();
+    let mut out: Vec<(u32, f64)> = topic_entity_freq[t]
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0.0)
+        .map(|(e, &f)| (e as u32, f / nt.max(1e-12)))
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+    out.truncate(top_n);
+    out
+}
+
+/// Ranks entities by `ERankPop+Pur(e, t) = p(e|t) log( p(e|t) / p(e|t,t*) )`
+/// where `t*` is the sibling topic maximizing the mixed probability —
+/// the entity analogue of phrase purity (§5.2).
+///
+/// ```
+/// use lesm_roles::type_b::erank_pop_pur;
+///
+/// // Entity 0 is prolific everywhere; entity 1 is dedicated to topic 0.
+/// let freq = vec![vec![30.0, 25.0], vec![30.0, 1.0]];
+/// let top = erank_pop_pur(&freq, 0, 2);
+/// assert_eq!(top[0].0, 1, "the dedicated entity wins under pop x pur");
+/// ```
+pub fn erank_pop_pur(topic_entity_freq: &[Vec<f64>], t: usize, top_n: usize) -> Vec<(u32, f64)> {
+    let k = topic_entity_freq.len();
+    let totals: Vec<f64> = topic_entity_freq.iter().map(|row| row.iter().sum()).collect();
+    let nt = totals[t].max(1e-12);
+    let n_entities = topic_entity_freq[t].len();
+    let mut out: Vec<(u32, f64)> = Vec::new();
+    for e in 0..n_entities {
+        let f = topic_entity_freq[t][e];
+        if f <= 0.0 {
+            continue;
+        }
+        let p = f / nt;
+        let mut worst_mix = p;
+        for t2 in 0..k {
+            if t2 == t {
+                continue;
+            }
+            let mix = (f + topic_entity_freq[t2][e]) / (totals[t] + totals[t2]).max(1e-12);
+            if mix > worst_mix {
+                worst_mix = mix;
+            }
+        }
+        let score = p * (p / worst_mix.max(1e-300)).ln();
+        out.push((e as u32, score));
+    }
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+    out.truncate(top_n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Entity 0: prolific everywhere. Entity 1: dedicated to topic 0.
+    /// Entity 2: dedicated to topic 1. Entity 3: small in topic 0.
+    fn freqs() -> Vec<Vec<f64>> {
+        vec![
+            vec![30.0, 25.0, 1.0, 5.0], // topic 0
+            vec![30.0, 1.0, 25.0, 0.0], // topic 1
+        ]
+    }
+
+    #[test]
+    fn popularity_ranks_prolific_first() {
+        let f = freqs();
+        let r = erank_pop(&f, 0, 4);
+        assert_eq!(r[0].0, 0, "most frequent entity tops pure popularity");
+    }
+
+    #[test]
+    fn purity_demotes_cross_topic_stars() {
+        let f = freqs();
+        let r = erank_pop_pur(&f, 0, 4);
+        assert_eq!(r[0].0, 1, "dedicated entity should top pop+pur: {r:?}");
+        // The prolific entity 0 must fall below the dedicated entity 1.
+        let pos0 = r.iter().position(|&(e, _)| e == 0).unwrap();
+        let pos1 = r.iter().position(|&(e, _)| e == 1).unwrap();
+        assert!(pos1 < pos0);
+    }
+
+    #[test]
+    fn topics_get_disjoint_winners_under_purity() {
+        let f = freqs();
+        let r0 = erank_pop_pur(&f, 0, 1);
+        let r1 = erank_pop_pur(&f, 1, 1);
+        assert_ne!(r0[0].0, r1[0].0, "purity should give each topic its own champion");
+    }
+
+    #[test]
+    fn zero_frequency_entities_skipped() {
+        let f = freqs();
+        let r = erank_pop_pur(&f, 1, 10);
+        assert!(r.iter().all(|&(e, _)| e != 3), "entity absent from topic 1 must not appear");
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let f = freqs();
+        assert_eq!(erank_pop(&f, 0, 2).len(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! STROD — Scalable and Robust Topic discovery by moment-based inference
+//! (dissertation Chapter 7).
+//!
+//! Instead of maximum-likelihood iteration (Gibbs/variational), STROD
+//! recovers LDA parameters from the second- and third-order word
+//! co-occurrence moments via orthogonal tensor decomposition:
+//!
+//! 1. [`moments`] — Dirichlet-corrected empirical moments `M1`, the matrix-
+//!    free `M2` operator, and the *scalable* construction of the whitened
+//!    third moment directly from sparse documents (§7.3.2: the `V³` tensor
+//!    is never materialized; cost is `O(nnz·k² + D·k³)`).
+//! 2. [`power`] — the robust tensor power method with deflation (§7.3.1),
+//!    which converges in a bounded number of iterations.
+//! 3. [`strod`] — the single-level STROD algorithm: whiten, decompose,
+//!    un-whiten, recover `φ_z` and Dirichlet weights `α_z`, with optional
+//!    parallel moment accumulation (PSTROD) and α₀ grid learning (§7.3.3).
+//! 4. [`tree`] — recursive construction of a topic tree: each child topic
+//!    re-runs STROD on documents reweighted by their topic posterior.
+
+// Index-based loops are kept where they mirror the paper's equations.
+#![allow(clippy::needless_range_loop)]
+
+pub mod moments;
+pub mod online;
+pub mod power;
+pub mod strod;
+pub mod tree;
+
+pub use moments::{DocStats, M2Op, WhitenedMoments};
+pub use online::OnlineStrod;
+pub use power::{tensor_power_method, PowerConfig, TensorEigen};
+pub use strod::{Strod, StrodConfig, StrodModel};
+pub use tree::{StrodTree, StrodTreeConfig, TreeNode};
+
+/// Errors produced by STROD inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrodError {
+    /// Invalid configuration value.
+    InvalidConfig(String),
+    /// The corpus has too few usable documents (need length >= 3 docs).
+    TooFewDocuments,
+    /// Whitening failed: `M2` had fewer than `k` positive eigenvalues.
+    RankDeficient {
+        /// Requested number of topics.
+        requested: usize,
+        /// Usable rank found.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for StrodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrodError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            StrodError::TooFewDocuments => write!(f, "need documents with >= 3 tokens"),
+            StrodError::RankDeficient { requested, found } => {
+                write!(f, "M2 rank {found} < requested topics {requested}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrodError {}

@@ -1,0 +1,171 @@
+//! Online STROD — streaming moment accumulation (§7.3.2's scalability
+//! discussion: because every moment is an *additive* statistic over
+//! documents, a stream can be folded in one document at a time and the
+//! decomposition recomputed on demand at `O(nnz·k² + k³)` cost, without
+//! revisiting the stream).
+
+use crate::moments::DocStats;
+use crate::strod::{Strod, StrodConfig, StrodModel};
+use crate::StrodError;
+use lesm_linalg::SparseRows;
+use std::collections::HashMap;
+
+/// A streaming STROD accumulator.
+///
+/// Documents are pushed incrementally; [`OnlineStrod::refit`] recomputes
+/// the decomposition from the accumulated sufficient statistics. Because
+/// the moments are additive, the refit is exactly equivalent to a batch
+/// fit over every document seen so far.
+#[derive(Debug)]
+pub struct OnlineStrod {
+    vocab_size: usize,
+    counts: SparseRows,
+    weights: Vec<f64>,
+    config: StrodConfig,
+    model: Option<StrodModel>,
+    dirty: bool,
+}
+
+impl OnlineStrod {
+    /// Creates an empty accumulator.
+    pub fn new(vocab_size: usize, config: StrodConfig) -> Self {
+        Self {
+            vocab_size,
+            counts: SparseRows::new(vocab_size),
+            weights: Vec::new(),
+            config,
+            model: None,
+            dirty: false,
+        }
+    }
+
+    /// Folds one document into the sufficient statistics.
+    pub fn push_doc(&mut self, doc: &[u32]) {
+        let mut m: HashMap<u32, f64> = HashMap::new();
+        for &w in doc {
+            debug_assert!((w as usize) < self.vocab_size);
+            *m.entry(w).or_insert(0.0) += 1.0;
+        }
+        let mut pairs: Vec<(u32, f64)> = m.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(w, _)| w);
+        self.counts.push_row(&pairs);
+        self.weights.push(1.0);
+        self.dirty = true;
+    }
+
+    /// Number of documents folded in so far.
+    pub fn num_docs(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Recomputes the decomposition over everything seen so far. Returns
+    /// the cached model when nothing changed since the last refit.
+    pub fn refit(&mut self) -> Result<&StrodModel, StrodError> {
+        if self.dirty || self.model.is_none() {
+            let stats = DocStats::from_counts(self.counts.clone(), self.weights.clone())?;
+            self.model = Some(Strod::fit_stats(&stats, &self.config)?);
+            self.dirty = false;
+        }
+        Ok(self.model.as_ref().expect("model set above"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn lda_docs(n: usize, seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phi: [Vec<f64>; 2] = [
+            vec![0.3, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01, 0.01, 0.005, 0.005],
+            vec![0.005, 0.005, 0.01, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.3],
+        ];
+        (0..n)
+            .map(|_| {
+                let t = rng.gen_range(0..2usize);
+                (0..20)
+                    .map(|_| {
+                        let u: f64 = rng.gen();
+                        let mut acc = 0.0;
+                        for (w, &p) in phi[t].iter().enumerate() {
+                            acc += p;
+                            if u <= acc {
+                                return w as u32;
+                            }
+                        }
+                        9
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn cfg() -> StrodConfig {
+        StrodConfig { k: 2, alpha0: Some(0.2), ..Default::default() }
+    }
+
+    #[test]
+    fn streaming_matches_batch_exactly() {
+        let docs = lda_docs(500, 71);
+        let mut online = OnlineStrod::new(10, cfg());
+        for d in &docs {
+            online.push_doc(d);
+        }
+        let stream_model = online.refit().unwrap().clone();
+        let batch_model = Strod::fit(&docs, 10, &cfg()).unwrap();
+        for (a, b) in stream_model.topic_word.iter().zip(&batch_model.topic_word) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-9, "stream/batch divergence");
+            }
+        }
+    }
+
+    #[test]
+    fn refit_is_cached_until_new_docs_arrive() {
+        let docs = lda_docs(300, 73);
+        let mut online = OnlineStrod::new(10, cfg());
+        for d in &docs {
+            online.push_doc(d);
+        }
+        let a = online.refit().unwrap().topic_word.clone();
+        let b = online.refit().unwrap().topic_word.clone();
+        assert_eq!(a, b);
+        online.push_doc(&docs[0]);
+        assert_eq!(online.num_docs(), 301);
+        online.refit().unwrap();
+    }
+
+    #[test]
+    fn topics_sharpen_with_more_data() {
+        // Recovery error vs the generating phi should not grow as the
+        // stream lengthens.
+        let docs = lda_docs(4000, 79);
+        let truth0 = [0.3, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01, 0.01, 0.005, 0.005];
+        let err = |m: &StrodModel| -> f64 {
+            // Best-matching topic against truth0.
+            m.topic_word
+                .iter()
+                .map(|t| t.iter().zip(&truth0).map(|(x, y)| (x - y).abs()).sum::<f64>())
+                .fold(f64::INFINITY, f64::min)
+        };
+        let mut online = OnlineStrod::new(10, cfg());
+        for d in &docs[..400] {
+            online.push_doc(d);
+        }
+        let small = err(&online.refit().unwrap().clone());
+        for d in &docs[400..] {
+            online.push_doc(d);
+        }
+        let large = err(&online.refit().unwrap().clone());
+        assert!(large <= small + 0.02, "error grew: {small:.4} -> {large:.4}");
+    }
+
+    #[test]
+    fn refit_before_enough_docs_errors() {
+        let mut online = OnlineStrod::new(10, cfg());
+        online.push_doc(&[0, 1]); // too short to contribute triples
+        assert!(online.refit().is_err());
+    }
+}

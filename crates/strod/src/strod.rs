@@ -1,0 +1,304 @@
+//! The single-level STROD algorithm (§7.3).
+
+use crate::moments::{DocStats, WhitenedMoments};
+use crate::power::{tensor_power_method, PowerConfig};
+use crate::StrodError;
+
+/// Configuration for [`Strod::fit`].
+#[derive(Debug, Clone)]
+pub struct StrodConfig {
+    /// Number of topics.
+    pub k: usize,
+    /// Dirichlet concentration α₀ (`None` = learn by grid search, §7.3.3).
+    pub alpha0: Option<f64>,
+    /// Tensor power method settings.
+    pub power: PowerConfig,
+    /// Worker threads for moment accumulation (1 = sequential STROD,
+    /// >1 = PSTROD).
+    pub threads: usize,
+    /// RNG seed for whitening.
+    pub seed: u64,
+}
+
+impl Default for StrodConfig {
+    fn default() -> Self {
+        Self { k: 5, alpha0: Some(1.0), power: PowerConfig::default(), threads: 1, seed: 42 }
+    }
+}
+
+/// A fitted STROD model.
+#[derive(Debug, Clone)]
+pub struct StrodModel {
+    /// Number of topics.
+    pub k: usize,
+    /// Dirichlet concentration used.
+    pub alpha0: f64,
+    /// Recovered Dirichlet weights `α_z` (sum to `alpha0`).
+    pub alpha: Vec<f64>,
+    /// `k x V` recovered topic-word distributions.
+    pub topic_word: Vec<Vec<f64>>,
+    /// Tensor eigenvalues (decreasing), a robustness diagnostic.
+    pub eigenvalues: Vec<f64>,
+    /// Relative tensor reconstruction residual (0 = perfect decomposition).
+    pub residual: f64,
+}
+
+impl StrodModel {
+    /// Top `n` words of topic `t`.
+    pub fn top_words(&self, t: usize, n: usize) -> Vec<(u32, f64)> {
+        let mut idx: Vec<(u32, f64)> =
+            self.topic_word[t].iter().enumerate().map(|(w, &p)| (w as u32, p)).collect();
+        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN"));
+        idx.truncate(n);
+        idx
+    }
+
+    /// MAP topic posterior of a document under the recovered model
+    /// (mixture-of-unigrams fold-in; used when recursing down the tree).
+    pub fn doc_posterior(&self, doc_counts: impl Iterator<Item = (u32, f64)>) -> Vec<f64> {
+        let mut lp: Vec<f64> =
+            self.alpha.iter().map(|&a| (a / self.alpha0).max(1e-12).ln()).collect();
+        for (w, c) in doc_counts {
+            for (z, l) in lp.iter_mut().enumerate() {
+                *l += c * self.topic_word[z][w as usize].max(1e-300).ln();
+            }
+        }
+        let max_lp = lp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut total = 0.0;
+        for l in lp.iter_mut() {
+            *l = (*l - max_lp).exp();
+            total += *l;
+        }
+        if total > 0.0 {
+            for l in lp.iter_mut() {
+                *l /= total;
+            }
+        }
+        lp
+    }
+}
+
+/// STROD fitter.
+#[derive(Debug, Default)]
+pub struct Strod;
+
+impl Strod {
+    /// Fits STROD on token-id documents.
+    pub fn fit(docs: &[Vec<u32>], vocab_size: usize, config: &StrodConfig) -> Result<StrodModel, StrodError> {
+        let stats = DocStats::from_docs(docs, vocab_size)?;
+        Self::fit_stats(&stats, config)
+    }
+
+    /// Fits STROD on precomputed document statistics (weighted documents
+    /// supported — the topic-tree recursion path).
+    pub fn fit_stats(stats: &DocStats, config: &StrodConfig) -> Result<StrodModel, StrodError> {
+        if config.k == 0 {
+            return Err(StrodError::InvalidConfig("k must be >= 1".into()));
+        }
+        if config.threads == 0 {
+            return Err(StrodError::InvalidConfig("threads must be >= 1".into()));
+        }
+        match config.alpha0 {
+            Some(a0) if a0 > 0.0 => fit_with_alpha0(stats, config, a0),
+            Some(_) => Err(StrodError::InvalidConfig("alpha0 must be positive".into())),
+            None => {
+                // §7.3.3 hyperparameter learning: grid over α₀, keep the
+                // fit with the smallest tensor reconstruction residual.
+                let grid = [0.1, 0.3, 1.0, 3.0, 10.0];
+                let mut best: Option<StrodModel> = None;
+                for &a0 in &grid {
+                    if let Ok(m) = fit_with_alpha0(stats, config, a0) {
+                        if best.as_ref().is_none_or(|b| m.residual < b.residual) {
+                            best = Some(m);
+                        }
+                    }
+                }
+                best.ok_or(StrodError::RankDeficient { requested: config.k, found: 0 })
+            }
+        }
+    }
+}
+
+fn fit_with_alpha0(
+    stats: &DocStats,
+    config: &StrodConfig,
+    alpha0: f64,
+) -> Result<StrodModel, StrodError> {
+    let k = config.k;
+    let wm = WhitenedMoments::compute(stats, k, alpha0, config.seed, config.threads)?;
+    let initial_norm = wm.t3.max_abs().max(1e-300);
+    let pairs = tensor_power_method(&wm.t3, k, &config.power);
+    // Residual after deflating all recovered components.
+    let mut residual_t = wm.t3.clone();
+    for p in &pairs {
+        residual_t.deflate(p.value, &p.vector);
+    }
+    let residual = residual_t.max_abs() / initial_norm;
+    // Recover α_z and φ_z:
+    //   λ_z = 2 sqrt(α0(α0+1)) / ((α0+2) sqrt(α_z))
+    //   μ_z = ((α0+2) λ_z / 2) · B v_z
+    let v = stats.vocab_size();
+    let mut alpha = Vec::with_capacity(k);
+    let mut topic_word = Vec::with_capacity(k);
+    let mut eigenvalues = Vec::with_capacity(k);
+    for p in &pairs {
+        let lambda = p.value.max(1e-9);
+        eigenvalues.push(p.value);
+        let a_z = (2.0 / ((alpha0 + 2.0) * lambda)).powi(2) * alpha0 * (alpha0 + 1.0);
+        alpha.push(a_z);
+        let scale = (alpha0 + 2.0) * lambda / 2.0;
+        let mut mu = vec![0.0f64; v];
+        for r in 0..v {
+            let mut s = 0.0;
+            for c in 0..k {
+                s += wm.b[(r, c)] * p.vector[c];
+            }
+            mu[r] = scale * s;
+        }
+        // Clip negatives (finite-sample noise) and renormalize.
+        let mut total = 0.0;
+        for x in &mut mu {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+            total += *x;
+        }
+        if total > 0.0 {
+            for x in &mut mu {
+                *x /= total;
+            }
+        } else {
+            let u = 1.0 / v as f64;
+            mu.iter_mut().for_each(|x| *x = u);
+        }
+        topic_word.push(mu);
+    }
+    // Normalize α to sum to α0.
+    let a_sum: f64 = alpha.iter().sum();
+    if a_sum > 0.0 {
+        for a in &mut alpha {
+            *a *= alpha0 / a_sum;
+        }
+    }
+    Ok(StrodModel { k, alpha0, alpha, topic_word, eigenvalues, residual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ground_truth_phi() -> [Vec<f64>; 2] {
+        [
+            vec![0.3, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01, 0.01, 0.005, 0.005],
+            vec![0.005, 0.005, 0.01, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.3],
+        ]
+    }
+
+    fn lda_docs(n: usize, seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phi = ground_truth_phi();
+        (0..n)
+            .map(|_| {
+                let t = rng.gen_range(0..2usize);
+                (0..25)
+                    .map(|_| {
+                        let u: f64 = rng.gen();
+                        let mut acc = 0.0;
+                        for (w, &p) in phi[t].iter().enumerate() {
+                            acc += p;
+                            if u <= acc {
+                                return w as u32;
+                            }
+                        }
+                        9
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn l1(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    #[test]
+    fn recovers_topics_close_to_truth() {
+        let docs = lda_docs(3000, 11);
+        let m = Strod::fit(&docs, 10, &StrodConfig { k: 2, alpha0: Some(0.2), ..Default::default() })
+            .unwrap();
+        let truth = ground_truth_phi();
+        // Match topics to truth by best L1.
+        let d00 = l1(&m.topic_word[0], &truth[0]);
+        let d01 = l1(&m.topic_word[0], &truth[1]);
+        let (e0, e1) = if d00 < d01 {
+            (d00, l1(&m.topic_word[1], &truth[1]))
+        } else {
+            (d01, l1(&m.topic_word[1], &truth[0]))
+        };
+        assert!(e0 < 0.25, "topic error {e0:.3}");
+        assert!(e1 < 0.25, "topic error {e1:.3}");
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_seeds_robustness() {
+        // The robustness claim of §7.4.2: unlike Gibbs, the recovered
+        // topics barely move across power-method seeds.
+        let docs = lda_docs(2000, 13);
+        let base = StrodConfig { k: 2, alpha0: Some(0.2), ..Default::default() };
+        let a = Strod::fit(&docs, 10, &base).unwrap();
+        let mut cfg2 = base.clone();
+        cfg2.power.seed = 999;
+        cfg2.seed = 777;
+        let b = Strod::fit(&docs, 10, &cfg2).unwrap();
+        // Compare aligned topics.
+        let d = l1(&a.topic_word[0], &b.topic_word[0]).min(l1(&a.topic_word[0], &b.topic_word[1]));
+        assert!(d < 0.05, "STROD should be seed-stable, drift {d:.4}");
+    }
+
+    #[test]
+    fn recovered_phi_are_distributions() {
+        let docs = lda_docs(1000, 17);
+        let m = Strod::fit(&docs, 10, &StrodConfig { k: 2, alpha0: Some(0.5), ..Default::default() })
+            .unwrap();
+        for row in &m.topic_word {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&x| x >= 0.0));
+        }
+        let a_sum: f64 = m.alpha.iter().sum();
+        assert!((a_sum - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doc_posterior_identifies_topic() {
+        let docs = lda_docs(2000, 19);
+        let m = Strod::fit(&docs, 10, &StrodConfig { k: 2, alpha0: Some(0.2), ..Default::default() })
+            .unwrap();
+        // A doc of pure low-index words.
+        let post = m.doc_posterior([(0u32, 5.0), (1u32, 5.0)].into_iter());
+        let z_low = if m.topic_word[0][0] > m.topic_word[1][0] { 0 } else { 1 };
+        assert!(post[z_low] > 0.9, "posterior {post:?}");
+    }
+
+    #[test]
+    fn alpha0_grid_learning_runs() {
+        let docs = lda_docs(1500, 23);
+        let m = Strod::fit(&docs, 10, &StrodConfig { k: 2, alpha0: None, ..Default::default() })
+            .unwrap();
+        assert!(m.alpha0 > 0.0);
+        assert!(m.residual.is_finite());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let docs = lda_docs(100, 29);
+        assert!(Strod::fit(&docs, 10, &StrodConfig { k: 0, ..Default::default() }).is_err());
+        assert!(Strod::fit(&docs, 10, &StrodConfig { threads: 0, ..Default::default() }).is_err());
+        assert!(
+            Strod::fit(&docs, 10, &StrodConfig { alpha0: Some(-1.0), ..Default::default() })
+                .is_err()
+        );
+    }
+}

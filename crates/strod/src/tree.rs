@@ -1,0 +1,252 @@
+//! Recursive topic-tree construction with STROD (§7.2: LDA with topic
+//! tree, solved level by level).
+//!
+//! The root level runs STROD on the whole corpus. For each recovered topic
+//! `z`, documents are reweighted by their posterior `p(z | d)` and STROD
+//! runs again on the weighted moments — the conditioning step that makes
+//! the recursion consistent with the recursive CATHY construction while
+//! keeping the bounded-iteration robustness of moment inference.
+
+use crate::moments::DocStats;
+use crate::strod::{Strod, StrodConfig, StrodModel};
+use crate::StrodError;
+use lesm_linalg::SparseRows;
+
+/// Configuration for [`StrodTree::construct`].
+#[derive(Debug, Clone)]
+pub struct StrodTreeConfig {
+    /// Children per node at each level (e.g. `[5, 4]`).
+    pub branching: Vec<usize>,
+    /// Base STROD settings (k is overridden per level).
+    pub strod: StrodConfig,
+    /// Minimum effective document weight required to expand a node.
+    pub min_doc_weight: f64,
+}
+
+impl Default for StrodTreeConfig {
+    fn default() -> Self {
+        Self { branching: vec![5, 4], strod: StrodConfig::default(), min_doc_weight: 20.0 }
+    }
+}
+
+/// One node of the constructed topic tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Parent index (`None` at the root).
+    pub parent: Option<usize>,
+    /// Child indices.
+    pub children: Vec<usize>,
+    /// Depth (root = 0).
+    pub level: usize,
+    /// Path notation `o/1/2`.
+    pub path: String,
+    /// Topic-word distribution (uniform placeholder at the root).
+    pub topic_word: Vec<f64>,
+    /// Dirichlet weight of this topic within its parent's decomposition.
+    pub alpha: f64,
+    /// Per-document weights used when this node was expanded.
+    pub doc_weights: Vec<f64>,
+}
+
+/// A topic tree built by recursive STROD.
+#[derive(Debug, Clone)]
+pub struct StrodTree {
+    /// Nodes; index 0 is the root.
+    pub nodes: Vec<TreeNode>,
+    /// The per-node fitted models for expanded nodes.
+    pub models: Vec<Option<StrodModel>>,
+}
+
+impl StrodTree {
+    /// Builds the tree.
+    pub fn construct(
+        docs: &[Vec<u32>],
+        vocab_size: usize,
+        config: &StrodTreeConfig,
+    ) -> Result<Self, StrodError> {
+        if config.branching.is_empty() {
+            return Err(StrodError::InvalidConfig("branching must be non-empty".into()));
+        }
+        if config.branching.contains(&0) {
+            return Err(StrodError::InvalidConfig("branching factors must be >= 1".into()));
+        }
+        // Shared sparse counts; nodes differ only in weights.
+        let base = DocStats::from_docs(docs, vocab_size)?;
+        let counts: &SparseRows = &base.counts;
+        let n_docs = counts.rows();
+        let uniform = 1.0 / vocab_size.max(1) as f64;
+        let mut tree = StrodTree {
+            nodes: vec![TreeNode {
+                parent: None,
+                children: vec![],
+                level: 0,
+                path: "o".into(),
+                topic_word: vec![uniform; vocab_size],
+                alpha: 1.0,
+                doc_weights: vec![1.0; n_docs],
+            }],
+            models: vec![None],
+        };
+        let mut frontier = vec![0usize];
+        for (level, &k) in config.branching.iter().enumerate() {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                let weights = tree.nodes[node].doc_weights.clone();
+                let eff: f64 = weights.iter().sum();
+                if eff < config.min_doc_weight {
+                    continue;
+                }
+                let stats = match DocStats::from_counts(counts.clone(), weights.clone()) {
+                    Ok(s) => s,
+                    Err(StrodError::TooFewDocuments) => continue,
+                    Err(e) => return Err(e),
+                };
+                let cfg = StrodConfig { k, ..config.strod.clone() };
+                let model = match Strod::fit_stats(&stats, &cfg) {
+                    Ok(m) => m,
+                    Err(StrodError::RankDeficient { .. }) => continue,
+                    Err(e) => return Err(e),
+                };
+                // Child document weights: parent weight × posterior.
+                let mut child_weights: Vec<Vec<f64>> = vec![vec![0.0; n_docs]; k];
+                for d in 0..n_docs {
+                    if weights[d] <= 0.0 || counts.row_sum(d) < 3.0 {
+                        continue;
+                    }
+                    let post = model.doc_posterior(counts.row(d));
+                    for z in 0..k {
+                        child_weights[z][d] = weights[d] * post[z];
+                    }
+                }
+                for z in 0..k {
+                    let idx = tree.nodes.len();
+                    let path = format!("{}/{}", tree.nodes[node].path, z + 1);
+                    tree.nodes.push(TreeNode {
+                        parent: Some(node),
+                        children: vec![],
+                        level: level + 1,
+                        path,
+                        topic_word: model.topic_word[z].clone(),
+                        alpha: model.alpha[z],
+                        doc_weights: std::mem::take(&mut child_weights[z]),
+                    });
+                    tree.models.push(None);
+                    tree.nodes[node].children.push(idx);
+                    next.push(idx);
+                }
+                tree.models[node] = Some(model);
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        Ok(tree)
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never true after `construct`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Top `n` words of node `t`.
+    pub fn top_words(&self, t: usize, n: usize) -> Vec<(u32, f64)> {
+        let mut idx: Vec<(u32, f64)> =
+            self.nodes[t].topic_word.iter().enumerate().map(|(w, &p)| (w as u32, p)).collect();
+        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN"));
+        idx.truncate(n);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// 2 super-topics × 2 subtopics over 16 words: super A uses 0..8 with
+    /// subtopics 0..4 / 4..8; super B uses 8..16 likewise.
+    fn nested_docs(n: usize, seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let sup = rng.gen_range(0..2u32);
+                let sub = rng.gen_range(0..2u32);
+                let base = sup * 8 + sub * 4;
+                (0..20)
+                    .map(|_| {
+                        // 80% subtopic words, 20% sibling leak within super.
+                        if rng.gen_bool(0.8) {
+                            base + rng.gen_range(0..4)
+                        } else {
+                            sup * 8 + rng.gen_range(0..8)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builds_two_level_tree_and_separates_supertopics() {
+        let docs = nested_docs(2500, 31);
+        let cfg = StrodTreeConfig {
+            branching: vec![2, 2],
+            strod: StrodConfig { k: 2, alpha0: Some(0.3), ..Default::default() },
+            min_doc_weight: 10.0,
+        };
+        let tree = StrodTree::construct(&docs, 16, &cfg).unwrap();
+        assert_eq!(tree.nodes[0].children.len(), 2);
+        let c0 = tree.nodes[0].children[0];
+        let c1 = tree.nodes[0].children[1];
+        let mass_low = |t: usize| tree.nodes[t].topic_word[..8].iter().sum::<f64>();
+        assert!(
+            (mass_low(c0) > 0.8) != (mass_low(c1) > 0.8),
+            "supertopics not separated: {:.2} vs {:.2}",
+            mass_low(c0),
+            mass_low(c1)
+        );
+        // Second level exists for at least one branch.
+        assert!(tree.nodes[c0].children.len() == 2 || tree.nodes[c1].children.len() == 2);
+    }
+
+    #[test]
+    fn child_weights_partition_parent() {
+        let docs = nested_docs(800, 37);
+        let cfg = StrodTreeConfig {
+            branching: vec![2],
+            strod: StrodConfig { k: 2, alpha0: Some(0.3), ..Default::default() },
+            min_doc_weight: 10.0,
+        };
+        let tree = StrodTree::construct(&docs, 16, &cfg).unwrap();
+        let c0 = tree.nodes[0].children[0];
+        let c1 = tree.nodes[0].children[1];
+        for d in 0..docs.len() {
+            let total = tree.nodes[c0].doc_weights[d] + tree.nodes[c1].doc_weights[d];
+            assert!(total <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_branching_rejected() {
+        let docs = nested_docs(100, 41);
+        assert!(StrodTree::construct(
+            &docs,
+            16,
+            &StrodTreeConfig { branching: vec![], ..Default::default() }
+        )
+        .is_err());
+        assert!(StrodTree::construct(
+            &docs,
+            16,
+            &StrodTreeConfig { branching: vec![0], ..Default::default() }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for STROD moment and decomposition invariants.
+
+use lesm_linalg::{SymOp, Tensor3};
+use lesm_strod::moments::{DocStats, M2Op};
+use lesm_strod::power::{tensor_power_method, PowerConfig};
+use proptest::prelude::*;
+
+fn random_docs() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..8, 3..20), 5..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn m1_is_a_distribution(docs in random_docs()) {
+        let stats = DocStats::from_docs(&docs, 8).unwrap();
+        let s: f64 = stats.m1().iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(stats.m1().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn m2_operator_is_symmetric_bilinear(
+        docs in random_docs(),
+        x in proptest::collection::vec(-1.0f64..1.0, 8),
+        y in proptest::collection::vec(-1.0f64..1.0, 8),
+        alpha0 in 0.1f64..5.0,
+    ) {
+        let stats = DocStats::from_docs(&docs, 8).unwrap();
+        let op = M2Op::new(&stats, alpha0);
+        let mut ax = vec![0.0; 8];
+        let mut ay = vec![0.0; 8];
+        op.apply(&x, &mut ax);
+        op.apply(&y, &mut ay);
+        let xay = lesm_linalg::dot(&x, &ay);
+        let yax = lesm_linalg::dot(&y, &ax);
+        prop_assert!((xay - yax).abs() < 1e-9 * (1.0 + xay.abs()));
+    }
+
+    #[test]
+    fn m2_apply_is_linear(
+        docs in random_docs(),
+        x in proptest::collection::vec(-1.0f64..1.0, 8),
+        c in -2.0f64..2.0,
+    ) {
+        let stats = DocStats::from_docs(&docs, 8).unwrap();
+        let op = M2Op::new(&stats, 1.0);
+        let cx: Vec<f64> = x.iter().map(|v| c * v).collect();
+        let mut ax = vec![0.0; 8];
+        let mut acx = vec![0.0; 8];
+        op.apply(&x, &mut ax);
+        op.apply(&cx, &mut acx);
+        for (a, b) in ax.iter().zip(&acx) {
+            prop_assert!((c * a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn power_method_recovers_random_orthogonal_tensors(
+        weights in proptest::collection::vec(0.5f64..4.0, 3),
+        angles in proptest::collection::vec(0.0f64..std::f64::consts::PI, 3),
+    ) {
+        // Build an orthonormal basis via Householder-free 3D rotations.
+        let (a, b, g) = (angles[0], angles[1], angles[2]);
+        let rot = |v: [f64; 3]| -> Vec<f64> {
+            // Z(a) then X(b) then Z(g) rotation applied to v.
+            let (s1, c1) = a.sin_cos();
+            let v1 = [c1 * v[0] - s1 * v[1], s1 * v[0] + c1 * v[1], v[2]];
+            let (s2, c2) = b.sin_cos();
+            let v2 = [v1[0], c2 * v1[1] - s2 * v1[2], s2 * v1[1] + c2 * v1[2]];
+            let (s3, c3) = g.sin_cos();
+            vec![c3 * v2[0] - s3 * v2[1], s3 * v2[0] + c3 * v2[1], v2[2]]
+        };
+        let basis = [rot([1.0, 0.0, 0.0]), rot([0.0, 1.0, 0.0]), rot([0.0, 0.0, 1.0])];
+        let mut sorted: Vec<f64> = weights.clone();
+        sorted.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        // Require separation so the decomposition is identifiable.
+        prop_assume!(sorted[0] > sorted[1] * 1.2 && sorted[1] > sorted[2] * 1.2);
+        let mut t = Tensor3::zeros(3);
+        for (w, v) in weights.iter().zip(&basis) {
+            t.add_rank_one(*w, v);
+        }
+        let pairs = tensor_power_method(&t, 3, &PowerConfig { restarts: 15, iters: 60, seed: 5 });
+        for (pair, want) in pairs.iter().zip(&sorted) {
+            prop_assert!((pair.value - want).abs() < 1e-4 * (1.0 + want), "λ {} want {want}", pair.value);
+        }
+    }
+
+    #[test]
+    fn weighted_stats_respect_zero_weights(docs in random_docs()) {
+        // Zeroing a document's weight must remove its influence from M1.
+        let all = DocStats::from_docs(&docs, 8).unwrap();
+        let mut weights = vec![1.0; docs.len()];
+        weights[0] = 0.0;
+        let counts = all.counts.clone();
+        if let Ok(partial) = DocStats::from_counts(counts, weights) {
+            let without: Vec<Vec<u32>> = docs[1..].to_vec();
+            if let Ok(expect) = DocStats::from_docs(&without, 8) {
+                for (a, b) in partial.m1().iter().zip(expect.m1()) {
+                    prop_assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

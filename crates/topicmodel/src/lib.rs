@@ -1,0 +1,33 @@
+//! Topic-model substrates and baselines.
+//!
+//! * [`lda`] — collapsed-Gibbs latent Dirichlet allocation (the workhorse
+//!   baseline of Chapters 4 and 7).
+//! * [`plsa`] — probabilistic latent semantic analysis via EM.
+//! * [`phrase_lda`] — phrase-constrained LDA: all tokens of a mined phrase
+//!   share one topic (the ToPMine topic-modeling stage, §4.3).
+//! * [`netclus`] — the NetClus ranking-clustering baseline for star-schema
+//!   heterogeneous networks (§2.2.3, compared against in §3.3).
+//! * [`tng`] — Topical N-Gram baseline (§4.4.2).
+//! * [`turbo`] — TurboTopics-lite: post-hoc significance-guided merging of
+//!   same-topic adjacent words (§4.4.2).
+//! * [`pdlda`] — PD-LDA-like baseline (Pitman–Yor-free approximation; see
+//!   DESIGN.md §3 for the substitution note).
+
+// Index-based loops are kept where they mirror the paper's equations.
+#![allow(clippy::needless_range_loop)]
+
+pub mod lda;
+pub mod netclus;
+pub mod pdlda;
+pub mod phrase_lda;
+pub mod plsa;
+pub mod tng;
+pub mod turbo;
+
+pub use lda::{Lda, LdaConfig, LdaModel};
+pub use netclus::{NetClus, NetClusConfig, NetClusModel};
+pub use pdlda::{PdLdaLike, PdLdaLikeConfig};
+pub use phrase_lda::{PhraseLda, PhraseLdaConfig, PhraseLdaModel};
+pub use plsa::{Plsa, PlsaConfig, PlsaModel};
+pub use tng::{Tng, TngConfig, TngModel};
+pub use turbo::{TurboTopics, TurboTopicsConfig};

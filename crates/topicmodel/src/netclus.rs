@@ -1,0 +1,264 @@
+//! NetClus — ranking-based clustering of star-schema heterogeneous networks.
+//!
+//! The state-of-the-art comparator of §3.3 (Sun et al., "NetClus", as used
+//! through the implementation of \[25\]). Documents sit at the star center,
+//! linked to words and typed entities. The algorithm alternates between
+//! estimating per-cluster *ranking distributions* for every attribute type
+//! (smoothed toward the global distribution by `lambda_s`) and
+//! re-estimating each document's cluster posterior — a multi-typed mixture
+//! of unigrams. NetClus is flat; for hierarchy experiments the harness
+//! re-runs it on hard-partitioned document subsets (as NetClus-based
+//! hierarchies are built in §3.3.2).
+
+use lesm_corpus::Corpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`NetClus::fit`].
+#[derive(Debug, Clone)]
+pub struct NetClusConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Smoothing toward the global distribution (`lambda_S` in §3.3; the
+    /// paper grid-searches 0.3–0.7).
+    pub lambda_s: f64,
+    /// EM-style iterations.
+    pub iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NetClusConfig {
+    fn default() -> Self {
+        Self { k: 6, lambda_s: 0.3, iters: 60, seed: 42 }
+    }
+}
+
+/// A fitted NetClus model.
+///
+/// Type indices follow the collapsed-network convention: entity types
+/// first, the term type last (index `corpus.entities.num_types()`).
+#[derive(Debug, Clone)]
+pub struct NetClusModel {
+    /// Number of clusters.
+    pub k: usize,
+    /// `rank[z][type][item]`: smoothed ranking distribution of each type in
+    /// cluster `z`.
+    pub rank: Vec<Vec<Vec<f64>>>,
+    /// `D x k` cluster posteriors.
+    pub doc_cluster: Vec<Vec<f64>>,
+    /// Cluster priors.
+    pub prior: Vec<f64>,
+}
+
+impl NetClusModel {
+    /// Top `n` items of type `x` in cluster `z`.
+    pub fn top_items(&self, z: usize, x: usize, n: usize) -> Vec<(u32, f64)> {
+        let mut idx: Vec<(u32, f64)> =
+            self.rank[z][x].iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN"));
+        idx.truncate(n);
+        idx
+    }
+
+    /// Hard cluster of document `d`.
+    pub fn argmax_cluster(&self, d: usize) -> usize {
+        self.doc_cluster[d]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+            .map(|(z, _)| z)
+            .unwrap_or(0)
+    }
+}
+
+/// NetClus fitter.
+#[derive(Debug, Default)]
+pub struct NetClus;
+
+impl NetClus {
+    /// Fits NetClus on all documents of `corpus`.
+    pub fn fit(corpus: &Corpus, config: &NetClusConfig) -> NetClusModel {
+        let all: Vec<usize> = (0..corpus.num_docs()).collect();
+        Self::fit_subset(corpus, &all, config)
+    }
+
+    /// Fits NetClus on a subset of documents (used for recursive hierarchy
+    /// construction in the experiment harness).
+    pub fn fit_subset(corpus: &Corpus, doc_ids: &[usize], config: &NetClusConfig) -> NetClusModel {
+        assert!(config.k > 0, "k must be positive");
+        let k = config.k;
+        let n_etypes = corpus.entities.num_types();
+        let term_type = n_etypes;
+        let n_types = n_etypes + 1;
+        let type_sizes: Vec<usize> = (0..n_etypes)
+            .map(|t| corpus.entities.count(t))
+            .chain(std::iter::once(corpus.num_words()))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Per-doc typed attribute lists: (type, item, count).
+        let attrs: Vec<Vec<(usize, u32, f64)>> = doc_ids
+            .iter()
+            .map(|&d| {
+                let doc = &corpus.docs[d];
+                let mut list: Vec<(usize, u32, f64)> = Vec::new();
+                let mut counts: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+                for &w in &doc.tokens {
+                    *counts.entry(w).or_insert(0.0) += 1.0;
+                }
+                let mut words: Vec<(u32, f64)> = counts.into_iter().collect();
+                words.sort_unstable_by_key(|&(w, _)| w);
+                for (w, c) in words {
+                    list.push((term_type, w, c));
+                }
+                for e in &doc.entities {
+                    list.push((e.etype, e.id, 1.0));
+                }
+                list
+            })
+            .collect();
+
+        // Global distributions for smoothing.
+        let mut global: Vec<Vec<f64>> = type_sizes.iter().map(|&n| vec![1e-9; n]).collect();
+        for list in &attrs {
+            for &(x, i, c) in list {
+                global[x][i as usize] += c;
+            }
+        }
+        for g in &mut global {
+            normalize(g);
+        }
+
+        // Random soft initialization.
+        let mut post: Vec<Vec<f64>> = attrs
+            .iter()
+            .map(|_| {
+                let mut row: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() + 0.1).collect();
+                normalize(&mut row);
+                row
+            })
+            .collect();
+        let mut prior = vec![1.0 / k as f64; k];
+        let mut rank = vec![vec![Vec::new(); n_types]; k];
+
+        for _ in 0..config.iters {
+            // Ranking step: per-cluster type distributions, smoothed.
+            for (z, rank_z) in rank.iter_mut().enumerate() {
+                for (x, r) in rank_z.iter_mut().enumerate() {
+                    *r = vec![1e-9; type_sizes[x]];
+                }
+                for (list, p) in attrs.iter().zip(&post) {
+                    let w = p[z];
+                    if w <= 1e-12 {
+                        continue;
+                    }
+                    for &(x, i, c) in list {
+                        rank_z[x][i as usize] += w * c;
+                    }
+                }
+                for (x, r) in rank_z.iter_mut().enumerate() {
+                    normalize(r);
+                    for (ri, &gi) in r.iter_mut().zip(&global[x]) {
+                        *ri = (1.0 - config.lambda_s) * *ri + config.lambda_s * gi;
+                    }
+                }
+            }
+            // Posterior step.
+            let mut new_prior = vec![1e-12; k];
+            for (list, p) in attrs.iter().zip(post.iter_mut()) {
+                let mut logp: Vec<f64> = (0..k).map(|z| prior[z].max(1e-12).ln()).collect();
+                for &(x, i, c) in list {
+                    for (z, lp) in logp.iter_mut().enumerate() {
+                        *lp += c * rank[z][x][i as usize].max(1e-300).ln();
+                    }
+                }
+                let max_lp = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut total = 0.0;
+                for lp in logp.iter_mut() {
+                    *lp = (*lp - max_lp).exp();
+                    total += *lp;
+                }
+                for (z, lp) in logp.iter().enumerate() {
+                    p[z] = lp / total;
+                    new_prior[z] += p[z];
+                }
+            }
+            normalize(&mut new_prior);
+            prior = new_prior;
+        }
+        NetClusModel { k, rank, doc_cluster: post, prior }
+    }
+}
+
+fn normalize(row: &mut [f64]) {
+    let s: f64 = row.iter().sum();
+    if s > 0.0 {
+        row.iter_mut().for_each(|x| *x /= s);
+    } else if !row.is_empty() {
+        let u = 1.0 / row.len() as f64;
+        row.iter_mut().for_each(|x| *x = u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lesm_corpus::Corpus;
+
+    /// Two themes with theme-specific authors.
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        let author = c.entities.add_type("author");
+        for i in 0..40 {
+            if i % 2 == 0 {
+                let d = c.push_text("query database index storage");
+                c.link_entity(d, author, "alice").unwrap();
+                c.link_entity(d, author, "adam").unwrap();
+            } else {
+                let d = c.push_text("ranking retrieval search relevance");
+                c.link_entity(d, author, "bob").unwrap();
+                c.link_entity(d, author, "bella").unwrap();
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn separates_clusters_and_ranks_entities() {
+        let c = corpus();
+        let m = NetClus::fit(&c, &NetClusConfig { k: 2, lambda_s: 0.2, iters: 40, seed: 1 });
+        let z0 = m.argmax_cluster(0);
+        let z1 = m.argmax_cluster(1);
+        assert_ne!(z0, z1, "themes should split");
+        for d in 0..20 {
+            let expect = if d % 2 == 0 { z0 } else { z1 };
+            assert_eq!(m.argmax_cluster(d), expect);
+        }
+        // alice (id 0) should top the author ranking of cluster z0.
+        let top = m.top_items(z0, 0, 1);
+        assert!(top[0].0 == 0 || top[0].0 == 1, "expected a db-theme author, got {:?}", top);
+    }
+
+    #[test]
+    fn rankings_are_distributions() {
+        let c = corpus();
+        let m = NetClus::fit(&c, &NetClusConfig { k: 2, iters: 10, ..Default::default() });
+        for z in 0..2 {
+            for x in 0..2 {
+                let s: f64 = m.rank[z][x].iter().sum();
+                assert!((s - 1.0).abs() < 1e-6, "rank[{z}][{x}] sums to {s}");
+            }
+        }
+        let s: f64 = m.prior.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_fit_restricts_documents() {
+        let c = corpus();
+        let subset: Vec<usize> = (0..10).collect();
+        let m = NetClus::fit_subset(&c, &subset, &NetClusConfig { k: 2, iters: 10, ..Default::default() });
+        assert_eq!(m.doc_cluster.len(), 10);
+    }
+}

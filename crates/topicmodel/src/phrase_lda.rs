@@ -1,0 +1,265 @@
+//! PhraseLDA: phrase-constrained latent Dirichlet allocation.
+//!
+//! ToPMine (§4.3) first segments each document into a "bag of phrases" and
+//! then runs LDA where *all tokens of one phrase share a single topic*.
+//! Sampling one topic per segment (instead of per token) is also why the
+//! paper observes PhraseLDA often running faster than vanilla LDA
+//! (Table 4.5's discussion).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`PhraseLda::fit`].
+#[derive(Debug, Clone)]
+pub struct PhraseLdaConfig {
+    /// Number of topics.
+    pub k: usize,
+    /// Symmetric document-topic Dirichlet hyperparameter.
+    pub alpha: f64,
+    /// Symmetric topic-word Dirichlet hyperparameter.
+    pub beta: f64,
+    /// Gibbs sweeps.
+    pub iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Random restarts; the fit with the highest in-sample token
+    /// log-likelihood is kept. Sampling one topic per *segment* mixes more
+    /// slowly than per-token LDA, so restarts matter more here.
+    pub restarts: usize,
+}
+
+impl Default for PhraseLdaConfig {
+    fn default() -> Self {
+        Self { k: 10, alpha: 0.5, beta: 0.01, iters: 200, seed: 42, restarts: 3 }
+    }
+}
+
+/// A fitted phrase-constrained LDA model.
+#[derive(Debug, Clone)]
+pub struct PhraseLdaModel {
+    /// Number of topics.
+    pub k: usize,
+    /// `k x V` topic-word distributions.
+    pub topic_word: Vec<Vec<f64>>,
+    /// `D x k` document-topic distributions.
+    pub doc_topic: Vec<Vec<f64>>,
+    /// Topic of every segment of every document.
+    pub segment_topics: Vec<Vec<u16>>,
+    /// Mixing proportion of each topic (fraction of tokens).
+    pub topic_weight: Vec<f64>,
+}
+
+impl PhraseLdaModel {
+    /// Top `n` words of topic `t`.
+    pub fn top_words(&self, t: usize, n: usize) -> Vec<(u32, f64)> {
+        let mut idx: Vec<(u32, f64)> =
+            self.topic_word[t].iter().enumerate().map(|(w, &p)| (w as u32, p)).collect();
+        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN"));
+        idx.truncate(n);
+        idx
+    }
+}
+
+/// Phrase-constrained LDA fitter.
+#[derive(Debug, Default)]
+pub struct PhraseLda;
+
+impl PhraseLda {
+    /// Fits on segmented documents: `docs[d]` is a list of segments, each a
+    /// token-id sequence (single tokens are singleton segments). Runs
+    /// `config.restarts` chains and keeps the best-likelihood fit.
+    pub fn fit(docs: &[Vec<Vec<u32>>], vocab_size: usize, config: &PhraseLdaConfig) -> PhraseLdaModel {
+        let mut best: Option<(f64, PhraseLdaModel)> = None;
+        for r in 0..config.restarts.max(1) {
+            let cfg = PhraseLdaConfig {
+                seed: config.seed.wrapping_add(r as u64 * 7919),
+                restarts: 1,
+                ..config.clone()
+            };
+            let model = Self::fit_once(docs, vocab_size, &cfg);
+            let ll = loglik(docs, &model);
+            if best.as_ref().is_none_or(|(b, _)| ll > *b) {
+                best = Some((ll, model));
+            }
+        }
+        best.expect("at least one restart").1
+    }
+
+    /// A single Gibbs chain.
+    fn fit_once(docs: &[Vec<Vec<u32>>], vocab_size: usize, config: &PhraseLdaConfig) -> PhraseLdaModel {
+        assert!(config.k > 0, "k must be positive");
+        let k = config.k;
+        let v = vocab_size;
+        let vbeta = v as f64 * config.beta;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut n_wt = vec![vec![0i64; v]; k];
+        let mut n_t = vec![0i64; k];
+        let mut n_dt: Vec<Vec<i64>> = docs.iter().map(|_| vec![0i64; k]).collect();
+        let mut z: Vec<Vec<u16>> = docs
+            .iter()
+            .map(|segs| segs.iter().map(|_| rng.gen_range(0..k) as u16).collect())
+            .collect();
+        for (d, segs) in docs.iter().enumerate() {
+            for (s, seg) in segs.iter().enumerate() {
+                let t = z[d][s] as usize;
+                for &w in seg {
+                    n_wt[t][w as usize] += 1;
+                    n_t[t] += 1;
+                }
+                n_dt[d][t] += seg.len() as i64;
+            }
+        }
+        let mut log_probs = vec![0.0f64; k];
+        for _ in 0..config.iters {
+            for (d, segs) in docs.iter().enumerate() {
+                for (s, seg) in segs.iter().enumerate() {
+                    if seg.is_empty() {
+                        continue;
+                    }
+                    let old = z[d][s] as usize;
+                    for &w in seg {
+                        n_wt[old][w as usize] -= 1;
+                        n_t[old] -= 1;
+                    }
+                    n_dt[d][old] -= seg.len() as i64;
+                    // log p(z) ∝ log(n_dt + alpha) + sum_w log((n_wt + beta)/(n_t + Vbeta))
+                    // (within-segment count increments are ignored — the
+                    //  standard PhraseLDA approximation).
+                    let mut max_lp = f64::NEG_INFINITY;
+                    for t in 0..k {
+                        let mut lp = (n_dt[d][t] as f64 + config.alpha).ln();
+                        let denom = (n_t[t] as f64 + vbeta).ln();
+                        for &w in seg {
+                            lp += (n_wt[t][w as usize] as f64 + config.beta).ln() - denom;
+                        }
+                        log_probs[t] = lp;
+                        if lp > max_lp {
+                            max_lp = lp;
+                        }
+                    }
+                    let mut total = 0.0;
+                    for lp in log_probs.iter_mut() {
+                        *lp = (*lp - max_lp).exp();
+                        total += *lp;
+                    }
+                    let mut u = rng.gen::<f64>() * total;
+                    let mut new = k - 1;
+                    for (t, &p) in log_probs.iter().enumerate() {
+                        u -= p;
+                        if u <= 0.0 {
+                            new = t;
+                            break;
+                        }
+                    }
+                    z[d][s] = new as u16;
+                    for &w in seg {
+                        n_wt[new][w as usize] += 1;
+                        n_t[new] += 1;
+                    }
+                    n_dt[d][new] += seg.len() as i64;
+                }
+            }
+        }
+        let total_tokens: i64 = n_t.iter().sum();
+        let topic_word: Vec<Vec<f64>> = (0..k)
+            .map(|t| {
+                let denom = n_t[t] as f64 + vbeta;
+                (0..v).map(|w| (n_wt[t][w] as f64 + config.beta) / denom).collect()
+            })
+            .collect();
+        let doc_topic: Vec<Vec<f64>> = docs
+            .iter()
+            .enumerate()
+            .map(|(d, segs)| {
+                let len: i64 = segs.iter().map(|s| s.len() as i64).sum();
+                let denom = len as f64 + k as f64 * config.alpha;
+                (0..k).map(|t| (n_dt[d][t] as f64 + config.alpha) / denom).collect()
+            })
+            .collect();
+        let topic_weight: Vec<f64> = n_t
+            .iter()
+            .map(|&c| if total_tokens > 0 { c as f64 / total_tokens as f64 } else { 0.0 })
+            .collect();
+        PhraseLdaModel { k, topic_word, doc_topic, segment_topics: z, topic_weight }
+    }
+}
+
+/// In-sample token log-likelihood `Σ_d Σ_w c log Σ_z θ_dz φ_zw` used for
+/// restart selection.
+fn loglik(docs: &[Vec<Vec<u32>>], model: &PhraseLdaModel) -> f64 {
+    let mut ll = 0.0;
+    for (d, segs) in docs.iter().enumerate() {
+        for seg in segs {
+            for &w in seg {
+                let p: f64 = (0..model.k)
+                    .map(|z| model.doc_topic[d][z] * model.topic_word[z][w as usize])
+                    .sum();
+                ll += p.max(1e-300).ln();
+            }
+        }
+    }
+    ll
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Segmented documents in two themes; the phrase [0,1] always appears
+    /// together, as does [5,6].
+    fn segged(n: usize) -> Vec<Vec<Vec<u32>>> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![vec![0, 1], vec![2], vec![3], vec![0, 1]]
+                } else {
+                    vec![vec![5, 6], vec![7], vec![8], vec![5, 6]]
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn phrase_tokens_share_topics_and_themes_separate() {
+        let docs = segged(40);
+        let m = PhraseLda::fit(&docs, 10, &PhraseLdaConfig { k: 2, iters: 100, ..Default::default() });
+        // words 0 and 1 should have nearly equal probability within their topic
+        let t_low = if m.topic_word[0][0] > m.topic_word[1][0] { 0 } else { 1 };
+        let p0 = m.topic_word[t_low][0];
+        let p1 = m.topic_word[t_low][1];
+        assert!((p0 - p1).abs() / p0.max(p1) < 0.1, "phrase words diverged: {p0} vs {p1}");
+        // Themes separate.
+        let mass_low_t: f64 = m.topic_word[t_low][..5].iter().sum();
+        assert!(mass_low_t > 0.8, "theme not concentrated: {mass_low_t}");
+    }
+
+    #[test]
+    fn distributions_normalized() {
+        let docs = segged(10);
+        let m = PhraseLda::fit(&docs, 10, &PhraseLdaConfig { k: 3, iters: 20, ..Default::default() });
+        for row in &m.topic_word {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for row in &m.doc_topic {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        let s: f64 = m.topic_weight.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let docs = segged(10);
+        let cfg = PhraseLdaConfig { k: 2, iters: 15, seed: 4, ..Default::default() };
+        let a = PhraseLda::fit(&docs, 10, &cfg);
+        let b = PhraseLda::fit(&docs, 10, &cfg);
+        assert_eq!(a.segment_topics, b.segment_topics);
+    }
+
+    #[test]
+    fn empty_segments_tolerated() {
+        let docs = vec![vec![vec![], vec![0]], vec![vec![1]]];
+        let m = PhraseLda::fit(&docs, 2, &PhraseLdaConfig { k: 2, iters: 5, ..Default::default() });
+        assert_eq!(m.segment_topics[0].len(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Probabilistic latent semantic analysis (PLSA) fitted with EM.
+//!
+//! Included as the classic maximum-likelihood topic model (§2.1); its EM has
+//! the guaranteed-non-decreasing likelihood property that our property
+//! tests check, and it serves as a deterministic-given-seed comparator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`Plsa::fit`].
+#[derive(Debug, Clone)]
+pub struct PlsaConfig {
+    /// Number of topics.
+    pub k: usize,
+    /// EM iterations.
+    pub iters: usize,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl Default for PlsaConfig {
+    fn default() -> Self {
+        Self { k: 10, iters: 100, seed: 42 }
+    }
+}
+
+/// A fitted PLSA model.
+#[derive(Debug, Clone)]
+pub struct PlsaModel {
+    /// `k x V` topic-word distributions.
+    pub topic_word: Vec<Vec<f64>>,
+    /// `D x k` document-topic distributions.
+    pub doc_topic: Vec<Vec<f64>>,
+    /// Log-likelihood after each EM iteration (non-decreasing).
+    pub loglik_trace: Vec<f64>,
+}
+
+/// PLSA fitter.
+#[derive(Debug, Default)]
+pub struct Plsa;
+
+impl Plsa {
+    /// Fits PLSA on token-id documents.
+    pub fn fit(docs: &[Vec<u32>], vocab_size: usize, config: &PlsaConfig) -> PlsaModel {
+        assert!(config.k > 0, "k must be positive");
+        let k = config.k;
+        let v = vocab_size;
+        let d_count = docs.len();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Unique (doc, word) -> count lists per doc.
+        let counts: Vec<Vec<(u32, f64)>> = docs
+            .iter()
+            .map(|doc| {
+                let mut m: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+                for &w in doc {
+                    *m.entry(w).or_insert(0.0) += 1.0;
+                }
+                let mut pairs: Vec<(u32, f64)> = m.into_iter().collect();
+                pairs.sort_unstable_by_key(|&(w, _)| w);
+                pairs
+            })
+            .collect();
+        let mut phi: Vec<Vec<f64>> = (0..k)
+            .map(|_| {
+                let mut row: Vec<f64> = (0..v).map(|_| rng.gen::<f64>() + 0.1).collect();
+                normalize(&mut row);
+                row
+            })
+            .collect();
+        let mut theta: Vec<Vec<f64>> = (0..d_count)
+            .map(|_| {
+                let mut row: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() + 0.1).collect();
+                normalize(&mut row);
+                row
+            })
+            .collect();
+        let mut loglik_trace = Vec::with_capacity(config.iters);
+        let mut q = vec![0.0f64; k];
+        for _ in 0..config.iters {
+            let mut phi_new = vec![vec![1e-12f64; v]; k];
+            let mut theta_new = vec![vec![1e-12f64; k]; d_count];
+            let mut ll = 0.0;
+            for (d, pairs) in counts.iter().enumerate() {
+                for &(w, c) in pairs {
+                    let w = w as usize;
+                    let mut total = 0.0;
+                    for t in 0..k {
+                        q[t] = theta[d][t] * phi[t][w];
+                        total += q[t];
+                    }
+                    if total <= 0.0 {
+                        continue;
+                    }
+                    ll += c * total.ln();
+                    for t in 0..k {
+                        let r = c * q[t] / total;
+                        phi_new[t][w] += r;
+                        theta_new[d][t] += r;
+                    }
+                }
+            }
+            for row in &mut phi_new {
+                normalize(row);
+            }
+            for row in &mut theta_new {
+                normalize(row);
+            }
+            phi = phi_new;
+            theta = theta_new;
+            loglik_trace.push(ll);
+        }
+        PlsaModel { topic_word: phi, doc_topic: theta, loglik_trace }
+    }
+}
+
+fn normalize(row: &mut [f64]) {
+    let s: f64 = row.iter().sum();
+    if s > 0.0 {
+        for x in row.iter_mut() {
+            *x /= s;
+        }
+    } else if !row.is_empty() {
+        let u = 1.0 / row.len() as f64;
+        row.iter_mut().for_each(|x| *x = u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn themed_docs(n: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0u32 } else { 5u32 };
+                (0..8).map(|j| base + (j % 5) as u32).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn loglik_is_nondecreasing() {
+        let docs = themed_docs(30);
+        let m = Plsa::fit(&docs, 10, &PlsaConfig { k: 2, iters: 40, seed: 3 });
+        for w in m.loglik_trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "EM likelihood decreased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn distributions_normalized() {
+        let docs = themed_docs(20);
+        let m = Plsa::fit(&docs, 10, &PlsaConfig { k: 3, iters: 20, seed: 1 });
+        for row in &m.topic_word {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        for row in &m.doc_topic {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn separates_themes() {
+        let docs = themed_docs(60);
+        let m = Plsa::fit(&docs, 10, &PlsaConfig { k: 2, iters: 80, seed: 7 });
+        // Theme words should concentrate: p(w<5 | t) differs strongly by t.
+        let mass_low: Vec<f64> =
+            (0..2).map(|t| m.topic_word[t][..5].iter().sum::<f64>()).collect();
+        assert!(
+            (mass_low[0] - mass_low[1]).abs() > 0.5,
+            "topics did not separate: {mass_low:?}"
+        );
+    }
+}

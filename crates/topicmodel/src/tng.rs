@@ -1,0 +1,321 @@
+//! TNG — Topical N-Gram baseline (Wang & McCallum \[93\], §4.4.2).
+//!
+//! A collapsed-Gibbs implementation of the topic-sharing TNG variant: every
+//! token carries a topic `z_i` and a bigram-status bit `x_i`; `x_i = 1`
+//! glues token `i` to token `i-1` (the pair is generated from a
+//! word-specific bigram distribution and shares the previous token's
+//! topic). Consecutive glued tokens form n-gram phrases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration for [`Tng::fit`].
+#[derive(Debug, Clone)]
+pub struct TngConfig {
+    /// Number of topics.
+    pub k: usize,
+    /// Document-topic Dirichlet hyperparameter.
+    pub alpha: f64,
+    /// Topic-word Dirichlet hyperparameter.
+    pub beta: f64,
+    /// Bigram-word Dirichlet hyperparameter.
+    pub delta: f64,
+    /// Beta prior on the bigram-status bit: `(gamma0, gamma1)`.
+    pub gamma: (f64, f64),
+    /// Gibbs sweeps.
+    pub iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TngConfig {
+    fn default() -> Self {
+        Self { k: 10, alpha: 0.5, beta: 0.01, delta: 0.01, gamma: (1.0, 1.0), iters: 150, seed: 42 }
+    }
+}
+
+/// A fitted TNG model.
+#[derive(Debug, Clone)]
+pub struct TngModel {
+    /// Number of topics.
+    pub k: usize,
+    /// `k x V` unigram topic-word distributions.
+    pub topic_word: Vec<Vec<f64>>,
+    /// Topic of every token.
+    pub z: Vec<Vec<u16>>,
+    /// Bigram-status of every token (`x[i] = true` glues token i to i-1).
+    pub x: Vec<Vec<bool>>,
+}
+
+impl TngModel {
+    /// Extracts the top-`n` phrases (n-grams with glued tokens, length >= 2)
+    /// per topic, ranked by frequency. Returns `phrases[t]` as
+    /// `(token sequence, count)` lists.
+    pub fn top_phrases(&self, docs: &[Vec<u32>], n: usize) -> Vec<Vec<(Vec<u32>, usize)>> {
+        let mut counts: Vec<HashMap<Vec<u32>, usize>> = (0..self.k).map(|_| HashMap::new()).collect();
+        for (d, doc) in docs.iter().enumerate() {
+            let mut i = 0;
+            while i < doc.len() {
+                let mut j = i + 1;
+                while j < doc.len() && self.x[d][j] {
+                    j += 1;
+                }
+                if j - i >= 2 {
+                    let t = self.z[d][i] as usize;
+                    *counts[t].entry(doc[i..j].to_vec()).or_insert(0) += 1;
+                }
+                i = j;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(Vec<u32>, usize)> = m.into_iter().collect();
+                v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                v.truncate(n);
+                v
+            })
+            .collect()
+    }
+}
+
+/// TNG fitter.
+#[derive(Debug, Default)]
+pub struct Tng;
+
+impl Tng {
+    /// Fits TNG on token-id documents.
+    pub fn fit(docs: &[Vec<u32>], vocab_size: usize, config: &TngConfig) -> TngModel {
+        assert!(config.k > 0, "k must be positive");
+        let k = config.k;
+        let v = vocab_size;
+        let vbeta = v as f64 * config.beta;
+        let vdelta = v as f64 * config.delta;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut n_wt = vec![vec![0i64; v]; k];
+        let mut n_t = vec![0i64; k];
+        let mut n_dt: Vec<Vec<i64>> = docs.iter().map(|_| vec![0i64; k]).collect();
+        // Bigram-status counts per previous word.
+        let mut c_x = vec![[0i64; 2]; v];
+        // Bigram word counts: (topic, prev) -> cur -> count, plus denominators.
+        let mut big: HashMap<(u16, u32), HashMap<u32, i64>> = HashMap::new();
+        let mut big_tot: HashMap<(u16, u32), i64> = HashMap::new();
+
+        let mut z: Vec<Vec<u16>> =
+            docs.iter().map(|d| d.iter().map(|_| rng.gen_range(0..k) as u16).collect()).collect();
+        let mut x: Vec<Vec<bool>> = docs.iter().map(|d| vec![false; d.len()]).collect();
+
+        // Initialize counts (all x = 0: pure unigram start).
+        for (d, doc) in docs.iter().enumerate() {
+            for (i, &w) in doc.iter().enumerate() {
+                let t = z[d][i] as usize;
+                n_wt[t][w as usize] += 1;
+                n_t[t] += 1;
+                n_dt[d][t] += 1;
+                if i > 0 {
+                    c_x[doc[i - 1] as usize][0] += 1;
+                }
+            }
+        }
+
+        let mut probs = vec![0.0f64; 2 * k];
+        for _ in 0..config.iters {
+            for (d, doc) in docs.iter().enumerate() {
+                for i in 0..doc.len() {
+                    let w = doc[i];
+                    // A token glued to by its successor keeps the successor
+                    // consistent by only resampling z jointly; to keep the
+                    // sampler simple we resample freely and let the
+                    // successor adapt next sweep.
+                    let old_z = z[d][i];
+                    let old_x = x[d][i];
+                    // --- remove ---
+                    if old_x && i > 0 {
+                        let prev = doc[i - 1];
+                        let key = (old_z, prev);
+                        if let Some(m) = big.get_mut(&key) {
+                            if let Some(c) = m.get_mut(&w) {
+                                *c -= 1;
+                            }
+                        }
+                        if let Some(c) = big_tot.get_mut(&key) {
+                            *c -= 1;
+                        }
+                        c_x[prev as usize][1] -= 1;
+                    } else {
+                        n_wt[old_z as usize][w as usize] -= 1;
+                        n_t[old_z as usize] -= 1;
+                        if i > 0 {
+                            c_x[doc[i - 1] as usize][0] -= 1;
+                        }
+                    }
+                    n_dt[d][old_z as usize] -= 1;
+
+                    // --- sample (z, x) jointly ---
+                    let can_glue = i > 0;
+                    let prev_w = if can_glue { doc[i - 1] } else { 0 };
+                    let prev_z = if can_glue { z[d][i - 1] } else { 0 };
+                    let mut total = 0.0;
+                    for t in 0..k {
+                        // x = 0 branch.
+                        let px0 = if can_glue {
+                            (c_x[prev_w as usize][0] as f64 + config.gamma.0)
+                                / ((c_x[prev_w as usize][0] + c_x[prev_w as usize][1]) as f64
+                                    + config.gamma.0
+                                    + config.gamma.1)
+                        } else {
+                            1.0
+                        };
+                        let p = px0
+                            * (n_dt[d][t] as f64 + config.alpha)
+                            * (n_wt[t][w as usize] as f64 + config.beta)
+                            / (n_t[t] as f64 + vbeta);
+                        probs[t] = p;
+                        total += p;
+                        // x = 1 branch: topic forced to prev_z; only that
+                        // slot gets mass.
+                        let p1 = if can_glue && t == prev_z as usize {
+                            let px1 = (c_x[prev_w as usize][1] as f64 + config.gamma.1)
+                                / ((c_x[prev_w as usize][0] + c_x[prev_w as usize][1]) as f64
+                                    + config.gamma.0
+                                    + config.gamma.1);
+                            let key = (prev_z, prev_w);
+                            let num = big
+                                .get(&key)
+                                .and_then(|m| m.get(&w))
+                                .copied()
+                                .unwrap_or(0) as f64
+                                + config.delta;
+                            let den = big_tot.get(&key).copied().unwrap_or(0) as f64 + vdelta;
+                            px1 * (n_dt[d][t] as f64 + config.alpha) * num / den
+                        } else {
+                            0.0
+                        };
+                        probs[k + t] = p1;
+                        total += p1;
+                    }
+                    let mut u = rng.gen::<f64>() * total;
+                    let mut choice = 2 * k - 1;
+                    for (c, &p) in probs.iter().enumerate() {
+                        u -= p;
+                        if u <= 0.0 {
+                            choice = c;
+                            break;
+                        }
+                    }
+                    let (new_z, new_x) =
+                        if choice < k { (choice as u16, false) } else { ((choice - k) as u16, true) };
+
+                    // --- add ---
+                    if new_x {
+                        let key = (new_z, prev_w);
+                        *big.entry(key).or_default().entry(w).or_insert(0) += 1;
+                        *big_tot.entry(key).or_insert(0) += 1;
+                        c_x[prev_w as usize][1] += 1;
+                    } else {
+                        n_wt[new_z as usize][w as usize] += 1;
+                        n_t[new_z as usize] += 1;
+                        if i > 0 {
+                            c_x[prev_w as usize][0] += 1;
+                        }
+                    }
+                    n_dt[d][new_z as usize] += 1;
+                    z[d][i] = new_z;
+                    x[d][i] = new_x;
+                }
+            }
+        }
+        let topic_word: Vec<Vec<f64>> = (0..k)
+            .map(|t| {
+                let denom = n_t[t] as f64 + vbeta;
+                (0..v).map(|w| (n_wt[t][w] as f64 + config.beta) / denom).collect()
+            })
+            .collect();
+        TngModel { k, topic_word, z, x }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Documents where (0,1) is a strong collocation in theme A and (5,6) in
+    /// theme B.
+    fn docs() -> Vec<Vec<u32>> {
+        (0..40)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![0, 1, 2, 0, 1, 3, 0, 1]
+                } else {
+                    vec![5, 6, 7, 5, 6, 8, 5, 6]
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_collocations_as_phrases() {
+        let d = docs();
+        let m = Tng::fit(&d, 10, &TngConfig { k: 2, iters: 120, ..Default::default() });
+        let phrases = m.top_phrases(&d, 3);
+        let mut found_01 = false;
+        let mut found_56 = false;
+        for t in 0..2 {
+            for (p, _) in &phrases[t] {
+                if p == &vec![0, 1] || (p.len() > 2 && p[..2] == [0, 1]) {
+                    found_01 = true;
+                }
+                if p == &vec![5, 6] || (p.len() > 2 && p[..2] == [5, 6]) {
+                    found_56 = true;
+                }
+            }
+        }
+        assert!(found_01, "collocation (0,1) not recovered: {phrases:?}");
+        assert!(found_56, "collocation (5,6) not recovered");
+    }
+
+    #[test]
+    fn first_token_never_glued() {
+        let d = docs();
+        let m = Tng::fit(&d, 10, &TngConfig { k: 2, iters: 30, ..Default::default() });
+        for row in &m.x {
+            assert!(!row[0], "x[0] must be false");
+        }
+    }
+
+    #[test]
+    fn glued_tokens_share_topic_of_head() {
+        let d = docs();
+        let m = Tng::fit(&d, 10, &TngConfig { k: 2, iters: 60, ..Default::default() });
+        // A glued token was sampled with topic = prev topic at sampling
+        // time; after the final sweep the tail of each run should agree
+        // with its head for the overwhelming majority of runs.
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for (doc_i, doc) in d.iter().enumerate() {
+            for i in 1..doc.len() {
+                if m.x[doc_i][i] {
+                    total += 1;
+                    if m.z[doc_i][i] == m.z[doc_i][i - 1] {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+        if total > 0 {
+            assert!(agree as f64 / total as f64 > 0.8, "{agree}/{total}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = docs();
+        let cfg = TngConfig { k: 2, iters: 20, seed: 3, ..Default::default() };
+        let a = Tng::fit(&d, 10, &cfg);
+        let b = Tng::fit(&d, 10, &cfg);
+        assert_eq!(a.z, b.z);
+        assert_eq!(a.x, b.x);
+    }
+}

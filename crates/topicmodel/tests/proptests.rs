@@ -1,0 +1,87 @@
+//! Property-based tests for the topic-model substrates.
+
+use lesm_topicmodel::lda::{Lda, LdaConfig};
+use lesm_topicmodel::pdlda::{PdLdaLike, PdLdaLikeConfig};
+use lesm_topicmodel::phrase_lda::{PhraseLda, PhraseLdaConfig};
+use lesm_topicmodel::plsa::{Plsa, PlsaConfig};
+use lesm_topicmodel::tng::{Tng, TngConfig};
+use proptest::prelude::*;
+
+fn random_docs() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..12, 1..15), 3..15)
+}
+
+fn assert_distribution(rows: &[Vec<f64>], label: &str) {
+    for row in rows {
+        let s: f64 = row.iter().sum();
+        assert!((s - 1.0).abs() < 1e-8, "{label} row sums to {s}");
+        assert!(row.iter().all(|&x| x >= 0.0), "{label} has negative mass");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lda_outputs_are_distributions(docs in random_docs(), k in 1usize..5, seed in 0u64..100) {
+        let m = Lda::fit(&docs, 12, &LdaConfig { k, iters: 15, seed, ..Default::default() });
+        assert_distribution(&m.topic_word, "phi");
+        assert_distribution(&m.doc_topic, "theta");
+        // Assignments in range.
+        for (d, doc) in docs.iter().enumerate() {
+            prop_assert_eq!(m.assignments[d].len(), doc.len());
+            for &z in &m.assignments[d] {
+                prop_assert!((z as usize) < k);
+            }
+        }
+    }
+
+    #[test]
+    fn plsa_likelihood_never_decreases(docs in random_docs(), k in 1usize..4) {
+        let m = Plsa::fit(&docs, 12, &PlsaConfig { k, iters: 15, seed: 3 });
+        for w in m.loglik_trace.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-6, "EM decreased: {} -> {}", w[0], w[1]);
+        }
+        assert_distribution(&m.topic_word, "phi");
+    }
+
+    #[test]
+    fn phrase_lda_respects_segment_structure(docs in random_docs(), k in 1usize..4) {
+        // Make every doc a two-segment partition.
+        let segged: Vec<Vec<Vec<u32>>> = docs
+            .iter()
+            .map(|d| {
+                let mid = d.len() / 2;
+                vec![d[..mid].to_vec(), d[mid..].to_vec()]
+            })
+            .collect();
+        let m = PhraseLda::fit(&segged, 12, &PhraseLdaConfig { k, iters: 10, restarts: 1, ..Default::default() });
+        assert_distribution(&m.topic_word, "phi");
+        for (d, segs) in segged.iter().enumerate() {
+            prop_assert_eq!(m.segment_topics[d].len(), segs.len());
+        }
+        let s: f64 = m.topic_weight.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn tng_never_glues_the_first_token(docs in random_docs(), seed in 0u64..50) {
+        let m = Tng::fit(&docs, 12, &TngConfig { k: 2, iters: 10, seed, ..Default::default() });
+        for row in &m.x {
+            if !row.is_empty() {
+                prop_assert!(!row[0]);
+            }
+        }
+        assert_distribution(&m.topic_word, "phi");
+    }
+
+    #[test]
+    fn pdlda_segments_partition_documents(docs in random_docs(), seed in 0u64..50) {
+        let m = PdLdaLike::fit(&docs, 12, &PdLdaLikeConfig { k: 2, iters: 8, seed, ..Default::default() });
+        for (doc, segs) in docs.iter().zip(&m.segments) {
+            let flat: Vec<u32> = segs.iter().flatten().copied().collect();
+            prop_assert_eq!(&flat, doc);
+        }
+        assert_distribution(&m.topic_word, "phi");
+    }
+}

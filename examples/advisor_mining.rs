@@ -1,0 +1,54 @@
+//! Mine advisor–advisee relations from a temporal collaboration network
+//! with TPFG (the Chapter 6 workflow), and compare against the simple
+//! baselines.
+//!
+//! ```sh
+//! cargo run --release --example advisor_mining
+//! ```
+
+use lesm::corpus::synth::{Genealogy, GenealogyConfig};
+use lesm::eval::relation::parent_accuracy;
+use lesm::relations::baselines::{indmax_predict, rule_predict};
+use lesm::relations::preprocess::{CandidateGraph, PreprocessConfig};
+use lesm::relations::tpfg::{Tpfg, TpfgConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic academic genealogy: papers with author lists and years,
+    // plus hidden ground-truth advisor edges.
+    let gen = Genealogy::generate(&GenealogyConfig {
+        n_authors: 400,
+        seed: 11,
+        ..GenealogyConfig::default()
+    })?;
+    println!(
+        "{} authors, {} papers, {} true advisor edges",
+        gen.n_authors,
+        gen.papers.len(),
+        gen.num_relations()
+    );
+
+    // Stage 1: project to a coauthor network, compute the Kulczynski and
+    // imbalance-ratio time series, filter with rules R1-R4.
+    let graph = CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default())?;
+    println!("candidate DAG: {} edges (acyclic: {})", graph.num_edges(), graph.is_dag());
+
+    // Stage 2: TPFG message passing.
+    let result = Tpfg::infer(&graph, &TpfgConfig::default())?;
+    println!("inference converged in {} sweeps", result.sweeps);
+
+    // Evaluate against ground truth.
+    println!("\naccuracy:");
+    println!("  RULE   {:.3}", parent_accuracy(&rule_predict(&graph), &gen.advisor));
+    println!("  IndMAX {:.3}", parent_accuracy(&indmax_predict(&graph), &gen.advisor));
+    println!("  TPFG   {:.3}", parent_accuracy(&result.predict(1, 0.0), &gen.advisor));
+
+    // Inspect one author's ranked advisors.
+    if let Some(i) = (0..gen.n_authors).find(|&i| result.ranking[i].len() >= 2) {
+        println!("\nauthor {} candidates (truth: {:?}):", i, gen.advisor[i]);
+        for &(adv, p) in result.ranking[i].iter().take(3) {
+            println!("  advisor {adv}: r = {p:.3}");
+        }
+        println!("  virtual root: r = {:.3}", result.root_prob[i]);
+    }
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! `lesm` facade: re-exports the whole Latent Entity Structure Mining
+//! workspace so downstream users depend on one crate.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+pub use lesm_core as core;
+pub use lesm_corpus as corpus;
+pub use lesm_eval as eval;
+pub use lesm_hier as hier;
+pub use lesm_linalg as linalg;
+pub use lesm_net as net;
+pub use lesm_phrases as phrases;
+pub use lesm_relations as relations;
+pub use lesm_roles as roles;
+pub use lesm_strod as strod;
+pub use lesm_topicmodel as topicmodel;

@@ -1,0 +1,135 @@
+//! Integration: the full Chapter-3 pipeline through the `lesm` facade —
+//! generate a DBLP-like corpus, mine a hierarchy, and check it against the
+//! generator's ground truth.
+
+use lesm::core::pipeline::{LatentStructureMiner, MinerConfig};
+use lesm::corpus::synth::{PapersConfig, SyntheticPapers};
+use lesm::eval::pmi::{hpmi_pair, CoOccurrenceStats};
+use lesm::hier::em::{EmConfig, WeightMode};
+use lesm::hier::hierarchy::{CathyConfig, ChildCount};
+
+fn corpus() -> SyntheticPapers {
+    let mut cfg = PapersConfig::dblp(1200, 77);
+    cfg.hierarchy.branching = vec![2, 2];
+    cfg.hierarchy.words_per_topic = 16;
+    cfg.entity_specs[0].pool_per_node = 10;
+    cfg.entity_specs[1].pool_per_node = 3;
+    SyntheticPapers::generate(&cfg).expect("valid config")
+}
+
+fn miner_config() -> MinerConfig {
+    MinerConfig {
+        hierarchy: CathyConfig {
+            children: ChildCount::Fixed(2),
+            max_depth: 2,
+            em: EmConfig {
+                iters: 200,
+                restarts: 5,
+                seed: 5,
+                background: true,
+                weights: WeightMode::Learned,
+                ..EmConfig::default()
+            },
+            min_links: 20,
+            subnet_threshold: 0.5,
+        },
+        ..MinerConfig::default()
+    }
+}
+
+#[test]
+fn hierarchy_recovers_ground_truth_structure() {
+    let papers = corpus();
+    let mined = LatentStructureMiner::mine(&papers.corpus, &miner_config()).expect("pipeline");
+    assert_eq!(mined.hierarchy.topics[0].children.len(), 2);
+    // Every leaf topic's top words should be dominated by one ground-truth
+    // leaf topic.
+    let term_type = papers.corpus.entities.num_types();
+    let mut matched_gt_leaves = std::collections::HashSet::new();
+    for leaf in mined.hierarchy.leaves() {
+        let top = mined.hierarchy.top_nodes(leaf, term_type, 8);
+        let mut votes: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for &(w, _) in &top {
+            if let Some(t) = papers.truth.word_topic(w) {
+                if papers.truth.hierarchy.nodes[t].children.is_empty() {
+                    *votes.entry(t).or_insert(0) += 1;
+                }
+            }
+        }
+        if let Some((&gt_leaf, &c)) = votes.iter().max_by_key(|&(_, &c)| c) {
+            let total: usize = votes.values().sum();
+            assert!(c * 3 >= total * 2, "mined leaf mixes ground-truth leaves: {votes:?}");
+            matched_gt_leaves.insert(gt_leaf);
+        }
+    }
+    assert!(
+        matched_gt_leaves.len() >= 3,
+        "at least 3 of 4 ground-truth leaves recovered, got {matched_gt_leaves:?}"
+    );
+}
+
+#[test]
+fn mined_topics_beat_topk_on_hpmi() {
+    let papers = corpus();
+    let mined = LatentStructureMiner::mine(&papers.corpus, &miner_config()).expect("pipeline");
+    let stats = CoOccurrenceStats::from_corpus(&papers.corpus);
+    let term_type = papers.corpus.entities.num_types();
+    // Term-Term HPMI of mined level-1 topics vs a global TopK pseudo-topic.
+    let mut mined_score = 0.0;
+    let l1 = &mined.hierarchy.topics[0].children;
+    for &t in l1 {
+        let items: Vec<(usize, u32)> = mined
+            .hierarchy
+            .top_nodes(t, term_type, 15)
+            .into_iter()
+            .map(|(w, _)| (term_type, w))
+            .collect();
+        mined_score += hpmi_pair(&stats, &items, &items);
+    }
+    mined_score /= l1.len() as f64;
+    let tf = papers.corpus.term_freq();
+    let mut by_freq: Vec<u32> = (0..tf.len() as u32).collect();
+    by_freq.sort_by_key(|&w| std::cmp::Reverse(tf[w as usize]));
+    let topk: Vec<(usize, u32)> = by_freq.into_iter().take(15).map(|w| (term_type, w)).collect();
+    let topk_score = hpmi_pair(&stats, &topk, &topk);
+    assert!(
+        mined_score > topk_score,
+        "mined topics ({mined_score:.3}) must beat TopK ({topk_score:.3})"
+    );
+}
+
+#[test]
+fn entity_rankings_follow_topic_assignment() {
+    let papers = corpus();
+    let mined = LatentStructureMiner::mine(&papers.corpus, &miner_config()).expect("pipeline");
+    // For each level-1 mined topic, its top venue should be a ground-truth
+    // venue of the area its words belong to.
+    let term_type = papers.corpus.entities.num_types();
+    for &t in &mined.hierarchy.topics[0].children {
+        let top_words = mined.hierarchy.top_nodes(t, term_type, 10);
+        let mut area_votes: std::collections::HashMap<usize, usize> = Default::default();
+        for &(w, _) in &top_words {
+            if let Some(owner) = papers.truth.word_topic(w) {
+                let mut cur = owner;
+                while papers.truth.hierarchy.nodes[cur].level > 1 {
+                    cur = papers.truth.hierarchy.nodes[cur].parent.unwrap();
+                }
+                if papers.truth.hierarchy.nodes[cur].level == 1 {
+                    *area_votes.entry(cur).or_insert(0) += 1;
+                }
+            }
+        }
+        let Some((&area, _)) = area_votes.iter().max_by_key(|&(_, &c)| c) else { continue };
+        let area_path = &papers.truth.hierarchy.nodes[area].path;
+        let top_venues = &mined.topic_entities[t][1];
+        assert!(!top_venues.is_empty());
+        let name = papers
+            .corpus
+            .entities
+            .name(lesm::corpus::EntityRef::new(1, top_venues[0].0));
+        assert!(
+            name.contains(area_path.as_str()) || name.contains("shared"),
+            "top venue {name} does not belong to area {area_path}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Failure injection: degenerate, adversarial and boundary inputs must
+//! produce errors or graceful no-ops — never panics or NaN-poisoned
+//! output.
+
+use lesm::core::pipeline::{LatentStructureMiner, MinerConfig};
+use lesm::corpus::synth::{GenealogyConfig, Genealogy, GenPaper};
+use lesm::corpus::{load_tsv, Corpus, LoadOptions};
+use lesm::hier::em::{CathyHinEm, EmConfig, WeightMode};
+use lesm::net::{co_occurrence_network, collapsed_network, NetworkBuilder};
+use lesm::phrases::topmine::{FrequentPhrases, Segmenter, SegmenterConfig};
+use lesm::relations::preprocess::{CandidateGraph, PreprocessConfig};
+use lesm::strod::{Strod, StrodConfig};
+use lesm::topicmodel::lda::{Lda, LdaConfig};
+
+#[test]
+fn empty_corpus_degrades_to_a_trivial_hierarchy() {
+    let corpus = Corpus::new();
+    let net = collapsed_network(&corpus);
+    assert_eq!(net.num_links(), 0);
+    // The empty network is below every expansion threshold, so the miner
+    // returns the bare root rather than panicking.
+    let mined = LatentStructureMiner::mine(&corpus, &MinerConfig::default())
+        .expect("empty corpus degrades gracefully");
+    assert_eq!(mined.hierarchy.len(), 1);
+    assert!(mined.topic_phrases[0].is_empty());
+    assert!(mined.doc_topic.is_empty());
+}
+
+#[test]
+fn single_word_corpus_is_degenerate_but_safe() {
+    let mut corpus = Corpus::new();
+    for _ in 0..10 {
+        corpus.push_text("data data data");
+    }
+    // Only self-links exist; EM either fits or errors but never panics.
+    let net = co_occurrence_network(&corpus);
+    let cfg = EmConfig {
+        k: 2,
+        iters: 10,
+        restarts: 1,
+        seed: 1,
+        background: false,
+        weights: WeightMode::Equal,
+        ..EmConfig::default()
+    };
+    if let Ok(fit) = CathyHinEm::fit(&net, &cfg) {
+        for z in 0..2 {
+            for &p in &fit.phi[0][z] {
+                assert!(p.is_finite());
+            }
+        }
+    }
+}
+
+#[test]
+fn lda_with_more_topics_than_words_stays_finite() {
+    let docs = vec![vec![0u32, 1], vec![1, 0], vec![0, 1]];
+    let m = Lda::fit(&docs, 2, &LdaConfig { k: 10, iters: 10, ..Default::default() });
+    for row in &m.topic_word {
+        assert!(row.iter().all(|x| x.is_finite()));
+        assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn strod_rejects_rank_deficient_corpora() {
+    // Every doc identical: M2 has rank ~1, k=3 must be refused.
+    let docs: Vec<Vec<u32>> = (0..50).map(|_| vec![0u32, 1, 0, 1, 0, 1]).collect();
+    let r = Strod::fit(&docs, 4, &StrodConfig { k: 3, alpha0: Some(1.0), ..Default::default() });
+    assert!(r.is_err(), "rank-deficient moments must be detected");
+}
+
+#[test]
+fn phrase_mining_handles_pathological_documents() {
+    // Empty docs, single-token docs, and one enormous repetitive doc.
+    let mut docs: Vec<Vec<u32>> = vec![vec![], vec![5], vec![]];
+    docs.push((0..2000).map(|i| (i % 3) as u32).collect());
+    let fp = FrequentPhrases::mine(&docs, 2, 5);
+    let segs = Segmenter::segment(&docs, &fp, &SegmenterConfig { alpha: 2.0 });
+    for (d, s) in docs.iter().zip(&segs) {
+        let flat: Vec<u32> = s.iter().flatten().copied().collect();
+        assert_eq!(&flat, d);
+    }
+}
+
+#[test]
+fn candidate_graph_rejects_out_of_range_authors() {
+    let papers = vec![GenPaper { year: 2000, authors: vec![0, 99] }];
+    let r = CandidateGraph::build(&papers, 2, &PreprocessConfig::default());
+    assert!(r.is_err());
+}
+
+#[test]
+fn genealogy_extreme_configs() {
+    // 100% confounders and missing records still generate and stay acyclic.
+    let g = Genealogy::generate(&GenealogyConfig {
+        n_authors: 60,
+        confounder_prob: 1.0,
+        missing_prob: 1.0,
+        ..GenealogyConfig::default()
+    })
+    .unwrap();
+    assert!(g.is_acyclic());
+    // With every advising record dropped, preprocessing may legitimately
+    // find no candidates — that must surface as an error, not a panic.
+    let _ = CandidateGraph::build(&g.papers, g.n_authors, &PreprocessConfig::default());
+}
+
+#[test]
+fn malformed_tsv_lines_error_with_location() {
+    let bad = "fine line\tauthor=a\t2001\nbroken\tnot-an-entity\t\n";
+    let err = load_tsv(bad.as_bytes(), &LoadOptions::default()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "error should locate the bad line: {msg}");
+}
+
+#[test]
+fn network_builder_is_total_for_valid_ids_and_validates_bad_ones() {
+    let mut b = NetworkBuilder::new(vec!["a".into()], vec![3]);
+    // Massive weights and self-links are fine.
+    b.add(0, 0, 0, 0, 1e12);
+    b.add(0, 1, 0, 2, f64::MIN_POSITIVE);
+    let g = b.build();
+    g.validate().unwrap();
+    assert!(g.total_weight().is_finite());
+}
+
+#[test]
+fn em_with_huge_k_does_not_blow_up() {
+    let mut b = NetworkBuilder::new(vec!["t".into()], vec![4]);
+    b.add(0, 0, 0, 1, 3.0);
+    b.add(0, 2, 0, 3, 3.0);
+    let net = b.build();
+    let cfg = EmConfig {
+        k: 50, // far more topics than structure
+        iters: 10,
+        restarts: 1,
+        seed: 1,
+        background: true,
+        weights: WeightMode::Equal,
+        ..EmConfig::default()
+    };
+    let fit = CathyHinEm::fit(&net, &cfg).unwrap();
+    let s: f64 = fit.rho.iter().sum();
+    assert!((s - 1.0).abs() < 1e-8);
+    assert!(fit.rho.iter().all(|r| r.is_finite()));
+}

@@ -1,0 +1,108 @@
+//! Integration: Chapter-4 phrase mining through the facade — ToPMine and
+//! KERT on a labeled corpus, scored with the evaluation crate.
+
+use lesm::corpus::synth::{LabeledConfig, LabeledCorpus};
+use lesm::eval::mi::mutual_information_at_k;
+use lesm::phrases::kert::{Kert, KertConfig, KertVariant};
+use lesm::phrases::topmine::{ToPMine, ToPMineConfig};
+use lesm::topicmodel::lda::{Lda, LdaConfig};
+use lesm::topicmodel::phrase_lda::PhraseLdaConfig;
+
+fn labeled() -> LabeledCorpus {
+    LabeledCorpus::generate(&LabeledConfig { n_categories: 4, n_docs: 1500, seed: 31 })
+        .expect("valid config")
+}
+
+#[test]
+fn topmine_topics_predict_labels() {
+    let lc = labeled();
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let labels: Vec<u32> = lc.corpus.docs.iter().map(|d| d.label.unwrap()).collect();
+    let res = ToPMine::run(
+        &docs,
+        lc.corpus.num_words(),
+        &ToPMineConfig {
+            min_support: 5,
+            max_len: 4,
+            seg_alpha: 2.0,
+            lda: PhraseLdaConfig { k: 4, iters: 120, seed: 3, ..Default::default() },
+            omega: 0.3,
+            top_n: 40,
+        },
+    )
+    .expect("valid config");
+    let topic_phrases: Vec<Vec<Vec<u32>>> = res
+        .topical_phrases
+        .iter()
+        .map(|l| l.iter().map(|p| p.tokens.clone()).collect())
+        .collect();
+    let mi = mutual_information_at_k(&docs, &labels, 4, &topic_phrases);
+    // 2 bits would be a perfect 4-way alignment; random topics give ~0.
+    assert!(mi > 0.6, "ToPMine topics should carry label information, MI = {mi:.3}");
+}
+
+#[test]
+fn kert_full_beats_purity_only_on_mi() {
+    let lc = labeled();
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let labels: Vec<u32> = lc.corpus.docs.iter().map(|d| d.label.unwrap()).collect();
+    let lda = Lda::fit(
+        &docs,
+        lc.corpus.num_words(),
+        &LdaConfig { k: 4, iters: 120, seed: 5, ..Default::default() },
+    );
+    let base = KertConfig { min_support: 5, max_len: 3, top_n: 60, ..Default::default() };
+    let patterns = Kert::mine(&docs, &lda.assignments, 4, &base).expect("valid config");
+    let mi_of = |variant: KertVariant| -> f64 {
+        let ranked = Kert::rank(&patterns, &KertConfig { variant, ..base.clone() });
+        let phrases: Vec<Vec<Vec<u32>>> = ranked
+            .iter()
+            .map(|l| l.iter().take(60).map(|p| p.tokens.clone()).collect())
+            .collect();
+        mutual_information_at_k(&docs, &labels, 4, &phrases)
+    };
+    let full = mi_of(KertVariant::PopularityPurity);
+    let pur = mi_of(KertVariant::PurityOnly);
+    assert!(full > pur, "pop+pur ({full:.3}) must beat purity-only ({pur:.3})");
+}
+
+#[test]
+fn segmentation_phrases_are_mostly_single_topic() {
+    let lc = labeled();
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let res = ToPMine::run(
+        &docs,
+        lc.corpus.num_words(),
+        &ToPMineConfig {
+            min_support: 5,
+            max_len: 4,
+            seg_alpha: 2.0,
+            lda: PhraseLdaConfig { k: 4, iters: 40, seed: 3, ..Default::default() },
+            omega: 0.3,
+            top_n: 40,
+        },
+    )
+    .expect("valid config");
+    // Multi-word segments should rarely mix ground-truth topics (phrases
+    // are emitted within one topic by the generator).
+    let mut pure = 0usize;
+    let mut total = 0usize;
+    for doc in &res.segments {
+        for seg in doc {
+            if seg.len() < 2 {
+                continue;
+            }
+            let owners: Vec<usize> =
+                seg.iter().filter_map(|&w| lc.truth.word_topic(w)).collect();
+            if owners.len() == seg.len() {
+                total += 1;
+                if owners.iter().all(|&o| o == owners[0]) {
+                    pure += 1;
+                }
+            }
+        }
+    }
+    assert!(total > 100, "enough multi-word segments to judge");
+    let frac = pure as f64 / total as f64;
+    assert!(frac > 0.9, "only {frac:.3} of segments are topic-pure");
+}

@@ -1,0 +1,92 @@
+//! Integration: Chapter-6 relation mining through the facade.
+
+use lesm::corpus::synth::{Genealogy, GenealogyConfig};
+use lesm::eval::relation::{pair_metrics, parent_accuracy};
+use lesm::relations::baselines::{rule_predict, PairSvm, SvmConfig};
+use lesm::relations::crf::{CrfConfig, HierCrf};
+use lesm::relations::preprocess::{CandidateGraph, PreprocessConfig};
+use lesm::relations::tpfg::{Tpfg, TpfgConfig};
+
+fn setup() -> (Genealogy, CandidateGraph) {
+    let gen = Genealogy::generate(&GenealogyConfig {
+        n_authors: 300,
+        seed: 41,
+        ..GenealogyConfig::default()
+    })
+    .expect("valid config");
+    let graph = CandidateGraph::build(&gen.papers, gen.n_authors, &PreprocessConfig::default())
+        .expect("candidates");
+    (gen, graph)
+}
+
+#[test]
+fn tpfg_beats_the_crude_rule_baseline() {
+    let (gen, graph) = setup();
+    let tpfg = Tpfg::infer(&graph, &TpfgConfig::default()).expect("inference");
+    let acc_tpfg = parent_accuracy(&tpfg.predict(1, 0.0), &gen.advisor);
+    let acc_rule = parent_accuracy(&rule_predict(&graph), &gen.advisor);
+    assert!(
+        acc_tpfg > acc_rule,
+        "TPFG ({acc_tpfg:.3}) should beat RULE ({acc_rule:.3})"
+    );
+    assert!(acc_tpfg > 0.75, "TPFG accuracy too low: {acc_tpfg:.3}");
+}
+
+#[test]
+fn tpfg_precision_recall_tradeoff_via_theta() {
+    let (gen, graph) = setup();
+    let tpfg = Tpfg::infer(&graph, &TpfgConfig::default()).expect("inference");
+    // Pair metrics at two thresholds.
+    let metrics_at = |theta: f64| {
+        let decisions: Vec<Vec<(u32, bool)>> = (0..graph.n_authors)
+            .map(|i| {
+                tpfg.ranking[i]
+                    .iter()
+                    .map(|&(a, p)| (a, p > theta && p > tpfg.root_prob[i]))
+                    .collect()
+            })
+            .collect();
+        pair_metrics(&decisions, &gen.advisor)
+    };
+    let loose = metrics_at(0.2);
+    let strict = metrics_at(0.7);
+    assert!(strict.precision() >= loose.precision() - 1e-9);
+    assert!(loose.recall() >= strict.recall());
+    assert!(loose.f1() > 0.6, "loose F1 = {:.3}", loose.f1());
+}
+
+#[test]
+fn supervised_methods_train_and_predict() {
+    let (gen, graph) = setup();
+    let train: Vec<usize> = (0..gen.n_authors).filter(|i| i % 2 == 0).collect();
+    let holdout: Vec<Option<u32>> = gen
+        .advisor
+        .iter()
+        .enumerate()
+        .map(|(i, a)| if i % 2 == 1 { *a } else { None })
+        .collect();
+    let svm = PairSvm::train(&graph, &gen.advisor, &train, &SvmConfig::default());
+    let crf = HierCrf::train(&graph, &gen.advisor, &train, &CrfConfig::default())
+        .expect("labels exist");
+    let acc_svm = parent_accuracy(&svm.predict(&graph), &holdout);
+    let acc_crf = parent_accuracy(&crf.infer(&graph).expect("inference").predict(1, 0.0), &holdout);
+    assert!(acc_svm > 0.6, "SVM held-out accuracy {acc_svm:.3}");
+    assert!(acc_crf > 0.6, "CRF held-out accuracy {acc_crf:.3}");
+}
+
+#[test]
+fn missing_records_bound_every_method() {
+    let (gen, graph) = setup();
+    // Authors whose advising co-publications were dropped can never be
+    // recovered: their true advisor is not even a candidate.
+    for i in 0..gen.n_authors {
+        if gen.missing[i] {
+            if let Some(a) = gen.advisor[i] {
+                assert!(
+                    !graph.candidates[i].iter().any(|c| c.advisor == a),
+                    "dropped pair should not surface as a candidate"
+                );
+            }
+        }
+    }
+}

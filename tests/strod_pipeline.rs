@@ -1,0 +1,120 @@
+//! Integration: Chapter-7 STROD through the facade — robustness vs Gibbs
+//! LDA and the recursive topic tree.
+
+use lesm::corpus::synth::{LabeledConfig, LabeledCorpus};
+use lesm::strod::{Strod, StrodConfig, StrodTree, StrodTreeConfig};
+use lesm::topicmodel::lda::{Lda, LdaConfig};
+
+fn labeled(n: usize) -> LabeledCorpus {
+    LabeledCorpus::generate(&LabeledConfig { n_categories: 4, n_docs: n, seed: 51 })
+        .expect("valid config")
+}
+
+fn topic_set_distance(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    let k = a.len();
+    let mut used = vec![false; k];
+    let mut total = 0.0;
+    for ta in a {
+        let mut best = f64::INFINITY;
+        let mut bj = 0;
+        for (j, tb) in b.iter().enumerate() {
+            if used[j] {
+                continue;
+            }
+            let d: f64 = ta.iter().zip(tb).map(|(x, y)| (x - y).abs()).sum();
+            if d < best {
+                best = d;
+                bj = j;
+            }
+        }
+        used[bj] = true;
+        total += best;
+    }
+    total / k as f64
+}
+
+#[test]
+fn strod_is_more_seed_robust_than_gibbs() {
+    let lc = labeled(3000);
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let v = lc.corpus.num_words();
+    let strod_runs: Vec<Vec<Vec<f64>>> = [1u64, 2]
+        .iter()
+        .map(|&s| {
+            let mut cfg = StrodConfig { k: 4, alpha0: Some(0.5), ..Default::default() };
+            cfg.seed = s;
+            cfg.power.seed = s * 17;
+            Strod::fit(&docs, v, &cfg).expect("fit").topic_word
+        })
+        .collect();
+    let gibbs_runs: Vec<Vec<Vec<f64>>> = [1u64, 2]
+        .iter()
+        .map(|&s| {
+            Lda::fit(&docs, v, &LdaConfig { k: 4, iters: 120, seed: s, ..Default::default() })
+                .topic_word
+        })
+        .collect();
+    let strod_drift = topic_set_distance(&strod_runs[0], &strod_runs[1]);
+    let gibbs_drift = topic_set_distance(&gibbs_runs[0], &gibbs_runs[1]);
+    assert!(
+        strod_drift < gibbs_drift,
+        "STROD drift {strod_drift:.4} should be below Gibbs drift {gibbs_drift:.4}"
+    );
+    assert!(strod_drift < 0.05, "STROD should be nearly seed-invariant: {strod_drift:.4}");
+}
+
+#[test]
+fn strod_topics_align_with_categories() {
+    let lc = labeled(3000);
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let m = Strod::fit(
+        &docs,
+        lc.corpus.num_words(),
+        &StrodConfig { k: 4, alpha0: Some(0.5), ..Default::default() },
+    )
+    .expect("fit");
+    // Each recovered topic's top words should be dominated by one
+    // ground-truth category.
+    let mut matched = std::collections::HashSet::new();
+    for t in 0..4 {
+        let top = m.top_words(t, 10);
+        let mut votes: std::collections::HashMap<usize, usize> = Default::default();
+        for &(w, _) in &top {
+            if let Some(owner) = lc.truth.word_topic(w) {
+                *votes.entry(owner).or_insert(0) += 1;
+            }
+        }
+        if let Some((&gt, &c)) = votes.iter().max_by_key(|&(_, &c)| c) {
+            let total: usize = votes.values().sum();
+            if c * 3 >= total * 2 {
+                matched.insert(gt);
+            }
+        }
+    }
+    assert!(matched.len() >= 3, "recovered topics too mixed: {matched:?}");
+}
+
+#[test]
+fn tree_construction_produces_nested_topics() {
+    let lc = labeled(2500);
+    let docs: Vec<Vec<u32>> = lc.corpus.docs.iter().map(|d| d.tokens.clone()).collect();
+    let tree = StrodTree::construct(
+        &docs,
+        lc.corpus.num_words(),
+        &StrodTreeConfig {
+            branching: vec![2, 2],
+            strod: StrodConfig { alpha0: Some(0.5), ..Default::default() },
+            min_doc_weight: 50.0,
+        },
+    )
+    .expect("tree");
+    assert!(tree.len() >= 3);
+    assert_eq!(tree.nodes[0].children.len(), 2);
+    // Child weights never exceed parent's.
+    for t in 1..tree.len() {
+        let p = tree.nodes[t].parent.unwrap();
+        for d in 0..docs.len() {
+            assert!(tree.nodes[t].doc_weights[d] <= tree.nodes[p].doc_weights[d] + 1e-9);
+        }
+    }
+}
