@@ -40,6 +40,18 @@ fn bench_em(c: &mut Criterion) {
             b.iter(|| CathyHinEm::fit(&net, &em_config(mode.clone())).unwrap());
         });
     }
+    // 1-vs-N-thread scaling on the largest network (the perf-PR headline
+    // number; outputs are bit-identical across the variants).
+    let papers = dblp_small(800, 7);
+    let net = collapsed_network(&papers.corpus);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("fit_threads", threads), &threads, |b, &t| {
+            b.iter(|| {
+                CathyHinEm::fit(&net, &EmConfig { threads: t, ..em_config(WeightMode::Equal) })
+                    .unwrap()
+            });
+        });
+    }
     group.finish();
 }
 

@@ -25,6 +25,18 @@ fn bench_strod(c: &mut Criterion) {
     group.bench_function("power_method_k5", |b| {
         b.iter(|| tensor_power_method(&wm.t3, 5, &PowerConfig::default()));
     });
+    // 1-vs-N-thread restart fan-out (bit-identical across variants).
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("power_threads", threads), &threads, |b, &t| {
+            b.iter(|| {
+                tensor_power_method(
+                    &wm.t3,
+                    5,
+                    &PowerConfig { restarts: 32, threads: t, ..PowerConfig::default() },
+                )
+            });
+        });
+    }
     group.finish();
 }
 

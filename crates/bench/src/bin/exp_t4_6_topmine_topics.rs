@@ -20,6 +20,7 @@ fn main() {
             lda: PhraseLdaConfig { k, iters: 150, seed: 7, ..Default::default() },
             omega: 0.3,
             top_n: 10,
+            ..Default::default()
         },
     )
     .expect("valid config");

@@ -34,12 +34,12 @@ fn main() {
     }
     let name = |id: u32| corpus.entities.name(EntityRef::new(0, id)).to_string();
     let mut rows = Vec::new();
-    for z in 0..leaves.len() {
+    for (z, &leaf) in leaves.iter().enumerate() {
         let pop: Vec<String> = erank_pop(&freq, z, 5).into_iter().map(|(e, _)| name(e)).collect();
         let pur: Vec<String> =
             erank_pop_pur(&freq, z, 5).into_iter().map(|(e, _)| name(e)).collect();
         rows.push(vec![
-            mined.hierarchy.topics[leaves[z]].path.clone(),
+            mined.hierarchy.topics[leaf].path.clone(),
             pop.join(", "),
             pur.join(", "),
         ]);

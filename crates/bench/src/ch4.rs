@@ -33,6 +33,7 @@ pub fn run_topmine(docs: &[Vec<u32>], vocab: usize, k: usize, iters: usize, seed
                 lda: PhraseLdaConfig { k, iters, seed, ..Default::default() },
                 omega: 0.3,
                 top_n: 30,
+                ..Default::default()
             },
         )
         .expect("valid config")

@@ -41,6 +41,8 @@ pub enum Command {
         k: usize,
         /// Hierarchy depth.
         depth: usize,
+        /// Worker threads (`0` = all available cores).
+        threads: usize,
     },
     /// Topic-aware search.
     Search {
@@ -81,17 +83,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let input = it.next().ok_or("mine needs an input path")?.clone();
             let mut k = 4usize;
             let mut depth = 2usize;
+            let mut threads = 0usize;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--k" => k = next_value(&mut it, flag)?,
                     "--depth" => depth = next_value(&mut it, flag)?,
+                    "--threads" => threads = next_value(&mut it, flag)?,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
             if k == 0 || depth == 0 {
                 return Err("--k and --depth must be positive".into());
             }
-            Ok(Command::Mine { input, k, depth })
+            Ok(Command::Mine { input, k, depth, threads })
         }
         "search" => {
             let input = it.next().ok_or("search needs an input path")?.clone();
@@ -126,16 +130,21 @@ lesm — latent entity structure mining
 
 USAGE:
   lesm synth [--docs N] [--seed S]        emit a synthetic corpus as TSV
-  lesm mine <corpus.tsv> [--k K] [--depth D]   mine a hierarchy, print JSON
+  lesm mine <corpus.tsv> [--k K] [--depth D] [--threads T]
+                                          mine a hierarchy, print JSON
   lesm search <corpus.tsv> <query...>     topic-aware document search
   lesm advisors <corpus.tsv>              mine advisor-advisee relations
+
+`--threads 0` (the default) uses every available core; any thread count
+produces identical output.
 
 TSV format (one doc per line):
   title text<TAB>etype=name|etype=name<TAB>year
 ";
 
-/// Default miner configuration used by the CLI.
-pub fn cli_miner_config(k: usize, depth: usize) -> MinerConfig {
+/// Default miner configuration used by the CLI. `threads = 0` resolves to
+/// all available cores; any value produces identical output.
+pub fn cli_miner_config(k: usize, depth: usize, threads: usize) -> MinerConfig {
     MinerConfig {
         hierarchy: CathyConfig {
             children: ChildCount::Fixed(k),
@@ -151,20 +160,26 @@ pub fn cli_miner_config(k: usize, depth: usize) -> MinerConfig {
             min_links: 20,
             subnet_threshold: 0.5,
         },
+        threads,
         ..MinerConfig::default()
     }
 }
 
 /// Runs `mine` on an already-loaded corpus; returns the JSON.
-pub fn run_mine(corpus: &Corpus, k: usize, depth: usize) -> Result<String, String> {
-    let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth))
+pub fn run_mine(
+    corpus: &Corpus,
+    k: usize,
+    depth: usize,
+    threads: usize,
+) -> Result<String, String> {
+    let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth, threads))
         .map_err(|e| e.to_string())?;
     Ok(lesm_core::export::hierarchy_to_json(corpus, &mined, 10))
 }
 
 /// Runs `search`; returns rendered result lines.
 pub fn run_search(corpus: &Corpus, query: &str, k: usize, depth: usize) -> Result<Vec<String>, String> {
-    let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth))
+    let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth, 0))
         .map_err(|e| e.to_string())?;
     Ok(lesm_core::search::search(corpus, &mined, query, 10)
         .into_iter()
@@ -250,7 +265,11 @@ mod tests {
         );
         assert_eq!(
             parse_args(&s(&["mine", "in.tsv", "--k", "3", "--depth", "1"])).unwrap(),
-            Command::Mine { input: "in.tsv".into(), k: 3, depth: 1 }
+            Command::Mine { input: "in.tsv".into(), k: 3, depth: 1, threads: 0 }
+        );
+        assert_eq!(
+            parse_args(&s(&["mine", "in.tsv", "--threads", "4"])).unwrap(),
+            Command::Mine { input: "in.tsv".into(), k: 4, depth: 2, threads: 4 }
         );
         assert_eq!(
             parse_args(&s(&["search", "in.tsv", "query", "processing"])).unwrap(),

@@ -30,7 +30,7 @@ fn synth_mine_roundtrip_produces_balanced_json() {
     let path = write_corpus(&papers.corpus, "mine");
     let corpus = load_corpus(path.to_str().unwrap()).unwrap();
     assert_eq!(corpus.num_docs(), 500);
-    let json = run_mine(&corpus, 2, 1).unwrap();
+    let json = run_mine(&corpus, 2, 1, 2).unwrap();
     assert!(lesm_core::export::is_balanced_json(&json));
     assert!(json.contains("\"phrases\""));
     std::fs::remove_file(path).ok();

@@ -129,16 +129,8 @@ pub fn is_balanced_json(s: &str) -> bool {
         match c {
             '"' => in_string = true,
             '{' | '[' => stack.push(c),
-            '}' => {
-                if stack.pop() != Some('{') {
-                    return false;
-                }
-            }
-            ']' => {
-                if stack.pop() != Some('[') {
-                    return false;
-                }
-            }
+            '}' if stack.pop() != Some('{') => return false,
+            ']' if stack.pop() != Some('[') => return false,
             _ => {}
         }
     }

@@ -25,6 +25,10 @@ pub struct MinerConfig {
     pub entities_per_topic: usize,
     /// Minimum topical frequency for a phrase to stay attached to a topic.
     pub min_topic_freq: f64,
+    /// Worker threads for hierarchy EM, phrase mining, and segmentation
+    /// (`0` = all available cores). Overrides `hierarchy.em.threads`. Any
+    /// value produces identical results.
+    pub threads: usize,
 }
 
 impl Default for MinerConfig {
@@ -37,6 +41,7 @@ impl Default for MinerConfig {
             phrases_per_topic: 20,
             entities_per_topic: 20,
             min_topic_freq: 1.0,
+            threads: 0,
         }
     }
 }
@@ -95,6 +100,16 @@ impl MinedStructure {
     }
 }
 
+/// Total topical frequency mass of a phrase table, summed in sorted-key
+/// order. `HashMap` iteration order is process-random and f64 addition is
+/// not associative, so a plain `values().sum()` here would make ranking
+/// scores (and near-tie orderings) vary from run to run.
+pub(crate) fn phrase_mass(table: &HashMap<Vec<u32>, f64>) -> f64 {
+    let mut entries: Vec<(&Vec<u32>, f64)> = table.iter().map(|(k, &v)| (k, v)).collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    entries.into_iter().map(|(_, v)| v).sum()
+}
+
 /// The integrated miner.
 #[derive(Debug, Default)]
 pub struct LatentStructureMiner;
@@ -104,14 +119,25 @@ impl LatentStructureMiner {
     pub fn mine(corpus: &Corpus, config: &MinerConfig) -> Result<MinedStructure, CoreError> {
         // 1-2. Collapsed network → hierarchy.
         let net = collapsed_network(corpus);
-        let hierarchy = TopicHierarchy::construct(net, &config.hierarchy)?;
+        let mut hier_cfg = config.hierarchy.clone();
+        hier_cfg.em.threads = config.threads;
+        let hierarchy = TopicHierarchy::construct(net, &hier_cfg)?;
         let term_type = corpus.entities.num_types();
 
         // 3. Frequent phrases + segmentation (shared across topics).
         let docs: Vec<Vec<u32>> = corpus.docs.iter().map(|d| d.tokens.clone()).collect();
-        let phrases = FrequentPhrases::mine(&docs, config.phrase_min_support, config.phrase_max_len);
-        let segments =
-            Segmenter::segment(&docs, &phrases, &SegmenterConfig { alpha: config.seg_alpha });
+        let phrases = FrequentPhrases::mine_threads(
+            &docs,
+            config.phrase_min_support,
+            config.phrase_max_len,
+            config.threads,
+        );
+        let segments = Segmenter::segment_threads(
+            &docs,
+            &phrases,
+            &SegmenterConfig { alpha: config.seg_alpha },
+            config.threads,
+        );
 
         // 4. Topical frequency estimation, top-down (Definition 3 / eq. 4.3):
         //    the root owns the raw corpus counts; each expanded node splits
@@ -164,9 +190,10 @@ impl LatentStructureMiner {
         }
 
         // 5. Rank phrases per topic by pointwise KL vs the parent (eq. 4.9).
+        let totals: Vec<f64> = ptf.iter().map(phrase_mass).collect();
         let mut topic_phrases: Vec<Vec<TopicalPhrase>> = Vec::with_capacity(n_topics);
         for t in 0..n_topics {
-            let n_t: f64 = ptf[t].values().sum();
+            let n_t: f64 = totals[t];
             let parent = hierarchy.topics[t].parent;
             let mut list: Vec<TopicalPhrase> = ptf[t]
                 .iter()
@@ -176,7 +203,7 @@ impl LatentStructureMiner {
                     let score = match parent {
                         None => p_t,
                         Some(pt) => {
-                            let n_p: f64 = ptf[pt].values().sum();
+                            let n_p: f64 = totals[pt];
                             let p_parent =
                                 ptf[pt].get(p).copied().unwrap_or(f) / n_p.max(1e-12);
                             p_t * (p_t / p_parent.max(1e-300)).ln()

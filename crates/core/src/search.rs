@@ -27,12 +27,17 @@ pub struct SearchHit {
 pub fn rank_topics(mined: &MinedStructure, query: &[u32], top_n: usize) -> Vec<(usize, f64)> {
     let mut scored: Vec<(usize, f64)> = (0..mined.hierarchy.len())
         .map(|t| {
-            let total: f64 = mined.phrase_topic_freq[t].values().sum();
+            // Sum in sorted-key order: HashMap iteration order is
+            // process-random and f64 addition is not associative.
+            let mut entries: Vec<(&Vec<u32>, f64)> =
+                mined.phrase_topic_freq[t].iter().map(|(k, &v)| (k, v)).collect();
+            entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            let total: f64 = entries.iter().map(|&(_, v)| v).sum();
             if total <= 0.0 {
                 return (t, 0.0);
             }
             let mut hit = 0.0;
-            for (phrase, &f) in &mined.phrase_topic_freq[t] {
+            for (phrase, f) in entries {
                 if query.iter().any(|q| phrase.contains(q)) {
                     hit += f;
                 }

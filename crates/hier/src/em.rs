@@ -67,6 +67,10 @@ pub struct EmConfig {
     /// Rounds of alternating EM / weight re-estimation when
     /// `weights == Learned`.
     pub weight_rounds: usize,
+    /// Worker threads for the per-edge E/M accumulation (`0` = all
+    /// available cores). Any value produces bit-identical results — the
+    /// edge-chunk layout and reduction order are fixed (see `lesm-par`).
+    pub threads: usize,
 }
 
 impl Default for EmConfig {
@@ -82,6 +86,7 @@ impl Default for EmConfig {
             background_cap: 0.4,
             weights: WeightMode::Equal,
             weight_rounds: 3,
+            threads: 1,
         }
     }
 }
@@ -186,6 +191,53 @@ struct Edges {
     tp: Vec<usize>,
 }
 
+/// Number of edge chunks the E/M accumulation is split into. Fixed (never
+/// derived from the thread count) so the floating-point summation grouping
+/// — and therefore every EM result — is identical for any parallelism.
+const EM_PIECES: usize = 32;
+
+/// Offsets into the flat per-iteration accumulator
+/// `[obj | rho | phi | phi0]` shared by the E/M reduce.
+struct AccLayout {
+    /// Start of `rho` (index 0 is the objective).
+    rho: usize,
+    /// Start of the `phi` block; entry `(x, z, i)` lives at
+    /// `phi + node_base[x] * k + z * n_x + i`.
+    phi: usize,
+    /// Start of the `phi0` block; entry `(x, i)` lives at
+    /// `phi0 + node_base[x] + i`.
+    phi0: usize,
+    /// Total accumulator length.
+    len: usize,
+    /// Prefix sums of `node_counts`.
+    node_base: Vec<usize>,
+}
+
+impl AccLayout {
+    fn new(k: usize, node_counts: &[usize]) -> Self {
+        let mut node_base = Vec::with_capacity(node_counts.len());
+        let mut total = 0usize;
+        for &n in node_counts {
+            node_base.push(total);
+            total += n;
+        }
+        let rho = 1;
+        let phi = rho + k + 1;
+        let phi0 = phi + k * total;
+        Self { rho, phi, phi0, len: phi0 + total, node_base }
+    }
+
+    #[inline]
+    fn phi_at(&self, k: usize, counts: &[usize], x: usize, z: usize, i: usize) -> usize {
+        self.phi + self.node_base[x] * k + z * counts[x] + i
+    }
+
+    #[inline]
+    fn phi0_at(&self, x: usize, i: usize) -> usize {
+        self.phi0 + self.node_base[x] + i
+    }
+}
+
 /// CATHYHIN EM fitter. For text-only CATHY (§3.1), run on a single-type
 /// network with `background: false`.
 ///
@@ -280,7 +332,7 @@ impl CathyHinEm {
         // than re-discovers the clustering.
         if config.weights == WeightMode::Learned {
             for _ in 1..config.weight_rounds.max(1) {
-                alpha = learn_alpha(&edges, &best, &pair_weight, &pair_links, t_count);
+                alpha = learn_alpha(&edges, &best, &pair_weight, &pair_links, t_count, config.threads);
                 let warm = best.clone();
                 best = fit_best(&alpha, Some(&warm));
             }
@@ -429,56 +481,84 @@ fn run_em(
 
     let mut objective = f64::NEG_INFINITY;
     let mut objective_trace = Vec::with_capacity(config.iters);
-    let mut q = vec![0.0f64; k + 1];
+    let counts = &net.node_counts;
+    let layout = AccLayout::new(k, counts);
+    let grain = lesm_par::grain_for_pieces(n_edges, EM_PIECES);
     for _ in 0..config.iters {
-        let mut rho_new = vec![1e-12; k + 1];
-        let mut phi_new: Vec<Vec<Vec<f64>>> =
-            (0..t_count).map(|x| vec![vec![1e-12; net.node_counts[x]]; k]).collect();
-        let mut phi0_new: Vec<Vec<f64>> =
-            (0..t_count).map(|x| vec![1e-12; net.node_counts[x]]).collect();
-        let mut obj = 0.0;
-        for e in 0..n_edges {
-            let (tx, ty) = (edges.tx[e], edges.ty[e]);
-            let (i, j) = (edges.i[e] as usize, edges.j[e] as usize);
-            let w = scaled[e];
-            let mut s = 0.0;
-            for z in 0..k {
-                let v = rho[z + 1] * phi[tx][z][i] * phi[ty][z][j];
-                q[z + 1] = v;
-                s += v;
-            }
-            // Background: average of the two link directions.
-            let (bg_a, bg_b);
-            if config.background {
-                bg_a = 0.5 * rho[0] * phi0[tx][i] * parent_phi[ty][j];
-                bg_b = 0.5 * rho[0] * phi0[ty][j] * parent_phi[tx][i];
-                q[0] = bg_a + bg_b;
-                s += q[0];
-            } else {
-                bg_a = 0.0;
-                bg_b = 0.0;
-                q[0] = 0.0;
-            }
-            if s <= 0.0 {
-                continue;
-            }
-            obj += w * s.ln();
-            let inv = w / s;
-            for z in 0..k {
-                let ew = q[z + 1] * inv;
-                rho_new[z + 1] += ew;
-                phi_new[tx][z][i] += ew;
-                phi_new[ty][z][j] += ew;
-            }
-            if config.background {
-                let e0 = q[0] * inv;
-                rho_new[0] += e0;
-                if q[0] > 0.0 {
-                    phi0_new[tx][i] += inv * bg_a;
-                    phi0_new[ty][j] += inv * bg_b;
+        // E-step + M-step numerators: one chunked reduce over the edges
+        // into the flat accumulator [obj | rho | phi | phi0]. Chunk layout
+        // and fold order are fixed, so any thread count gives the same
+        // bits as threads = 1.
+        let acc = lesm_par::par_buffer_reduce(
+            n_edges,
+            grain,
+            config.threads,
+            layout.len,
+            |range, buf| {
+                let mut q = vec![0.0f64; k + 1];
+                for e in range {
+                    let (tx, ty) = (edges.tx[e], edges.ty[e]);
+                    let (i, j) = (edges.i[e] as usize, edges.j[e] as usize);
+                    let w = scaled[e];
+                    let mut s = 0.0;
+                    for z in 0..k {
+                        let v = rho[z + 1] * phi[tx][z][i] * phi[ty][z][j];
+                        q[z + 1] = v;
+                        s += v;
+                    }
+                    // Background: average of the two link directions.
+                    let (bg_a, bg_b);
+                    if config.background {
+                        bg_a = 0.5 * rho[0] * phi0[tx][i] * parent_phi[ty][j];
+                        bg_b = 0.5 * rho[0] * phi0[ty][j] * parent_phi[tx][i];
+                        q[0] = bg_a + bg_b;
+                        s += q[0];
+                    } else {
+                        bg_a = 0.0;
+                        bg_b = 0.0;
+                        q[0] = 0.0;
+                    }
+                    if s <= 0.0 {
+                        continue;
+                    }
+                    buf[0] += w * s.ln();
+                    let inv = w / s;
+                    for z in 0..k {
+                        let ew = q[z + 1] * inv;
+                        buf[layout.rho + z + 1] += ew;
+                        buf[layout.phi_at(k, counts, tx, z, i)] += ew;
+                        buf[layout.phi_at(k, counts, ty, z, j)] += ew;
+                    }
+                    if config.background {
+                        let e0 = q[0] * inv;
+                        buf[layout.rho] += e0;
+                        if q[0] > 0.0 {
+                            buf[layout.phi0_at(tx, i)] += inv * bg_a;
+                            buf[layout.phi0_at(ty, j)] += inv * bg_b;
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
+        let obj = acc[0];
+        // Unpack with the 1e-12 smoothing the M-step normalizers expect.
+        let mut rho_new: Vec<f64> = (0..=k).map(|z| 1e-12 + acc[layout.rho + z]).collect();
+        let mut phi_new: Vec<Vec<Vec<f64>>> = (0..t_count)
+            .map(|x| {
+                (0..k)
+                    .map(|z| {
+                        let start = layout.phi_at(k, counts, x, z, 0);
+                        acc[start..start + counts[x]].iter().map(|v| 1e-12 + v).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut phi0_new: Vec<Vec<f64>> = (0..t_count)
+            .map(|x| {
+                let start = layout.phi0_at(x, 0);
+                acc[start..start + counts[x]].iter().map(|v| 1e-12 + v).collect()
+            })
+            .collect();
         normalize(&mut rho_new);
         if config.background && rho_new[0] > config.background_cap {
             let excess = rho_new[0] - config.background_cap;
@@ -506,25 +586,33 @@ fn run_em(
     }
 
     // Full Poisson log-likelihood (for BIC): Σ_nonzero [w ln(M θ s) - lnΓ(w+1)] - M.
-    let mut loglik = -m_total;
-    for e in 0..n_edges {
-        let (tx, ty) = (edges.tx[e], edges.ty[e]);
-        let (i, j) = (edges.i[e] as usize, edges.j[e] as usize);
-        let w = scaled[e];
-        let mut s = 0.0;
-        for z in 0..k {
-            s += rho[z + 1] * phi[tx][z][i] * phi[ty][z][j];
-        }
-        if config.background {
-            s += 0.5
-                * rho[0]
-                * (phi0[tx][i] * parent_phi[ty][j] + phi0[ty][j] * parent_phi[tx][i]);
-        }
-        let lambda = m_total * theta[edges.tp[e]] * s;
-        if lambda > 0.0 {
-            loglik += w * lambda.ln() - ln_gamma(w + 1.0);
-        }
-    }
+    let loglik_sum = lesm_par::par_buffer_reduce(
+        n_edges,
+        grain,
+        config.threads,
+        1,
+        |range, buf| {
+            for e in range {
+                let (tx, ty) = (edges.tx[e], edges.ty[e]);
+                let (i, j) = (edges.i[e] as usize, edges.j[e] as usize);
+                let w = scaled[e];
+                let mut s = 0.0;
+                for z in 0..k {
+                    s += rho[z + 1] * phi[tx][z][i] * phi[ty][z][j];
+                }
+                if config.background {
+                    s += 0.5
+                        * rho[0]
+                        * (phi0[tx][i] * parent_phi[ty][j] + phi0[ty][j] * parent_phi[tx][i]);
+                }
+                let lambda = m_total * theta[edges.tp[e]] * s;
+                if lambda > 0.0 {
+                    buf[0] += w * lambda.ln() - ln_gamma(w + 1.0);
+                }
+            }
+        },
+    );
+    let loglik = -m_total + loglik_sum[0];
 
     EmFit {
         k,
@@ -548,29 +636,37 @@ fn learn_alpha(
     pair_weight: &[f64],
     pair_links: &[usize],
     t_count: usize,
+    threads: usize,
 ) -> Vec<f64> {
     let k = fit.k;
     let n_edges = edges.w.len();
     // σ_{x,y} = (1/n_{x,y}) Σ e ln( e / (M_{x,y} s) )
-    let mut sigma = vec![0.0f64; t_count * t_count];
-    for e in 0..n_edges {
-        let (tx, ty) = (edges.tx[e], edges.ty[e]);
-        let (i, j) = (edges.i[e] as usize, edges.j[e] as usize);
-        let w = edges.w[e];
-        let mut s = 0.0;
-        for z in 0..k {
-            s += fit.rho[z + 1] * fit.phi[tx][z][i] * fit.phi[ty][z][j];
-        }
-        if fit.rho[0] > 0.0 {
-            s += 0.5
-                * fit.rho[0]
-                * (fit.phi0[tx][i] * fit.parent_phi[ty][j]
-                    + fit.phi0[ty][j] * fit.parent_phi[tx][i]);
-        }
-        let m_xy = pair_weight[edges.tp[e]];
-        let pred = (m_xy * s).max(1e-300);
-        sigma[edges.tp[e]] += w * (w / pred).ln();
-    }
+    let mut sigma = lesm_par::par_buffer_reduce(
+        n_edges,
+        lesm_par::grain_for_pieces(n_edges, EM_PIECES),
+        threads,
+        t_count * t_count,
+        |range, buf| {
+            for e in range {
+                let (tx, ty) = (edges.tx[e], edges.ty[e]);
+                let (i, j) = (edges.i[e] as usize, edges.j[e] as usize);
+                let w = edges.w[e];
+                let mut s = 0.0;
+                for z in 0..k {
+                    s += fit.rho[z + 1] * fit.phi[tx][z][i] * fit.phi[ty][z][j];
+                }
+                if fit.rho[0] > 0.0 {
+                    s += 0.5
+                        * fit.rho[0]
+                        * (fit.phi0[tx][i] * fit.parent_phi[ty][j]
+                            + fit.phi0[ty][j] * fit.parent_phi[tx][i]);
+                }
+                let m_xy = pair_weight[edges.tp[e]];
+                let pred = (m_xy * s).max(1e-300);
+                buf[edges.tp[e]] += w * (w / pred).ln();
+            }
+        },
+    );
     let mut alpha = vec![1.0; t_count * t_count];
     let mut log_gm = 0.0;
     let mut n_total = 0usize;

@@ -130,6 +130,33 @@ proptest! {
     }
 
     #[test]
+    fn parallel_em_is_bit_identical_to_serial(
+        net in random_network(),
+        k in 1usize..4,
+        bg in proptest::bool::ANY,
+        threads in 2usize..9,
+    ) {
+        // The tentpole determinism contract: for any thread count, the EM
+        // fit (every learned distribution, the weights, and the exact
+        // objective/likelihood floats) matches `threads: 1` bit for bit.
+        let base = EmConfig {
+            k, iters: 20, restarts: 2, seed: 11,
+            background: bg, weights: WeightMode::Learned, weight_rounds: 2,
+            ..EmConfig::default()
+        };
+        let serial = CathyHinEm::fit(&net, &base).unwrap();
+        let par = CathyHinEm::fit(&net, &EmConfig { threads, ..base }).unwrap();
+        prop_assert_eq!(&serial.rho, &par.rho);
+        prop_assert_eq!(&serial.phi, &par.phi);
+        prop_assert_eq!(&serial.phi0, &par.phi0);
+        prop_assert_eq!(&serial.alpha, &par.alpha);
+        prop_assert_eq!(&serial.theta, &par.theta);
+        prop_assert_eq!(serial.objective.to_bits(), par.objective.to_bits());
+        prop_assert_eq!(serial.loglik.to_bits(), par.loglik.to_bits());
+        prop_assert_eq!(&serial.objective_trace, &par.objective_trace);
+    }
+
+    #[test]
     fn theta_is_a_distribution_over_type_pairs(net in random_network()) {
         let cfg = EmConfig {
             k: 2, iters: 10, restarts: 1, seed: 3,

@@ -14,7 +14,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A symmetric linear operator `A: R^n -> R^n` presented matrix-free.
-pub trait SymOp {
+///
+/// `Sync` is a supertrait so that operators can be shared across the scoped
+/// worker threads of [`topk_eigen_threads`].
+pub trait SymOp: Sync {
     /// Dimension `n` of the operator.
     fn dim(&self) -> usize;
     /// Computes `y = A x`. `y` has length `dim()` and arrives zeroed.
@@ -113,6 +116,23 @@ pub fn jacobi_eigen(a: &Mat, max_sweeps: usize, tol: f64) -> Eigen {
 /// projected eigenproblem with Jacobi (a Rayleigh–Ritz step). Convergence is
 /// declared when the Ritz values stabilize to `tol` relative change.
 pub fn topk_eigen(op: &dyn SymOp, k: usize, max_iters: usize, tol: f64, seed: u64) -> Eigen {
+    topk_eigen_threads(op, k, max_iters, tol, seed, 1)
+}
+
+/// [`topk_eigen`] with the per-column operator applications and the dense
+/// products fanned out over `threads` workers (`0` = all available cores).
+///
+/// Columns are applied independently and the matrix products are blocked
+/// by output row, so the decomposition is bit-identical for any thread
+/// count.
+pub fn topk_eigen_threads(
+    op: &dyn SymOp,
+    k: usize,
+    max_iters: usize,
+    tol: f64,
+    seed: u64,
+    threads: usize,
+) -> Eigen {
     let n = op.dim();
     let k = k.min(n);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -123,33 +143,28 @@ pub fn topk_eigen(op: &dyn SymOp, k: usize, max_iters: usize, tol: f64, seed: u6
         }
     }
     q.orthonormalize_cols();
-    let mut prev_ritz = vec![f64::INFINITY; k];
-    let mut x = vec![0.0; n];
-    let mut y = vec![0.0; n];
-    let mut aq = Mat::zeros(n, k);
-    for _ in 0..max_iters {
-        // aq = A * q (column by column, matrix-free).
-        for c in 0..k {
-            for r in 0..n {
-                x[r] = q[(r, c)];
-            }
-            y.iter_mut().for_each(|v| *v = 0.0);
+    // aq = A * q, column by column: each column is an independent operator
+    // application, so the fan-out is exact.
+    let apply_block = |q: &Mat| -> Mat {
+        let cols = lesm_par::par_map_collect(k, threads, |c| {
+            let x: Vec<f64> = (0..n).map(|r| q[(r, c)]).collect();
+            let mut y = vec![0.0; n];
             op.apply(&x, &mut y);
+            y
+        });
+        let mut aq = Mat::zeros(n, k);
+        for (c, col) in cols.iter().enumerate() {
             for r in 0..n {
-                aq[(r, c)] = y[r];
+                aq[(r, c)] = col[r];
             }
         }
+        aq
+    };
+    let mut prev_ritz = vec![f64::INFINITY; k];
+    for _ in 0..max_iters {
+        let aq = apply_block(&q);
         // Rayleigh–Ritz: B = Q^T A Q (k x k), eigendecompose, rotate Q.
-        let mut b = Mat::zeros(k, k);
-        for i in 0..k {
-            for j in 0..k {
-                let mut s = 0.0;
-                for r in 0..n {
-                    s += q[(r, i)] * aq[(r, j)];
-                }
-                b[(i, j)] = s;
-            }
-        }
+        let mut b = q.transpose().matmul_threads(&aq, threads);
         // Symmetrize against round-off.
         for i in 0..k {
             for j in (i + 1)..k {
@@ -160,16 +175,7 @@ pub fn topk_eigen(op: &dyn SymOp, k: usize, max_iters: usize, tol: f64, seed: u6
         }
         let small = jacobi_eigen(&b, 50, 1e-14);
         // q <- (A q) rotated into the Ritz basis, then re-orthonormalized.
-        let mut next = Mat::zeros(n, k);
-        for r in 0..n {
-            for c in 0..k {
-                let mut s = 0.0;
-                for m in 0..k {
-                    s += aq[(r, m)] * small.vectors[(m, c)];
-                }
-                next[(r, c)] = s;
-            }
-        }
+        let mut next = aq.matmul_threads(&small.vectors, threads);
         next.orthonormalize_cols();
         q = next;
         let converged = small
@@ -183,15 +189,12 @@ pub fn topk_eigen(op: &dyn SymOp, k: usize, max_iters: usize, tol: f64, seed: u6
         }
     }
     // Final Rayleigh quotient per column for the converged basis.
-    let mut values = vec![0.0; k];
-    for c in 0..k {
-        for r in 0..n {
-            x[r] = q[(r, c)];
-        }
-        y.iter_mut().for_each(|v| *v = 0.0);
+    let values: Vec<f64> = lesm_par::par_map_collect(k, threads, |c| {
+        let x: Vec<f64> = (0..n).map(|r| q[(r, c)]).collect();
+        let mut y = vec![0.0; n];
         op.apply(&x, &mut y);
-        values[c] = crate::dot(&x, &y);
-    }
+        crate::dot(&x, &y)
+    });
     // Sort descending by eigenvalue.
     let mut order: Vec<usize> = (0..k).collect();
     order.sort_by(|&i, &j| values[j].partial_cmp(&values[i]).expect("non-NaN"));

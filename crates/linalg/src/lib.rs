@@ -22,7 +22,7 @@ pub mod mat;
 pub mod sparse;
 pub mod tensor;
 
-pub use eig::{jacobi_eigen, topk_eigen, SymOp};
+pub use eig::{jacobi_eigen, topk_eigen, topk_eigen_threads, Eigen, SymOp};
 pub use mat::Mat;
 pub use sparse::SparseRows;
 pub use tensor::Tensor3;

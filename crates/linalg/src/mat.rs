@@ -2,6 +2,10 @@
 
 use crate::{dot, EPS};
 
+/// Chunk count for [`Mat::tmatvec_threads`] — fixed so the summation
+/// grouping never depends on the thread count.
+const TMATVEC_PIECES: usize = 64;
+
 /// A dense, row-major `rows x cols` matrix of `f64`.
 ///
 /// This intentionally implements only the operations the workspace needs;
@@ -89,21 +93,33 @@ impl Mat {
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, other: &Mat) -> Mat {
+        self.matmul_threads(other, 1)
+    }
+
+    /// [`matmul`](Self::matmul) with output rows blocked across `threads`
+    /// workers (`0` = all available cores).
+    ///
+    /// Each output row is produced by the same serial kernel regardless of
+    /// the partition, so the product is bit-identical for any thread count.
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_threads(&self, other: &Mat, threads: usize) -> Mat {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         let mut out = Mat::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
+        if self.rows == 0 || other.cols == 0 {
+            return out;
+        }
+        lesm_par::par_for_rows(&mut out.data, other.cols, threads, |i, out_row| {
             for k in 0..self.cols {
                 let a = self[(i, k)];
                 if a == 0.0 {
                     continue;
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
+                for (o, &b) in out_row.iter_mut().zip(other.row(k)) {
                     *o += a * b;
                 }
             }
-        }
+        });
         out
     }
 
@@ -127,6 +143,29 @@ impl Mat {
             }
         }
         out
+    }
+
+    /// `self^T * x` as a blocked parallel reduction over row chunks
+    /// (`0` threads = all available cores).
+    ///
+    /// The chunk layout is fixed (independent of the thread count), so the
+    /// result is bit-identical for any thread count — though it may differ
+    /// in the last bit from the strictly serial [`tmatvec`](Self::tmatvec),
+    /// whose summation is not chunked.
+    pub fn tmatvec_threads(&self, x: &[f64], threads: usize) -> Vec<f64> {
+        assert_eq!(self.rows, x.len(), "dimension mismatch");
+        let grain = lesm_par::grain_for_pieces(self.rows, TMATVEC_PIECES);
+        lesm_par::par_buffer_reduce(self.rows, grain, threads, self.cols, |range, out| {
+            for r in range {
+                let xr = x[r];
+                if xr == 0.0 {
+                    continue;
+                }
+                for (o, &a) in out.iter_mut().zip(self.row(r)) {
+                    *o += xr * a;
+                }
+            }
+        })
     }
 
     /// Frobenius norm.
@@ -218,6 +257,22 @@ mod tests {
     fn transpose_roundtrip() {
         let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn threaded_matmul_and_tmatvec_bit_identical() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Mat::from_vec(37, 19, (0..37 * 19).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let b = Mat::from_vec(19, 23, (0..19 * 23).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let x: Vec<f64> = (0..37).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let serial_mm = a.matmul(&b);
+        let serial_tv = a.tmatvec_threads(&x, 1);
+        for threads in 2..=8 {
+            assert_eq!(serial_mm, a.matmul_threads(&b, threads), "matmul threads={threads}");
+            assert_eq!(serial_tv, a.tmatvec_threads(&x, threads), "tmatvec threads={threads}");
+        }
     }
 
     #[test]

@@ -25,6 +25,19 @@ impl Tensor3 {
         self.k
     }
 
+    /// The raw flat buffer, indexed `(i*k + j)*k + l`.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Rebuilds a tensor from its flat buffer.
+    ///
+    /// Panics if `data.len() != k³`.
+    pub fn from_vec(k: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), k * k * k, "data length must be k^3");
+        Self { k, data }
+    }
+
     #[inline]
     fn idx(&self, i: usize, j: usize, l: usize) -> usize {
         (i * self.k + j) * self.k + l
@@ -225,9 +238,8 @@ mod tests {
         for i in 0..2 {
             for j in 0..2 {
                 for l in 0..2 {
-                    let x = t.get(i, j, l);
-                    assert!((x - t.get(j, i, l)).abs() < 1e-12 || true);
                     // full symmetry holds for a ⊗ a ⊗ b symmetrization
+                    let x = t.get(i, j, l);
                     assert!((x - t.get(i, l, j)).abs() < 1e-12);
                     assert!((x - t.get(l, j, i)).abs() < 1e-12);
                 }

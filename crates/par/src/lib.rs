@@ -1,0 +1,382 @@
+//! Deterministic scoped parallelism for the lesm workspace.
+//!
+//! Every helper here guarantees that its result is **bit-identical for any
+//! thread count**, including `threads = 1`. Floating-point addition is not
+//! associative, so naive per-thread accumulation produces results that
+//! drift with the degree of parallelism; lesm's pipelines promise seeded
+//! byte-determinism, so that drift is unacceptable.
+//!
+//! The guarantee rests on two rules:
+//!
+//! 1. **Chunk layout depends only on the problem**, never on the thread
+//!    count: [`chunk_ranges`] is a pure function of `(len, grain)`.
+//! 2. **Reductions are a fixed left-to-right fold** over per-chunk
+//!    buffers in chunk-index order ([`par_buffer_reduce`]). Threads only
+//!    decide *when* each chunk buffer is filled, never how the partial
+//!    results are grouped.
+//!
+//! Everything is built on [`std::thread::scope`] — no dependencies, no
+//! thread pool, no unsafe code. Spawn cost is a few microseconds per
+//! thread, which is negligible for the iteration-level work units these
+//! helpers are applied to (EM sweeps over all edges, tensor moment
+//! accumulation over all documents, matrix products).
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Resolves a requested thread count: `0` means "use all available
+/// parallelism", anything else is taken literally (minimum 1).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Splits `0..len` into contiguous ranges of at most `grain` items.
+///
+/// The layout is a pure function of `(len, grain)` — it never depends on
+/// the thread count, which is what makes chunked reductions reproducible.
+/// `grain = 0` is treated as `grain = 1`. An empty input yields no ranges.
+pub fn chunk_ranges(len: usize, grain: usize) -> Vec<Range<usize>> {
+    let grain = grain.max(1);
+    let mut ranges = Vec::with_capacity(len.div_ceil(grain));
+    let mut start = 0;
+    while start < len {
+        let end = (start + grain).min(len);
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// A `grain` that yields roughly `pieces` chunks over `len` items.
+///
+/// Useful for bounding merge cost: reductions pay `O(chunks × out_len)`
+/// to fold, so callers pick a small fixed `pieces` (independent of the
+/// thread count) and let threads share the chunks.
+pub fn grain_for_pieces(len: usize, pieces: usize) -> usize {
+    len.div_ceil(pieces.max(1)).max(1)
+}
+
+/// Chunked map-reduce into a flat `f64` accumulator, bit-identical for
+/// any thread count.
+///
+/// Conceptually: split `0..n_items` into [`chunk_ranges`]`(n_items,
+/// grain)`, have `fill(range, buf)` accumulate each chunk's contribution
+/// into a zeroed `out_len`-length buffer, then fold the chunk buffers
+/// into the result **elementwise, left to right in chunk order**:
+///
+/// ```text
+/// out[i] = ((chunk0[i] + chunk1[i]) + chunk2[i]) + …
+/// ```
+///
+/// Threads pick up whole chunks; since each chunk's buffer is computed
+/// independently and the fold order is fixed, the result does not depend
+/// on how chunks were scheduled. With `threads <= 1` the fills run inline
+/// on the caller's thread through the *same* chunking and fold, so the
+/// serial result is the parallel result.
+pub fn par_buffer_reduce<F>(
+    n_items: usize,
+    grain: usize,
+    threads: usize,
+    out_len: usize,
+    fill: F,
+) -> Vec<f64>
+where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    let chunks = chunk_ranges(n_items, grain);
+    let mut buffers: Vec<Vec<f64>> = chunks.iter().map(|_| vec![0.0; out_len]).collect();
+    let requested = effective_threads(threads);
+    let threads = requested.min(chunks.len()).max(1);
+
+    if threads <= 1 {
+        for (range, buf) in chunks.iter().zip(buffers.iter_mut()) {
+            fill(range.clone(), buf);
+        }
+    } else {
+        // Contiguous assignment of chunks to threads. Which thread fills a
+        // buffer is irrelevant: each buffer lands in its chunk-index slot.
+        let per_thread = chunks.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_group, buf_group) in
+                chunks.chunks(per_thread).zip(buffers.chunks_mut(per_thread))
+            {
+                scope.spawn(|| {
+                    for (range, buf) in chunk_group.iter().zip(buf_group.iter_mut()) {
+                        fill(range.clone(), buf);
+                    }
+                });
+            }
+        });
+    }
+
+    // The fixed left-to-right fold. Zero is the additive identity, so
+    // starting from a zeroed accumulator preserves the grouping above.
+    // Each output element's fold is independent of the others, so wide
+    // accumulators can split the element space across threads without
+    // changing any element's summation order.
+    let mut out = vec![0.0; out_len];
+    let fold_threads = requested.min(out_len / FOLD_PAR_MIN_ELEMENTS).max(1);
+    if fold_threads <= 1 || buffers.len() <= 1 {
+        for buf in &buffers {
+            for (o, b) in out.iter_mut().zip(buf.iter()) {
+                *o += *b;
+            }
+        }
+    } else {
+        let per_thread = out_len.div_ceil(fold_threads);
+        let buffers = &buffers;
+        std::thread::scope(|scope| {
+            for (group_idx, out_group) in out.chunks_mut(per_thread).enumerate() {
+                let base = group_idx * per_thread;
+                scope.spawn(move || {
+                    for buf in buffers {
+                        let seg = &buf[base..base + out_group.len()];
+                        for (o, b) in out_group.iter_mut().zip(seg) {
+                            *o += *b;
+                        }
+                    }
+                });
+            }
+        });
+    }
+    out
+}
+
+/// Minimum output elements per fold thread before the left-to-right merge
+/// in [`par_buffer_reduce`] is itself parallelized.
+const FOLD_PAR_MIN_ELEMENTS: usize = 4096;
+
+/// Evaluates `f(0), f(1), …, f(n-1)` in parallel, returning results in
+/// index order.
+///
+/// Each index's value is computed independently, so the output is
+/// trivially identical for any thread count. Use for embarrassingly
+/// parallel maps: per-document segmentation, per-restart power
+/// iterations, per-column matrix products.
+pub fn par_map_collect<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(threads).min(n).max(1);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let per_thread = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (group_idx, slot_group) in out.chunks_mut(per_thread).enumerate() {
+            let base = group_idx * per_thread;
+            scope.spawn(move || {
+                for (offset, slot) in slot_group.iter_mut().enumerate() {
+                    *slot = Some(f(base + offset));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("par_map_collect slot unfilled")).collect()
+}
+
+/// Applies `f(index, &mut item)` to every item in parallel over disjoint
+/// contiguous partitions of `items`.
+///
+/// Mutations are confined to each item, so the outcome is identical for
+/// any thread count as long as `f` itself only touches its item.
+pub fn par_for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = effective_threads(threads).min(n).max(1);
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let per_thread = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (group_idx, group) in items.chunks_mut(per_thread).enumerate() {
+            let base = group_idx * per_thread;
+            scope.spawn(move || {
+                for (offset, item) in group.iter_mut().enumerate() {
+                    f(base + offset, item);
+                }
+            });
+        }
+    });
+}
+
+/// Applies `f(row_index, row)` to every `row_len`-sized row of a flat
+/// row-major buffer, in parallel over disjoint row partitions.
+///
+/// Panics if `data.len()` is not a multiple of `row_len`.
+pub fn par_for_rows<F>(data: &mut [f64], row_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert!(row_len > 0, "par_for_rows requires a positive row length");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "flat buffer length {} is not a multiple of row length {}",
+        data.len(),
+        row_len
+    );
+    let n_rows = data.len() / row_len;
+    let threads = effective_threads(threads).min(n_rows).max(1);
+    if threads <= 1 {
+        for (i, row) in data.chunks_mut(row_len).enumerate() {
+            f(i, row);
+        }
+        return;
+    }
+    let rows_per_thread = n_rows.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (group_idx, group) in data.chunks_mut(rows_per_thread * row_len).enumerate() {
+            let base = group_idx * rows_per_thread;
+            scope.spawn(move || {
+                for (offset, row) in group.chunks_mut(row_len).enumerate() {
+                    f(base + offset, row);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn chunk_layout_ignores_thread_count() {
+        // The layout is a function of (len, grain) only; sanity-check the
+        // arithmetic at the boundaries.
+        assert_eq!(chunk_ranges(0, 4), vec![]);
+        assert_eq!(chunk_ranges(3, 4), vec![0..3]);
+        assert_eq!(chunk_ranges(8, 4), vec![0..4, 4..8]);
+        assert_eq!(chunk_ranges(9, 4), vec![0..4, 4..8, 8..9]);
+        assert_eq!(chunk_ranges(5, 0), chunk_ranges(5, 1));
+    }
+
+    #[test]
+    fn grain_for_pieces_covers_everything() {
+        for len in [0usize, 1, 7, 100, 1001] {
+            for pieces in [1usize, 3, 8, 64] {
+                let grain = grain_for_pieces(len, pieces);
+                let chunks = chunk_ranges(len, grain);
+                assert!(chunks.len() <= pieces.max(1) + 1);
+                let covered: usize = chunks.iter().map(|r| r.len()).sum();
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    /// Adversarial mix of magnitudes so any change in summation grouping
+    /// changes the bits of the result.
+    fn wild_values(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mag: f64 = rng.gen_range(-12.0f64..12.0);
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                sign * 10f64.powf(mag)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn buffer_reduce_is_bit_identical_across_thread_counts() {
+        let values = wild_values(1013, 42);
+        let fill = |range: Range<usize>, buf: &mut [f64]| {
+            for i in range {
+                buf[0] += values[i];
+                buf[1] += values[i] * values[i];
+            }
+        };
+        let reference = par_buffer_reduce(values.len(), 97, 1, 2, fill);
+        for threads in 2..=8 {
+            let got = par_buffer_reduce(values.len(), 97, threads, 2, fill);
+            assert_eq!(reference[0].to_bits(), got[0].to_bits(), "threads={threads}");
+            assert_eq!(reference[1].to_bits(), got[1].to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn wide_accumulators_use_the_parallel_fold_and_stay_bit_identical() {
+        // out_len > FOLD_PAR_MIN_ELEMENTS exercises the threaded merge.
+        let out_len = FOLD_PAR_MIN_ELEMENTS * 3;
+        let values = wild_values(out_len * 4, 7);
+        let fill = |range: Range<usize>, buf: &mut [f64]| {
+            for i in range {
+                buf[i % out_len] += values[i];
+            }
+        };
+        let reference = par_buffer_reduce(values.len(), 1000, 1, out_len, fill);
+        for threads in [2usize, 3, 5, 8] {
+            let got = par_buffer_reduce(values.len(), 1000, threads, out_len, fill);
+            for (idx, (a, b)) in reference.iter().zip(&got).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "element {idx}, threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_reduce_handles_degenerate_shapes() {
+        let out = par_buffer_reduce(0, 8, 4, 3, |_r, _b| unreachable!());
+        assert_eq!(out, vec![0.0; 3]);
+        let out = par_buffer_reduce(5, 100, 4, 1, |r, b| b[0] += r.len() as f64);
+        assert_eq!(out, vec![5.0]);
+    }
+
+    #[test]
+    fn map_collect_preserves_index_order() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let got = par_map_collect(23, threads, |i| i * i);
+            let want: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        assert!(par_map_collect(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        for threads in [1usize, 2, 5, 16] {
+            let mut items = vec![0u64; 37];
+            par_for_each_mut(&mut items, threads, |i, item| *item += i as u64 + 1);
+            let want: Vec<u64> = (0..37).map(|i| i + 1).collect();
+            assert_eq!(items, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_rows_partitions_on_row_boundaries() {
+        let (rows, cols) = (17, 5);
+        for threads in [1usize, 2, 4, 8] {
+            let mut data = vec![0.0f64; rows * cols];
+            par_for_rows(&mut data, cols, threads, |r, row| {
+                for (c, x) in row.iter_mut().enumerate() {
+                    *x = (r * cols + c) as f64;
+                }
+            });
+            let want: Vec<f64> = (0..rows * cols).map(|i| i as f64).collect();
+            assert_eq!(data, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

@@ -15,6 +15,35 @@ use crate::kert::TopicalPhrase;
 use crate::PhraseError;
 use lesm_topicmodel::{PhraseLda, PhraseLdaConfig, PhraseLdaModel};
 use std::collections::HashMap;
+use std::ops::Range;
+
+/// Chunk count for parallel phrase counting — fixed so the chunking (and
+/// thus the per-chunk tables merged below) never depends on thread count.
+const MINE_PIECES: usize = 32;
+
+/// Counts phrases over disjoint chunks of `[0, n_items)` in parallel and
+/// merges the per-chunk tables in chunk order. Counts are exact integer
+/// sums, so the merged table is identical for any thread count.
+fn count_chunks<F>(n_items: usize, threads: usize, count: F) -> HashMap<Vec<u32>, u64>
+where
+    F: Fn(Range<usize>, &mut HashMap<Vec<u32>, u64>) + Sync,
+{
+    let ranges = lesm_par::chunk_ranges(n_items, lesm_par::grain_for_pieces(n_items, MINE_PIECES));
+    let ranges_ref = &ranges;
+    let count_ref = &count;
+    let maps = lesm_par::par_map_collect(ranges.len(), threads, |c| {
+        let mut m = HashMap::new();
+        count_ref(ranges_ref[c].clone(), &mut m);
+        m
+    });
+    let mut out: HashMap<Vec<u32>, u64> = HashMap::new();
+    for m in maps {
+        for (k, v) in m {
+            *out.entry(k).or_insert(0) += v;
+        }
+    }
+    out
+}
 
 /// Frequent contiguous phrases with their corpus counts.
 ///
@@ -38,52 +67,78 @@ impl FrequentPhrases {
     /// Mines all contiguous phrases with count `>= min_support` and length
     /// `<= max_len` (Algorithm 1).
     pub fn mine(docs: &[Vec<u32>], min_support: u64, max_len: usize) -> Self {
+        Self::mine_threads(docs, min_support, max_len, 1)
+    }
+
+    /// [`mine`](Self::mine) with the per-document counting passes fanned
+    /// out over `threads` workers (`0` = all available cores). Phrase
+    /// counts are exact integer sums over disjoint document chunks, so the
+    /// result is identical for any thread count.
+    pub fn mine_threads(
+        docs: &[Vec<u32>],
+        min_support: u64,
+        max_len: usize,
+        threads: usize,
+    ) -> Self {
         let total_tokens: u64 = docs.iter().map(|d| d.len() as u64).sum();
-        let mut counts: HashMap<Vec<u32>, u64> = HashMap::new();
         // Length-1 pass.
-        for doc in docs {
-            for &w in doc {
-                *counts.entry(vec![w]).or_insert(0) += 1;
+        let mut counts = count_chunks(docs.len(), threads, |range, m| {
+            for doc in &docs[range] {
+                for &w in doc {
+                    *m.entry(vec![w]).or_insert(0) += 1;
+                }
             }
-        }
+        });
         counts.retain(|_, &mut c| c >= min_support);
         // `alive[d]` holds start positions whose length-(n-1) phrase is
         // frequent (position-based Apriori); documents with no alive
         // positions are dropped (data antimonotonicity).
-        let mut alive: Vec<Vec<usize>> = docs
-            .iter()
-            .map(|doc| {
-                (0..doc.len())
-                    .filter(|&i| counts.contains_key(std::slice::from_ref(&doc[i])))
-                    .collect()
-            })
-            .collect();
+        let counts_ref = &counts;
+        let mut alive: Vec<Vec<usize>> = lesm_par::par_map_collect(docs.len(), threads, |d| {
+            let doc = &docs[d];
+            (0..doc.len())
+                .filter(|&i| counts_ref.contains_key(std::slice::from_ref(&doc[i])))
+                .collect()
+        });
         let mut active_docs: Vec<usize> =
             (0..docs.len()).filter(|&d| !alive[d].is_empty()).collect();
         let mut n = 2usize;
         while !active_docs.is_empty() && n <= max_len {
-            let mut next_counts: HashMap<Vec<u32>, u64> = HashMap::new();
-            for &d in &active_docs {
-                let doc = &docs[d];
-                // A length-n candidate at i needs frequent length-(n-1)
-                // phrases at both i and i+1 (downward closure).
-                let set: std::collections::HashSet<usize> = alive[d].iter().copied().collect();
-                for &i in &alive[d] {
-                    if i + n <= doc.len() && set.contains(&(i + 1)) {
-                        *next_counts.entry(doc[i..i + n].to_vec()).or_insert(0) += 1;
+            let alive_ref = &alive;
+            let active_ref = &active_docs;
+            let mut next_counts = count_chunks(active_docs.len(), threads, |range, m| {
+                for &d in &active_ref[range] {
+                    let doc = &docs[d];
+                    // A length-n candidate at i needs frequent length-(n-1)
+                    // phrases at both i and i+1 (downward closure).
+                    let set: std::collections::HashSet<usize> =
+                        alive_ref[d].iter().copied().collect();
+                    for &i in &alive_ref[d] {
+                        if i + n <= doc.len() && set.contains(&(i + 1)) {
+                            *m.entry(doc[i..i + n].to_vec()).or_insert(0) += 1;
+                        }
                     }
                 }
-            }
+            });
             next_counts.retain(|_, &mut c| c >= min_support);
             if next_counts.is_empty() {
                 break;
             }
             // Refresh alive positions for length n.
-            for &d in &active_docs {
-                let doc = &docs[d];
-                alive[d].retain(|&i| {
-                    i + n <= doc.len() && next_counts.contains_key(&doc[i..i + n])
+            let next_ref = &next_counts;
+            let alive_ref = &alive;
+            let refreshed: Vec<Vec<usize>> =
+                lesm_par::par_map_collect(active_docs.len(), threads, |j| {
+                    let d = active_ref[j];
+                    let doc = &docs[d];
+                    alive_ref[d]
+                        .iter()
+                        .copied()
+                        .filter(|&i| i + n <= doc.len() && next_ref.contains_key(&doc[i..i + n]))
+                        .collect()
                 });
+            for (j, fresh) in refreshed.into_iter().enumerate() {
+                alive[active_docs[j]] = fresh;
             }
             active_docs.retain(|&d| !alive[d].is_empty());
             counts.extend(next_counts);
@@ -189,7 +244,21 @@ impl Segmenter {
         phrases: &FrequentPhrases,
         config: &SegmenterConfig,
     ) -> Vec<Vec<Vec<u32>>> {
-        docs.iter().map(|d| Self::segment_doc(d, phrases, config)).collect()
+        Self::segment_threads(docs, phrases, config, 1)
+    }
+
+    /// [`segment`](Self::segment) fanned out over `threads` workers (`0` =
+    /// all available cores). Each document is segmented independently, so
+    /// the partition is identical for any thread count.
+    pub fn segment_threads(
+        docs: &[Vec<u32>],
+        phrases: &FrequentPhrases,
+        config: &SegmenterConfig,
+        threads: usize,
+    ) -> Vec<Vec<Vec<u32>>> {
+        lesm_par::par_map_collect(docs.len(), threads, |d| {
+            Self::segment_doc(&docs[d], phrases, config)
+        })
     }
 }
 
@@ -209,6 +278,9 @@ pub struct ToPMineConfig {
     pub omega: f64,
     /// Number of ranked phrases kept per topic.
     pub top_n: usize,
+    /// Worker threads for phrase counting and segmentation (`0` = all
+    /// available cores). Any value produces identical results.
+    pub threads: usize,
 }
 
 impl Default for ToPMineConfig {
@@ -220,6 +292,7 @@ impl Default for ToPMineConfig {
             lda: PhraseLdaConfig::default(),
             omega: 0.3,
             top_n: 30,
+            threads: 1,
         }
     }
 }
@@ -257,9 +330,10 @@ impl ToPMine {
         if !(0.0..=1.0).contains(&config.omega) {
             return Err(PhraseError::InvalidConfig("omega must be in [0,1]".into()));
         }
-        let phrases = FrequentPhrases::mine(docs, config.min_support, config.max_len);
+        let phrases =
+            FrequentPhrases::mine_threads(docs, config.min_support, config.max_len, config.threads);
         let seg_cfg = SegmenterConfig { alpha: config.seg_alpha };
-        let segments = Segmenter::segment(docs, &phrases, &seg_cfg);
+        let segments = Segmenter::segment_threads(docs, &phrases, &seg_cfg, config.threads);
         let model = PhraseLda::fit(&segments, vocab_size, &config.lda);
         let topical_phrases = rank_topical_phrases(&segments, &model, &phrases, config);
         Ok(ToPMineResult { segments, model, topical_phrases, phrases })
@@ -419,6 +493,7 @@ mod tests {
             lda: PhraseLdaConfig { k: 2, iters: 60, ..Default::default() },
             omega: 0.3,
             top_n: 10,
+            threads: 2,
         };
         let r = ToPMine::run(&d, 10, &cfg).unwrap();
         assert_eq!(r.topical_phrases.len(), 2);
@@ -433,6 +508,21 @@ mod tests {
         // Multi-word phrases must survive ranking (comparability property).
         let has_multi = r.topical_phrases.iter().flatten().any(|p| p.tokens.len() >= 2);
         assert!(has_multi);
+    }
+
+    #[test]
+    fn parallel_mining_and_segmentation_identical_to_serial() {
+        let d = docs();
+        let serial = FrequentPhrases::mine(&d, 5, 5);
+        let seg_cfg = SegmenterConfig::default();
+        let serial_segs = Segmenter::segment(&d, &serial, &seg_cfg);
+        for threads in 2..=8 {
+            let par = FrequentPhrases::mine_threads(&d, 5, 5, threads);
+            assert_eq!(serial.counts, par.counts, "threads={threads}");
+            assert_eq!(serial.total_tokens, par.total_tokens);
+            let par_segs = Segmenter::segment_threads(&d, &par, &seg_cfg, threads);
+            assert_eq!(serial_segs, par_segs, "threads={threads}");
+        }
     }
 
     #[test]

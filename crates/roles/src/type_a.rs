@@ -325,7 +325,7 @@ mod tests {
         let profile = EntityProfile::build(
             &c,
             &segs,
-            &vec![1.0; 8],
+            &[1.0; 8],
             &tw,
             &rho,
             &quality,

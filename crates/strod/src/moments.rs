@@ -171,7 +171,7 @@ impl WhitenedMoments {
             return Err(StrodError::InvalidConfig("k must be >= 1".into()));
         }
         let op = M2Op::new(stats, alpha0);
-        let eig = lesm_linalg::topk_eigen(&op, k, 300, 1e-10, seed);
+        let eig = lesm_linalg::topk_eigen_threads(&op, k, 300, 1e-10, seed, parallel_threads);
         let positive = eig.values.iter().filter(|&&v| v > 1e-12).count();
         if positive < k {
             return Err(StrodError::RankDeficient { requested: k, found: positive });
@@ -184,18 +184,18 @@ impl WhitenedMoments {
                 w[(r, c)] = eig.vectors[(r, c)] * scale;
             }
         }
-        // B = M2 W column by column (matrix-free).
-        let mut b = Mat::zeros(v, k);
-        let mut x = vec![0.0; v];
-        let mut y = vec![0.0; v];
-        for c in 0..k {
-            for r in 0..v {
-                x[r] = w[(r, c)];
-            }
-            y.iter_mut().for_each(|t| *t = 0.0);
+        // B = M2 W column by column (matrix-free). Columns are independent
+        // applications of the operator, so they parallelize exactly.
+        let cols = lesm_par::par_map_collect(k, parallel_threads, |c| {
+            let x: Vec<f64> = (0..v).map(|r| w[(r, c)]).collect();
+            let mut y = vec![0.0; v];
             op.apply(&x, &mut y);
+            y
+        });
+        let mut b = Mat::zeros(v, k);
+        for (c, col) in cols.iter().enumerate() {
             for r in 0..v {
-                b[(r, c)] = y[r];
+                b[(r, c)] = col[r];
             }
         }
         let t3 = whitened_third_moment(stats, &w, alpha0, parallel_threads);
@@ -203,43 +203,32 @@ impl WhitenedMoments {
     }
 }
 
+/// Number of document chunks the moment accumulation is split into.
+///
+/// Fixed (never derived from the thread count) so that the chunk layout —
+/// and therefore the floating-point summation grouping — is identical for
+/// any degree of parallelism. 64 pieces keep up to 64 threads busy while
+/// the `O(pieces · k³)` merge stays negligible.
+const MOMENT_PIECES: usize = 64;
+
 /// Accumulates `T = M3(W, W, W)` from sparse documents (§7.3.2). With
-/// `threads > 1`, documents are partitioned across scoped worker threads
-/// (the PSTROD variant) and the partial tensors summed.
+/// `threads > 1`, document chunks are spread across scoped worker threads
+/// (the PSTROD variant); the chunk layout and the left-to-right fold of
+/// partial tensors are fixed, so the result is bit-identical to
+/// `threads = 1`.
 pub fn whitened_third_moment(stats: &DocStats, w: &Mat, alpha0: f64, threads: usize) -> Tensor3 {
     let k = w.cols();
+    let (k3, k2) = (k * k * k, k * k);
     let n_docs = stats.counts.rows();
-    let mut t3 = if threads > 1 && n_docs >= threads * 4 {
-        let chunk = n_docs.div_ceil(threads);
-        let partials = parking_lot::Mutex::new(Vec::<(Tensor3, Mat)>::new());
-        crossbeam::scope(|scope| {
-            for start in (0..n_docs).step_by(chunk) {
-                let end = (start + chunk).min(n_docs);
-                let partials = &partials;
-                scope.spawn(move |_| {
-                    let (t, p) = accumulate_range(stats, w, start..end);
-                    partials.lock().push((t, p));
-                });
-            }
-        })
-        .expect("worker panicked");
-        let mut total = Tensor3::zeros(k);
-        let mut pair = Mat::zeros(k, k);
-        for (t, p) in partials.into_inner() {
-            for i in 0..k {
-                for j in 0..k {
-                    pair[(i, j)] += p[(i, j)];
-                    for l in 0..k {
-                        total.add(i, j, l, t.get(i, j, l));
-                    }
-                }
-            }
-        }
-        finish_t3(stats, w, alpha0, total, pair)
-    } else {
-        let (t, p) = accumulate_range(stats, w, 0..n_docs);
-        finish_t3(stats, w, alpha0, t, p)
-    };
+    let grain = lesm_par::grain_for_pieces(n_docs, MOMENT_PIECES);
+    let flat = lesm_par::par_buffer_reduce(n_docs, grain, threads, k3 + k2, |range, buf| {
+        let (t, p) = accumulate_range(stats, w, range);
+        buf[..k3].copy_from_slice(t.as_slice());
+        buf[k3..].copy_from_slice(p.as_slice());
+    });
+    let total = Tensor3::from_vec(k, flat[..k3].to_vec());
+    let pair = Mat::from_vec(k, k, flat[k3..].to_vec());
+    let mut t3 = finish_t3(stats, w, alpha0, total, pair, threads);
     // Symmetrize against floating-point drift.
     symmetrize(&mut t3);
     t3
@@ -292,9 +281,16 @@ fn accumulate_range(stats: &DocStats, w: &Mat, range: std::ops::Range<usize>) ->
 }
 
 /// Applies the Dirichlet corrections in whitened space.
-fn finish_t3(stats: &DocStats, w: &Mat, alpha0: f64, mut t: Tensor3, pair: Mat) -> Tensor3 {
+fn finish_t3(
+    stats: &DocStats,
+    w: &Mat,
+    alpha0: f64,
+    mut t: Tensor3,
+    pair: Mat,
+    threads: usize,
+) -> Tensor3 {
     let k = w.cols();
-    let m1w = w.tmatvec(stats.m1()); // W^T M1
+    let m1w = w.tmatvec_threads(stats.m1(), threads); // W^T M1
     let c3 = alpha0 / (alpha0 + 2.0);
     let c1 = 2.0 * alpha0 * alpha0 / ((alpha0 + 1.0) * (alpha0 + 2.0));
     // − c3 · sym(P ⊗ m1w): for each (i,j,l): P_ij m_l + P_il m_j + P_jl m_i.
@@ -428,20 +424,24 @@ mod tests {
     }
 
     #[test]
-    fn parallel_accumulation_matches_sequential() {
+    fn parallel_accumulation_is_bit_identical_to_sequential() {
         let docs = lda_docs(300, 8);
         let stats = DocStats::from_docs(&docs, 10).unwrap();
         let seq = WhitenedMoments::compute(&stats, 2, 0.3, 9, 1).unwrap();
-        let par = WhitenedMoments::compute(&stats, 2, 0.3, 9, 4).unwrap();
-        for i in 0..2 {
-            for j in 0..2 {
-                for l in 0..2 {
-                    assert!(
-                        (seq.t3.get(i, j, l) - par.t3.get(i, j, l)).abs() < 1e-9,
-                        "parallel mismatch at ({i},{j},{l})"
-                    );
+        for threads in 2..=8 {
+            let par = WhitenedMoments::compute(&stats, 2, 0.3, 9, threads).unwrap();
+            for i in 0..2 {
+                for j in 0..2 {
+                    for l in 0..2 {
+                        assert_eq!(
+                            seq.t3.get(i, j, l).to_bits(),
+                            par.t3.get(i, j, l).to_bits(),
+                            "parallel mismatch at ({i},{j},{l}) with {threads} threads"
+                        );
+                    }
                 }
             }
+            assert_eq!(seq.b.as_slice(), par.b.as_slice(), "B mismatch at {threads} threads");
         }
     }
 

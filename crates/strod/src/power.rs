@@ -19,11 +19,16 @@ pub struct PowerConfig {
     pub iters: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for evaluating restarts (`0` = all available
+    /// cores). Start vectors are drawn serially and the best restart is
+    /// selected by a fixed left-to-right scan, so any value produces
+    /// bit-identical results.
+    pub threads: usize,
 }
 
 impl Default for PowerConfig {
     fn default() -> Self {
-        Self { restarts: 10, iters: 40, seed: 42 }
+        Self { restarts: 10, iters: 40, seed: 42, threads: 1 }
     }
 }
 
@@ -46,20 +51,36 @@ pub fn tensor_power_method(t: &Tensor3, k: usize, config: &PowerConfig) -> Vec<T
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut out = Vec::with_capacity(k);
     for _ in 0..k {
-        let mut best: Option<TensorEigen> = None;
-        for _ in 0..config.restarts.max(1) {
-            let mut v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            normalize(&mut v);
+        let restarts = config.restarts.max(1);
+        // Start vectors come from the shared RNG *before* the fan-out, so
+        // the stream — and thus every start — is independent of the thread
+        // count.
+        let starts: Vec<Vec<f64>> = (0..restarts)
+            .map(|_| {
+                let mut v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                normalize(&mut v);
+                v
+            })
+            .collect();
+        let work_ref = &work;
+        let candidates = lesm_par::par_map_collect(restarts, config.threads, |r| {
+            let mut v = starts[r].clone();
             for _ in 0..config.iters {
-                let mut next = work.apply_vv(&v);
+                let mut next = work_ref.apply_vv(&v);
                 if normalize(&mut next) <= 1e-300 {
                     break;
                 }
                 v = next;
             }
-            let lambda = work.apply_vvv(&v);
-            if best.as_ref().is_none_or(|b| lambda > b.value) {
-                best = Some(TensorEigen { vector: v, value: lambda });
+            let lambda = work_ref.apply_vvv(&v);
+            TensorEigen { vector: v, value: lambda }
+        });
+        // Fixed left-to-right selection with a strictly-greater test —
+        // identical tie-breaking to the serial loop it replaces.
+        let mut best: Option<TensorEigen> = None;
+        for cand in candidates {
+            if best.as_ref().is_none_or(|b| cand.value > b.value) {
+                best = Some(cand);
             }
         }
         let pair = best.expect("at least one restart");
@@ -134,6 +155,21 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.value, y.value);
             assert_eq!(x.vector, y.vector);
+        }
+    }
+
+    #[test]
+    fn parallel_restarts_bit_identical_to_serial() {
+        let (t, _) = orthogonal_tensor();
+        let serial = tensor_power_method(&t, 3, &PowerConfig::default());
+        for threads in 2..=8 {
+            let par =
+                tensor_power_method(&t, 3, &PowerConfig { threads, ..PowerConfig::default() });
+            assert_eq!(serial.len(), par.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "threads={threads}");
+                assert_eq!(a.vector, b.vector, "threads={threads}");
+            }
         }
     }
 

@@ -11,10 +11,12 @@ pub struct StrodConfig {
     pub k: usize,
     /// Dirichlet concentration α₀ (`None` = learn by grid search, §7.3.3).
     pub alpha0: Option<f64>,
-    /// Tensor power method settings.
+    /// Tensor power method settings (its `threads` field is overridden by
+    /// the top-level `threads` below).
     pub power: PowerConfig,
-    /// Worker threads for moment accumulation (1 = sequential STROD,
-    /// >1 = PSTROD).
+    /// Worker threads for moment accumulation and power-method restarts
+    /// (1 = sequential STROD, >1 = PSTROD, 0 = all available cores). Any
+    /// value produces bit-identical results.
     pub threads: usize,
     /// RNG seed for whitening.
     pub seed: u64,
@@ -95,9 +97,6 @@ impl Strod {
         if config.k == 0 {
             return Err(StrodError::InvalidConfig("k must be >= 1".into()));
         }
-        if config.threads == 0 {
-            return Err(StrodError::InvalidConfig("threads must be >= 1".into()));
-        }
         match config.alpha0 {
             Some(a0) if a0 > 0.0 => fit_with_alpha0(stats, config, a0),
             Some(_) => Err(StrodError::InvalidConfig("alpha0 must be positive".into())),
@@ -127,7 +126,8 @@ fn fit_with_alpha0(
     let k = config.k;
     let wm = WhitenedMoments::compute(stats, k, alpha0, config.seed, config.threads)?;
     let initial_norm = wm.t3.max_abs().max(1e-300);
-    let pairs = tensor_power_method(&wm.t3, k, &config.power);
+    let power_cfg = PowerConfig { threads: config.threads, ..config.power.clone() };
+    let pairs = tensor_power_method(&wm.t3, k, &power_cfg);
     // Residual after deflating all recovered components.
     let mut residual_t = wm.t3.clone();
     for p in &pairs {
@@ -295,10 +295,22 @@ mod tests {
     fn invalid_configs_rejected() {
         let docs = lda_docs(100, 29);
         assert!(Strod::fit(&docs, 10, &StrodConfig { k: 0, ..Default::default() }).is_err());
-        assert!(Strod::fit(&docs, 10, &StrodConfig { threads: 0, ..Default::default() }).is_err());
         assert!(
             Strod::fit(&docs, 10, &StrodConfig { alpha0: Some(-1.0), ..Default::default() })
                 .is_err()
         );
+    }
+
+    #[test]
+    fn auto_threads_matches_single_thread_bitwise() {
+        // threads: 0 resolves to all cores; results must still match
+        // threads: 1 exactly.
+        let docs = lda_docs(600, 31);
+        let base = StrodConfig { k: 2, alpha0: Some(0.2), ..Default::default() };
+        let one = Strod::fit(&docs, 10, &base).unwrap();
+        let auto = Strod::fit(&docs, 10, &StrodConfig { threads: 0, ..base }).unwrap();
+        assert_eq!(one.topic_word, auto.topic_word);
+        assert_eq!(one.alpha, auto.alpha);
+        assert_eq!(one.eigenvalues, auto.eigenvalues);
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for STROD moment and decomposition invariants.
 
 use lesm_linalg::{SymOp, Tensor3};
-use lesm_strod::moments::{DocStats, M2Op};
+use lesm_strod::moments::{whitened_third_moment, DocStats, M2Op};
 use lesm_strod::power::{tensor_power_method, PowerConfig};
 use proptest::prelude::*;
 
@@ -81,9 +81,40 @@ proptest! {
         for (w, v) in weights.iter().zip(&basis) {
             t.add_rank_one(*w, v);
         }
-        let pairs = tensor_power_method(&t, 3, &PowerConfig { restarts: 15, iters: 60, seed: 5 });
+        let pairs = tensor_power_method(
+            &t,
+            3,
+            &PowerConfig { restarts: 15, iters: 60, seed: 5, ..PowerConfig::default() },
+        );
         for (pair, want) in pairs.iter().zip(&sorted) {
             prop_assert!((pair.value - want).abs() < 1e-4 * (1.0 + want), "λ {} want {want}", pair.value);
+        }
+    }
+
+    #[test]
+    fn parallel_whitened_tensor_is_bit_identical_to_serial(
+        docs in random_docs(),
+        alpha0 in 0.1f64..3.0,
+        threads in 2usize..9,
+    ) {
+        // The tentpole determinism contract: the whitened third moment is
+        // bit-identical for any thread count, because the document-chunk
+        // layout and the partial-tensor fold never depend on it.
+        let stats = DocStats::from_docs(&docs, 8).unwrap();
+        let op = M2Op::new(&stats, alpha0);
+        let eig = lesm_linalg::topk_eigen(&op, 2, 100, 1e-9, 13);
+        prop_assume!(eig.values.iter().all(|&v| v > 1e-10));
+        let mut w = lesm_linalg::Mat::zeros(8, 2);
+        for c in 0..2 {
+            let scale = 1.0 / eig.values[c].sqrt();
+            for r in 0..8 {
+                w[(r, c)] = eig.vectors[(r, c)] * scale;
+            }
+        }
+        let serial = whitened_third_moment(&stats, &w, alpha0, 1);
+        let par = whitened_third_moment(&stats, &w, alpha0, threads);
+        for (a, b) in serial.as_slice().iter().zip(par.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -25,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             lda: PhraseLdaConfig { k: 3, iters: 150, seed: 9, ..Default::default() },
             omega: 0.3,
             top_n: 8,
+            ..Default::default()
         },
     )?;
 

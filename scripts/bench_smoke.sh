@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Smoke-benchmark the parallel kernels and collect the timings as JSON.
+#
+# Runs the 1-vs-N-thread criterion variants (EM fit, whitened-tensor
+# accumulation, power-method restarts) in fast mode and appends one JSON
+# record per benchmark id to BENCH_par.json (or the path given as $1).
+#
+# Thread-count variants are bit-identical in output, so the only thing this
+# measures is wall-clock scaling. Speedups require real cores: on a
+# single-core machine the N-thread variants only add scheduling overhead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_par.json}"
+# cargo runs bench binaries from the package dir, so the JSON path must be
+# absolute for all records to land in one file.
+case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
+: > "$out"
+export LESM_BENCH_FAST=1
+export LESM_BENCH_JSON="$out"
+
+cargo bench -p lesm-bench --bench bench_em -- fit_threads
+cargo bench -p lesm-bench --bench bench_strod -- t3_accumulate
+cargo bench -p lesm-bench --bench bench_strod -- power_threads
+
+echo "wrote $(wc -l < "$out") bench records to $out"

@@ -68,6 +68,7 @@ fn topmine_is_deterministic() {
         lda: PhraseLdaConfig { k: 2, iters: 40, seed: 9, ..Default::default() },
         omega: 0.3,
         top_n: 15,
+        ..Default::default()
     };
     let a = ToPMine::run(&docs, papers.corpus.num_words(), &cfg).unwrap();
     let b = ToPMine::run(&docs, papers.corpus.num_words(), &cfg).unwrap();

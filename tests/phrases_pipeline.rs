@@ -28,6 +28,7 @@ fn topmine_topics_predict_labels() {
             lda: PhraseLdaConfig { k: 4, iters: 120, seed: 3, ..Default::default() },
             omega: 0.3,
             top_n: 40,
+            ..Default::default()
         },
     )
     .expect("valid config");
@@ -80,6 +81,7 @@ fn segmentation_phrases_are_mostly_single_topic() {
             lda: PhraseLdaConfig { k: 4, iters: 40, seed: 3, ..Default::default() },
             omega: 0.3,
             top_n: 40,
+            ..Default::default()
         },
     )
     .expect("valid config");

@@ -1,0 +1,326 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API the workspace benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — measuring
+//! simple wall-clock statistics instead of criterion's full analysis.
+//!
+//! Behaviour knobs (environment variables):
+//! - `LESM_BENCH_JSON=<path>`: append one JSON line per benchmark with
+//!   `id`, `samples`, `mean_ns` and `median_ns` fields (machine-readable
+//!   output for `scripts/bench_smoke.sh`).
+//! - `LESM_BENCH_FAST=1`: run one sample per benchmark (smoke mode).
+//!
+//! When invoked by `cargo test` (libtest passes `--test`), every
+//! benchmark runs a single iteration so the tier-1 suite stays fast.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Identifier for a parameterized benchmark (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { full: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// Things accepted as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The id as a display string.
+    fn into_id_string(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id_string(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id_string(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id_string(self) -> String {
+        self.full
+    }
+}
+
+/// Runs and times one benchmark's closure.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall-clock durations in nanoseconds.
+    times_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup run so lazy setup doesn't skew the first sample.
+        let _ = std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed().as_nanos();
+            std::hint::black_box(out);
+            self.times_ns.push(elapsed);
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: IntoBenchmarkId>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id.into_id_string());
+        let samples = self.criterion.effective_samples(self.sample_size);
+        let mut bencher = Bencher { samples, times_ns: Vec::new() };
+        f(&mut bencher);
+        self.criterion.report(&full_id, &bencher.times_ns);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: impl FnMut(&mut Bencher, &T),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting is per-benchmark; this is a no-op hook).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+    fast_mode: bool,
+    json_path: Option<String>,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: false,
+            fast_mode: std::env::var("LESM_BENCH_FAST").is_ok_and(|v| v != "0"),
+            json_path: std::env::var("LESM_BENCH_JSON").ok().filter(|p| !p.is_empty()),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies the CLI arguments cargo passes to bench/test harnesses.
+    ///
+    /// Recognizes `--test` (run one iteration per benchmark) and treats
+    /// the first free argument as a substring filter on benchmark ids;
+    /// other harness flags are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--quiet" | "--verbose" | "--nocapture" | "--exact"
+                | "--ignored" | "--include-ignored" | "--list" => {}
+                a if a.starts_with("--") => {
+                    // Flags with a value (e.g. --save-baseline x): skip it.
+                    if !a.contains('=') {
+                        let _ = args.next();
+                    }
+                }
+                free => {
+                    if self.filter.is_none() {
+                        self.filter = Some(free.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Starts a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    fn effective_samples(&self, requested: usize) -> usize {
+        if self.test_mode {
+            1
+        } else if self.fast_mode {
+            requested.min(3)
+        } else {
+            requested.max(1)
+        }
+    }
+
+    fn report(&self, id: &str, times_ns: &[u128]) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if times_ns.is_empty() {
+            return;
+        }
+        let mut sorted = times_ns.to_vec();
+        sorted.sort_unstable();
+        let mean = (times_ns.iter().sum::<u128>() / times_ns.len() as u128) as f64;
+        let median = sorted[sorted.len() / 2] as f64;
+        println!(
+            "{:<48} time: [{} .. {} .. {}]  ({} samples)",
+            id,
+            fmt_ns(sorted[0] as f64),
+            fmt_ns(median),
+            fmt_ns(*sorted.last().unwrap() as f64),
+            times_ns.len()
+        );
+        if let Some(path) = &self.json_path {
+            let line = format!(
+                "{{\"id\":\"{}\",\"samples\":{},\"mean_ns\":{:.0},\"median_ns\":{:.0}}}\n",
+                id,
+                times_ns.len(),
+                mean,
+                median
+            );
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if let Err(e) = written {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Generates `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("fit", 4).into_id_string(), "fit/4");
+    }
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher { samples: 5, times_ns: Vec::new() };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.times_ns.len(), 5);
+        // warmup + 5 samples
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion {
+            test_mode: true,
+            fast_mode: false,
+            json_path: None,
+            filter: None,
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("two", 7), &3usize, |b, &x| {
+                b.iter(|| ran += x)
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(fmt_ns(500.0).ends_with("ns"));
+        assert!(fmt_ns(5e4).ends_with("µs"));
+        assert!(fmt_ns(5e7).ends_with("ms"));
+        assert!(fmt_ns(5e9).ends_with('s'));
+    }
+}

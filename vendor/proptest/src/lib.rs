@@ -1,0 +1,349 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert*` / `prop_assume!`,
+//! range and tuple strategies, `prop_map`, [`collection::vec`],
+//! [`bool::ANY`] and simple `"[chars]{m,n}"` string patterns.
+//!
+//! Differences from upstream: cases are generated from a fixed per-test
+//! seed (reproducible across runs), and failing inputs are *not* shrunk —
+//! the failing case index and assertion message are reported instead.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test-case execution plumbing used by the [`crate::proptest!`] macro.
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` (not a failure).
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    /// Stable seed for case `case` of the test named `name`.
+    pub fn case_seed(name: &str, case: u32) -> u64 {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Acceptable size specifications for [`vec`].
+    pub trait IntoSizeRange {
+        /// Lower/upper(+1) bounds on the generated length.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// A vector of values from `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_exclusive) = size.bounds();
+        assert!(min < max_exclusive, "empty size range for collection::vec");
+        VecStrategy { element, min, max_exclusive }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.min + 1 == self.max_exclusive {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max_exclusive)
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for an unbiased random `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// An unbiased random boolean.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs the body of one generated case; used by [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_case {
+    ($config:expr, $name:ident, $($arg:pat in $strat:expr),* ; $body:block) => {{
+        let config: $crate::test_runner::ProptestConfig = $config;
+        let mut rejected: u32 = 0;
+        for case in 0..config.cases {
+            let seed = $crate::test_runner::case_seed(stringify!($name), case);
+            let mut __proptest_rng =
+                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+            $(
+                let $arg = $crate::strategy::Strategy::new_value(&$strat, &mut __proptest_rng);
+            )*
+            let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| { $body ::std::result::Result::Ok(()) })();
+            match outcome {
+                Ok(()) => {}
+                Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                }
+                Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property `{}` failed at case {} (seed {}): {}",
+                        stringify!($name),
+                        case,
+                        seed,
+                        msg
+                    );
+                }
+            }
+        }
+        assert!(
+            rejected < config.cases,
+            "property `{}`: every case was rejected by prop_assume!",
+            stringify!($name)
+        );
+    }};
+}
+
+/// Declares randomized property tests (stand-in for `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    // With a block-level config attribute.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_case!($config, $name, $($arg in $strat),* ; $body);
+            }
+        )*
+    };
+    // Without a config attribute.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -2.0f64..2.0, b in crate::bool::ANY) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert_ne!(b, !b);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn string_pattern_strategy_generates_matching_strings() {
+        let strat = "[a-z]{1,8}";
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = strat.new_value(&mut rng);
+            assert!((1..=8).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn tuples_and_prop_map_compose() {
+        let strat = (0u32..4, 0u32..4, 1.0f64..2.0).prop_map(|(a, b, w)| (a + b, w));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let (s, w) = strat.new_value(&mut rng);
+            assert!(s < 8);
+            assert!((1.0..2.0).contains(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

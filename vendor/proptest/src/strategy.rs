@@ -1,0 +1,187 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] knows how to draw one value from a seeded RNG. Unlike
+//! upstream proptest there is no value tree / shrinking: `new_value`
+//! produces the final input directly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Something that can generate random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident => $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A => 0);
+impl_tuple_strategy!(A => 0, B => 1);
+impl_tuple_strategy!(A => 0, B => 1, C => 2);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+
+/// A parsed `"[chars]{min,max}"` or `".{min,max}"` string pattern.
+///
+/// Supports exactly the regex-lite shapes the workspace tests use: one
+/// bracketed character class (literal characters plus `x-y` ranges) or
+/// the any-character class `.` (printable ASCII here), followed by a
+/// `{min,max}` repetition count.
+#[derive(Debug, Clone)]
+struct CharClassPattern {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> CharClassPattern {
+    let bytes: Vec<char> = pattern.chars().collect();
+    let (chars, class_end) = match bytes.first() {
+        Some('.') => (((0x20u32..=0x7E).map(|c| char::from_u32(c).unwrap())).collect(), 1),
+        Some('[') => {
+            let close = bytes
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unsupported string pattern {pattern:?}: missing ']'"));
+            let mut chars = Vec::new();
+            let class = &bytes[1..close];
+            let mut i = 0;
+            while i < class.len() {
+                if i + 2 < class.len() && class[i + 1] == '-' {
+                    let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                    assert!(lo <= hi, "descending range in pattern {pattern:?}");
+                    for c in lo..=hi {
+                        chars.push(char::from_u32(c).unwrap());
+                    }
+                    i += 3;
+                } else {
+                    chars.push(class[i]);
+                    i += 1;
+                }
+            }
+            assert!(!chars.is_empty(), "empty character class in pattern {pattern:?}");
+            (chars, close + 1)
+        }
+        _ => panic!("unsupported string pattern {pattern:?}: expected \"[class]{{m,n}}\" or \".{{m,n}}\""),
+    };
+
+    let rep: String = bytes[class_end..].iter().collect();
+    let inner = rep
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in pattern {pattern:?}"));
+    let (min, max) = match inner.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse::<usize>().expect("bad repetition lower bound"),
+            hi.trim().parse::<usize>().expect("bad repetition upper bound"),
+        ),
+        None => {
+            let n = inner.trim().parse::<usize>().expect("bad repetition count");
+            (n, n)
+        }
+    };
+    assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+    CharClassPattern { chars, min, max }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        let pat = parse_pattern(self);
+        let len = rng.gen_range(pat.min..=pat.max);
+        (0..len)
+            .map(|_| pat.chars[rng.gen_range(0..pat.chars.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_parser_handles_ranges_and_literals() {
+        let p = parse_pattern("[a-z ]{0,40}");
+        assert_eq!(p.chars.len(), 27);
+        assert_eq!((p.min, p.max), (0, 40));
+        let q = parse_pattern("[xy]{3}");
+        assert_eq!(q.chars, vec!['x', 'y']);
+        assert_eq!((q.min, q.max), (3, 3));
+    }
+
+    #[test]
+    fn just_and_map_are_deterministic() {
+        let s = Just(41usize).prop_map(|x| x + 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.new_value(&mut rng), 42);
+    }
+}
