@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lesm_bench::datasets::dblp_small;
-use lesm_hier::em::{CathyHinEm, EmConfig, WeightMode};
+use lesm_hier::em::{CathyHinEm, EdgeState, EmConfig, WeightMode};
 use lesm_net::collapsed_network;
 
 fn em_config(weights: WeightMode) -> EmConfig {
@@ -48,6 +48,17 @@ fn bench_em(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fit_threads", threads), &threads, |b, &t| {
             b.iter(|| {
                 CathyHinEm::fit(&net, &EmConfig { threads: t, ..em_config(WeightMode::Equal) })
+                    .unwrap()
+            });
+        });
+    }
+    // BIC-sweep access pattern: repeated fits of the same network at
+    // growing k against one shared EdgeState (what `select_k` does).
+    let state = EdgeState::new(&net);
+    for &k in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("fit_k", k), &k, |b, &k| {
+            b.iter(|| {
+                CathyHinEm::fit_prepared(&state, &EmConfig { k, ..em_config(WeightMode::Equal) })
                     .unwrap()
             });
         });

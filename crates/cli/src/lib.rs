@@ -43,6 +43,8 @@ pub enum Command {
         depth: usize,
         /// Worker threads (`0` = all available cores).
         threads: usize,
+        /// EM early-exit tolerance (`0` = run every iteration).
+        em_tol: f64,
     },
     /// Topic-aware search.
     Search {
@@ -84,18 +86,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut k = 4usize;
             let mut depth = 2usize;
             let mut threads = 0usize;
+            let mut em_tol = 0.0f64;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--k" => k = next_value(&mut it, flag)?,
                     "--depth" => depth = next_value(&mut it, flag)?,
                     "--threads" => threads = next_value(&mut it, flag)?,
+                    "--em-tol" => em_tol = next_value(&mut it, flag)?,
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
             if k == 0 || depth == 0 {
                 return Err("--k and --depth must be positive".into());
             }
-            Ok(Command::Mine { input, k, depth, threads })
+            if em_tol < 0.0 || !em_tol.is_finite() {
+                return Err("--em-tol must be a finite non-negative number".into());
+            }
+            Ok(Command::Mine { input, k, depth, threads, em_tol })
         }
         "search" => {
             let input = it.next().ok_or("search needs an input path")?.clone();
@@ -130,21 +137,24 @@ lesm — latent entity structure mining
 
 USAGE:
   lesm synth [--docs N] [--seed S]        emit a synthetic corpus as TSV
-  lesm mine <corpus.tsv> [--k K] [--depth D] [--threads T]
+  lesm mine <corpus.tsv> [--k K] [--depth D] [--threads T] [--em-tol TOL]
                                           mine a hierarchy, print JSON
   lesm search <corpus.tsv> <query...>     topic-aware document search
   lesm advisors <corpus.tsv>              mine advisor-advisee relations
 
 `--threads 0` (the default) uses every available core; any thread count
-produces identical output.
+produces identical output. `--em-tol` stops each EM run once the relative
+objective improvement drops below TOL (0, the default, always runs the
+full iteration budget).
 
 TSV format (one doc per line):
   title text<TAB>etype=name|etype=name<TAB>year
 ";
 
 /// Default miner configuration used by the CLI. `threads = 0` resolves to
-/// all available cores; any value produces identical output.
-pub fn cli_miner_config(k: usize, depth: usize, threads: usize) -> MinerConfig {
+/// all available cores; any value produces identical output. `em_tol = 0`
+/// disables the EM early exit.
+pub fn cli_miner_config(k: usize, depth: usize, threads: usize, em_tol: f64) -> MinerConfig {
     MinerConfig {
         hierarchy: CathyConfig {
             children: ChildCount::Fixed(k),
@@ -161,6 +171,7 @@ pub fn cli_miner_config(k: usize, depth: usize, threads: usize) -> MinerConfig {
             subnet_threshold: 0.5,
         },
         threads,
+        em_tol,
         ..MinerConfig::default()
     }
 }
@@ -171,15 +182,16 @@ pub fn run_mine(
     k: usize,
     depth: usize,
     threads: usize,
+    em_tol: f64,
 ) -> Result<String, String> {
-    let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth, threads))
+    let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth, threads, em_tol))
         .map_err(|e| e.to_string())?;
     Ok(lesm_core::export::hierarchy_to_json(corpus, &mined, 10))
 }
 
 /// Runs `search`; returns rendered result lines.
 pub fn run_search(corpus: &Corpus, query: &str, k: usize, depth: usize) -> Result<Vec<String>, String> {
-    let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth, 0))
+    let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth, 0, 0.0))
         .map_err(|e| e.to_string())?;
     Ok(lesm_core::search::search(corpus, &mined, query, 10)
         .into_iter()
@@ -265,11 +277,15 @@ mod tests {
         );
         assert_eq!(
             parse_args(&s(&["mine", "in.tsv", "--k", "3", "--depth", "1"])).unwrap(),
-            Command::Mine { input: "in.tsv".into(), k: 3, depth: 1, threads: 0 }
+            Command::Mine { input: "in.tsv".into(), k: 3, depth: 1, threads: 0, em_tol: 0.0 }
         );
         assert_eq!(
             parse_args(&s(&["mine", "in.tsv", "--threads", "4"])).unwrap(),
-            Command::Mine { input: "in.tsv".into(), k: 4, depth: 2, threads: 4 }
+            Command::Mine { input: "in.tsv".into(), k: 4, depth: 2, threads: 4, em_tol: 0.0 }
+        );
+        assert_eq!(
+            parse_args(&s(&["mine", "in.tsv", "--em-tol", "1e-6"])).unwrap(),
+            Command::Mine { input: "in.tsv".into(), k: 4, depth: 2, threads: 0, em_tol: 1e-6 }
         );
         assert_eq!(
             parse_args(&s(&["search", "in.tsv", "query", "processing"])).unwrap(),
@@ -288,6 +304,8 @@ mod tests {
         assert!(parse_args(&s(&["mine"])).is_err());
         assert!(parse_args(&s(&["mine", "x", "--k", "zero"])).is_err());
         assert!(parse_args(&s(&["mine", "x", "--k", "0"])).is_err());
+        assert!(parse_args(&s(&["mine", "x", "--em-tol", "-1"])).is_err());
+        assert!(parse_args(&s(&["mine", "x", "--em-tol", "NaN"])).is_err());
         assert!(parse_args(&s(&["search", "x"])).is_err());
         assert!(parse_args(&s(&["frobnicate"])).is_err());
         assert!(parse_args(&s(&["synth", "--bogus", "1"])).is_err());

@@ -33,9 +33,9 @@ fn run(command: Command) -> Result<(), String> {
             lesm_corpus::io::write_tsv(&papers.corpus, stdout.lock())
                 .map_err(|e| e.to_string())
         }
-        Command::Mine { input, k, depth, threads } => {
+        Command::Mine { input, k, depth, threads, em_tol } => {
             let corpus = lesm_cli::load_corpus(&input)?;
-            let json = lesm_cli::run_mine(&corpus, k, depth, threads)?;
+            let json = lesm_cli::run_mine(&corpus, k, depth, threads, em_tol)?;
             print!("{json}");
             Ok(())
         }

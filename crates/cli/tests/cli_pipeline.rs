@@ -30,9 +30,36 @@ fn synth_mine_roundtrip_produces_balanced_json() {
     let path = write_corpus(&papers.corpus, "mine");
     let corpus = load_corpus(path.to_str().unwrap()).unwrap();
     assert_eq!(corpus.num_docs(), 500);
-    let json = run_mine(&corpus, 2, 1, 2).unwrap();
+    let json = run_mine(&corpus, 2, 1, 2, 0.0).unwrap();
     assert!(lesm_core::export::is_balanced_json(&json));
     assert!(json.contains("\"phrases\""));
+    std::fs::remove_file(path).ok();
+}
+
+/// End-to-end determinism diff (PR 1 contract, re-verified against the
+/// flat-arena EM core): `mine` output is byte-identical across
+/// `--threads 1/2/4` and across repeated runs — with and without the EM
+/// early exit enabled.
+#[test]
+fn mine_output_is_byte_identical_across_threads_and_runs() {
+    let mut cfg = PapersConfig::dblp(300, 23);
+    cfg.hierarchy.branching = vec![2];
+    cfg.entity_specs[0].level = 1;
+    cfg.entity_specs[0].pool_per_node = 5;
+    cfg.entity_specs[1].pool_per_node = 2;
+    let papers = SyntheticPapers::generate(&cfg).unwrap();
+    let path = write_corpus(&papers.corpus, "identical");
+    let corpus = load_corpus(path.to_str().unwrap()).unwrap();
+    for em_tol in [0.0, 1e-8] {
+        let reference = run_mine(&corpus, 2, 1, 1, em_tol).unwrap();
+        for threads in [1usize, 2, 4] {
+            let json = run_mine(&corpus, 2, 1, threads, em_tol).unwrap();
+            assert_eq!(
+                json, reference,
+                "mine output differs (threads={threads}, em_tol={em_tol})"
+            );
+        }
+    }
     std::fs::remove_file(path).ok();
 }
 

@@ -29,6 +29,10 @@ pub struct MinerConfig {
     /// (`0` = all available cores). Overrides `hierarchy.em.threads`. Any
     /// value produces identical results.
     pub threads: usize,
+    /// Relative-improvement early-exit tolerance for hierarchy EM
+    /// (`0` = run every configured iteration). Overrides
+    /// `hierarchy.em.tol`. See `EmConfig::tol`.
+    pub em_tol: f64,
 }
 
 impl Default for MinerConfig {
@@ -42,6 +46,7 @@ impl Default for MinerConfig {
             entities_per_topic: 20,
             min_topic_freq: 1.0,
             threads: 0,
+            em_tol: 0.0,
         }
     }
 }
@@ -121,6 +126,7 @@ impl LatentStructureMiner {
         let net = collapsed_network(corpus);
         let mut hier_cfg = config.hierarchy.clone();
         hier_cfg.em.threads = config.threads;
+        hier_cfg.em.tol = config.em_tol;
         let hierarchy = TopicHierarchy::construct(net, &hier_cfg)?;
         let term_type = corpus.entities.num_types();
 

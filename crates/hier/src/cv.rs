@@ -7,7 +7,7 @@
 //! parameters (higher is better). The paper recommends this criterion
 //! over BIC whenever the network carries enough links.
 
-use crate::em::{CathyHinEm, EmConfig, EmFit};
+use crate::em::{CathyHinEm, EdgeState, EmConfig, EmFit};
 use crate::HierError;
 use lesm_net::{LinkBlock, TypedNetwork};
 use rand::rngs::StdRng;
@@ -109,6 +109,18 @@ pub fn select_k_cv(
     if !(0.0..1.0).contains(&cv.holdout_frac) || cv.holdout_frac <= 0.0 {
         return Err(HierError::InvalidConfig("holdout_frac must be in (0, 1)".into()));
     }
+    // The fold splits depend only on the fold index (seed + fold * 101),
+    // never on `k`, so each fold's train network is flattened exactly once
+    // and every candidate `k` reuses the prepared state.
+    let mut folds: Vec<(EdgeState, TypedNetwork)> = Vec::new();
+    for fold in 0..cv.folds {
+        let mut rng = StdRng::seed_from_u64(cv.seed.wrapping_add(fold as u64 * 101));
+        let (train, held) = split(net, cv.holdout_frac, &mut rng);
+        if train.num_links() == 0 || held.num_links() == 0 {
+            continue;
+        }
+        folds.push((EdgeState::new(&train), held));
+    }
     let mut scores = Vec::new();
     let mut best: Option<(usize, f64)> = None;
     for k in k_range {
@@ -117,15 +129,10 @@ pub fn select_k_cv(
         }
         let mut total = 0.0;
         let mut folds_done = 0usize;
-        for fold in 0..cv.folds {
-            let mut rng = StdRng::seed_from_u64(cv.seed.wrapping_add(fold as u64 * 101));
-            let (train, held) = split(net, cv.holdout_frac, &mut rng);
-            if train.num_links() == 0 || held.num_links() == 0 {
-                continue;
-            }
+        for (train_state, held) in &folds {
             let cfg = EmConfig { k, ..base.clone() };
-            let fit = CathyHinEm::fit(&train, &cfg)?;
-            total += heldout_score(&fit, &held);
+            let fit = CathyHinEm::fit_prepared(train_state, &cfg)?;
+            total += heldout_score(&fit, held);
             folds_done += 1;
         }
         if folds_done == 0 {

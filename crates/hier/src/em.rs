@@ -17,11 +17,37 @@
 //! is folded into symmetric accumulation (each endpoint receives the link's
 //! expected subtopic weight; the asymmetric background term is averaged
 //! over the two directions).
+//!
+//! # Performance architecture
+//!
+//! The inner loop is `O(|E| · k)` per iteration and sits beneath the
+//! hierarchy recursion × BIC k-sweep × restarts × weight rounds, so it is
+//! engineered to be memory-bandwidth-bound rather than pointer-chase-bound:
+//!
+//! * **[`EdgeState`]** flattens the network once — global node ids,
+//!   type-pair keys, per-pair totals, and the parent-topic importance —
+//!   and is shared across every fit of the same network (`fit_prepared`).
+//! * **`ParamArena`** stores all parameters in one contiguous buffer with
+//!   `φ` laid out node-major interleaved (`φ[x][z][i]` at `node·k + z`
+//!   where `node = node_base[x] + i`), so the `z`-loop over one endpoint
+//!   reads consecutive memory instead of `k` heap-separated rows.
+//! * **Ping-pong arenas** (read/write, swapped per iteration) plus a
+//!   reused [`lesm_par::ReduceScratch`] make the iteration loop free of
+//!   heap allocation.
+//! * **Early exit** ([`EmConfig::tol`]) stops a run once the surrogate
+//!   objective's relative improvement falls below tolerance.
+//!
+//! All of this preserves the workspace determinism contract: results are
+//! bit-identical for any thread count, and bit-identical to the original
+//! nested-`Vec` implementation (same chunk layout, same reduction order,
+//! same per-edge arithmetic).
 
 use crate::HierError;
 use lesm_net::TypedNetwork;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::Cell;
+use std::sync::Arc;
 
 /// How link-type weights `α_{x,y}` are chosen.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,7 +68,7 @@ pub enum WeightMode {
 pub struct EmConfig {
     /// Number of subtopics `k`.
     pub k: usize,
-    /// EM iterations per restart.
+    /// EM iterations per restart (upper bound when `tol > 0`).
     pub iters: usize,
     /// Random restarts (best objective kept).
     pub restarts: usize,
@@ -71,6 +97,13 @@ pub struct EmConfig {
     /// available cores). Any value produces bit-identical results — the
     /// edge-chunk layout and reduction order are fixed (see `lesm-par`).
     pub threads: usize,
+    /// Relative-improvement convergence tolerance: after each iteration
+    /// `n >= 1`, EM stops early when
+    /// `|obj_n - obj_{n-1}| <= tol * |obj_{n-1}|`. `0` (the default)
+    /// disables the check, always running the full `iters` iterations.
+    /// The check is deterministic, so early exit never breaks the
+    /// thread-count bit-identity contract.
+    pub tol: f64,
 }
 
 impl Default for EmConfig {
@@ -87,6 +120,7 @@ impl Default for EmConfig {
             weights: WeightMode::Equal,
             weight_rounds: 3,
             threads: 1,
+            tol: 0.0,
         }
     }
 }
@@ -113,12 +147,14 @@ pub struct EmFit {
     pub objective: f64,
     /// Per-iteration objective values. The paper's auxiliary-function
     /// argument (after eq. 3.17) guarantees this trace is non-decreasing;
-    /// property tests verify it.
+    /// property tests verify it. With [`EmConfig::tol`] set, the trace may
+    /// be shorter than `iters` (it ends at the early-exit iteration).
     pub objective_trace: Vec<f64>,
     /// Full Poisson log-likelihood of the observed links (for BIC).
     pub loglik: f64,
     /// The parent-topic node importance used by the background term.
-    pub parent_phi: Vec<Vec<f64>>,
+    /// Shared (not copied) with the [`EdgeState`] the fit came from.
+    pub parent_phi: Arc<Vec<Vec<f64>>>,
 }
 
 impl EmFit {
@@ -180,62 +216,227 @@ impl EmFit {
     }
 }
 
-/// Flattened edge list used internally by the EM loop.
-struct Edges {
-    tx: Vec<usize>,
-    ty: Vec<usize>,
-    i: Vec<u32>,
-    j: Vec<u32>,
-    w: Vec<f64>,
-    /// type-pair key `tx * T + ty` per edge
-    tp: Vec<usize>,
+thread_local! {
+    /// Per-thread count of [`EdgeState::new`] calls (i.e. network
+    /// flattens). Thread-local so concurrently running tests observe only
+    /// their own flattens.
+    static FLATTEN_CALLS: Cell<u64> = const { Cell::new(0) };
 }
 
+/// Precomputed per-network edge state, shared across every EM fit of the
+/// same network (the BIC k-sweep, CV folds, restarts, and weight rounds).
+///
+/// Flattening a [`TypedNetwork`] — global node ids, type-pair keys,
+/// per-pair weight/link totals, and the normalized parent-topic importance
+/// — is pure per-network work; recomputing it per candidate `k` (as the
+/// pre-arena implementation did) wastes both time and allocator traffic.
+/// Build one with [`EdgeState::new`] and hand it to
+/// [`CathyHinEm::fit_prepared`] as many times as needed.
+#[derive(Debug, Clone)]
+pub struct EdgeState {
+    /// Number of node types.
+    t_count: usize,
+    /// Nodes per type.
+    node_counts: Vec<usize>,
+    /// Prefix sums of `node_counts` (global node id = `node_base[x] + i`).
+    node_base: Vec<usize>,
+    /// Total node count across types.
+    total_nodes: usize,
+    /// Per-edge global node id of the first endpoint.
+    ni: Vec<usize>,
+    /// Per-edge global node id of the second endpoint.
+    nj: Vec<usize>,
+    /// Per-edge type-pair key `tx * T + ty`.
+    tp: Vec<usize>,
+    /// Per-edge raw link weight.
+    w: Vec<f64>,
+    /// Total link weight per type pair.
+    pair_weight: Vec<f64>,
+    /// Link count per type pair.
+    pair_links: Vec<usize>,
+    /// Parent-topic importance per type (normalized weighted degrees),
+    /// in the nested shape [`EmFit`] exposes.
+    parent_phi: Arc<Vec<Vec<f64>>>,
+    /// The same importance flattened by global node id (hot-loop view).
+    parent_flat: Vec<f64>,
+}
+
+impl EdgeState {
+    /// Flattens `net` into the edge-major arrays the EM loop consumes.
+    pub fn new(net: &TypedNetwork) -> Self {
+        FLATTEN_CALLS.with(|c| c.set(c.get() + 1));
+        let t_count = net.num_types();
+        let mut node_base = Vec::with_capacity(t_count);
+        let mut total_nodes = 0usize;
+        for &n in &net.node_counts {
+            node_base.push(total_nodes);
+            total_nodes += n;
+        }
+        let n = net.num_links();
+        let mut ni = Vec::with_capacity(n);
+        let mut nj = Vec::with_capacity(n);
+        let mut tp = Vec::with_capacity(n);
+        let mut w = Vec::with_capacity(n);
+        for blk in &net.blocks {
+            for &(i, j, wt) in &blk.edges {
+                ni.push(node_base[blk.tx] + i as usize);
+                nj.push(node_base[blk.ty] + j as usize);
+                tp.push(blk.tx * t_count + blk.ty);
+                w.push(wt);
+            }
+        }
+        let mut pair_weight = vec![0.0f64; t_count * t_count];
+        let mut pair_links = vec![0usize; t_count * t_count];
+        for e in 0..n {
+            pair_weight[tp[e]] += w[e];
+            pair_links[tp[e]] += 1;
+        }
+        // Parent-topic importance: normalized weighted degree per type.
+        let mut parent_phi = net.weighted_degrees();
+        for row in &mut parent_phi {
+            let s: f64 = row.iter().sum();
+            if s > 0.0 {
+                row.iter_mut().for_each(|x| *x /= s);
+            }
+        }
+        let mut parent_flat = Vec::with_capacity(total_nodes);
+        for row in &parent_phi {
+            parent_flat.extend_from_slice(row);
+        }
+        Self {
+            t_count,
+            node_counts: net.node_counts.clone(),
+            node_base,
+            total_nodes,
+            ni,
+            nj,
+            tp,
+            w,
+            pair_weight,
+            pair_links,
+            parent_phi: Arc::new(parent_phi),
+            parent_flat,
+        }
+    }
+
+    /// Number of flattened links.
+    pub fn num_links(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Total node count across all types.
+    pub fn total_nodes(&self) -> usize {
+        self.total_nodes
+    }
+
+    /// Number of node types.
+    pub fn num_types(&self) -> usize {
+        self.t_count
+    }
+
+    /// How many times [`EdgeState::new`] has run **on this thread** (a
+    /// thread-local counter, so concurrent tests don't interfere). Used to
+    /// assert that `select_k` and the hierarchy recursion flatten each
+    /// network exactly once.
+    pub fn flattens_on_this_thread() -> u64 {
+        FLATTEN_CALLS.with(|c| c.get())
+    }
+}
+
+/// Flattened edge list used internally by the EM loop.
 /// Number of edge chunks the E/M accumulation is split into. Fixed (never
 /// derived from the thread count) so the floating-point summation grouping
 /// — and therefore every EM result — is identical for any parallelism.
 const EM_PIECES: usize = 32;
 
-/// Offsets into the flat per-iteration accumulator
-/// `[obj | rho | phi | phi0]` shared by the E/M reduce.
-struct AccLayout {
-    /// Start of `rho` (index 0 is the objective).
-    rho: usize,
-    /// Start of the `phi` block; entry `(x, z, i)` lives at
-    /// `phi + node_base[x] * k + z * n_x + i`.
-    phi: usize,
-    /// Start of the `phi0` block; entry `(x, i)` lives at
-    /// `phi0 + node_base[x] + i`.
-    phi0: usize,
-    /// Total accumulator length.
-    len: usize,
-    /// Prefix sums of `node_counts`.
-    node_base: Vec<usize>,
+/// One contiguous parameter buffer: `[ φ | φ0 | ρ ]`, with `φ` node-major
+/// interleaved — the value `φ[x][z][i]` lives at `node * k + z` where
+/// `node = node_base[x] + i`. The interleaving puts all `k` subtopic
+/// values of one node on a single cache line, which is exactly the access
+/// pattern of the per-edge `z`-loop.
+#[derive(Debug, Clone)]
+struct ParamArena {
+    k: usize,
+    total: usize,
+    data: Vec<f64>,
 }
 
-impl AccLayout {
-    fn new(k: usize, node_counts: &[usize]) -> Self {
-        let mut node_base = Vec::with_capacity(node_counts.len());
-        let mut total = 0usize;
-        for &n in node_counts {
-            node_base.push(total);
-            total += n;
+impl ParamArena {
+    fn new(k: usize, total: usize) -> Self {
+        Self { k, total, data: vec![0.0; total * k + total + k + 1] }
+    }
+
+    /// `(phi, phi0, rho)` views.
+    #[inline]
+    fn split(&self) -> (&[f64], &[f64], &[f64]) {
+        let (phi, rest) = self.data.split_at(self.total * self.k);
+        let (phi0, rho) = rest.split_at(self.total);
+        (phi, phi0, rho)
+    }
+
+    /// Mutable `(phi, phi0, rho)` views.
+    #[inline]
+    fn split_mut(&mut self) -> (&mut [f64], &mut [f64], &mut [f64]) {
+        let (phi, rest) = self.data.split_at_mut(self.total * self.k);
+        let (phi0, rho) = rest.split_at_mut(self.total);
+        (phi, phi0, rho)
+    }
+}
+
+/// A fit in arena form — what the restart/weight-round machinery passes
+/// around. Converted to the public nested [`EmFit`] exactly once, for the
+/// winning fit (`ArenaFit::into_em_fit`).
+struct ArenaFit {
+    arena: ParamArena,
+    theta: Vec<f64>,
+    objective: f64,
+    objective_trace: Vec<f64>,
+    loglik: f64,
+}
+
+impl ArenaFit {
+    /// Expands the arena into the nested public shape.
+    fn into_em_fit(self, state: &EdgeState, alpha: Vec<f64>) -> EmFit {
+        let k = self.arena.k;
+        let (phi_a, phi0_a, rho_a) = self.arena.split();
+        let phi: Vec<Vec<Vec<f64>>> = (0..state.t_count)
+            .map(|x| {
+                (0..k)
+                    .map(|z| {
+                        (0..state.node_counts[x])
+                            .map(|i| phi_a[(state.node_base[x] + i) * k + z])
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let phi0: Vec<Vec<f64>> = (0..state.t_count)
+            .map(|x| {
+                phi0_a[state.node_base[x]..state.node_base[x] + state.node_counts[x]].to_vec()
+            })
+            .collect();
+        EmFit {
+            k,
+            phi,
+            phi0,
+            rho: rho_a.to_vec(),
+            alpha,
+            theta: self.theta,
+            objective: self.objective,
+            objective_trace: self.objective_trace,
+            loglik: self.loglik,
+            parent_phi: Arc::clone(&state.parent_phi),
         }
-        let rho = 1;
-        let phi = rho + k + 1;
-        let phi0 = phi + k * total;
-        Self { rho, phi, phi0, len: phi0 + total, node_base }
     }
+}
 
-    #[inline]
-    fn phi_at(&self, k: usize, counts: &[usize], x: usize, z: usize, i: usize) -> usize {
-        self.phi + self.node_base[x] * k + z * counts[x] + i
-    }
-
-    #[inline]
-    fn phi0_at(&self, x: usize, i: usize) -> usize {
-        self.phi0 + self.node_base[x] + i
-    }
+/// Reused per-fit working memory: the reduce chunk buffers and the flat
+/// `[obj | ρ | φ | φ0]` accumulator. One of these lives for a whole
+/// `fit_prepared` call, so the EM iteration loop performs no heap
+/// allocation.
+struct EmScratch {
+    reduce: lesm_par::ReduceScratch,
+    acc: Vec<f64>,
 }
 
 /// CATHYHIN EM fitter. For text-only CATHY (§3.1), run on a single-type
@@ -270,100 +471,96 @@ pub struct CathyHinEm;
 
 impl CathyHinEm {
     /// Fits the model to `net` with `config`.
+    ///
+    /// Thin wrapper over [`CathyHinEm::fit_prepared`]; callers fitting the
+    /// same network repeatedly (k-sweeps, weight ablations) should build
+    /// one [`EdgeState`] and call `fit_prepared` directly.
     pub fn fit(net: &TypedNetwork, config: &EmConfig) -> Result<EmFit, HierError> {
+        Self::fit_prepared(&EdgeState::new(net), config)
+    }
+
+    /// Fits the model against a pre-flattened [`EdgeState`].
+    pub fn fit_prepared(state: &EdgeState, config: &EmConfig) -> Result<EmFit, HierError> {
         if config.k == 0 {
             return Err(HierError::InvalidConfig("k must be >= 1".into()));
         }
-        if net.num_links() == 0 {
+        if state.num_links() == 0 {
             return Err(HierError::EmptyNetwork);
         }
-        let t_count = net.num_types();
-        let edges = flatten(net);
-        let n_edges = edges.w.len();
-
-        // θ and per-type-pair totals (constants).
-        let mut pair_weight = vec![0.0f64; t_count * t_count];
-        let mut pair_links = vec![0usize; t_count * t_count];
-        for e in 0..n_edges {
-            pair_weight[edges.tp[e]] += edges.w[e];
-            pair_links[edges.tp[e]] += 1;
-        }
-
-        // Parent-topic importance: normalized weighted degree per type.
-        let mut parent_phi = net.weighted_degrees();
-        for row in &mut parent_phi {
-            let s: f64 = row.iter().sum();
-            if s > 0.0 {
-                row.iter_mut().for_each(|x| *x /= s);
-            }
-        }
+        let t_count = state.t_count;
 
         // Initial α per mode.
-        let mut alpha = initial_alpha(&config.weights, &pair_weight, &pair_links, t_count);
+        let mut alpha =
+            initial_alpha(&config.weights, &state.pair_weight, &state.pair_links, t_count);
+
+        let mut scratch = EmScratch { reduce: lesm_par::ReduceScratch::new(), acc: Vec::new() };
 
         // Phase 1: multi-restart EM under the initial weights; the best
         // objective wins (restart objectives are comparable because the
         // weights are identical).
-        let fit_best = |alpha_cur: &[f64], warm: Option<&EmFit>| -> EmFit {
-            let mut best: Option<EmFit> = None;
+        let mut best = fit_alpha(state, config, &alpha, None, &mut scratch);
+        // Phase 2 (learned weights only): alternate α re-estimation with
+        // warm-started EM refinement (eq. 3.37's outer loop), starting from
+        // the best equal-weight partition so weight learning refines rather
+        // than re-discovers the clustering. The warm fit is moved (not
+        // cloned) into the next round.
+        if config.weights == WeightMode::Learned {
+            for _ in 1..config.weight_rounds.max(1) {
+                alpha = learn_alpha(state, &best, config.threads, &mut scratch);
+                best = fit_alpha(state, config, &alpha, Some(best), &mut scratch);
+            }
+        }
+        Ok(best.into_em_fit(state, alpha))
+    }
+}
+
+/// Runs EM under one fixed `alpha`: the per-α constants (scaled weights,
+/// `θ`) are computed once and shared by every restart. With `warm`, a
+/// single deterministic continuation run is performed instead, reusing the
+/// warm fit's arena without copying.
+fn fit_alpha(
+    state: &EdgeState,
+    config: &EmConfig,
+    alpha: &[f64],
+    warm: Option<ArenaFit>,
+    scratch: &mut EmScratch,
+) -> ArenaFit {
+    let n_edges = state.num_links();
+    let t_count = state.t_count;
+    // Scaled edge weights, their total, and θ over type pairs.
+    let scaled: Vec<f64> =
+        (0..n_edges).map(|e| alpha[state.tp[e]] * state.w[e]).collect();
+    let m_total: f64 = scaled.iter().sum();
+    let mut theta = vec![0.0; t_count * t_count];
+    for e in 0..n_edges {
+        theta[state.tp[e]] += scaled[e] / m_total;
+    }
+
+    match warm {
+        Some(prev) => {
+            // Warm-started rounds are deterministic — one run suffices.
+            run_em(state, config, &scaled, m_total, &theta, config.seed, Some(prev.arena), scratch)
+        }
+        None => {
+            let mut best: Option<ArenaFit> = None;
             for restart in 0..config.restarts.max(1) {
                 let f = run_em(
-                    net,
-                    &edges,
+                    state,
                     config,
-                    alpha_cur,
-                    &parent_phi,
+                    &scaled,
+                    m_total,
+                    &theta,
                     config.seed.wrapping_add(restart as u64 * 1313),
-                    warm,
+                    None,
+                    scratch,
                 );
                 if best.as_ref().is_none_or(|b| f.objective > b.objective) {
                     best = Some(f);
                 }
-                if warm.is_some() {
-                    break; // warm-started rounds are deterministic
-                }
             }
             best.expect("at least one restart")
-        };
-        let mut best = fit_best(&alpha, None);
-        // Phase 2 (learned weights only): alternate α re-estimation with
-        // warm-started EM refinement (eq. 3.37's outer loop), starting from
-        // the best equal-weight partition so weight learning refines rather
-        // than re-discovers the clustering.
-        if config.weights == WeightMode::Learned {
-            for _ in 1..config.weight_rounds.max(1) {
-                alpha = learn_alpha(&edges, &best, &pair_weight, &pair_links, t_count, config.threads);
-                let warm = best.clone();
-                best = fit_best(&alpha, Some(&warm));
-            }
-            best.alpha = alpha;
-        }
-        Ok(best)
-    }
-}
-
-fn flatten(net: &TypedNetwork) -> Edges {
-    let t = net.num_types();
-    let n: usize = net.num_links();
-    let mut e = Edges {
-        tx: Vec::with_capacity(n),
-        ty: Vec::with_capacity(n),
-        i: Vec::with_capacity(n),
-        j: Vec::with_capacity(n),
-        w: Vec::with_capacity(n),
-        tp: Vec::with_capacity(n),
-    };
-    for blk in &net.blocks {
-        for &(i, j, w) in &blk.edges {
-            e.tx.push(blk.tx);
-            e.ty.push(blk.ty);
-            e.i.push(i);
-            e.j.push(j);
-            e.w.push(w);
-            e.tp.push(blk.tx * t + blk.ty);
         }
     }
-    e
 }
 
 fn initial_alpha(
@@ -416,55 +613,58 @@ fn rescale_alpha(alpha: &mut [f64], pair_links: &[usize]) {
     }
 }
 
-/// One full EM run (fixed α). When `warm` is given, parameters start from
-/// the previous round's fit instead of random initialization.
+/// One full EM run (fixed α). When `warm` is given, the passed arena is
+/// continued in place instead of random initialization.
 #[allow(clippy::too_many_arguments)]
 fn run_em(
-    net: &TypedNetwork,
-    edges: &Edges,
+    state: &EdgeState,
     config: &EmConfig,
-    alpha: &[f64],
-    parent_phi: &[Vec<f64>],
+    scaled: &[f64],
+    m_total: f64,
+    theta: &[f64],
     seed: u64,
-    warm: Option<&EmFit>,
-) -> EmFit {
+    warm: Option<ParamArena>,
+    scratch: &mut EmScratch,
+) -> ArenaFit {
     let k = config.k;
-    let t_count = net.num_types();
+    let t_count = state.t_count;
+    let total = state.total_nodes;
+    let counts = &state.node_counts;
+    let base = &state.node_base;
+    let n_edges = state.num_links();
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // Scaled edge weights and totals.
-    let n_edges = edges.w.len();
-    let scaled: Vec<f64> = (0..n_edges).map(|e| alpha[edges.tp[e]] * edges.w[e]).collect();
-    let m_total: f64 = scaled.iter().sum();
-
-    // θ over type pairs.
-    let mut theta = vec![0.0; t_count * t_count];
-    for e in 0..n_edges {
-        theta[edges.tp[e]] += scaled[e] / m_total;
-    }
-
-    // Initialize φ, φ0, ρ.
-    let (mut phi, mut phi0, mut rho) = match warm {
-        Some(f) => (f.phi.clone(), f.phi0.clone(), f.rho.clone()),
+    // Initialize φ, φ0, ρ (same RNG draw order as the original nested
+    // implementation: type-major, then subtopic, then node).
+    let warm_started = warm.is_some();
+    let mut cur = match warm {
+        Some(arena) => {
+            debug_assert_eq!(arena.k, k);
+            debug_assert_eq!(arena.total, total);
+            arena
+        }
         None => {
-            let phi: Vec<Vec<Vec<f64>>> = (0..t_count)
-                .map(|x| {
-                    (0..k)
-                        .map(|_| {
-                            let mut row: Vec<f64> =
-                                (0..net.node_counts[x]).map(|_| rng.gen::<f64>() + 0.05).collect();
-                            normalize(&mut row);
-                            row
-                        })
-                        .collect()
-                })
-                .collect();
-            let phi0: Vec<Vec<f64>> = if config.background {
-                parent_phi.to_vec()
-            } else {
-                (0..t_count).map(|x| vec![0.0; net.node_counts[x]]).collect()
-            };
-            let mut rho = vec![0.0; k + 1];
+            let mut arena = ParamArena::new(k, total);
+            let (phi, phi0, rho) = arena.split_mut();
+            for x in 0..t_count {
+                for z in 0..k {
+                    for i in 0..counts[x] {
+                        phi[(base[x] + i) * k + z] = rng.gen::<f64>() + 0.05;
+                    }
+                    let mut s = 0.0;
+                    for i in 0..counts[x] {
+                        s += phi[(base[x] + i) * k + z];
+                    }
+                    if s > 0.0 {
+                        for i in 0..counts[x] {
+                            phi[(base[x] + i) * k + z] /= s;
+                        }
+                    }
+                }
+            }
+            if config.background {
+                phi0.copy_from_slice(&state.parent_flat);
+            }
             if config.background {
                 rho[0] = config.background_init;
                 for z in 1..=k {
@@ -475,42 +675,70 @@ fn run_em(
                     rho[z] = 1.0 / k as f64;
                 }
             }
-            (phi, phi0, rho)
+            arena
         }
     };
+    let _ = warm_started;
+
+    // Ping-pong write arena. φ0 is copied once up front so it stays pinned
+    // through swaps when it is not re-learned.
+    let mut next = ParamArena::new(k, total);
+    if !(config.background && config.learn_background) {
+        let (_, phi0_n, _) = next.split_mut();
+        phi0_n.copy_from_slice(cur.split().1);
+    }
+
+    // Flat accumulator layout: [obj | ρ (k+1) | φ (total·k) | φ0 (total)].
+    // The φ0 block exists only when it is actually re-learned — otherwise
+    // its numerators are dead work (the seed implementation computed and
+    // discarded them), and dropping the block shrinks both the E-step
+    // writes and the per-iteration chunk fold.
+    let track_phi0 = config.background && config.learn_background;
+    let phi_off = k + 2;
+    let phi0_off = phi_off + total * k;
+    let acc_len = if track_phi0 { phi0_off + total } else { phi0_off };
+    scratch.acc.clear();
+    scratch.acc.resize(acc_len, 0.0);
 
     let mut objective = f64::NEG_INFINITY;
     let mut objective_trace = Vec::with_capacity(config.iters);
-    let counts = &net.node_counts;
-    let layout = AccLayout::new(k, counts);
     let grain = lesm_par::grain_for_pieces(n_edges, EM_PIECES);
+    let parent_flat = &state.parent_flat;
+    let background = config.background;
     for _ in 0..config.iters {
         // E-step + M-step numerators: one chunked reduce over the edges
-        // into the flat accumulator [obj | rho | phi | phi0]. Chunk layout
-        // and fold order are fixed, so any thread count gives the same
-        // bits as threads = 1.
-        let acc = lesm_par::par_buffer_reduce(
+        // into the flat accumulator. Chunk layout and fold order are
+        // fixed, so any thread count gives the same bits as threads = 1.
+        let (phi_c, phi0_c, rho_c) = cur.split();
+        lesm_par::par_buffer_reduce_with(
+            &mut scratch.reduce,
             n_edges,
             grain,
             config.threads,
-            layout.len,
+            &mut scratch.acc,
             |range, buf| {
+                // Pre-split the chunk buffer into its [head | φ | φ0]
+                // regions so the hot loop indexes small slices directly.
+                let (head, rest) = buf.split_at_mut(phi_off);
+                let (phi_b, phi0_b) = rest.split_at_mut(total * k);
                 let mut q = vec![0.0f64; k + 1];
                 for e in range {
-                    let (tx, ty) = (edges.tx[e], edges.ty[e]);
-                    let (i, j) = (edges.i[e] as usize, edges.j[e] as usize);
+                    let (ni, nj) = (state.ni[e], state.nj[e]);
+                    let (na, nb) = (ni * k, nj * k);
                     let w = scaled[e];
+                    let a = &phi_c[na..na + k];
+                    let b = &phi_c[nb..nb + k];
                     let mut s = 0.0;
                     for z in 0..k {
-                        let v = rho[z + 1] * phi[tx][z][i] * phi[ty][z][j];
+                        let v = rho_c[z + 1] * a[z] * b[z];
                         q[z + 1] = v;
                         s += v;
                     }
                     // Background: average of the two link directions.
                     let (bg_a, bg_b);
-                    if config.background {
-                        bg_a = 0.5 * rho[0] * phi0[tx][i] * parent_phi[ty][j];
-                        bg_b = 0.5 * rho[0] * phi0[ty][j] * parent_phi[tx][i];
+                    if background {
+                        bg_a = 0.5 * rho_c[0] * phi0_c[ni] * parent_flat[nj];
+                        bg_b = 0.5 * rho_c[0] * phi0_c[nj] * parent_flat[ni];
                         q[0] = bg_a + bg_b;
                         s += q[0];
                     } else {
@@ -521,149 +749,160 @@ fn run_em(
                     if s <= 0.0 {
                         continue;
                     }
-                    buf[0] += w * s.ln();
+                    head[0] += w * s.ln();
                     let inv = w / s;
+                    // Indexed adds (not sub-slices) so a self-loop edge
+                    // (na == nb) accumulates both endpoint contributions.
                     for z in 0..k {
                         let ew = q[z + 1] * inv;
-                        buf[layout.rho + z + 1] += ew;
-                        buf[layout.phi_at(k, counts, tx, z, i)] += ew;
-                        buf[layout.phi_at(k, counts, ty, z, j)] += ew;
+                        head[2 + z] += ew;
+                        phi_b[na + z] += ew;
+                        phi_b[nb + z] += ew;
                     }
-                    if config.background {
+                    if background {
                         let e0 = q[0] * inv;
-                        buf[layout.rho] += e0;
-                        if q[0] > 0.0 {
-                            buf[layout.phi0_at(tx, i)] += inv * bg_a;
-                            buf[layout.phi0_at(ty, j)] += inv * bg_b;
+                        head[1] += e0;
+                        if track_phi0 && q[0] > 0.0 {
+                            phi0_b[ni] += inv * bg_a;
+                            phi0_b[nj] += inv * bg_b;
                         }
                     }
                 }
             },
         );
+        let acc = &scratch.acc;
         let obj = acc[0];
-        // Unpack with the 1e-12 smoothing the M-step normalizers expect.
-        let mut rho_new: Vec<f64> = (0..=k).map(|z| 1e-12 + acc[layout.rho + z]).collect();
-        let mut phi_new: Vec<Vec<Vec<f64>>> = (0..t_count)
-            .map(|x| {
-                (0..k)
-                    .map(|z| {
-                        let start = layout.phi_at(k, counts, x, z, 0);
-                        acc[start..start + counts[x]].iter().map(|v| 1e-12 + v).collect()
-                    })
-                    .collect()
-            })
-            .collect();
-        let mut phi0_new: Vec<Vec<f64>> = (0..t_count)
-            .map(|x| {
-                let start = layout.phi0_at(x, 0);
-                acc[start..start + counts[x]].iter().map(|v| 1e-12 + v).collect()
-            })
-            .collect();
-        normalize(&mut rho_new);
-        if config.background && rho_new[0] > config.background_cap {
-            let excess = rho_new[0] - config.background_cap;
-            let sub_total: f64 = rho_new[1..].iter().sum();
-            rho_new[0] = config.background_cap;
-            if sub_total > 0.0 {
-                for z in 1..=k {
-                    rho_new[z] += excess * rho_new[z] / sub_total;
+        // M-step: unpack into the write arena with the 1e-12 smoothing the
+        // normalizers expect, then swap the arenas.
+        {
+            let (phi_n, phi0_n, rho_n) = next.split_mut();
+            for z in 0..=k {
+                rho_n[z] = 1e-12 + acc[1 + z];
+            }
+            for (p, &a) in phi_n.iter_mut().zip(&acc[phi_off..phi0_off]) {
+                *p = 1e-12 + a;
+            }
+            normalize(rho_n);
+            if background && rho_n[0] > config.background_cap {
+                let excess = rho_n[0] - config.background_cap;
+                let sub_total: f64 = rho_n[1..].iter().sum();
+                rho_n[0] = config.background_cap;
+                if sub_total > 0.0 {
+                    for z in 1..=k {
+                        rho_n[z] += excess * rho_n[z] / sub_total;
+                    }
+                }
+            }
+            // Per-(type, subtopic) normalization, summing nodes in index
+            // order exactly as the nested rows did.
+            for x in 0..t_count {
+                for z in 0..k {
+                    let mut s = 0.0;
+                    for i in 0..counts[x] {
+                        s += phi_n[(base[x] + i) * k + z];
+                    }
+                    if s > 0.0 {
+                        for i in 0..counts[x] {
+                            phi_n[(base[x] + i) * k + z] /= s;
+                        }
+                    }
+                }
+            }
+            if track_phi0 {
+                for (p, &a) in phi0_n.iter_mut().zip(&acc[phi0_off..]) {
+                    *p = 1e-12 + a;
+                }
+                for x in 0..t_count {
+                    normalize(&mut phi0_n[base[x]..base[x] + counts[x]]);
                 }
             }
         }
-        for x in 0..t_count {
-            for z in 0..k {
-                normalize(&mut phi_new[x][z]);
-            }
-            normalize(&mut phi0_new[x]);
-        }
-        rho = rho_new;
-        phi = phi_new;
-        if config.background && config.learn_background {
-            phi0 = phi0_new;
-        }
+        std::mem::swap(&mut cur, &mut next);
+        let prev = objective;
         objective = obj;
         objective_trace.push(obj);
+        // Convergence early-exit on relative objective improvement.
+        if config.tol > 0.0 && prev.is_finite() && (obj - prev).abs() <= config.tol * prev.abs()
+        {
+            break;
+        }
     }
 
     // Full Poisson log-likelihood (for BIC): Σ_nonzero [w ln(M θ s) - lnΓ(w+1)] - M.
-    let loglik_sum = lesm_par::par_buffer_reduce(
+    let (phi_c, phi0_c, rho_c) = cur.split();
+    let mut ll = [0.0f64];
+    lesm_par::par_buffer_reduce_with(
+        &mut scratch.reduce,
         n_edges,
         grain,
         config.threads,
-        1,
+        &mut ll,
         |range, buf| {
             for e in range {
-                let (tx, ty) = (edges.tx[e], edges.ty[e]);
-                let (i, j) = (edges.i[e] as usize, edges.j[e] as usize);
+                let (ni, nj) = (state.ni[e], state.nj[e]);
                 let w = scaled[e];
+                let a = &phi_c[ni * k..ni * k + k];
+                let b = &phi_c[nj * k..nj * k + k];
                 let mut s = 0.0;
                 for z in 0..k {
-                    s += rho[z + 1] * phi[tx][z][i] * phi[ty][z][j];
+                    s += rho_c[z + 1] * a[z] * b[z];
                 }
-                if config.background {
+                if background {
                     s += 0.5
-                        * rho[0]
-                        * (phi0[tx][i] * parent_phi[ty][j] + phi0[ty][j] * parent_phi[tx][i]);
+                        * rho_c[0]
+                        * (phi0_c[ni] * parent_flat[nj] + phi0_c[nj] * parent_flat[ni]);
                 }
-                let lambda = m_total * theta[edges.tp[e]] * s;
+                let lambda = m_total * theta[state.tp[e]] * s;
                 if lambda > 0.0 {
                     buf[0] += w * lambda.ln() - ln_gamma(w + 1.0);
                 }
             }
         },
     );
-    let loglik = -m_total + loglik_sum[0];
+    let loglik = -m_total + ll[0];
 
-    EmFit {
-        k,
-        phi,
-        phi0,
-        rho,
-        alpha: alpha.to_vec(),
-        theta,
-        objective,
-        objective_trace,
-        loglik,
-        parent_phi: parent_phi.to_vec(),
-    }
+    ArenaFit { arena: cur, theta: theta.to_vec(), objective, objective_trace, loglik }
 }
 
 /// Learns link-type weights from the current fit (eqs. 3.37–3.38), then
 /// rescales to the Theorem 3.2 constraint.
 fn learn_alpha(
-    edges: &Edges,
-    fit: &EmFit,
-    pair_weight: &[f64],
-    pair_links: &[usize],
-    t_count: usize,
+    state: &EdgeState,
+    fit: &ArenaFit,
     threads: usize,
+    scratch: &mut EmScratch,
 ) -> Vec<f64> {
-    let k = fit.k;
-    let n_edges = edges.w.len();
+    let k = fit.arena.k;
+    let (phi, phi0, rho) = fit.arena.split();
+    let t_count = state.t_count;
+    let n_edges = state.num_links();
+    let parent_flat = &state.parent_flat;
     // σ_{x,y} = (1/n_{x,y}) Σ e ln( e / (M_{x,y} s) )
-    let mut sigma = lesm_par::par_buffer_reduce(
+    let mut sigma = vec![0.0f64; t_count * t_count];
+    lesm_par::par_buffer_reduce_with(
+        &mut scratch.reduce,
         n_edges,
         lesm_par::grain_for_pieces(n_edges, EM_PIECES),
         threads,
-        t_count * t_count,
+        &mut sigma,
         |range, buf| {
             for e in range {
-                let (tx, ty) = (edges.tx[e], edges.ty[e]);
-                let (i, j) = (edges.i[e] as usize, edges.j[e] as usize);
-                let w = edges.w[e];
+                let (ni, nj) = (state.ni[e], state.nj[e]);
+                let w = state.w[e];
+                let a = &phi[ni * k..ni * k + k];
+                let b = &phi[nj * k..nj * k + k];
                 let mut s = 0.0;
                 for z in 0..k {
-                    s += fit.rho[z + 1] * fit.phi[tx][z][i] * fit.phi[ty][z][j];
+                    s += rho[z + 1] * a[z] * b[z];
                 }
-                if fit.rho[0] > 0.0 {
+                if rho[0] > 0.0 {
                     s += 0.5
-                        * fit.rho[0]
-                        * (fit.phi0[tx][i] * fit.parent_phi[ty][j]
-                            + fit.phi0[ty][j] * fit.parent_phi[tx][i]);
+                        * rho[0]
+                        * (phi0[ni] * parent_flat[nj] + phi0[nj] * parent_flat[ni]);
                 }
-                let m_xy = pair_weight[edges.tp[e]];
+                let m_xy = state.pair_weight[state.tp[e]];
                 let pred = (m_xy * s).max(1e-300);
-                buf[edges.tp[e]] += w * (w / pred).ln();
+                buf[state.tp[e]] += w * (w / pred).ln();
             }
         },
     );
@@ -671,10 +910,10 @@ fn learn_alpha(
     let mut log_gm = 0.0;
     let mut n_total = 0usize;
     for (tp, s) in sigma.iter_mut().enumerate() {
-        if pair_links[tp] > 0 {
-            *s = (*s / pair_links[tp] as f64).max(1e-6);
-            log_gm += pair_links[tp] as f64 * s.ln();
-            n_total += pair_links[tp];
+        if state.pair_links[tp] > 0 {
+            *s = (*s / state.pair_links[tp] as f64).max(1e-6);
+            log_gm += state.pair_links[tp] as f64 * s.ln();
+            n_total += state.pair_links[tp];
         }
     }
     if n_total == 0 {
@@ -682,11 +921,11 @@ fn learn_alpha(
     }
     let gm = (log_gm / n_total as f64).exp();
     for (tp, a) in alpha.iter_mut().enumerate() {
-        if pair_links[tp] > 0 {
+        if state.pair_links[tp] > 0 {
             *a = gm / sigma[tp];
         }
     }
-    rescale_alpha(&mut alpha, pair_links);
+    rescale_alpha(&mut alpha, &state.pair_links);
     alpha
 }
 
@@ -785,6 +1024,60 @@ mod tests {
         );
     }
 
+    /// Golden regression against the pre-arena (seed) implementation: the
+    /// flat-arena EM must reproduce the seed's community split and
+    /// objective to within 1e-9 relative error. The recorded constants
+    /// were produced by the nested-`Vec` implementation at PR 1
+    /// (`examples/golden_probe.rs` run before the arena rewrite).
+    #[test]
+    fn golden_matches_seed_implementation() {
+        const GOLD_TC_OBJ: f64 = -4.237_522_342_334_859_79e2;
+        const GOLD_TC_LOGLIK: f64 = -1.457_145_166_157_488_06e2;
+        const GOLD_TC_MASS: f64 = 7.649_136_488_182_065_04e-3;
+        let fit = CathyHinEm::fit(&two_communities(), &cfg(2, false)).unwrap();
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1.0);
+        assert!(
+            rel(fit.objective, GOLD_TC_OBJ) <= 1e-9,
+            "two_communities objective drifted: {:.17e} vs {GOLD_TC_OBJ:.17e}",
+            fit.objective
+        );
+        assert!(rel(fit.loglik, GOLD_TC_LOGLIK) <= 1e-9);
+        let mass: f64 = fit.phi[0][0][..4].iter().sum();
+        assert!(
+            (mass - GOLD_TC_MASS).abs() <= 1e-9,
+            "two_communities split drifted: {mass:.17e} vs {GOLD_TC_MASS:.17e}"
+        );
+
+        const GOLD_HIN_OBJ: f64 = -6.902_586_006_616_539_86e2;
+        const GOLD_HIN_LOGLIK: f64 = -1.753_114_844_233_267_04e2;
+        const GOLD_HIN_TERM_MASS: f64 = 4.424_612_057_166_371_97e-4;
+        let fit = CathyHinEm::fit(&two_communities_hin(), &cfg(2, true)).unwrap();
+        assert!(
+            rel(fit.objective, GOLD_HIN_OBJ) <= 1e-9,
+            "two_communities_hin objective drifted: {:.17e} vs {GOLD_HIN_OBJ:.17e}",
+            fit.objective
+        );
+        assert!(rel(fit.loglik, GOLD_HIN_LOGLIK) <= 1e-9);
+        let mass: f64 = fit.phi[1][0][..4].iter().sum();
+        assert!(
+            (mass - GOLD_HIN_TERM_MASS).abs() <= 1e-9,
+            "two_communities_hin split drifted: {mass:.17e} vs {GOLD_HIN_TERM_MASS:.17e}"
+        );
+    }
+
+    #[test]
+    fn fit_prepared_reuses_edge_state_across_k() {
+        let net = two_communities_hin();
+        let state = EdgeState::new(&net);
+        for k in 1..=3 {
+            let prepared = CathyHinEm::fit_prepared(&state, &cfg(k, true)).unwrap();
+            let plain = CathyHinEm::fit(&net, &cfg(k, true)).unwrap();
+            assert_eq!(prepared.objective.to_bits(), plain.objective.to_bits());
+            assert_eq!(prepared.phi, plain.phi);
+            assert_eq!(prepared.rho, plain.rho);
+        }
+    }
+
     #[test]
     fn distributions_normalized() {
         let net = two_communities_hin();
@@ -864,5 +1157,64 @@ mod tests {
         let one = CathyHinEm::fit(&net, &EmConfig { restarts: 1, ..cfg(2, false) }).unwrap();
         let five = CathyHinEm::fit(&net, &EmConfig { restarts: 5, ..cfg(2, false) }).unwrap();
         assert!(five.objective >= one.objective - 1e-9);
+    }
+
+    #[test]
+    fn trace_monotone_with_and_without_background() {
+        for (net, bg) in [
+            (two_communities(), false),
+            (two_communities_hin(), false),
+            (two_communities_hin(), true),
+        ] {
+            let fit = CathyHinEm::fit(&net, &EmConfig { restarts: 1, ..cfg(2, bg) }).unwrap();
+            for w in fit.objective_trace.windows(2) {
+                assert!(
+                    w[1] >= w[0] - 1e-6 * (1.0 + w[0].abs()),
+                    "objective decreased (bg={bg}): {} -> {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tol_never_exits_early() {
+        let net = two_communities_hin();
+        let c = EmConfig { restarts: 1, tol: 0.0, ..cfg(2, true) };
+        let fit = CathyHinEm::fit(&net, &c).unwrap();
+        assert_eq!(fit.objective_trace.len(), c.iters, "tol = 0 must run every iteration");
+    }
+
+    #[test]
+    fn early_exit_trace_is_a_prefix_of_the_full_trace() {
+        let net = two_communities_hin();
+        let full_cfg = EmConfig { restarts: 1, tol: 0.0, ..cfg(2, true) };
+        let full = CathyHinEm::fit(&net, &full_cfg).unwrap();
+        let tol = 1e-7;
+        let early =
+            CathyHinEm::fit(&net, &EmConfig { tol, ..full_cfg.clone() }).unwrap();
+        let n = early.objective_trace.len();
+        assert!(n < full.objective_trace.len(), "tolerance should stop this run early");
+        // Identical prefix bit-for-bit: the early run computes the same
+        // iterations, it just stops sooner.
+        for (a, b) in early.objective_trace.iter().zip(&full.objective_trace) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The exit condition actually held at the last recorded step.
+        let (prev, last) = (early.objective_trace[n - 2], early.objective_trace[n - 1]);
+        assert!((last - prev).abs() <= tol * prev.abs());
+    }
+
+    #[test]
+    fn flatten_counter_counts_edge_state_builds() {
+        let net = two_communities();
+        let before = EdgeState::flattens_on_this_thread();
+        let state = EdgeState::new(&net);
+        let _ = CathyHinEm::fit_prepared(&state, &cfg(2, false)).unwrap();
+        let _ = CathyHinEm::fit_prepared(&state, &cfg(3, false)).unwrap();
+        assert_eq!(EdgeState::flattens_on_this_thread() - before, 1);
+        let _ = CathyHinEm::fit(&net, &cfg(2, false)).unwrap();
+        assert_eq!(EdgeState::flattens_on_this_thread() - before, 2);
     }
 }

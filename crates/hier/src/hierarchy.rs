@@ -1,8 +1,8 @@
 //! Recursive top-down hierarchy construction (the CATHY/CATHYHIN outer
 //! loop: Steps 1–3 of §3.1/§3.2).
 
-use crate::em::{CathyHinEm, EmConfig, EmFit};
-use crate::select::{select_k, Criterion};
+use crate::em::{CathyHinEm, EdgeState, EmConfig, EmFit};
+use crate::select::{select_k_prepared, Criterion};
 use crate::HierError;
 use lesm_net::TypedNetwork;
 
@@ -120,16 +120,15 @@ impl TopicHierarchy {
                 if hierarchy.topics[node].network.num_links() < config.min_links {
                     continue;
                 }
+                // Flatten this topic's network once; the BIC sweep and the
+                // final fit share the state.
+                let state = EdgeState::new(&hierarchy.topics[node].network);
                 let k = match &config.children {
                     ChildCount::Fixed(k) => *k,
                     ChildCount::PerLevel(v) => *v.get(level).or(v.last()).unwrap_or(&2),
                     ChildCount::Auto { min, max } => {
-                        let (best, _) = select_k(
-                            &hierarchy.topics[node].network,
-                            *min..=*max,
-                            &config.em,
-                            Criterion::Bic,
-                        )?;
+                        let (best, _) =
+                            select_k_prepared(&state, *min..=*max, &config.em, Criterion::Bic)?;
                         best
                     }
                 };
@@ -137,7 +136,7 @@ impl TopicHierarchy {
                     continue;
                 }
                 let em_cfg = EmConfig { k, ..config.em.clone() };
-                let fit = CathyHinEm::fit(&hierarchy.topics[node].network, &em_cfg)?;
+                let fit = CathyHinEm::fit_prepared(&state, &em_cfg)?;
                 for z in 0..k {
                     let subnet =
                         fit.subnetwork(&hierarchy.topics[node].network, z, config.subnet_threshold);

@@ -25,9 +25,9 @@ pub mod hierarchy;
 pub mod select;
 
 pub use cv::{select_k_cv, CvConfig};
-pub use em::{CathyHinEm, EmConfig, EmFit, WeightMode};
+pub use em::{CathyHinEm, EdgeState, EmConfig, EmFit, WeightMode};
 pub use hierarchy::{CathyConfig, HierTopic, TopicHierarchy};
-pub use select::{bic_score, select_k};
+pub use select::{bic_score, select_k, select_k_prepared};
 
 /// Errors produced by hierarchy construction.
 #[derive(Debug, Clone, PartialEq)]

@@ -5,7 +5,7 @@
 //! likelihood of [`crate::em::EmFit`]; `select_k` scans a candidate range
 //! and returns the `k` minimizing the penalized criterion.
 
-use crate::em::{CathyHinEm, EmConfig};
+use crate::em::{CathyHinEm, EdgeState, EmConfig};
 use crate::HierError;
 use lesm_net::TypedNetwork;
 
@@ -35,14 +35,28 @@ pub fn aic_score(loglik: f64, total_nodes: usize, k: usize) -> f64 {
 /// `(best_k, scores)` where `scores[i]` pairs with `k_range` in order.
 ///
 /// Lower scores win. Ties break toward smaller `k` (cheaper browsing).
+///
+/// The network is flattened into an [`EdgeState`] exactly once; every
+/// candidate `k` reuses it.
 pub fn select_k(
     net: &TypedNetwork,
     k_range: std::ops::RangeInclusive<usize>,
     base: &EmConfig,
     criterion: Criterion,
 ) -> Result<(usize, Vec<(usize, f64)>), HierError> {
-    let total_nodes: usize = net.node_counts.iter().sum();
-    let n_links = net.num_links();
+    select_k_prepared(&EdgeState::new(net), k_range, base, criterion)
+}
+
+/// [`select_k`] against a pre-flattened [`EdgeState`] — lets callers that
+/// already hold one (the hierarchy recursion) share it with the final fit.
+pub fn select_k_prepared(
+    state: &EdgeState,
+    k_range: std::ops::RangeInclusive<usize>,
+    base: &EmConfig,
+    criterion: Criterion,
+) -> Result<(usize, Vec<(usize, f64)>), HierError> {
+    let total_nodes = state.total_nodes();
+    let n_links = state.num_links();
     let mut scores = Vec::new();
     let mut best: Option<(usize, f64)> = None;
     for k in k_range {
@@ -50,7 +64,7 @@ pub fn select_k(
             continue;
         }
         let cfg = EmConfig { k, ..base.clone() };
-        let fit = CathyHinEm::fit(net, &cfg)?;
+        let fit = CathyHinEm::fit_prepared(state, &cfg)?;
         let score = match criterion {
             Criterion::Bic => bic_score(fit.loglik, total_nodes, k, n_links),
             Criterion::Aic => aic_score(fit.loglik, total_nodes, k),
@@ -101,6 +115,28 @@ mod tests {
         assert!(
             (2..=4).contains(&k),
             "BIC should land near the true 3 communities, chose {k}: {scores:?}"
+        );
+    }
+
+    /// Acceptance criterion: the whole k-sweep flattens the network
+    /// exactly once (the counter is thread-local, so concurrent tests
+    /// cannot perturb it).
+    #[test]
+    fn select_k_flattens_exactly_once() {
+        let net = three_communities();
+        let base = EmConfig {
+            iters: 40,
+            restarts: 1,
+            background: false,
+            weights: WeightMode::Equal,
+            ..EmConfig::default()
+        };
+        let before = EdgeState::flattens_on_this_thread();
+        let _ = select_k(&net, 2..=5, &base, Criterion::Bic).unwrap();
+        assert_eq!(
+            EdgeState::flattens_on_this_thread() - before,
+            1,
+            "select_k must flatten the network exactly once for the whole sweep"
         );
     }
 

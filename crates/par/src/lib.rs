@@ -60,6 +60,39 @@ pub fn grain_for_pieces(len: usize, pieces: usize) -> usize {
     len.div_ceil(pieces.max(1)).max(1)
 }
 
+/// Reusable chunk-buffer storage for [`par_buffer_reduce_with`].
+///
+/// A chunked reduce needs one private accumulator buffer per chunk;
+/// allocating and freeing those every call dominates the cost of
+/// iteration-level callers (EM runs one reduce per iteration). A scratch
+/// keeps the buffers alive between calls — they are re-zeroed, never
+/// re-allocated, as long as the shape does not grow. The scratch carries
+/// no result state, so reusing one across reduces of different shapes is
+/// always safe and never changes any result bit.
+#[derive(Debug, Default)]
+pub struct ReduceScratch {
+    buffers: Vec<Vec<f64>>,
+}
+
+impl ReduceScratch {
+    /// An empty scratch (buffers are grown on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures `n_chunks` buffers of length `out_len`, all zeroed.
+    fn prepare(&mut self, n_chunks: usize, out_len: usize) -> &mut [Vec<f64>] {
+        if self.buffers.len() < n_chunks {
+            self.buffers.resize_with(n_chunks, Vec::new);
+        }
+        for buf in &mut self.buffers[..n_chunks] {
+            buf.clear();
+            buf.resize(out_len, 0.0);
+        }
+        &mut self.buffers[..n_chunks]
+    }
+}
+
 /// Chunked map-reduce into a flat `f64` accumulator, bit-identical for
 /// any thread count.
 ///
@@ -87,8 +120,33 @@ pub fn par_buffer_reduce<F>(
 where
     F: Fn(Range<usize>, &mut [f64]) + Sync,
 {
+    let mut scratch = ReduceScratch::new();
+    let mut out = vec![0.0; out_len];
+    par_buffer_reduce_with(&mut scratch, n_items, grain, threads, &mut out, fill);
+    out
+}
+
+/// [`par_buffer_reduce`] into a caller-owned accumulator, reusing
+/// `scratch` for the per-chunk buffers.
+///
+/// `out` is zeroed before the fold, so the call computes exactly the same
+/// bits as `par_buffer_reduce(n_items, grain, threads, out.len(), fill)`
+/// — the scratch only removes the per-call allocation of the chunk
+/// buffers (and of `out` itself). Iteration-level hot loops should hold
+/// one scratch and one accumulator for their whole lifetime.
+pub fn par_buffer_reduce_with<F>(
+    scratch: &mut ReduceScratch,
+    n_items: usize,
+    grain: usize,
+    threads: usize,
+    out: &mut [f64],
+    fill: F,
+) where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    let out_len = out.len();
     let chunks = chunk_ranges(n_items, grain);
-    let mut buffers: Vec<Vec<f64>> = chunks.iter().map(|_| vec![0.0; out_len]).collect();
+    let buffers = scratch.prepare(chunks.len(), out_len);
     let requested = effective_threads(threads);
     let threads = requested.min(chunks.len()).max(1);
 
@@ -118,17 +176,17 @@ where
     // Each output element's fold is independent of the others, so wide
     // accumulators can split the element space across threads without
     // changing any element's summation order.
-    let mut out = vec![0.0; out_len];
+    out.fill(0.0);
     let fold_threads = requested.min(out_len / FOLD_PAR_MIN_ELEMENTS).max(1);
     if fold_threads <= 1 || buffers.len() <= 1 {
-        for buf in &buffers {
+        for buf in buffers.iter() {
             for (o, b) in out.iter_mut().zip(buf.iter()) {
                 *o += *b;
             }
         }
     } else {
         let per_thread = out_len.div_ceil(fold_threads);
-        let buffers = &buffers;
+        let buffers = &*buffers;
         std::thread::scope(|scope| {
             for (group_idx, out_group) in out.chunks_mut(per_thread).enumerate() {
                 let base = group_idx * per_thread;
@@ -143,7 +201,6 @@ where
             }
         });
     }
-    out
 }
 
 /// Minimum output elements per fold thread before the left-to-right merge
@@ -329,6 +386,35 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "element {idx}, threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_allocation() {
+        let values = wild_values(777, 3);
+        let fill = |range: Range<usize>, buf: &mut [f64]| {
+            for i in range {
+                buf[i % 5] += values[i];
+            }
+        };
+        let want = par_buffer_reduce(values.len(), 53, 1, 5, fill);
+        let mut scratch = ReduceScratch::new();
+        let mut out = vec![f64::NAN; 5]; // stale contents must be ignored
+        for threads in [1usize, 2, 4] {
+            par_buffer_reduce_with(&mut scratch, values.len(), 53, threads, &mut out, fill);
+            for (a, b) in want.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+        // Reusing the same scratch with a different shape is also exact.
+        let sum_fill = |range: Range<usize>, buf: &mut [f64]| {
+            for i in range {
+                buf[0] += values[i];
+            }
+        };
+        let want1 = par_buffer_reduce(values.len(), 97, 1, 1, sum_fill);
+        let mut out1 = vec![f64::NAN; 1];
+        par_buffer_reduce_with(&mut scratch, values.len(), 97, 3, &mut out1, sum_fill);
+        assert_eq!(want1[0].to_bits(), out1[0].to_bits());
     }
 
     #[test]

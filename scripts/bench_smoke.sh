@@ -12,9 +12,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_par.json}"
-# cargo runs bench binaries from the package dir, so the JSON path must be
+em_out="${2:-BENCH_em_core.json}"
+# cargo runs bench binaries from the package dir, so the JSON paths must be
 # absolute for all records to land in one file.
 case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
+case "$em_out" in /*) ;; *) em_out="$PWD/$em_out" ;; esac
 : > "$out"
 export LESM_BENCH_FAST=1
 export LESM_BENCH_JSON="$out"
@@ -24,3 +26,16 @@ cargo bench -p lesm-bench --bench bench_strod -- t3_accumulate
 cargo bench -p lesm-bench --bench bench_strod -- power_threads
 
 echo "wrote $(wc -l < "$out") bench records to $out"
+
+# EM-core trajectory: the single-thread fit plus the shared-EdgeState
+# k-sweep (the flat-arena rewrite's headline numbers). Full sampling, not
+# fast mode: these medians are compared across PRs, and 3-sample medians
+# are too fragile against host-level noise bursts.
+: > "$em_out"
+export LESM_BENCH_JSON="$em_out"
+unset LESM_BENCH_FAST
+
+cargo bench -p lesm-bench --bench bench_em -- fit_threads
+cargo bench -p lesm-bench --bench bench_em -- fit_k
+
+echo "wrote $(wc -l < "$em_out") bench records to $em_out"
