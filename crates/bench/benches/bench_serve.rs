@@ -1,0 +1,81 @@
+//! Criterion micro-benches for the serving subsystem: cold snapshot-load
+//! time and end-to-end query latency over HTTP, cached vs uncached (the
+//! DESIGN.md §9 numbers collected by `scripts/bench_smoke.sh` into
+//! `BENCH_serve.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lesm_bench::datasets::dblp_small;
+use lesm_core::pipeline::{LatentStructureMiner, MinerConfig};
+use lesm_serve::server::{Server, ServerConfig};
+use lesm_serve::{load_snapshot, save_snapshot, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn snapshot_bytes() -> Vec<u8> {
+    let papers = dblp_small(400, 7);
+    let mut config = MinerConfig::default();
+    config.hierarchy.max_depth = 1;
+    config.phrase_min_support = 2;
+    let mined = LatentStructureMiner::mine(&papers.corpus, &config).expect("mine");
+    save_snapshot(&papers.corpus, &mined)
+}
+
+fn start_server(bytes: &[u8], cache_capacity: usize) -> ServerHandle {
+    let snap = load_snapshot(bytes).expect("load");
+    let config = ServerConfig { workers: 2, cache_capacity, ..ServerConfig::default() };
+    Server::start(snap, config).expect("bind")
+}
+
+fn get(addr: SocketAddr, target: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    raw
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let bytes = snapshot_bytes();
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    // Cold start: parse + checksum + rebuild the full structure.
+    group.bench_function("snapshot_load_cold", |b| {
+        b.iter(|| load_snapshot(&bytes).expect("load"));
+    });
+
+    // Uncached query latency: cache disabled, every request re-renders.
+    // `/hierarchy` is the heaviest endpoint (full JSON export), so the
+    // cached-vs-uncached gap is visible above the TCP round-trip cost;
+    // `/search` is also measured as the common-case cheap query.
+    {
+        let handle = start_server(&bytes, 0);
+        let addr = handle.addr();
+        group.bench_function("query_hierarchy_uncached", |b| {
+            b.iter(|| get(addr, "/hierarchy"));
+        });
+        group.bench_function("query_search_uncached", |b| {
+            b.iter(|| get(addr, "/search?q=model&top=10"));
+        });
+        handle.shutdown();
+    }
+
+    // Cached query latency: same requests, answered from the LRU shard.
+    {
+        let handle = start_server(&bytes, 1024);
+        let addr = handle.addr();
+        let _warm = (get(addr, "/hierarchy"), get(addr, "/search?q=model&top=10"));
+        group.bench_function("query_hierarchy_cached", |b| {
+            b.iter(|| get(addr, "/hierarchy"));
+        });
+        group.bench_function("query_search_cached", |b| {
+            b.iter(|| get(addr, "/search?q=model&top=10"));
+        });
+        handle.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -6,7 +6,13 @@
 //!   as TSV (for demos and smoke tests);
 //! * `lesm mine <corpus.tsv> [--k K --depth D]` — mine a topical
 //!   hierarchy and print it as JSON;
-//! * `lesm search <corpus.tsv> <query…>` — topic-aware document search;
+//! * `lesm snapshot <corpus.tsv> <out.lesm>` — mine once and persist the
+//!   structure as a binary snapshot artifact;
+//! * `lesm serve <snapshot.lesm> --addr HOST:PORT --workers N` — serve
+//!   `/search`, `/topics/{id}` and `/hierarchy` from a snapshot;
+//! * `lesm search <corpus.tsv | snapshot.lesm> <query…>` — topic-aware
+//!   document search (snapshot inputs, detected by magic bytes, skip
+//!   re-mining entirely);
 //! * `lesm advisors <corpus.tsv>` — TPFG advisor–advisee mining over the
 //!   corpus' author/year structure, rendered as an advising forest.
 //!
@@ -14,7 +20,7 @@
 //! dependency); all logic lives here so it is unit-testable, and
 //! `main.rs` stays a thin shell.
 
-use lesm_core::pipeline::{LatentStructureMiner, MinerConfig};
+use lesm_core::pipeline::{LatentStructureMiner, MinedStructure, MinerConfig};
 use lesm_corpus::synth::GenPaper;
 use lesm_corpus::{Corpus, LoadOptions};
 use lesm_hier::em::{EmConfig, WeightMode};
@@ -46,9 +52,37 @@ pub enum Command {
         /// EM early-exit tolerance (`0` = run every iteration).
         em_tol: f64,
     },
-    /// Topic-aware search.
-    Search {
+    /// Mine a hierarchy and persist it as a binary snapshot.
+    Snapshot {
         /// Input TSV path.
+        input: String,
+        /// Output `.lesm` artifact path.
+        output: String,
+        /// Children per topic.
+        k: usize,
+        /// Hierarchy depth.
+        depth: usize,
+        /// Worker threads (`0` = all available cores).
+        threads: usize,
+        /// EM early-exit tolerance (`0` = run every iteration).
+        em_tol: f64,
+    },
+    /// Serve queries from a snapshot artifact.
+    Serve {
+        /// Input `.lesm` snapshot path.
+        snapshot: String,
+        /// Bind address (`HOST:PORT`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Worker-thread count.
+        workers: usize,
+        /// Response-cache capacity in entries (0 disables caching).
+        cache: usize,
+        /// Optional signal file; the server shuts down once it exists.
+        shutdown_file: Option<String>,
+    },
+    /// Topic-aware search (TSV corpus or `.lesm` snapshot input).
+    Search {
+        /// Input TSV or snapshot path.
         input: String,
         /// Query text.
         query: String,
@@ -104,6 +138,50 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Mine { input, k, depth, threads, em_tol })
         }
+        "snapshot" => {
+            let input = it.next().ok_or("snapshot needs an input path")?.clone();
+            let output = it.next().ok_or("snapshot needs an output path")?.clone();
+            let mut k = 4usize;
+            let mut depth = 2usize;
+            let mut threads = 0usize;
+            let mut em_tol = 0.0f64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--k" => k = next_value(&mut it, flag)?,
+                    "--depth" => depth = next_value(&mut it, flag)?,
+                    "--threads" => threads = next_value(&mut it, flag)?,
+                    "--em-tol" => em_tol = next_value(&mut it, flag)?,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if k == 0 || depth == 0 {
+                return Err("--k and --depth must be positive".into());
+            }
+            if em_tol < 0.0 || !em_tol.is_finite() {
+                return Err("--em-tol must be a finite non-negative number".into());
+            }
+            Ok(Command::Snapshot { input, output, k, depth, threads, em_tol })
+        }
+        "serve" => {
+            let snapshot = it.next().ok_or("serve needs a snapshot path")?.clone();
+            let mut addr = "127.0.0.1:7878".to_string();
+            let mut workers = 4usize;
+            let mut cache = 1024usize;
+            let mut shutdown_file = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--addr" => addr = next_value(&mut it, flag)?,
+                    "--workers" => workers = next_value(&mut it, flag)?,
+                    "--cache" => cache = next_value(&mut it, flag)?,
+                    "--shutdown-file" => shutdown_file = Some(next_value(&mut it, flag)?),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if workers == 0 {
+                return Err("--workers must be positive".into());
+            }
+            Ok(Command::Serve { snapshot, addr, workers, cache, shutdown_file })
+        }
         "search" => {
             let input = it.next().ok_or("search needs an input path")?.clone();
             let query: Vec<String> = it.cloned().collect();
@@ -139,13 +217,22 @@ USAGE:
   lesm synth [--docs N] [--seed S]        emit a synthetic corpus as TSV
   lesm mine <corpus.tsv> [--k K] [--depth D] [--threads T] [--em-tol TOL]
                                           mine a hierarchy, print JSON
-  lesm search <corpus.tsv> <query...>     topic-aware document search
+  lesm snapshot <corpus.tsv> <out.lesm> [--k K] [--depth D] [--threads T] [--em-tol TOL]
+                                          mine once, save a binary snapshot
+  lesm serve <snapshot.lesm> [--addr HOST:PORT] [--workers N] [--cache N]
+             [--shutdown-file PATH]       serve queries from a snapshot
+  lesm search <corpus.tsv | snapshot.lesm> <query...>
+                                          topic-aware document search
   lesm advisors <corpus.tsv>              mine advisor-advisee relations
 
 `--threads 0` (the default) uses every available core; any thread count
 produces identical output. `--em-tol` stops each EM run once the relative
 objective improvement drops below TOL (0, the default, always runs the
-full iteration budget).
+full iteration budget). `search` detects snapshot inputs by their magic
+bytes and answers from the persisted structure without re-mining. The
+server exposes GET /search?q=...&top=N, /topics/{id}, /hierarchy,
+/healthz and /metrics, and shuts down gracefully once the
+`--shutdown-file` path exists.
 
 TSV format (one doc per line):
   title text<TAB>etype=name|etype=name<TAB>year
@@ -189,22 +276,57 @@ pub fn run_mine(
     Ok(lesm_core::export::hierarchy_to_json(corpus, &mined, 10))
 }
 
-/// Runs `search`; returns rendered result lines.
+/// Renders the top-10 search hits for `query` against an already-mined
+/// structure (shared by the TSV path, the snapshot path, and the server).
+pub fn search_lines(corpus: &Corpus, mined: &MinedStructure, query: &str) -> Vec<String> {
+    let hits = lesm_core::search::search(corpus, mined, query, 10);
+    lesm_core::search::render_hits(corpus, mined, &hits)
+}
+
+/// Runs `search` on a TSV corpus (mines first); returns rendered lines.
 pub fn run_search(corpus: &Corpus, query: &str, k: usize, depth: usize) -> Result<Vec<String>, String> {
     let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth, 0, 0.0))
         .map_err(|e| e.to_string())?;
-    Ok(lesm_core::search::search(corpus, &mined, query, 10)
-        .into_iter()
-        .map(|hit| {
-            format!(
-                "doc {:>5}  score {:.3}  topic {}  {}",
-                hit.doc,
-                hit.score,
-                mined.hierarchy.topics[hit.topic].path,
-                corpus.render_doc(hit.doc)
-            )
-        })
-        .collect())
+    Ok(search_lines(corpus, &mined, query))
+}
+
+/// Runs `search` on either input kind: `.lesm` snapshots (detected by
+/// magic bytes) answer from the persisted structure without re-mining;
+/// anything else is loaded as TSV and mined with the default CLI config.
+pub fn run_search_input(
+    input: &str,
+    query: &str,
+    k: usize,
+    depth: usize,
+) -> Result<Vec<String>, String> {
+    if lesm_serve::is_snapshot_file(input) {
+        let snapshot = lesm_serve::load_snapshot_file(input).map_err(|e| e.to_string())?;
+        Ok(search_lines(&snapshot.corpus, &snapshot.mined, query))
+    } else {
+        let corpus = load_corpus(input)?;
+        run_search(&corpus, query, k, depth)
+    }
+}
+
+/// Runs `snapshot`: mines `corpus` with the default CLI config and writes
+/// the binary artifact to `output`. Returns a human-readable summary.
+pub fn run_snapshot(
+    corpus: &Corpus,
+    output: &str,
+    k: usize,
+    depth: usize,
+    threads: usize,
+    em_tol: f64,
+) -> Result<String, String> {
+    let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth, threads, em_tol))
+        .map_err(|e| e.to_string())?;
+    lesm_serve::save_snapshot_file(output, corpus, &mined).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "wrote {output}: {} topics, {} docs, {bytes} bytes",
+        mined.hierarchy.len(),
+        corpus.num_docs()
+    ))
 }
 
 /// Converts a corpus with author links and years into TPFG paper records.

@@ -39,9 +39,28 @@ fn run(command: Command) -> Result<(), String> {
             print!("{json}");
             Ok(())
         }
-        Command::Search { input, query } => {
+        Command::Snapshot { input, output, k, depth, threads, em_tol } => {
             let corpus = lesm_cli::load_corpus(&input)?;
-            for line in lesm_cli::run_search(&corpus, &query, 4, 1)? {
+            let summary = lesm_cli::run_snapshot(&corpus, &output, k, depth, threads, em_tol)?;
+            println!("{summary}");
+            Ok(())
+        }
+        Command::Serve { snapshot, addr, workers, cache, shutdown_file } => {
+            let snap = lesm_serve::load_snapshot_file(&snapshot).map_err(|e| e.to_string())?;
+            let config = lesm_serve::ServerConfig {
+                addr,
+                workers,
+                cache_capacity: cache,
+                shutdown_file: shutdown_file.map(std::path::PathBuf::from),
+                ..lesm_serve::ServerConfig::default()
+            };
+            let handle = lesm_serve::Server::start(snap, config).map_err(|e| e.to_string())?;
+            println!("listening on http://{}", handle.addr());
+            handle.join();
+            Ok(())
+        }
+        Command::Search { input, query } => {
+            for line in lesm_cli::run_search_input(&input, &query, 4, 1)? {
                 println!("{line}");
             }
             Ok(())

@@ -99,13 +99,20 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
-/// Formats a finite float as a JSON number (`null` for non-finite values).
+/// Formats a float as a valid JSON value: finite values as fixed-point
+/// numbers, non-finite values (`NaN`, `±inf` — which have no JSON
+/// representation) as `null`, and negative zero normalized to `0.000000`
+/// (RFC 8259 allows `-0`, but emitting one canonical zero keeps exports
+/// byte-stable across platforms and sign-of-zero arithmetic quirks).
 pub fn json_number(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:.6}")
-    } else {
-        "null".into()
+    if !x.is_finite() {
+        return "null".into();
     }
+    if x == 0.0 {
+        // Covers both +0.0 and -0.0.
+        return format!("{:.6}", 0.0);
+    }
+    format!("{x:.6}")
 }
 
 /// A minimal structural well-formedness check used by tests and callers
@@ -155,6 +162,16 @@ mod tests {
         assert_eq!(json_number(1.5), "1.500000");
         assert_eq!(json_number(f64::NAN), "null");
         assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_number(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn negative_zero_is_normalized() {
+        assert_eq!(json_number(-0.0), "0.000000");
+        assert_eq!(json_number(0.0), "0.000000");
+        // A tiny negative value rounds to -0.000000 in fixed-point; that is
+        // still valid JSON (leading minus, digits), so it passes through.
+        assert_eq!(json_number(-1e-12), "-0.000000");
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct SearchHit {
 ///
 /// A topic's relevance is the summed topical frequency of query tokens
 /// among its ranked phrases, normalized by the topic's total phrase mass.
+///
+/// Ordering is total and deterministic: descending score, with exact
+/// score ties broken by ascending topic id (so truncation to `top_n`
+/// never depends on iteration order or float quirks).
 pub fn rank_topics(mined: &MinedStructure, query: &[u32], top_n: usize) -> Vec<(usize, f64)> {
     let mut scored: Vec<(usize, f64)> = (0..mined.hierarchy.len())
         .map(|t| {
@@ -54,6 +58,9 @@ pub fn rank_topics(mined: &MinedStructure, query: &[u32], top_n: usize) -> Vec<(
 /// fraction of query tokens present in the document and `topical` is the
 /// document's membership in the best query topic (so on-topic documents
 /// rank above off-topic documents with the same literal overlap).
+///
+/// Like [`rank_topics`], the result order is total and deterministic:
+/// descending score with exact ties broken by ascending document id.
 pub fn search(
     corpus: &Corpus,
     mined: &MinedStructure,
@@ -92,6 +99,25 @@ pub fn search(
     hits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("non-NaN").then_with(|| a.doc.cmp(&b.doc)));
     hits.truncate(top_n);
     hits
+}
+
+/// Renders search hits as the canonical one-line-per-hit text output.
+///
+/// This is the single formatting point shared by `lesm search` and the
+/// `lesm-serve` `/search` endpoint, so server responses are byte-identical
+/// to offline CLI output.
+pub fn render_hits(corpus: &Corpus, mined: &MinedStructure, hits: &[SearchHit]) -> Vec<String> {
+    hits.iter()
+        .map(|hit| {
+            format!(
+                "doc {:>5}  score {:.3}  topic {}  {}",
+                hit.doc,
+                hit.score,
+                mined.hierarchy.topics[hit.topic].path,
+                corpus.render_doc(hit.doc)
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -165,6 +191,92 @@ mod tests {
         let (papers, m) = mined();
         assert!(search(&papers.corpus, &m, "zzzz-not-a-word", 10).is_empty());
         assert!(search(&papers.corpus, &m, "", 10).is_empty());
+    }
+
+    /// A hand-built corpus + structure where scores tie *exactly*: four
+    /// identical docs, three topics with identical phrase tables.
+    fn tied_structure() -> (lesm_corpus::Corpus, MinedStructure) {
+        use lesm_hier::hierarchy::HierTopic;
+        use lesm_hier::TopicHierarchy;
+        use lesm_net::TypedNetwork;
+        use std::collections::HashMap;
+
+        let mut corpus = lesm_corpus::Corpus::new();
+        for _ in 0..4 {
+            corpus.push_text("alpha");
+        }
+        let alpha = corpus.vocab.get("alpha").unwrap();
+        let topic = |parent, level, path: &str, children: Vec<usize>| HierTopic {
+            parent,
+            children,
+            level,
+            path: path.into(),
+            phi: vec![vec![1.0]],
+            rho: 1.0,
+            network: TypedNetwork::new(vec!["term".into()], vec![1]),
+        };
+        let hierarchy = TopicHierarchy {
+            type_names: vec!["term".into()],
+            topics: vec![
+                topic(None, 0, "o", vec![1, 2]),
+                topic(Some(0), 1, "o/1", vec![]),
+                topic(Some(0), 1, "o/2", vec![]),
+            ],
+            fits: vec![None, None, None],
+            alphas: vec![None, None, None],
+        };
+        let table: HashMap<Vec<u32>, f64> = [(vec![alpha], 2.0)].into_iter().collect();
+        let mined = MinedStructure {
+            hierarchy,
+            topic_phrases: vec![vec![]; 3],
+            topic_entities: vec![vec![]; 3],
+            phrase_topic_freq: vec![table.clone(), table.clone(), table],
+            segments: vec![vec![]; 4],
+            doc_topic: vec![vec![1.0, 0.5, 0.5]; 4],
+        };
+        (corpus, mined)
+    }
+
+    #[test]
+    fn rank_topics_breaks_exact_score_ties_by_ascending_topic_id() {
+        let (corpus, mined) = tied_structure();
+        let alpha = corpus.vocab.get("alpha").unwrap();
+        let ranked = rank_topics(&mined, &[alpha], 10);
+        // All three topics score exactly 1.0; the pinned order is by id.
+        assert_eq!(ranked.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(ranked.windows(2).all(|w| w[0].1 == w[1].1), "scores should tie exactly");
+        // Truncation under a tie is deterministic too: lowest ids survive.
+        assert_eq!(
+            rank_topics(&mined, &[alpha], 2).iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn search_breaks_exact_score_ties_by_ascending_doc_id() {
+        let (corpus, mined) = tied_structure();
+        let hits = search(&corpus, &mined, "alpha", 10);
+        assert_eq!(hits.iter().map(|h| h.doc).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(hits.windows(2).all(|w| w[0].score == w[1].score), "scores should tie exactly");
+        // Truncation keeps the lowest doc ids.
+        assert_eq!(
+            search(&corpus, &mined, "alpha", 2).iter().map(|h| h.doc).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        // A strictly better doc still outranks the tied block.
+        let (corpus, mut mined) = tied_structure();
+        mined.doc_topic[2][1] = 0.9;
+        let hits = search(&corpus, &mined, "alpha", 10);
+        assert_eq!(hits.iter().map(|h| h.doc).collect::<Vec<_>>(), vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn render_hits_formats_one_line_per_hit() {
+        let (corpus, mined) = tied_structure();
+        let hits = search(&corpus, &mined, "alpha", 2);
+        let lines = render_hits(&corpus, &mined, &hits);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "doc     0  score 1.500  topic o/1  alpha");
     }
 
     #[test]

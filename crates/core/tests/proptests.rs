@@ -1,0 +1,128 @@
+//! Property tests for the JSON export: structural well-formedness and
+//! escaping must hold for *any* vocabulary content (quotes, backslashes,
+//! control characters, braces) and any score bit pattern (including NaN
+//! and infinities), not just the tame synthetic corpora.
+
+use lesm_core::export::{hierarchy_to_json, is_balanced_json, json_number, json_string};
+use lesm_core::pipeline::MinedStructure;
+use lesm_corpus::Corpus;
+use lesm_hier::hierarchy::HierTopic;
+use lesm_hier::TopicHierarchy;
+use lesm_net::TypedNetwork;
+use lesm_phrases::TopicalPhrase;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Builds a two-topic structure whose phrases are single tokens over the
+/// given vocabulary and whose scores come from raw `f64` bit patterns.
+fn synthetic_structure(
+    words: &[String],
+    entity_names: &[String],
+    score_bits: &[u64],
+) -> (Corpus, MinedStructure) {
+    let mut corpus = Corpus::new();
+    let etype = corpus.entities.add_type(entity_names.first().map(String::as_str).unwrap_or("t"));
+    let mut ids = Vec::new();
+    for w in words {
+        ids.push(corpus.vocab.intern(w));
+    }
+    for name in entity_names {
+        corpus.entities.intern(etype, name).unwrap();
+    }
+    let score = |i: usize| f64::from_bits(score_bits[i % score_bits.len()]);
+    let topic = |parent, level, path: &str, children: Vec<usize>| HierTopic {
+        parent,
+        children,
+        level,
+        path: path.into(),
+        phi: vec![vec![1.0]],
+        rho: score(0),
+        network: TypedNetwork::new(vec![], vec![]),
+    };
+    let hierarchy = TopicHierarchy {
+        type_names: vec![],
+        topics: vec![topic(None, 0, "o", vec![1]), topic(Some(0), 1, "o/1", vec![])],
+        fits: vec![None, None],
+        alphas: vec![None, None],
+    };
+    let phrases: Vec<TopicalPhrase> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| TopicalPhrase {
+            tokens: vec![id],
+            score: score(i),
+            topic_freq: score(i + 1),
+        })
+        .collect();
+    let entities: Vec<(u32, f64)> = (0..entity_names.len() as u32).map(|i| (i, score(i as usize))).collect();
+    let mined = MinedStructure {
+        hierarchy,
+        topic_phrases: vec![phrases.clone(), phrases],
+        topic_entities: vec![vec![entities.clone()], vec![entities]],
+        phrase_topic_freq: vec![HashMap::new(), HashMap::new()],
+        segments: vec![],
+        doc_topic: vec![],
+    };
+    (corpus, mined)
+}
+
+// The character class deliberately mixes lowercase letters with JSON
+// metacharacters (quote, backslash, braces, brackets-by-way-of-braces),
+// whitespace escapes, and raw C0 control characters \u{0}-\u{8}.
+const NASTY: &str = "[a-z\"\\\u{0}-\u{8}{}\n\t ]{1,8}";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn export_is_balanced_for_any_vocab_and_scores(
+        words in vec(NASTY, 1..6),
+        entity_names in vec(NASTY, 1..4),
+        score_bits in vec(0u64..=u64::MAX, 1..6),
+    ) {
+        let (corpus, mined) = synthetic_structure(&words, &entity_names, &score_bits);
+        let json = hierarchy_to_json(&corpus, &mined, 10);
+        prop_assert!(is_balanced_json(&json), "unbalanced JSON:\n{json}");
+    }
+
+    #[test]
+    fn export_escapes_every_vocab_term(
+        words in vec(NASTY, 1..6),
+        entity_names in vec(NASTY, 1..4),
+    ) {
+        let (corpus, mined) = synthetic_structure(&words, &entity_names, &[1.0f64.to_bits()]);
+        let json = hierarchy_to_json(&corpus, &mined, 10);
+        // Every interned word renders as a single-token phrase, so its
+        // RFC 8259 escaping must appear verbatim; same for entity names
+        // and the entity type name.
+        for w in &words {
+            prop_assert!(
+                json.contains(&json_string(w)),
+                "escaped term {:?} missing from export",
+                w
+            );
+        }
+        for name in &entity_names {
+            prop_assert!(json.contains(&json_string(name)));
+        }
+        // Raw (unescaped) quotes or control characters must never leak:
+        // scan string interiors for un-escaped C0 bytes.
+        prop_assert!(!json.chars().any(|c| (c as u32) < 0x20 && c != '\n'),
+            "raw control character leaked into export");
+    }
+
+    #[test]
+    fn json_number_is_always_valid_json(bits in 0u64..=u64::MAX) {
+        let rendered = json_number(f64::from_bits(bits));
+        // Must be `null` or a fixed-point decimal with optional sign.
+        if rendered != "null" {
+            let rest = rendered.strip_prefix('-').unwrap_or(&rendered);
+            prop_assert!(
+                rest.chars().all(|c| c.is_ascii_digit() || c == '.'),
+                "json_number produced {rendered:?}"
+            );
+            prop_assert!(rest.contains('.'));
+        }
+    }
+}

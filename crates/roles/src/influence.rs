@@ -69,10 +69,15 @@ pub fn topical_influence(
     if act_total <= 0.0 {
         return Vec::new();
     }
+    // Fix the edge order before the power iteration: HashMap iteration
+    // order varies per process, and float accumulation is order-sensitive,
+    // so near-tied ranks would otherwise flip between runs.
+    let mut edges: Vec<((u32, u32), f64)> = edges.into_iter().collect();
+    edges.sort_unstable_by_key(|&(key, _)| key);
     let teleport: Vec<f64> = activity.iter().map(|&a| a / act_total).collect();
     // Out-weights for the normalized walk.
     let mut out_weight = vec![0.0f64; n];
-    for (&(a, b), &w) in &edges {
+    for &((a, b), w) in &edges {
         out_weight[a as usize] += w;
         out_weight[b as usize] += w;
     }
@@ -88,7 +93,7 @@ pub fn topical_influence(
                 dangling += r;
             }
         }
-        for (&(a, b), &w) in &edges {
+        for &((a, b), w) in &edges {
             let (a, b) = (a as usize, b as usize);
             if out_weight[a] > 0.0 {
                 next[b] += config.damping * rank[a] * w / out_weight[a];

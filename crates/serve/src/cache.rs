@@ -1,0 +1,178 @@
+//! Sharded LRU response cache.
+//!
+//! Keys are hashed to one of `N` shards; each shard is an independent
+//! LRU behind its own `std::sync::Mutex` (no `parking_lot` in this
+//! offline workspace — short critical sections plus sharding fill the
+//! same role of keeping contention negligible). Recency is tracked with
+//! a monotonically increasing per-shard tick; eviction scans for the
+//! minimum tick, which is O(shard capacity) but shards are small and
+//! eviction is off the common hit path.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+struct Shard<V> {
+    map: HashMap<String, (u64, Arc<V>)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<V> Shard<V> {
+    fn get(&mut self, key: &str) -> Option<Arc<V>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            Arc::clone(&slot.1)
+        })
+    }
+
+    fn put(&mut self, key: String, value: Arc<V>) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+}
+
+/// A thread-safe string-keyed LRU cache split into lock shards.
+///
+/// `capacity == 0` disables caching entirely (`get` always misses, `put`
+/// is a no-op) — used by benchmarks to measure uncached latency.
+pub struct ShardedLruCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+}
+
+impl<V> ShardedLruCache<V> {
+    /// A cache holding at most `capacity` entries across `shards` shards.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                        capacity: per_shard,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard<V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<V>> {
+        if self.is_disabled() {
+            return None;
+        }
+        self.shard(key).lock().expect("cache shard poisoned").get(key)
+    }
+
+    /// Inserts `key`, evicting the shard's least recently used entry when
+    /// the shard is full.
+    pub fn put(&self, key: String, value: Arc<V>) {
+        if self.is_disabled() {
+            return;
+        }
+        self.shard(&key).lock().expect("cache shard poisoned").put(key, value);
+    }
+
+    /// Total entries currently cached (for tests and metrics).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn is_disabled(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.lock().expect("cache shard poisoned").capacity == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put_miss_before() {
+        let cache: ShardedLruCache<String> = ShardedLruCache::new(8, 2);
+        assert!(cache.get("a").is_none());
+        cache.put("a".into(), Arc::new("va".into()));
+        assert_eq!(cache.get("a").as_deref(), Some(&"va".to_string()));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_a_shard() {
+        // One shard so the eviction order is fully observable.
+        let cache: ShardedLruCache<u32> = ShardedLruCache::new(2, 1);
+        cache.put("a".into(), Arc::new(1));
+        cache.put("b".into(), Arc::new(2));
+        assert!(cache.get("a").is_some()); // refresh "a"; "b" is now LRU
+        cache.put("c".into(), Arc::new(3));
+        assert!(cache.get("b").is_none(), "b should have been evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache: ShardedLruCache<u32> = ShardedLruCache::new(0, 4);
+        cache.put("a".into(), Arc::new(1));
+        assert!(cache.get("a").is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn updating_an_existing_key_does_not_evict() {
+        let cache: ShardedLruCache<u32> = ShardedLruCache::new(2, 1);
+        cache.put("a".into(), Arc::new(1));
+        cache.put("b".into(), Arc::new(2));
+        cache.put("a".into(), Arc::new(10));
+        assert_eq!(cache.get("a").as_deref(), Some(&10));
+        assert_eq!(cache.get("b").as_deref(), Some(&2));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache: Arc<ShardedLruCache<usize>> = Arc::new(ShardedLruCache::new(64, 8));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("k{}", (t * 31 + i) % 50);
+                        cache.put(key.clone(), Arc::new(i));
+                        let _ = cache.get(&key);
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 64);
+    }
+}

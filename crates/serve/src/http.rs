@@ -1,0 +1,263 @@
+//! Minimal HTTP/1.1 request parsing and response writing.
+//!
+//! Hand-rolled over `std::io` in the same spirit as the workspace's
+//! vendored stand-ins — the request line and headers are parsed with
+//! explicit size caps, bodies are ignored (every endpoint is `GET`), and
+//! responses always close the connection (`Connection: close`), which
+//! keeps the worker-pool accounting trivial.
+
+use std::io::{BufRead, Write};
+
+/// Cap on the request line plus all header lines, in bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on the number of header lines.
+const MAX_HEADERS: usize = 100;
+
+/// A parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, e.g. `GET`.
+    pub method: String,
+    /// Decoded path component, e.g. `/topics/3`.
+    pub path: String,
+    /// Raw query string (no leading `?`; empty when absent).
+    pub raw_query: String,
+}
+
+impl Request {
+    /// The request target as received (path plus `?query` when present) —
+    /// the response-cache key.
+    pub fn target(&self) -> String {
+        if self.raw_query.is_empty() {
+            self.path.clone()
+        } else {
+            format!("{}?{}", self.path, self.raw_query)
+        }
+    }
+
+    /// Decoded value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        self.raw_query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(k) == name).then(|| percent_decode(v))
+        })
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpParseError {
+    /// The peer closed or timed out before a full head arrived.
+    Incomplete,
+    /// The request line was not `METHOD TARGET HTTP/1.x`.
+    BadRequestLine(String),
+    /// The head exceeded [`MAX_HEAD_BYTES`] or [`MAX_HEADERS`].
+    TooLarge,
+}
+
+impl std::fmt::Display for HttpParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpParseError::Incomplete => write!(f, "connection closed mid-request"),
+            HttpParseError::BadRequestLine(line) => write!(f, "bad request line {line:?}"),
+            HttpParseError::TooLarge => write!(f, "request head too large"),
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+` (space) in a URL component. Invalid
+/// escapes are kept literally; invalid UTF-8 is replaced.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Reads and parses one request head from `reader`.
+pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpParseError> {
+    let mut head_bytes = 0usize;
+    let mut line = String::new();
+    if read_line(reader, &mut line, &mut head_bytes)? == 0 {
+        return Err(HttpParseError::Incomplete);
+    }
+    let request_line = line.trim_end_matches(['\r', '\n']).to_string();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && v.starts_with("HTTP/1.") => {
+            (m.to_string(), t.to_string(), v)
+        }
+        _ => return Err(HttpParseError::BadRequestLine(request_line)),
+    };
+    let _ = version;
+    // Drain headers up to the blank line; contents are irrelevant to the
+    // fixed GET endpoints but must be consumed for well-formed clients.
+    for _ in 0..MAX_HEADERS {
+        line.clear();
+        if read_line(reader, &mut line, &mut head_bytes)? == 0 {
+            return Err(HttpParseError::Incomplete);
+        }
+        if line == "\r\n" || line == "\n" {
+            let (raw_path, raw_query) =
+                target.split_once('?').unwrap_or((target.as_str(), ""));
+            return Ok(Request {
+                method,
+                path: percent_decode(raw_path),
+                raw_query: raw_query.to_string(),
+            });
+        }
+    }
+    Err(HttpParseError::TooLarge)
+}
+
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    line: &mut String,
+    head_bytes: &mut usize,
+) -> Result<usize, HttpParseError> {
+    let n = reader.read_line(line).map_err(|_| HttpParseError::Incomplete)?;
+    *head_bytes += n;
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(HttpParseError::TooLarge);
+    }
+    Ok(n)
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 with a `text/plain` body.
+    pub fn ok(body: impl Into<Vec<u8>>) -> Self {
+        Self { status: 200, content_type: "text/plain; charset=utf-8", body: body.into() }
+    }
+
+    /// A 200 with an `application/json` body.
+    pub fn json(body: impl Into<Vec<u8>>) -> Self {
+        Self { status: 200, content_type: "application/json", body: body.into() }
+    }
+
+    /// An error response with a plain-text message body.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{message}\n").into_bytes(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serializes status line, headers, and body to `writer`.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, HttpParseError> {
+        parse_request(&mut raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_request_line_and_query() {
+        let req = parse("GET /search?q=query+processing&top=5 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.query_param("q").as_deref(), Some("query processing"));
+        assert_eq!(req.query_param("top").as_deref(), Some("5"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.target(), "/search?q=query+processing&top=5");
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b%2Fc"), "a b/c");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("100%"), "100%"); // invalid escape kept
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert!(matches!(parse(""), Err(HttpParseError::Incomplete)));
+        assert!(matches!(
+            parse("GARBAGE\r\n\r\n"),
+            Err(HttpParseError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nHost: x\r\n"), // missing blank line
+            Err(HttpParseError::Incomplete)
+        ));
+        let huge = format!("GET /x HTTP/1.1\r\n{}\r\n", "A: b\r\n".repeat(200));
+        assert!(matches!(parse(&huge), Err(HttpParseError::TooLarge)));
+    }
+
+    #[test]
+    fn response_serialization_includes_length_and_close() {
+        let mut out = Vec::new();
+        Response::ok("body\n").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nbody\n"));
+        let mut err = Vec::new();
+        Response::error(404, "no such topic").write_to(&mut err).unwrap();
+        assert!(String::from_utf8(err).unwrap().starts_with("HTTP/1.1 404 Not Found\r\n"));
+    }
+}

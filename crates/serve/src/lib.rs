@@ -1,0 +1,140 @@
+//! `lesm-serve` — the mine-once / serve-many subsystem (ROADMAP north
+//! star: production-scale query serving over mined latent structures).
+//!
+//! Two layers:
+//!
+//! 1. **Snapshot store** ([`snapshot`]): a versioned binary artifact
+//!    format (`.lesm`) persisting a [`lesm_core::MinedStructure`] plus the
+//!    query-time slice of the corpus, with a checksummed, sectioned,
+//!    length-prefixed layout and typed load errors. `load(save(m))` is
+//!    bit-identical to `m`.
+//! 2. **Query server** ([`server`]): a dependency-free `std::net`
+//!    HTTP/1.1 server with a fixed worker thread pool over `std::sync::mpsc`
+//!    channels, a sharded LRU response cache behind `std::sync::Mutex`
+//!    shards (the workspace has no `parking_lot`; the sharding keeps lock
+//!    hold times short instead), per-endpoint request/latency/cache
+//!    counters at `GET /metrics`, `GET /healthz`, graceful shutdown via an
+//!    in-process flag or a signal file, and per-connection read/write
+//!    timeouts so a slow client cannot wedge a worker.
+//!
+//! Serving is deterministic: every endpoint's response is byte-identical
+//! to the offline CLI output for the same snapshot, for any worker count.
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod snapshot;
+pub mod wire;
+
+pub use cache::ShardedLruCache;
+pub use metrics::Metrics;
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use snapshot::{
+    is_snapshot_bytes, is_snapshot_file, load_snapshot, load_snapshot_file, save_snapshot,
+    save_snapshot_file, Snapshot, FORMAT_VERSION, MAGIC,
+};
+
+/// Typed failures loading or saving snapshot artifacts.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The artifact does not start with the `LESM` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The artifact was written by an incompatible format version.
+    VersionMismatch {
+        /// Version stored in the artifact.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The trailer checksum does not match the artifact contents.
+    ChecksumMismatch {
+        /// Checksum stored in the trailer.
+        expected: u64,
+        /// Checksum recomputed over the artifact.
+        actual: u64,
+    },
+    /// The artifact ends before a record completes.
+    Truncated {
+        /// Byte offset of the failed read.
+        offset: usize,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A structurally invalid record (bad tag, bad UTF-8, inconsistent
+    /// lengths, out-of-range references).
+    Malformed {
+        /// Byte offset of the failed read.
+        offset: usize,
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a snapshot: bad magic {found:?} (expected {:?})", snapshot::MAGIC)
+            }
+            SnapshotError::VersionMismatch { found, supported } => {
+                write!(f, "snapshot format version {found} unsupported (this build reads {supported})")
+            }
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: trailer {expected:#018x}, contents {actual:#018x}"
+            ),
+            SnapshotError::Truncated { offset, needed, available } => write!(
+                f,
+                "snapshot truncated at byte {offset}: needed {needed} bytes, {available} available"
+            ),
+            SnapshotError::Malformed { offset, what } => {
+                write!(f, "malformed snapshot at byte {offset}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Failures starting or running the query server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or configuring the listener socket failed.
+    Io(std::io::Error),
+    /// Invalid server configuration.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "server I/O: {e}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid server config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The threaded query server.
+//!
+//! Architecture (DESIGN.md §9): one acceptor thread plus a fixed pool of
+//! `workers` handler threads. The acceptor pushes accepted connections
+//! into an `std::sync::mpsc` channel; workers pull from the shared
+//! receiver (briefly locking it, Rust-book style), parse the request,
+//! consult the sharded LRU response cache, and run the query against the
+//! immutable snapshot. Handlers are pure functions of the snapshot, so
+//! responses are byte-identical to offline CLI output for any worker
+//! count.
+//!
+//! Robustness: per-connection read/write timeouts (a slow client costs a
+//! worker at most `read_timeout + write_timeout`), request-head size
+//! caps, and graceful shutdown via [`ServerHandle::shutdown`] or an
+//! operator-touched signal file polled by the acceptor.
+
+use crate::cache::ShardedLruCache;
+use crate::http::{parse_request, HttpParseError, Request, Response};
+use crate::metrics::{Endpoint, Metrics};
+use crate::snapshot::Snapshot;
+use crate::ServeError;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Fixed worker-thread count (≥ 1).
+    pub workers: usize,
+    /// Response-cache capacity in entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Number of cache lock shards.
+    pub cache_shards: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// When set, the acceptor polls for this file and shuts down
+    /// gracefully once it exists (operator signal without in-process
+    /// coordination).
+    pub shutdown_file: Option<PathBuf>,
+    /// Top-N used by `/search`, `/topics/{id}` and `/hierarchy` rendering
+    /// (matches the CLI's fixed 10 so responses are byte-identical).
+    pub top_n: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            shutdown_file: None,
+            top_n: 10,
+        }
+    }
+}
+
+struct ServerState {
+    snapshot: Snapshot,
+    cache: ShardedLruCache<Response>,
+    metrics: Metrics,
+    top_n: usize,
+}
+
+/// The query server. Construct with [`Server::start`]; the returned
+/// [`ServerHandle`] owns the threads.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and spawns the acceptor and worker threads.
+    pub fn start(snapshot: Snapshot, config: ServerConfig) -> Result<ServerHandle, ServeError> {
+        if config.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be >= 1".into()));
+        }
+        let listener = TcpListener::bind(&config.addr).map_err(ServeError::Io)?;
+        let addr = listener.local_addr().map_err(ServeError::Io)?;
+
+        let state = Arc::new(ServerState {
+            snapshot,
+            cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
+            metrics: Metrics::new(),
+            top_n: config.top_n,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        for _ in 0..config.workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let cfg = config.clone();
+            threads.push(std::thread::spawn(move || worker_loop(&rx, &state, &cfg)));
+        }
+        // The acceptor blocks in `accept()` (no polling, so accepted
+        // connections see zero added latency). Shutdown wakes it with a
+        // throwaway connection to its own port after setting the flag.
+        {
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                    }
+                }
+                // Dropping the sender unblocks the workers: they drain any
+                // queued connections, then exit on the channel disconnect.
+                drop(tx);
+            }));
+        }
+        // Optional operator-signal watcher: polls for the shutdown file
+        // and triggers the same stop-and-wake path the handle uses.
+        if let Some(path) = config.shutdown_file.clone() {
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if path.exists() {
+                    stop.store(true, Ordering::SeqCst);
+                    let _ = TcpStream::connect(addr);
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }));
+        }
+        Ok(ServerHandle { addr, stop, threads, state })
+    }
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    state: &Arc<ServerState>,
+    config: &ServerConfig,
+) {
+    loop {
+        // Lock only for the duration of the channel wait, not the handling.
+        let received = rx
+            .lock()
+            .expect("receiver mutex poisoned")
+            .recv_timeout(Duration::from_millis(50));
+        match received {
+            Ok(stream) => handle_connection(stream, state, config),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, config: &ServerConfig) {
+    // Accepted sockets may inherit the listener's non-blocking mode on
+    // some platforms; force blocking-with-timeouts so a slow or silent
+    // client costs a worker at most read_timeout + write_timeout.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let started = Instant::now();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let (endpoint, response) = match parse_request(&mut reader) {
+        Ok(req) => route(&req, state),
+        Err(HttpParseError::TooLarge) => {
+            (Endpoint::Other, Response::error(400, "request head too large"))
+        }
+        Err(HttpParseError::BadRequestLine(line)) => {
+            (Endpoint::Other, Response::error(400, &format!("bad request line: {line}")))
+        }
+        Err(HttpParseError::Incomplete) => {
+            (Endpoint::Other, Response::error(408, "incomplete request"))
+        }
+    };
+    let mut out = stream;
+    let _ = response.write_to(&mut out);
+    state
+        .metrics
+        .record_request(endpoint, response.status >= 400, started.elapsed());
+}
+
+fn route(req: &Request, state: &Arc<ServerState>) -> (Endpoint, Response) {
+    let endpoint = match req.path.as_str() {
+        "/search" => Endpoint::Search,
+        "/hierarchy" => Endpoint::Hierarchy,
+        "/healthz" => Endpoint::Healthz,
+        "/metrics" => Endpoint::Metrics,
+        p if p.starts_with("/topics/") => Endpoint::Topics,
+        _ => Endpoint::Other,
+    };
+    if req.method != "GET" {
+        return (endpoint, Response::error(405, "only GET is supported"));
+    }
+    match endpoint {
+        Endpoint::Healthz => (endpoint, Response::ok("ok\n")),
+        Endpoint::Metrics => (endpoint, Response::ok(state.metrics.render())),
+        Endpoint::Other => (endpoint, Response::error(404, "no such endpoint")),
+        _ => (endpoint, cached(endpoint, req, state)),
+    }
+}
+
+/// Serves a query endpoint through the response cache. Only successful
+/// responses are cached; the key is the full request target, so distinct
+/// queries never collide.
+fn cached(endpoint: Endpoint, req: &Request, state: &Arc<ServerState>) -> Response {
+    let key = req.target();
+    if let Some(hit) = state.cache.get(&key) {
+        state.metrics.record_cache_hit(endpoint);
+        return (*hit).clone();
+    }
+    state.metrics.record_cache_miss(endpoint);
+    let response = match endpoint {
+        Endpoint::Search => handle_search(req, state),
+        Endpoint::Topics => handle_topic(req, state),
+        Endpoint::Hierarchy => handle_hierarchy(state),
+        _ => unreachable!("cached() is only called for query endpoints"),
+    };
+    if response.status == 200 {
+        state.cache.put(key, Arc::new(response.clone()));
+    }
+    response
+}
+
+fn handle_search(req: &Request, state: &Arc<ServerState>) -> Response {
+    let Some(query) = req.query_param("q") else {
+        return Response::error(400, "missing query parameter q");
+    };
+    let top = match req.query_param("top") {
+        None => state.top_n,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => return Response::error(400, "top must be a positive integer"),
+        },
+    };
+    let snapshot = &state.snapshot;
+    let hits = lesm_core::search::search(&snapshot.corpus, &snapshot.mined, &query, top);
+    let lines = lesm_core::search::render_hits(&snapshot.corpus, &snapshot.mined, &hits);
+    // Byte-identical to the CLI, which prints one line per hit.
+    let mut body = String::new();
+    for line in lines {
+        body.push_str(&line);
+        body.push('\n');
+    }
+    Response::ok(body)
+}
+
+fn handle_topic(req: &Request, state: &Arc<ServerState>) -> Response {
+    let raw_id = req.path.strip_prefix("/topics/").unwrap_or("");
+    let Ok(id) = raw_id.parse::<usize>() else {
+        return Response::error(400, "topic id must be a non-negative integer");
+    };
+    let snapshot = &state.snapshot;
+    if id >= snapshot.mined.hierarchy.len() {
+        return Response::error(404, "no such topic");
+    }
+    let mut body = snapshot.mined.render_topic(&snapshot.corpus, id, state.top_n);
+    body.push('\n');
+    Response::ok(body)
+}
+
+fn handle_hierarchy(state: &Arc<ServerState>) -> Response {
+    let snapshot = &state.snapshot;
+    Response::json(lesm_core::export::hierarchy_to_json(
+        &snapshot.corpus,
+        &snapshot.mined,
+        state.top_n,
+    ))
+}
+
+/// Running-server handle: the bound address, the shutdown flag, and the
+/// spawned threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The actually bound socket address (resolves `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server counters (shared with the handler threads).
+    pub fn metrics(&self) -> &Metrics {
+        &self.state.metrics
+    }
+
+    /// Number of responses currently cached.
+    pub fn cached_responses(&self) -> usize {
+        self.state.cache.len()
+    }
+
+    /// Requests a graceful stop and joins every thread: the acceptor
+    /// stops accepting, workers drain queued connections, then exit.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking `accept()`.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server stops on its own (e.g. via the shutdown
+    /// signal file).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end tests for the query server: mine a synthetic corpus once,
+//! snapshot it, serve it on an ephemeral port, and check that concurrent
+//! clients get responses byte-identical to the offline CLI/export output —
+//! for any worker count.
+
+use lesm_core::pipeline::{LatentStructureMiner, MinedStructure, MinerConfig};
+use lesm_corpus::synth::{PapersConfig, SyntheticPapers};
+use lesm_corpus::Corpus;
+use lesm_serve::server::{Server, ServerConfig};
+use lesm_serve::{load_snapshot, save_snapshot, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn fixture() -> (Corpus, MinedStructure) {
+    let papers = SyntheticPapers::generate(&PapersConfig::dblp(80, 9)).expect("synth corpus");
+    let mut config = MinerConfig::default();
+    config.hierarchy.max_depth = 1;
+    config.phrase_min_support = 2;
+    config.threads = 2;
+    let mined = LatentStructureMiner::mine(&papers.corpus, &config).expect("mine");
+    (papers.corpus, mined)
+}
+
+fn start(corpus: &Corpus, mined: &MinedStructure, workers: usize) -> ServerHandle {
+    let snap = load_snapshot(&save_snapshot(corpus, mined)).expect("round-trip");
+    let config = ServerConfig { workers, ..ServerConfig::default() };
+    Server::start(snap, config).expect("bind ephemeral port")
+}
+
+/// Minimal HTTP/1.1 client: one request, reads to EOF (the server sends
+/// `Connection: close`). Returns `(status, body)`.
+fn get(addr: std::net::SocketAddr, target: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete response head");
+    let head = std::str::from_utf8(&raw[..header_end]).expect("utf-8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, raw[header_end + 4..].to_vec())
+}
+
+/// The offline rendering `/search` must match byte-for-byte: one CLI hit
+/// line per result, each newline-terminated.
+fn offline_search_body(corpus: &Corpus, mined: &MinedStructure, query: &str, top: usize) -> Vec<u8> {
+    let hits = lesm_core::search::search(corpus, mined, query, top);
+    let mut body = String::new();
+    for line in lesm_core::search::render_hits(corpus, mined, &hits) {
+        body.push_str(&line);
+        body.push('\n');
+    }
+    body.into_bytes()
+}
+
+#[test]
+fn responses_are_byte_identical_to_offline_output() {
+    let (corpus, mined) = fixture();
+    let handle = start(&corpus, &mined, 4);
+    let addr = handle.addr();
+
+    let (status, body) = get(addr, "/search?q=mining&top=5");
+    assert_eq!(status, 200);
+    assert_eq!(body, offline_search_body(&corpus, &mined, "mining", 5));
+
+    // Default top matches the CLI's fixed 10.
+    let (status, body) = get(addr, "/search?q=data+mining");
+    assert_eq!(status, 200);
+    assert_eq!(body, offline_search_body(&corpus, &mined, "data mining", 10));
+
+    let (status, body) = get(addr, "/hierarchy");
+    assert_eq!(status, 200);
+    assert_eq!(body, lesm_core::export::hierarchy_to_json(&corpus, &mined, 10).into_bytes());
+
+    for t in 0..mined.hierarchy.len() {
+        let (status, body) = get(addr, &format!("/topics/{t}"));
+        assert_eq!(status, 200, "topic {t}");
+        let mut expected = mined.render_topic(&corpus, t, 10);
+        expected.push('\n');
+        assert_eq!(body, expected.into_bytes(), "topic {t}");
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn worker_count_does_not_change_any_response() {
+    let (corpus, mined) = fixture();
+    let targets = [
+        "/search?q=mining&top=3",
+        "/search?q=database+systems",
+        "/hierarchy",
+        "/topics/0",
+        "/topics/999999",
+        "/search?q=",
+        "/nope",
+    ];
+    let collect = |workers: usize| -> Vec<(u16, Vec<u8>)> {
+        let handle = start(&corpus, &mined, workers);
+        let out = targets.iter().map(|t| get(handle.addr(), t)).collect();
+        handle.shutdown();
+        out
+    };
+    assert_eq!(collect(1), collect(4));
+}
+
+#[test]
+fn concurrent_clients_all_get_identical_correct_bodies() {
+    let (corpus, mined) = fixture();
+    let handle = start(&corpus, &mined, 4);
+    let addr = handle.addr();
+    let expected = offline_search_body(&corpus, &mined, "mining", 10);
+
+    let clients: Vec<_> = (0..16)
+        .map(|_| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    let (status, body) = get(addr, "/search?q=mining");
+                    assert_eq!(status, 200);
+                    assert_eq!(body, expected);
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // 64 identical requests: exactly one cache miss, the rest hits.
+    let m = handle.metrics();
+    assert_eq!(m.requests(lesm_serve::metrics::Endpoint::Search), 64);
+    assert_eq!(m.cache_misses(lesm_serve::metrics::Endpoint::Search), 1);
+    assert_eq!(m.cache_hits(lesm_serve::metrics::Endpoint::Search), 63);
+    assert_eq!(handle.cached_responses(), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn health_metrics_and_errors_are_served() {
+    let (corpus, mined) = fixture();
+    let handle = start(&corpus, &mined, 2);
+    let addr = handle.addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!((status, body.as_slice()), (200, b"ok\n".as_slice()));
+
+    let (status, _) = get(addr, "/search?top=3"); // missing q
+    assert_eq!(status, 400);
+    let (status, _) = get(addr, "/search?q=x&top=zero");
+    assert_eq!(status, 400);
+    let (status, _) = get(addr, "/topics/notanumber");
+    assert_eq!(status, 400);
+    let (status, _) = get(addr, "/topics/123456");
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/unknown");
+    assert_eq!(status, 404);
+
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("utf-8 metrics");
+    assert!(text.contains("lesm_requests_total{endpoint=\"healthz\"} 1"), "{text}");
+    assert!(text.contains("lesm_requests_total{endpoint=\"search\"} 2"), "{text}");
+    assert!(text.contains("lesm_request_errors_total{endpoint=\"topics\"} 2"), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_file_stops_the_server() {
+    let (corpus, mined) = fixture();
+    let snap = load_snapshot(&save_snapshot(&corpus, &mined)).expect("round-trip");
+    let dir = std::env::temp_dir().join(format!("lesm-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let stop_file = dir.join("stop");
+    let config = ServerConfig {
+        workers: 2,
+        shutdown_file: Some(stop_file.clone()),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(snap, config).expect("bind");
+    let addr = handle.addr();
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+
+    std::fs::write(&stop_file, b"").unwrap();
+    // join() returns once the acceptor notices the file and the workers
+    // drain; a hang here fails the test via the harness timeout.
+    handle.join();
+    assert!(TcpStream::connect(addr).is_err() || {
+        // Some platforms accept briefly in the TCP backlog even after the
+        // listener closes; an actual request must fail either way.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let _ = write!(s, "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).map(|_| buf.is_empty()).unwrap_or(true)
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}

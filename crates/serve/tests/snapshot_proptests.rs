@@ -1,0 +1,237 @@
+//! Snapshot store guarantees, property-tested:
+//!
+//! 1. `load(save(m))` is bit-identical to `m` — checked by re-saving the
+//!    loaded value and comparing artifacts byte-for-byte (save is a
+//!    deterministic function of the value: sorted map order, raw f64
+//!    bits), and by comparing every rendered view of the structure.
+//! 2. Corrupted, truncated, or version-skewed artifacts surface as typed
+//!    [`SnapshotError`]s — never panics, never a silently wrong load.
+
+use lesm_core::export::hierarchy_to_json;
+use lesm_core::pipeline::{LatentStructureMiner, MinedStructure, MinerConfig};
+use lesm_core::search::{render_hits, search};
+use lesm_corpus::synth::{PapersConfig, SyntheticPapers};
+use lesm_corpus::{Corpus, Doc, EntityRef};
+use lesm_hier::hierarchy::HierTopic;
+use lesm_hier::TopicHierarchy;
+use lesm_net::TypedNetwork;
+use lesm_phrases::TopicalPhrase;
+use lesm_serve::{load_snapshot, save_snapshot, SnapshotError, FORMAT_VERSION};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Mines a small real structure with the actual pipeline.
+fn mined_fixture() -> (Corpus, MinedStructure) {
+    let papers = SyntheticPapers::generate(&PapersConfig::dblp(60, 42)).expect("synth corpus");
+    let mut config = MinerConfig::default();
+    config.hierarchy.max_depth = 1;
+    config.phrase_min_support = 2;
+    config.threads = 2;
+    let mined = LatentStructureMiner::mine(&papers.corpus, &config).expect("mine");
+    (papers.corpus, mined)
+}
+
+/// Hand-builds a two-topic structure whose every field is populated from
+/// the given words and raw score bits, including documents, segments,
+/// topical frequency tables, and doc-topic rows.
+fn synthetic_structure(words: &[String], score_bits: &[u64]) -> (Corpus, MinedStructure) {
+    let mut corpus = Corpus::new();
+    let etype = corpus.entities.add_type("author");
+    let mut ids = Vec::new();
+    for w in words {
+        ids.push(corpus.vocab.intern(w));
+    }
+    for (i, w) in words.iter().enumerate() {
+        corpus.entities.intern(etype, w).expect("known type");
+        corpus.docs.push(Doc {
+            tokens: ids.clone(),
+            entities: vec![EntityRef::new(etype, i as u32)],
+            label: if i % 2 == 0 { Some(i as u32) } else { None },
+            year: if i % 3 == 0 { Some(2000 + i as i32) } else { None },
+        });
+    }
+    let score = |i: usize| f64::from_bits(score_bits[i % score_bits.len()]);
+    let topic = |parent, level, path: &str, children: Vec<usize>| HierTopic {
+        parent,
+        children,
+        level,
+        path: path.into(),
+        phi: vec![vec![score(0), score(1)]],
+        rho: score(2),
+        network: TypedNetwork::new(vec![], vec![]),
+    };
+    let hierarchy = TopicHierarchy {
+        type_names: vec!["author".into()],
+        topics: vec![topic(None, 0, "o", vec![1]), topic(Some(0), 1, "o/1", vec![])],
+        fits: vec![None, None],
+        alphas: vec![Some(vec![score(3)]), None],
+    };
+    let phrases: Vec<TopicalPhrase> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| TopicalPhrase { tokens: vec![id], score: score(i), topic_freq: score(i + 1) })
+        .collect();
+    let entities: Vec<(u32, f64)> =
+        (0..corpus.entities.count(etype) as u32).map(|i| (i, score(i as usize))).collect();
+    let mut freq = HashMap::new();
+    for (i, &id) in ids.iter().enumerate() {
+        freq.insert(vec![id], score(i));
+        if i + 1 < ids.len() {
+            freq.insert(vec![id, ids[i + 1]], score(i + 2));
+        }
+    }
+    let n_docs = corpus.docs.len();
+    let mined = MinedStructure {
+        hierarchy,
+        topic_phrases: vec![phrases.clone(), phrases],
+        topic_entities: vec![vec![entities.clone()], vec![entities]],
+        phrase_topic_freq: vec![freq.clone(), freq],
+        segments: (0..n_docs).map(|_| vec![ids.clone()]).collect(),
+        doc_topic: (0..n_docs).map(|d| vec![score(d), score(d + 1)]).collect(),
+    };
+    (corpus, mined)
+}
+
+/// Byte-level round-trip check: save, load, re-save, compare artifacts.
+fn assert_round_trip(corpus: &Corpus, mined: &MinedStructure) -> Vec<u8> {
+    let bytes = save_snapshot(corpus, mined);
+    let snap = load_snapshot(&bytes).expect("load back what we saved");
+    let again = save_snapshot(&snap.corpus, &snap.mined);
+    assert_eq!(bytes, again, "save(load(save(m))) differs from save(m)");
+    bytes
+}
+
+#[test]
+fn real_mined_structure_round_trips_bit_identically() {
+    let (corpus, mined) = mined_fixture();
+    let bytes = save_snapshot(&corpus, &mined);
+    let snap = load_snapshot(&bytes).expect("load");
+    // Re-saving the loaded value reproduces the artifact bit-for-bit.
+    assert_eq!(bytes, save_snapshot(&snap.corpus, &snap.mined));
+    // Every served view matches the offline original exactly.
+    assert_eq!(
+        hierarchy_to_json(&corpus, &mined, 10),
+        hierarchy_to_json(&snap.corpus, &snap.mined, 10)
+    );
+    for t in 0..mined.hierarchy.len() {
+        assert_eq!(
+            mined.render_topic(&corpus, t, 10),
+            snap.mined.render_topic(&snap.corpus, t, 10),
+            "topic {t} renders differently after round-trip"
+        );
+    }
+    let hits = search(&corpus, &mined, "mining", 10);
+    let loaded_hits = search(&snap.corpus, &snap.mined, "mining", 10);
+    assert_eq!(hits, loaded_hits);
+    assert_eq!(
+        render_hits(&corpus, &mined, &hits),
+        render_hits(&snap.corpus, &snap.mined, &loaded_hits)
+    );
+}
+
+#[test]
+fn truncated_artifacts_report_typed_errors_never_panic() {
+    let (corpus, mined) = synthetic_structure(
+        &["mining".into(), "latent".into(), "structures".into()],
+        &[1.0f64.to_bits(), 0.25f64.to_bits()],
+    );
+    let bytes = assert_round_trip(&corpus, &mined);
+    for len in 0..bytes.len() {
+        let err = load_snapshot(&bytes[..len]).expect_err("truncated artifact must not load");
+        match err {
+            SnapshotError::Truncated { .. }
+            | SnapshotError::ChecksumMismatch { .. }
+            | SnapshotError::Malformed { .. } => {}
+            other => panic!("unexpected error for prefix of {len} bytes: {other}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_reported_with_the_found_bytes() {
+    let (corpus, mined) = synthetic_structure(&["x".into()], &[1.0f64.to_bits()]);
+    let mut bytes = save_snapshot(&corpus, &mined);
+    bytes[0] = b'X';
+    match load_snapshot(&bytes) {
+        Err(SnapshotError::BadMagic { found }) => assert_eq!(&found, b"XESM"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+    // TSV input (the other CLI input format) is also just a bad magic.
+    match load_snapshot(b"id\ttext\tauthors\n0\thello world\ta") {
+        Err(SnapshotError::BadMagic { .. }) => {}
+        other => panic!("expected BadMagic for TSV bytes, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_skew_is_reported_before_the_checksum() {
+    let (corpus, mined) = synthetic_structure(&["x".into()], &[1.0f64.to_bits()]);
+    let mut bytes = save_snapshot(&corpus, &mined);
+    // Bump the version field without fixing the trailer: the loader must
+    // still say "version mismatch", not "checksum mismatch".
+    bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    match load_snapshot(&bytes) {
+        Err(SnapshotError::VersionMismatch { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_corruption_fails_the_checksum() {
+    let (corpus, mined) = synthetic_structure(
+        &["mining".into(), "latent".into()],
+        &[1.0f64.to_bits()],
+    );
+    let mut bytes = save_snapshot(&corpus, &mined);
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    match load_snapshot(&bytes) {
+        Err(SnapshotError::ChecksumMismatch { expected, actual }) => {
+            assert_ne!(expected, actual);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+// Words drawn from a deliberately hostile alphabet (quotes, backslashes,
+// control characters, whitespace) and scores from arbitrary bit patterns
+// (NaNs with payloads, infinities, subnormals, -0.0).
+const NASTY: &str = "[a-z\"\\\u{0}-\u{8} ]{1,6}";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn randomized_structures_round_trip(
+        words in vec(NASTY, 1..5),
+        score_bits in vec(0u64..=u64::MAX, 1..6),
+    ) {
+        let (corpus, mined) = synthetic_structure(&words, &score_bits);
+        let bytes = save_snapshot(&corpus, &mined);
+        let snap = load_snapshot(&bytes).expect("load");
+        prop_assert_eq!(bytes, save_snapshot(&snap.corpus, &snap.mined));
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_a_typed_error(
+        pos_seed in 0usize..10_000,
+        flip in 1u8..=255,
+    ) {
+        let (corpus, mined) = synthetic_structure(
+            &["mining".into(), "latent".into()],
+            &[0.5f64.to_bits(), 2.0f64.to_bits()],
+        );
+        let mut bytes = save_snapshot(&corpus, &mined);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip;
+        // FNV-1a absorbs bytes through bijective steps, so any single-byte
+        // change in the body flips the trailer check; changes in the magic,
+        // version, or trailer hit their own typed checks. Loading must
+        // return an error — and must never panic.
+        prop_assert!(load_snapshot(&bytes).is_err());
+    }
+}

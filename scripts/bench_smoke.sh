@@ -13,10 +13,12 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_par.json}"
 em_out="${2:-BENCH_em_core.json}"
+serve_out="${3:-BENCH_serve.json}"
 # cargo runs bench binaries from the package dir, so the JSON paths must be
 # absolute for all records to land in one file.
 case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
 case "$em_out" in /*) ;; *) em_out="$PWD/$em_out" ;; esac
+case "$serve_out" in /*) ;; *) serve_out="$PWD/$serve_out" ;; esac
 : > "$out"
 export LESM_BENCH_FAST=1
 export LESM_BENCH_JSON="$out"
@@ -39,3 +41,13 @@ cargo bench -p lesm-bench --bench bench_em -- fit_threads
 cargo bench -p lesm-bench --bench bench_em -- fit_k
 
 echo "wrote $(wc -l < "$em_out") bench records to $em_out"
+
+# Serving-path numbers (DESIGN.md §9): cold snapshot-load time plus the
+# cached-vs-uncached HTTP query latency medians through the in-process
+# server. Full sampling for the same cross-PR comparability reason.
+: > "$serve_out"
+export LESM_BENCH_JSON="$serve_out"
+
+cargo bench -p lesm-bench --bench bench_serve
+
+echo "wrote $(wc -l < "$serve_out") bench records to $serve_out"
