@@ -2,6 +2,9 @@
 //! or figure; see `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for
 //! recorded results).
 
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 // Index-based loops are kept where they mirror the paper's equations.
 #![allow(clippy::needless_range_loop)]
 

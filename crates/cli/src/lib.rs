@@ -20,6 +20,9 @@
 //! dependency); all logic lives here so it is unit-testable, and
 //! `main.rs` stays a thin shell.
 
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use lesm_core::pipeline::{LatentStructureMiner, MinedStructure, MinerConfig};
 use lesm_corpus::synth::GenPaper;
 use lesm_corpus::{Corpus, LoadOptions};
@@ -75,7 +78,7 @@ pub enum Command {
         addr: String,
         /// Worker-thread count.
         workers: usize,
-        /// Response-cache capacity in entries (0 disables caching).
+        /// Response-cache capacity in entries (must be >= 1).
         cache: usize,
         /// Optional signal file; the server shuts down once it exists.
         shutdown_file: Option<String>,
@@ -178,7 +181,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             if workers == 0 {
-                return Err("--workers must be positive".into());
+                return Err("--workers must be >= 1 (the server needs at least one handler thread)".into());
+            }
+            if cache == 0 {
+                return Err(
+                    "--cache must be >= 1 (use a small capacity like 1 to keep reuse minimal)"
+                        .into(),
+                );
             }
             Ok(Command::Serve { snapshot, addr, workers, cache, shutdown_file })
         }
@@ -203,10 +212,13 @@ fn next_value<T: std::str::FromStr>(
     it: &mut std::slice::Iter<'_, String>,
     flag: &str,
 ) -> Result<T, String> {
-    it.next()
-        .ok_or_else(|| format!("{flag} needs a value"))?
-        .parse()
-        .map_err(|_| format!("{flag} value is not valid"))
+    let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse().map_err(|_| {
+        format!(
+            "{flag} got {raw:?}, which is not a valid {}",
+            std::any::type_name::<T>().rsplit("::").next().unwrap_or("value")
+        )
+    })
 }
 
 /// The usage text.
@@ -334,9 +346,7 @@ pub fn run_snapshot(
 /// The author entity type is located by name (`"author"`); docs lacking a
 /// year or authors are skipped.
 pub fn corpus_to_papers(corpus: &Corpus) -> Result<(Vec<GenPaper>, usize), String> {
-    let author = (0..corpus.entities.num_types())
-        .find(|&t| corpus.entities.type_name(t) == Some("author"))
-        .ok_or("corpus has no 'author' entity type")?;
+    let author = author_type(corpus)?;
     let n_authors = corpus.entities.count(author);
     let papers: Vec<GenPaper> = corpus
         .docs
@@ -357,12 +367,19 @@ pub fn corpus_to_papers(corpus: &Corpus) -> Result<(Vec<GenPaper>, usize), Strin
     Ok((papers, n_authors))
 }
 
+/// Locates the `"author"` entity type (shared by [`corpus_to_papers`] and
+/// [`run_advisors`], so neither needs to re-derive — or assume — its
+/// presence).
+fn author_type(corpus: &Corpus) -> Result<usize, String> {
+    (0..corpus.entities.num_types())
+        .find(|&t| corpus.entities.type_name(t) == Some("author"))
+        .ok_or_else(|| "corpus has no 'author' entity type".into())
+}
+
 /// Runs `advisors`; returns the rendered advising forest.
 pub fn run_advisors(corpus: &Corpus) -> Result<String, String> {
     let (papers, n_authors) = corpus_to_papers(corpus)?;
-    let author = (0..corpus.entities.num_types())
-        .find(|&t| corpus.entities.type_name(t) == Some("author"))
-        .expect("checked in corpus_to_papers");
+    let author = author_type(corpus)?;
     let graph = CandidateGraph::build(&papers, n_authors, &PreprocessConfig::default())
         .map_err(|e| e.to_string())?;
     let result = Tpfg::infer(&graph, &TpfgConfig::default()).map_err(|e| e.to_string())?;
@@ -431,6 +448,18 @@ mod tests {
         assert!(parse_args(&s(&["search", "x"])).is_err());
         assert!(parse_args(&s(&["frobnicate"])).is_err());
         assert!(parse_args(&s(&["synth", "--bogus", "1"])).is_err());
+        assert!(parse_args(&s(&["serve", "m.lesm", "--workers", "0"])).is_err());
+        assert!(parse_args(&s(&["serve", "m.lesm", "--cache", "0"])).is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_flag_and_the_value() {
+        let e = parse_args(&s(&["mine", "x", "--k", "zero"])).unwrap_err();
+        assert!(e.contains("--k") && e.contains("zero"), "unhelpful message: {e}");
+        let e = parse_args(&s(&["synth", "--docs", "-3"])).unwrap_err();
+        assert!(e.contains("--docs") && e.contains("-3"), "unhelpful message: {e}");
+        let e = parse_args(&s(&["mine", "x", "--em-tol"])).unwrap_err();
+        assert!(e.contains("--em-tol") && e.contains("needs a value"));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The `lesm` command-line tool (thin shell over [`lesm_cli`]).
 
+use std::io::Write;
+
 use lesm_cli::{parse_args, Command, USAGE};
 
 fn main() {
@@ -18,32 +20,43 @@ fn main() {
     }
 }
 
+/// Writes to stdout without panicking when the read end has gone away
+/// (`lesm ... | head` closes the pipe early): `BrokenPipe` is a clean
+/// exit, any other stdout failure a typed error. `println!` would panic
+/// on EPIPE because Rust starts with SIGPIPE ignored.
+fn emit(text: &str) -> Result<(), String> {
+    let mut out = std::io::stdout().lock();
+    match out.write_all(text.as_bytes()).and_then(|()| out.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => Err(format!("cannot write to stdout: {e}")),
+    }
+}
+
 fn run(command: Command) -> Result<(), String> {
     match command {
-        Command::Help => {
-            print!("{USAGE}");
-            Ok(())
-        }
+        Command::Help => emit(USAGE),
         Command::Synth { docs, seed } => {
             let papers = lesm_corpus::synth::SyntheticPapers::generate(
                 &lesm_corpus::synth::PapersConfig::dblp(docs, seed),
             )
             .map_err(|e| e.to_string())?;
             let stdout = std::io::stdout();
-            lesm_corpus::io::write_tsv(&papers.corpus, stdout.lock())
-                .map_err(|e| e.to_string())
+            match lesm_corpus::io::write_tsv(&papers.corpus, stdout.lock()) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+                Err(e) => Err(e.to_string()),
+            }
         }
         Command::Mine { input, k, depth, threads, em_tol } => {
             let corpus = lesm_cli::load_corpus(&input)?;
             let json = lesm_cli::run_mine(&corpus, k, depth, threads, em_tol)?;
-            print!("{json}");
-            Ok(())
+            emit(&json)
         }
         Command::Snapshot { input, output, k, depth, threads, em_tol } => {
             let corpus = lesm_cli::load_corpus(&input)?;
             let summary = lesm_cli::run_snapshot(&corpus, &output, k, depth, threads, em_tol)?;
-            println!("{summary}");
-            Ok(())
+            emit(&format!("{summary}\n"))
         }
         Command::Serve { snapshot, addr, workers, cache, shutdown_file } => {
             let snap = lesm_serve::load_snapshot_file(&snapshot).map_err(|e| e.to_string())?;
@@ -55,20 +68,19 @@ fn run(command: Command) -> Result<(), String> {
                 ..lesm_serve::ServerConfig::default()
             };
             let handle = lesm_serve::Server::start(snap, config).map_err(|e| e.to_string())?;
-            println!("listening on http://{}", handle.addr());
+            emit(&format!("listening on http://{}\n", handle.addr()))?;
             handle.join();
             Ok(())
         }
         Command::Search { input, query } => {
             for line in lesm_cli::run_search_input(&input, &query, 4, 1)? {
-                println!("{line}");
+                emit(&format!("{line}\n"))?;
             }
             Ok(())
         }
         Command::Advisors { input } => {
             let corpus = lesm_cli::load_corpus(&input)?;
-            print!("{}", lesm_cli::run_advisors(&corpus)?);
-            Ok(())
+            emit(&lesm_cli::run_advisors(&corpus)?)
         }
     }
 }

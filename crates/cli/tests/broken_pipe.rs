@@ -1,0 +1,47 @@
+//! A closed stdout reader (`lesm ... | head`) must be a clean exit, not a
+//! "failed printing to stdout: Broken pipe" panic (DESIGN.md §10). Rust
+//! binaries start with SIGPIPE ignored, so `println!` panics on EPIPE
+//! unless the writer handles it — these tests drive the real `lesm`
+//! binary against a pipe whose read end closes after a few bytes.
+
+use std::io::Read;
+use std::process::{Command, Stdio};
+
+/// Runs `lesm <args>`, reads `take` bytes of stdout, drops the pipe, and
+/// returns (exit success, captured stderr).
+fn run_then_close_stdout(args: &[&str], take: usize) -> (bool, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lesm"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lesm");
+    {
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut buf = vec![0u8; take];
+        let mut handle = stdout.take(take as u64);
+        let _ = handle.read_exact(&mut buf);
+        // Dropping `handle` (and the pipe inside it) closes the read end;
+        // the child's next write gets EPIPE.
+    }
+    let out = child.wait_with_output().expect("wait for lesm");
+    (out.status.success(), String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
+#[test]
+fn synth_into_closed_pipe_exits_cleanly() {
+    // 4000 docs of TSV comfortably exceed the ~64 KiB pipe buffer, so the
+    // child is still writing when the read end goes away.
+    let (ok, stderr) =
+        run_then_close_stdout(&["synth", "--docs", "4000", "--seed", "7"], 1024);
+    assert!(ok, "synth into a closed pipe should exit 0, stderr:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "synth panicked on EPIPE:\n{stderr}");
+}
+
+#[test]
+fn help_into_closed_pipe_never_panics() {
+    // Usage fits in the pipe buffer, so this normally completes; the
+    // assertion is that an early-closing reader can never panic it.
+    let (_ok, stderr) = run_then_close_stdout(&["help"], 1);
+    assert!(!stderr.contains("panicked"), "help panicked on EPIPE:\n{stderr}");
+}

@@ -13,6 +13,9 @@
 //! (Chapter 7) are exposed through the re-exported crates; see
 //! `examples/` for end-to-end usage.
 
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 // Index-based loops are kept where they mirror the paper's equations.
 #![allow(clippy::needless_range_loop)]
 

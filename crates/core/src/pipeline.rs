@@ -96,11 +96,7 @@ impl MinedStructure {
         self.hierarchy
             .leaves()
             .into_iter()
-            .max_by(|&a, &b| {
-                self.doc_topic[d][a]
-                    .partial_cmp(&self.doc_topic[d][b])
-                    .expect("non-NaN weight")
-            })
+            .max_by(|&a, &b| self.doc_topic[d][a].total_cmp(&self.doc_topic[d][b]))
             .unwrap_or(0)
     }
 }
@@ -219,10 +215,7 @@ impl LatentStructureMiner {
                 })
                 .collect();
             list.sort_by(|a, b| {
-                b.score
-                    .partial_cmp(&a.score)
-                    .expect("non-NaN score")
-                    .then_with(|| a.tokens.cmp(&b.tokens))
+                b.score.total_cmp(&a.score).then_with(|| a.tokens.cmp(&b.tokens))
             });
             list.truncate(config.phrases_per_topic);
             topic_phrases.push(list);

@@ -49,7 +49,7 @@ pub fn rank_topics(mined: &MinedStructure, query: &[u32], top_n: usize) -> Vec<(
             (t, hit / total)
         })
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     scored.truncate(top_n);
     scored
 }
@@ -96,7 +96,7 @@ pub fn search(
             }
         })
         .collect();
-    hits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("non-NaN").then_with(|| a.doc.cmp(&b.doc)));
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.doc.cmp(&b.doc)));
     hits.truncate(top_n);
     hits
 }

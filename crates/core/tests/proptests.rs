@@ -1,12 +1,16 @@
 //! Property tests for the JSON export: structural well-formedness and
 //! escaping must hold for *any* vocabulary content (quotes, backslashes,
 //! control characters, braces) and any score bit pattern (including NaN
-//! and infinities), not just the tame synthetic corpora.
+//! and infinities), not just the tame synthetic corpora. The final block
+//! drives the whole miner over arbitrary small corpora (DESIGN.md §10):
+//! `mine` must return `Ok` or a typed `CoreError` — never panic — and
+//! every structure it does produce must export finite, balanced JSON.
 
 use lesm_core::export::{hierarchy_to_json, is_balanced_json, json_number, json_string};
-use lesm_core::pipeline::MinedStructure;
+use lesm_core::pipeline::{LatentStructureMiner, MinedStructure, MinerConfig};
 use lesm_corpus::Corpus;
-use lesm_hier::hierarchy::HierTopic;
+use lesm_hier::em::{EmConfig, WeightMode};
+use lesm_hier::hierarchy::{CathyConfig, ChildCount, HierTopic};
 use lesm_hier::TopicHierarchy;
 use lesm_net::TypedNetwork;
 use lesm_phrases::TopicalPhrase;
@@ -123,6 +127,94 @@ proptest! {
                 "json_number produced {rendered:?}"
             );
             prop_assert!(rest.contains('.'));
+        }
+    }
+}
+
+/// A deliberately tiny EM budget so the full-pipeline property stays fast
+/// while still exercising hierarchy construction, phrase mining,
+/// segmentation, and ranking on every generated corpus.
+fn tiny_config(k: usize, depth: usize, min_support: u64) -> MinerConfig {
+    MinerConfig {
+        hierarchy: CathyConfig {
+            children: ChildCount::Fixed(k),
+            max_depth: depth,
+            em: EmConfig {
+                iters: 6,
+                restarts: 1,
+                seed: 11,
+                background: true,
+                weights: WeightMode::Learned,
+                ..EmConfig::default()
+            },
+            min_links: 1,
+            subnet_threshold: 0.5,
+        },
+        phrase_min_support: min_support,
+        phrase_max_len: 4,
+        seg_alpha: 2.0,
+        phrases_per_topic: 8,
+        entities_per_topic: 8,
+        min_topic_freq: 1.0,
+        threads: 1,
+        em_tol: 0.0,
+    }
+}
+
+/// Asserts that every float the mined structure exposes is finite.
+fn assert_all_finite(mined: &MinedStructure) -> Result<(), proptest::test_runner::TestCaseError> {
+    for (t, phrases) in mined.topic_phrases.iter().enumerate() {
+        for p in phrases {
+            prop_assert!(p.score.is_finite(), "non-finite phrase score in topic {t}");
+            prop_assert!(p.topic_freq.is_finite(), "non-finite topic_freq in topic {t}");
+        }
+    }
+    for row in &mined.doc_topic {
+        for &v in row {
+            prop_assert!(v.is_finite(), "non-finite doc_topic weight");
+        }
+    }
+    for topic in &mined.hierarchy.topics {
+        prop_assert!(topic.rho.is_finite(), "non-finite topic rho");
+        for dist in &topic.phi {
+            for &v in dist {
+                prop_assert!(v.is_finite(), "non-finite phi entry");
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    // The full pipeline is the expensive property, so fewer cases; the
+    // corpora are small enough (< 8 docs) that each case is milliseconds.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `mine` over arbitrary small corpora — including empty corpora,
+    /// empty documents, and single-word vocabularies — either succeeds or
+    /// returns a typed error, and anything it produces is finite and
+    /// exports balanced JSON.
+    #[test]
+    fn mine_never_panics_on_small_corpora(
+        docs in vec(vec("[a-z]{1,4}", 0..6), 0..8),
+        k in 1usize..4,
+        depth in 1usize..4,
+        min_support in 0u64..3,
+    ) {
+        let mut corpus = Corpus::new();
+        for doc in &docs {
+            corpus.push_text(&doc.join(" "));
+        }
+        match LatentStructureMiner::mine(&corpus, &tiny_config(k, depth, min_support)) {
+            Ok(mined) => {
+                assert_all_finite(&mined)?;
+                let json = hierarchy_to_json(&corpus, &mined, 8);
+                prop_assert!(is_balanced_json(&json), "unbalanced JSON:\n{json}");
+            }
+            // Typed rejection (e.g. an empty corpus) is an acceptable
+            // outcome; panicking is not, and proptest treats any panic
+            // inside the closure as a test failure.
+            Err(_typed) => {}
         }
     }
 }

@@ -10,6 +10,9 @@
 //! experiments can score methods against exact truth. See `DESIGN.md` §3 for
 //! the substitution table.
 
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod doc;
 pub mod io;
 pub mod synth;

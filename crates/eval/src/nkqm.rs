@@ -43,7 +43,7 @@ pub fn nkqm_at_k(
         return 0.0;
     }
     let mut ideal: Vec<f64> = all_judged.iter().map(|s| score_aw(s, levels)).collect();
-    ideal.sort_by(|a, b| b.partial_cmp(a).expect("non-NaN score"));
+    ideal.sort_by(|a, b| b.total_cmp(a));
     let ideal_score: f64 = ideal
         .iter()
         .take(k)

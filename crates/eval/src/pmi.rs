@@ -94,8 +94,15 @@ impl CoOccurrenceStats {
 
     /// Smoothed pointwise mutual information between two items:
     /// `log p(a, b) / (p(a) p(b))`.
+    ///
+    /// An empty corpus carries no co-occurrence evidence, so `n_docs == 0`
+    /// returns `0.0` instead of the `SMOOTH / 0` NaN/±inf that would
+    /// otherwise poison every average built on top of this score.
     pub fn pmi(&self, a: Item, b: Item) -> f64 {
         const SMOOTH: f64 = 0.01;
+        if self.n_docs == 0 {
+            return 0.0;
+        }
         let n = self.n_docs as f64;
         let pa = (self.count(a) as f64 + SMOOTH) / n;
         let pb = (self.count(b) as f64 + SMOOTH) / n;
@@ -200,6 +207,19 @@ mod tests {
         let good = hpmi_pair(&s, &[data], &[alice]);
         let bad = hpmi_pair(&s, &[data], &[bob]);
         assert!(good > bad);
+    }
+
+    #[test]
+    fn empty_corpus_pmi_is_zero_and_finite() {
+        let c = Corpus::new();
+        let s = CoOccurrenceStats::from_corpus(&c);
+        let t = s.term_type();
+        assert_eq!(s.n_docs(), 0);
+        let p = s.pmi((t, 0), (t, 1));
+        assert!(p.is_finite(), "empty-corpus PMI must be finite, got {p}");
+        assert_eq!(p, 0.0);
+        assert_eq!(pmi_topic(&s, &[(t, 0), (t, 1)]), 0.0);
+        assert_eq!(hpmi_pair(&s, &[(t, 0)], &[(0, 0)]), 0.0);
     }
 
     #[test]

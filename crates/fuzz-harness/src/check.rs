@@ -1,0 +1,100 @@
+//! Invariant checks shared by the harness test suite and the smoke binary.
+
+use lesm_core::export::{hierarchy_to_json, is_balanced_json};
+use lesm_core::pipeline::MinedStructure;
+use lesm_corpus::Corpus;
+
+/// Walks every float the pipeline emits and reports the first non-finite
+/// one as `Err(site)`. "Emitted" means reachable through the public
+/// structure: hierarchy parameters, phrase/entity scores, topical
+/// frequency tables, and document-topic attributions.
+pub fn check_finite(mined: &MinedStructure) -> Result<(), String> {
+    for (t, topic) in mined.hierarchy.topics.iter().enumerate() {
+        if !topic.rho.is_finite() {
+            return Err(format!("hierarchy.topics[{t}].rho = {}", topic.rho));
+        }
+        for (x, row) in topic.phi.iter().enumerate() {
+            if let Some(v) = row.iter().find(|v| !v.is_finite()) {
+                return Err(format!("hierarchy.topics[{t}].phi[{x}] contains {v}"));
+            }
+        }
+    }
+    for (t, fit) in mined.hierarchy.fits.iter().enumerate() {
+        let Some(fit) = fit else { continue };
+        if let Some(v) = fit.rho.iter().find(|v| !v.is_finite()) {
+            return Err(format!("fits[{t}].rho contains {v}"));
+        }
+        if let Some(v) = fit.alpha.iter().find(|v| !v.is_finite()) {
+            return Err(format!("fits[{t}].alpha contains {v}"));
+        }
+        for (x, per_z) in fit.phi.iter().enumerate() {
+            for row in per_z {
+                if let Some(v) = row.iter().find(|v| !v.is_finite()) {
+                    return Err(format!("fits[{t}].phi[{x}] contains {v}"));
+                }
+            }
+        }
+    }
+    for (t, list) in mined.topic_phrases.iter().enumerate() {
+        for p in list {
+            if !p.score.is_finite() || !p.topic_freq.is_finite() {
+                return Err(format!(
+                    "topic_phrases[{t}] has score {} / topic_freq {}",
+                    p.score, p.topic_freq
+                ));
+            }
+        }
+    }
+    for (t, per_type) in mined.topic_entities.iter().enumerate() {
+        for list in per_type {
+            if let Some((id, s)) = list.iter().find(|(_, s)| !s.is_finite()) {
+                return Err(format!("topic_entities[{t}] entity {id} score {s}"));
+            }
+        }
+    }
+    for (t, table) in mined.phrase_topic_freq.iter().enumerate() {
+        if let Some((_, f)) = table.iter().find(|(_, f)| !f.is_finite()) {
+            return Err(format!("phrase_topic_freq[{t}] contains {f}"));
+        }
+    }
+    for (d, row) in mined.doc_topic.iter().enumerate() {
+        if let Some(v) = row.iter().find(|v| !v.is_finite()) {
+            return Err(format!("doc_topic[{d}] contains {v}"));
+        }
+    }
+    Ok(())
+}
+
+/// Exports the structure and checks the JSON is structurally balanced.
+pub fn check_export(corpus: &Corpus, mined: &MinedStructure) -> Result<String, String> {
+    let json = hierarchy_to_json(corpus, mined, 10);
+    if !is_balanced_json(&json) {
+        return Err("hierarchy_to_json produced unbalanced JSON".into());
+    }
+    Ok(json)
+}
+
+/// Round-trips the structure through the snapshot store and checks
+/// `save(load(save(x))) == save(x)` byte-for-byte plus export equality of
+/// the reloaded structure.
+pub fn check_snapshot_roundtrip(
+    corpus: &Corpus,
+    mined: &MinedStructure,
+    json: &str,
+) -> Result<(), String> {
+    let bytes = lesm_serve::save_snapshot(corpus, mined);
+    let snap = lesm_serve::load_snapshot(&bytes).map_err(|e| format!("load_snapshot: {e}"))?;
+    let again = lesm_serve::save_snapshot(&snap.corpus, &snap.mined);
+    if again != bytes {
+        return Err(format!(
+            "snapshot re-save differs: {} vs {} bytes",
+            again.len(),
+            bytes.len()
+        ));
+    }
+    let json2 = check_export(&snap.corpus, &snap.mined)?;
+    if json2 != json {
+        return Err("reloaded snapshot exports different JSON".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! `lesm-fuzz` — the reusable adversarial-corpus harness (DESIGN.md §10).
+//!
+//! The dissertation's pipeline is a chain (CATHY/CATHYHIN → ToPMine →
+//! ranking → snapshot → serve), so one degenerate input can surface as a
+//! panic or a NaN several layers downstream. This crate pins the
+//! end-to-end contract instead:
+//!
+//! * **garbage in → typed error out**: hostile corpora and configs either
+//!   mine successfully or fail with `CoreError`/`SnapshotError`/CLI
+//!   `String` — never a panic;
+//! * **every emitted float is finite** and every JSON export balanced;
+//! * **snapshots round-trip byte-identically**, including structures whose
+//!   floats carry non-finite bit patterns.
+//!
+//! Cases are addressed by plain integers (see [`gen::case`]), so a failing
+//! case id is a complete reproducer. The `tests/adversarial.rs` suite runs
+//! the full case matrix; the `lesm-fuzz` binary runs a bounded batch for
+//! smoke flows (`scripts/fuzz_smoke.sh`). Future PRs extend the shape or
+//! mutation tables in [`gen`] rather than re-deriving a harness.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod check;
+pub mod gen;
+pub mod runner;
+
+pub use check::{check_export, check_finite, check_snapshot_roundtrip};
+pub use gen::{case, Case, NUM_CASES, NUM_CONFIGS, NUM_SHAPES};
+pub use runner::{
+    run_advisors_cases,
+    run_batch, run_case, run_cli_arg_cases, run_nonfinite_snapshot_cases, run_server_case,
+    run_tsv_cases, CaseFailure, CaseOutcome,
+};

@@ -1,0 +1,46 @@
+//! Bounded smoke entry point for the adversarial harness
+//! (`scripts/fuzz_smoke.sh`). Runs `--cases N` chain cases plus the CLI,
+//! TSV and non-finite-snapshot batteries, prints a one-line JSON summary,
+//! and exits non-zero on any contract violation.
+
+use lesm_fuzz::{run_batch, run_cli_arg_cases, run_nonfinite_snapshot_cases, run_tsv_cases};
+
+fn main() {
+    let mut cases = 64usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--cases" => {
+                let raw = args.next().unwrap_or_default();
+                cases = match raw.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("error: --cases got {raw:?}, which is not a valid case count");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("error: unknown flag {other}\nusage: lesm-fuzz [--cases N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (completed, typed, mut failures) = run_batch(0..cases);
+    failures.extend(run_nonfinite_snapshot_cases());
+    failures.extend(run_cli_arg_cases());
+    failures.extend(run_tsv_cases());
+
+    println!(
+        "{{\"chain_cases\": {cases}, \"completed\": {completed}, \"typed_errors\": {typed}, \
+         \"failures\": {}}}",
+        failures.len()
+    );
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,402 @@
+//! The chain driver: runs one adversarial case end-to-end under
+//! `catch_unwind` and classifies the outcome.
+
+use crate::check::{check_export, check_finite, check_snapshot_roundtrip};
+use crate::gen::{case, Case};
+use lesm_core::pipeline::{LatentStructureMiner, MinedStructure};
+use lesm_corpus::Corpus;
+use lesm_eval::pmi::{pmi_topic, CoOccurrenceStats};
+use std::io::{Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How one adversarial case ended. Both variants satisfy the contract;
+/// everything else is a [`CaseFailure`].
+#[derive(Debug)]
+pub enum CaseOutcome {
+    /// The chain ran to completion and every invariant held.
+    Completed,
+    /// The miner rejected the input with a typed error (rendered here).
+    TypedError(String),
+}
+
+/// A contract violation: the case id, its reproducer label, and what broke.
+#[derive(Debug)]
+pub struct CaseFailure {
+    /// The failing case id (feed back to [`case`] to reproduce).
+    pub id: usize,
+    /// Human-readable shape/config label.
+    pub label: String,
+    /// What went wrong (panic payload or violated invariant).
+    pub detail: String,
+}
+
+impl std::fmt::Display for CaseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "case {} [{}]: {}", self.id, self.label, self.detail)
+    }
+}
+
+/// Extracts a printable message from a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked: <non-string payload>".into()
+    }
+}
+
+/// Silences the default panic hook while `f` runs, so expected-panic
+/// probing does not spray backtraces over test output. The hook is global
+/// to the process: call this once around a whole batch, not per case.
+pub fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// Runs adversarial case `id` through the full
+/// `mine → export → snapshot → load → search` chain.
+///
+/// Invariants checked:
+/// 1. no stage panics (typed `Err` returns are fine),
+/// 2. every float in the mined structure is finite,
+/// 3. the JSON export is balanced, before and after a snapshot round-trip,
+/// 4. `save → load → save` is byte-identical,
+/// 5. search/render over hostile queries neither panics nor emits
+///    non-finite scores.
+pub fn run_case(id: usize) -> Result<CaseOutcome, CaseFailure> {
+    let Case { label, corpus, config } = case(id);
+    let fail = |detail: String| CaseFailure { id, label: label.clone(), detail };
+
+    let mined = match catch_unwind(AssertUnwindSafe(|| LatentStructureMiner::mine(&corpus, &config)))
+    {
+        Err(payload) => return Err(fail(panic_message(payload))),
+        Ok(Err(e)) => return Ok(CaseOutcome::TypedError(e.to_string())),
+        Ok(Ok(mined)) => mined,
+    };
+
+    let rest = catch_unwind(AssertUnwindSafe(|| drive_mined(&corpus, &mined)));
+    match rest {
+        Err(payload) => Err(fail(panic_message(payload))),
+        Ok(Err(detail)) => Err(fail(detail)),
+        Ok(Ok(())) => Ok(CaseOutcome::Completed),
+    }
+}
+
+/// Post-mine stages (export, snapshot, search, render, eval) — everything
+/// here must succeed on any structure `mine` was willing to produce.
+fn drive_mined(corpus: &Corpus, mined: &MinedStructure) -> Result<(), String> {
+    check_finite(mined)?;
+    let json = check_export(corpus, mined)?;
+    check_snapshot_roundtrip(corpus, mined, &json)?;
+
+    // Hostile queries: empty, unknown vocabulary, JSON metacharacters, and
+    // (when available) a real vocabulary term.
+    let mut queries: Vec<String> =
+        ["", "zzz unseen terms", "{\"]\\ \u{1}"].iter().map(|s| s.to_string()).collect();
+    if !corpus.vocab.is_empty() {
+        queries.push(corpus.vocab.render(&[0]));
+    }
+    for q in &queries {
+        let hits = lesm_core::search::search(corpus, mined, q, 10);
+        if let Some(h) = hits.iter().find(|h| !h.score.is_finite()) {
+            return Err(format!("search({q:?}) hit doc {} has score {}", h.doc, h.score));
+        }
+        let lines = lesm_core::search::render_hits(corpus, mined, &hits);
+        if lines.len() != hits.len() {
+            return Err("render_hits dropped or invented lines".into());
+        }
+    }
+
+    // Render every topic, plus an out-of-range probe through the public
+    // length check the server uses.
+    for t in 0..mined.hierarchy.len() {
+        let _ = mined.render_topic(corpus, t, 10);
+    }
+
+    // Coherence eval over the top phrases: finite even on empty corpora.
+    let stats = CoOccurrenceStats::from_corpus(corpus);
+    let tt = stats.term_type();
+    let items: Vec<(usize, u32)> = mined
+        .topic_phrases
+        .first()
+        .map(|l| l.iter().flat_map(|p| p.tokens.iter().map(|&w| (tt, w))).take(6).collect())
+        .unwrap_or_default();
+    let coherence = pmi_topic(&stats, &items);
+    if !coherence.is_finite() {
+        return Err(format!("pmi_topic over top phrases = {coherence}"));
+    }
+    Ok(())
+}
+
+/// Runs a batch of cases, returning `(completed, typed_errors, failures)`.
+pub fn run_batch(ids: impl Iterator<Item = usize>) -> (usize, usize, Vec<CaseFailure>) {
+    let mut completed = 0;
+    let mut typed = 0;
+    let mut failures = Vec::new();
+    with_quiet_panics(|| {
+        for id in ids {
+            match run_case(id) {
+                Ok(CaseOutcome::Completed) => completed += 1,
+                Ok(CaseOutcome::TypedError(_)) => typed += 1,
+                Err(f) => failures.push(f),
+            }
+        }
+    });
+    (completed, typed, failures)
+}
+
+/// Mines case `id`, snapshots it, serves the snapshot on an ephemeral
+/// port, and exercises every endpoint with hostile requests. Returns the
+/// raw responses for inspection; any panic, hung worker, or malformed
+/// response is a failure. Cases whose mine ends in a typed error are
+/// reported as `Ok(vec![])`.
+pub fn run_server_case(id: usize) -> Result<Vec<String>, CaseFailure> {
+    let Case { label, corpus, config } = case(id);
+    let fail = |detail: String| CaseFailure { id, label: label.clone(), detail };
+
+    let mined = match catch_unwind(AssertUnwindSafe(|| LatentStructureMiner::mine(&corpus, &config)))
+    {
+        Err(payload) => return Err(fail(panic_message(payload))),
+        Ok(Err(_)) => return Ok(Vec::new()),
+        Ok(Ok(m)) => m,
+    };
+    let bytes = lesm_serve::save_snapshot(&corpus, &mined);
+    let snap = match lesm_serve::load_snapshot(&bytes) {
+        Ok(s) => s,
+        Err(e) => return Err(fail(format!("load_snapshot: {e}"))),
+    };
+    let server_config = lesm_serve::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_capacity: 4,
+        ..lesm_serve::ServerConfig::default()
+    };
+    let handle = match lesm_serve::Server::start(snap, server_config) {
+        Ok(h) => h,
+        Err(e) => return Err(fail(format!("Server::start: {e}"))),
+    };
+    let addr = handle.addr();
+    let targets = [
+        "/search?q=word",
+        "/search?q=",
+        "/search?q=%7B%22%5C",
+        "/search?q=word&top=0",
+        "/topics/0",
+        "/topics/999999",
+        "/topics/NaN",
+        "/hierarchy",
+        "/healthz",
+        "/metrics",
+        "/no-such-endpoint",
+    ];
+    let mut responses = Vec::new();
+    for target in targets {
+        match http_get(&addr.to_string(), target) {
+            Ok(resp) => {
+                if !resp.starts_with("HTTP/1.1 ") {
+                    handle.shutdown();
+                    return Err(fail(format!("{target}: malformed response {resp:?}")));
+                }
+                responses.push(resp);
+            }
+            Err(e) => {
+                handle.shutdown();
+                return Err(fail(format!("{target}: {e}")));
+            }
+        }
+    }
+    handle.shutdown();
+    Ok(responses)
+}
+
+/// Minimal HTTP/1.1 GET returning the raw response text.
+fn http_get(addr: &str, target: &str) -> Result<String, String> {
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: fuzz\r\n\r\n").as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    stream.read_to_string(&mut out).map_err(|e| e.to_string())?;
+    Ok(out)
+}
+
+/// Round-trips structures whose floats are raw non-finite bit patterns
+/// (NaN, ±inf, signaling-NaN payloads) through the snapshot store: save →
+/// load → save must be byte-identical (floats travel as raw bits) and the
+/// JSON export of the loaded structure must stay balanced, with every
+/// non-finite score rendered as `null`, never as a bare `NaN`/`inf` token.
+pub fn run_nonfinite_snapshot_cases() -> Vec<CaseFailure> {
+    use lesm_hier::hierarchy::{HierTopic, TopicHierarchy};
+    use lesm_phrases::TopicalPhrase;
+
+    let bit_patterns: [u64; 8] = [
+        f64::NAN.to_bits(),
+        f64::INFINITY.to_bits(),
+        f64::NEG_INFINITY.to_bits(),
+        0x7ff0_0000_0000_0001, // signaling NaN
+        0xfff8_dead_beef_0001, // negative NaN with payload
+        (-0.0f64).to_bits(),
+        f64::MIN_POSITIVE.to_bits() - 1, // largest subnormal
+        1.0f64.to_bits(),
+    ];
+    let mut failures = Vec::new();
+    for (id, &bits) in bit_patterns.iter().enumerate() {
+        let x = f64::from_bits(bits);
+        let mut corpus = Corpus::new();
+        let w = corpus.vocab.intern("word");
+        let hierarchy = TopicHierarchy {
+            type_names: vec![],
+            topics: vec![HierTopic {
+                parent: None,
+                children: vec![],
+                level: 0,
+                path: "o".into(),
+                phi: vec![vec![x]],
+                rho: x,
+                network: lesm_net::TypedNetwork::new(vec![], vec![]),
+            }],
+            fits: vec![None],
+            alphas: vec![None],
+        };
+        let mined = MinedStructure {
+            hierarchy,
+            topic_phrases: vec![vec![TopicalPhrase {
+                tokens: vec![w],
+                score: x,
+                topic_freq: x,
+            }]],
+            topic_entities: vec![vec![]],
+            phrase_topic_freq: vec![std::collections::HashMap::from([(vec![w], x)])],
+            segments: vec![],
+            doc_topic: vec![],
+        };
+        let fail = |detail: String| CaseFailure {
+            id,
+            label: format!("nonfinite-snapshot bits={bits:#018x}"),
+            detail,
+        };
+        let bytes = lesm_serve::save_snapshot(&corpus, &mined);
+        let snap = match lesm_serve::load_snapshot(&bytes) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push(fail(format!("load_snapshot: {e}")));
+                continue;
+            }
+        };
+        let again = lesm_serve::save_snapshot(&snap.corpus, &snap.mined);
+        if again != bytes {
+            failures.push(fail("re-save not byte-identical".into()));
+            continue;
+        }
+        let json = lesm_core::export::hierarchy_to_json(&snap.corpus, &snap.mined, 10);
+        if !lesm_core::export::is_balanced_json(&json) {
+            failures.push(fail("unbalanced JSON after round-trip".into()));
+            continue;
+        }
+        // The vocabulary is a single tame word, so a bare non-finite token
+        // can only come from a float that leaked past json_number.
+        if json.contains("NaN") || json.contains("inf") {
+            failures.push(fail(format!("non-finite token leaked into JSON: {json}")));
+        }
+    }
+    failures
+}
+
+/// Feeds hostile argument vectors through the CLI parser; parsing must
+/// return `Ok`/`Err(String)` and never panic. Returns the failure list.
+pub fn run_cli_arg_cases() -> Vec<CaseFailure> {
+    let commands = ["mine", "snapshot", "serve", "search", "synth", "advisors", "", "–mine"];
+    let flags = ["--k", "--depth", "--em-tol", "--threads", "--workers", "--cache", "--docs", "--bogus"];
+    let values = ["0", "-1", "NaN", "inf", "18446744073709551616", "1e309", "", "x", "\u{0}"];
+    let mut failures = Vec::new();
+    let mut id = 0;
+    with_quiet_panics(|| {
+        for cmd in commands {
+            for flag in flags {
+                for value in values {
+                    let args: Vec<String> =
+                        ["input.tsv", flag, value].iter().map(|s| s.to_string()).collect();
+                    let mut full = vec![cmd.to_string()];
+                    full.extend(args);
+                    if let Err(payload) =
+                        catch_unwind(AssertUnwindSafe(|| lesm_cli::parse_args(&full)))
+                    {
+                        failures.push(CaseFailure {
+                            id,
+                            label: format!("cli-args {full:?}"),
+                            detail: panic_message(payload),
+                        });
+                    }
+                    id += 1;
+                }
+            }
+        }
+    });
+    failures
+}
+
+/// Drives the `advisors` CLI path (TPFG preprocessing + inference) over
+/// every corpus shape. Years are user-controlled TSV input, so extreme
+/// values must produce a typed error or a result — never an arithmetic
+/// panic.
+pub fn run_advisors_cases() -> Vec<CaseFailure> {
+    let mut failures = Vec::new();
+    with_quiet_panics(|| {
+        for shape in 0..crate::gen::NUM_SHAPES {
+            let (label, corpus) = crate::gen::corpus_shape(shape);
+            let run = catch_unwind(AssertUnwindSafe(|| lesm_cli::run_advisors(&corpus)));
+            if let Err(payload) = run {
+                failures.push(CaseFailure {
+                    id: shape,
+                    label: format!("advisors/{label}"),
+                    detail: panic_message(payload),
+                });
+            }
+        }
+    });
+    failures
+}
+
+/// Feeds hostile TSV bytes through the corpus loader; loading must return
+/// a typed `CorpusError` or a corpus, never panic.
+pub fn run_tsv_cases() -> Vec<CaseFailure> {
+    let inputs: &[&str] = &[
+        "",
+        "\n\n\n",
+        "\t\t\t",
+        "just text no tabs",
+        "text\tauthor=\t2001",
+        "text\t=name\t2001",
+        "text\tauthor=a|author=a\tnot-a-year",
+        "text\tauthor=a\t99999999999999999999",
+        "\ttab first\t",
+        "a\tb\tc\td\te",
+        "tok\tauthor=\u{0}\t-2147483648",
+        "x\ty=z\t2001\nx\ty=z\t2001\nx\ty=z\t2001",
+    ];
+    let mut failures = Vec::new();
+    with_quiet_panics(|| {
+        for (id, tsv) in inputs.iter().enumerate() {
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                lesm_corpus::load_tsv(tsv.as_bytes(), &lesm_corpus::LoadOptions::default())
+                    .map(|c| c.num_docs())
+            }));
+            if let Err(payload) = run {
+                failures.push(CaseFailure {
+                    id,
+                    label: format!("tsv {tsv:?}"),
+                    detail: panic_message(payload),
+                });
+            }
+        }
+    });
+    failures
+}

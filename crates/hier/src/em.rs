@@ -159,10 +159,14 @@ pub struct EmFit {
 
 impl EmFit {
     /// Top `n` nodes of type `x` in subtopic `z` (0-based subtopic index).
+    ///
+    /// Sorting uses `f64::total_cmp`, so a hypothetical NaN score degrades
+    /// to a deterministic ordering instead of a panic (the no-panic
+    /// contract in DESIGN.md §10); non-NaN inputs order exactly as before.
     pub fn top_nodes(&self, x: usize, z: usize, n: usize) -> Vec<(u32, f64)> {
         let mut idx: Vec<(u32, f64)> =
             self.phi[x][z].iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
-        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN"));
+        idx.sort_by(|a, b| b.1.total_cmp(&a.1));
         idx.truncate(n);
         idx
     }
@@ -542,8 +546,11 @@ fn fit_alpha(
             run_em(state, config, &scaled, m_total, &theta, config.seed, Some(prev.arena), scratch)
         }
         None => {
-            let mut best: Option<ArenaFit> = None;
-            for restart in 0..config.restarts.max(1) {
+            // Restart 0 seeds `best` directly (its seed offset is 0), so no
+            // `Option` unwrap is needed to prove the loop produced a fit.
+            let mut best =
+                run_em(state, config, &scaled, m_total, &theta, config.seed, None, scratch);
+            for restart in 1..config.restarts.max(1) {
                 let f = run_em(
                     state,
                     config,
@@ -554,11 +561,11 @@ fn fit_alpha(
                     None,
                     scratch,
                 );
-                if best.as_ref().is_none_or(|b| f.objective > b.objective) {
-                    best = Some(f);
+                if f.objective > best.objective {
+                    best = f;
                 }
             }
-            best.expect("at least one restart")
+            best
         }
     }
 }

@@ -204,11 +204,13 @@ impl TopicHierarchy {
         (0..self.topics.len()).filter(|&t| self.topics[t].children.is_empty()).collect()
     }
 
-    /// Top `n` nodes of type `x` in topic `t`.
+    /// Top `n` nodes of type `x` in topic `t`. `total_cmp` keeps the sort
+    /// panic-free even for NaN scores (DESIGN.md §10); non-NaN inputs
+    /// order exactly as before.
     pub fn top_nodes(&self, t: usize, x: usize, n: usize) -> Vec<(u32, f64)> {
         let mut idx: Vec<(u32, f64)> =
             self.topics[t].phi[x].iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
-        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN"));
+        idx.sort_by(|a, b| b.1.total_cmp(&a.1));
         idx.truncate(n);
         idx
     }

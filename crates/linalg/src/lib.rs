@@ -14,6 +14,9 @@
 //! * [`tensor`] — dense symmetric 3-mode tensors and contractions.
 //! * [`sparse`] — CSR-style document/term count matrices.
 
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 // Index-based loops are kept where they mirror the paper's equations.
 #![allow(clippy::needless_range_loop)]
 

@@ -13,6 +13,9 @@
 //! Link weights are *presence-based*: the weight between two nodes is the
 //! number of documents in which both occur (Example 3.1).
 
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use lesm_corpus::Corpus;
 use std::collections::HashMap;
 

@@ -21,6 +21,9 @@
 //! helpers are applied to (EM sweeps over all edges, tensor moment
 //! accumulation over all documents, matrix products).
 
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use std::num::NonZeroUsize;
 use std::ops::Range;
 

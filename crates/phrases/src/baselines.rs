@@ -49,12 +49,7 @@ fn rank_by(
             topic_freq: ft as f64,
         })
         .collect();
-    list.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("non-NaN score")
-            .then_with(|| a.tokens.cmp(&b.tokens))
-    });
+    list.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.tokens.cmp(&b.tokens)));
     list.truncate(top_n);
     list
 }

@@ -192,10 +192,7 @@ impl Kert {
                 list.push(TopicalPhrase { tokens: p.clone(), score, topic_freq: ft as f64 });
             }
             list.sort_by(|a, b| {
-                b.score
-                    .partial_cmp(&a.score)
-                    .expect("non-NaN score")
-                    .then_with(|| a.tokens.cmp(&b.tokens))
+                b.score.total_cmp(&a.score).then_with(|| a.tokens.cmp(&b.tokens))
             });
             list.truncate(config.top_n);
             out.push(list);

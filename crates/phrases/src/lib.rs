@@ -8,6 +8,9 @@
 //!   segmentation (Algorithm 2), and topical phrase ranking (eq. 4.9).
 //! * [`baselines`] — the kpRel / kpRelInt* ranking baselines of §4.4.1.
 
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod baselines;
 pub mod kert;
 pub mod topmine;

@@ -401,12 +401,7 @@ fn rank_topical_phrases(
         }
     }
     for list in &mut per_topic {
-        list.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("non-NaN score")
-                .then_with(|| a.tokens.cmp(&b.tokens))
-        });
+        list.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.tokens.cmp(&b.tokens)));
         list.truncate(config.top_n);
     }
     per_topic

@@ -17,8 +17,7 @@ pub fn rule_predict(graph: &CandidateGraph) -> Vec<Option<u32>> {
                 .iter()
                 .max_by(|a, b| {
                     a.features[3]
-                        .partial_cmp(&b.features[3])
-                        .expect("non-NaN co-pub count")
+                        .total_cmp(&b.features[3])
                         .then_with(|| b.advisor.cmp(&a.advisor))
                 })
                 .map(|c| c.advisor)
@@ -165,7 +164,7 @@ impl PairSvm {
                 cands
                     .iter()
                     .map(|c| (c.advisor, self.score(&c.features)))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("non-NaN").then_with(|| b.0.cmp(&a.0)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
                     .map(|(a, _)| a)
             })
             .collect()

@@ -167,10 +167,7 @@ impl HierCrf {
                 c.likelihood = self.potential(&c.features);
             }
             cands.sort_by(|a, b| {
-                b.likelihood
-                    .partial_cmp(&a.likelihood)
-                    .expect("non-NaN")
-                    .then_with(|| a.advisor.cmp(&b.advisor))
+                b.likelihood.total_cmp(&a.likelihood).then_with(|| a.advisor.cmp(&b.advisor))
             });
         }
         let cfg = TpfgConfig { root_prior: self.root_potential(), ..TpfgConfig::default() };

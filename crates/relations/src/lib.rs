@@ -16,6 +16,9 @@
 //! * [`crf`] — the supervised conditional-random-field variant (§6.2) with
 //!   log-linear potentials trained by regularized pseudo-likelihood.
 
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod baselines;
 pub mod crf;
 pub mod preprocess;

@@ -154,10 +154,7 @@ impl CandidateGraph {
         }
         for list in &mut candidates {
             list.sort_by(|x, y| {
-                y.likelihood
-                    .partial_cmp(&x.likelihood)
-                    .expect("non-NaN likelihood")
-                    .then_with(|| x.advisor.cmp(&y.advisor))
+                y.likelihood.total_cmp(&x.likelihood).then_with(|| x.advisor.cmp(&y.advisor))
             });
         }
         if candidates.iter().all(Vec::is_empty) {
@@ -189,16 +186,17 @@ fn evaluate_pair(
     config: &PreprocessConfig,
 ) -> Option<Candidate> {
     let profile = profile_pair(advisee, advisor, pair_years, per_author);
-    if profile.years.is_empty() {
-        return None;
-    }
+    let (&first, &last) = profile.years.first().zip(profile.years.last())?;
+    // Years are raw user input (TSV), so spans and head starts are
+    // computed in i64: `i32::MAX - i32::MIN` style extremes must degrade
+    // to a rule decision, not an overflow panic.
     // Rule R3: single-year collaborations.
-    let span = profile.years.last().unwrap() - profile.years[0] + 1;
+    let span = i64::from(last) - i64::from(first) + 1;
     if config.rule_min_years && span < 2 {
         return None;
     }
     // Rule R4: advisor head start before first collaboration.
-    if config.rule_head_start && first_year[advisor as usize] + 2 > profile.years[0] {
+    if config.rule_head_start && i64::from(first_year[advisor as usize]) + 2 > i64::from(first) {
         return None;
     }
     let kulc: Vec<f64> = (0..profile.years.len()).map(|t| kulc_at(&profile, t)).collect();
@@ -217,7 +215,7 @@ fn evaluate_pair(
     // Interval estimation.
     let st = profile.years[0];
     let ed_idx = end_index(&kulc, config.year_rule);
-    let ed = profile.years[ed_idx].max(st + 1);
+    let ed = profile.years[ed_idx].max(st.saturating_add(1));
     // Local likelihood over [st, ed].
     let in_range: Vec<usize> =
         (0..profile.years.len()).filter(|&t| profile.years[t] <= ed).collect();
@@ -237,7 +235,8 @@ fn evaluate_pair(
         LocalLikelihood::Average => (avg_kulc + avg_ir.max(0.0)) / 2.0,
     };
     let total_copubs: f64 = pair_years.values().sum();
-    let gap = (first_year[advisee as usize] - first_year[advisor as usize]) as f64;
+    let gap =
+        (i64::from(first_year[advisee as usize]) - i64::from(first_year[advisor as usize])) as f64;
     Some(Candidate {
         advisor,
         interval: (st, ed),

@@ -150,7 +150,7 @@ impl Tpfg {
         for (i, cands) in graph.candidates.iter().enumerate() {
             let mut list: Vec<(u32, f64)> =
                 cands.iter().zip(&r[i]).map(|(c, &p)| (c.advisor, p)).collect();
-            list.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+            list.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             root_prob.push(*r[i].last().unwrap_or(&1.0));
             ranking.push(list);
         }

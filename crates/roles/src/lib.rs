@@ -8,6 +8,9 @@
 //! * **Type-B** (given roles, find entities): the popularity × purity
 //!   entity ranking `ERankPop+Pur` (§5.2) — module [`type_b`].
 
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 // Index-based loops are kept where they mirror the paper's equations.
 #![allow(clippy::needless_range_loop)]
 

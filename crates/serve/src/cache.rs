@@ -77,12 +77,17 @@ impl<V> ShardedLruCache<V> {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
+    // Shard locks recover from poisoning (`into_inner`) instead of
+    // panicking: a worker that died holding a shard leaves at worst a
+    // stale recency ordering, which only affects which entry gets
+    // evicted next — never correctness of cached responses.
+
     /// Looks up `key`, refreshing its recency on a hit.
     pub fn get(&self, key: &str) -> Option<Arc<V>> {
         if self.is_disabled() {
             return None;
         }
-        self.shard(key).lock().expect("cache shard poisoned").get(key)
+        self.shard(key).lock().unwrap_or_else(|poisoned| poisoned.into_inner()).get(key)
     }
 
     /// Inserts `key`, evicting the shard's least recently used entry when
@@ -91,14 +96,14 @@ impl<V> ShardedLruCache<V> {
         if self.is_disabled() {
             return;
         }
-        self.shard(&key).lock().expect("cache shard poisoned").put(key, value);
+        self.shard(&key).lock().unwrap_or_else(|poisoned| poisoned.into_inner()).put(key, value);
     }
 
     /// Total entries currently cached (for tests and metrics).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .map(|s| s.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).map.len())
             .sum()
     }
 
@@ -110,7 +115,7 @@ impl<V> ShardedLruCache<V> {
     fn is_disabled(&self) -> bool {
         self.shards
             .iter()
-            .all(|s| s.lock().expect("cache shard poisoned").capacity == 0)
+            .all(|s| s.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).capacity == 0)
     }
 }
 

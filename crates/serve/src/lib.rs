@@ -20,6 +20,9 @@
 //! Serving is deterministic: every endpoint's response is byte-identical
 //! to the offline CLI output for the same snapshot, for any worker count.
 
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod cache;
 pub mod http;
 pub mod metrics;

@@ -160,9 +160,12 @@ fn worker_loop(
 ) {
     loop {
         // Lock only for the duration of the channel wait, not the handling.
+        // A poisoned mutex means a sibling worker panicked mid-wait; the
+        // receiver itself is still valid, so recover it rather than
+        // cascading the panic through the whole pool.
         let received = rx
             .lock()
-            .expect("receiver mutex poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .recv_timeout(Duration::from_millis(50));
         match received {
             Ok(stream) => handle_connection(stream, state, config),
@@ -237,7 +240,9 @@ fn cached(endpoint: Endpoint, req: &Request, state: &Arc<ServerState>) -> Respon
         Endpoint::Search => handle_search(req, state),
         Endpoint::Topics => handle_topic(req, state),
         Endpoint::Hierarchy => handle_hierarchy(state),
-        _ => unreachable!("cached() is only called for query endpoints"),
+        // Non-query endpoints never reach here (route() answers them
+        // directly); answer 404 instead of panicking if that ever changes.
+        _ => Response::error(404, "no such endpoint"),
     };
     if response.status == 200 {
         state.cache.put(key, Arc::new(response.clone()));

@@ -17,6 +17,9 @@
 //! 4. [`tree`] — recursive construction of a topic tree: each child topic
 //!    re-runs STROD on documents reweighted by their topic posterior.
 
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 // Index-based loops are kept where they mirror the paper's equations.
 #![allow(clippy::needless_range_loop)]
 

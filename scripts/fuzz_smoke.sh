@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Smoke-run the adversarial-corpus harness (DESIGN.md §10).
+#
+# Builds the `lesm-fuzz` binary and drives a bounded batch of hostile
+# (corpus shape × config mutation) cases through the full
+# mine → export → snapshot → load → search chain, plus the non-finite
+# snapshot, CLI-argument, and TSV-loader batteries. The binary prints a
+# one-line JSON summary and exits non-zero if any case panics, emits a
+# non-finite float, or produces unbalanced JSON — so this script is safe
+# to gate on.
+#
+# Case count is env-driven: LESM_FUZZ_CASES (default 64) bounds the
+# chain-case batch for quick smokes; the full deterministic matrix runs
+# under `cargo test -p lesm-fuzz`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cases="${LESM_FUZZ_CASES:-64}"
+
+cargo run --release -p lesm-fuzz --bin lesm-fuzz -- --cases "$cases"
