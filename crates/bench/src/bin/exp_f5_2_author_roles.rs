@@ -31,7 +31,7 @@ fn main() {
             *mass.entry(gt.doc_leaf[d]).or_insert(0.0) += mined.doc_topic[d][s];
         }
         mass.into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("non-NaN"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(l, _)| l)
             .expect("non-empty")
     };

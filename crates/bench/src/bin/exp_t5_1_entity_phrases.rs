@@ -29,7 +29,7 @@ fn main() {
     }
     let (&dominant_leaf, _) = leaf_mass
         .iter()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty");
     let dedicated = papers.truth.entity_home[0]
         .iter()

@@ -39,7 +39,7 @@ fn main() {
         let (best_z, _) = dist
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty");
         let t = level1[best_z];
         let w: Vec<f64> = (0..corpus.num_docs()).map(|d| mined.doc_topic[d][t]).collect();

@@ -92,7 +92,7 @@ fn main() {
         for t in topics {
             let mut idx: Vec<(u32, f64)> =
                 t.iter().enumerate().map(|(w, &p)| (w as u32, p)).collect();
-            idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN"));
+            idx.sort_by(|a, b| b.1.total_cmp(&a.1));
             let items: Vec<(usize, u32)> =
                 idx.into_iter().take(20).map(|(w, _)| (term_type, w)).collect();
             total += pmi_topic(&stats, &items);

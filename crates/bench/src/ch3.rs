@@ -90,7 +90,7 @@ pub fn topk_subtopics(corpus: &Corpus, k: usize, top_n: usize) -> SubtopicRankin
         .into_iter()
         .map(|m| {
             let mut v: Vec<(u32, f64)> = m.into_iter().collect();
-            v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+            v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             v.truncate(top_n);
             v
         })
@@ -233,7 +233,7 @@ pub fn method_cathy(
                     .map(|m| {
                         let mut v: Vec<(u32, f64)> = m.into_iter().collect();
                         v.sort_by(|a, b| {
-                            b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0))
+                            b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
                         });
                         v.into_iter().take(20).map(|(id, _)| id).collect()
                     })
@@ -351,7 +351,7 @@ fn rank_cluster_phrases(
             (p.to_vec(), p_in * (p_in / p_all.max(1e-12)).ln().max(0.0))
         })
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     scored.into_iter().take(top_n).map(|(p, _)| p).collect()
 }
 

@@ -1,0 +1,40 @@
+//! Same-process repeatability: the determinism contract (DESIGN.md §11)
+//! promises byte-identical exports for identical inputs *within one
+//! process*, where each `HashMap` instance gets a fresh random hash seed.
+//! Running the pipelines twice in a single test catches any remaining
+//! iteration-order dependence that a run-to-run diff across processes
+//! would only catch flakily.
+
+use lesm_cli::{corpus_to_papers, run_advisors, run_mine};
+use lesm_corpus::synth::{PapersConfig, SyntheticPapers};
+
+fn fixture() -> lesm_corpus::Corpus {
+    let mut cfg = PapersConfig::dblp(250, 91);
+    cfg.hierarchy.branching = vec![2];
+    cfg.entity_specs[0].level = 1;
+    cfg.entity_specs[0].pool_per_node = 5;
+    cfg.entity_specs[1].pool_per_node = 2;
+    SyntheticPapers::generate(&cfg).expect("synth corpus").corpus
+}
+
+#[test]
+fn mine_export_is_byte_identical_within_one_process() {
+    let corpus = fixture();
+    let first = run_mine(&corpus, 2, 1, 2, 1e-8).expect("first mine");
+    let second = run_mine(&corpus, 2, 1, 2, 1e-8).expect("second mine");
+    assert!(first == second, "mine JSON export differs between identical same-process runs");
+    assert!(!first.is_empty() && first.contains("\"phrases\""));
+}
+
+#[test]
+fn advisor_mining_is_byte_identical_within_one_process() {
+    // run_advisors exercises the TPFG preprocessing path, whose candidate
+    // features are float sums over per-pair yearly co-publication maps —
+    // exactly the accumulation class D2 polices.
+    let corpus = fixture();
+    let (papers, _) = corpus_to_papers(&corpus).expect("papers view");
+    assert!(!papers.is_empty(), "fixture must yield author/year records");
+    let first = run_advisors(&corpus).expect("first advisors run");
+    let second = run_advisors(&corpus).expect("second advisors run");
+    assert!(first == second, "advisor output differs between identical same-process runs");
+}

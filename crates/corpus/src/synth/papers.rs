@@ -451,7 +451,7 @@ mod tests {
             let (best_leaf, _) = dist
                 .iter()
                 .copied()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(&b.1))
                 .unwrap();
             if best_leaf == *home {
                 consistent += 1;

@@ -98,7 +98,7 @@ pub fn jacobi_eigen(a: &Mat, max_sweeps: usize, tol: f64) -> Eigen {
         }
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("non-NaN eigenvalue"));
+    order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
     let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
     let mut vectors = Mat::zeros(n, n);
     for (new_c, &old_c) in order.iter().enumerate() {
@@ -197,7 +197,7 @@ pub fn topk_eigen_threads(
     });
     // Sort descending by eigenvalue.
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&i, &j| values[j].partial_cmp(&values[i]).expect("non-NaN"));
+    order.sort_by(|&i, &j| values[j].total_cmp(&values[i]));
     let sorted_vals: Vec<f64> = order.iter().map(|&i| values[i]).collect();
     let mut sorted_vecs = Mat::zeros(n, k);
     for (new_c, &old_c) in order.iter().enumerate() {

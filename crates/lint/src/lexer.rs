@@ -1,0 +1,456 @@
+//! A hand-rolled lexer for (a useful superset of) Rust source.
+//!
+//! The rule engine only needs a token stream that is *reliable about what
+//! is code and what is not*: line comments, (nested) block comments,
+//! string literals, raw strings with any hash count, byte strings, char
+//! literals vs. lifetimes, and numbers must never leak their contents
+//! into the significant-token stream, or `// unwrap() is fine here` and
+//! `"partial_cmp"` would produce phantom violations.
+//!
+//! The lexer therefore works on raw bytes (`&[u8]`), is total (every
+//! input — including invalid UTF-8 and truncated literals — produces a
+//! token stream; unterminated literals extend to end of input), and
+//! never panics. Bytes `>= 0x80` are treated as identifier characters
+//! outside literals, which is the right call for the only place valid
+//! Rust allows them (identifiers) and harmless everywhere else.
+
+/// What a token is; the rule engine mostly cares about `Ident`, `Punct`
+/// and the comment kinds (for pragmas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (also raw identifiers, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Numeric literal, including suffixed (`1_000u64`, `0x1f`, `1e-9`).
+    Number,
+    /// `"…"` or `b"…"` string literal.
+    Str,
+    /// `r"…"` / `r#"…"#` / `br#"…"#` raw string literal.
+    RawStr,
+    /// `'x'` / `b'x'` char or byte literal.
+    Char,
+    /// Any other single byte of punctuation (`::` is two `:` tokens).
+    Punct,
+    /// `// …` (also `///`, `//!`); text excludes the newline.
+    LineComment,
+    /// `/* … */`, nesting-aware.
+    BlockComment,
+}
+
+/// One lexed token: byte span into the source plus the 1-based line its
+/// first byte sits on.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's bytes within `src`.
+    pub fn text<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        src.get(self.start..self.end).unwrap_or(b"")
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Total: never fails, never panics, and the returned
+/// spans are in-bounds, non-overlapping and monotonically increasing.
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    Lexer { src, i: 0, line: 1, toks: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    toks: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.src.len() {
+            let b = self.src[self.i];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' | 0x0b | 0x0c => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.i),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.push(TokenKind::Punct, self.i, self.i + 1, self.line);
+                    self.i += 1;
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, end: usize, line: u32) {
+        self.toks.push(Token { kind, start, end: end.min(self.src.len()), line });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while self.i < self.src.len() && self.src[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.push(TokenKind::LineComment, start, self.i, line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        self.i += 2; // consume `/*`
+        let mut depth = 1usize;
+        while self.i < self.src.len() && depth > 0 {
+            match (self.src[self.i], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokenKind::BlockComment, start, self.i, line);
+    }
+
+    /// A `"…"` string whose token span starts at `start` (which may be
+    /// earlier than the opening quote for `b"…"`). `self.i` must sit on
+    /// the opening `"`.
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        while self.i < self.src.len() {
+            match self.src[self.i] {
+                b'\\' => self.i = (self.i + 2).min(self.src.len()),
+                b'"' => {
+                    self.i += 1;
+                    self.push(TokenKind::Str, start, self.i, line);
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokenKind::Str, start, self.i, line); // unterminated
+    }
+
+    /// A raw string; `self.i` sits on the first `#` or the opening `"`,
+    /// `start` is the span start (at the `r`/`b` prefix).
+    fn raw_string(&mut self, start: usize) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote (guaranteed by caller's lookahead)
+        loop {
+            match self.peek(0) {
+                None => break, // unterminated
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(1 + seen) == Some(b'#') {
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        self.i += 1 + hashes;
+                        break;
+                    }
+                    self.i += 1;
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+        self.push(TokenKind::RawStr, start, self.i, line);
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn char_or_lifetime(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: scan to the closing quote.
+                self.i += 2;
+                while self.i < self.src.len() {
+                    match self.src[self.i] {
+                        b'\\' => self.i = (self.i + 2).min(self.src.len()),
+                        b'\'' => {
+                            self.i += 1;
+                            break;
+                        }
+                        b'\n' => break, // malformed; don't swallow the line
+                        _ => self.i += 1,
+                    }
+                }
+                self.push(TokenKind::Char, start, self.i, line);
+            }
+            Some(b) if is_ident_continue(b) => {
+                // `'a` — lifetime unless a closing quote follows the
+                // identifier-shaped run ('x', '字', '_').
+                let mut j = self.i + 1;
+                while j < self.src.len() && is_ident_continue(self.src[j]) {
+                    j += 1;
+                }
+                if self.src.get(j) == Some(&b'\'') {
+                    self.i = j + 1;
+                    self.push(TokenKind::Char, start, self.i, line);
+                } else {
+                    self.i = j;
+                    self.push(TokenKind::Lifetime, start, self.i, line);
+                }
+            }
+            _ => {
+                // `'''`, a stray quote at EOF, `'(`… — not meaningful to
+                // any rule; emit the quote as punctuation and move on.
+                self.push(TokenKind::Punct, start, self.i + 1, line);
+                self.i += 1;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while self.i < self.src.len() {
+            let b = self.src[self.i];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // `1e-9` / `2E+10`: the sign belongs to the literal.
+                if (b == b'e' || b == b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.i += 2;
+                }
+                self.i += 1;
+            } else if b == b'.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !matches!(self.toks.last(), Some(t) if t.kind == TokenKind::Punct
+                    && t.end == start && t.text(self.src) == b".")
+            {
+                // Fractional part — but `0..10` must stay two tokens, and
+                // `x.0.1` (tuple-in-tuple) keeps `.` as punctuation.
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, start, self.i, line);
+    }
+
+    /// An identifier, which may turn out to prefix a literal: `r"…"`,
+    /// `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, or a raw identifier
+    /// `r#match`.
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let mut j = self.i;
+        while j < self.src.len() && is_ident_continue(self.src[j]) {
+            j += 1;
+        }
+        let ident = &self.src[start..j];
+        let next = self.src.get(j).copied();
+        match (ident, next) {
+            (b"r" | b"b" | b"br" | b"rb", Some(b'"')) => {
+                self.i = j;
+                if ident == b"b" {
+                    self.string(start);
+                } else {
+                    self.raw_string(start);
+                }
+            }
+            (b"r" | b"br" | b"rb", Some(b'#')) => {
+                // Raw string with hashes — or a raw identifier (`r#match`).
+                let mut k = j;
+                while self.src.get(k) == Some(&b'#') {
+                    k += 1;
+                }
+                if self.src.get(k) == Some(&b'"') {
+                    self.i = j;
+                    self.raw_string(start);
+                } else if ident == b"r" && k == j + 1 && self.src.get(k).copied().is_some_and(is_ident_start) {
+                    let mut m = k;
+                    while m < self.src.len() && is_ident_continue(self.src[m]) {
+                        m += 1;
+                    }
+                    self.i = m;
+                    self.push(TokenKind::Ident, start, m, line);
+                } else {
+                    self.i = j;
+                    self.push(TokenKind::Ident, start, j, line);
+                }
+            }
+            (b"b", Some(b'\'')) => {
+                self.i = j;
+                // Reuse the char scanner; span start includes the `b`.
+                let save = self.toks.len();
+                self.char_or_lifetime();
+                if let Some(t) = self.toks.get_mut(save) {
+                    t.start = start;
+                }
+            }
+            _ => {
+                self.i = j;
+                self.push(TokenKind::Ident, start, j, line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src.as_bytes())
+            .into_iter()
+            .map(|t| (t.kind, String::from_utf8_lossy(t.text(src.as_bytes())).into_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn line_and_block_comments() {
+        let toks = kinds("a // hi\nb /* x /* nested */ y */ c");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b", "c"]);
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::LineComment && s == "// hi"));
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::BlockComment && s == "/* x /* nested */ y */"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "call .unwrap() // here"; x"#);
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Str && s.contains("unwrap")));
+        // No Ident token named unwrap escaped the literal.
+        assert!(!toks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "unwrap"));
+        assert!(!toks.iter().any(|(k, _)| matches!(k, TokenKind::LineComment)));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"inner " quote .expect("x")"# ; done"###);
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::RawStr && s.contains("expect")));
+        assert!(!toks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "expect"));
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "done"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let a = b"unwrap"; let c = b'x'; let d = br#"y"#;"##);
+        assert!(!toks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "unwrap"));
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Char && s == "b'x'"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::RawStr));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'z'; let n = '\\n'; }");
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Lifetime && s == "'a"));
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Char && s == "'z'"));
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Char && s == "'\\n'"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "r#match"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e-3f64; let y = t.0.1; }");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert!(nums.contains(&"0"));
+        assert!(nums.contains(&"10"));
+        assert!(nums.contains(&"1.5e-3f64"));
+        // Tuple field access stays split: `.0` / `.1`, not `0.1`.
+        assert!(nums.contains(&"0") && nums.contains(&"1"));
+        assert!(!nums.contains(&"0.1"));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a\nb\n/* c\nd */\ne";
+        let toks = lex(src.as_bytes());
+        let by_text: Vec<(String, u32)> = toks
+            .iter()
+            .map(|t| (String::from_utf8_lossy(t.text(src.as_bytes())).into_owned(), t.line))
+            .collect();
+        assert!(by_text.contains(&("a".into(), 1)));
+        assert!(by_text.contains(&("b".into(), 2)));
+        assert!(by_text.contains(&("e".into(), 5)));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* open", "'", "b'", "1e+", "r#"] {
+            let toks = lex(src.as_bytes());
+            for t in &toks {
+                assert!(t.start <= t.end && t.end <= src.len());
+            }
+        }
+    }
+
+    #[test]
+    fn spans_are_monotonic_and_in_bounds() {
+        let src = "fn main() { let x = \"s\"; /* c */ 'a' }";
+        let toks = lex(src.as_bytes());
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start >= prev_end);
+            assert!(t.end <= src.len());
+            prev_end = t.end;
+        }
+    }
+}

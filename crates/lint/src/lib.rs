@@ -1,0 +1,214 @@
+//! lesm-lint — the workspace determinism & robustness auditor.
+//!
+//! Every guarantee the lesm workspace sells — bit-identical output
+//! across thread counts, byte-identical snapshots and server responses,
+//! panic-free typed errors — used to be enforced only by after-the-fact
+//! tests. This crate enforces them at the *source* level, on every
+//! build: a hand-rolled lexer ([`lexer`]), a `#[cfg(test)]` scope
+//! tracker ([`scope`]), and a rule engine ([`rules`]) checking the
+//! static-analysis contract of DESIGN.md §11. The sole escape hatch is
+//! the `// lesm-lint: allow(rule) — reason` pragma ([`pragma`]), whose
+//! reason is mandatory.
+//!
+//! The linter must itself satisfy the contract it enforces, so this
+//! crate uses no `HashMap`, no `unwrap`, and returns typed errors.
+
+// DESIGN.md §10: library code must surface typed errors, not unwraps.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod scope;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_source, FileClass, RuleId, Violation};
+
+/// A violation annotated with the file it was found in.
+#[derive(Debug, Clone)]
+pub struct FileViolation {
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// The violation itself.
+    pub violation: Violation,
+}
+
+impl fmt::Display for FileViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = &self.violation;
+        write!(
+            f,
+            "{}:{}: {}: {}\n    {}",
+            self.path,
+            v.line,
+            v.rule.as_str(),
+            v.note,
+            v.snippet
+        )
+    }
+}
+
+/// Why a lint run could not complete.
+#[derive(Debug)]
+pub enum LintError {
+    /// Filesystem access failed.
+    Io {
+        /// Offending path.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// The given root is not a lesm workspace.
+    NotAWorkspace(PathBuf),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, source } => write!(f, "io error at {}: {source}", path.display()),
+            Self::NotAWorkspace(p) => {
+                write!(f, "{} does not look like the lesm workspace root (no crates/ dir)", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Crates whose every file is [`FileClass::Bin`]: experiment drivers and
+/// user-facing binaries, which are allowed to print and to crash.
+const BIN_CRATES: [&str; 3] = ["cli", "bench", "fuzz-harness"];
+
+/// Directory names never walked: generated output, third-party code,
+/// and test/bench/example sources (test code is exempt from the
+/// contract wholesale, so there is nothing to check there).
+const SKIP_DIRS: [&str; 7] = ["target", "vendor", "tests", "benches", "examples", ".git", "fixtures"];
+
+/// Classifies a workspace-relative path. Returns `None` for files the
+/// contract does not govern.
+pub fn classify(rel: &str) -> Option<FileClass> {
+    let rel = rel.replace('\\', "/");
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    for d in SKIP_DIRS {
+        if rel.split('/').any(|seg| seg == d) {
+            return None;
+        }
+    }
+    if rel == "build.rs" || rel.ends_with("/build.rs") {
+        return None;
+    }
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let (krate, _) = rest.split_once('/')?;
+        if BIN_CRATES.contains(&krate) {
+            return Some(FileClass::Bin);
+        }
+        if rest.ends_with("/src/main.rs") || rel.contains("/src/bin/") {
+            return Some(FileClass::Bin);
+        }
+        return Some(FileClass::Lib);
+    }
+    if rel.starts_with("src/") {
+        // The facade crate at the workspace root is library code.
+        return Some(FileClass::Lib);
+    }
+    None
+}
+
+/// Recursively lists `.rs` files under `dir`, sorted by name at every
+/// level — the linter's own output must be deterministic.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|source| LintError::Io { path: dir.to_path_buf(), source })?;
+    let mut names: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::Io { path: dir.to_path_buf(), source })?;
+        names.push(entry.path());
+    }
+    names.sort();
+    for path in names {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one file on disk. `rel` is the workspace-relative path used
+/// for classification and reporting.
+pub fn lint_file(root: &Path, rel: &str) -> Result<Vec<FileViolation>, LintError> {
+    let Some(class) = classify(rel) else { return Ok(Vec::new()) };
+    let abs = root.join(rel);
+    let src = std::fs::read(&abs).map_err(|source| LintError::Io { path: abs, source })?;
+    Ok(check_source(&src, class)
+        .into_iter()
+        .map(|violation| FileViolation { path: rel.to_string(), violation })
+        .collect())
+}
+
+/// Lints the whole workspace rooted at `root`: every governed `.rs`
+/// file under `crates/` and `src/`. Results are sorted by path, then
+/// line.
+pub fn lint_workspace(root: &Path) -> Result<Vec<FileViolation>, LintError> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(LintError::NotAWorkspace(root.to_path_buf()));
+    }
+    let mut files: Vec<PathBuf> = Vec::new();
+    walk(&crates_dir, &mut files)?;
+    let src_dir = root.join("src");
+    if src_dir.is_dir() {
+        walk(&src_dir, &mut files)?;
+    }
+    let mut out = Vec::new();
+    for abs in files {
+        let rel = match abs.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => abs.to_string_lossy().replace('\\', "/"),
+        };
+        out.extend(lint_file(root, &rel)?);
+    }
+    Ok(out)
+}
+
+/// Locates the workspace root: walks up from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(classify("crates/roles/src/type_a.rs"), Some(FileClass::Lib));
+        assert_eq!(classify("crates/cli/src/lib.rs"), Some(FileClass::Bin));
+        assert_eq!(classify("crates/bench/src/bin/exp.rs"), Some(FileClass::Bin));
+        assert_eq!(classify("crates/fuzz-harness/src/runner.rs"), Some(FileClass::Bin));
+        assert_eq!(classify("crates/serve/src/main.rs"), Some(FileClass::Bin));
+        assert_eq!(classify("crates/hier/src/bin/tool.rs"), Some(FileClass::Bin));
+        assert_eq!(classify("src/lib.rs"), Some(FileClass::Lib));
+        assert_eq!(classify("crates/hier/tests/proptests.rs"), None);
+        assert_eq!(classify("crates/hier/benches/em.rs"), None);
+        assert_eq!(classify("examples/demo.rs"), None);
+        assert_eq!(classify("vendor/rand/src/lib.rs"), None);
+        assert_eq!(classify("crates/serve/README.md"), None);
+    }
+}

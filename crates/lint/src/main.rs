@@ -1,0 +1,104 @@
+//! `lesm-lint` — command-line front end for the workspace auditor.
+//!
+//! ```text
+//! lesm-lint --workspace [--root DIR]   # lint every governed file
+//! lesm-lint [--root DIR] FILE...       # lint specific files (workspace-relative)
+//! ```
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory argument"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: lesm-lint (--workspace | FILE...) [--root DIR]\n\n\
+                     Audits lesm workspace sources against the determinism & robustness\n\
+                     contract (DESIGN.md §11). Rules: D1 no partial_cmp ordering; D2 no\n\
+                     un-canonicalized HashMap/HashSet iteration; D3 no ambient\n\
+                     nondeterminism; R1 no unwrap/expect/panic in library code; R2 no\n\
+                     console output in library code; P0 malformed allow-pragma.\n\n\
+                     Escape hatch: // lesm-lint: allow(RULE) — mandatory reason"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag `{other}`"));
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if !workspace && files.is_empty() {
+        return usage("nothing to lint: pass --workspace or one or more files");
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match lesm_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("lesm-lint: cannot find workspace root from {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let result = if workspace {
+        lesm_lint::lint_workspace(&root)
+    } else {
+        let mut all = Vec::new();
+        let mut err = None;
+        for f in &files {
+            match lesm_lint::lint_file(&root, f) {
+                Ok(vs) => all.extend(vs),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(all),
+        }
+    };
+
+    match result {
+        Ok(violations) if violations.is_empty() => {
+            println!("lesm-lint: clean ({})", if workspace { "workspace" } else { "files" });
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("\nlesm-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lesm-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("lesm-lint: {msg}\nusage: lesm-lint (--workspace | FILE...) [--root DIR]");
+    ExitCode::from(2)
+}

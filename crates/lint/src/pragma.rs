@@ -1,0 +1,162 @@
+//! The `lesm-lint: allow` pragma — the sole escape hatch.
+//!
+//! Grammar (inside any `//` or `/* */` comment):
+//!
+//! ```text
+//! lesm-lint: allow(RULE[, RULE]*) — reason text
+//! ```
+//!
+//! The rule list names the rules being waived (`D1`…`R2`). The reason is
+//! **mandatory**: a pragma without one — or naming an unknown rule — is
+//! itself a violation (`P0`), so silence can never be bought without a
+//! written justification. The separator before the reason may be an em
+//! dash, one or more `-`, or a `:`.
+//!
+//! A pragma suppresses matching violations on its own line (trailing
+//! comment) and on the line directly below (comment-above style).
+
+use crate::rules::RuleId;
+use crate::lexer::{Token, TokenKind};
+
+/// A parsed pragma, or the record of a malformed one.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Line the pragma comment starts on.
+    pub line: u32,
+    /// Rules it waives (empty when malformed).
+    pub rules: Vec<RuleId>,
+    /// Parse failure description; `None` for a well-formed pragma.
+    pub error: Option<String>,
+}
+
+const MARKER: &str = "lesm-lint:";
+
+/// Extracts every pragma from the comment tokens of a file.
+pub fn collect(src: &[u8], tokens: &[Token]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = String::from_utf8_lossy(t.text(src));
+        // Doc comments *describe* the pragma syntax; only plain comments
+        // can carry a live pragma.
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+        {
+            continue;
+        }
+        if let Some(pos) = text.find(MARKER) {
+            out.push(parse(&text[pos + MARKER.len()..], t.line));
+        }
+    }
+    out
+}
+
+fn parse(rest: &str, line: u32) -> Pragma {
+    let malformed = |msg: &str| Pragma { line, rules: Vec::new(), error: Some(msg.into()) };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return malformed("expected `allow(RULE, …)` after `lesm-lint:`");
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return malformed("expected `(` after `allow`");
+    };
+    let Some(close) = rest.find(')') else {
+        return malformed("unclosed rule list: missing `)`");
+    };
+    let mut rules = Vec::new();
+    for name in rest[..close].split(',') {
+        let name = name.trim();
+        match RuleId::parse(name) {
+            Some(r) => rules.push(r),
+            None => return malformed(&format!("unknown rule `{name}` in allow list")),
+        }
+    }
+    if rules.is_empty() {
+        return malformed("empty rule list");
+    }
+    // Everything after `)` minus separator punctuation must be a reason.
+    let reason = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '-', ':', '–'])
+        .trim();
+    if reason.is_empty() {
+        return malformed("missing reason: every allow pragma must say why");
+    }
+    Pragma { line, rules, error: None }
+}
+
+/// True if a well-formed pragma waives `rule` for a violation on `line`
+/// (pragma on the same line, or on the line directly above).
+pub fn suppresses(pragmas: &[Pragma], rule: RuleId, line: u32) -> bool {
+    pragmas.iter().any(|p| {
+        p.error.is_none()
+            && (p.line == line || p.line + 1 == line)
+            && p.rules.contains(&rule)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn pragmas(src: &str) -> Vec<Pragma> {
+        collect(src.as_bytes(), &lex(src.as_bytes()))
+    }
+
+    #[test]
+    fn well_formed_pragma_parses() {
+        let p = pragmas("// lesm-lint: allow(D2) — u64 accumulation is order-independent\nx();");
+        assert_eq!(p.len(), 1);
+        assert!(p[0].error.is_none());
+        assert_eq!(p[0].rules, vec![RuleId::D2]);
+        assert!(suppresses(&p, RuleId::D2, 2));
+        assert!(suppresses(&p, RuleId::D2, 1));
+        assert!(!suppresses(&p, RuleId::D2, 3));
+        assert!(!suppresses(&p, RuleId::D1, 2));
+    }
+
+    #[test]
+    fn multi_rule_list_and_ascii_separator() {
+        let p = pragmas("let x = 1; // lesm-lint: allow(D1, R1) - fixture exercising both rules");
+        assert!(p[0].error.is_none());
+        assert_eq!(p[0].rules, vec![RuleId::D1, RuleId::R1]);
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let p = pragmas("// lesm-lint: allow(D2)");
+        assert!(p[0].error.as_deref().is_some_and(|e| e.contains("reason")));
+        assert!(!suppresses(&p, RuleId::D2, 1));
+    }
+
+    #[test]
+    fn separator_only_is_still_missing_reason() {
+        let p = pragmas("// lesm-lint: allow(D2) — ");
+        assert!(p[0].error.is_some());
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let p = pragmas("// lesm-lint: allow(D9) — whatever");
+        assert!(p[0].error.as_deref().is_some_and(|e| e.contains("unknown rule")));
+    }
+
+    #[test]
+    fn pragma_in_block_comment() {
+        let p = pragmas("/* lesm-lint: allow(R2) — render path */ println!(\"x\");");
+        assert!(p[0].error.is_none());
+        assert!(suppresses(&p, RuleId::R2, 1));
+    }
+
+    #[test]
+    fn mention_in_string_is_not_a_pragma() {
+        let p = pragmas("let s = \"lesm-lint: allow(D2)\";");
+        assert!(p.is_empty());
+    }
+}

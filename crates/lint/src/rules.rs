@@ -1,0 +1,802 @@
+//! The determinism & robustness rule engine (DESIGN.md §11).
+//!
+//! Rules operate on the significant-token stream (comments and literal
+//! contents already stripped by the lexer) with per-token test-scope
+//! flags from [`crate::scope`]. Everything here is heuristic in the way
+//! a reviewer is heuristic: false negatives are possible (the rules
+//! cannot see through every indirection), but a match is precise enough
+//! that the only sanctioned way to silence one is the
+//! `// lesm-lint: allow(rule) — reason` pragma.
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | D1   | no `partial_cmp`-based ordering — `total_cmp` / `Ord` only |
+//! | D2   | no un-canonicalized iteration over `HashMap`/`HashSet` in library code |
+//! | D3   | no ambient nondeterminism (`SystemTime::now`, `env::var`, `thread_rng`, `Instant::now`) in library code |
+//! | R1   | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test library code |
+//! | R2   | no `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in library code |
+//! | P0   | malformed `lesm-lint:` pragma (missing reason, unknown rule) |
+//!
+//! D2 recognizes two canonicalization idioms and lets them pass without
+//! a pragma, because they make iteration order irrelevant:
+//!
+//! 1. the statement containing the iteration also sorts (`sort*`/
+//!    `sorted_*` call) or collects into a `BTreeMap`/`BTreeSet`;
+//! 2. the iteration's statement binds a name whose *next* statement
+//!    immediately sorts it (`let mut v: Vec<_> = m.iter().collect();
+//!    v.sort_unstable();`), or a `for` loop is directly followed by a
+//!    statement containing a `sort*` call (accumulate-then-sort, the
+//!    PR 3 PageRank fix shape).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::pragma;
+use crate::scope::test_scopes;
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `partial_cmp`-based ordering.
+    D1,
+    /// Un-canonicalized `HashMap`/`HashSet` iteration.
+    D2,
+    /// Ambient nondeterminism.
+    D3,
+    /// Panicking constructs in library code.
+    R1,
+    /// Console output in library code.
+    R2,
+    /// Malformed pragma.
+    P0,
+}
+
+impl RuleId {
+    /// Parses a rule name as written in a pragma.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "D1" => Some(Self::D1),
+            "D2" => Some(Self::D2),
+            "D3" => Some(Self::D3),
+            "R1" => Some(Self::R1),
+            "R2" => Some(Self::R2),
+            _ => None,
+        }
+    }
+
+    /// Stable display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::D1 => "D1",
+            Self::D2 => "D2",
+            Self::D3 => "D3",
+            Self::R1 => "R1",
+            Self::R2 => "R2",
+            Self::P0 => "P0",
+        }
+    }
+}
+
+/// How a file ships, which decides the rules that bind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library crate source: the full contract applies.
+    Lib,
+    /// Binary / experiment / harness source (`cli`, `bench`,
+    /// `fuzz-harness`, any `src/bin/`, `src/main.rs`): only D1 (and
+    /// pragma hygiene) apply — binaries may print and may crash.
+    Bin,
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// 1-based line.
+    pub line: u32,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// What to do about it.
+    pub note: String,
+}
+
+fn rule_applies(rule: RuleId, class: FileClass) -> bool {
+    match rule {
+        RuleId::D1 | RuleId::P0 => true,
+        RuleId::D2 | RuleId::D3 | RuleId::R1 | RuleId::R2 => class == FileClass::Lib,
+    }
+}
+
+/// Lints one file's source. `class` comes from the workspace walker.
+pub fn check_source(src: &[u8], class: FileClass) -> Vec<Violation> {
+    let all = lex(src);
+    let sig: Vec<Token> = all
+        .iter()
+        .copied()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let in_test = test_scopes(src, &sig);
+    let pragmas = pragma::collect(src, &all);
+    let lines = line_starts(src);
+
+    let cx = Cx { src, sig: &sig, in_test: &in_test };
+    let mut raw: Vec<Violation> = Vec::new();
+    for p in &pragmas {
+        if let Some(err) = &p.error {
+            raw.push(Violation {
+                rule: RuleId::P0,
+                line: p.line,
+                snippet: snippet_at(src, &lines, p.line),
+                note: format!("malformed pragma: {err}"),
+            });
+        }
+    }
+    if rule_applies(RuleId::D1, class) {
+        rule_d1(&cx, &lines, &mut raw);
+    }
+    if rule_applies(RuleId::R1, class) {
+        rule_r1(&cx, &lines, &mut raw);
+    }
+    if rule_applies(RuleId::R2, class) {
+        rule_r2(&cx, &lines, &mut raw);
+    }
+    if rule_applies(RuleId::D3, class) {
+        rule_d3(&cx, &lines, &mut raw);
+    }
+    if rule_applies(RuleId::D2, class) {
+        rule_d2(&cx, &lines, &mut raw);
+    }
+
+    // Pragma suppression, then dedupe (for-loop and chain detection can
+    // both fire on one line) and order by position.
+    let mut seen = BTreeSet::new();
+    let mut out: Vec<Violation> = Vec::new();
+    for v in raw {
+        if v.rule != RuleId::P0 && pragma::suppresses(&pragmas, v.rule, v.line) {
+            continue;
+        }
+        if seen.insert((v.line, v.rule)) {
+            out.push(v);
+        }
+    }
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+/// Shared per-file state for the rule passes.
+struct Cx<'a> {
+    src: &'a [u8],
+    sig: &'a [Token],
+    in_test: &'a [bool],
+}
+
+impl<'a> Cx<'a> {
+    fn text(&self, i: usize) -> &'a [u8] {
+        match self.sig.get(i) {
+            Some(t) => t.text(self.src),
+            None => b"",
+        }
+    }
+    fn is_punct(&self, i: usize, p: &[u8]) -> bool {
+        self.sig.get(i).is_some_and(|t| t.kind == TokenKind::Punct) && self.text(i) == p
+    }
+    fn is_ident(&self, i: usize) -> bool {
+        self.sig.get(i).is_some_and(|t| t.kind == TokenKind::Ident)
+    }
+    fn live(&self, i: usize) -> bool {
+        !self.in_test.get(i).copied().unwrap_or(false)
+    }
+    fn line(&self, i: usize) -> u32 {
+        self.sig.get(i).map(|t| t.line).unwrap_or(0)
+    }
+}
+
+fn line_starts(src: &[u8]) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, &b) in src.iter().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn snippet_at(src: &[u8], lines: &[usize], line: u32) -> String {
+    let idx = (line as usize).saturating_sub(1);
+    let Some(&start) = lines.get(idx) else { return String::new() };
+    let end = lines.get(idx + 1).map(|&e| e.saturating_sub(1)).unwrap_or(src.len());
+    let raw = src.get(start..end).unwrap_or(b"");
+    let mut s = String::from_utf8_lossy(raw).trim().to_string();
+    if s.len() > 120 {
+        s.truncate(117);
+        s.push_str("...");
+    }
+    s
+}
+
+fn push(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>, rule: RuleId, i: usize, note: &str) {
+    out.push(Violation {
+        rule,
+        line: cx.line(i),
+        snippet: snippet_at(cx.src, lines, cx.line(i)),
+        note: note.to_string(),
+    });
+}
+
+// ---------------------------------------------------------------- D1
+
+fn rule_d1(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>) {
+    for i in 0..cx.sig.len() {
+        if cx.live(i)
+            && cx.is_ident(i)
+            && cx.text(i) == b"partial_cmp"
+            && i > 0
+            && cx.is_punct(i - 1, b".")
+            && cx.is_punct(i + 1, b"(")
+        {
+            push(
+                cx,
+                lines,
+                out,
+                RuleId::D1,
+                i,
+                "order via f64::total_cmp (or Ord::cmp) — partial_cmp is not total and its \
+                 NaN handling has already caused nondeterministic output once",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R1
+
+fn rule_r1(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>) {
+    for i in 0..cx.sig.len() {
+        if !cx.live(i) || !cx.is_ident(i) {
+            continue;
+        }
+        let t = cx.text(i);
+        let method = matches!(t, b"unwrap" | b"expect")
+            && i > 0
+            && cx.is_punct(i - 1, b".")
+            && cx.is_punct(i + 1, b"(");
+        let mac = matches!(t, b"panic" | b"unreachable" | b"todo" | b"unimplemented")
+            && cx.is_punct(i + 1, b"!")
+            && (i == 0 || !cx.is_punct(i - 1, b"."));
+        if method || mac {
+            push(
+                cx,
+                lines,
+                out,
+                RuleId::R1,
+                i,
+                "library code must return typed errors, not crash the caller (DESIGN.md §10)",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R2
+
+fn rule_r2(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>) {
+    for i in 0..cx.sig.len() {
+        if cx.live(i)
+            && cx.is_ident(i)
+            && matches!(cx.text(i), b"println" | b"eprintln" | b"print" | b"eprint" | b"dbg")
+            && cx.is_punct(i + 1, b"!")
+        {
+            push(
+                cx,
+                lines,
+                out,
+                RuleId::R2,
+                i,
+                "library crates must not write to the console — return data and let the \
+                 CLI/serve render paths print",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D3
+
+fn rule_d3(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>) {
+    let path2 = |i: usize, a: &[u8], b: &[u8]| {
+        cx.text(i) == a
+            && cx.is_punct(i + 1, b":")
+            && cx.is_punct(i + 2, b":")
+            && cx.text(i + 3) == b
+    };
+    for i in 0..cx.sig.len() {
+        if !cx.live(i) || !cx.is_ident(i) {
+            continue;
+        }
+        let hit = path2(i, b"SystemTime", b"now")
+            || path2(i, b"Instant", b"now")
+            || path2(i, b"env", b"var")
+            || path2(i, b"env", b"var_os")
+            || path2(i, b"rand", b"random")
+            || cx.text(i) == b"thread_rng";
+        if hit {
+            push(
+                cx,
+                lines,
+                out,
+                RuleId::D3,
+                i,
+                "ambient nondeterminism: thread clocks/env/RNG state makes output depend on \
+                 when and where the library runs — take the value as a parameter instead",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D2
+
+const ITER_METHODS: [&[u8]; 9] = [
+    b"iter",
+    b"iter_mut",
+    b"keys",
+    b"values",
+    b"values_mut",
+    b"into_iter",
+    b"into_keys",
+    b"into_values",
+    b"drain",
+];
+
+fn is_sortish(t: &[u8]) -> bool {
+    t.starts_with(b"sort") || t.starts_with(b"sorted") || t == b"BTreeMap" || t == b"BTreeSet"
+}
+
+#[derive(Default)]
+struct MapBindings {
+    /// Names whose outermost type is `HashMap`/`HashSet`.
+    direct: BTreeSet<Vec<u8>>,
+    /// Names whose type *contains* a `HashMap`/`HashSet` (e.g.
+    /// `Vec<HashMap<…>>`): indexing them yields a map.
+    containers: BTreeSet<Vec<u8>>,
+    /// Same-file functions returning a map directly.
+    fns: BTreeSet<Vec<u8>>,
+}
+
+/// What a type region names, outermost-first.
+enum TypeShape {
+    Direct,
+    Container,
+    Other,
+}
+
+fn rule_d2(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>) {
+    let binds = collect_bindings(cx);
+    if binds.direct.is_empty() && binds.containers.is_empty() {
+        return;
+    }
+    let mut for_expr_ranges: Vec<(usize, usize)> = Vec::new();
+
+    // Pass 1: for-loops.
+    for i in 0..cx.sig.len() {
+        if !(cx.live(i) && cx.is_ident(i) && cx.text(i) == b"for") {
+            continue;
+        }
+        let Some((in_idx, body_open)) = for_shape(cx, i) else { continue };
+        let expr = (in_idx + 1, body_open);
+        for_expr_ranges.push(expr);
+        if expr_iterates_map(cx, &binds, expr.0, expr.1) {
+            // Same-expression canonicalizer (`…keys().collect::<BTreeSet<_>>()`)?
+            let canon_inline = (expr.0..expr.1).any(|j| is_sortish(cx.text(j)));
+            // Accumulate-then-sort: the statement right after the loop
+            // body sorts what the loop built.
+            let canon_after = stmt_after_block_sorts(cx, body_open);
+            if !canon_inline && !canon_after {
+                push(cx, lines, out, RuleId::D2, i, D2_NOTE);
+            }
+        }
+    }
+
+    // Pass 2: iterator-method chains on map receivers.
+    for i in 0..cx.sig.len() {
+        if !(cx.live(i)
+            && cx.is_ident(i)
+            && ITER_METHODS.contains(&cx.text(i))
+            && i > 0
+            && cx.is_punct(i - 1, b".")
+            && cx.is_punct(i + 1, b"("))
+        {
+            continue;
+        }
+        if for_expr_ranges.iter().any(|&(s, e)| i >= s && i < e) {
+            continue; // already judged as part of the for-loop expression
+        }
+        if !receiver_is_map(cx, &binds, i - 1) {
+            continue;
+        }
+        if !statement_is_canonicalized(cx, i) {
+            push(cx, lines, out, RuleId::D2, i, D2_NOTE);
+        }
+    }
+}
+
+const D2_NOTE: &str = "HashMap/HashSet iteration order is arbitrary — collect and sort by key \
+                       before accumulating or emitting (the PR 3 PageRank fix), collect into a \
+                       BTree, or justify order-independence with a pragma";
+
+fn collect_bindings(cx: &Cx) -> MapBindings {
+    let mut b = MapBindings::default();
+    // Sub-pass 1: `name: Type` declarations (fields, params, let-with-
+    // annotation) and `fn name(…) -> Map`.
+    for i in 0..cx.sig.len() {
+        if !cx.live(i) {
+            continue;
+        }
+        if cx.is_ident(i)
+            && cx.is_punct(i + 1, b":")
+            && !cx.is_punct(i + 2, b":")
+            && (i == 0 || !cx.is_punct(i - 1, b":"))
+        {
+            match type_shape(cx, i + 2) {
+                TypeShape::Direct => {
+                    b.direct.insert(cx.text(i).to_vec());
+                }
+                TypeShape::Container => {
+                    b.containers.insert(cx.text(i).to_vec());
+                }
+                TypeShape::Other => {}
+            }
+        }
+        if cx.is_ident(i) && cx.text(i) == b"fn" && cx.is_ident(i + 1) {
+            if let Some(arrow) = find_return_arrow(cx, i + 2) {
+                if matches!(type_shape(cx, arrow), TypeShape::Direct) {
+                    b.fns.insert(cx.text(i + 1).to_vec());
+                }
+            }
+        }
+    }
+    // Sub-pass 2: inference from `let` initializers and container loops.
+    for i in 0..cx.sig.len() {
+        if !cx.live(i) || !cx.is_ident(i) {
+            continue;
+        }
+        if cx.text(i) == b"let" {
+            let mut j = i + 1;
+            if cx.text(j) == b"mut" {
+                j += 1;
+            }
+            if !cx.is_ident(j) || !cx.is_punct(j + 1, b"=") || cx.is_punct(j + 2, b"=") {
+                continue;
+            }
+            let name = cx.text(j);
+            let mut k = j + 2;
+            while cx.is_punct(k, b"&") || cx.text(k) == b"mut" {
+                k += 1;
+            }
+            // `HashMap::new()` / `std::collections::HashSet::from(…)`:
+            // any map ident in the pre-call path.
+            let mut path_has_map = false;
+            let mut m = k;
+            while m < cx.sig.len() && m < k + 8 {
+                if cx.is_punct(m, b"(") || cx.is_punct(m, b";") {
+                    break;
+                }
+                if matches!(cx.text(m), b"HashMap" | b"HashSet") {
+                    path_has_map = true;
+                }
+                m += 1;
+            }
+            let from_fn = cx.is_ident(k) && b.fns.contains(cx.text(k)) && cx.is_punct(k + 1, b"(");
+            let from_index =
+                cx.is_ident(k) && b.containers.contains(cx.text(k)) && cx.is_punct(k + 1, b"[");
+            if path_has_map || from_fn || from_index {
+                b.direct.insert(name.to_vec());
+            }
+        }
+        // `for tf in &vec_of_maps { … }` binds `tf` to a map.
+        if cx.text(i) == b"for" && cx.is_ident(i + 1) && cx.text(i + 2) == b"in" {
+            let mut k = i + 3;
+            while cx.is_punct(k, b"&") || cx.text(k) == b"mut" {
+                k += 1;
+            }
+            if cx.is_ident(k)
+                && b.containers.contains(cx.text(k))
+                && !cx.is_punct(k + 1, b"[")
+            {
+                b.direct.insert(cx.text(i + 1).to_vec());
+            }
+        }
+    }
+    b
+}
+
+/// Classifies the type region starting at `start` (after `:` or `->`).
+fn type_shape(cx: &Cx, start: usize) -> TypeShape {
+    let mut angle: i32 = 0;
+    let mut first: Option<&[u8]> = None;
+    let mut any_map = false;
+    let mut j = start;
+    while j < cx.sig.len() {
+        let t = cx.text(j);
+        match cx.sig[j].kind {
+            TokenKind::Punct => match t {
+                b"<" => angle += 1,
+                b">" => {
+                    if angle == 0 {
+                        break;
+                    }
+                    angle -= 1;
+                }
+                b"," | b";" | b")" | b"}" | b"{" | b"=" if angle == 0 => break,
+                b"&" => {}
+                _ => {}
+            },
+            TokenKind::Ident => {
+                if matches!(t, b"HashMap" | b"HashSet") {
+                    any_map = true;
+                }
+                let is_path_seg = cx.is_punct(j + 1, b":") && cx.is_punct(j + 2, b":");
+                if first.is_none()
+                    && !matches!(t, b"mut" | b"dyn" | b"impl" | b"const")
+                    && !is_path_seg
+                {
+                    first = Some(t);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+        if j > start + 64 {
+            break; // bail on pathological regions
+        }
+    }
+    match first {
+        Some(b"HashMap") | Some(b"HashSet") => TypeShape::Direct,
+        _ if any_map => TypeShape::Container,
+        _ => TypeShape::Other,
+    }
+}
+
+/// From a position after `fn name`, finds the `->` of the signature
+/// (skipping the balanced parameter parens); returns the index just
+/// after `->`, or None when the fn returns `()` or braces come first.
+fn find_return_arrow(cx: &Cx, start: usize) -> Option<usize> {
+    let mut depth: i32 = 0;
+    let mut j = start;
+    while j < cx.sig.len() && j < start + 256 {
+        match cx.text(j) {
+            b"(" | b"[" => depth += 1,
+            b")" | b"]" => depth -= 1,
+            b"{" | b";" if depth <= 0 => return None,
+            b"-" if depth == 0 && cx.is_punct(j + 1, b">") => return Some(j + 2),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// For a `for` at index `i`, finds the `in` keyword and the `{` opening
+/// the loop body. Returns None for non-loop `for` (e.g. `impl X for Y`).
+fn for_shape(cx: &Cx, i: usize) -> Option<(usize, usize)> {
+    let mut depth: i32 = 0;
+    let mut j = i + 1;
+    let mut in_idx = None;
+    while j < cx.sig.len() && j < i + 512 {
+        match cx.sig[j].kind {
+            TokenKind::Punct => match cx.text(j) {
+                b"(" | b"[" => depth += 1,
+                b")" | b"]" => depth -= 1,
+                b"{" if depth <= 0 => {
+                    return in_idx.map(|m| (m, j));
+                }
+                b";" if depth <= 0 => return None,
+                _ => {}
+            },
+            TokenKind::Ident if depth == 0 && cx.text(j) == b"in" && in_idx.is_none() => {
+                in_idx = Some(j);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Does the expression in `[s, e)` iterate a tracked map? True when it
+/// mentions a direct map binding, or indexes into a map container.
+fn expr_iterates_map(cx: &Cx, b: &MapBindings, s: usize, e: usize) -> bool {
+    for j in s..e.min(cx.sig.len()) {
+        if !cx.is_ident(j) {
+            continue;
+        }
+        let t = cx.text(j);
+        if b.direct.contains(t) {
+            return true;
+        }
+        if b.containers.contains(t) && cx.is_punct(j + 1, b"[") {
+            return true;
+        }
+        if b.fns.contains(t) && cx.is_punct(j + 1, b"(") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Walks a method-call receiver chain backwards from the `.` at `dot`
+/// and decides whether it denotes a tracked map (`m`, `self.m`,
+/// `x.field[i]`, `container[i]`).
+fn receiver_is_map(cx: &Cx, b: &MapBindings, dot: usize) -> bool {
+    let mut j = dot; // index of the `.` before the iter method
+    loop {
+        if j == 0 {
+            return false;
+        }
+        // Element before this `.`.
+        let prev = j - 1;
+        if cx.is_punct(prev, b"]") {
+            // Skip the balanced index expression.
+            let mut depth = 1i32;
+            let mut k = prev;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                if cx.is_punct(k, b"]") {
+                    depth += 1;
+                } else if cx.is_punct(k, b"[") {
+                    depth -= 1;
+                }
+            }
+            // `container[…]` → the receiver is a map element.
+            if k > 0 && cx.is_ident(k - 1) {
+                if b.containers.contains(cx.text(k - 1)) || b.direct.contains(cx.text(k - 1)) {
+                    return true;
+                }
+                j = k - 1; // keep walking the chain: `a.b[…].iter()`
+                continue;
+            }
+            return false;
+        }
+        if cx.is_ident(prev) {
+            if b.direct.contains(cx.text(prev)) {
+                return true;
+            }
+            // `self.field.iter()` / `a.b.iter()` — step over `.` chains.
+            if prev >= 2 && cx.is_punct(prev - 1, b".") {
+                j = prev - 1;
+                continue;
+            }
+            return false;
+        }
+        return false;
+    }
+}
+
+/// Statement boundaries around token `i`: `[start, end)` delimited by
+/// `;`, `{`, `}` at the token's nesting level.
+fn statement_span(cx: &Cx, i: usize) -> (usize, usize) {
+    // Backward: depth counts close-brackets we must reopen.
+    let mut depth: i32 = 0;
+    let mut s = i;
+    while s > 0 {
+        let p = s - 1;
+        if cx.sig[p].kind == TokenKind::Punct {
+            match cx.text(p) {
+                b")" | b"]" => depth += 1,
+                b"(" | b"[" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                b";" | b"{" | b"}" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        s = p;
+    }
+    let mut depth: i32 = 0;
+    let mut e = i;
+    while e < cx.sig.len() {
+        if cx.sig[e].kind == TokenKind::Punct {
+            match cx.text(e) {
+                b"(" | b"[" => depth += 1,
+                b")" | b"]" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                b";" | b"{" | b"}" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        e += 1;
+    }
+    (s, e)
+}
+
+/// The two sanctioned D2 shapes for an iterator-method statement:
+/// a canonicalizer in the same statement, or `let`-binding followed by
+/// an immediate sort of the bound name.
+fn statement_is_canonicalized(cx: &Cx, i: usize) -> bool {
+    let (s, e) = statement_span(cx, i);
+    if (s..e).any(|j| cx.is_ident(j) && is_sortish(cx.text(j))) {
+        return true;
+    }
+    // `let [mut] NAME = …;  NAME.sort…(…)` or `NAME = …; NAME.sort…`.
+    let mut j = s;
+    if cx.text(j) == b"let" {
+        j += 1;
+    }
+    if cx.text(j) == b"mut" {
+        j += 1;
+    }
+    if !cx.is_ident(j) {
+        return false;
+    }
+    let name = cx.text(j);
+    // Optional `: Type` annotation before the `=`.
+    let mut k = j + 1;
+    if cx.is_punct(k, b":") && !cx.is_punct(k + 1, b":") {
+        let mut angle: i32 = 0;
+        k += 1;
+        while k < e {
+            match cx.text(k) {
+                b"<" => angle += 1,
+                b">" => angle -= 1,
+                b"=" if angle <= 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    if !cx.is_punct(k, b"=") {
+        return false;
+    }
+    // First tokens of the next statement.
+    if e < cx.sig.len() && cx.is_punct(e, b";") {
+        let n = e + 1;
+        if cx.is_ident(n)
+            && cx.text(n) == name
+            && cx.is_punct(n + 1, b".")
+            && cx.is_ident(n + 2)
+            && is_sortish(cx.text(n + 2))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// After a `for` body closes, does the very next statement sort
+/// something (the accumulate-then-sort idiom)?
+fn stmt_after_block_sorts(cx: &Cx, body_open: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = body_open;
+    while j < cx.sig.len() {
+        if cx.sig[j].kind == TokenKind::Punct {
+            match cx.text(j) {
+                b"{" => depth += 1,
+                b"}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    // Scan the following statement (bounded look-ahead).
+    let mut k = j + 1;
+    let end = (k + 16).min(cx.sig.len());
+    while k < end {
+        if cx.is_punct(k, b";") || cx.is_punct(k, b"{") || cx.is_punct(k, b"}") {
+            break;
+        }
+        if cx.is_ident(k) && is_sortish(cx.text(k)) {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}

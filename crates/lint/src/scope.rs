@@ -1,0 +1,199 @@
+//! `#[cfg(test)]` / `#[test]` / `mod tests` scope tracking.
+//!
+//! The robustness rules only apply to *shipping* code: anything compiled
+//! away outside `cfg(test)` may unwrap and iterate HashMaps to its
+//! heart's content. This pass walks the significant token stream once,
+//! maintaining a brace-depth stack of regions opened by a test marker,
+//! and labels every token with whether it is inside one.
+//!
+//! Recognized markers:
+//!
+//! - an attribute whose tokens mention `test` and do not mention `not`
+//!   (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`,
+//!   `#[cfg_attr(test, …)]`, `#[bench]` is *not* matched — the bench
+//!   crate is exempted at the crate level instead);
+//! - `mod tests` / `mod test`.
+//!
+//! A marker arms a "pending" flag; the next `{` at any depth opens the
+//! test region (the item body), a `;` first instead cancels it
+//! (`#[cfg(test)] use …;` — the item has no body to mark).
+
+use crate::lexer::{Token, TokenKind};
+
+/// Marks which tokens of a file live under a test scope. Index-aligned
+/// with the *significant* token slice passed to [`test_scopes`].
+pub fn test_scopes(src: &[u8], sig: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; sig.len()];
+    let mut depth: usize = 0;
+    let mut test_depths: Vec<usize> = Vec::new();
+    let mut pending = false;
+    let mut i = 0;
+    while i < sig.len() {
+        let t = &sig[i];
+        let text = t.text(src);
+        match t.kind {
+            TokenKind::Punct => match text {
+                b"#" => {
+                    // Attribute: `#[…]` or `#![…]`. Consume the balanced
+                    // bracket group wholesale so its internal brackets
+                    // and braces cannot disturb depth tracking.
+                    let mut j = i + 1;
+                    if sig.get(j).is_some_and(|t| t.text(src) == b"!") {
+                        j += 1;
+                    }
+                    if sig.get(j).is_some_and(|t| t.text(src) == b"[") {
+                        let (end, is_test) = scan_attr(src, sig, j);
+                        if is_test {
+                            pending = true;
+                        }
+                        for f in flags.iter_mut().take(end.min(sig.len())).skip(i) {
+                            *f = !test_depths.is_empty();
+                        }
+                        i = end;
+                        continue;
+                    }
+                }
+                b"{" => {
+                    depth += 1;
+                    if pending {
+                        test_depths.push(depth);
+                        pending = false;
+                    }
+                }
+                b"}" => {
+                    if test_depths.last() == Some(&depth) {
+                        test_depths.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                b";" => pending = false,
+                _ => {}
+            },
+            TokenKind::Ident if text == b"mod"
+                && sig
+                    .get(i + 1)
+                    .is_some_and(|n| matches!(n.text(src), b"tests" | b"test"))
+                => {
+                    pending = true;
+                }
+            _ => {}
+        }
+        flags[i] = !test_depths.is_empty();
+        i += 1;
+    }
+    flags
+}
+
+/// Scans the attribute's balanced `[…]` group starting at `open`
+/// (the index of `[`). Returns (index one past the closing `]`,
+/// whether the attribute marks a test scope).
+fn scan_attr(src: &[u8], sig: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut j = open;
+    while j < sig.len() {
+        let t = &sig[j];
+        match t.kind {
+            TokenKind::Punct => match t.text(src) {
+                b"[" | b"(" | b"{" => depth += 1,
+                b"]" | b")" | b"}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return (j + 1, has_test && !has_not);
+                    }
+                }
+                _ => {}
+            },
+            TokenKind::Ident => match t.text(src) {
+                b"test" | b"tests" => has_test = true,
+                b"not" => has_not = true,
+                _ => {}
+            },
+            _ => {}
+        }
+        j += 1;
+    }
+    (sig.len(), has_test && !has_not)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scopes(src: &str) -> Vec<(String, bool)> {
+        let toks = lex(src.as_bytes());
+        let sig: Vec<_> = toks
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .collect();
+        let flags = test_scopes(src.as_bytes(), &sig);
+        sig.iter()
+            .zip(&flags)
+            .map(|(t, &f)| (String::from_utf8_lossy(t.text(src.as_bytes())).into_owned(), f))
+            .collect()
+    }
+
+    fn flag_of(scopes: &[(String, bool)], ident: &str) -> bool {
+        scopes
+            .iter()
+            .find(|(s, _)| s == ident)
+            .map(|&(_, f)| f)
+            .unwrap_or_else(|| panic!("ident {ident} not found"))
+    }
+
+    #[test]
+    fn cfg_test_module_is_test_scope() {
+        let s = scopes("fn live() { a(); }\n#[cfg(test)]\nmod tests { fn t() { b(); } }\nfn tail() { c(); }");
+        assert!(!flag_of(&s, "a"));
+        assert!(flag_of(&s, "b"));
+        assert!(!flag_of(&s, "c"));
+    }
+
+    #[test]
+    fn test_attr_on_fn() {
+        let s = scopes("#[test]\nfn check() { x(); }\nfn live() { y(); }");
+        assert!(flag_of(&s, "x"));
+        assert!(!flag_of(&s, "y"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let s = scopes("#[cfg(not(test))]\nfn live() { a(); }");
+        assert!(!flag_of(&s, "a"));
+    }
+
+    #[test]
+    fn cfg_all_test_is_test_scope() {
+        let s = scopes("#[cfg(all(test, feature = \"x\"))]\nfn helper() { a(); }");
+        assert!(flag_of(&s, "a"));
+    }
+
+    #[test]
+    fn attr_on_braceless_item_cancels_at_semicolon() {
+        let s = scopes("#[cfg(test)]\nuse std::collections::HashMap;\nfn live() { a(); }");
+        assert!(!flag_of(&s, "a"));
+    }
+
+    #[test]
+    fn mod_tests_without_attr() {
+        let s = scopes("mod tests { fn t() { a(); } }\nfn live() { b(); }");
+        assert!(flag_of(&s, "a"));
+        assert!(!flag_of(&s, "b"));
+    }
+
+    #[test]
+    fn nested_braces_inside_test_module_stay_test() {
+        let s = scopes("#[cfg(test)]\nmod tests { fn t() { if x { deep(); } } }\nfn live() { out(); }");
+        assert!(flag_of(&s, "deep"));
+        assert!(!flag_of(&s, "out"));
+    }
+
+    #[test]
+    fn derive_between_cfg_and_item_keeps_pending() {
+        let s = scopes("#[cfg(test)]\n#[derive(Debug)]\nstruct T { f: u32 }\nfn live() { a(); }");
+        assert!(flag_of(&s, "f"));
+        assert!(!flag_of(&s, "a"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the lexer's totality guarantees: arbitrary byte
+//! soup must never panic, and the token stream must tile the input.
+
+use lesm_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// The core safety property: `lex` is total over arbitrary bytes
+    /// (invalid UTF-8, unterminated literals, stray quotes, NULs, ...).
+    #[test]
+    fn lex_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(0u8..=255u8, 0..512)) {
+        let _ = lex(&bytes);
+    }
+
+    /// Rust-looking fragments with quote/comment openers in adversarial
+    /// positions — denser coverage of the string/comment state machine
+    /// than uniform bytes.
+    #[test]
+    fn lex_never_panics_on_quote_heavy_text(s in r#"[a-z0-9"'/*#\\ \n—]{0,200}"#) {
+        let _ = lex(s.as_bytes());
+    }
+
+    /// Token spans are in-bounds, non-empty, and non-overlapping in order.
+    #[test]
+    fn token_spans_are_ordered_and_in_bounds(bytes in proptest::collection::vec(0u8..=255u8, 0..256)) {
+        let tokens = lex(&bytes);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= prev_end, "overlapping tokens");
+            prop_assert!(t.start < t.end, "empty token span");
+            prop_assert!(t.end <= bytes.len(), "span out of bounds");
+            prev_end = t.end;
+        }
+    }
+
+    /// Line numbers never decrease and never exceed the newline count.
+    #[test]
+    fn token_lines_are_monotonic(bytes in proptest::collection::vec(0u8..=255u8, 0..256)) {
+        let tokens = lex(&bytes);
+        let lines = 1 + bytes.iter().filter(|&&b| b == b'\n').count() as u32;
+        let mut prev = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= prev);
+            prop_assert!(t.line <= lines);
+            prev = t.line;
+        }
+    }
+
+    /// Every byte outside whitespace is covered by some token: nothing is
+    /// silently dropped (comments and unterminated literals included).
+    #[test]
+    fn non_whitespace_bytes_are_covered(bytes in proptest::collection::vec(0u8..=255u8, 0..256)) {
+        let tokens = lex(&bytes);
+        let mut covered = vec![false; bytes.len()];
+        for t in &tokens {
+            for slot in &mut covered[t.start..t.end] {
+                *slot = true;
+            }
+        }
+        for (i, &b) in bytes.iter().enumerate() {
+            // Mirror the lexer's whitespace set (includes vertical tab).
+            if !matches!(b, b' ' | b'\t' | b'\n' | b'\r' | 0x0b | 0x0c) {
+                prop_assert!(covered[i], "byte {i} ({b:#04x}) not covered by any token");
+            }
+        }
+    }
+}
+
+/// Deterministic spot-checks for the constructs the property tests rarely
+/// assemble whole.
+#[test]
+fn raw_string_with_hashes_lexes_as_one_token() {
+    let src = br####"let s = r##"a "# b"##;"####;
+    let tokens = lex(src);
+    assert!(
+        tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::RawStr && t.text(src).starts_with(b"r##")),
+        "raw string not found in {tokens:?}"
+    );
+}
+
+#[test]
+fn unterminated_block_comment_extends_to_eof() {
+    let src = b"fn f() {} /* never closed";
+    let tokens = lex(src);
+    let last = tokens.last().expect("tokens");
+    assert_eq!(last.kind, TokenKind::BlockComment);
+    assert_eq!(last.end, src.len());
+}

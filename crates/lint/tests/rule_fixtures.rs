@@ -1,0 +1,234 @@
+//! Per-rule fixtures: every rule must demonstrably fire on a minimal
+//! violating source and stay silent on the canonical fix. These are the
+//! acceptance fixtures for the DESIGN.md §11 contract.
+
+use lesm_lint::{check_source, FileClass, RuleId};
+
+fn rules_in(src: &str, class: FileClass) -> Vec<RuleId> {
+    check_source(src.as_bytes(), class).into_iter().map(|v| v.rule).collect()
+}
+
+fn fires(src: &str, class: FileClass, rule: RuleId) -> bool {
+    rules_in(src, class).contains(&rule)
+}
+
+// --- D1: float ordering must go through total_cmp ------------------------
+
+#[test]
+fn d1_fires_on_partial_cmp_sort() {
+    let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+    assert!(fires(src, FileClass::Lib, RuleId::D1));
+    // Applies to binaries too: ordering bugs corrupt experiment tables.
+    assert!(fires(src, FileClass::Bin, RuleId::D1));
+}
+
+#[test]
+fn d1_silent_on_total_cmp() {
+    let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }";
+    assert!(!fires(src, FileClass::Lib, RuleId::D1));
+}
+
+// --- D2: HashMap/HashSet iteration must be canonicalized -----------------
+
+#[test]
+fn d2_fires_on_accumulating_map_iteration() {
+    let src = r#"
+use std::collections::HashMap;
+fn total(m: &HashMap<u32, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_, v) in m.iter() {
+        sum += v;
+    }
+    sum
+}
+"#;
+    assert!(fires(src, FileClass::Lib, RuleId::D2));
+}
+
+#[test]
+fn d2_fires_on_values_sum() {
+    let src = r#"
+use std::collections::HashMap;
+fn total(m: &HashMap<u32, f64>) -> f64 { m.values().sum() }
+"#;
+    assert!(fires(src, FileClass::Lib, RuleId::D2));
+}
+
+#[test]
+fn d2_silent_on_collect_and_sort() {
+    let src = r#"
+use std::collections::HashMap;
+fn total(m: &HashMap<u32, f64>) -> f64 {
+    let mut entries: Vec<(u32, f64)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+    entries.sort_unstable_by_key(|&(k, _)| k);
+    entries.iter().map(|&(_, v)| v).sum()
+}
+"#;
+    assert!(!fires(src, FileClass::Lib, RuleId::D2));
+}
+
+#[test]
+fn d2_silent_in_test_module() {
+    let src = r#"
+use std::collections::HashMap;
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn order_does_not_matter_here() {
+        let m: HashMap<u32, f64> = HashMap::new();
+        let _: f64 = m.values().sum();
+    }
+}
+"#;
+    assert!(!fires(src, FileClass::Lib, RuleId::D2));
+}
+
+#[test]
+fn d2_suppressible_with_reasoned_pragma() {
+    let src = r#"
+use std::collections::HashMap;
+fn bump(m: &HashMap<u32, u64>, out: &mut std::collections::HashMap<u32, u64>) {
+    // lesm-lint: allow(D2) — integer accumulation into a keyed map is order-independent
+    for (k, v) in m.iter() {
+        *out.entry(*k).or_insert(0) += v;
+    }
+}
+"#;
+    assert!(!fires(src, FileClass::Lib, RuleId::D2));
+}
+
+// --- D3: no ambient nondeterminism in library code -----------------------
+
+#[test]
+fn d3_fires_on_system_time_env_and_thread_rng() {
+    for expr in
+        ["std::time::SystemTime::now()", "std::env::var(\"HOME\").ok()", "rand::thread_rng()"]
+    {
+        let src = format!("fn f() {{ let _ = {expr}; }}");
+        assert!(fires(&src, FileClass::Lib, RuleId::D3), "D3 should fire on {expr}");
+    }
+}
+
+#[test]
+fn d3_silent_on_seeded_rng_and_in_binaries() {
+    let lib = "fn f() { let rng = StdRng::seed_from_u64(42); }";
+    assert!(!fires(lib, FileClass::Lib, RuleId::D3));
+    // Binaries own the ambient environment (arg parsing, timing displays).
+    let bin = "fn main() { let _ = std::env::var(\"LESM_THREADS\"); }";
+    assert!(!fires(bin, FileClass::Bin, RuleId::D3));
+}
+
+// --- R1: no unwrap/expect/panic family in library code -------------------
+
+#[test]
+fn r1_fires_on_each_panic_form() {
+    for stmt in [
+        "x.unwrap();",
+        "x.expect(\"reason\");",
+        "panic!(\"boom\");",
+        "unreachable!();",
+        "todo!();",
+    ] {
+        let src = format!("fn f(x: Option<u32>) {{ {stmt} }}");
+        assert!(fires(&src, FileClass::Lib, RuleId::R1), "R1 should fire on {stmt}");
+    }
+}
+
+#[test]
+fn r1_silent_on_typed_errors_tests_and_binaries() {
+    let lib = "fn f(x: Option<u32>) -> Result<u32, E> { x.ok_or(E::Missing) }";
+    assert!(!fires(lib, FileClass::Lib, RuleId::R1));
+    let test_mod = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_may_unwrap() {
+        Some(1).unwrap();
+    }
+}
+"#;
+    assert!(!fires(test_mod, FileClass::Lib, RuleId::R1));
+    let bin = "fn main() { std::fs::read(\"x\").unwrap(); }";
+    assert!(!fires(bin, FileClass::Bin, RuleId::R1));
+}
+
+#[test]
+fn r1_silent_on_unwrap_or_family() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_else(|| 1)) }";
+    assert!(!fires(src, FileClass::Lib, RuleId::R1));
+}
+
+// --- R2: no console output in library code -------------------------------
+
+#[test]
+fn r2_fires_on_println_and_eprintln() {
+    assert!(fires("fn f() { println!(\"x\"); }", FileClass::Lib, RuleId::R2));
+    assert!(fires("fn f() { eprintln!(\"x\"); }", FileClass::Lib, RuleId::R2));
+}
+
+#[test]
+fn r2_silent_in_binaries_and_on_writeln() {
+    assert!(!fires("fn main() { println!(\"x\"); }", FileClass::Bin, RuleId::R2));
+    let src = "fn f(w: &mut impl std::io::Write) { let _ = writeln!(w, \"x\"); }";
+    assert!(!fires(src, FileClass::Lib, RuleId::R2));
+}
+
+// --- P0: malformed pragmas are themselves violations ---------------------
+
+#[test]
+fn p0_fires_on_reasonless_or_unknown_rule_pragma() {
+    assert!(fires("// lesm-lint: allow(D2)\nfn f() {}", FileClass::Lib, RuleId::P0));
+    assert!(fires("// lesm-lint: allow(D9) — nope\nfn f() {}", FileClass::Lib, RuleId::P0));
+}
+
+#[test]
+fn p0_cannot_be_suppressed_by_another_pragma() {
+    let src = "// lesm-lint: allow(P0) — trying to silence the gate\n// lesm-lint: allow(D2)\nfn f() {}";
+    assert!(fires(src, FileClass::Lib, RuleId::P0));
+}
+
+#[test]
+fn p0_silent_on_well_formed_pragma() {
+    let src = "// lesm-lint: allow(R2) — demo fixture\nfn f() {}";
+    assert!(!fires(src, FileClass::Lib, RuleId::P0));
+}
+
+// --- Lexer-level fixtures: strings and comments hide rule text ----------
+
+#[test]
+fn rule_text_inside_strings_and_comments_is_inert() {
+    let src = r##"
+fn f() -> &'static str {
+    // v.sort_by(|a, b| a.partial_cmp(b).unwrap()); println!("x");
+    /* outer /* nested block comment: x.unwrap() */ still comment */
+    let plain = "x.unwrap(); panic!(\"boom\")";
+    let raw = r#"m.values().sum::<f64>() println!("y")"#;
+    plain
+}
+"##;
+    assert!(rules_in(src, FileClass::Lib).is_empty(), "got: {:?}", rules_in(src, FileClass::Lib));
+}
+
+#[test]
+fn code_after_raw_string_and_nested_comment_is_still_linted() {
+    let src = r##"
+fn f() {
+    let _raw = r#"harmless"#;
+    /* level one /* level two */ back to one */
+    Some(1).unwrap();
+}
+"##;
+    assert!(fires(src, FileClass::Lib, RuleId::R1));
+}
+
+#[test]
+fn cfg_not_test_scope_is_still_linted() {
+    let src = r#"
+#[cfg(not(test))]
+fn f(x: Option<u32>) {
+    x.unwrap();
+}
+"#;
+    assert!(fires(src, FileClass::Lib, RuleId::R1));
+}

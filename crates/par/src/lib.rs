@@ -239,6 +239,7 @@ where
             });
         }
     });
+    // lesm-lint: allow(R1) — the scope joins every worker and the chunks cover all slots
     out.into_iter().map(|slot| slot.expect("par_map_collect slot unfilled")).collect()
 }
 

@@ -133,6 +133,7 @@ impl Kert {
                 }
                 seen_words.insert(w);
             }
+            // lesm-lint: allow(D2) — `u64 += 1` into a keyed map is order-independent
             for &w in &seen_words {
                 *word_doc_freq.entry(w).or_insert(0) += 1;
             }
@@ -151,6 +152,7 @@ impl Kert {
         }
         let mut total_freq: HashMap<Vec<u32>, u64> = HashMap::new();
         for tf in &topic_freq {
+            // lesm-lint: allow(D2) — integer `+=` into a keyed map is order-independent
             for (p, &c) in tf {
                 *total_freq.entry(p.clone()).or_insert(0) += c;
             }
@@ -259,6 +261,7 @@ pub fn criteria(patterns: &KertPatterns, t: usize, p: &[u32], ft: u64) -> Criter
     }
     // Completeness (eq. 4.2): 1 - max_{P ⊕ v} f(P ⊕ v) / f(P).
     let mut max_super = 0u64;
+    // lesm-lint: allow(D2) — `max` over u64 counts is order-independent
     for (q, &fq) in &patterns.topic_freq[t] {
         if q.len() == p.len() + 1 && is_subset(p, q) {
             max_super = max_super.max(fq);
@@ -309,11 +312,12 @@ fn apriori(transactions: &[Vec<u32>], min_support: u64, max_len: usize) -> HashM
     }
     counts.retain(|_, &mut c| c >= min_support);
     let mut frequent_prev: Vec<Vec<u32>> = counts.keys().cloned().collect();
+    frequent_prev.sort();
     out.extend(counts);
     let mut size = 2usize;
     while !frequent_prev.is_empty() && size <= max_len {
-        // Candidate generation: join sets sharing a (size-2)-prefix.
-        frequent_prev.sort();
+        // Candidate generation: join sets sharing a (size-2)-prefix
+        // (frequent_prev is kept sorted at each refill).
         let mut candidates: HashSet<Vec<u32>> = HashSet::new();
         for i in 0..frequent_prev.len() {
             for j in (i + 1)..frequent_prev.len() {
@@ -332,6 +336,7 @@ fn apriori(transactions: &[Vec<u32>], min_support: u64, max_len: usize) -> HashM
                 continue;
             }
             let set: HashSet<u32> = tx.iter().copied().collect();
+            // lesm-lint: allow(D2) — `u64 += 1` into a keyed map is order-independent
             for cand in &candidates {
                 if cand.iter().all(|w| set.contains(w)) {
                     *counts.entry(cand.clone()).or_insert(0) += 1;
@@ -340,6 +345,7 @@ fn apriori(transactions: &[Vec<u32>], min_support: u64, max_len: usize) -> HashM
         }
         counts.retain(|_, &mut c| c >= min_support);
         frequent_prev = counts.keys().cloned().collect();
+        frequent_prev.sort();
         out.extend(counts);
         size += 1;
     }

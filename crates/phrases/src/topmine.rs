@@ -38,6 +38,7 @@ where
     });
     let mut out: HashMap<Vec<u32>, u64> = HashMap::new();
     for m in maps {
+        // lesm-lint: allow(D2) — `u64 +=` merge into a keyed map is order-independent
         for (k, v) in m {
             *out.entry(k).or_insert(0) += v;
         }
@@ -167,8 +168,10 @@ impl FrequentPhrases {
         self.counts.is_empty()
     }
 
-    /// Iterates `(phrase, count)` pairs.
+    /// Iterates `(phrase, count)` pairs in unspecified order; callers that
+    /// emit or accumulate floats must sort first.
     pub fn iter(&self) -> impl Iterator<Item = (&Vec<u32>, u64)> {
+        // lesm-lint: allow(D2) — deliberately exposes the map; order documented as unspecified
         self.counts.iter().map(|(p, &c)| (p, c))
     }
 
@@ -358,10 +361,15 @@ fn rank_topical_phrases(
             }
         }
     }
-    let total: f64 = seg_count.values().sum();
+    // Fix the segment order before ranking: HashMap iteration order varies
+    // per process, and both the float total and the emitted lists must not
+    // inherit that arbitrariness.
+    let mut seg_list: Vec<(&[u32], f64)> = seg_count.iter().map(|(&s, &c)| (s, c)).collect();
+    seg_list.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    let total: f64 = seg_list.iter().map(|&(_, c)| c).sum();
     // Topical frequency via eq. 4.8's posterior p(t | P) ∝ ρ_t Π_v φ_{t,v}.
     let mut per_topic: Vec<Vec<TopicalPhrase>> = vec![Vec::new(); k];
-    for (seg, &count) in &seg_count {
+    for &(seg, count) in &seg_list {
         let mut post = vec![0.0f64; k];
         let mut norm = 0.0;
         for (t, p_slot) in post.iter_mut().enumerate() {

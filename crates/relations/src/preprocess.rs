@@ -134,8 +134,13 @@ impl CandidateGraph {
             }
         }
         let mut candidates: Vec<Vec<Candidate>> = vec![Vec::new(); n_authors];
-        for (&(a, b), pair_years) in &per_pair {
-            let total: f64 = pair_years.values().sum();
+        // Fix the pair order before emitting candidates: HashMap iteration
+        // order varies per process, and the per-advisee candidate lists
+        // (and their float features) must not inherit that arbitrariness.
+        let mut pair_list: Vec<_> = per_pair.iter().map(|(&k, v)| (k, v)).collect();
+        pair_list.sort_unstable_by_key(|&(k, _)| k);
+        for &((a, b), pair_years) in &pair_list {
+            let total: f64 = year_sum(pair_years);
             if (total as u32) < config.min_copubs {
                 continue;
             }
@@ -234,7 +239,7 @@ fn evaluate_pair(
         LocalLikelihood::ImbalanceRatio => avg_ir.max(0.0),
         LocalLikelihood::Average => (avg_kulc + avg_ir.max(0.0)) / 2.0,
     };
-    let total_copubs: f64 = pair_years.values().sum();
+    let total_copubs: f64 = year_sum(pair_years);
     let gap =
         (i64::from(first_year[advisee as usize]) - i64::from(first_year[advisor as usize])) as f64;
     Some(Candidate {
@@ -272,7 +277,17 @@ fn profile_pair(
 }
 
 fn range_sum(counts: &HashMap<i32, f64>, after: i32, upto: i32) -> f64 {
-    counts.iter().filter(|(&y, _)| y > after && y <= upto).map(|(_, &c)| c).sum()
+    let mut entries: Vec<(i32, f64)> = counts.iter().map(|(&y, &c)| (y, c)).collect();
+    entries.sort_unstable_by_key(|&(y, _)| y);
+    entries.iter().filter(|&&(y, _)| y > after && y <= upto).map(|&(_, c)| c).sum()
+}
+
+/// Sum of a yearly-count map, accumulated in ascending year order so the
+/// float result cannot depend on `HashMap` iteration order.
+fn year_sum(counts: &HashMap<i32, f64>) -> f64 {
+    let mut entries: Vec<(i32, f64)> = counts.iter().map(|(&y, &c)| (y, c)).collect();
+    entries.sort_unstable_by_key(|&(y, _)| y);
+    entries.iter().map(|&(_, c)| c).sum()
 }
 
 /// Kulczynski measure at time index `t` (eq. 6.1).

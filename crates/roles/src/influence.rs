@@ -72,12 +72,12 @@ pub fn topical_influence(
     // Fix the edge order before the power iteration: HashMap iteration
     // order varies per process, and float accumulation is order-sensitive,
     // so near-tied ranks would otherwise flip between runs.
-    let mut edges: Vec<((u32, u32), f64)> = edges.into_iter().collect();
-    edges.sort_unstable_by_key(|&(key, _)| key);
+    let mut sorted_edges: Vec<((u32, u32), f64)> = edges.into_iter().collect();
+    sorted_edges.sort_unstable_by_key(|&(key, _)| key);
     let teleport: Vec<f64> = activity.iter().map(|&a| a / act_total).collect();
     // Out-weights for the normalized walk.
     let mut out_weight = vec![0.0f64; n];
-    for &((a, b), w) in &edges {
+    for &((a, b), w) in &sorted_edges {
         out_weight[a as usize] += w;
         out_weight[b as usize] += w;
     }
@@ -93,7 +93,7 @@ pub fn topical_influence(
                 dangling += r;
             }
         }
-        for &((a, b), w) in &edges {
+        for &((a, b), w) in &sorted_edges {
             let (a, b) = (a as usize, b as usize);
             if out_weight[a] > 0.0 {
                 next[b] += config.damping * rank[a] * w / out_weight[a];
@@ -114,7 +114,7 @@ pub fn topical_influence(
         .filter(|&(_, &r)| r > 0.0)
         .map(|(e, &r)| (e as u32, r))
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     out
 }
 

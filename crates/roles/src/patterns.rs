@@ -44,7 +44,7 @@ pub fn entity_patterns(
         let (best_t, best_w) = doc_topic[d]
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(t, &w)| (t, w))
             .unwrap_or((0, 0.0));
         if ids.is_empty() || best_w <= 0.0 {

@@ -59,7 +59,7 @@ pub fn entity_phrase_rank(
             (p.to_vec(), p_t * (p_te / p_t.max(1e-300)).ln())
         })
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     out
 }
 
@@ -101,7 +101,7 @@ pub fn combined_phrase_rank(
             (p.clone(), score)
         })
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     out
 }
 

@@ -19,7 +19,7 @@ pub fn erank_pop(topic_entity_freq: &[Vec<f64>], t: usize, top_n: usize) -> Vec<
         .filter(|&(_, &f)| f > 0.0)
         .map(|(e, &f)| (e as u32, f / nt.max(1e-12)))
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     out.truncate(top_n);
     out
 }
@@ -61,7 +61,7 @@ pub fn erank_pop_pur(topic_entity_freq: &[Vec<f64>], t: usize, top_n: usize) -> 
         let score = p * (p / worst_mix.max(1e-300)).ln();
         out.push((e as u32, score));
     }
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN").then_with(|| a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     out.truncate(top_n);
     out
 }

@@ -32,12 +32,12 @@ impl<V> Shard<V> {
     fn put(&mut self, key: String, value: Arc<V>) {
         self.tick += 1;
         if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
-            if let Some(oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (tick, _))| *tick)
-                .map(|(k, _)| k.clone())
-            {
+            // Ticks are unique per operation (`get` and `put` both advance
+            // the counter first), so the minimum is a single entry and map
+            // iteration order cannot change which key gets evicted.
+            // lesm-lint: allow(D2) — per-operation ticks are unique; min-by-tick has exactly one winner
+            let oldest = self.map.iter().min_by_key(|(_, (tick, _))| *tick).map(|(k, _)| k.clone());
+            if let Some(oldest) = oldest {
                 self.map.remove(&oldest);
             }
         }

@@ -89,7 +89,7 @@ pub fn save_snapshot(corpus: &Corpus, mined: &MinedStructure) -> Vec<u8> {
     encode_structure(&mut structure_w, mined);
     let structure_bytes = structure_w.into_bytes();
 
-    let sections = [
+    let payloads = [
         (SECTION_CORPUS, corpus_bytes),
         (SECTION_STRUCTURE, structure_bytes),
     ];
@@ -97,17 +97,17 @@ pub fn save_snapshot(corpus: &Corpus, mined: &MinedStructure) -> Vec<u8> {
     let mut out = ByteWriter::new();
     out.put_raw(&MAGIC);
     out.put_u32(FORMAT_VERSION);
-    out.put_u32(sections.len() as u32);
+    out.put_u32(payloads.len() as u32);
     let table_start = out.len();
     let entry_size = 4 + 8 + 8;
-    let mut offset = table_start + sections.len() * entry_size;
-    for (id, payload) in &sections {
+    let mut offset = table_start + payloads.len() * entry_size;
+    for (id, payload) in &payloads {
         out.put_u32(*id);
         out.put_u64(offset as u64);
         out.put_u64(payload.len() as u64);
         offset += payload.len();
     }
-    for (_, payload) in &sections {
+    for (_, payload) in &payloads {
         out.put_raw(payload);
     }
     let mut bytes = out.into_bytes();
@@ -136,18 +136,20 @@ pub fn load_snapshot(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
             available: bytes.len(),
         });
     }
-    let found: [u8; 4] = bytes[..4].try_into().expect("4-byte slice");
+    let found = [bytes[0], bytes[1], bytes[2], bytes[3]];
     if found != MAGIC {
         return Err(SnapshotError::BadMagic { found });
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
     if version != FORMAT_VERSION {
         return Err(SnapshotError::VersionMismatch { found: version, supported: FORMAT_VERSION });
     }
     let trailer_at = bytes.len().checked_sub(8).filter(|&b| b >= 8).ok_or(
         SnapshotError::Truncated { offset: 8, needed: 8, available: bytes.len().saturating_sub(8) },
     )?;
-    let stored = u64::from_le_bytes(bytes[trailer_at..].try_into().expect("8-byte slice"));
+    let mut stored_bytes = [0u8; 8];
+    stored_bytes.copy_from_slice(&bytes[trailer_at..]);
+    let stored = u64::from_le_bytes(stored_bytes);
     let actual = fnv1a64(&bytes[..trailer_at]);
     if stored != actual {
         return Err(SnapshotError::ChecksumMismatch { expected: stored, actual });
@@ -208,10 +210,12 @@ fn encode_corpus(w: &mut ByteWriter, corpus: &Corpus) {
     }
     w.put_usize(corpus.entities.num_types());
     for t in 0..corpus.entities.num_types() {
+        // lesm-lint: allow(R1) — t < num_types(), so the lookup cannot fail
         w.put_str(corpus.entities.type_name(t).expect("type in range"));
-        let table = corpus.entities.table(t).expect("table in range");
-        w.put_usize(table.len());
-        for (_, name) in table.iter() {
+        // lesm-lint: allow(R1) — t < num_types(), so the lookup cannot fail
+        let entity_names = corpus.entities.table(t).expect("table in range");
+        w.put_usize(entity_names.len());
+        for (_, name) in entity_names.iter() {
             w.put_str(name);
         }
     }
@@ -242,6 +246,7 @@ fn decode_corpus(r: &mut ByteReader) -> Result<Corpus, SnapshotError> {
         let n_entities = r.get_len(8)?;
         for _ in 0..n_entities {
             let name = r.get_str()?;
+            // lesm-lint: allow(R1) — `t` came from add_type just above; intern cannot fail
             corpus.entities.intern(t, &name).expect("type just added");
         }
     }

@@ -145,6 +145,14 @@ impl<'a> ByteReader<'a> {
         Ok(slice)
     }
 
+    /// Reads exactly `N` bytes into a fixed-size array. `take` already
+    /// guarantees the length, so this has no panic path.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     /// Reads one byte.
     pub fn get_u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
@@ -152,12 +160,12 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+        Ok(u32::from_le_bytes(self.take_array::<4>()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+        Ok(u64::from_le_bytes(self.take_array::<8>()?))
     }
 
     /// Reads a `u64` length prefix, rejecting values that cannot possibly
@@ -183,7 +191,7 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a little-endian `i32`.
     pub fn get_i32(&mut self) -> Result<i32, SnapshotError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+        Ok(i32::from_le_bytes(self.take_array::<4>()?))
     }
 
     /// Reads an `f64` from its raw bit pattern.

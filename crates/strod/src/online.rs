@@ -66,6 +66,7 @@ impl OnlineStrod {
             self.model = Some(Strod::fit_stats(&stats, &self.config)?);
             self.dirty = false;
         }
+        // lesm-lint: allow(R1) — the branch above always fills `model` when it was None
         Ok(self.model.as_ref().expect("model set above"))
     }
 }

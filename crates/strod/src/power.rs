@@ -83,6 +83,7 @@ pub fn tensor_power_method(t: &Tensor3, k: usize, config: &PowerConfig) -> Vec<T
                 best = Some(cand);
             }
         }
+        // lesm-lint: allow(R1) — `restarts.max(1)` above guarantees a candidate
         let pair = best.expect("at least one restart");
         work.deflate(pair.value, &pair.vector);
         out.push(pair);

@@ -158,7 +158,7 @@ impl StrodTree {
     pub fn top_words(&self, t: usize, n: usize) -> Vec<(u32, f64)> {
         let mut idx: Vec<(u32, f64)> =
             self.nodes[t].topic_word.iter().enumerate().map(|(w, &p)| (w as u32, p)).collect();
-        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN"));
+        idx.sort_by(|a, b| b.1.total_cmp(&a.1));
         idx.truncate(n);
         idx
     }

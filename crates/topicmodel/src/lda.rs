@@ -49,7 +49,7 @@ impl LdaModel {
     pub fn top_words(&self, t: usize, n: usize) -> Vec<(u32, f64)> {
         let mut idx: Vec<(u32, f64)> =
             self.topic_word[t].iter().enumerate().map(|(w, &p)| (w as u32, p)).collect();
-        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN probability"));
+        idx.sort_by(|a, b| b.1.total_cmp(&a.1));
         idx.truncate(n);
         idx
     }
@@ -59,7 +59,7 @@ impl LdaModel {
         self.doc_topic[d]
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(t, _)| t)
             .unwrap_or(0)
     }

@@ -56,7 +56,7 @@ impl NetClusModel {
     pub fn top_items(&self, z: usize, x: usize, n: usize) -> Vec<(u32, f64)> {
         let mut idx: Vec<(u32, f64)> =
             self.rank[z][x].iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
-        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("non-NaN"));
+        idx.sort_by(|a, b| b.1.total_cmp(&a.1));
         idx.truncate(n);
         idx
     }
@@ -66,7 +66,7 @@ impl NetClusModel {
         self.doc_cluster[d]
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(z, _)| z)
             .unwrap_or(0)
     }

@@ -81,6 +81,7 @@ impl TurboTopics {
             // Significant pairs (eq. 4.7 style z-score).
             let l = total_units as f64;
             let mut merges: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+            // lesm-lint: allow(D2) — per-pair scores are independent and merges only feed a membership set
             for (&(a, b), &c) in &pair_count {
                 if c < config.min_count {
                     continue;
@@ -107,8 +108,9 @@ impl TurboTopics {
                     let mut cur = (p, t);
                     while let Some((np, nt)) = iter.peek() {
                         if *nt == cur.1 && merge_set.contains(&(cur.0.clone(), np.clone())) {
-                            let (np, _) = iter.next().expect("peeked");
-                            cur.0.extend(np);
+                            if let Some((np, _)) = iter.next() {
+                                cur.0.extend(np);
+                            }
                         } else {
                             break;
                         }

@@ -11,6 +11,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Preflight: never burn bench time on a tree that violates the
+# determinism contract (DESIGN.md §11) — nondeterministic code makes
+# cross-run bench comparisons meaningless.
+cargo run --release -q -p lesm-lint -- --root "$PWD" --workspace
+
 out="${1:-BENCH_par.json}"
 em_out="${2:-BENCH_em_core.json}"
 serve_out="${3:-BENCH_serve.json}"

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Audit every governed workspace source against the determinism &
+# robustness contract (DESIGN.md §11). Exit 0 clean, 1 violations,
+# 2 usage/I-O error. Pass extra args through, e.g.:
+#   scripts/lint.sh crates/core/src/em.rs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -eq 0 ]; then
+    set -- --workspace
+fi
+exec cargo run --release -q -p lesm-lint -- --root "$PWD" "$@"

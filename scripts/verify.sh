@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full tier-1 gate, in dependency order: compile, lint (clippy and
+# the workspace's own lesm-lint auditor, DESIGN.md §11), then tests.
+# Everything must pass for a change to land.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release)"
+cargo build --release
+
+echo "== clippy (-D warnings)"
+cargo clippy --workspace -- -D warnings
+
+echo "== lesm-lint (--workspace)"
+cargo run --release -q -p lesm-lint -- --root "$PWD" --workspace
+
+echo "== tests"
+cargo test -q
+
+echo "verify: all gates passed"
