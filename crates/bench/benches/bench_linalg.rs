@@ -1,0 +1,88 @@
+//! Criterion micro-benches for the dense linalg kernels rewritten in the
+//! single-core overhaul: blocked matmul (and its transposed variants),
+//! the fused tmatvec, and the hoisted symmetric rank-one tensor update
+//! versus a naive per-element reference.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lesm_linalg::{Mat, Tensor3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Mat::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-1.0..1.0);
+    }
+    m
+}
+
+/// The pre-hoist `add_sym_rank_one_pair` update: every product recomputed
+/// in the innermost loop. Kept as the baseline the hoisted kernel is
+/// measured against.
+fn sym_rank_one_pair_naive(t: &mut Tensor3, w: f64, a: &[f64], b: &[f64]) {
+    let k = a.len();
+    for i in 0..k {
+        for j in 0..k {
+            for l in 0..k {
+                t.add(i, j, l, w * (a[i] * a[j] * b[l] + a[i] * b[j] * a[l] + b[i] * a[j] * a[l]));
+            }
+        }
+    }
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    group.sample_size(10);
+
+    // Square matmul across sizes spanning the blocked kernel's sweet spot.
+    for &n in &[32usize, 96, 192] {
+        let a = random_mat(n, n, 11);
+        let b = random_mat(n, n, 13);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)));
+        });
+    }
+
+    // Transposed-operand products as used by the subspace iteration:
+    // Aᵀ·B (axpy kernel) and A·Bᵀ (dot kernel) on skinny operands.
+    let tall_a = random_mat(1024, 16, 17);
+    let tall_b = random_mat(1024, 16, 19);
+    group.bench_function("matmul_tn_1024x16", |bch| {
+        bch.iter(|| black_box(&tall_a).matmul_tn(black_box(&tall_b)));
+    });
+    let wide_a = random_mat(16, 1024, 23);
+    let wide_b = random_mat(16, 1024, 29);
+    group.bench_function("matmul_nt_16x1024", |bch| {
+        bch.iter(|| black_box(&wide_a).matmul_nt(black_box(&wide_b)));
+    });
+
+    // Fused Wᵀx on a vocabulary-shaped matrix (tall, few columns).
+    let w = random_mat(4096, 32, 31);
+    let x: Vec<f64> = (0..4096).map(|i| (i as f64).sin()).collect();
+    group.bench_function("tmatvec_4096x32", |bch| {
+        bch.iter(|| black_box(&w).tmatvec(black_box(&x)));
+    });
+
+    // Hoisted symmetric rank-one pair update vs the naive reference —
+    // the moment-accumulation inner loop (two k³ updates per word).
+    let k = 16;
+    let mut rng = StdRng::seed_from_u64(37);
+    let va: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let vb: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    group.bench_function("sym_rank_one_naive_k16", |bch| {
+        let mut t = Tensor3::zeros(k);
+        bch.iter(|| sym_rank_one_pair_naive(&mut t, 0.5, black_box(&va), black_box(&vb)));
+    });
+    group.bench_function("sym_rank_one_hoisted_k16", |bch| {
+        let mut buf = vec![0.0f64; k * k * k];
+        bch.iter(|| {
+            lesm_linalg::sym_rank_one_pair_into(&mut buf, 0.5, black_box(&va), black_box(&vb))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lesm_bench::datasets::labeled;
 use lesm_strod::moments::{whitened_third_moment, DocStats, WhitenedMoments};
 use lesm_strod::power::{tensor_power_method, PowerConfig};
+use lesm_strod::{Strod, StrodConfig};
 
 fn bench_strod(c: &mut Criterion) {
     let mut group = c.benchmark_group("strod");
@@ -37,6 +38,11 @@ fn bench_strod(c: &mut Criterion) {
             });
         });
     }
+    // End-to-end: moments → whitening → power method → parameter recovery.
+    group.bench_function("strod_fit_k5", |b| {
+        let config = StrodConfig { k: 5, ..StrodConfig::default() };
+        b.iter(|| Strod::fit_stats(&stats, &config).unwrap());
+    });
     group.finish();
 }
 

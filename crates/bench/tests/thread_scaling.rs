@@ -1,0 +1,66 @@
+//! Tier-2 guard for the `fit_threads` regression: on a multi-core box,
+//! asking the EM for more worker threads must never make it meaningfully
+//! slower than one thread. Before the adaptive-dispatch core cap,
+//! `threads = 2` on a single-core machine oversubscribed the CPU and lost
+//! ~40% to scheduling churn; the cap clamps the fan-out to the cores that
+//! exist, and this test keeps that behavior honest where it can be
+//! observed.
+//!
+//! The 1.15x allowance absorbs scoped-thread spawn overhead and timer
+//! noise; outputs are bit-identical across thread counts regardless (see
+//! the `*_bit_identical_*` tier-1 tests).
+
+use std::time::Instant;
+
+use lesm_bench::datasets::dblp_small;
+use lesm_hier::em::{CathyHinEm, EdgeState, EmConfig, WeightMode};
+use lesm_net::collapsed_network;
+
+fn fit_config(threads: usize) -> EmConfig {
+    EmConfig {
+        k: 4,
+        iters: 25,
+        restarts: 1,
+        seed: 5,
+        background: true,
+        weights: WeightMode::Equal,
+        threads,
+        ..EmConfig::default()
+    }
+}
+
+/// Median-of-5 wall time for one prepared fit at the given thread count.
+fn median_fit_secs(state: &EdgeState, threads: usize) -> f64 {
+    let config = fit_config(threads);
+    // Warm-up run: touches the edge arrays and fills the allocator pools.
+    CathyHinEm::fit_prepared(state, &config).unwrap();
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            CathyHinEm::fit_prepared(state, &config).unwrap();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn more_threads_is_never_meaningfully_slower() {
+    if lesm_par::effective_threads(0) < 2 {
+        eprintln!("skipping: single-core machine, nothing to oversubscribe");
+        return;
+    }
+    let papers = dblp_small(800, 7);
+    let net = collapsed_network(&papers.corpus);
+    let state = EdgeState::new(&net);
+    let single = median_fit_secs(&state, 1);
+    for threads in [2usize, 4] {
+        let multi = median_fit_secs(&state, threads);
+        assert!(
+            multi <= single * 1.15,
+            "EM with {threads} threads took {multi:.4}s vs {single:.4}s single-threaded \
+             (> 1.15x budget)"
+        );
+    }
+}

@@ -54,6 +54,10 @@ pub enum Command {
         threads: usize,
         /// EM early-exit tolerance (`0` = run every iteration).
         em_tol: f64,
+        /// Adaptive-dispatch cutoff in abstract work units (`None` keeps
+        /// the library default). Does not affect results, only whether
+        /// small calls fan out to worker threads.
+        par_threshold: Option<u64>,
     },
     /// Mine a hierarchy and persist it as a binary snapshot.
     Snapshot {
@@ -69,6 +73,9 @@ pub enum Command {
         threads: usize,
         /// EM early-exit tolerance (`0` = run every iteration).
         em_tol: f64,
+        /// Adaptive-dispatch cutoff in abstract work units (`None` keeps
+        /// the library default).
+        par_threshold: Option<u64>,
     },
     /// Serve queries from a snapshot artifact.
     Serve {
@@ -124,12 +131,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut depth = 2usize;
             let mut threads = 0usize;
             let mut em_tol = 0.0f64;
+            let mut par_threshold = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--k" => k = next_value(&mut it, flag)?,
                     "--depth" => depth = next_value(&mut it, flag)?,
                     "--threads" => threads = next_value(&mut it, flag)?,
                     "--em-tol" => em_tol = next_value(&mut it, flag)?,
+                    "--par-threshold" => par_threshold = Some(next_value(&mut it, flag)?),
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -139,7 +148,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             if em_tol < 0.0 || !em_tol.is_finite() {
                 return Err("--em-tol must be a finite non-negative number".into());
             }
-            Ok(Command::Mine { input, k, depth, threads, em_tol })
+            Ok(Command::Mine { input, k, depth, threads, em_tol, par_threshold })
         }
         "snapshot" => {
             let input = it.next().ok_or("snapshot needs an input path")?.clone();
@@ -148,12 +157,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut depth = 2usize;
             let mut threads = 0usize;
             let mut em_tol = 0.0f64;
+            let mut par_threshold = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--k" => k = next_value(&mut it, flag)?,
                     "--depth" => depth = next_value(&mut it, flag)?,
                     "--threads" => threads = next_value(&mut it, flag)?,
                     "--em-tol" => em_tol = next_value(&mut it, flag)?,
+                    "--par-threshold" => par_threshold = Some(next_value(&mut it, flag)?),
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -163,7 +174,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             if em_tol < 0.0 || !em_tol.is_finite() {
                 return Err("--em-tol must be a finite non-negative number".into());
             }
-            Ok(Command::Snapshot { input, output, k, depth, threads, em_tol })
+            Ok(Command::Snapshot { input, output, k, depth, threads, em_tol, par_threshold })
         }
         "serve" => {
             let snapshot = it.next().ok_or("serve needs a snapshot path")?.clone();
@@ -228,9 +239,9 @@ lesm — latent entity structure mining
 USAGE:
   lesm synth [--docs N] [--seed S]        emit a synthetic corpus as TSV
   lesm mine <corpus.tsv> [--k K] [--depth D] [--threads T] [--em-tol TOL]
-                                          mine a hierarchy, print JSON
+            [--par-threshold U]           mine a hierarchy, print JSON
   lesm snapshot <corpus.tsv> <out.lesm> [--k K] [--depth D] [--threads T] [--em-tol TOL]
-                                          mine once, save a binary snapshot
+            [--par-threshold U]           mine once, save a binary snapshot
   lesm serve <snapshot.lesm> [--addr HOST:PORT] [--workers N] [--cache N]
              [--shutdown-file PATH]       serve queries from a snapshot
   lesm search <corpus.tsv | snapshot.lesm> <query...>
@@ -238,7 +249,11 @@ USAGE:
   lesm advisors <corpus.tsv>              mine advisor-advisee relations
 
 `--threads 0` (the default) uses every available core; any thread count
-produces identical output. `--em-tol` stops each EM run once the relative
+produces identical output. `--par-threshold U` sets the adaptive-dispatch
+cutoff in abstract work units (~1 unit per f64 multiply-add): parallel
+calls carrying less work than U run on one thread to skip fan-out
+overhead. It changes scheduling only, never results.
+`--em-tol` stops each EM run once the relative
 objective improvement drops below TOL (0, the default, always runs the
 full iteration budget). `search` detects snapshot inputs by their magic
 bytes and answers from the persisted structure without re-mining. The
@@ -416,15 +431,59 @@ mod tests {
         );
         assert_eq!(
             parse_args(&s(&["mine", "in.tsv", "--k", "3", "--depth", "1"])).unwrap(),
-            Command::Mine { input: "in.tsv".into(), k: 3, depth: 1, threads: 0, em_tol: 0.0 }
+            Command::Mine {
+                input: "in.tsv".into(),
+                k: 3,
+                depth: 1,
+                threads: 0,
+                em_tol: 0.0,
+                par_threshold: None
+            }
         );
         assert_eq!(
             parse_args(&s(&["mine", "in.tsv", "--threads", "4"])).unwrap(),
-            Command::Mine { input: "in.tsv".into(), k: 4, depth: 2, threads: 4, em_tol: 0.0 }
+            Command::Mine {
+                input: "in.tsv".into(),
+                k: 4,
+                depth: 2,
+                threads: 4,
+                em_tol: 0.0,
+                par_threshold: None
+            }
         );
         assert_eq!(
             parse_args(&s(&["mine", "in.tsv", "--em-tol", "1e-6"])).unwrap(),
-            Command::Mine { input: "in.tsv".into(), k: 4, depth: 2, threads: 0, em_tol: 1e-6 }
+            Command::Mine {
+                input: "in.tsv".into(),
+                k: 4,
+                depth: 2,
+                threads: 0,
+                em_tol: 1e-6,
+                par_threshold: None
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["mine", "in.tsv", "--par-threshold", "4096"])).unwrap(),
+            Command::Mine {
+                input: "in.tsv".into(),
+                k: 4,
+                depth: 2,
+                threads: 0,
+                em_tol: 0.0,
+                par_threshold: Some(4096)
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["snapshot", "in.tsv", "out.lesm", "--par-threshold", "0"])).unwrap(),
+            Command::Snapshot {
+                input: "in.tsv".into(),
+                output: "out.lesm".into(),
+                k: 4,
+                depth: 2,
+                threads: 0,
+                em_tol: 0.0,
+                par_threshold: Some(0)
+            }
         );
         assert_eq!(
             parse_args(&s(&["search", "in.tsv", "query", "processing"])).unwrap(),
@@ -445,6 +504,8 @@ mod tests {
         assert!(parse_args(&s(&["mine", "x", "--k", "0"])).is_err());
         assert!(parse_args(&s(&["mine", "x", "--em-tol", "-1"])).is_err());
         assert!(parse_args(&s(&["mine", "x", "--em-tol", "NaN"])).is_err());
+        assert!(parse_args(&s(&["mine", "x", "--par-threshold", "-1"])).is_err());
+        assert!(parse_args(&s(&["mine", "x", "--par-threshold", "lots"])).is_err());
         assert!(parse_args(&s(&["search", "x"])).is_err());
         assert!(parse_args(&s(&["frobnicate"])).is_err());
         assert!(parse_args(&s(&["synth", "--bogus", "1"])).is_err());

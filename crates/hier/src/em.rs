@@ -246,10 +246,12 @@ pub struct EdgeState {
     node_base: Vec<usize>,
     /// Total node count across types.
     total_nodes: usize,
-    /// Per-edge global node id of the first endpoint.
-    ni: Vec<usize>,
+    /// Per-edge global node id of the first endpoint. `u32` halves the
+    /// sequential stream the E-step pulls per edge (node ids are bounded
+    /// by the `u32` node indices of the network).
+    ni: Vec<u32>,
     /// Per-edge global node id of the second endpoint.
-    nj: Vec<usize>,
+    nj: Vec<u32>,
     /// Per-edge type-pair key `tx * T + ty`.
     tp: Vec<usize>,
     /// Per-edge raw link weight.
@@ -283,8 +285,8 @@ impl EdgeState {
         let mut w = Vec::with_capacity(n);
         for blk in &net.blocks {
             for &(i, j, wt) in &blk.edges {
-                ni.push(node_base[blk.tx] + i as usize);
-                nj.push(node_base[blk.ty] + j as usize);
+                ni.push((node_base[blk.tx] + i as usize) as u32);
+                nj.push((node_base[blk.ty] + j as usize) as u32);
                 tp.push(blk.tx * t_count + blk.ty);
                 w.push(wt);
             }
@@ -351,7 +353,7 @@ impl EdgeState {
 /// Number of edge chunks the E/M accumulation is split into. Fixed (never
 /// derived from the thread count) so the floating-point summation grouping
 /// — and therefore every EM result — is identical for any parallelism.
-const EM_PIECES: usize = 32;
+const EM_PIECES: usize = 16;
 
 /// One contiguous parameter buffer: `[ φ | φ0 | ρ ]`, with `φ` node-major
 /// interleaved — the value `φ[x][z][i]` lives at `node * k + z` where
@@ -620,6 +622,236 @@ fn rescale_alpha(alpha: &mut [f64], pair_links: &[usize]) {
     }
 }
 
+/// Read-only inputs of one E-step chunk fill, bundled so the hot loop can
+/// live in a free function (closures cannot carry `#[target_feature]`).
+struct EStepCtx<'a> {
+    k: usize,
+    background: bool,
+    track_phi0: bool,
+    /// Offset of the φ block in the accumulator: `k + 2` head slots.
+    phi_off: usize,
+    /// Length of the φ block: `total · k`.
+    phi_len: usize,
+    state: &'a EdgeState,
+    scaled: &'a [f64],
+    phi_c: &'a [f64],
+    rho_c: &'a [f64],
+    /// Per-node background inputs packed `[φ0(n), parent(n)]` so one edge
+    /// endpoint costs one cache line instead of random loads into two
+    /// separate arrays.
+    bgpack: &'a [f64],
+}
+
+/// Accumulates one edge chunk of the E-step into `buf` (layout
+/// `[obj | bg | k numerators | φ | φ0?]`). Dispatches to an AVX2
+/// compilation of the identical loop when the CPU has it: every vectorized
+/// operation is an elementwise IEEE mul/add/divide (no fused ops, no
+/// reassociated reductions — the posterior total keeps its sequential
+/// left-to-right sum), so the two paths produce the same bits and the
+/// dispatch cannot violate the determinism contract (DESIGN.md §11).
+fn estep_fill(ctx: &EStepCtx<'_>, range: std::ops::Range<usize>, buf: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe {
+            match ctx.k {
+                4 => estep_fill_avx2::<4>(ctx, range, buf),
+                5 => estep_fill_avx2::<5>(ctx, range, buf),
+                8 => estep_fill_avx2::<8>(ctx, range, buf),
+                _ => estep_fill_avx2::<0>(ctx, range, buf),
+            }
+        }
+        return;
+    }
+    match ctx.k {
+        4 => estep_fill_portable::<4>(ctx, range, buf),
+        5 => estep_fill_portable::<5>(ctx, range, buf),
+        8 => estep_fill_portable::<8>(ctx, range, buf),
+        _ => estep_fill_portable::<0>(ctx, range, buf),
+    }
+}
+
+/// The portable loop recompiled with AVX2 enabled — `estep_fill_portable`
+/// is `#[inline(always)]`, so its body is re-optimized here with 4-wide
+/// vectors. Same operations, same bits, fewer instructions.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn estep_fill_avx2<const K: usize>(
+    ctx: &EStepCtx<'_>,
+    range: std::ops::Range<usize>,
+    buf: &mut [f64],
+) {
+    estep_fill_portable::<K>(ctx, range, buf);
+}
+
+/// `K` is the compile-time subtopic count for the common sizes (the
+/// dispatcher monomorphizes 4, 5, and 8, so their `z`-loops fully unroll);
+/// `K = 0` is the fallback that reads the runtime `ctx.k`. Both produce
+/// the same bits — unrolling reorders nothing.
+#[inline(always)]
+fn estep_fill_portable<const K: usize>(
+    ctx: &EStepCtx<'_>,
+    range: std::ops::Range<usize>,
+    buf: &mut [f64],
+) {
+    debug_assert!(K == 0 || K == ctx.k);
+    let k = if K == 0 { ctx.k } else { K };
+    let state = ctx.state;
+    let background = ctx.background;
+    let (phi_c, rho_c) = (ctx.phi_c, ctx.rho_c);
+    let bgpack = ctx.bgpack;
+    let scaled = ctx.scaled;
+    // Pre-split the chunk buffer into its [head | φ | φ0] regions so the
+    // hot loop indexes small slices directly. `head` is
+    // [obj | bg | k numerators]; slicing the numerator tail once lets the
+    // per-edge loops run without bounds checks (and vectorize, since every
+    // store target is a disjoint fixed-length slice).
+    let (head, rest) = buf.split_at_mut(ctx.phi_off);
+    let (phi_b, phi0_b) = rest.split_at_mut(ctx.phi_len);
+    let (head_obj, head_z) = head.split_at_mut(2);
+    let rho_z = &rho_c[1..k + 1];
+    // Posterior scratch: a stack array in the monomorphized paths, a heap
+    // fallback when `K = 0`.
+    let mut q_arr = [0.0f64; K];
+    let mut q_vec;
+    let q: &mut [f64] = if K == 0 {
+        q_vec = vec![0.0f64; k];
+        &mut q_vec
+    } else {
+        &mut q_arr
+    };
+    // The ρ numerators and the background expectation are chunk-global
+    // accumulators, so they can live in registers for the whole edge loop
+    // and be flushed once at the end. The chunk buffer arrives zeroed, so
+    // `slot += local` writes the identical left-to-right fold the per-edge
+    // stores produced.
+    let mut hz_arr = [0.0f64; K];
+    let mut hz_vec;
+    let hz: &mut [f64] = if K == 0 {
+        hz_vec = vec![0.0f64; k];
+        &mut hz_vec
+    } else {
+        &mut hz_arr
+    };
+    let mut bg_acc = 0.0f64;
+    // ln(s) is the one long-latency operation per edge, and it feeds
+    // nothing but the objective — never the parameters. Deferring it out
+    // of the edge loop (stash s and w, run the chunk through the
+    // vectorized `fast_ln_slice`, then fold w·ln s in edge order)
+    // unserializes the whole E-step: every other per-edge op is a short
+    // mul/add/divide the out-of-order window overlaps freely. Dead edges
+    // (s ≤ 0) keep the sentinel s = 1, w = 0, so they contribute an exact
+    // +0.0 to the objective, same as being skipped.
+    let base = range.start;
+    let mut ln_scratch = vec![0.0f64; 3 * range.len()];
+    let (sbuf, rest) = ln_scratch.split_at_mut(range.len());
+    let (wbuf, lnbuf) = rest.split_at_mut(range.len());
+    sbuf.fill(1.0);
+    for e in range.clone() {
+        let (ni, nj) = (state.ni[e] as usize, state.nj[e] as usize);
+        let (na, nb) = (ni * k, nj * k);
+        let w = scaled[e];
+        let a = &phi_c[na..na + k];
+        let b = &phi_c[nb..nb + k];
+        for ((qv, &rz), (&az, &bz)) in q.iter_mut().zip(rho_z).zip(a.iter().zip(b)) {
+            *qv = rz * az * bz;
+        }
+        // Four stride-4 partial sums folded in a fixed order — the shape
+        // a 4-lane vector add produces, so the compiler keeps the whole
+        // reduction in SIMD registers. The grouping is a pure function of
+        // k: deterministic, thread-invariant, dispatch-invariant.
+        let mut acc4 = [0.0f64; 4];
+        let mut quads = q.chunks_exact(4);
+        for quad in &mut quads {
+            acc4[0] += quad[0];
+            acc4[1] += quad[1];
+            acc4[2] += quad[2];
+            acc4[3] += quad[3];
+        }
+        for (l, &r) in quads.remainder().iter().enumerate() {
+            acc4[l] += r;
+        }
+        let mut s = (acc4[0] + acc4[1]) + (acc4[2] + acc4[3]);
+        // Background: average of the two link directions.
+        let (bg_a, bg_b, q0);
+        if background {
+            bg_a = 0.5 * rho_c[0] * bgpack[2 * ni] * bgpack[2 * nj + 1];
+            bg_b = 0.5 * rho_c[0] * bgpack[2 * nj] * bgpack[2 * ni + 1];
+            q0 = bg_a + bg_b;
+            s += q0;
+        } else {
+            bg_a = 0.0;
+            bg_b = 0.0;
+            q0 = 0.0;
+        }
+        if s <= 0.0 {
+            continue;
+        }
+        sbuf[e - base] = s;
+        wbuf[e - base] = w;
+        let inv = w / s;
+        if na == nb {
+            // Self-loop: both endpoint rows are the same slice, so
+            // accumulate the contribution twice in sequence (same bits as
+            // two indexed adds to one cell).
+            let pa = &mut phi_b[na..na + k];
+            for ((&qv, hv), pv) in q.iter().zip(&mut *hz).zip(pa) {
+                let ew = qv * inv;
+                *hv += ew;
+                *pv += ew;
+                *pv += ew;
+            }
+        } else {
+            // Distinct rows: na and nb are k-aligned, so they differ by at
+            // least k and split_at_mut yields two non-overlapping row
+            // slices. Every add below hits a distinct cell, so the store
+            // order within an edge cannot change any bits.
+            let (lo, hi) = if na < nb { (na, nb) } else { (nb, na) };
+            let (left, right) = phi_b.split_at_mut(hi);
+            let pl = &mut left[lo..lo + k];
+            let pr = &mut right[..k];
+            for (((&qv, hv), lv), rv) in q.iter().zip(&mut *hz).zip(pl).zip(pr) {
+                let ew = qv * inv;
+                *hv += ew;
+                *lv += ew;
+                *rv += ew;
+            }
+        }
+        if background {
+            let e0 = q0 * inv;
+            bg_acc += e0;
+            if ctx.track_phi0 && q0 > 0.0 {
+                phi0_b[ni] += inv * bg_a;
+                phi0_b[nj] += inv * bg_b;
+            }
+        }
+    }
+    // Flush the register accumulators, then the batched objective: ln over
+    // the chunk and the w·ln(s) fold in the same edge order the fused loop
+    // used.
+    for (slot, &local) in head_z.iter_mut().zip(&*hz) {
+        *slot += local;
+    }
+    head_obj[1] += bg_acc;
+    lesm_linalg::fast_ln_slice(sbuf, lnbuf);
+    // Same fixed stride-4 shape as the posterior sum: four independent
+    // partials keep the long w·ln(s) fold out of a single serial add
+    // chain, and the grouping depends only on the chunk length.
+    let mut obj4 = [0.0f64; 4];
+    let mut pairs = lnbuf.chunks_exact(4).zip(wbuf.chunks_exact(4));
+    for (lq, wq) in &mut pairs {
+        obj4[0] += wq[0] * lq[0];
+        obj4[1] += wq[1] * lq[1];
+        obj4[2] += wq[2] * lq[2];
+        obj4[3] += wq[3] * lq[3];
+    }
+    let tail = lnbuf.len() - lnbuf.len() % 4;
+    for (l, (lv, wv)) in lnbuf[tail..].iter().zip(&wbuf[tail..]).enumerate() {
+        obj4[l] += wv * lv;
+    }
+    head_obj[0] += (obj4[0] + obj4[1]) + (obj4[2] + obj4[3]);
+}
+
 /// One full EM run (fixed α). When `warm` is given, the passed arena is
 /// continued in place instead of random initialization.
 #[allow(clippy::too_many_arguments)]
@@ -712,70 +944,48 @@ fn run_em(
     let grain = lesm_par::grain_for_pieces(n_edges, EM_PIECES);
     let parent_flat = &state.parent_flat;
     let background = config.background;
+    // Packed per-node background inputs `[φ0(n), parent(n)]`: one random
+    // cache line per edge endpoint in the hot loop instead of two. φ0 is
+    // pinned unless it is re-learned, so the pack is rebuilt per iteration
+    // only in that mode.
+    let mut bgpack = vec![0.0f64; 2 * total];
+    let mut bgpack_stale = true;
     for _ in 0..config.iters {
         // E-step + M-step numerators: one chunked reduce over the edges
         // into the flat accumulator. Chunk layout and fold order are
         // fixed, so any thread count gives the same bits as threads = 1.
         let (phi_c, phi0_c, rho_c) = cur.split();
-        lesm_par::par_buffer_reduce_with(
+        if background && (bgpack_stale || track_phi0) {
+            for ((pack, &p0), &pf) in
+                bgpack.chunks_exact_mut(2).zip(phi0_c).zip(parent_flat)
+            {
+                pack[0] = p0;
+                pack[1] = pf;
+            }
+            bgpack_stale = false;
+        }
+        // ~8k + 16 flops per edge (E-step posterior + numerator adds).
+        let hint = lesm_par::WorkHint::items(n_edges, 8 * k + 16);
+        let ctx = EStepCtx {
+            k,
+            background,
+            track_phi0,
+            phi_off,
+            phi_len: total * k,
+            state,
+            scaled,
+            phi_c,
+            rho_c,
+            bgpack: &bgpack,
+        };
+        lesm_par::par_buffer_reduce_with_hinted(
             &mut scratch.reduce,
             n_edges,
             grain,
             config.threads,
+            hint,
             &mut scratch.acc,
-            |range, buf| {
-                // Pre-split the chunk buffer into its [head | φ | φ0]
-                // regions so the hot loop indexes small slices directly.
-                let (head, rest) = buf.split_at_mut(phi_off);
-                let (phi_b, phi0_b) = rest.split_at_mut(total * k);
-                let mut q = vec![0.0f64; k + 1];
-                for e in range {
-                    let (ni, nj) = (state.ni[e], state.nj[e]);
-                    let (na, nb) = (ni * k, nj * k);
-                    let w = scaled[e];
-                    let a = &phi_c[na..na + k];
-                    let b = &phi_c[nb..nb + k];
-                    let mut s = 0.0;
-                    for z in 0..k {
-                        let v = rho_c[z + 1] * a[z] * b[z];
-                        q[z + 1] = v;
-                        s += v;
-                    }
-                    // Background: average of the two link directions.
-                    let (bg_a, bg_b);
-                    if background {
-                        bg_a = 0.5 * rho_c[0] * phi0_c[ni] * parent_flat[nj];
-                        bg_b = 0.5 * rho_c[0] * phi0_c[nj] * parent_flat[ni];
-                        q[0] = bg_a + bg_b;
-                        s += q[0];
-                    } else {
-                        bg_a = 0.0;
-                        bg_b = 0.0;
-                        q[0] = 0.0;
-                    }
-                    if s <= 0.0 {
-                        continue;
-                    }
-                    head[0] += w * s.ln();
-                    let inv = w / s;
-                    // Indexed adds (not sub-slices) so a self-loop edge
-                    // (na == nb) accumulates both endpoint contributions.
-                    for z in 0..k {
-                        let ew = q[z + 1] * inv;
-                        head[2 + z] += ew;
-                        phi_b[na + z] += ew;
-                        phi_b[nb + z] += ew;
-                    }
-                    if background {
-                        let e0 = q[0] * inv;
-                        head[1] += e0;
-                        if track_phi0 && q[0] > 0.0 {
-                            phi0_b[ni] += inv * bg_a;
-                            phi0_b[nj] += inv * bg_b;
-                        }
-                    }
-                }
-            },
+            |range, buf| estep_fill(&ctx, range, buf),
         );
         let acc = &scratch.acc;
         let obj = acc[0];
@@ -836,17 +1046,27 @@ fn run_em(
     }
 
     // Full Poisson log-likelihood (for BIC): Σ_nonzero [w ln(M θ s) - lnΓ(w+1)] - M.
+    // Link weights are overwhelmingly small integers, and `ln_gamma` is by
+    // far the costliest call in this pass — memoize the integer arguments.
+    // Table entries come from the same `ln_gamma`, so the bits match the
+    // direct call exactly.
+    let ln_gamma_table: Vec<f64> = (0..64).map(|i| ln_gamma(i as f64 + 1.0)).collect();
+    let ln_gamma_memo = |w: f64| {
+        let wi = w as usize;
+        if wi < 63 && wi as f64 == w { ln_gamma_table[wi] } else { ln_gamma(w + 1.0) }
+    };
     let (phi_c, phi0_c, rho_c) = cur.split();
     let mut ll = [0.0f64];
-    lesm_par::par_buffer_reduce_with(
+    lesm_par::par_buffer_reduce_with_hinted(
         &mut scratch.reduce,
         n_edges,
         grain,
         config.threads,
+        lesm_par::WorkHint::items(n_edges, 2 * k + 8),
         &mut ll,
         |range, buf| {
             for e in range {
-                let (ni, nj) = (state.ni[e], state.nj[e]);
+                let (ni, nj) = (state.ni[e] as usize, state.nj[e] as usize);
                 let w = scaled[e];
                 let a = &phi_c[ni * k..ni * k + k];
                 let b = &phi_c[nj * k..nj * k + k];
@@ -861,7 +1081,7 @@ fn run_em(
                 }
                 let lambda = m_total * theta[state.tp[e]] * s;
                 if lambda > 0.0 {
-                    buf[0] += w * lambda.ln() - ln_gamma(w + 1.0);
+                    buf[0] += w * lambda.ln() - ln_gamma_memo(w);
                 }
             }
         },
@@ -886,15 +1106,16 @@ fn learn_alpha(
     let parent_flat = &state.parent_flat;
     // σ_{x,y} = (1/n_{x,y}) Σ e ln( e / (M_{x,y} s) )
     let mut sigma = vec![0.0f64; t_count * t_count];
-    lesm_par::par_buffer_reduce_with(
+    lesm_par::par_buffer_reduce_with_hinted(
         &mut scratch.reduce,
         n_edges,
         lesm_par::grain_for_pieces(n_edges, EM_PIECES),
         threads,
+        lesm_par::WorkHint::items(n_edges, 2 * k + 8),
         &mut sigma,
         |range, buf| {
             for e in range {
-                let (ni, nj) = (state.ni[e], state.nj[e]);
+                let (ni, nj) = (state.ni[e] as usize, state.nj[e] as usize);
                 let w = state.w[e];
                 let a = &phi[ni * k..ni * k + k];
                 let b = &phi[nj * k..nj * k + k];

@@ -125,6 +125,14 @@ pub fn topk_eigen(op: &dyn SymOp, k: usize, max_iters: usize, tol: f64, seed: u6
 /// Columns are applied independently and the matrix products are blocked
 /// by output row, so the decomposition is bit-identical for any thread
 /// count.
+///
+/// Internally the basis is held *transposed* (`k x n`, one contiguous row
+/// per basis vector), which makes every step allocation-free inside the
+/// iteration loop: operator applications write straight into a reused
+/// `k x n` block, the Rayleigh–Ritz projection is a fused
+/// [`Mat::matmul_nt`], the Ritz rotation a fused [`Mat::matmul_tn`], and
+/// re-orthonormalization runs on contiguous rows
+/// ([`Mat::orthonormalize_rows`]).
 pub fn topk_eigen_threads(
     op: &dyn SymOp,
     k: usize,
@@ -136,35 +144,38 @@ pub fn topk_eigen_threads(
     let n = op.dim();
     let k = k.min(n);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut q = Mat::zeros(n, k);
+    // qt row c is basis vector c. The RNG is drawn in the same (r, c)
+    // order as the untransposed layout used, so the starting subspace is
+    // unchanged for a given seed.
+    let mut qt = Mat::zeros(k, n);
     for r in 0..n {
         for c in 0..k {
-            q[(r, c)] = rng.gen_range(-1.0..1.0);
+            qt[(c, r)] = rng.gen_range(-1.0..1.0);
         }
     }
-    q.orthonormalize_cols();
-    // aq = A * q, column by column: each column is an independent operator
-    // application, so the fan-out is exact.
-    let apply_block = |q: &Mat| -> Mat {
-        let cols = lesm_par::par_map_collect(k, threads, |c| {
-            let x: Vec<f64> = (0..n).map(|r| q[(r, c)]).collect();
-            let mut y = vec![0.0; n];
-            op.apply(&x, &mut y);
-            y
-        });
-        let mut aq = Mat::zeros(n, k);
-        for (c, col) in cols.iter().enumerate() {
-            for r in 0..n {
-                aq[(r, c)] = col[r];
-            }
-        }
-        aq
-    };
+    qt.orthonormalize_rows();
+    // aqt row c is A * (basis vector c), written in place each iteration.
+    // Each row is an independent operator application, so the fan-out is
+    // exact. The per-application cost is operator-defined and can be
+    // large (sparse corpus sweeps), so the work hint stays HEAVY.
+    let mut aqt = Mat::zeros(k, n);
     let mut prev_ritz = vec![f64::INFINITY; k];
     for _ in 0..max_iters {
-        let aq = apply_block(&q);
+        lesm_par::par_for_rows_hinted(
+            aqt.as_mut_slice(),
+            n,
+            threads,
+            lesm_par::WorkHint::HEAVY,
+            |c, y| {
+                y.fill(0.0);
+                op.apply(qt.row(c), y);
+            },
+        );
         // Rayleigh–Ritz: B = Q^T A Q (k x k), eigendecompose, rotate Q.
-        let mut b = q.transpose().matmul_threads(&aq, threads);
+        // With both blocks transposed this is (AQ)^T-rows against Q-rows;
+        // the symmetrization makes the A·Bᵀ orientation interchangeable
+        // with the seed's Qᵀ·AQ.
+        let mut b = aqt.matmul_nt_threads(&qt, threads);
         // Symmetrize against round-off.
         for i in 0..k {
             for j in (i + 1)..k {
@@ -175,9 +186,10 @@ pub fn topk_eigen_threads(
         }
         let small = jacobi_eigen(&b, 50, 1e-14);
         // q <- (A q) rotated into the Ritz basis, then re-orthonormalized.
-        let mut next = aq.matmul_threads(&small.vectors, threads);
-        next.orthonormalize_cols();
-        q = next;
+        // Transposed: qt <- V^T * aqt, a fused product with no transpose
+        // materialization.
+        qt = small.vectors.matmul_tn_threads(&aqt, threads);
+        qt.orthonormalize_rows();
         let converged = small
             .values
             .iter()
@@ -188,13 +200,19 @@ pub fn topk_eigen_threads(
             break;
         }
     }
-    // Final Rayleigh quotient per column for the converged basis.
-    let values: Vec<f64> = lesm_par::par_map_collect(k, threads, |c| {
-        let x: Vec<f64> = (0..n).map(|r| q[(r, c)]).collect();
-        let mut y = vec![0.0; n];
-        op.apply(&x, &mut y);
-        crate::dot(&x, &y)
-    });
+    // Final Rayleigh quotient per basis vector, with one reused operator
+    // output buffer per worker.
+    let values: Vec<f64> = lesm_par::par_map_collect_scratch(
+        k,
+        threads,
+        lesm_par::WorkHint::HEAVY,
+        || vec![0.0; n],
+        |c, y| {
+            y.fill(0.0);
+            op.apply(qt.row(c), y);
+            crate::dot(qt.row(c), y)
+        },
+    );
     // Sort descending by eigenvalue.
     let mut order: Vec<usize> = (0..k).collect();
     order.sort_by(|&i, &j| values[j].total_cmp(&values[i]));
@@ -202,7 +220,7 @@ pub fn topk_eigen_threads(
     let mut sorted_vecs = Mat::zeros(n, k);
     for (new_c, &old_c) in order.iter().enumerate() {
         for r in 0..n {
-            sorted_vecs[(r, new_c)] = q[(r, old_c)];
+            sorted_vecs[(r, new_c)] = qt[(old_c, r)];
         }
     }
     Eigen { values: sorted_vals, vectors: sorted_vecs }
@@ -232,7 +250,7 @@ mod tests {
         assert!((e.values[0] - 3.0).abs() < 1e-10);
         assert!((e.values[1] - 1.0).abs() < 1e-10);
         // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
-        let v0 = e.vectors.col(0);
+        let v0: Vec<f64> = e.vectors.col_iter(0).collect();
         assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
     }
 
@@ -274,8 +292,8 @@ mod tests {
         assert!((top.values[1] - full.values[1]).abs() < 1e-6);
         // Eigenvector alignment up to sign.
         for c in 0..2 {
-            let u = top.vectors.col(c);
-            let v = full.vectors.col(c);
+            let u: Vec<f64> = top.vectors.col_iter(c).collect();
+            let v: Vec<f64> = full.vectors.col_iter(c).collect();
             assert!(crate::dot(&u, &v).abs() > 1.0 - 1e-5);
         }
     }

@@ -28,7 +28,7 @@ pub mod tensor;
 pub use eig::{jacobi_eigen, topk_eigen, topk_eigen_threads, Eigen, SymOp};
 pub use mat::Mat;
 pub use sparse::SparseRows;
-pub use tensor::Tensor3;
+pub use tensor::{rank_one_into, sym_rank_one_pair_into, Tensor3};
 
 /// Numerical tolerance used by decomposition routines in this crate.
 pub const EPS: f64 = 1e-12;
@@ -67,6 +67,115 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
+    }
+}
+
+/// The branchless ln kernel shared by [`fast_ln`] and [`fast_ln_slice`]:
+/// exponent split via the raw bits, a select (no branch) to shift the
+/// mantissa into [√2/2, √2), and an 8-term odd atanh series. Producing the
+/// same bits from the scalar and slice entry points — and from the SSE2
+/// and AVX2 compilations of this very function — requires exactly this
+/// shape: plain mul/add/div only (auto-vectorization never reorders or
+/// fuses them), no reductions, no data-dependent branches.
+///
+/// Only valid for positive normal inputs; callers fix up other inputs.
+#[inline(always)]
+fn ln_core(x: f64) -> f64 {
+    let bits = x.to_bits();
+    let e_raw = ((bits >> 52) & 0x7ff) as i64;
+    let m1 = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+    let big = m1 > core::f64::consts::SQRT_2;
+    let m = if big { 0.5 * m1 } else { m1 };
+    let e = (e_raw - 1023 + big as i64) as f64;
+    // ln(m) = 2·atanh(t) = 2t·(1 + t²/3 + t⁴/5 + …); with t² ≤ 0.0295 the
+    // first eight odd terms leave a relative truncation error < 4e-14.
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let p = 1.0
+        + t2 * (1.0 / 3.0
+            + t2 * (1.0 / 5.0
+                + t2 * (1.0 / 7.0
+                    + t2 * (1.0 / 9.0
+                        + t2 * (1.0 / 11.0 + t2 * (1.0 / 13.0 + t2 * (1.0 / 15.0)))))));
+    e * core::f64::consts::LN_2 + 2.0 * t * p
+}
+
+/// Whether `x` is on [`ln_core`]'s fast path (positive, normal, finite).
+#[inline(always)]
+fn ln_fast_path(x: f64) -> bool {
+    (f64::MIN_POSITIVE..=f64::MAX).contains(&x)
+}
+
+/// Fast natural log for positive normal doubles (relative error < 5e-13).
+///
+/// A pipelineable replacement for `f64::ln` on hot paths: the libm `ln` is
+/// correctly rounded but its internal branches and call overhead serialize
+/// a tight loop, while this kernel is straight-line arithmetic that
+/// out-of-order hardware overlaps across iterations. It is a pure function
+/// of the input bits — identical on every thread, every run, and every
+/// entry point (scalar or slice, SSE2 or AVX2) — so it satisfies the
+/// determinism contract (DESIGN.md §11). Inputs that are zero, subnormal,
+/// negative, infinite, or NaN fall back to `f64::ln`.
+///
+/// Do NOT use this where bitwise agreement with `f64::ln` matters: results
+/// differ from libm in the last few ulps.
+#[inline]
+pub fn fast_ln(x: f64) -> f64 {
+    if ln_fast_path(x) {
+        ln_core(x)
+    } else {
+        x.ln()
+    }
+}
+
+/// Vectorized [`fast_ln`] over a slice: `dst[i] = fast_ln(src[i])`.
+///
+/// The hot loop is branch-free so LLVM auto-vectorizes it; on x86-64 with
+/// AVX2 a 4-lane recompilation of the same code is dispatched at runtime.
+/// Both compilations execute the identical sequence of IEEE mul/add/div
+/// operations per element (no fused multiply-adds, no reductions), so the
+/// output bits do not depend on which path ran. Non-normal inputs are
+/// patched afterwards with `f64::ln`, exactly like the scalar entry point.
+pub fn fast_ln_slice(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "fast_ln_slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 requirement was just checked at runtime.
+            unsafe { ln_slice_avx2(src, dst) };
+            ln_slice_fixup(src, dst);
+            return;
+        }
+    }
+    ln_slice_portable(src, dst);
+    ln_slice_fixup(src, dst);
+}
+
+#[inline(always)]
+fn ln_slice_portable(src: &[f64], dst: &mut [f64]) {
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d = ln_core(x);
+    }
+}
+
+/// The same element loop compiled with AVX2 enabled. `ln_slice_portable`
+/// is `#[inline(always)]`, so its body is re-optimized here with 4-wide
+/// vectors — same operations, same bits, fewer instructions.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn ln_slice_avx2(src: &[f64], dst: &mut [f64]) {
+    ln_slice_portable(src, dst);
+}
+
+/// Second pass replacing the (garbage) fast-path results for non-normal
+/// inputs with `f64::ln`. Kept out of the main loop so that loop stays
+/// branch-free; the branch here is never taken on healthy data.
+#[inline(always)]
+fn ln_slice_fixup(src: &[f64], dst: &mut [f64]) {
+    for (d, &x) in dst.iter_mut().zip(src) {
+        if !ln_fast_path(x) {
+            *d = x.ln();
+        }
     }
 }
 
@@ -110,6 +219,51 @@ mod tests {
         let mut v = vec![0.0, 0.0];
         assert_eq!(normalize(&mut v), 0.0);
         assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fast_ln_matches_libm_to_5e13_relative() {
+        // Sweep magnitudes from deep underflow territory to huge values,
+        // with an awkward multiplier so mantissas land all over [1, 2).
+        let mut x = 1.73e-300;
+        while x < 1e300 {
+            let got = fast_ln(x);
+            let want = x.ln();
+            let tol = 5e-13 * want.abs().max(1e-9);
+            assert!(
+                (got - want).abs() <= tol,
+                "fast_ln({x:e}) = {got:.17e}, libm says {want:.17e}"
+            );
+            x *= 9.137;
+        }
+        assert!((fast_ln(1.0)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn fast_ln_slice_is_bitwise_identical_to_scalar() {
+        // Healthy values plus every fallback class, mixed into one slice so
+        // the fixup pass is exercised in place.
+        let mut src: Vec<f64> = (1..400).map(|i| (i as f64 * 0.731).exp2() * 1.37e-60).collect();
+        src.extend([0.0, -3.5, f64::INFINITY, f64::NAN, f64::MIN_POSITIVE / 8.0, 1.0]);
+        let mut dst = vec![0.0f64; src.len()];
+        fast_ln_slice(&src, &mut dst);
+        for (&x, &d) in src.iter().zip(&dst) {
+            let want = fast_ln(x);
+            assert!(
+                d.to_bits() == want.to_bits(),
+                "fast_ln_slice({x:e}) = {d:e}, scalar fast_ln gives {want:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_ln_falls_back_to_libm_off_the_fast_path() {
+        assert_eq!(fast_ln(0.0), f64::NEG_INFINITY);
+        assert!(fast_ln(-1.0).is_nan());
+        assert_eq!(fast_ln(f64::INFINITY), f64::INFINITY);
+        assert!(fast_ln(f64::NAN).is_nan());
+        let sub = f64::MIN_POSITIVE / 2.0;
+        assert_eq!(fast_ln(sub), sub.ln());
     }
 
     #[test]

@@ -60,23 +60,7 @@ impl Tensor3 {
     /// update `w * a \otimes a \otimes a`.
     pub fn add_rank_one(&mut self, w: f64, a: &[f64]) {
         debug_assert_eq!(a.len(), self.k);
-        let k = self.k;
-        for i in 0..k {
-            let wi = w * a[i];
-            if wi == 0.0 {
-                continue;
-            }
-            for j in 0..k {
-                let wij = wi * a[j];
-                if wij == 0.0 {
-                    continue;
-                }
-                let base = (i * k + j) * k;
-                for l in 0..k {
-                    self.data[base + l] += wij * a[l];
-                }
-            }
-        }
+        rank_one_into(&mut self.data, w, a);
     }
 
     /// Adds `w * (a ⊗ a ⊗ b + a ⊗ b ⊗ a + b ⊗ a ⊗ a)` — the symmetrized
@@ -84,46 +68,67 @@ impl Tensor3 {
     pub fn add_sym_rank_one_pair(&mut self, w: f64, a: &[f64], b: &[f64]) {
         debug_assert_eq!(a.len(), self.k);
         debug_assert_eq!(b.len(), self.k);
-        let k = self.k;
-        for i in 0..k {
-            for j in 0..k {
-                let base = (i * k + j) * k;
-                for l in 0..k {
-                    self.data[base + l] +=
-                        w * (a[i] * a[j] * b[l] + a[i] * b[j] * a[l] + b[i] * a[j] * a[l]);
-                }
-            }
-        }
+        sym_rank_one_pair_into(&mut self.data, w, a, b);
     }
 
     /// Contraction `T(I, u, u)`: returns the vector `v` with
     /// `v_i = sum_{j,l} T_{ijl} u_j u_l`.
     pub fn apply_vv(&self, u: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.k];
+        self.apply_vv_into(u, &mut out);
+        out
+    }
+
+    /// [`apply_vv`](Self::apply_vv) into a caller-owned buffer — the
+    /// allocation-free form the power method's inner loop uses.
+    pub fn apply_vv_into(&self, u: &[f64], out: &mut [f64]) {
         debug_assert_eq!(u.len(), self.k);
+        debug_assert_eq!(out.len(), self.k);
         let k = self.k;
-        let mut out = vec![0.0; k];
-        for i in 0..k {
+        for (i, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for j in 0..k {
                 let uj = u[j];
                 if uj == 0.0 {
                     continue;
                 }
-                let base = (i * k + j) * k;
+                let row = &self.data[(i * k + j) * k..(i * k + j + 1) * k];
                 let mut inner = 0.0;
-                for l in 0..k {
-                    inner += self.data[base + l] * u[l];
+                for (t, ul) in row.iter().zip(u) {
+                    inner += t * ul;
                 }
                 acc += uj * inner;
             }
-            out[i] = acc;
+            *o = acc;
         }
-        out
     }
 
-    /// Full contraction `T(u, u, u)`.
+    /// Full contraction `T(u, u, u)` without allocating.
+    ///
+    /// Bit-identical to `self.apply_vv(u)` dotted with `u`: the outer sum
+    /// runs over `i` left to right exactly like the iterator chain it
+    /// replaces.
     pub fn apply_vvv(&self, u: &[f64]) -> f64 {
-        self.apply_vv(u).iter().zip(u).map(|(x, y)| x * y).sum()
+        debug_assert_eq!(u.len(), self.k);
+        let k = self.k;
+        let mut total = 0.0;
+        for (i, ui) in u.iter().enumerate() {
+            let mut acc = 0.0;
+            for j in 0..k {
+                let uj = u[j];
+                if uj == 0.0 {
+                    continue;
+                }
+                let row = &self.data[(i * k + j) * k..(i * k + j + 1) * k];
+                let mut inner = 0.0;
+                for (t, ul) in row.iter().zip(u) {
+                    inner += t * ul;
+                }
+                acc += uj * inner;
+            }
+            total += acc * ui;
+        }
+        total
     }
 
     /// Subtracts `w * v ⊗ v ⊗ v` in place (deflation step of the power
@@ -141,17 +146,21 @@ impl Tensor3 {
         let k2 = w.cols();
         let n = self.k;
         let mut out = Tensor3::zeros(k2);
-        // Contract one mode at a time: first T1[a, j, l] = sum_i T[i,j,l] W[i,a]
+        // Contract one mode at a time: first T1[a, j, l] = sum_i T[i,j,l] W[i,a].
+        // The basis row for the contracted index is hoisted out of each
+        // scatter loop and the flat offsets are precomputed once per entry.
         let mut t1 = vec![0.0; k2 * n * n];
         for i in 0..n {
+            let wi = w.row(i);
             for j in 0..n {
                 for l in 0..n {
                     let t = self.get(i, j, l);
                     if t == 0.0 {
                         continue;
                     }
-                    for a in 0..k2 {
-                        t1[(a * n + j) * n + l] += t * w[(i, a)];
+                    let base = j * n + l;
+                    for (a, &wa) in wi.iter().enumerate() {
+                        t1[a * n * n + base] += t * wa;
                     }
                 }
             }
@@ -159,13 +168,15 @@ impl Tensor3 {
         let mut t2 = vec![0.0; k2 * k2 * n];
         for a in 0..k2 {
             for j in 0..n {
+                let wj = w.row(j);
                 for l in 0..n {
                     let t = t1[(a * n + j) * n + l];
                     if t == 0.0 {
                         continue;
                     }
-                    for b in 0..k2 {
-                        t2[(a * k2 + b) * n + l] += t * w[(j, b)];
+                    let base = a * k2 * n + l;
+                    for (b, &wb) in wj.iter().enumerate() {
+                        t2[base + b * n] += t * wb;
                     }
                 }
             }
@@ -177,8 +188,10 @@ impl Tensor3 {
                     if t == 0.0 {
                         continue;
                     }
-                    for c in 0..k2 {
-                        out.add(a, b, c, t * w[(l, c)]);
+                    let wl = w.row(l);
+                    let row = &mut out.data[(a * k2 + b) * k2..(a * k2 + b + 1) * k2];
+                    for (o, &wc) in row.iter_mut().zip(wl) {
+                        *o += t * wc;
                     }
                 }
             }
@@ -189,6 +202,64 @@ impl Tensor3 {
     /// Maximum absolute entry.
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0f64, |m, x| m.max(x.abs()))
+    }
+}
+
+/// Adds `w * a ⊗ a ⊗ a` into a flat `k³` buffer laid out like
+/// [`Tensor3::as_slice`] (`k = a.len()`).
+///
+/// The slice form exists so reduction kernels (moment accumulation) can
+/// update a chunk buffer directly instead of materializing a temporary
+/// tensor. The per-row weight `w·aᵢ·aⱼ` is hoisted and zero rows are
+/// skipped, as in the original nested loop.
+///
+/// Panics if `buf.len() != a.len()³`.
+pub fn rank_one_into(buf: &mut [f64], w: f64, a: &[f64]) {
+    let k = a.len();
+    assert_eq!(buf.len(), k * k * k, "buffer length must be k^3");
+    for (i, &ai) in a.iter().enumerate() {
+        let wi = w * ai;
+        if wi == 0.0 {
+            continue;
+        }
+        for (j, &aj) in a.iter().enumerate() {
+            let wij = wi * aj;
+            if wij == 0.0 {
+                continue;
+            }
+            let row = &mut buf[(i * k + j) * k..(i * k + j + 1) * k];
+            for (o, &al) in row.iter_mut().zip(a) {
+                *o += wij * al;
+            }
+        }
+    }
+}
+
+/// Adds `w * (a ⊗ a ⊗ b + a ⊗ b ⊗ a + b ⊗ a ⊗ a)` into a flat `k³`
+/// buffer laid out like [`Tensor3::as_slice`].
+///
+/// The three pair products `aᵢaⱼ`, `aᵢbⱼ`, `bᵢaⱼ` are hoisted out of the
+/// innermost loop — multiplication is left-associative, so
+/// `(aᵢ·aⱼ)·bₗ + (aᵢ·bⱼ)·aₗ + (bᵢ·aⱼ)·aₗ` reproduces the un-hoisted
+/// expression bit for bit while cutting the inner loop from nine
+/// multiplies to six.
+///
+/// Panics if `buf.len() != a.len()³` or the vectors disagree in length.
+pub fn sym_rank_one_pair_into(buf: &mut [f64], w: f64, a: &[f64], b: &[f64]) {
+    let k = a.len();
+    assert_eq!(b.len(), k, "vector lengths must agree");
+    assert_eq!(buf.len(), k * k * k, "buffer length must be k^3");
+    for (i, &ai) in a.iter().enumerate() {
+        let bi = b[i];
+        for (j, &aj) in a.iter().enumerate() {
+            let aa = ai * aj;
+            let ab = ai * b[j];
+            let ba = bi * aj;
+            let row = &mut buf[(i * k + j) * k..(i * k + j + 1) * k];
+            for (l, o) in row.iter_mut().enumerate() {
+                *o += w * (aa * b[l] + ab * a[l] + ba * a[l]);
+            }
+        }
     }
 }
 
@@ -245,6 +316,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn hoisted_pair_update_is_bit_identical_to_unhoisted() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(33);
+        for k in [1usize, 2, 5, 9] {
+            let a: Vec<f64> = (0..k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b: Vec<f64> = (0..k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let w: f64 = rng.gen_range(-3.0..3.0);
+            let mut got = Tensor3::zeros(k);
+            got.add_sym_rank_one_pair(w, &a, &b);
+            // Reference: the pre-hoist expression, evaluated per element.
+            let mut want = Tensor3::zeros(k);
+            for i in 0..k {
+                for j in 0..k {
+                    for l in 0..k {
+                        want.add(i, j, l, w * (a[i] * a[j] * b[l] + a[i] * b[j] * a[l] + b[i] * a[j] * a[l]));
+                    }
+                }
+            }
+            for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_vvv_matches_apply_vv_dot() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        let k = 6;
+        let mut t = Tensor3::zeros(k);
+        for _ in 0..3 {
+            let v: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            t.add_rank_one(rng.gen_range(-2.0..2.0), &v);
+        }
+        let u: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let via_vv: f64 = t.apply_vv(&u).iter().zip(&u).map(|(x, y)| x * y).sum();
+        assert_eq!(t.apply_vvv(&u).to_bits(), via_vv.to_bits());
     }
 
     #[test]

@@ -111,6 +111,56 @@ fn d3_fires_on_system_time_env_and_thread_rng() {
 }
 
 #[test]
+fn d3_silent_on_scratch_state_and_atomic_tuning_knobs() {
+    // The adaptive-dispatch machinery holds mutable state — reusable
+    // scratch buffers and an atomic threshold global — but none of it is
+    // *ambient*: it never reads clocks, env vars, or entropy, so results
+    // stay a pure function of inputs. D3 must not mistake it for
+    // nondeterminism.
+    let src = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PAR_THRESHOLD: AtomicU64 = AtomicU64::new(262_144);
+
+pub fn set_par_threshold(units: u64) {
+    PAR_THRESHOLD.store(units, Ordering::Relaxed);
+}
+
+pub struct PowerScratch {
+    next: Vec<f64>,
+}
+
+pub fn effective(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub fn iterate(scratch: &mut PowerScratch, dim: usize) {
+    scratch.next.resize(dim, 0.0);
+    let _ = PAR_THRESHOLD.load(Ordering::Relaxed);
+}
+"#;
+    assert!(!fires(src, FileClass::Lib, RuleId::D3));
+}
+
+#[test]
+fn d3_clean_on_the_real_scratch_bearing_kernels() {
+    // The production sources that gained scratch reuse in the kernel
+    // overhaul must stay free of ambient state end to end.
+    let fixture_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    for rel in ["crates/par/src/lib.rs", "crates/strod/src/power.rs", "crates/linalg/src/mat.rs"]
+    {
+        let src = std::fs::read_to_string(format!("{fixture_root}/{rel}")).unwrap();
+        assert!(
+            !fires(&src, FileClass::Lib, RuleId::D3),
+            "{rel} picked up ambient nondeterminism"
+        );
+    }
+}
+
+#[test]
 fn d3_silent_on_seeded_rng_and_in_binaries() {
     let lib = "fn f() { let rng = StdRng::seed_from_u64(42); }";
     assert!(!fires(lib, FileClass::Lib, RuleId::D3));

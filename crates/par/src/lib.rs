@@ -15,17 +15,37 @@
 //!    decide *when* each chunk buffer is filled, never how the partial
 //!    results are grouped.
 //!
+//! # Adaptive dispatch
+//!
+//! Spawning scoped threads costs a few microseconds each; below a work
+//! threshold that overhead exceeds the compute being distributed and
+//! "parallel" calls get *slower* (BENCH_em_core.json recorded exactly
+//! that for small EM fits). The `_hinted` variants therefore take a
+//! [`WorkHint`] — an abstract work estimate in units of roughly one
+//! floating-point multiply-add — and [`dispatch_threads`] resolves the
+//! number of worker threads:
+//!
+//! * below the process-wide [`par_threshold`], one thread (run inline);
+//! * otherwise `effective_threads(requested)` capped at the machine's
+//!   available parallelism (oversubscribing a small box only adds
+//!   scheduling overhead).
+//!
+//! The threshold can never change a result bit: chunk layout and fold
+//! order are functions of the problem alone, so the sequential fallback
+//! executes the very same chunks in the very same left-to-right order —
+//! only the scheduling differs. The un-hinted entry points assume the
+//! work is heavy ([`WorkHint::HEAVY`]) and parallelize whenever more than
+//! one thread is requested, exactly as before the cost model existed.
+//!
 //! Everything is built on [`std::thread::scope`] — no dependencies, no
-//! thread pool, no unsafe code. Spawn cost is a few microseconds per
-//! thread, which is negligible for the iteration-level work units these
-//! helpers are applied to (EM sweeps over all edges, tensor moment
-//! accumulation over all documents, matrix products).
+//! thread pool, no unsafe code.
 
 // DESIGN.md §10: library code must surface typed errors, not unwraps.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Resolves a requested thread count: `0` means "use all available
 /// parallelism", anything else is taken literally (minimum 1).
@@ -35,6 +55,80 @@ pub fn effective_threads(requested: usize) -> usize {
     } else {
         requested
     }
+}
+
+/// An abstract estimate of the work behind one parallel call, in units of
+/// roughly one floating-point multiply-add (or comparable memory
+/// traffic).
+///
+/// Hints feed [`dispatch_threads`], which falls back to sequential
+/// execution when the total work is too small to amortize thread spawns.
+/// Hints influence *scheduling only* — results are bit-identical whether
+/// a call runs sequentially or parallel, so a wrong estimate can cost
+/// time but never correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WorkHint {
+    units: u64,
+}
+
+impl WorkHint {
+    /// Work that is always worth distributing. This is the hint the
+    /// un-hinted wrappers use: when per-item cost is unknown it may be
+    /// arbitrarily large (e.g. whole-document segmentation), so the safe
+    /// default is to honor the requested thread count.
+    pub const HEAVY: WorkHint = WorkHint { units: u64::MAX };
+
+    /// A raw unit count.
+    pub const fn units(units: u64) -> Self {
+        Self { units }
+    }
+
+    /// `n` items at roughly `unit_cost` work units each (saturating).
+    pub const fn items(n: usize, unit_cost: usize) -> Self {
+        Self { units: (n as u64).saturating_mul(unit_cost as u64) }
+    }
+
+    /// The estimate in work units.
+    pub const fn get(self) -> u64 {
+        self.units
+    }
+}
+
+/// Default sequential-fallback threshold in [`WorkHint`] units.
+///
+/// Scoped spawns cost single-digit microseconds per thread and a work
+/// unit is on the order of a nanosecond, so parallelism starts paying
+/// for itself somewhere in the hundreds of thousands of units. The exact
+/// value only moves the crossover point, never any result bit.
+pub const DEFAULT_PAR_THRESHOLD: u64 = 262_144;
+
+/// Process-wide dispatch threshold (work units). Mutating scheduling
+/// state is deterministic-safe here because the threshold cannot affect
+/// chunk layout or fold order — see the module docs.
+static PAR_THRESHOLD: AtomicU64 = AtomicU64::new(DEFAULT_PAR_THRESHOLD);
+
+/// Sets the process-wide work threshold below which hinted calls run
+/// sequentially. `0` disables the fallback (always honor the requested
+/// thread count); `u64::MAX` forces every hinted call sequential except
+/// those marked [`WorkHint::HEAVY`].
+pub fn set_par_threshold(units: u64) {
+    PAR_THRESHOLD.store(units, Ordering::Relaxed);
+}
+
+/// The current sequential-fallback threshold in work units.
+pub fn par_threshold() -> u64 {
+    PAR_THRESHOLD.load(Ordering::Relaxed)
+}
+
+/// Resolves how many worker threads a hinted call should use: `1` when
+/// the estimated work is below [`par_threshold`], otherwise the
+/// requested count (with `0` meaning "all cores") capped at the
+/// machine's available parallelism.
+pub fn dispatch_threads(requested: usize, hint: WorkHint) -> usize {
+    if hint.units < par_threshold() {
+        return 1;
+    }
+    effective_threads(requested).min(effective_threads(0)).max(1)
 }
 
 /// Splits `0..len` into contiguous ranges of at most `grain` items.
@@ -94,6 +188,19 @@ impl ReduceScratch {
         }
         &mut self.buffers[..n_chunks]
     }
+
+    /// Ensures a single zeroed buffer of length `out_len` — the only
+    /// scratch the sequential fold path touches, regardless of how many
+    /// chunks the layout has.
+    fn prepare_one(&mut self, out_len: usize) -> &mut Vec<f64> {
+        if self.buffers.is_empty() {
+            self.buffers.push(Vec::new());
+        }
+        let buf = &mut self.buffers[0];
+        buf.clear();
+        buf.resize(out_len, 0.0);
+        buf
+    }
 }
 
 /// Chunked map-reduce into a flat `f64` accumulator, bit-identical for
@@ -110,9 +217,9 @@ impl ReduceScratch {
 ///
 /// Threads pick up whole chunks; since each chunk's buffer is computed
 /// independently and the fold order is fixed, the result does not depend
-/// on how chunks were scheduled. With `threads <= 1` the fills run inline
-/// on the caller's thread through the *same* chunking and fold, so the
-/// serial result is the parallel result.
+/// on how chunks were scheduled. With one worker thread the fills run
+/// inline on the caller's thread through the *same* chunking and fold,
+/// so the serial result is the parallel result.
 pub fn par_buffer_reduce<F>(
     n_items: usize,
     grain: usize,
@@ -126,6 +233,25 @@ where
     let mut scratch = ReduceScratch::new();
     let mut out = vec![0.0; out_len];
     par_buffer_reduce_with(&mut scratch, n_items, grain, threads, &mut out, fill);
+    out
+}
+
+/// [`par_buffer_reduce`] with an explicit [`WorkHint`] driving the
+/// sequential fallback.
+pub fn par_buffer_reduce_hinted<F>(
+    n_items: usize,
+    grain: usize,
+    threads: usize,
+    hint: WorkHint,
+    out_len: usize,
+    fill: F,
+) -> Vec<f64>
+where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    let mut scratch = ReduceScratch::new();
+    let mut out = vec![0.0; out_len];
+    par_buffer_reduce_with_hinted(&mut scratch, n_items, grain, threads, hint, &mut out, fill);
     out
 }
 
@@ -147,32 +273,62 @@ pub fn par_buffer_reduce_with<F>(
 ) where
     F: Fn(Range<usize>, &mut [f64]) + Sync,
 {
+    par_buffer_reduce_with_hinted(scratch, n_items, grain, threads, WorkHint::HEAVY, out, fill);
+}
+
+/// [`par_buffer_reduce_with`] with an explicit [`WorkHint`] driving the
+/// sequential fallback.
+///
+/// The sequential path folds each chunk into `out` as soon as it is
+/// filled, reusing **one** chunk buffer instead of materializing all of
+/// them. Per output element that computes `((0 + c0) + c1) + c2 + …` —
+/// the identical grouping to the parallel N-buffer fold — while keeping
+/// the working set at two buffers, which is what makes small reduces
+/// cheap enough for the cost-model fallback to pay off.
+pub fn par_buffer_reduce_with_hinted<F>(
+    scratch: &mut ReduceScratch,
+    n_items: usize,
+    grain: usize,
+    threads: usize,
+    hint: WorkHint,
+    out: &mut [f64],
+    fill: F,
+) where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
     let out_len = out.len();
     let chunks = chunk_ranges(n_items, grain);
-    let buffers = scratch.prepare(chunks.len(), out_len);
-    let requested = effective_threads(threads);
-    let threads = requested.min(chunks.len()).max(1);
+    let threads = dispatch_threads(threads, hint).min(chunks.len()).max(1);
 
     if threads <= 1 {
-        for (range, buf) in chunks.iter().zip(buffers.iter_mut()) {
+        out.fill(0.0);
+        let buf = scratch.prepare_one(out_len);
+        for range in &chunks {
             fill(range.clone(), buf);
-        }
-    } else {
-        // Contiguous assignment of chunks to threads. Which thread fills a
-        // buffer is irrelevant: each buffer lands in its chunk-index slot.
-        let per_thread = chunks.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (chunk_group, buf_group) in
-                chunks.chunks(per_thread).zip(buffers.chunks_mut(per_thread))
-            {
-                scope.spawn(|| {
-                    for (range, buf) in chunk_group.iter().zip(buf_group.iter_mut()) {
-                        fill(range.clone(), buf);
-                    }
-                });
+            // Fold this chunk in and re-zero the buffer for the next one
+            // in a single pass.
+            for (o, b) in out.iter_mut().zip(buf.iter_mut()) {
+                *o += *b;
+                *b = 0.0;
             }
-        });
+        }
+        return;
     }
+
+    let buffers = scratch.prepare(chunks.len(), out_len);
+    // Contiguous assignment of chunks to threads. Which thread fills a
+    // buffer is irrelevant: each buffer lands in its chunk-index slot.
+    let per_thread = chunks.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_group, buf_group) in chunks.chunks(per_thread).zip(buffers.chunks_mut(per_thread))
+        {
+            scope.spawn(|| {
+                for (range, buf) in chunk_group.iter().zip(buf_group.iter_mut()) {
+                    fill(range.clone(), buf);
+                }
+            });
+        }
+    });
 
     // The fixed left-to-right fold. Zero is the additive identity, so
     // starting from a zeroed accumulator preserves the grouping above.
@@ -180,7 +336,7 @@ pub fn par_buffer_reduce_with<F>(
     // accumulators can split the element space across threads without
     // changing any element's summation order.
     out.fill(0.0);
-    let fold_threads = requested.min(out_len / FOLD_PAR_MIN_ELEMENTS).max(1);
+    let fold_threads = threads.min(out_len / FOLD_PAR_MIN_ELEMENTS).max(1);
     if fold_threads <= 1 || buffers.len() <= 1 {
         for buf in buffers.iter() {
             for (o, b) in out.iter_mut().zip(buf.iter()) {
@@ -222,19 +378,56 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = effective_threads(threads).min(n).max(1);
+    par_map_collect_hinted(n, threads, WorkHint::HEAVY, f)
+}
+
+/// [`par_map_collect`] with an explicit [`WorkHint`] driving the
+/// sequential fallback.
+pub fn par_map_collect_hinted<T, F>(n: usize, threads: usize, hint: WorkHint, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_collect_scratch(n, threads, hint, || (), |i, ()| f(i))
+}
+
+/// [`par_map_collect`] with a per-worker scratch value.
+///
+/// `init()` builds one scratch per worker thread (one total on the
+/// sequential path); `f(i, &mut scratch)` may use it freely for
+/// temporary storage. Because which indices share a scratch depends on
+/// the thread count, `f` **must not let scratch contents influence its
+/// output** — treat every field it reads as uninitialized until
+/// overwritten. Under that contract results are bit-identical for any
+/// thread count, and allocation-heavy maps (tensor power restarts) can
+/// reuse their temporaries across items.
+pub fn par_map_collect_scratch<T, S, F, I>(
+    n: usize,
+    threads: usize,
+    hint: WorkHint,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    let threads = dispatch_threads(threads, hint).min(n).max(1);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| f(i, &mut scratch)).collect();
     }
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let per_thread = n.div_ceil(threads);
-    let f = &f;
+    let (f, init) = (&f, &init);
     std::thread::scope(|scope| {
         for (group_idx, slot_group) in out.chunks_mut(per_thread).enumerate() {
             let base = group_idx * per_thread;
             scope.spawn(move || {
+                let mut scratch = init();
                 for (offset, slot) in slot_group.iter_mut().enumerate() {
-                    *slot = Some(f(base + offset));
+                    *slot = Some(f(base + offset, &mut scratch));
                 }
             });
         }
@@ -253,8 +446,18 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
+    par_for_each_mut_hinted(items, threads, WorkHint::HEAVY, f);
+}
+
+/// [`par_for_each_mut`] with an explicit [`WorkHint`] driving the
+/// sequential fallback.
+pub fn par_for_each_mut_hinted<T, F>(items: &mut [T], threads: usize, hint: WorkHint, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
     let n = items.len();
-    let threads = effective_threads(threads).min(n).max(1);
+    let threads = dispatch_threads(threads, hint).min(n).max(1);
     if threads <= 1 {
         for (i, item) in items.iter_mut().enumerate() {
             f(i, item);
@@ -283,6 +486,15 @@ pub fn par_for_rows<F>(data: &mut [f64], row_len: usize, threads: usize, f: F)
 where
     F: Fn(usize, &mut [f64]) + Sync,
 {
+    par_for_rows_hinted(data, row_len, threads, WorkHint::HEAVY, f);
+}
+
+/// [`par_for_rows`] with an explicit [`WorkHint`] driving the sequential
+/// fallback.
+pub fn par_for_rows_hinted<F>(data: &mut [f64], row_len: usize, threads: usize, hint: WorkHint, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
     assert!(row_len > 0, "par_for_rows requires a positive row length");
     assert_eq!(
         data.len() % row_len,
@@ -292,7 +504,7 @@ where
         row_len
     );
     let n_rows = data.len() / row_len;
-    let threads = effective_threads(threads).min(n_rows).max(1);
+    let threads = dispatch_threads(threads, hint).min(n_rows).max(1);
     if threads <= 1 {
         for (i, row) in data.chunks_mut(row_len).enumerate() {
             f(i, row);
@@ -313,11 +525,56 @@ where
     });
 }
 
+/// Applies `f(block_index, block)` to every `block_len`-sized block of a
+/// flat buffer (the final block may be shorter), in parallel over
+/// disjoint groups of whole blocks.
+///
+/// Like [`par_for_rows`] but tolerant of a ragged tail — the shape
+/// register-blocked kernels need, where a row block covers several
+/// matrix rows and the last block may be short. Thread-group boundaries
+/// always fall on block boundaries, so each block is processed by
+/// exactly one worker.
+pub fn par_for_blocks_hinted<F>(
+    data: &mut [f64],
+    block_len: usize,
+    threads: usize,
+    hint: WorkHint,
+    f: F,
+) where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert!(block_len > 0, "par_for_blocks requires a positive block length");
+    let n_blocks = data.len().div_ceil(block_len);
+    let threads = dispatch_threads(threads, hint).min(n_blocks).max(1);
+    if threads <= 1 {
+        for (i, block) in data.chunks_mut(block_len).enumerate() {
+            f(i, block);
+        }
+        return;
+    }
+    let per_thread = n_blocks.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (group_idx, group) in data.chunks_mut(per_thread * block_len).enumerate() {
+            let base = group_idx * per_thread;
+            scope.spawn(move || {
+                for (offset, block) in group.chunks_mut(block_len).enumerate() {
+                    f(base + offset, block);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the process-wide threshold.
+    static THRESHOLD_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn chunk_layout_ignores_thread_count() {
@@ -341,6 +598,46 @@ mod tests {
                 assert_eq!(covered, len);
             }
         }
+    }
+
+    #[test]
+    fn work_hint_arithmetic_saturates() {
+        assert_eq!(WorkHint::items(3, 5).get(), 15);
+        assert_eq!(WorkHint::items(usize::MAX, 2).get(), u64::MAX);
+        assert_eq!(WorkHint::units(7).get(), 7);
+        assert!(WorkHint::HEAVY > WorkHint::units(u64::MAX - 1));
+    }
+
+    #[test]
+    fn dispatch_serializes_small_work_and_caps_at_cores() {
+        let _guard = THRESHOLD_LOCK.lock().unwrap();
+        set_par_threshold(DEFAULT_PAR_THRESHOLD);
+        // Below threshold: one thread no matter what was requested.
+        assert_eq!(dispatch_threads(8, WorkHint::units(DEFAULT_PAR_THRESHOLD - 1)), 1);
+        assert_eq!(dispatch_threads(0, WorkHint::units(0)), 1);
+        // At/above threshold: requested count, capped at real cores.
+        let cores = effective_threads(0);
+        assert_eq!(dispatch_threads(1, WorkHint::HEAVY), 1);
+        assert_eq!(dispatch_threads(cores + 64, WorkHint::HEAVY), cores);
+        assert_eq!(
+            dispatch_threads(2, WorkHint::units(DEFAULT_PAR_THRESHOLD)),
+            2usize.min(cores)
+        );
+    }
+
+    #[test]
+    fn threshold_is_settable_and_heavy_is_immune() {
+        let _guard = THRESHOLD_LOCK.lock().unwrap();
+        set_par_threshold(10);
+        assert_eq!(par_threshold(), 10);
+        assert_eq!(dispatch_threads(4, WorkHint::units(9)), 1);
+        let cores = effective_threads(0);
+        assert_eq!(dispatch_threads(4, WorkHint::units(10)), 4usize.min(cores));
+        set_par_threshold(u64::MAX);
+        // HEAVY is u64::MAX which is not strictly below any threshold.
+        assert_eq!(dispatch_threads(4, WorkHint::HEAVY), 4usize.min(cores));
+        assert_eq!(dispatch_threads(4, WorkHint::units(u64::MAX - 1)), 1);
+        set_par_threshold(DEFAULT_PAR_THRESHOLD);
     }
 
     /// Adversarial mix of magnitudes so any change in summation grouping
@@ -371,6 +668,40 @@ mod tests {
             assert_eq!(reference[0].to_bits(), got[0].to_bits(), "threads={threads}");
             assert_eq!(reference[1].to_bits(), got[1].to_bits(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn reduce_is_bit_identical_across_the_dispatch_boundary() {
+        // The same reduce forced sequential (tiny hint) and forced
+        // parallel (HEAVY hint) must agree bitwise: the hint can only
+        // change scheduling, never grouping.
+        let values = wild_values(2029, 11);
+        let fill = |range: Range<usize>, buf: &mut [f64]| {
+            for i in range {
+                buf[i % 7] += values[i];
+                buf[6] += values[i] * 0.5;
+            }
+        };
+        let seq = par_buffer_reduce_hinted(values.len(), 64, 8, WorkHint::units(1), 7, fill);
+        let par = par_buffer_reduce_hinted(values.len(), 64, 8, WorkHint::HEAVY, 7, fill);
+        for (idx, (a, b)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "element {idx}");
+        }
+    }
+
+    #[test]
+    fn sequential_fold_handles_negative_zero_chunks() {
+        // A chunk buffer element that ends as -0.0 must fold to +0.0
+        // (0.0 + -0.0), exactly like the N-buffer fold always did.
+        let fill = |range: Range<usize>, buf: &mut [f64]| {
+            for _ in range {
+                buf[0] = -0.0;
+            }
+        };
+        let seq = par_buffer_reduce_hinted(10, 5, 4, WorkHint::units(1), 1, fill);
+        let par = par_buffer_reduce_hinted(10, 5, 4, WorkHint::HEAVY, 1, fill);
+        assert_eq!(seq[0].to_bits(), par[0].to_bits());
+        assert_eq!(seq[0].to_bits(), 0.0f64.to_bits());
     }
 
     #[test]
@@ -409,7 +740,8 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
             }
         }
-        // Reusing the same scratch with a different shape is also exact.
+        // Reusing the same scratch with a different shape is also exact,
+        // including when a parallel-path use follows a sequential one.
         let sum_fill = |range: Range<usize>, buf: &mut [f64]| {
             for i in range {
                 buf[0] += values[i];
@@ -418,6 +750,16 @@ mod tests {
         let want1 = par_buffer_reduce(values.len(), 97, 1, 1, sum_fill);
         let mut out1 = vec![f64::NAN; 1];
         par_buffer_reduce_with(&mut scratch, values.len(), 97, 3, &mut out1, sum_fill);
+        assert_eq!(want1[0].to_bits(), out1[0].to_bits());
+        par_buffer_reduce_with_hinted(
+            &mut scratch,
+            values.len(),
+            97,
+            3,
+            WorkHint::units(1),
+            &mut out1,
+            sum_fill,
+        );
         assert_eq!(want1[0].to_bits(), out1[0].to_bits());
     }
 
@@ -440,6 +782,31 @@ mod tests {
     }
 
     #[test]
+    fn map_collect_scratch_matches_plain_map() {
+        // A scratch used as pure temporary storage (overwritten before
+        // every read) must not change any output, sequential or parallel.
+        for threads in [1usize, 2, 4] {
+            for hint in [WorkHint::units(1), WorkHint::HEAVY] {
+                let got = par_map_collect_scratch(
+                    17,
+                    threads,
+                    hint,
+                    || vec![0.0f64; 4],
+                    |i, tmp| {
+                        for (j, t) in tmp.iter_mut().enumerate() {
+                            *t = (i * 4 + j) as f64;
+                        }
+                        tmp.iter().sum::<f64>()
+                    },
+                );
+                let want: Vec<f64> =
+                    (0..17).map(|i| (0..4).map(|j| (i * 4 + j) as f64).sum()).collect();
+                assert_eq!(got, want, "threads={threads} hint={hint:?}");
+            }
+        }
+    }
+
+    #[test]
     fn for_each_mut_touches_every_item_once() {
         for threads in [1usize, 2, 5, 16] {
             let mut items = vec![0u64; 37];
@@ -447,6 +814,15 @@ mod tests {
             let want: Vec<u64> = (0..37).map(|i| i + 1).collect();
             assert_eq!(items, want, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn for_each_mut_hinted_small_work_matches_parallel() {
+        let mut seq = vec![0u64; 29];
+        let mut par = vec![0u64; 29];
+        par_for_each_mut_hinted(&mut seq, 4, WorkHint::units(1), |i, item| *item = i as u64 * 3);
+        par_for_each_mut_hinted(&mut par, 4, WorkHint::HEAVY, |i, item| *item = i as u64 * 3);
+        assert_eq!(seq, par);
     }
 
     #[test]
@@ -461,6 +837,23 @@ mod tests {
             });
             let want: Vec<f64> = (0..rows * cols).map(|i| i as f64).collect();
             assert_eq!(data, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_blocks_covers_ragged_tails() {
+        // 7 full blocks of 6 plus a tail of 2 over a 44-element buffer.
+        for threads in [1usize, 2, 3, 8] {
+            for hint in [WorkHint::units(1), WorkHint::HEAVY] {
+                let mut data = vec![0.0f64; 44];
+                par_for_blocks_hinted(&mut data, 6, threads, hint, |b, block| {
+                    for (i, x) in block.iter_mut().enumerate() {
+                        *x = (b * 6 + i) as f64 + 1.0;
+                    }
+                });
+                let want: Vec<f64> = (0..44).map(|i| i as f64 + 1.0).collect();
+                assert_eq!(data, want, "threads={threads}");
+            }
         }
     }
 

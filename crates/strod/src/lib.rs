@@ -31,7 +31,7 @@ pub mod tree;
 
 pub use moments::{DocStats, M2Op, WhitenedMoments};
 pub use online::OnlineStrod;
-pub use power::{tensor_power_method, PowerConfig, TensorEigen};
+pub use power::{tensor_power_method, PowerConfig, PowerScratch, TensorEigen};
 pub use strod::{Strod, StrodConfig, StrodModel};
 pub use tree::{StrodTree, StrodTreeConfig, TreeNode};
 

@@ -177,27 +177,30 @@ impl WhitenedMoments {
             return Err(StrodError::RankDeficient { requested: k, found: positive });
         }
         let v = stats.vocab_size();
-        let mut w = Mat::zeros(v, k);
+        // The whitening block is assembled transposed (one contiguous row
+        // per whitened direction) so the operator applications below read
+        // and write contiguous memory with no per-column gathers.
+        let mut wt = Mat::zeros(k, v);
         for c in 0..k {
             let scale = 1.0 / eig.values[c].sqrt();
             for r in 0..v {
-                w[(r, c)] = eig.vectors[(r, c)] * scale;
+                wt[(c, r)] = eig.vectors[(r, c)] * scale;
             }
         }
         // B = M2 W column by column (matrix-free). Columns are independent
-        // applications of the operator, so they parallelize exactly.
-        let cols = lesm_par::par_map_collect(k, parallel_threads, |c| {
-            let x: Vec<f64> = (0..v).map(|r| w[(r, c)]).collect();
-            let mut y = vec![0.0; v];
-            op.apply(&x, &mut y);
-            y
-        });
-        let mut b = Mat::zeros(v, k);
-        for (c, col) in cols.iter().enumerate() {
-            for r in 0..v {
-                b[(r, c)] = col[r];
-            }
-        }
+        // applications of the operator, so they parallelize exactly. The
+        // per-application cost is O(nnz), unknown here, so the hint stays
+        // HEAVY.
+        let mut bt = Mat::zeros(k, v);
+        lesm_par::par_for_rows_hinted(
+            bt.as_mut_slice(),
+            v,
+            parallel_threads,
+            lesm_par::WorkHint::HEAVY,
+            |c, y| op.apply(wt.row(c), y),
+        );
+        let w = wt.transpose();
+        let b = bt.transpose();
         let t3 = whitened_third_moment(stats, &w, alpha0, parallel_threads);
         Ok(Self { w, b, eigenvalues: eig.values, t3 })
     }
@@ -221,11 +224,15 @@ pub fn whitened_third_moment(stats: &DocStats, w: &Mat, alpha0: f64, threads: us
     let (k3, k2) = (k * k * k, k * k);
     let n_docs = stats.counts.rows();
     let grain = lesm_par::grain_for_pieces(n_docs, MOMENT_PIECES);
-    let flat = lesm_par::par_buffer_reduce(n_docs, grain, threads, k3 + k2, |range, buf| {
-        let (t, p) = accumulate_range(stats, w, range);
-        buf[..k3].copy_from_slice(t.as_slice());
-        buf[k3..].copy_from_slice(p.as_slice());
-    });
+    // Each distinct (doc, word) pair costs two k³ rank-one updates plus a
+    // k² pair update.
+    let hint = lesm_par::WorkHint::units(
+        (stats.counts.nnz() as u64).saturating_mul((2 * k3 + k2) as u64),
+    );
+    let flat =
+        lesm_par::par_buffer_reduce_hinted(n_docs, grain, threads, hint, k3 + k2, |range, buf| {
+            accumulate_range(stats, w, range, buf);
+        });
     let total = Tensor3::from_vec(k, flat[..k3].to_vec());
     let pair = Mat::from_vec(k, k, flat[k3..].to_vec());
     let mut t3 = finish_t3(stats, w, alpha0, total, pair, threads);
@@ -235,11 +242,12 @@ pub fn whitened_third_moment(stats: &DocStats, w: &Mat, alpha0: f64, threads: us
 }
 
 /// Per-document accumulation of the raw whitened triple moment and the
-/// whitened pair moment `P = W^T E[x1⊗x2] W`.
-fn accumulate_range(stats: &DocStats, w: &Mat, range: std::ops::Range<usize>) -> (Tensor3, Mat) {
+/// whitened pair moment `P = W^T E[x1⊗x2] W`, written directly into the
+/// reduce buffer `buf = [t3 (k³) | pair (k²)]` — no per-chunk `Tensor3` or
+/// `Mat` temporaries and no final copy.
+fn accumulate_range(stats: &DocStats, w: &Mat, range: std::ops::Range<usize>, buf: &mut [f64]) {
     let k = w.cols();
-    let mut t = Tensor3::zeros(k);
-    let mut pair = Mat::zeros(k, k);
+    let (tbuf, pairbuf) = buf.split_at_mut(k * k * k);
     let mut wc = vec![0.0f64; k];
     for d in range {
         if !stats.usable(d) {
@@ -259,25 +267,27 @@ fn accumulate_range(stats: &DocStats, w: &Mat, range: std::ops::Range<usize>) ->
         }
         // Triples with distinct positions:
         // wc⊗³ − Σ_i c_i sym(w_i ⊗ w_i ⊗ wc) + 2 Σ_i c_i w_i⊗³.
-        t.add_rank_one(s3, &wc);
+        lesm_linalg::rank_one_into(tbuf, s3, &wc);
         for (word, c) in stats.counts.row(d) {
             let wi = w.row(word as usize);
-            t.add_sym_rank_one_pair(-s3 * c, wi, &wc);
-            t.add_rank_one(2.0 * s3 * c, wi);
+            lesm_linalg::sym_rank_one_pair_into(tbuf, -s3 * c, wi, &wc);
+            lesm_linalg::rank_one_into(tbuf, 2.0 * s3 * c, wi);
             // Pair moment: wc⊗wc − Σ_i c_i w_i⊗w_i, scaled by 1/(l(l−1)).
-            for a in 0..k {
-                for bcol in 0..k {
-                    pair[(a, bcol)] -= s2 * c * wi[a] * wi[bcol];
+            let sc = s2 * c;
+            for (a, &wia) in wi.iter().enumerate() {
+                let fa = sc * wia;
+                for (p, &wib) in pairbuf[a * k..(a + 1) * k].iter_mut().zip(wi) {
+                    *p -= fa * wib;
                 }
             }
         }
-        for a in 0..k {
-            for bcol in 0..k {
-                pair[(a, bcol)] += s2 * wc[a] * wc[bcol];
+        for (a, &wca) in wc.iter().enumerate() {
+            let fa = s2 * wca;
+            for (p, &wcb) in pairbuf[a * k..(a + 1) * k].iter_mut().zip(&wc) {
+                *p += fa * wcb;
             }
         }
     }
-    (t, pair)
 }
 
 /// Applies the Dirichlet corrections in whitened space.
@@ -294,10 +304,18 @@ fn finish_t3(
     let c3 = alpha0 / (alpha0 + 2.0);
     let c1 = 2.0 * alpha0 * alpha0 / ((alpha0 + 1.0) * (alpha0 + 2.0));
     // − c3 · sym(P ⊗ m1w): for each (i,j,l): P_ij m_l + P_il m_j + P_jl m_i.
+    // Row slices and the (i,j)-invariant products are hoisted out of the
+    // inner loop; the sum itself keeps the original operand order, so the
+    // result is bit-identical to the naive triple loop.
     for i in 0..k {
+        let mi = m1w[i];
         for j in 0..k {
+            let mj = m1w[j];
+            let pij = pair[(i, j)];
+            let pi = pair.row(i);
+            let pj = pair.row(j);
             for l in 0..k {
-                let corr = pair[(i, j)] * m1w[l] + pair[(i, l)] * m1w[j] + pair[(j, l)] * m1w[i];
+                let corr = pij * m1w[l] + pi[l] * mj + pj[l] * mi;
                 t.add(i, j, l, -c3 * corr);
             }
         }

@@ -19,11 +19,15 @@ cargo run --release -q -p lesm-lint -- --root "$PWD" --workspace
 out="${1:-BENCH_par.json}"
 em_out="${2:-BENCH_em_core.json}"
 serve_out="${3:-BENCH_serve.json}"
+strod_out="${4:-BENCH_strod.json}"
+linalg_out="${5:-BENCH_linalg.json}"
 # cargo runs bench binaries from the package dir, so the JSON paths must be
 # absolute for all records to land in one file.
 case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
 case "$em_out" in /*) ;; *) em_out="$PWD/$em_out" ;; esac
 case "$serve_out" in /*) ;; *) serve_out="$PWD/$serve_out" ;; esac
+case "$strod_out" in /*) ;; *) strod_out="$PWD/$strod_out" ;; esac
+case "$linalg_out" in /*) ;; *) linalg_out="$PWD/$linalg_out" ;; esac
 : > "$out"
 export LESM_BENCH_FAST=1
 export LESM_BENCH_JSON="$out"
@@ -56,3 +60,34 @@ export LESM_BENCH_JSON="$serve_out"
 cargo bench -p lesm-bench --bench bench_serve
 
 echo "wrote $(wc -l < "$serve_out") bench records to $serve_out"
+
+# STROD trajectory: moment construction, the power method, and the
+# end-to-end fit (the allocation-free kernel rewrite's numbers). Fast mode:
+# the end-to-end fit over 3k documents is too slow for full sampling in a
+# smoke pass.
+: > "$strod_out"
+export LESM_BENCH_JSON="$strod_out"
+export LESM_BENCH_FAST=1
+
+cargo bench -p lesm-bench --bench bench_strod
+
+echo "wrote $(wc -l < "$strod_out") bench records to $strod_out"
+
+# Dense-kernel trajectory: blocked matmul, transposed products, fused
+# tmatvec, and the hoisted symmetric rank-one update vs its naive
+# reference. Micro-kernels are cheap, so full sampling keeps the medians
+# comparable across PRs.
+: > "$linalg_out"
+export LESM_BENCH_JSON="$linalg_out"
+unset LESM_BENCH_FAST
+
+cargo bench -p lesm-bench --bench bench_linalg
+
+echo "wrote $(wc -l < "$linalg_out") bench records to $linalg_out"
+
+# Informational regression tripwire: compare every fresh median against
+# the committed baseline of the same file. Warns (never fails) on >20%
+# regressions — see scripts/bench_check.sh.
+for f in "$out" "$em_out" "$serve_out" "$strod_out" "$linalg_out"; do
+    scripts/bench_check.sh "$f"
+done

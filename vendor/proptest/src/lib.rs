@@ -2,8 +2,9 @@
 //!
 //! Implements the subset of the proptest API the workspace's property
 //! tests use: the [`proptest!`] macro, `prop_assert*` / `prop_assume!`,
-//! range and tuple strategies, `prop_map`, [`collection::vec`],
-//! [`bool::ANY`] and simple `"[chars]{m,n}"` string patterns.
+//! range and tuple strategies, `prop_map` / `prop_flat_map`,
+//! [`collection::vec`], [`bool::ANY`] and simple `"[chars]{m,n}"` string
+//! patterns.
 //!
 //! Differences from upstream: cases are generated from a fixed per-test
 //! seed (reproducible across runs), and failing inputs are *not* shrunk —

@@ -23,6 +23,18 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Chains into a value-dependent strategy: the outer value picks the
+    /// inner strategy (upstream's `prop_flat_map`; used for e.g. drawing
+    /// matrix dimensions and then data of matching length).
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// A strategy that always yields a clone of one value.
@@ -51,6 +63,25 @@ where
     type Value = O;
     fn new_value(&self, rng: &mut StdRng) -> O {
         (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
     }
 }
 
@@ -183,5 +214,17 @@ mod tests {
         let s = Just(41usize).prop_map(|x| x + 1);
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(s.new_value(&mut rng), 42);
+    }
+
+    #[test]
+    fn flat_map_feeds_outer_value_into_inner_strategy() {
+        // Outer draw picks a length; inner strategy must honor it.
+        let s = (1usize..5).prop_flat_map(|n| Just(n).prop_map(move |x| (n, x)));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let (n, x) = s.new_value(&mut rng);
+            assert_eq!(n, x);
+            assert!((1..5).contains(&n));
+        }
     }
 }
