@@ -1,10 +1,16 @@
 //! Criterion micro-benches for the serving subsystem: cold snapshot-load
-//! time and end-to-end query latency over HTTP, cached vs uncached (the
+//! time (format v1 full-deserialize vs format v2 zero-copy map), and
+//! end-to-end query latency over HTTP, cached vs uncached (the
 //! DESIGN.md §9 numbers collected by `scripts/bench_smoke.sh` into
 //! `BENCH_serve.json`).
+//!
+//! The cached-vs-uncached pairs double as correctness gates: after
+//! timing, the bench asserts the cache-hit median is strictly below the
+//! uncached median for both `/search` and `/hierarchy` — a cache that is
+//! slower than recomputing is a bug, not a tuning problem.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lesm_bench::datasets::dblp_small;
+use lesm_bench::datasets::{dblp_small, replay_model};
 use lesm_core::pipeline::{LatentStructureMiner, MinerConfig};
 use lesm_serve::server::{Server, ServerConfig};
 use lesm_serve::{load_snapshot, save_snapshot, ServerHandle};
@@ -34,6 +40,25 @@ fn get(addr: SocketAddr, target: &str) -> Vec<u8> {
     raw
 }
 
+/// `cargo test` runs bench targets with `--test`; setup must stay small
+/// there (the timings are discarded anyway — `LESM_BENCH_JSON` is unset).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Median request latency over `n` sequential requests.
+fn median_latency_ns(addr: SocketAddr, target: &str, n: usize) -> u128 {
+    let mut times: Vec<u128> = (0..n)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            std::hint::black_box(get(addr, target));
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
 fn bench_serve(c: &mut Criterion) {
     let bytes = snapshot_bytes();
     let mut group = c.benchmark_group("serve");
@@ -48,6 +73,7 @@ fn bench_serve(c: &mut Criterion) {
     // `/hierarchy` is the heaviest endpoint (full JSON export), so the
     // cached-vs-uncached gap is visible above the TCP round-trip cost;
     // `/search` is also measured as the common-case cheap query.
+    let (uncached_search, uncached_hier);
     {
         let handle = start_server(&bytes, 0);
         let addr = handle.addr();
@@ -57,6 +83,8 @@ fn bench_serve(c: &mut Criterion) {
         group.bench_function("query_search_uncached", |b| {
             b.iter(|| get(addr, "/search?q=model&top=10"));
         });
+        uncached_search = median_latency_ns(addr, "/search?q=model&top=10", 300);
+        uncached_hier = median_latency_ns(addr, "/hierarchy", 300);
         handle.shutdown();
     }
 
@@ -71,11 +99,50 @@ fn bench_serve(c: &mut Criterion) {
         group.bench_function("query_search_cached", |b| {
             b.iter(|| get(addr, "/search?q=model&top=10"));
         });
+        let cached_search = median_latency_ns(addr, "/search?q=model&top=10", 300);
+        let cached_hier = median_latency_ns(addr, "/hierarchy", 300);
         handle.shutdown();
+        assert!(
+            cached_search < uncached_search,
+            "cache hit must beat recompute for /search: {cached_search} ns cached vs \
+             {uncached_search} ns uncached"
+        );
+        assert!(
+            cached_hier < uncached_hier,
+            "cache hit must beat recompute for /hierarchy: {cached_hier} ns cached vs \
+             {uncached_hier} ns uncached"
+        );
     }
 
     group.finish();
 }
 
-criterion_group!(benches, bench_serve);
+/// Cold-load comparison at serving scale: one 50k-document model saved in
+/// both formats. v1 deserializes (and allocates) the whole structure; v2
+/// maps the file and only verifies the checksum, so the gap is the whole
+/// point of the format (ISSUE acceptance: >= 10x).
+fn bench_cold_load_50k(c: &mut Criterion) {
+    let docs = if test_mode() { 1_000 } else { 50_000 };
+    let (corpus, mined) = replay_model(docs, 42);
+    let dir = std::env::temp_dir().join(format!("lesm-bench-coldload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let v1_path = dir.join("model-v1.lesm");
+    let v2_path = dir.join("model-v2.lesm");
+    lesm_serve::save_snapshot_file(v1_path.to_str().unwrap(), &corpus, &mined).expect("save v1");
+    lesm_serve::save_snapshot_v2_file(v2_path.to_str().unwrap(), &corpus, &mined)
+        .expect("save v2");
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("snapshot_load_cold_v1_50k", |b| {
+        b.iter(|| lesm_serve::load_model_file(v1_path.to_str().unwrap()).expect("load v1"));
+    });
+    group.bench_function("snapshot_load_cold_v2_50k", |b| {
+        b.iter(|| lesm_serve::load_model_file(v2_path.to_str().unwrap()).expect("load v2"));
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_serve, bench_cold_load_50k);
 criterion_main!(benches);

@@ -27,6 +27,20 @@ pub fn dblp_small(n_docs: usize, seed: u64) -> SyntheticPapers {
     SyntheticPapers::generate(&cfg).expect("valid config")
 }
 
+/// Serving-scale corpus plus a deterministic mined structure derived
+/// from the generator's ground truth (`lesm_core::model_from_truth`) —
+/// no EM, so 50k-document models build in seconds and are byte-stable
+/// across runs. This is the model the serve/replay benchmarks snapshot.
+pub fn replay_model(
+    n_docs: usize,
+    seed: u64,
+) -> (lesm_corpus::Corpus, lesm_core::MinedStructure) {
+    let papers = SyntheticPapers::generate(&PapersConfig::dblp_large(n_docs, seed))
+        .expect("valid preset");
+    let mined = lesm_core::model_from_truth(&papers);
+    (papers.corpus, mined)
+}
+
 /// NEWS-like corpus: 16 flat top stories with noisy person/location links.
 pub fn news(n_docs: usize, seed: u64) -> SyntheticPapers {
     SyntheticPapers::generate(&PapersConfig::news(n_docs, seed)).expect("valid preset")

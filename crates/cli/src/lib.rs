@@ -76,10 +76,29 @@ pub enum Command {
         /// Adaptive-dispatch cutoff in abstract work units (`None` keeps
         /// the library default).
         par_threshold: Option<u64>,
+        /// Artifact format version to write (1 or 2; 2 is the default).
+        format: u32,
     },
-    /// Serve queries from a snapshot artifact.
+    /// Dump a snapshot artifact's section table (`lesm snapshot inspect`).
+    Inspect {
+        /// The `.lesm` artifact to describe.
+        input: String,
+    },
+    /// Split a snapshot into per-shard artifacts plus a manifest.
+    Shard {
+        /// Input `.lesm` snapshot path (any format version).
+        snapshot: String,
+        /// Output directory for the shard artifacts and `manifest.json`.
+        out_dir: String,
+        /// Assignment strategy: `entity-range` or `topic-subtree`.
+        by: String,
+        /// Number of shards (>= 1).
+        shards: usize,
+    },
+    /// Serve queries from a snapshot artifact, a shard manifest, or a
+    /// versioned snapshot store directory.
     Serve {
-        /// Input `.lesm` snapshot path.
+        /// Input: `.lesm` snapshot, shard `manifest.json`, or store dir.
         snapshot: String,
         /// Bind address (`HOST:PORT`; port 0 picks an ephemeral port).
         addr: String,
@@ -87,6 +106,8 @@ pub enum Command {
         workers: usize,
         /// Response-cache capacity in entries (must be >= 1).
         cache: usize,
+        /// Accept-queue depth before connections are shed with 503.
+        queue: usize,
         /// Optional signal file; the server shuts down once it exists.
         shutdown_file: Option<String>,
     },
@@ -152,12 +173,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         "snapshot" => {
             let input = it.next().ok_or("snapshot needs an input path")?.clone();
+            if input == "inspect" {
+                let input = it.next().ok_or("snapshot inspect needs an artifact path")?.clone();
+                if it.next().is_some() {
+                    return Err("snapshot inspect takes exactly one path".into());
+                }
+                return Ok(Command::Inspect { input });
+            }
             let output = it.next().ok_or("snapshot needs an output path")?.clone();
             let mut k = 4usize;
             let mut depth = 2usize;
             let mut threads = 0usize;
             let mut em_tol = 0.0f64;
             let mut par_threshold = None;
+            let mut format = 2u32;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--k" => k = next_value(&mut it, flag)?,
@@ -165,6 +194,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--threads" => threads = next_value(&mut it, flag)?,
                     "--em-tol" => em_tol = next_value(&mut it, flag)?,
                     "--par-threshold" => par_threshold = Some(next_value(&mut it, flag)?),
+                    "--format" => {
+                        let raw: String = next_value(&mut it, flag)?;
+                        format = match raw.as_str() {
+                            "v1" | "1" => 1,
+                            "v2" | "2" => 2,
+                            other => return Err(format!("--format got {other:?}; use v1 or v2")),
+                        };
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -174,19 +211,41 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             if em_tol < 0.0 || !em_tol.is_finite() {
                 return Err("--em-tol must be a finite non-negative number".into());
             }
-            Ok(Command::Snapshot { input, output, k, depth, threads, em_tol, par_threshold })
+            Ok(Command::Snapshot { input, output, k, depth, threads, em_tol, par_threshold, format })
+        }
+        "shard" => {
+            let snapshot = it.next().ok_or("shard needs a snapshot path")?.clone();
+            let out_dir = it.next().ok_or("shard needs an output directory")?.clone();
+            let mut by = "entity-range".to_string();
+            let mut shards = 2usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--by" => by = next_value(&mut it, flag)?,
+                    "--shards" => shards = next_value(&mut it, flag)?,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if lesm_serve::ShardBy::parse(&by).is_none() {
+                return Err(format!("--by got {by:?}; use entity-range or topic-subtree"));
+            }
+            if shards == 0 {
+                return Err("--shards must be >= 1".into());
+            }
+            Ok(Command::Shard { snapshot, out_dir, by, shards })
         }
         "serve" => {
             let snapshot = it.next().ok_or("serve needs a snapshot path")?.clone();
             let mut addr = "127.0.0.1:7878".to_string();
             let mut workers = 4usize;
             let mut cache = 1024usize;
+            let mut queue = 128usize;
             let mut shutdown_file = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--addr" => addr = next_value(&mut it, flag)?,
                     "--workers" => workers = next_value(&mut it, flag)?,
                     "--cache" => cache = next_value(&mut it, flag)?,
+                    "--queue" => queue = next_value(&mut it, flag)?,
                     "--shutdown-file" => shutdown_file = Some(next_value(&mut it, flag)?),
                     other => return Err(format!("unknown flag {other}")),
                 }
@@ -200,7 +259,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         .into(),
                 );
             }
-            Ok(Command::Serve { snapshot, addr, workers, cache, shutdown_file })
+            if queue == 0 {
+                return Err("--queue must be >= 1".into());
+            }
+            Ok(Command::Serve { snapshot, addr, workers, cache, queue, shutdown_file })
         }
         "search" => {
             let input = it.next().ok_or("search needs an input path")?.clone();
@@ -241,9 +303,14 @@ USAGE:
   lesm mine <corpus.tsv> [--k K] [--depth D] [--threads T] [--em-tol TOL]
             [--par-threshold U]           mine a hierarchy, print JSON
   lesm snapshot <corpus.tsv> <out.lesm> [--k K] [--depth D] [--threads T] [--em-tol TOL]
-            [--par-threshold U]           mine once, save a binary snapshot
-  lesm serve <snapshot.lesm> [--addr HOST:PORT] [--workers N] [--cache N]
-             [--shutdown-file PATH]       serve queries from a snapshot
+            [--par-threshold U] [--format v1|v2]
+                                          mine once, save a binary snapshot
+  lesm snapshot inspect <file.lesm>       dump an artifact's section table
+  lesm shard <snapshot.lesm> <out_dir> [--by entity-range|topic-subtree]
+             [--shards N]                 split a snapshot into v2 shards
+  lesm serve <snapshot.lesm | manifest.json | store_dir>
+             [--addr HOST:PORT] [--workers N] [--cache N] [--queue N]
+             [--shutdown-file PATH]       serve queries
   lesm search <corpus.tsv | snapshot.lesm> <query...>
                                           topic-aware document search
   lesm advisors <corpus.tsv>              mine advisor-advisee relations
@@ -256,10 +323,14 @@ overhead. It changes scheduling only, never results.
 `--em-tol` stops each EM run once the relative
 objective improvement drops below TOL (0, the default, always runs the
 full iteration budget). `search` detects snapshot inputs by their magic
-bytes and answers from the persisted structure without re-mining. The
-server exposes GET /search?q=...&top=N, /topics/{id}, /hierarchy,
-/healthz and /metrics, and shuts down gracefully once the
-`--shutdown-file` path exists.
+bytes and answers from the persisted structure without re-mining; format
+v2 artifacts (the default) are mapped zero-copy. The server exposes GET
+/search?q=...&top=N, /topics/{id}, /hierarchy, /healthz and /metrics,
+sheds connections with 503 once `--queue` accepted connections are
+waiting, and shuts down gracefully once the `--shutdown-file` path
+exists. Serving a shard manifest boots one local server per shard plus a
+front that merges byte-identically to an unsharded server; serving a
+store directory hot-swaps to each newly published snapshot version.
 
 TSV format (one doc per line):
   title text<TAB>etype=name|etype=name<TAB>year
@@ -318,8 +389,9 @@ pub fn run_search(corpus: &Corpus, query: &str, k: usize, depth: usize) -> Resul
 }
 
 /// Runs `search` on either input kind: `.lesm` snapshots (detected by
-/// magic bytes) answer from the persisted structure without re-mining;
-/// anything else is loaded as TSV and mined with the default CLI config.
+/// magic bytes; both format versions) answer from the persisted
+/// structure without re-mining — v2 artifacts map zero-copy; anything
+/// else is loaded as TSV and mined with the default CLI config.
 pub fn run_search_input(
     input: &str,
     query: &str,
@@ -327,8 +399,8 @@ pub fn run_search_input(
     depth: usize,
 ) -> Result<Vec<String>, String> {
     if lesm_serve::is_snapshot_file(input) {
-        let snapshot = lesm_serve::load_snapshot_file(input).map_err(|e| e.to_string())?;
-        Ok(search_lines(&snapshot.corpus, &snapshot.mined, query))
+        let model = lesm_serve::load_model_file(input).map_err(|e| e.to_string())?;
+        Ok(model.search_lines(query, 10))
     } else {
         let corpus = load_corpus(input)?;
         run_search(&corpus, query, k, depth)
@@ -336,7 +408,8 @@ pub fn run_search_input(
 }
 
 /// Runs `snapshot`: mines `corpus` with the default CLI config and writes
-/// the binary artifact to `output`. Returns a human-readable summary.
+/// the binary artifact to `output` in the requested format version.
+/// Returns a human-readable summary.
 pub fn run_snapshot(
     corpus: &Corpus,
     output: &str,
@@ -344,16 +417,80 @@ pub fn run_snapshot(
     depth: usize,
     threads: usize,
     em_tol: f64,
+    format: u32,
 ) -> Result<String, String> {
     let mined = LatentStructureMiner::mine(corpus, &cli_miner_config(k, depth, threads, em_tol))
         .map_err(|e| e.to_string())?;
-    lesm_serve::save_snapshot_file(output, corpus, &mined).map_err(|e| e.to_string())?;
+    match format {
+        1 => lesm_serve::save_snapshot_file(output, corpus, &mined).map_err(|e| e.to_string())?,
+        2 => {
+            lesm_serve::save_snapshot_v2_file(output, corpus, &mined).map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unsupported snapshot format v{other}")),
+    }
     let bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
     Ok(format!(
-        "wrote {output}: {} topics, {} docs, {bytes} bytes",
+        "wrote {output} (format v{format}): {} topics, {} docs, {bytes} bytes",
         mined.hierarchy.len(),
         corpus.num_docs()
     ))
+}
+
+/// Runs `shard`: loads the snapshot (any format version), splits its
+/// documents into `shards` v2 artifacts under `out_dir`, and writes
+/// `manifest.json`. Returns a human-readable summary.
+pub fn run_shard(
+    snapshot: &str,
+    out_dir: &str,
+    by: &str,
+    shards: usize,
+) -> Result<String, String> {
+    let by = lesm_serve::ShardBy::parse(by)
+        .ok_or_else(|| format!("unknown strategy {by:?}; use entity-range or topic-subtree"))?;
+    let snap = match lesm_serve::load_model_file(snapshot).map_err(|e| e.to_string())? {
+        lesm_serve::Model::Owned(snap) => *snap,
+        lesm_serve::Model::Mapped(mapped) => mapped.to_snapshot().map_err(|e| e.to_string())?,
+    };
+    let manifest = lesm_serve::write_shards(
+        &snap.corpus,
+        &snap.mined,
+        by,
+        shards,
+        std::path::Path::new(out_dir),
+    )
+    .map_err(|e| e.to_string())?;
+    let docs: Vec<String> = manifest.docs.iter().map(usize::to_string).collect();
+    Ok(format!(
+        "wrote {} shards by {} to {out_dir} (docs per shard: {}), manifest.json",
+        manifest.files.len(),
+        manifest.by,
+        docs.join("/"),
+    ))
+}
+
+/// What `lesm serve` was pointed at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeInput {
+    /// A single `.lesm` artifact (either format version).
+    Artifact,
+    /// A shard `manifest.json` — boot shard servers plus a front.
+    Manifest,
+    /// A versioned snapshot store directory — serve with hot-swap.
+    Store,
+}
+
+/// Classifies the `lesm serve` input path by shape: a directory with a
+/// `CURRENT` pointer is a store, a `.json` file is a shard manifest,
+/// anything else is treated as a snapshot artifact.
+pub fn classify_serve_input(path: &str) -> ServeInput {
+    let p = std::path::Path::new(path);
+    if lesm_serve::store::is_store_dir(p) {
+        ServeInput::Store
+    } else if p.extension().is_some_and(|e| e == "json") {
+        ServeInput::Manifest
+    } else {
+        ServeInput::Artifact
+    }
 }
 
 /// Converts a corpus with author links and years into TPFG paper records.
@@ -482,7 +619,44 @@ mod tests {
                 depth: 2,
                 threads: 0,
                 em_tol: 0.0,
-                par_threshold: Some(0)
+                par_threshold: Some(0),
+                format: 2
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["snapshot", "in.tsv", "out.lesm", "--format", "v1"])).unwrap(),
+            Command::Snapshot {
+                input: "in.tsv".into(),
+                output: "out.lesm".into(),
+                k: 4,
+                depth: 2,
+                threads: 0,
+                em_tol: 0.0,
+                par_threshold: None,
+                format: 1
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["snapshot", "inspect", "art.lesm"])).unwrap(),
+            Command::Inspect { input: "art.lesm".into() }
+        );
+        assert_eq!(
+            parse_args(&s(&["shard", "art.lesm", "out", "--by", "topic-subtree", "--shards", "4"]))
+                .unwrap(),
+            Command::Shard {
+                snapshot: "art.lesm".into(),
+                out_dir: "out".into(),
+                by: "topic-subtree".into(),
+                shards: 4
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["shard", "art.lesm", "out"])).unwrap(),
+            Command::Shard {
+                snapshot: "art.lesm".into(),
+                out_dir: "out".into(),
+                by: "entity-range".into(),
+                shards: 2
             }
         );
         assert_eq!(
@@ -511,6 +685,13 @@ mod tests {
         assert!(parse_args(&s(&["synth", "--bogus", "1"])).is_err());
         assert!(parse_args(&s(&["serve", "m.lesm", "--workers", "0"])).is_err());
         assert!(parse_args(&s(&["serve", "m.lesm", "--cache", "0"])).is_err());
+        assert!(parse_args(&s(&["serve", "m.lesm", "--queue", "0"])).is_err());
+        assert!(parse_args(&s(&["snapshot", "in.tsv", "out.lesm", "--format", "v3"])).is_err());
+        assert!(parse_args(&s(&["snapshot", "inspect"])).is_err());
+        assert!(parse_args(&s(&["snapshot", "inspect", "a.lesm", "b.lesm"])).is_err());
+        assert!(parse_args(&s(&["shard", "a.lesm"])).is_err());
+        assert!(parse_args(&s(&["shard", "a.lesm", "out", "--by", "vibes"])).is_err());
+        assert!(parse_args(&s(&["shard", "a.lesm", "out", "--shards", "0"])).is_err());
     }
 
     #[test]

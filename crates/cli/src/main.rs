@@ -56,24 +56,47 @@ fn run(command: Command) -> Result<(), String> {
             let json = lesm_cli::run_mine(&corpus, k, depth, threads, em_tol)?;
             emit(&json)
         }
-        Command::Snapshot { input, output, k, depth, threads, em_tol, par_threshold } => {
+        Command::Snapshot { input, output, k, depth, threads, em_tol, par_threshold, format } => {
             if let Some(units) = par_threshold {
                 lesm_par::set_par_threshold(units);
             }
             let corpus = lesm_cli::load_corpus(&input)?;
-            let summary = lesm_cli::run_snapshot(&corpus, &output, k, depth, threads, em_tol)?;
+            let summary =
+                lesm_cli::run_snapshot(&corpus, &output, k, depth, threads, em_tol, format)?;
             emit(&format!("{summary}\n"))
         }
-        Command::Serve { snapshot, addr, workers, cache, shutdown_file } => {
-            let snap = lesm_serve::load_snapshot_file(&snapshot).map_err(|e| e.to_string())?;
+        Command::Inspect { input } => {
+            let report =
+                lesm_serve::describe_artifact_file(&input).map_err(|e| e.to_string())?;
+            emit(&report)
+        }
+        Command::Shard { snapshot, out_dir, by, shards } => {
+            let summary = lesm_cli::run_shard(&snapshot, &out_dir, &by, shards)?;
+            emit(&format!("{summary}\n"))
+        }
+        Command::Serve { snapshot, addr, workers, cache, queue, shutdown_file } => {
             let config = lesm_serve::ServerConfig {
                 addr,
                 workers,
                 cache_capacity: cache,
+                queue_depth: queue,
                 shutdown_file: shutdown_file.map(std::path::PathBuf::from),
                 ..lesm_serve::ServerConfig::default()
             };
-            let handle = lesm_serve::Server::start(snap, config).map_err(|e| e.to_string())?;
+            let path = std::path::Path::new(&snapshot);
+            let handle = match lesm_cli::classify_serve_input(&snapshot) {
+                lesm_cli::ServeInput::Store => {
+                    lesm_serve::Server::start_store(path, config).map_err(|e| e.to_string())?
+                }
+                lesm_cli::ServeInput::Manifest => {
+                    lesm_serve::Server::start_sharded(path, config).map_err(|e| e.to_string())?
+                }
+                lesm_cli::ServeInput::Artifact => {
+                    let model =
+                        lesm_serve::load_model_file(&snapshot).map_err(|e| e.to_string())?;
+                    lesm_serve::Server::start_model(model, config).map_err(|e| e.to_string())?
+                }
+            };
             emit(&format!("listening on http://{}\n", handle.addr()))?;
             handle.join();
             Ok(())

@@ -37,7 +37,7 @@ fn snapshot_search_matches_tsv_search_and_never_reruns_em() {
     let lesm = temp_path("roundtrip.lesm");
 
     let summary =
-        run_snapshot(&corpus, lesm.to_str().unwrap(), 2, 1, 1, 0.0).expect("snapshot");
+        run_snapshot(&corpus, lesm.to_str().unwrap(), 2, 1, 1, 0.0, 2).expect("snapshot");
     assert!(summary.contains("topics"), "unexpected summary: {summary}");
     assert!(lesm_serve::is_snapshot_file(lesm.to_str().unwrap()));
     assert!(!lesm_serve::is_snapshot_file(tsv.to_str().unwrap()));
@@ -78,7 +78,7 @@ fn snapshot_search_matches_tsv_search_and_never_reruns_em() {
 fn corrupted_snapshot_is_a_clean_error() {
     let corpus = synth_corpus(200, 5);
     let lesm = temp_path("corrupt.lesm");
-    run_snapshot(&corpus, lesm.to_str().unwrap(), 2, 1, 1, 0.0).expect("snapshot");
+    run_snapshot(&corpus, lesm.to_str().unwrap(), 2, 1, 1, 0.0, 2).expect("snapshot");
     let mut bytes = std::fs::read(&lesm).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xff;
@@ -96,11 +96,12 @@ fn s(v: &[&str]) -> Vec<String> {
 #[test]
 fn parse_snapshot_subcommand() {
     match parse_args(&s(&["snapshot", "in.tsv", "out.lesm"])).unwrap() {
-        Command::Snapshot { input, output, k, depth, threads, em_tol, par_threshold } => {
+        Command::Snapshot { input, output, k, depth, threads, em_tol, par_threshold, format } => {
             assert_eq!((input.as_str(), output.as_str()), ("in.tsv", "out.lesm"));
             assert_eq!((k, depth, threads), (4, 2, 0));
             assert_eq!(em_tol, 0.0);
             assert_eq!(par_threshold, None);
+            assert_eq!(format, 2, "v2 is the default artifact format");
         }
         other => panic!("expected Snapshot, got {other:?}"),
     }
@@ -115,10 +116,10 @@ fn parse_snapshot_subcommand() {
 #[test]
 fn parse_serve_subcommand() {
     match parse_args(&s(&["serve", "m.lesm"])).unwrap() {
-        Command::Serve { snapshot, addr, workers, cache, shutdown_file } => {
+        Command::Serve { snapshot, addr, workers, cache, queue, shutdown_file } => {
             assert_eq!(snapshot, "m.lesm");
             assert_eq!(addr, "127.0.0.1:7878");
-            assert_eq!((workers, cache), (4, 1024));
+            assert_eq!((workers, cache, queue), (4, 1024, 128));
             assert_eq!(shutdown_file, None);
         }
         other => panic!("expected Serve, got {other:?}"),

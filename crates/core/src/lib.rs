@@ -22,10 +22,12 @@
 pub mod export;
 pub mod pipeline;
 pub mod search;
+pub mod synthmodel;
 
 pub use export::hierarchy_to_json;
 pub use search::{search, SearchHit};
 pub use pipeline::{MinedStructure, MinerConfig, LatentStructureMiner};
+pub use synthmodel::model_from_truth;
 
 /// Errors surfaced by the integrated pipeline.
 #[derive(Debug)]

@@ -104,6 +104,28 @@ impl PapersConfig {
         }
     }
 
+    /// Serving-scale DBLP-like preset: a wider, richer tree (8 areas × 4
+    /// subareas) with larger per-topic vocabularies and entity pools, so
+    /// corpora in the tens of thousands of documents stay topically
+    /// diverse instead of saturating a small vocabulary. Used by the
+    /// serve/replay benchmarks together with
+    /// `lesm_core::model_from_truth`, which skips EM entirely.
+    pub fn dblp_large(n_docs: usize, seed: u64) -> Self {
+        let mut cfg = Self::dblp(n_docs, seed);
+        cfg.hierarchy = HierarchySpec {
+            branching: vec![8, 4],
+            words_per_topic: 40,
+            phrases_per_topic: 12,
+            background_words: 200,
+            zipf_s: 1.0,
+        };
+        cfg.entity_specs[0].pool_per_node = 60; // authors per subarea
+        cfg.entity_specs[0].shared_pool = 40;
+        cfg.entity_specs[1].pool_per_node = 6; // venues per area
+        cfg.entity_specs[1].shared_pool = 2;
+        cfg
+    }
+
     /// NEWS-like preset: 16 flat top stories, noisy automatically-extracted
     /// person/location links — matching the NEWS dataset of §3.3.
     pub fn news(n_docs: usize, seed: u64) -> Self {

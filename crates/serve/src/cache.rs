@@ -8,13 +8,37 @@
 //! minimum tick, which is O(shard capacity) but shards are small and
 //! eviction is off the common hit path.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::{Arc, Mutex};
 
+/// FNV-1a — a few adds and multiplies per byte, no per-hasher random
+/// state. Cache keys are short request paths, where this hashes several
+/// times faster than `DefaultHasher`'s SipHash; keys come from our own
+/// route table, not an attacker, so HashDoS resistance buys nothing
+/// here. Used both to pick the shard and inside each shard's map.
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
 struct Shard<V> {
-    map: HashMap<String, (u64, Arc<V>)>,
+    map: HashMap<String, (u64, Arc<V>), FnvBuildHasher>,
     tick: u64,
     capacity: usize,
 }
@@ -51,6 +75,11 @@ impl<V> Shard<V> {
 /// is a no-op) — used by benchmarks to measure uncached latency.
 pub struct ShardedLruCache<V> {
     shards: Vec<Mutex<Shard<V>>>,
+    // Decided once at construction: the hit path must not touch any
+    // shard lock other than the key's own. (An earlier revision derived
+    // this by locking *every* shard on every get/put, which made cached
+    // lookups slower than recomputing the response.)
+    disabled: bool,
 }
 
 impl<V> ShardedLruCache<V> {
@@ -62,18 +91,19 @@ impl<V> ShardedLruCache<V> {
             shards: (0..shards)
                 .map(|_| {
                     Mutex::new(Shard {
-                        map: HashMap::new(),
+                        map: HashMap::default(),
                         tick: 0,
                         capacity: per_shard,
                     })
                 })
                 .collect(),
+            disabled: capacity == 0,
         }
     }
 
     fn shard(&self, key: &str) -> &Mutex<Shard<V>> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
+        let mut h = FnvHasher::default();
+        h.write(key.as_bytes());
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
@@ -84,7 +114,7 @@ impl<V> ShardedLruCache<V> {
 
     /// Looks up `key`, refreshing its recency on a hit.
     pub fn get(&self, key: &str) -> Option<Arc<V>> {
-        if self.is_disabled() {
+        if self.disabled {
             return None;
         }
         self.shard(key).lock().unwrap_or_else(|poisoned| poisoned.into_inner()).get(key)
@@ -93,10 +123,21 @@ impl<V> ShardedLruCache<V> {
     /// Inserts `key`, evicting the shard's least recently used entry when
     /// the shard is full.
     pub fn put(&self, key: String, value: Arc<V>) {
-        if self.is_disabled() {
+        if self.disabled {
             return;
         }
         self.shard(&key).lock().unwrap_or_else(|poisoned| poisoned.into_inner()).put(key, value);
+    }
+
+    /// Drops every entry (used when a new snapshot version is swapped in
+    /// under live traffic — stale responses must not outlive the model
+    /// they were computed from).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            shard.map.clear();
+            shard.tick = 0;
+        }
     }
 
     /// Total entries currently cached (for tests and metrics).
@@ -110,12 +151,6 @@ impl<V> ShardedLruCache<V> {
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
-    }
-
-    fn is_disabled(&self) -> bool {
-        self.shards
-            .iter()
-            .all(|s| s.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).capacity == 0)
     }
 }
 
@@ -161,6 +196,20 @@ mod tests {
         cache.put("a".into(), Arc::new(10));
         assert_eq!(cache.get("a").as_deref(), Some(&10));
         assert_eq!(cache.get("b").as_deref(), Some(&2));
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache: ShardedLruCache<u32> = ShardedLruCache::new(32, 4);
+        for i in 0..20 {
+            cache.put(format!("k{i}"), Arc::new(i));
+        }
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get("k3").is_none());
+        cache.put("k3".into(), Arc::new(99));
+        assert_eq!(cache.get("k3").as_deref(), Some(&99));
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! A minimal blocking HTTP/1.1 client for shard fan-out.
+//!
+//! Just enough protocol for talking to our own server: one `GET`, a
+//! status line, headers (only `Content-Length` is interpreted), a body,
+//! `Connection: close` semantics. Hand-rolled over `std::net` because the
+//! workspace is dependency-free; the front tier controls both ends of the
+//! wire, so tolerance for exotic peers is not a goal.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A response fetched from a shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchedResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value (empty when the peer sent none).
+    pub content_type: String,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl FetchedResponse {
+    /// Body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issues `GET {target}` against `addr` (e.g. `127.0.0.1:8080`) with the
+/// given timeout applied to connect, read, and write independently.
+pub fn http_get(addr: &str, target: &str, timeout: Duration) -> std::io::Result<FetchedResponse> {
+    let stream = connect(addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
+fn connect(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    use std::net::ToSocketAddrs;
+    let mut last = None;
+    for sock in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sock, timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("no address for {addr}"))
+    }))
+}
+
+fn bad(what: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, what.into())
+}
+
+fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<FetchedResponse> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    // "HTTP/1.1 200 OK"
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("bad status line {line:?}")))?;
+    let mut content_type = String::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-type") {
+                content_type = value.to_string();
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    Some(value.parse().map_err(|_| bad(format!("bad content-length {value:?}")))?);
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        // Our server always sends Content-Length, but read-to-close is
+        // the correct HTTP/1.1 fallback and costs nothing.
+        None => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            body
+        }
+    };
+    Ok(FetchedResponse { status, content_type, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: 6\r\n\r\nnope\n!";
+        let resp = read_response(&mut &raw[..]).unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.content_type, "text/plain");
+        assert_eq!(resp.body, b"nope\n!");
+    }
+
+    #[test]
+    fn missing_length_reads_to_close() {
+        let raw = b"HTTP/1.1 200 OK\r\n\r\nrest of stream";
+        let resp = read_response(&mut &raw[..]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "rest of stream");
+    }
+
+    #[test]
+    fn garbage_is_a_typed_io_error() {
+        assert!(read_response(&mut &b"not http at all\r\n\r\n"[..]).is_err());
+        assert!(read_response(&mut &b"HTTP/1.1 200 OK\r\nContent-Length: 99\r\n\r\nshort"[..]).is_err());
+    }
+}

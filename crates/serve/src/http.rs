@@ -186,6 +186,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
     }
@@ -259,5 +260,10 @@ mod tests {
         let mut err = Vec::new();
         Response::error(404, "no such topic").write_to(&mut err).unwrap();
         assert!(String::from_utf8(err).unwrap().starts_with("HTTP/1.1 404 Not Found\r\n"));
+        let mut shed = Vec::new();
+        Response::error(503, "overloaded").write_to(&mut shed).unwrap();
+        assert!(String::from_utf8(shed)
+            .unwrap()
+            .starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
     }
 }

@@ -24,18 +24,32 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cache;
+pub mod client;
+pub mod front;
 pub mod http;
+pub mod mapping;
 pub mod metrics;
+pub mod query;
 pub mod server;
+pub mod shard;
 pub mod snapshot;
+pub mod store;
+pub mod v2;
 pub mod wire;
 
 pub use cache::ShardedLruCache;
+pub use front::Front;
 pub use metrics::Metrics;
+pub use query::{load_model_file, Model};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use shard::{load_manifest, shard_model, write_shards, ShardBy, ShardManifest};
 pub use snapshot::{
     is_snapshot_bytes, is_snapshot_file, load_snapshot, load_snapshot_file, save_snapshot,
     save_snapshot_file, Snapshot, FORMAT_VERSION, MAGIC,
+};
+pub use v2::{
+    describe_artifact, describe_artifact_file, save_snapshot_v2, save_snapshot_v2_file,
+    save_snapshot_v2_with_ids, snapshot_version_file, MappedSnapshot, FORMAT_VERSION_V2,
 };
 
 /// Typed failures loading or saving snapshot artifacts.

@@ -1,0 +1,262 @@
+//! Read-only memory mappings for snapshot v2 artifacts.
+//!
+//! The v2 loader wants the whole artifact as one stable, 8-byte-aligned
+//! byte region it can borrow typed slices from. On Unix this is a real
+//! `mmap(2)` of the file (zero-copy: pages fault in on first touch) via a
+//! minimal raw-libc shim — the workspace has no `libc` crate, so the two
+//! syscall signatures are declared by hand behind `cfg(unix)`. Everywhere
+//! else, and for in-memory buffers, the bytes are copied once into a
+//! `Vec<u64>`-backed buffer, which guarantees the same 8-byte alignment
+//! (the strictest any v2 section view needs: `u64`/`f64` arrays).
+//!
+//! A [`Mapping`] is immutable after construction, so borrowing `&[u8]`
+//! (and reinterpreted `&[u64]`/`&[u32]`/`&[f64]` views) from it is sound
+//! for the mapping's lifetime.
+
+use crate::SnapshotError;
+use std::fs::File;
+use std::io::Read as _;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    /// `mmap` failure sentinel (`(void *)-1`).
+    pub const MAP_FAILED: usize = usize::MAX;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+enum Backing {
+    /// A live `mmap` region that must be `munmap`ed on drop.
+    #[cfg(unix)]
+    Mapped { ptr: *mut u8, len: usize },
+    /// An owned, 8-byte-aligned copy of the bytes.
+    Owned(Vec<u64>),
+}
+
+/// An immutable, 8-byte-aligned byte region holding a whole artifact.
+pub struct Mapping {
+    backing: Backing,
+    /// Logical length in bytes (the owned backing over-allocates to the
+    /// next multiple of 8).
+    len: usize,
+}
+
+// SAFETY: the region is read-only after construction; raw pointers are
+// only ever dereferenced through shared borrows of the `Mapping`.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps the file at `path`: `mmap` where available, an aligned
+    /// read-into-buffer copy otherwise (or when `mmap` fails).
+    pub fn open(path: &str) -> Result<Self, SnapshotError> {
+        let mut file = File::open(path).map_err(SnapshotError::Io)?;
+        let len = usize::try_from(file.metadata().map_err(SnapshotError::Io)?.len())
+            .map_err(|_| SnapshotError::Malformed {
+                offset: 0,
+                what: "file length overflows usize".into(),
+            })?;
+        #[cfg(unix)]
+        if len > 0 {
+            if let Some(mapping) = Self::try_mmap(&file, len) {
+                return Ok(mapping);
+            }
+        }
+        Self::read_aligned(&mut file, len)
+    }
+
+    #[cfg(unix)]
+    fn try_mmap(file: &File, len: usize) -> Option<Self> {
+        use std::os::unix::io::AsRawFd as _;
+        // SAFETY: a fresh private read-only mapping of an open fd; the
+        // pointer is checked against MAP_FAILED before use, and the
+        // region is unmapped exactly once in Drop.
+        let ptr = unsafe {
+            sys::mmap(std::ptr::null_mut(), len, sys::PROT_READ, sys::MAP_PRIVATE, file.as_raw_fd(), 0)
+        };
+        if ptr as usize == sys::MAP_FAILED || ptr.is_null() {
+            return None;
+        }
+        Some(Self { backing: Backing::Mapped { ptr: ptr.cast(), len }, len })
+    }
+
+    fn read_aligned(file: &mut File, len: usize) -> Result<Self, SnapshotError> {
+        let mut words = vec![0u64; len.div_ceil(8)];
+        if len > 0 {
+            // SAFETY: the Vec<u64> allocation covers len.div_ceil(8) * 8
+            // >= len bytes and is valid for writes.
+            let bytes = unsafe {
+                std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), len)
+            };
+            file.read_exact(bytes).map_err(SnapshotError::Io)?;
+        }
+        Ok(Self { backing: Backing::Owned(words), len })
+    }
+
+    /// Copies `bytes` into an owned aligned buffer (used for in-memory
+    /// artifacts, which may sit at any address — including deliberately
+    /// misaligned test inputs).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut words = vec![0u64; bytes.len().div_ceil(8)];
+        if !bytes.is_empty() {
+            // SAFETY: as above — the allocation covers bytes.len() bytes.
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), bytes.len())
+            };
+            dst.copy_from_slice(bytes);
+        }
+        Self { backing: Backing::Owned(words), len: bytes.len() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base pointer of the region (8-byte-aligned; dangling-but-aligned
+    /// when empty).
+    fn base(&self) -> *const u8 {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { ptr, .. } => *ptr,
+            Backing::Owned(words) => {
+                if words.is_empty() {
+                    std::ptr::NonNull::<u64>::dangling().as_ptr().cast()
+                } else {
+                    words.as_ptr().cast()
+                }
+            }
+        }
+    }
+
+    /// The whole region as bytes.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: base() points at (at least) len readable bytes that are
+        // immutable for the mapping's lifetime.
+        unsafe { std::slice::from_raw_parts(self.base(), self.len) }
+    }
+
+    /// A typed view of `count` little-endian `u64`s at byte offset `off`.
+    ///
+    /// Callers must have validated `off % 8 == 0` and
+    /// `off + count * 8 <= len` (the v2 loader does so once at load time,
+    /// so per-query accessors stay infallible).
+    pub(crate) fn view_u64(&self, off: usize, count: usize) -> &[u64] {
+        debug_assert!(off.is_multiple_of(8) && off + count * 8 <= self.len);
+        // SAFETY: offset/extent validated at load; base is 8-aligned and
+        // off is a multiple of 8, so the element alignment holds.
+        unsafe { std::slice::from_raw_parts(self.base().add(off).cast::<u64>(), count) }
+    }
+
+    /// A typed view of `count` raw-bit `f64`s at byte offset `off` (same
+    /// preconditions as [`Self::view_u64`]).
+    pub(crate) fn view_f64(&self, off: usize, count: usize) -> &[f64] {
+        debug_assert!(off.is_multiple_of(8) && off + count * 8 <= self.len);
+        // SAFETY: as view_u64; every bit pattern is a valid f64.
+        unsafe { std::slice::from_raw_parts(self.base().add(off).cast::<f64>(), count) }
+    }
+
+    /// A typed view of `count` little-endian `u32`s at byte offset `off`
+    /// (requires `off % 4 == 0` and bounds validated by the caller).
+    pub(crate) fn view_u32(&self, off: usize, count: usize) -> &[u32] {
+        debug_assert!(off.is_multiple_of(4) && off + count * 4 <= self.len);
+        // SAFETY: offset/extent validated at load; 4-byte alignment holds
+        // because base is 8-aligned and off is a multiple of 4.
+        unsafe { std::slice::from_raw_parts(self.base().add(off).cast::<u32>(), count) }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: ptr/len came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe {
+                sys::munmap(ptr.cast(), len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => "mmap",
+            Backing::Owned(_) => "owned",
+        };
+        write!(f, "Mapping({kind}, {} bytes)", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_round_trips_and_is_aligned() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let m = Mapping::from_bytes(&data);
+        assert_eq!(m.bytes(), &data[..]);
+        assert_eq!(m.bytes().as_ptr() as usize % 8, 0);
+        // A misaligned source slice still lands on an aligned buffer.
+        let m2 = Mapping::from_bytes(&data[1..]);
+        assert_eq!(m2.bytes(), &data[1..]);
+        assert_eq!(m2.bytes().as_ptr() as usize % 8, 0);
+    }
+
+    #[test]
+    fn empty_mapping_is_valid() {
+        let m = Mapping::from_bytes(&[]);
+        assert!(m.is_empty());
+        assert_eq!(m.bytes().len(), 0);
+    }
+
+    #[test]
+    fn typed_views_decode_little_endian() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0xDEAD_BEEF_u32.to_le_bytes());
+        bytes.extend_from_slice(&0x1234_5678_u32.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        let m = Mapping::from_bytes(&bytes);
+        assert_eq!(m.view_u32(0, 2), &[0xDEAD_BEEF, 0x1234_5678]);
+        assert_eq!(m.view_u64(8, 1), &[u64::MAX]);
+        assert_eq!(m.view_f64(16, 1), &[1.5]);
+    }
+
+    #[test]
+    fn open_reads_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lesm-mapping-test-{}.bin", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        let data: Vec<u8> = (0..1000u32).flat_map(|x| x.to_le_bytes()).collect();
+        std::fs::write(&path, &data).unwrap();
+        let m = Mapping::open(&path_str).unwrap();
+        assert_eq!(m.bytes(), &data[..]);
+        assert_eq!(m.bytes().as_ptr() as usize % 8, 0);
+        drop(m);
+        std::fs::remove_file(&path).ok();
+        assert!(Mapping::open(&path_str).is_err(), "missing file is an Io error");
+    }
+}

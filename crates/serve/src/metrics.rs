@@ -20,17 +20,20 @@ pub enum Endpoint {
     Healthz,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /internal/search` (shard fan-out traffic from a front tier).
+    Internal,
     /// Anything else (404/405/400 traffic).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 7] = [
         Endpoint::Search,
         Endpoint::Topics,
         Endpoint::Hierarchy,
         Endpoint::Healthz,
         Endpoint::Metrics,
+        Endpoint::Internal,
         Endpoint::Other,
     ];
 
@@ -41,7 +44,8 @@ impl Endpoint {
             Endpoint::Hierarchy => 2,
             Endpoint::Healthz => 3,
             Endpoint::Metrics => 4,
-            Endpoint::Other => 5,
+            Endpoint::Internal => 5,
+            Endpoint::Other => 6,
         }
     }
 
@@ -53,6 +57,7 @@ impl Endpoint {
             Endpoint::Hierarchy => "hierarchy",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
+            Endpoint::Internal => "internal",
             Endpoint::Other => "other",
         }
     }
@@ -71,7 +76,8 @@ struct EndpointCounters {
 /// All server counters.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    endpoints: [EndpointCounters; 6],
+    endpoints: [EndpointCounters; 7],
+    shed: AtomicU64,
 }
 
 impl Metrics {
@@ -107,6 +113,17 @@ impl Metrics {
         self.at(e).cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a connection shed with 503 because the accept queue was
+    /// full (backpressure, not handled by any worker).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed so far (test hook).
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
     /// Total requests recorded for `e` (test hook).
     pub fn requests(&self, e: Endpoint) -> u64 {
         self.at(e).requests.load(Ordering::Relaxed)
@@ -132,6 +149,8 @@ impl Metrics {
         out.push_str("# TYPE lesm_cache_misses_total counter\n");
         out.push_str("# TYPE lesm_request_latency_us_total counter\n");
         out.push_str("# TYPE lesm_request_latency_us_max gauge\n");
+        out.push_str("# TYPE lesm_connections_shed_total counter\n");
+        let _ = writeln!(out, "lesm_connections_shed_total {}", self.shed.load(Ordering::Relaxed));
         for e in Endpoint::ALL {
             let c = self.at(e);
             let name = e.name();
@@ -193,5 +212,10 @@ mod tests {
         assert!(text.contains("lesm_request_latency_us_total{endpoint=\"search\"} 200"));
         assert!(text.contains("lesm_request_latency_us_max{endpoint=\"search\"} 150"));
         assert!(text.contains("lesm_requests_total{endpoint=\"hierarchy\"} 0"));
+        assert!(text.contains("lesm_requests_total{endpoint=\"internal\"} 0"));
+        m.record_shed();
+        m.record_shed();
+        assert_eq!(m.shed(), 2);
+        assert!(m.render().contains("lesm_connections_shed_total 2"));
     }
 }

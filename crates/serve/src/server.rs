@@ -1,30 +1,43 @@
 //! The threaded query server.
 //!
-//! Architecture (DESIGN.md §9): one acceptor thread plus a fixed pool of
-//! `workers` handler threads. The acceptor pushes accepted connections
-//! into an `std::sync::mpsc` channel; workers pull from the shared
-//! receiver (briefly locking it, Rust-book style), parse the request,
-//! consult the sharded LRU response cache, and run the query against the
-//! immutable snapshot. Handlers are pure functions of the snapshot, so
-//! responses are byte-identical to offline CLI output for any worker
-//! count.
+//! Architecture (DESIGN.md §9, §13): one acceptor thread plus a fixed
+//! pool of `workers` handler threads. The acceptor pushes accepted
+//! connections into a **bounded** `std::sync::mpsc::sync_channel`;
+//! workers pull from the shared receiver (briefly locking it, Rust-book
+//! style), parse the request, consult the sharded LRU response cache, and
+//! run the query against the current model. When the queue is full the
+//! acceptor sheds the connection with `503 Service Unavailable` instead
+//! of letting latency grow without bound — backpressure is explicit and
+//! typed, and shed connections are counted in `/metrics`.
 //!
-//! Robustness: per-connection read/write timeouts (a slow client costs a
-//! worker at most `read_timeout + write_timeout`), request-head size
-//! caps, and graceful shutdown via [`ServerHandle::shutdown`] or an
-//! operator-touched signal file polled by the acceptor.
+//! A server runs one of two backends:
+//!
+//! * **Local**: an owned v1 [`Snapshot`] or a zero-copy mapped v2
+//!   artifact, behind [`Model`]. The model sits in an `RwLock<Arc<..>>`
+//!   so a store watcher can hot-swap versions under live traffic: each
+//!   request clones the `Arc` once and keeps that model for its whole
+//!   lifetime, the swap repoints the lock and clears the response cache.
+//! * **Front**: no model; fan-out over the shards of a manifest
+//!   ([`crate::front::Front`]), byte-identical to a single server over
+//!   the unsharded model.
+//!
+//! Handlers are pure functions of the model, so responses are
+//! byte-identical to offline CLI output for any worker count, cache
+//! state, or shard count.
 
 use crate::cache::ShardedLruCache;
+use crate::front::Front;
 use crate::http::{parse_request, HttpParseError, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
+use crate::query::Model;
 use crate::snapshot::Snapshot;
 use crate::ServeError;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -35,6 +48,9 @@ pub struct ServerConfig {
     pub addr: String,
     /// Fixed worker-thread count (≥ 1).
     pub workers: usize,
+    /// Accepted connections queued ahead of the workers before the
+    /// acceptor sheds new arrivals with 503 (≥ 1).
+    pub queue_depth: usize,
     /// Response-cache capacity in entries (`0` disables caching).
     pub cache_capacity: usize,
     /// Number of cache lock shards.
@@ -57,6 +73,7 @@ impl Default for ServerConfig {
         Self {
             addr: "127.0.0.1:0".into(),
             workers: 4,
+            queue_depth: 128,
             cache_capacity: 1024,
             cache_shards: 8,
             read_timeout: Duration::from_secs(5),
@@ -67,34 +84,142 @@ impl Default for ServerConfig {
     }
 }
 
+enum Backend {
+    Local(RwLock<Arc<Model>>),
+    Front(Front),
+}
+
 struct ServerState {
-    snapshot: Snapshot,
+    backend: Backend,
     cache: ShardedLruCache<Response>,
     metrics: Metrics,
     top_n: usize,
 }
 
-/// The query server. Construct with [`Server::start`]; the returned
-/// [`ServerHandle`] owns the threads.
+impl ServerState {
+    /// The model serving this request (local backends only). The `Arc`
+    /// clone pins the version for the request's lifetime; a concurrent
+    /// hot-swap affects only later requests.
+    fn model(&self) -> Option<Arc<Model>> {
+        match &self.backend {
+            Backend::Local(model) => {
+                Some(Arc::clone(&model.read().unwrap_or_else(|p| p.into_inner())))
+            }
+            Backend::Front(_) => None,
+        }
+    }
+}
+
+/// The query server. Construct with one of the `start_*` methods; the
+/// returned [`ServerHandle`] owns the threads.
 pub struct Server;
 
 impl Server {
-    /// Binds `config.addr` and spawns the acceptor and worker threads.
+    /// Serves an owned v1 snapshot (the original, still-supported entry
+    /// point).
     pub fn start(snapshot: Snapshot, config: ServerConfig) -> Result<ServerHandle, ServeError> {
+        Self::start_model(Model::Owned(Box::new(snapshot)), config)
+    }
+
+    /// Serves any loaded model (owned v1 or mapped v2).
+    pub fn start_model(model: Model, config: ServerConfig) -> Result<ServerHandle, ServeError> {
+        Self::start_backend(Backend::Local(RwLock::new(Arc::new(model))), config)
+    }
+
+    /// Serves a versioned snapshot store directory with hot-swap: loads
+    /// the `CURRENT` version, then polls the pointer and swaps the model
+    /// (and clears the response cache) whenever a new version is
+    /// published.
+    pub fn start_store(dir: &Path, config: ServerConfig) -> Result<ServerHandle, ServeError> {
+        let (version, model) = crate::store::load_current(dir)
+            .map_err(|e| ServeError::InvalidConfig(format!("store {}: {e}", dir.display())))?;
+        let mut handle = Self::start_backend(Backend::Local(RwLock::new(Arc::new(model))), config)?;
+        let state = Arc::clone(&handle.state);
+        let stop = Arc::clone(&handle.stop);
+        let dir = dir.to_path_buf();
+        handle.threads.push(std::thread::spawn(move || {
+            let mut active = version;
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(20));
+                let Ok(Some(next)) = crate::store::current_version(&dir) else { continue };
+                if next == active {
+                    continue;
+                }
+                // A bad publish must not take down serving: keep the
+                // active version until the new artifact loads cleanly.
+                match crate::query::load_model_file(&dir.join(&next).to_string_lossy()) {
+                    Ok(model) => {
+                        if let Backend::Local(slot) = &state.backend {
+                            *slot.write().unwrap_or_else(|p| p.into_inner()) = Arc::new(model);
+                        }
+                        state.cache.clear();
+                        active = next;
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }));
+        Ok(handle)
+    }
+
+    /// Starts a front server over already-running shard servers.
+    pub fn start_front(
+        shards: Vec<String>,
+        config: ServerConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        let front = Front::new(shards, config.read_timeout)?;
+        Self::start_backend(Backend::Front(front), config)
+    }
+
+    /// Boots a complete sharded deployment from a `manifest.json`: one
+    /// local shard server per shard artifact (ephemeral ports, shard
+    /// files resolved relative to the manifest), then a front over them
+    /// bound at `config.addr`. Shutting down the returned handle shuts
+    /// the whole tree down.
+    pub fn start_sharded(
+        manifest_path: &Path,
+        config: ServerConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        let manifest = crate::shard::load_manifest(manifest_path)?;
+        let dir = manifest_path.parent().unwrap_or(Path::new("."));
+        let mut children = Vec::with_capacity(manifest.files.len());
+        let mut addrs = Vec::with_capacity(manifest.files.len());
+        for file in &manifest.files {
+            let path = dir.join(file);
+            let model = crate::query::load_model_file(&path.to_string_lossy())
+                .map_err(|e| ServeError::InvalidConfig(format!("shard {file}: {e}")))?;
+            let shard_config = ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                shutdown_file: None,
+                ..config.clone()
+            };
+            let child = Self::start_model(model, shard_config)?;
+            addrs.push(child.addr().to_string());
+            children.push(child);
+        }
+        let mut handle = Self::start_front(addrs, config)?;
+        handle.children = children;
+        Ok(handle)
+    }
+
+    fn start_backend(backend: Backend, config: ServerConfig) -> Result<ServerHandle, ServeError> {
         if config.workers == 0 {
             return Err(ServeError::InvalidConfig("workers must be >= 1".into()));
+        }
+        if config.queue_depth == 0 {
+            return Err(ServeError::InvalidConfig("queue_depth must be >= 1".into()));
         }
         let listener = TcpListener::bind(&config.addr).map_err(ServeError::Io)?;
         let addr = listener.local_addr().map_err(ServeError::Io)?;
 
         let state = Arc::new(ServerState {
-            snapshot,
+            backend,
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
             metrics: Metrics::new(),
             top_n: config.top_n,
         });
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = channel::<TcpStream>();
+        let (tx, rx) = sync_channel::<TcpStream>(config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
 
         let mut threads = Vec::with_capacity(config.workers + 1);
@@ -109,6 +234,8 @@ impl Server {
         // throwaway connection to its own port after setting the flag.
         {
             let stop = Arc::clone(&stop);
+            let state = Arc::clone(&state);
+            let write_timeout = config.write_timeout;
             threads.push(std::thread::spawn(move || {
                 loop {
                     match listener.accept() {
@@ -116,8 +243,15 @@ impl Server {
                             if stop.load(Ordering::SeqCst) {
                                 break;
                             }
-                            if tx.send(stream).is_err() {
-                                break;
+                            match tx.try_send(stream) {
+                                Ok(()) => {}
+                                // Queue full: shed with a typed 503
+                                // instead of queueing unbounded latency.
+                                Err(TrySendError::Full(stream)) => {
+                                    shed(stream, write_timeout);
+                                    state.metrics.record_shed();
+                                }
+                                Err(TrySendError::Disconnected(_)) => break,
                             }
                         }
                         Err(_) => {
@@ -149,8 +283,17 @@ impl Server {
                 std::thread::sleep(Duration::from_millis(50));
             }));
         }
-        Ok(ServerHandle { addr, stop, threads, state })
+        Ok(ServerHandle { addr, stop, threads, state, children: Vec::new() })
     }
+}
+
+/// Writes the load-shedding 503 straight from the acceptor. The write is
+/// one small buffer into a fresh socket's send buffer, so it effectively
+/// never blocks; the timeout bounds the pathological case.
+fn shed(stream: TcpStream, write_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let mut out = stream;
+    let _ = Response::error(503, "server overloaded, retry later").write_to(&mut out);
 }
 
 fn worker_loop(
@@ -191,13 +334,13 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, config: &Serve
     let (endpoint, response) = match parse_request(&mut reader) {
         Ok(req) => route(&req, state),
         Err(HttpParseError::TooLarge) => {
-            (Endpoint::Other, Response::error(400, "request head too large"))
+            (Endpoint::Other, Arc::new(Response::error(400, "request head too large")))
         }
         Err(HttpParseError::BadRequestLine(line)) => {
-            (Endpoint::Other, Response::error(400, &format!("bad request line: {line}")))
+            (Endpoint::Other, Arc::new(Response::error(400, &format!("bad request line: {line}"))))
         }
         Err(HttpParseError::Incomplete) => {
-            (Endpoint::Other, Response::error(408, "incomplete request"))
+            (Endpoint::Other, Arc::new(Response::error(408, "incomplete request")))
         }
     };
     let mut out = stream;
@@ -207,64 +350,84 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, config: &Serve
         .record_request(endpoint, response.status >= 400, started.elapsed());
 }
 
-fn route(req: &Request, state: &Arc<ServerState>) -> (Endpoint, Response) {
+fn route(req: &Request, state: &Arc<ServerState>) -> (Endpoint, Arc<Response>) {
     let endpoint = match req.path.as_str() {
         "/search" => Endpoint::Search,
         "/hierarchy" => Endpoint::Hierarchy,
         "/healthz" => Endpoint::Healthz,
         "/metrics" => Endpoint::Metrics,
+        "/internal/search" => Endpoint::Internal,
         p if p.starts_with("/topics/") => Endpoint::Topics,
         _ => Endpoint::Other,
     };
     if req.method != "GET" {
-        return (endpoint, Response::error(405, "only GET is supported"));
+        return (endpoint, Arc::new(Response::error(405, "only GET is supported")));
     }
     match endpoint {
-        Endpoint::Healthz => (endpoint, Response::ok("ok\n")),
-        Endpoint::Metrics => (endpoint, Response::ok(state.metrics.render())),
-        Endpoint::Other => (endpoint, Response::error(404, "no such endpoint")),
+        Endpoint::Healthz => (endpoint, Arc::new(Response::ok("ok\n"))),
+        Endpoint::Metrics => (endpoint, Arc::new(Response::ok(state.metrics.render()))),
+        Endpoint::Other => (endpoint, Arc::new(Response::error(404, "no such endpoint"))),
         _ => (endpoint, cached(endpoint, req, state)),
     }
 }
 
 /// Serves a query endpoint through the response cache. Only successful
 /// responses are cached; the key is the full request target, so distinct
-/// queries never collide.
-fn cached(endpoint: Endpoint, req: &Request, state: &Arc<ServerState>) -> Response {
+/// queries never collide. Hits hand back the cached `Arc` — no byte of
+/// the response is copied until it is written to the socket.
+fn cached(endpoint: Endpoint, req: &Request, state: &Arc<ServerState>) -> Arc<Response> {
     let key = req.target();
     if let Some(hit) = state.cache.get(&key) {
         state.metrics.record_cache_hit(endpoint);
-        return (*hit).clone();
+        return hit;
     }
     state.metrics.record_cache_miss(endpoint);
-    let response = match endpoint {
-        Endpoint::Search => handle_search(req, state),
-        Endpoint::Topics => handle_topic(req, state),
-        Endpoint::Hierarchy => handle_hierarchy(state),
-        // Non-query endpoints never reach here (route() answers them
-        // directly); answer 404 instead of panicking if that ever changes.
-        _ => Response::error(404, "no such endpoint"),
-    };
+    let response = Arc::new(compute(endpoint, req, state));
     if response.status == 200 {
-        state.cache.put(key, Arc::new(response.clone()));
+        state.cache.put(key, Arc::clone(&response));
     }
     response
 }
 
-fn handle_search(req: &Request, state: &Arc<ServerState>) -> Response {
+fn compute(endpoint: Endpoint, req: &Request, state: &Arc<ServerState>) -> Response {
+    if let Backend::Front(front) = &state.backend {
+        return match endpoint {
+            Endpoint::Search => front.search(req, state.top_n, false),
+            Endpoint::Internal => front.search(req, state.top_n, true),
+            Endpoint::Topics | Endpoint::Hierarchy => front.forward(req),
+            // Non-query endpoints never reach here (route() answers them
+            // directly); answer 404 instead of panicking if that changes.
+            _ => Response::error(404, "no such endpoint"),
+        };
+    }
+    let Some(model) = state.model() else {
+        return Response::error(404, "no such endpoint");
+    };
+    match endpoint {
+        Endpoint::Search => handle_search(req, &model, state.top_n, false),
+        Endpoint::Internal => handle_search(req, &model, state.top_n, true),
+        Endpoint::Topics => handle_topic(req, &model, state.top_n),
+        Endpoint::Hierarchy => Response::json(model.hierarchy_json(state.top_n)),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn handle_search(req: &Request, model: &Model, default_top: usize, internal: bool) -> Response {
     let Some(query) = req.query_param("q") else {
         return Response::error(400, "missing query parameter q");
     };
     let top = match req.query_param("top") {
-        None => state.top_n,
+        None => default_top,
         Some(raw) => match raw.parse::<usize>() {
             Ok(n) if n > 0 => n,
             _ => return Response::error(400, "top must be a positive integer"),
         },
     };
-    let snapshot = &state.snapshot;
-    let hits = lesm_core::search::search(&snapshot.corpus, &snapshot.mined, &query, top);
-    let lines = lesm_core::search::render_hits(&snapshot.corpus, &snapshot.mined, &hits);
+    let lines = if internal {
+        model.internal_search_lines(&query, top)
+    } else {
+        model.search_lines(&query, top)
+    };
     // Byte-identical to the CLI, which prints one line per hit.
     let mut body = String::new();
     for line in lines {
@@ -274,36 +437,28 @@ fn handle_search(req: &Request, state: &Arc<ServerState>) -> Response {
     Response::ok(body)
 }
 
-fn handle_topic(req: &Request, state: &Arc<ServerState>) -> Response {
+fn handle_topic(req: &Request, model: &Model, top_n: usize) -> Response {
     let raw_id = req.path.strip_prefix("/topics/").unwrap_or("");
     let Ok(id) = raw_id.parse::<usize>() else {
         return Response::error(400, "topic id must be a non-negative integer");
     };
-    let snapshot = &state.snapshot;
-    if id >= snapshot.mined.hierarchy.len() {
-        return Response::error(404, "no such topic");
+    match model.render_topic(id, top_n) {
+        Some(mut body) => {
+            body.push('\n');
+            Response::ok(body)
+        }
+        None => Response::error(404, "no such topic"),
     }
-    let mut body = snapshot.mined.render_topic(&snapshot.corpus, id, state.top_n);
-    body.push('\n');
-    Response::ok(body)
 }
 
-fn handle_hierarchy(state: &Arc<ServerState>) -> Response {
-    let snapshot = &state.snapshot;
-    Response::json(lesm_core::export::hierarchy_to_json(
-        &snapshot.corpus,
-        &snapshot.mined,
-        state.top_n,
-    ))
-}
-
-/// Running-server handle: the bound address, the shutdown flag, and the
-/// spawned threads.
+/// Running-server handle: the bound address, the shutdown flag, the
+/// spawned threads, and (for sharded deployments) the shard servers.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     state: Arc<ServerState>,
+    children: Vec<ServerHandle>,
 }
 
 impl ServerHandle {
@@ -322,14 +477,24 @@ impl ServerHandle {
         self.state.cache.len()
     }
 
+    /// Addresses of the shard servers owned by this handle (sharded
+    /// deployments only; empty otherwise).
+    pub fn shard_addrs(&self) -> Vec<SocketAddr> {
+        self.children.iter().map(ServerHandle::addr).collect()
+    }
+
     /// Requests a graceful stop and joins every thread: the acceptor
     /// stops accepting, workers drain queued connections, then exit.
+    /// Shard servers owned by this handle stop after the front.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the acceptor out of its blocking `accept()`.
         let _ = TcpStream::connect(self.addr);
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        for child in self.children.drain(..) {
+            child.shutdown();
         }
     }
 
@@ -338,6 +503,9 @@ impl ServerHandle {
     pub fn join(mut self) {
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        for child in self.children.drain(..) {
+            child.shutdown();
         }
     }
 }

@@ -1,0 +1,277 @@
+//! Splitting a mined model into document shards.
+//!
+//! Sharding partitions the **documents**; the mined structure (hierarchy,
+//! phrases, entity rankings, phrase-topic frequencies) is small relative
+//! to the corpus and is replicated to every shard. That replication is
+//! what makes the front tier's merge exact: every shard ranks topics and
+//! scores documents with the identical structure, so per-shard scores are
+//! the scores an unsharded server would compute, and the merge only has
+//! to re-impose the global (score, doc) order (DESIGN.md §13).
+//!
+//! Each shard is written as a format-v2 artifact whose `DOC_IDS` section
+//! maps shard-local document rows back to global document ids, plus a
+//! `manifest.json` naming the shard files in order.
+
+use crate::v2::save_snapshot_v2_with_ids;
+use crate::{ServeError, SnapshotError};
+use lesm_core::pipeline::MinedStructure;
+use lesm_corpus::Corpus;
+use std::path::Path;
+
+/// Document-to-shard assignment strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardBy {
+    /// Contiguous ranges over the primary (first-listed) entity id: shard
+    /// `i` holds documents whose anchor entity falls in the `i`-th range.
+    /// Keeps an entity's documents colocated, the layout the paper's
+    /// entity-centric queries want.
+    EntityRange,
+    /// By the level-1 ancestor of each document's strongest leaf topic,
+    /// taken modulo the shard count. Keeps topical neighborhoods
+    /// colocated.
+    TopicSubtree,
+}
+
+impl ShardBy {
+    /// Parses the CLI spelling (`entity-range` / `topic-subtree`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "entity-range" => Some(ShardBy::EntityRange),
+            "topic-subtree" => Some(ShardBy::TopicSubtree),
+            _ => None,
+        }
+    }
+
+    /// The CLI / manifest spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardBy::EntityRange => "entity-range",
+            ShardBy::TopicSubtree => "topic-subtree",
+        }
+    }
+}
+
+/// Deterministically assigns every document to a shard in `0..n`.
+pub fn assign_docs(corpus: &Corpus, mined: &MinedStructure, by: ShardBy, n: usize) -> Vec<usize> {
+    let n = n.max(1);
+    match by {
+        ShardBy::EntityRange => {
+            // Anchor each document to its first entity reference; the id
+            // space of that entity's type is cut into n equal ranges.
+            (0..corpus.num_docs())
+                .map(|d| match corpus.docs[d].entities.first() {
+                    Some(e) => {
+                        let count = corpus.entities.count(e.etype).max(1);
+                        (e.id as usize * n / count).min(n - 1)
+                    }
+                    None => 0,
+                })
+                .collect()
+        }
+        ShardBy::TopicSubtree => (0..corpus.num_docs())
+            .map(|d| {
+                let mut t = mined.doc_leaf(d);
+                while mined.hierarchy.topics[t].level > 1 {
+                    match mined.hierarchy.topics[t].parent {
+                        Some(p) => t = p,
+                        None => break,
+                    }
+                }
+                t % n
+            })
+            .collect(),
+    }
+}
+
+/// One extracted shard: the document subset plus the replicated
+/// structure, and the global id of each local document row.
+pub struct Shard {
+    /// Shard-local corpus (full vocabulary/entities, subset documents).
+    pub corpus: Corpus,
+    /// Shard-local structure (replicated, subset doc rows).
+    pub mined: MinedStructure,
+    /// `global_ids[local_doc] = global doc id`.
+    pub global_ids: Vec<u64>,
+}
+
+/// Splits the model into `n` shards. Shards may be empty; document order
+/// within a shard preserves ascending global document id.
+pub fn shard_model(corpus: &Corpus, mined: &MinedStructure, by: ShardBy, n: usize) -> Vec<Shard> {
+    let n = n.max(1);
+    let assignment = assign_docs(corpus, mined, by, n);
+    (0..n)
+        .map(|s| {
+            let docs: Vec<usize> =
+                (0..corpus.num_docs()).filter(|&d| assignment[d] == s).collect();
+            let mut shard_corpus = corpus.clone();
+            shard_corpus.docs = docs.iter().map(|&d| corpus.docs[d].clone()).collect();
+            let shard_mined = MinedStructure {
+                hierarchy: mined.hierarchy.clone(),
+                topic_phrases: mined.topic_phrases.clone(),
+                topic_entities: mined.topic_entities.clone(),
+                phrase_topic_freq: mined.phrase_topic_freq.clone(),
+                segments: docs.iter().map(|&d| mined.segments[d].clone()).collect(),
+                doc_topic: docs.iter().map(|&d| mined.doc_topic[d].clone()).collect(),
+            };
+            Shard {
+                corpus: shard_corpus,
+                mined: shard_mined,
+                global_ids: docs.iter().map(|&d| d as u64).collect(),
+            }
+        })
+        .collect()
+}
+
+/// A written shard set: the manifest contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Assignment strategy name (`entity-range` / `topic-subtree`).
+    pub by: String,
+    /// Shard artifact file names, relative to the manifest directory.
+    pub files: Vec<String>,
+    /// Documents per shard (same order as `files`).
+    pub docs: Vec<usize>,
+}
+
+impl ShardManifest {
+    /// Serializes the manifest as JSON.
+    pub fn to_json(&self) -> String {
+        use lesm_core::export::json_string;
+        let mut out = String::from("{\n");
+        out.push_str("  \"format\": 1,\n");
+        out.push_str(&format!("  \"by\": {},\n", json_string(&self.by)));
+        out.push_str("  \"shards\": [\n");
+        for (i, (file, docs)) in self.files.iter().zip(&self.docs).enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": {}, \"docs\": {}}}{}\n",
+                json_string(file),
+                docs,
+                if i + 1 < self.files.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Writes the shard artifacts (`shard-0000.lesm`, ...) and
+/// `manifest.json` into `out_dir`, creating it if needed.
+pub fn write_shards(
+    corpus: &Corpus,
+    mined: &MinedStructure,
+    by: ShardBy,
+    n: usize,
+    out_dir: &Path,
+) -> Result<ShardManifest, SnapshotError> {
+    std::fs::create_dir_all(out_dir).map_err(SnapshotError::Io)?;
+    let shards = shard_model(corpus, mined, by, n);
+    let mut manifest =
+        ShardManifest { by: by.name().to_string(), files: Vec::new(), docs: Vec::new() };
+    for (i, shard) in shards.iter().enumerate() {
+        let file = format!("shard-{i:04}.lesm");
+        let bytes = save_snapshot_v2_with_ids(&shard.corpus, &shard.mined, Some(&shard.global_ids));
+        std::fs::write(out_dir.join(&file), bytes).map_err(SnapshotError::Io)?;
+        manifest.docs.push(shard.global_ids.len());
+        manifest.files.push(file);
+    }
+    std::fs::write(out_dir.join("manifest.json"), manifest.to_json())
+        .map_err(SnapshotError::Io)?;
+    Ok(manifest)
+}
+
+/// Parses a `manifest.json` written by [`write_shards`]. The parser is a
+/// minimal scanner for our own fixed shape, not a general JSON reader.
+pub fn parse_manifest(text: &str) -> Result<ShardManifest, ServeError> {
+    let by = extract_string_field(text, "by")
+        .ok_or_else(|| ServeError::InvalidConfig("manifest missing \"by\"".into()))?;
+    let mut files = Vec::new();
+    let mut docs = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"file\"") {
+        rest = &rest[pos..];
+        let file = extract_string_field(rest, "file")
+            .ok_or_else(|| ServeError::InvalidConfig("manifest has a malformed shard".into()))?;
+        let n = extract_number_field(rest, "docs")
+            .ok_or_else(|| ServeError::InvalidConfig("manifest shard missing \"docs\"".into()))?;
+        files.push(file);
+        docs.push(n);
+        rest = &rest["\"file\"".len()..];
+    }
+    if files.is_empty() {
+        return Err(ServeError::InvalidConfig("manifest lists no shards".into()));
+    }
+    Ok(ShardManifest { by, files, docs })
+}
+
+/// Reads and parses a manifest file.
+pub fn load_manifest(path: &Path) -> Result<ShardManifest, ServeError> {
+    parse_manifest(&std::fs::read_to_string(path).map_err(ServeError::Io)?)
+}
+
+fn extract_string_field(text: &str, key: &str) -> Option<String> {
+    let pos = text.find(&format!("\"{key}\""))?;
+    let rest = &text[pos + key.len() + 2..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    // Our writer escapes with backslashes; unescape the two forms
+    // json_string emits for path-safe file names (\" and \\) plus \uXXXX.
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => out.push(other),
+            },
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+fn extract_number_field(text: &str, key: &str) -> Option<usize> {
+    let pos = text.find(&format!("\"{key}\""))?;
+    let rest = &text[pos + key.len() + 2..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let manifest = ShardManifest {
+            by: "entity-range".into(),
+            files: vec!["shard-0000.lesm".into(), "shard-0001.lesm".into()],
+            docs: vec![40, 20],
+        };
+        let json = manifest.to_json();
+        assert!(lesm_core::export::is_balanced_json(&json), "{json}");
+        assert_eq!(parse_manifest(&json).expect("parse"), manifest);
+    }
+
+    #[test]
+    fn malformed_manifests_are_typed_errors() {
+        assert!(parse_manifest("{}").is_err());
+        assert!(parse_manifest("{\"by\": \"entity-range\", \"shards\": []}").is_err());
+        assert!(parse_manifest("not json").is_err());
+    }
+
+    #[test]
+    fn parse_round_trips_strategy_names() {
+        for by in [ShardBy::EntityRange, ShardBy::TopicSubtree] {
+            assert_eq!(ShardBy::parse(by.name()), Some(by));
+        }
+        assert_eq!(ShardBy::parse("hash"), None);
+    }
+}

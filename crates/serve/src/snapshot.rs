@@ -71,7 +71,7 @@ pub fn is_snapshot_file(path: &str) -> bool {
 }
 
 /// FNV-1a 64 over `bytes` (the trailer checksum).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -487,7 +487,7 @@ fn decode_hierarchy(r: &mut ByteReader) -> Result<TopicHierarchy, SnapshotError>
     Ok(TopicHierarchy { type_names, topics, fits, alphas })
 }
 
-fn encode_network(w: &mut ByteWriter, net: &TypedNetwork) {
+pub(crate) fn encode_network(w: &mut ByteWriter, net: &TypedNetwork) {
     w.put_usize(net.type_names.len());
     for name in &net.type_names {
         w.put_str(name);
@@ -509,7 +509,7 @@ fn encode_network(w: &mut ByteWriter, net: &TypedNetwork) {
     }
 }
 
-fn decode_network(r: &mut ByteReader) -> Result<TypedNetwork, SnapshotError> {
+pub(crate) fn decode_network(r: &mut ByteReader) -> Result<TypedNetwork, SnapshotError> {
     let n_types = r.get_len(8)?;
     let mut type_names = Vec::with_capacity(n_types);
     for _ in 0..n_types {
@@ -548,7 +548,7 @@ fn decode_network(r: &mut ByteReader) -> Result<TypedNetwork, SnapshotError> {
     Ok(net)
 }
 
-fn encode_fit(w: &mut ByteWriter, fit: &EmFit) {
+pub(crate) fn encode_fit(w: &mut ByteWriter, fit: &EmFit) {
     w.put_usize(fit.k);
     w.put_usize(fit.phi.len());
     for per_type in &fit.phi {
@@ -573,7 +573,7 @@ fn encode_fit(w: &mut ByteWriter, fit: &EmFit) {
     }
 }
 
-fn decode_fit(r: &mut ByteReader) -> Result<EmFit, SnapshotError> {
+pub(crate) fn decode_fit(r: &mut ByteReader) -> Result<EmFit, SnapshotError> {
     let k = r.get_u64()? as usize;
     let n_types = r.get_len(8)?;
     let mut phi = Vec::with_capacity(n_types);

@@ -1,0 +1,119 @@
+//! A versioned snapshot store: the hot-swap substrate.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! store/
+//!   v0001.lesm     # immutable snapshot artifacts, any format version
+//!   v0002.lesm
+//!   CURRENT        # the file name of the active version, one line
+//! ```
+//!
+//! Publishing writes the artifact under the next version number, then
+//! atomically repoints `CURRENT` (write-temp-then-rename, so a reader
+//! never observes a partial pointer). A serving process polls `CURRENT`
+//! and swaps its in-memory model when the pointer changes; artifacts are
+//! never mutated in place, so an in-flight request keeps the model it
+//! started with.
+
+use crate::query::{load_model_file, Model};
+use crate::SnapshotError;
+use std::path::{Path, PathBuf};
+
+/// The pointer file name.
+pub const CURRENT: &str = "CURRENT";
+
+/// Publishes `bytes` as the next version in `dir` (creating the store on
+/// first use) and repoints `CURRENT` at it. Returns the artifact file
+/// name, e.g. `v0003.lesm`.
+pub fn publish(dir: &Path, bytes: &[u8]) -> Result<String, SnapshotError> {
+    std::fs::create_dir_all(dir).map_err(SnapshotError::Io)?;
+    let next = 1 + latest_version(dir)?.unwrap_or(0);
+    let name = format!("v{next:04}.lesm");
+    std::fs::write(dir.join(&name), bytes).map_err(SnapshotError::Io)?;
+    let tmp = dir.join(format!("{CURRENT}.tmp"));
+    std::fs::write(&tmp, format!("{name}\n")).map_err(SnapshotError::Io)?;
+    std::fs::rename(&tmp, dir.join(CURRENT)).map_err(SnapshotError::Io)?;
+    Ok(name)
+}
+
+/// The file name `CURRENT` points at, if the store has one.
+pub fn current_version(dir: &Path) -> Result<Option<String>, SnapshotError> {
+    match std::fs::read_to_string(dir.join(CURRENT)) {
+        Ok(text) => {
+            let name = text.trim().to_string();
+            Ok((!name.is_empty()).then_some(name))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(SnapshotError::Io(e)),
+    }
+}
+
+/// Loads the active version. Returns the artifact file name alongside
+/// the model so callers can detect staleness later.
+pub fn load_current(dir: &Path) -> Result<(String, Model), SnapshotError> {
+    let name = current_version(dir)?.ok_or_else(|| {
+        SnapshotError::Io(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("store {} has no CURRENT pointer", dir.display()),
+        ))
+    })?;
+    let path: PathBuf = dir.join(&name);
+    let model = load_model_file(&path.to_string_lossy())?;
+    Ok((name, model))
+}
+
+/// Highest version number present in `dir` (`v{N:04}.lesm` files).
+fn latest_version(dir: &Path) -> Result<Option<u64>, SnapshotError> {
+    let mut max = None;
+    for entry in std::fs::read_dir(dir).map_err(SnapshotError::Io)? {
+        let entry = entry.map_err(SnapshotError::Io)?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(n) = name.strip_prefix('v').and_then(|s| s.strip_suffix(".lesm")) {
+            if let Ok(n) = n.parse::<u64>() {
+                max = Some(max.map_or(n, |m: u64| m.max(n)));
+            }
+        }
+    }
+    Ok(max)
+}
+
+/// Whether `path` looks like a store directory (has a `CURRENT` pointer).
+pub fn is_store_dir(path: &Path) -> bool {
+    path.is_dir() && path.join(CURRENT).is_file()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lesm-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn publish_assigns_increasing_versions_and_repoints_current() {
+        let dir = tmp_dir("seq");
+        assert_eq!(current_version(&dir).ok(), Some(None));
+        assert!(!is_store_dir(&dir));
+        assert_eq!(publish(&dir, b"one").expect("publish"), "v0001.lesm");
+        assert_eq!(publish(&dir, b"two").expect("publish"), "v0002.lesm");
+        assert!(is_store_dir(&dir));
+        assert_eq!(current_version(&dir).expect("read").as_deref(), Some("v0002.lesm"));
+        // Old versions remain readable (rollback is re-pointing CURRENT).
+        assert_eq!(std::fs::read(dir.join("v0001.lesm")).expect("v1"), b"one");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_current_on_an_empty_store_is_a_typed_error() {
+        let dir = tmp_dir("empty");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        assert!(matches!(load_current(&dir), Err(SnapshotError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,349 @@
+//! Snapshot format v2 guarantees, mirroring the v1 battery in
+//! `snapshot_proptests.rs`:
+//!
+//! 1. `to_snapshot(map(save_v2(m)))` is bit-identical to `m` (checked by
+//!    comparing the deterministic v1 serialization of both, and by
+//!    re-saving v2).
+//! 2. Every *view* query (search, topic rendering, hierarchy JSON) is
+//!    byte-identical to the owned query path — the property the sharded
+//!    serve tier's determinism contract (DESIGN.md §11) rests on.
+//! 3. Version dispatch: v1 artifacts still load as owned snapshots; the
+//!    v2 loader reports v1 input as a typed `VersionMismatch` and vice
+//!    versa.
+//! 4. Truncation, byte flips, and misaligned buffers surface as typed
+//!    [`SnapshotError`]s (or load correctly via the aligned-copy
+//!    fallback) — never panics, never silently wrong data.
+
+use lesm_core::export::hierarchy_to_json;
+use lesm_core::pipeline::{LatentStructureMiner, MinedStructure, MinerConfig};
+use lesm_core::search::{render_hits, search};
+use lesm_corpus::synth::{PapersConfig, SyntheticPapers};
+use lesm_corpus::{Corpus, Doc, EntityRef};
+use lesm_hier::hierarchy::HierTopic;
+use lesm_hier::TopicHierarchy;
+use lesm_net::TypedNetwork;
+use lesm_phrases::TopicalPhrase;
+use lesm_serve::query::{hierarchy_to_json_view, render_topic_view};
+use lesm_serve::{
+    describe_artifact, load_model_file, load_snapshot, save_snapshot, save_snapshot_v2,
+    save_snapshot_v2_with_ids, MappedSnapshot, Model, SnapshotError,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Mines a small real structure with the actual pipeline.
+fn mined_fixture() -> (Corpus, MinedStructure) {
+    let papers = SyntheticPapers::generate(&PapersConfig::dblp(60, 42)).expect("synth corpus");
+    let mut config = MinerConfig::default();
+    config.hierarchy.max_depth = 1;
+    config.phrase_min_support = 2;
+    config.threads = 2;
+    let mined = LatentStructureMiner::mine(&papers.corpus, &config).expect("mine");
+    (papers.corpus, mined)
+}
+
+/// Hand-builds a two-topic structure whose every field is populated from
+/// the given words and raw score bits (same shape as the v1 battery).
+fn synthetic_structure(words: &[String], score_bits: &[u64]) -> (Corpus, MinedStructure) {
+    let mut corpus = Corpus::new();
+    let etype = corpus.entities.add_type("author");
+    let mut ids = Vec::new();
+    for w in words {
+        ids.push(corpus.vocab.intern(w));
+    }
+    for (i, w) in words.iter().enumerate() {
+        corpus.entities.intern(etype, w).expect("known type");
+        corpus.docs.push(Doc {
+            tokens: ids.clone(),
+            entities: vec![EntityRef::new(etype, i as u32)],
+            label: if i % 2 == 0 { Some(i as u32) } else { None },
+            year: if i % 3 == 0 { Some(2000 + i as i32) } else { None },
+        });
+    }
+    let score = |i: usize| f64::from_bits(score_bits[i % score_bits.len()]);
+    let topic = |parent, level, path: &str, children: Vec<usize>| HierTopic {
+        parent,
+        children,
+        level,
+        path: path.into(),
+        phi: vec![vec![score(0), score(1)]],
+        rho: score(2),
+        network: TypedNetwork::new(vec![], vec![]),
+    };
+    let hierarchy = TopicHierarchy {
+        type_names: vec!["author".into()],
+        topics: vec![topic(None, 0, "o", vec![1]), topic(Some(0), 1, "o/1", vec![])],
+        fits: vec![None, None],
+        alphas: vec![Some(vec![score(3)]), None],
+    };
+    let phrases: Vec<TopicalPhrase> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| TopicalPhrase { tokens: vec![id], score: score(i), topic_freq: score(i + 1) })
+        .collect();
+    let entities: Vec<(u32, f64)> =
+        (0..corpus.entities.count(etype) as u32).map(|i| (i, score(i as usize))).collect();
+    let mut freq = HashMap::new();
+    for (i, &id) in ids.iter().enumerate() {
+        freq.insert(vec![id], score(i));
+        if i + 1 < ids.len() {
+            freq.insert(vec![id, ids[i + 1]], score(i + 2));
+        }
+    }
+    let n_docs = corpus.docs.len();
+    let mined = MinedStructure {
+        hierarchy,
+        topic_phrases: vec![phrases.clone(), phrases],
+        topic_entities: vec![vec![entities.clone()], vec![entities]],
+        phrase_topic_freq: vec![freq.clone(), freq],
+        segments: (0..n_docs).map(|_| vec![ids.clone()]).collect(),
+        doc_topic: (0..n_docs).map(|d| vec![score(d), score(d + 1)]).collect(),
+    };
+    (corpus, mined)
+}
+
+/// v2 round-trip: the decoded snapshot serializes (in the deterministic
+/// v1 wire form) bit-identically to the original, and re-saving v2
+/// reproduces the v2 artifact bit-for-bit.
+fn assert_v2_round_trip(corpus: &Corpus, mined: &MinedStructure) -> Vec<u8> {
+    let bytes = save_snapshot_v2(corpus, mined);
+    let mapped = MappedSnapshot::from_bytes(&bytes).expect("load v2 back");
+    let snap = mapped.to_snapshot().expect("full decode");
+    assert_eq!(
+        save_snapshot(corpus, mined),
+        save_snapshot(&snap.corpus, &snap.mined),
+        "v2 round-trip changed the value"
+    );
+    assert_eq!(
+        bytes,
+        save_snapshot_v2(&snap.corpus, &snap.mined),
+        "re-saving the round-tripped value changed the v2 artifact"
+    );
+    bytes
+}
+
+#[test]
+fn real_mined_structure_round_trips_through_v2() {
+    let (corpus, mined) = mined_fixture();
+    assert_v2_round_trip(&corpus, &mined);
+}
+
+#[test]
+fn view_queries_are_byte_identical_to_the_owned_path() {
+    let (corpus, mined) = mined_fixture();
+    let bytes = save_snapshot_v2(&corpus, &mined);
+    let mapped = MappedSnapshot::from_bytes(&bytes).expect("load v2");
+
+    // Hierarchy JSON.
+    assert_eq!(hierarchy_to_json(&corpus, &mined, 10), hierarchy_to_json_view(&mapped, 10));
+    assert_eq!(hierarchy_to_json(&corpus, &mined, 3), hierarchy_to_json_view(&mapped, 3));
+    // Topic rendering.
+    for t in 0..mined.hierarchy.len() {
+        assert_eq!(
+            mined.render_topic(&corpus, t, 10),
+            render_topic_view(&mapped, t, 10),
+            "topic {t} renders differently through the view"
+        );
+    }
+    // Search, including multi-word, unknown-word, and empty queries.
+    let owned = Model::Owned(Box::new(load_snapshot(&save_snapshot(&corpus, &mined)).expect("v1 load")));
+    let mapped = Model::Mapped(Box::new(mapped));
+    let some_word = corpus.vocab.name_or_unk(0).to_string();
+    for query in ["mining", &some_word, "mining latent", "zzz-unknown", ""] {
+        let hits = search(&corpus, &mined, query, 10);
+        assert_eq!(
+            render_hits(&corpus, &mined, &hits),
+            mapped.search_lines(query, 10),
+            "search({query:?}) differs between owned and mapped"
+        );
+        assert_eq!(
+            owned.internal_search_lines(query, 10),
+            mapped.internal_search_lines(query, 10),
+            "internal search({query:?}) differs between owned and mapped"
+        );
+    }
+}
+
+#[test]
+fn shard_doc_ids_rename_rendered_documents() {
+    let (corpus, mined) = synthetic_structure(
+        &["mining".into(), "latent".into(), "structures".into()],
+        &[1.0f64.to_bits(), 0.25f64.to_bits()],
+    );
+    let ids: Vec<u64> = vec![100, 205, 310];
+    let bytes = save_snapshot_v2_with_ids(&corpus, &mined, Some(&ids));
+    let mapped = MappedSnapshot::from_bytes(&bytes).expect("load v2");
+    for (d, &g) in ids.iter().enumerate() {
+        assert_eq!(mapped.doc_id(d), g);
+    }
+    let lines = Model::Mapped(Box::new(mapped)).search_lines("mining", 10);
+    assert!(!lines.is_empty());
+    for line in &lines {
+        let doc: u64 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("doc number in line");
+        assert!(ids.contains(&doc), "rendered doc {doc} is not a global id: {line}");
+    }
+}
+
+#[test]
+fn v1_still_loads_and_cross_version_errors_are_typed() {
+    let (corpus, mined) = synthetic_structure(
+        &["mining".into(), "latent".into()],
+        &[1.0f64.to_bits(), 0.25f64.to_bits()],
+    );
+    let v1 = save_snapshot(&corpus, &mined);
+    let v2 = save_snapshot_v2(&corpus, &mined);
+
+    // v1 loads through the v1 loader, as before.
+    assert!(load_snapshot(&v1).is_ok());
+    // The v2 loader reports v1 input as a version mismatch, not a crash
+    // or a checksum error.
+    match MappedSnapshot::from_bytes(&v1) {
+        Err(SnapshotError::VersionMismatch { found: 1, supported: 2 }) => {}
+        other => panic!("expected VersionMismatch loading v1 as v2, got {other:?}"),
+    }
+    // And the v1 loader reports v2 input symmetrically.
+    match load_snapshot(&v2) {
+        Err(SnapshotError::VersionMismatch { found: 2, supported: 1 }) => {}
+        other => panic!("expected VersionMismatch loading v2 as v1, got {other:?}"),
+    }
+
+    // The version-dispatching loader accepts both from disk.
+    let dir = std::env::temp_dir();
+    let p1 = dir.join(format!("lesm-v2test-{}-v1.lesm", std::process::id()));
+    let p2 = dir.join(format!("lesm-v2test-{}-v2.lesm", std::process::id()));
+    std::fs::write(&p1, &v1).expect("write v1");
+    std::fs::write(&p2, &v2).expect("write v2");
+    let m1 = load_model_file(&p1.to_string_lossy()).expect("dispatch v1");
+    let m2 = load_model_file(&p2.to_string_lossy()).expect("dispatch v2");
+    assert!(matches!(m1, Model::Owned(_)));
+    assert!(matches!(m2, Model::Mapped(_)));
+    assert_eq!(m1.hierarchy_json(10), m2.hierarchy_json(10));
+    assert_eq!(m1.search_lines("mining", 10), m2.search_lines("mining", 10));
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+}
+
+#[test]
+fn truncated_v2_artifacts_report_typed_errors_never_panic() {
+    let (corpus, mined) = synthetic_structure(
+        &["mining".into(), "latent".into(), "structures".into()],
+        &[1.0f64.to_bits(), 0.25f64.to_bits()],
+    );
+    let bytes = assert_v2_round_trip(&corpus, &mined);
+    for len in 0..bytes.len() {
+        let err = MappedSnapshot::from_bytes(&bytes[..len])
+            .err()
+            .unwrap_or_else(|| panic!("truncated v2 artifact of {len} bytes must not load"));
+        match err {
+            SnapshotError::Truncated { .. }
+            | SnapshotError::ChecksumMismatch { .. }
+            | SnapshotError::Malformed { .. } => {}
+            other => panic!("unexpected error for prefix of {len} bytes: {other}"),
+        }
+    }
+}
+
+#[test]
+fn misaligned_buffers_load_through_the_aligned_copy() {
+    let (corpus, mined) = mined_fixture();
+    let bytes = save_snapshot_v2(&corpus, &mined);
+    let reference = hierarchy_to_json(&corpus, &mined, 10);
+    // Shift the artifact to every misalignment of an 8-byte window; the
+    // loader must still produce identical views.
+    for shift in 1..8 {
+        let mut buf = vec![0u8; shift];
+        buf.extend_from_slice(&bytes);
+        let mapped = MappedSnapshot::from_bytes(&buf[shift..])
+            .unwrap_or_else(|e| panic!("misaligned by {shift}: {e}"));
+        assert_eq!(reference, hierarchy_to_json_view(&mapped, 10), "shift {shift}");
+    }
+}
+
+#[test]
+fn describe_artifact_reports_both_formats() {
+    let (corpus, mined) = synthetic_structure(&["x".into()], &[1.0f64.to_bits()]);
+    let v1 = save_snapshot(&corpus, &mined);
+    let v2 = save_snapshot_v2(&corpus, &mined);
+
+    let d1 = describe_artifact(&v1).expect("describe v1");
+    assert!(d1.contains("format version: 1"), "{d1}");
+    assert!(d1.contains("corpus") && d1.contains("structure"), "{d1}");
+    assert!(d1.contains("(ok)"), "{d1}");
+
+    let d2 = describe_artifact(&v2).expect("describe v2");
+    assert!(d2.contains("format version: 2"), "{d2}");
+    for name in ["vocab", "entities", "docs", "topics", "phrase-topic-freq", "cold"] {
+        assert!(d2.contains(name), "missing section {name} in:\n{d2}");
+    }
+    assert!(d2.contains("(ok)"), "{d2}");
+    // Section offsets are 64-byte aligned, so every align column is 64.
+    for line in d2.lines().filter(|l| l.contains("vocab") || l.contains("cold")) {
+        assert!(line.trim_end().ends_with("64"), "unaligned section: {line}");
+    }
+
+    // Corruption is visible but does not abort inspection.
+    let mut broken = v2.clone();
+    let mid = broken.len() / 2;
+    broken[mid] ^= 0xff;
+    let db = describe_artifact(&broken).expect("describe corrupt v2");
+    assert!(db.contains("MISMATCH"), "{db}");
+
+    // Non-snapshot input is a typed error.
+    match describe_artifact(b"id\ttext\tauthors\n0\thello\ta") {
+        Err(SnapshotError::BadMagic { .. }) => {}
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+// Words drawn from a deliberately hostile alphabet (quotes, backslashes,
+// control characters, whitespace) and scores from arbitrary bit patterns
+// (NaNs with payloads, infinities, subnormals, -0.0).
+const NASTY: &str = "[a-z\"\\\u{0}-\u{8} ]{1,6}";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn randomized_structures_round_trip_through_v2(
+        words in vec(NASTY, 1..5),
+        score_bits in vec(0u64..=u64::MAX, 1..6),
+    ) {
+        let (corpus, mined) = synthetic_structure(&words, &score_bits);
+        let bytes = save_snapshot_v2(&corpus, &mined);
+        let mapped = MappedSnapshot::from_bytes(&bytes).expect("load v2");
+        let snap = mapped.to_snapshot().expect("decode");
+        prop_assert_eq!(
+            save_snapshot(&corpus, &mined),
+            save_snapshot(&snap.corpus, &snap.mined)
+        );
+        // View rendering stays identical even for hostile vocab/scores.
+        prop_assert_eq!(
+            hierarchy_to_json(&corpus, &mined, 10),
+            hierarchy_to_json_view(&mapped, 10)
+        );
+    }
+
+    #[test]
+    fn any_single_byte_flip_in_v2_is_a_typed_error(
+        pos_seed in 0usize..100_000,
+        flip in 1u8..=255,
+    ) {
+        let (corpus, mined) = synthetic_structure(
+            &["mining".into(), "latent".into()],
+            &[0.5f64.to_bits(), 2.0f64.to_bits()],
+        );
+        let mut bytes = save_snapshot_v2(&corpus, &mined);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip;
+        // Every lane of the word checksum absorbs its words through
+        // bijective steps and the fold is bijective in each lane digest,
+        // so any body flip trips the trailer check; flips in the magic,
+        // version, or table hit their own typed checks.
+        prop_assert!(MappedSnapshot::from_bytes(&bytes).is_err());
+    }
+}

@@ -21,6 +21,7 @@ em_out="${2:-BENCH_em_core.json}"
 serve_out="${3:-BENCH_serve.json}"
 strod_out="${4:-BENCH_strod.json}"
 linalg_out="${5:-BENCH_linalg.json}"
+replay_out="${6:-BENCH_replay.json}"
 # cargo runs bench binaries from the package dir, so the JSON paths must be
 # absolute for all records to land in one file.
 case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
@@ -28,6 +29,7 @@ case "$em_out" in /*) ;; *) em_out="$PWD/$em_out" ;; esac
 case "$serve_out" in /*) ;; *) serve_out="$PWD/$serve_out" ;; esac
 case "$strod_out" in /*) ;; *) strod_out="$PWD/$strod_out" ;; esac
 case "$linalg_out" in /*) ;; *) linalg_out="$PWD/$linalg_out" ;; esac
+case "$replay_out" in /*) ;; *) replay_out="$PWD/$replay_out" ;; esac
 : > "$out"
 export LESM_BENCH_FAST=1
 export LESM_BENCH_JSON="$out"
@@ -51,7 +53,8 @@ cargo bench -p lesm-bench --bench bench_em -- fit_k
 
 echo "wrote $(wc -l < "$em_out") bench records to $em_out"
 
-# Serving-path numbers (DESIGN.md §9): cold snapshot-load time plus the
+# Serving-path numbers (DESIGN.md §9): cold snapshot-load time (format v1
+# full-deserialize vs format v2 zero-copy map, at 50k documents) plus the
 # cached-vs-uncached HTTP query latency medians through the in-process
 # server. Full sampling for the same cross-PR comparability reason.
 : > "$serve_out"
@@ -60,6 +63,16 @@ export LESM_BENCH_JSON="$serve_out"
 cargo bench -p lesm-bench --bench bench_serve
 
 echo "wrote $(wc -l < "$serve_out") bench records to $serve_out"
+
+# Traffic replay (DESIGN.md §13): the deterministic endpoint mix against
+# 1/2/4 local shards, p50/p99 per shard count, byte-identity asserted on
+# every request. Full sampling; LESM_REPLAY_RATE scales the request count.
+: > "$replay_out"
+export LESM_BENCH_JSON="$replay_out"
+
+cargo bench -p lesm-bench --bench bench_replay
+
+echo "wrote $(wc -l < "$replay_out") bench records to $replay_out"
 
 # STROD trajectory: moment construction, the power method, and the
 # end-to-end fit (the allocation-free kernel rewrite's numbers). Fast mode:
@@ -88,6 +101,6 @@ echo "wrote $(wc -l < "$linalg_out") bench records to $linalg_out"
 # Informational regression tripwire: compare every fresh median against
 # the committed baseline of the same file. Warns (never fails) on >20%
 # regressions — see scripts/bench_check.sh.
-for f in "$out" "$em_out" "$serve_out" "$strod_out" "$linalg_out"; do
+for f in "$out" "$em_out" "$serve_out" "$strod_out" "$linalg_out" "$replay_out"; do
     scripts/bench_check.sh "$f"
 done
