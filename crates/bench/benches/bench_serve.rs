@@ -6,8 +6,9 @@
 //!
 //! The cached-vs-uncached pairs double as correctness gates: after
 //! timing, the bench asserts the cache-hit median is strictly below the
-//! uncached median for both `/search` and `/hierarchy` — a cache that is
-//! slower than recomputing is a bug, not a tuning problem.
+//! uncached median for `/search`, `/hierarchy`, and `POST /query` (the
+//! typed query engine, cached under its target + body key) — a cache
+//! that is slower than recomputing is a bug, not a tuning problem.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lesm_bench::datasets::{dblp_small, replay_model};
@@ -40,6 +41,20 @@ fn get(addr: SocketAddr, target: &str) -> Vec<u8> {
     raw
 }
 
+fn post(addr: SocketAddr, target: &str, body: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nHost: b\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    raw
+}
+
 /// `cargo test` runs bench targets with `--test`; setup must stay small
 /// there (the timings are discarded anyway — `LESM_BENCH_JSON` is unset).
 fn test_mode() -> bool {
@@ -52,6 +67,19 @@ fn median_latency_ns(addr: SocketAddr, target: &str, n: usize) -> u128 {
         .map(|_| {
             let start = std::time::Instant::now();
             std::hint::black_box(get(addr, target));
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Median `POST /query` latency over `n` sequential requests.
+fn median_post_latency_ns(addr: SocketAddr, target: &str, body: &str, n: usize) -> u128 {
+    let mut times: Vec<u128> = (0..n)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            std::hint::black_box(post(addr, target, body));
             start.elapsed().as_nanos()
         })
         .collect();
@@ -73,7 +101,11 @@ fn bench_serve(c: &mut Criterion) {
     // `/hierarchy` is the heaviest endpoint (full JSON export), so the
     // cached-vs-uncached gap is visible above the TCP round-trip cost;
     // `/search` is also measured as the common-case cheap query.
-    let (uncached_search, uncached_hier);
+    // The /query body: a traverse program heavy enough that a cache hit
+    // (one LRU lookup keyed on target + body) measurably beats re-running
+    // the engine pipeline.
+    let query_body = r#"{"steps":[{"filter":{"type":"author"}},{"traverse":{"edge":"coauthor"}},{"traverse":{"edge":"topics"}}],"page":100}"#;
+    let (uncached_search, uncached_hier, uncached_query);
     {
         let handle = start_server(&bytes, 0);
         let addr = handle.addr();
@@ -83,8 +115,12 @@ fn bench_serve(c: &mut Criterion) {
         group.bench_function("query_search_uncached", |b| {
             b.iter(|| get(addr, "/search?q=model&top=10"));
         });
+        group.bench_function("post_query_uncached", |b| {
+            b.iter(|| post(addr, "/query", query_body));
+        });
         uncached_search = median_latency_ns(addr, "/search?q=model&top=10", 300);
         uncached_hier = median_latency_ns(addr, "/hierarchy", 300);
+        uncached_query = median_post_latency_ns(addr, "/query", query_body, 300);
         handle.shutdown();
     }
 
@@ -92,15 +128,23 @@ fn bench_serve(c: &mut Criterion) {
     {
         let handle = start_server(&bytes, 1024);
         let addr = handle.addr();
-        let _warm = (get(addr, "/hierarchy"), get(addr, "/search?q=model&top=10"));
+        let _warm = (
+            get(addr, "/hierarchy"),
+            get(addr, "/search?q=model&top=10"),
+            post(addr, "/query", query_body),
+        );
         group.bench_function("query_hierarchy_cached", |b| {
             b.iter(|| get(addr, "/hierarchy"));
         });
         group.bench_function("query_search_cached", |b| {
             b.iter(|| get(addr, "/search?q=model&top=10"));
         });
+        group.bench_function("post_query_cached", |b| {
+            b.iter(|| post(addr, "/query", query_body));
+        });
         let cached_search = median_latency_ns(addr, "/search?q=model&top=10", 300);
         let cached_hier = median_latency_ns(addr, "/hierarchy", 300);
+        let cached_query = median_post_latency_ns(addr, "/query", query_body, 300);
         handle.shutdown();
         assert!(
             cached_search < uncached_search,
@@ -111,6 +155,11 @@ fn bench_serve(c: &mut Criterion) {
             cached_hier < uncached_hier,
             "cache hit must beat recompute for /hierarchy: {cached_hier} ns cached vs \
              {uncached_hier} ns uncached"
+        );
+        assert!(
+            cached_query < uncached_query,
+            "cache hit must beat recompute for POST /query: {cached_query} ns cached vs \
+             {uncached_query} ns uncached"
         );
     }
 

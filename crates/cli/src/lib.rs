@@ -118,6 +118,14 @@ pub enum Command {
         /// Query text.
         query: String,
     },
+    /// Typed structural query against a snapshot (`lesm-query` engine).
+    Query {
+        /// Input `.lesm` snapshot path (either format version).
+        snapshot: String,
+        /// Program: an inline JSON literal (starts with `{`) or a path
+        /// to a JSON file.
+        query: String,
+    },
     /// Advisor-advisee mining.
     Advisors {
         /// Input TSV path.
@@ -276,6 +284,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let input = it.next().ok_or("advisors needs an input path")?.clone();
             Ok(Command::Advisors { input })
         }
+        "query" => {
+            let snapshot = it.next().ok_or("query needs a snapshot path")?.clone();
+            let query = it
+                .next()
+                .ok_or("query needs a program (JSON file path or inline literal)")?
+                .clone();
+            if it.next().is_some() {
+                return Err("query takes exactly one snapshot and one program argument".into());
+            }
+            Ok(Command::Query { snapshot, query })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command {other}; try `lesm help`")),
     }
@@ -313,6 +332,8 @@ USAGE:
              [--shutdown-file PATH]       serve queries
   lesm search <corpus.tsv | snapshot.lesm> <query...>
                                           topic-aware document search
+  lesm query <snapshot.lesm> <query.json | '{...}'>
+                                          typed structural query (JSON program)
   lesm advisors <corpus.tsv>              mine advisor-advisee relations
 
 `--threads 0` (the default) uses every available core; any thread count
@@ -324,9 +345,12 @@ overhead. It changes scheduling only, never results.
 objective improvement drops below TOL (0, the default, always runs the
 full iteration budget). `search` detects snapshot inputs by their magic
 bytes and answers from the persisted structure without re-mining; format
-v2 artifacts (the default) are mapped zero-copy. The server exposes GET
+v2 artifacts (the default) are mapped zero-copy. `query` runs a composable
+filter/traverse/path/rank pipeline (see README \"Querying\" and DESIGN.md
+§14) and prints the JSON response a server's POST /query returns for the
+same program. The server exposes GET
 /search?q=...&top=N, /topics/{id}, /hierarchy, /healthz and /metrics,
-sheds connections with 503 once `--queue` accepted connections are
+plus POST /query, sheds connections with 503 once `--queue` accepted connections are
 waiting, and shuts down gracefully once the `--shutdown-file` path
 exists. Serving a shard manifest boots one local server per shard plus a
 front that merges byte-identically to an unsharded server; serving a
@@ -528,6 +552,24 @@ fn author_type(corpus: &Corpus) -> Result<usize, String> {
         .ok_or_else(|| "corpus has no 'author' entity type".into())
 }
 
+/// Runs `query`: loads the snapshot (either format version), builds the
+/// query index, and executes the JSON program — the same
+/// `lesm_query::run_query` code path a server's `POST /query` runs, so
+/// the returned response is byte-identical to a served response body
+/// (the binary appends one trailing newline when printing). `query` is
+/// an inline program when it starts with `{`, otherwise a file path.
+pub fn run_query_input(snapshot: &str, query: &str) -> Result<String, String> {
+    let body = if query.trim_start().starts_with('{') {
+        query.to_string()
+    } else {
+        std::fs::read_to_string(query).map_err(|e| format!("cannot read {query}: {e}"))?
+    };
+    let model = lesm_serve::load_model_file(snapshot).map_err(|e| e.to_string())?;
+    let parts = model.query_parts()?;
+    let index = lesm_query::QueryIndex::build(parts);
+    lesm_query::run_query(&index, &body).map_err(|e| e.to_string())
+}
+
 /// Runs `advisors`; returns the rendered advising forest.
 pub fn run_advisors(corpus: &Corpus) -> Result<String, String> {
     let (papers, n_authors) = corpus_to_papers(corpus)?;
@@ -667,6 +709,14 @@ mod tests {
             parse_args(&s(&["advisors", "in.tsv"])).unwrap(),
             Command::Advisors { input: "in.tsv".into() }
         );
+        assert_eq!(
+            parse_args(&s(&["query", "art.lesm", "q.json"])).unwrap(),
+            Command::Query { snapshot: "art.lesm".into(), query: "q.json".into() }
+        );
+        assert_eq!(
+            parse_args(&s(&["query", "art.lesm", "{\"steps\":[]}"])).unwrap(),
+            Command::Query { snapshot: "art.lesm".into(), query: "{\"steps\":[]}".into() }
+        );
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
         assert_eq!(parse_args(&s(&["help"])).unwrap(), Command::Help);
     }
@@ -692,6 +742,8 @@ mod tests {
         assert!(parse_args(&s(&["shard", "a.lesm"])).is_err());
         assert!(parse_args(&s(&["shard", "a.lesm", "out", "--by", "vibes"])).is_err());
         assert!(parse_args(&s(&["shard", "a.lesm", "out", "--shards", "0"])).is_err());
+        assert!(parse_args(&s(&["query", "a.lesm"])).is_err());
+        assert!(parse_args(&s(&["query", "a.lesm", "q.json", "extra"])).is_err());
     }
 
     #[test]

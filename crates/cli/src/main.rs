@@ -107,6 +107,10 @@ fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Query { snapshot, query } => {
+            let response = lesm_cli::run_query_input(&snapshot, &query)?;
+            emit(&format!("{response}\n"))
+        }
         Command::Advisors { input } => {
             let corpus = lesm_cli::load_corpus(&input)?;
             emit(&lesm_cli::run_advisors(&corpus)?)

@@ -28,6 +28,7 @@ pub use check::{check_export, check_finite, check_snapshot_roundtrip};
 pub use gen::{case, Case, NUM_CASES, NUM_CONFIGS, NUM_SHAPES};
 pub use runner::{
     run_advisors_cases,
-    run_batch, run_case, run_cli_arg_cases, run_nonfinite_snapshot_cases, run_server_case,
+    run_batch, run_case, run_cli_arg_cases, run_nonfinite_snapshot_cases, run_query_cases,
+    run_server_case,
     run_tsv_cases, CaseFailure, CaseOutcome,
 };

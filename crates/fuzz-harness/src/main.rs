@@ -1,9 +1,11 @@
 //! Bounded smoke entry point for the adversarial harness
 //! (`scripts/fuzz_smoke.sh`). Runs `--cases N` chain cases plus the CLI,
-//! TSV and non-finite-snapshot batteries, prints a one-line JSON summary,
-//! and exits non-zero on any contract violation.
+//! TSV, non-finite-snapshot and hostile-query batteries, prints a
+//! one-line JSON summary, and exits non-zero on any contract violation.
 
-use lesm_fuzz::{run_batch, run_cli_arg_cases, run_nonfinite_snapshot_cases, run_tsv_cases};
+use lesm_fuzz::{
+    run_batch, run_cli_arg_cases, run_nonfinite_snapshot_cases, run_query_cases, run_tsv_cases,
+};
 
 fn main() {
     let mut cases = 64usize;
@@ -31,6 +33,7 @@ fn main() {
     failures.extend(run_nonfinite_snapshot_cases());
     failures.extend(run_cli_arg_cases());
     failures.extend(run_tsv_cases());
+    failures.extend(run_query_cases());
 
     println!(
         "{{\"chain_cases\": {cases}, \"completed\": {completed}, \"typed_errors\": {typed}, \

@@ -365,6 +365,165 @@ pub fn run_advisors_cases() -> Vec<CaseFailure> {
     failures
 }
 
+/// Feeds hostile query programs through the `lesm-query` engine over two
+/// adversarial indexes (a dense well-formed model and one whose topic
+/// metadata contains a parent/child cycle). Contract (DESIGN.md §14):
+/// every body yields a response or a typed *request-class* error — never
+/// a panic, never an `Internal` error — and running the same body twice
+/// produces byte-identical outcomes.
+pub fn run_query_cases() -> Vec<CaseFailure> {
+    use lesm_query::{run_query, DocRecord, IndexParts, QueryIndex, TopicMeta};
+
+    // Two entity types, a root with two leaf topics, six docs with years
+    // and repeated co-occurrences — enough structure that every edge kind
+    // and rank criterion has work to do.
+    let dense = IndexParts {
+        type_names: vec!["author".into(), "venue".into()],
+        entity_names: vec![
+            vec!["alice".into(), "bob".into(), "carol".into()],
+            vec!["vldb".into()],
+        ],
+        topics: vec![
+            TopicMeta { parent: None, children: vec![1, 2], path: "o".into() },
+            TopicMeta { parent: Some(0), children: vec![], path: "o/1".into() },
+            TopicMeta { parent: Some(0), children: vec![], path: "o/2".into() },
+        ],
+        docs: (0..6u64)
+            .map(|g| DocRecord {
+                gid: g,
+                year: Some(2000 + g as i32),
+                leaf: 1 + (g as usize % 2),
+                entities: vec![(0, (g % 3) as u32), (0, ((g + 1) % 3) as u32), (1, 0)],
+            })
+            .collect(),
+    };
+    // Topic 1 and 2 point at each other: subtree walks must terminate.
+    let mut cyclic = dense.clone();
+    cyclic.topics[1].children = vec![2];
+    cyclic.topics[2].children = vec![1];
+    cyclic.topics[2].parent = Some(1);
+    let indexes =
+        vec![("dense", QueryIndex::build(dense)), ("cyclic-topics", QueryIndex::build(cyclic))];
+
+    let over_steps = format!(
+        r#"{{"steps":[{{"filter":{{"type":"author"}}}}{}]}}"#,
+        r#",{"traverse":{"edge":"coauthor"}}"#.repeat(20)
+    );
+    let deep_nest = format!(r#"{{"steps":{}1{}}}"#, "[".repeat(40), "]".repeat(40));
+    // (body, must_fail): true ⇒ the engine must reject it.
+    let bodies: Vec<(&str, bool)> = vec![
+        // Malformed JSON.
+        ("", true),
+        ("{", true),
+        ("null", true),
+        ("[]", true),
+        (r#"{"steps":[{"filter":{"type":"author"}}]"#, true),
+        (r#"{"steps":[{"filter":{"type":"author"}}],"page":1,"page":2}"#, true),
+        (r#"{"steps":[{"filter":{"type":"author"}}],"page":01}"#, true),
+        (r#"{"steps":[{"filter":{"type":"author"}}],"page":NaN}"#, true),
+        ("{\"steps\":\u{1}}", true),
+        (&deep_nest, true),
+        // Unknown steps / fields / caps.
+        (r#"{"steps":[{"warp":{}}]}"#, true),
+        (r#"{"steps":[{"filter":{"type":"author","bogus":1}}]}"#, true),
+        (r#"{"steps":[{"filter":{"type":"author"}}],"page":0}"#, true),
+        (r#"{"steps":[{"filter":{"type":"author"}}],"page":100000}"#, true),
+        (&over_steps, true),
+        // Depth/limit extremes on path.
+        (
+            r#"{"steps":[{"filter":{"type":"author"}},{"path":{"to":{"type":"author"},"edges":["coauthor"],"max_depth":9}}]}"#,
+            true,
+        ),
+        (
+            r#"{"steps":[{"filter":{"type":"author"}},{"path":{"to":{"type":"author"},"edges":["coauthor"],"max_depth":1,"limit":0}}]}"#,
+            true,
+        ),
+        (
+            r#"{"steps":[{"filter":{"type":"author"}},{"path":{"to":{"type":"author"},"edges":["coauthor"],"max_depth":1,"limit":100000}}]}"#,
+            true,
+        ),
+        // Invalid cursors.
+        (r#"{"steps":[{"filter":{"type":"author"}}],"cursor":""}"#, true),
+        (r#"{"steps":[{"filter":{"type":"author"}}],"cursor":"q2.0.0.1"}"#, true),
+        (r#"{"steps":[{"filter":{"type":"author"}}],"cursor":"q1.zzzz.0.1"}"#, true),
+        (r#"{"steps":[{"filter":{"type":"author"}}],"cursor":"q1.0000000000000000.0.1"}"#, true),
+        (
+            r#"{"steps":[{"filter":{"type":"author"}}],"cursor":"q1.0000000000000000.99999999999999999999.1"}"#,
+            true,
+        ),
+        // Resolution failures are typed request errors too.
+        (r#"{"steps":[{"filter":{"type":"nosuchtype"}}]}"#, true),
+        (r#"{"steps":[{"filter":{"type":"author","topic":"no/such"}}]}"#, true),
+        // Cyclic traversals and heavy-but-capped programs must finish.
+        (
+            r#"{"steps":[{"filter":{"type":"author"}},{"traverse":{"edge":"coauthor"}},{"traverse":{"edge":"coauthor"}},{"traverse":{"edge":"coauthor"}},{"traverse":{"edge":"topics"}},{"traverse":{"edge":"entities"}},{"traverse":{"edge":"docs"}}]}"#,
+            false,
+        ),
+        (
+            r#"{"steps":[{"filter":{"type":"author"}},{"path":{"to":{"type":"author","name":"carol"},"edges":["coauthor"],"max_depth":8,"mode":"paths","limit":1000}}]}"#,
+            false,
+        ),
+        (
+            r#"{"steps":[{"filter":{"type":"author"}},{"rank":{"by":"combined","topic":"o/1","limit":1000}}]}"#,
+            false,
+        ),
+        (r#"{"steps":[{"filter":{"type":"author"}}],"page":1000}"#, false),
+        (
+            r#"{"steps":[{"filter":{"type":"topic","topic":"o"}},{"traverse":{"edge":"children"}},{"traverse":{"edge":"children"}},{"traverse":{"edge":"children"}},{"traverse":{"edge":"parent"}}]}"#,
+            false,
+        ),
+    ];
+
+    let mut failures = Vec::new();
+    with_quiet_panics(|| {
+        let mut id = 0;
+        for (index_label, index) in &indexes {
+            for (body, must_fail) in &bodies {
+                let fail = |detail: String| CaseFailure {
+                    id,
+                    label: format!("query/{index_label} {body:?}"),
+                    detail,
+                };
+                let run_once = || run_query(index, body);
+                let first = match catch_unwind(AssertUnwindSafe(run_once)) {
+                    Err(payload) => {
+                        failures.push(fail(panic_message(payload)));
+                        id += 1;
+                        continue;
+                    }
+                    Ok(r) => r,
+                };
+                match &first {
+                    Ok(_) if *must_fail => {
+                        failures.push(fail("hostile body was accepted".into()));
+                    }
+                    Ok(_) => {}
+                    Err(e) if !e.is_request_error() => {
+                        failures.push(fail(format!("internal (not request-class) error: {e}")));
+                    }
+                    Err(_) => {}
+                }
+                // Determinism probe: same body, same outcome bytes.
+                let second = catch_unwind(AssertUnwindSafe(run_once));
+                let render = |r: &Result<String, lesm_query::QueryError>| match r {
+                    Ok(s) => format!("ok:{s}"),
+                    Err(e) => format!("err:{e}"),
+                };
+                match second {
+                    Err(payload) => failures.push(fail(panic_message(payload))),
+                    Ok(second) => {
+                        if render(&second) != render(&first) {
+                            failures.push(fail("re-running the body changed the outcome".into()));
+                        }
+                    }
+                }
+                id += 1;
+            }
+        }
+    });
+    failures
+}
+
 /// Feeds hostile TSV bytes through the corpus loader; loading must return
 /// a typed `CorpusError` or a corpus, never panic.
 pub fn run_tsv_cases() -> Vec<CaseFailure> {

@@ -8,6 +8,7 @@ use lesm_fuzz::{
 };
 
 #[test]
+#[allow(clippy::assertions_on_constants)] // NUM_CASES is the documented acceptance floor
 fn full_case_matrix_holds_the_contract() {
     assert!(NUM_CASES >= 256, "the matrix must cover at least 256 cases, has {NUM_CASES}");
     let (completed, typed, failures) = run_batch(0..NUM_CASES);
@@ -87,6 +88,16 @@ fn healthy_input_completes() {
         Ok(CaseOutcome::Completed) => {}
         other => panic!("two-communities/default should complete, got {other:?}"),
     }
+}
+
+#[test]
+fn query_engine_never_panics_on_hostile_programs() {
+    let failures = lesm_fuzz::run_query_cases();
+    assert!(
+        failures.is_empty(),
+        "hostile query programs violated the contract:\n{}",
+        failures.iter().map(|f| format!("  {f}")).collect::<Vec<_>>().join("\n")
+    );
 }
 
 #[test]

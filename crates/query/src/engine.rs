@@ -1,0 +1,638 @@
+//! The deterministic query executor.
+//!
+//! Execution threads a sorted, deduplicated node set through the program's
+//! steps; every ordering is pinned (node total order, `f64::total_cmp`
+//! with id tie-breaks for scores), every search walks sorted adjacency,
+//! and bounded searches fail with a typed error rather than truncate
+//! silently — so identical programs yield byte-identical responses on any
+//! backend (DESIGN.md §11, §14).
+//!
+//! Cursors encode only `(program hash, resume offset, page size)` — never
+//! wall-clock, randomness, or server identity — so a page stream can be
+//! resumed on any replica, after any restart.
+
+use crate::index::QueryIndex;
+use crate::program::{
+    canonical_steps, parse_request, Edge, FilterSpec, KindSel, PathMode, RankBy, Step, MAX_PAGE,
+};
+use crate::QueryError;
+use lesm_core::export::{json_number, json_string};
+use lesm_roles::type_b::{erank_pop, erank_pop_pur};
+use std::collections::BTreeSet;
+
+/// Total expansion budget for one `path` step; exceeding it is a typed
+/// error (a silently truncated search would not be deterministic content,
+/// and an unbounded one is a denial-of-service lever).
+pub const PATH_EXPANSION_CAP: usize = 200_000;
+
+/// A node in the queryable graph, with a pinned total order
+/// (topics < entities < docs; then by type and id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Node {
+    Topic(u32),
+    Entity { etype: u32, id: u32 },
+    Doc(u32),
+}
+
+/// The shape of a finished pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rendered {
+    Plain(Vec<Node>),
+    Ranked(Vec<(Node, f64)>),
+    Paths(Vec<Vec<Node>>),
+}
+
+/// FNV-1a 64 over bytes (cursor program hashes).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs a full request body against the index, returning the JSON
+/// response. The single entry point used by serve, the CLI, and benches.
+pub fn run_query(index: &QueryIndex, body: &str) -> Result<String, QueryError> {
+    let req = parse_request(body)?;
+    let hash = fnv1a64(canonical_steps(&req.steps).as_bytes());
+    let lines = item_lines(index, &execute(index, &req.steps)?);
+    let (offset, page) = match (&req.cursor, req.page) {
+        (Some(cursor), _) => {
+            let (offset, page) = decode_cursor(cursor, hash)?;
+            if offset > lines.len() {
+                return Err(QueryError::BadCursor(format!(
+                    "cursor offset {offset} is beyond the {} results",
+                    lines.len()
+                )));
+            }
+            (offset, Some(page))
+        }
+        (None, page) => (0, page),
+    };
+    let end = page.map_or(lines.len(), |p| (offset + p).min(lines.len()));
+    let next = match page {
+        Some(p) if end < lines.len() => json_string(&encode_cursor(hash, end, p)),
+        _ => "null".to_string(),
+    };
+    let mut out = String::with_capacity(64 + lines.iter().map(String::len).sum::<usize>());
+    out.push_str(&format!("{{\"total\":{},\"offset\":{offset},\"items\":[", lines.len()));
+    for (i, line) in lines[offset..end].iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(line);
+    }
+    out.push_str(&format!("],\"next_cursor\":{next}}}"));
+    Ok(out)
+}
+
+fn encode_cursor(hash: u64, offset: usize, page: usize) -> String {
+    format!("q1.{hash:016x}.{offset}.{page}")
+}
+
+fn decode_cursor(cursor: &str, hash: u64) -> Result<(usize, usize), QueryError> {
+    let bad = |what: &str| QueryError::BadCursor(what.to_string());
+    let mut fields = cursor.split('.');
+    if fields.next() != Some("q1") {
+        return Err(bad("unknown cursor version"));
+    }
+    let stamp = fields.next().ok_or_else(|| bad("missing program hash"))?;
+    if stamp.len() != 16 {
+        return Err(bad("malformed program hash"));
+    }
+    let stamp = u64::from_str_radix(stamp, 16).map_err(|_| bad("malformed program hash"))?;
+    if stamp != hash {
+        return Err(bad("cursor belongs to a different program"));
+    }
+    let offset: usize = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| bad("malformed offset"))?;
+    let page: usize = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| bad("malformed page size"))?;
+    if fields.next().is_some() {
+        return Err(bad("trailing cursor fields"));
+    }
+    if page == 0 || page > MAX_PAGE {
+        return Err(bad("page size out of range"));
+    }
+    Ok((offset, page))
+}
+
+/// Executes the program steps against the index.
+pub fn execute(index: &QueryIndex, steps: &[Step]) -> Result<Rendered, QueryError> {
+    let mut set: Vec<Node> = Vec::new();
+    let mut rendered: Option<Rendered> = None;
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            Step::Filter(spec) => {
+                if i == 0 {
+                    // Validated at parse time: the first filter names a type.
+                    let kind = spec.kind.as_ref().ok_or_else(|| {
+                        QueryError::Program("the first filter must name a type".into())
+                    })?;
+                    set = seed(index, kind)?;
+                }
+                set = apply_filter(index, spec, std::mem::take(&mut set), i == 0)?;
+            }
+            Step::Traverse { edge } => {
+                let mut next = Vec::new();
+                for &node in &set {
+                    neighbors(index, node, edge, &mut next)?;
+                }
+                next.sort_unstable();
+                next.dedup();
+                set = next;
+            }
+            Step::Path { to, edges, max_depth, mode, limit } => {
+                let targets: BTreeSet<Node> =
+                    apply_filter(index, to, seed(index, to.kind.as_ref().ok_or_else(|| {
+                        QueryError::Program("path target must name a type".into())
+                    })?)?, true)?
+                    .into_iter()
+                    .collect();
+                match mode {
+                    PathMode::Exists => {
+                        set = path_exists(index, &set, &targets, edges, *max_depth)?;
+                    }
+                    PathMode::Paths => {
+                        rendered = Some(Rendered::Paths(path_enumerate(
+                            index, &set, &targets, edges, *max_depth, *limit,
+                        )?));
+                    }
+                }
+            }
+            Step::Rank { by, topic, limit } => {
+                rendered = Some(Rendered::Ranked(rank(index, &set, *by, topic, *limit)?));
+            }
+        }
+    }
+    Ok(rendered.unwrap_or(Rendered::Plain(set)))
+}
+
+/// All nodes of one kind, ascending.
+fn seed(index: &QueryIndex, kind: &KindSel) -> Result<Vec<Node>, QueryError> {
+    Ok(match kind {
+        KindSel::Topic => (0..index.num_topics() as u32).map(Node::Topic).collect(),
+        KindSel::Doc => (0..index.num_docs() as u32).map(Node::Doc).collect(),
+        KindSel::Entity(name) => {
+            let etype = index.resolve_type(name)? as u32;
+            (0..index.num_entities(etype as usize) as u32)
+                .map(|id| Node::Entity { etype, id })
+                .collect()
+        }
+    })
+}
+
+/// Applies a filter's predicates to a sorted node set. `seeded` marks
+/// that the kind selector already shaped the set (first step / path
+/// target), so it is not re-applied as a retain.
+fn apply_filter(
+    index: &QueryIndex,
+    spec: &FilterSpec,
+    mut set: Vec<Node>,
+    seeded: bool,
+) -> Result<Vec<Node>, QueryError> {
+    if !seeded {
+        if let Some(kind) = &spec.kind {
+            let keep_etype = match kind {
+                KindSel::Entity(name) => Some(index.resolve_type(name)? as u32),
+                _ => None,
+            };
+            set.retain(|n| match (kind, n) {
+                (KindSel::Topic, Node::Topic(_)) => true,
+                (KindSel::Doc, Node::Doc(_)) => true,
+                (KindSel::Entity(_), Node::Entity { etype, .. }) => Some(*etype) == keep_etype,
+                _ => false,
+            });
+        }
+    }
+    if !spec.names.is_empty() {
+        // Resolve names against the set's kinds: entity names per type,
+        // topic paths for topics. Docs have no names and never match.
+        set.retain(|n| match n {
+            Node::Entity { etype, id } => spec
+                .names
+                .iter()
+                .any(|name| index.entity_by_name(*etype as usize, name) == Some(*id)),
+            Node::Topic(t) => spec.names.iter().any(|p| {
+                index
+                    .resolve_topic(&crate::program::TopicRef::Path(p.clone()))
+                    .ok()
+                    == Some(*t as usize)
+            }),
+            Node::Doc(_) => false,
+        });
+    }
+    if let Some((min, max)) = spec.years {
+        let in_range = |year: Option<i32>| {
+            year.is_some_and(|y| {
+                min.is_none_or(|lo| y as i64 >= lo) && max.is_none_or(|hi| y as i64 <= hi)
+            })
+        };
+        set.retain(|n| match n {
+            Node::Doc(d) => in_range(index.doc_years[*d as usize]),
+            Node::Entity { etype, id } => index.entity_docs[*etype as usize][*id as usize]
+                .iter()
+                .any(|&d| in_range(index.doc_years[d as usize])),
+            // Topics carry no year; a year predicate never matches them.
+            Node::Topic(_) => false,
+        });
+    }
+    if let Some(topic_ref) = &spec.topic {
+        let t = index.resolve_topic(topic_ref)?;
+        let mut in_subtree = vec![false; index.num_topics()];
+        for z in index.subtree(t) {
+            in_subtree[z] = true;
+        }
+        // Per-type membership/score tables, computed once per filter for
+        // the types actually present in the set.
+        let mut tables: Vec<Option<(Vec<u64>, f64)>> = vec![None; index.num_types()];
+        for n in &set {
+            if let Node::Entity { etype, .. } = n {
+                let etype = *etype as usize;
+                if tables[etype].is_none() {
+                    let counts = index.subtree_counts(etype, t);
+                    let total = counts.iter().sum::<u64>() as f64;
+                    tables[etype] = Some((counts, total.max(1e-12)));
+                }
+            }
+        }
+        let min_score = spec.min_score;
+        set.retain(|n| match n {
+            Node::Topic(z) => in_subtree[*z as usize],
+            Node::Doc(d) => in_subtree[index.doc_leafs[*d as usize]],
+            Node::Entity { etype, id } => match &tables[*etype as usize] {
+                None => false,
+                Some((counts, total)) => {
+                    let f = counts[*id as usize];
+                    match min_score {
+                        None => f > 0,
+                        Some(s) => f > 0 && (f as f64 / *total) >= s,
+                    }
+                }
+            },
+        });
+    }
+    Ok(set)
+}
+
+/// Appends `node`'s neighbors along `edge`. Nodes the edge does not apply
+/// to contribute nothing (documented drop semantics, DESIGN.md §14).
+fn neighbors(
+    index: &QueryIndex,
+    node: Node,
+    edge: &Edge,
+    out: &mut Vec<Node>,
+) -> Result<(), QueryError> {
+    match (edge, node) {
+        (Edge::Coauthor, Node::Entity { etype, id }) => {
+            out.extend(
+                index.cooccur[etype as usize][id as usize]
+                    .iter()
+                    .map(|&peer| Node::Entity { etype, id: peer }),
+            );
+        }
+        (Edge::Advisees, Node::Entity { etype, id })
+            if index.author_type == Some(etype as usize) =>
+        {
+            out.extend(
+                index.advisor_edges().advisees[id as usize]
+                    .iter()
+                    .map(|&a| Node::Entity { etype, id: a }),
+            );
+        }
+        (Edge::Advisors, Node::Entity { etype, id })
+            if index.author_type == Some(etype as usize) =>
+        {
+            out.extend(
+                index.advisor_edges().advisors[id as usize]
+                    .iter()
+                    .map(|&a| Node::Entity { etype, id: a }),
+            );
+        }
+        (Edge::Topics, Node::Entity { etype, id }) => {
+            for &d in &index.entity_docs[etype as usize][id as usize] {
+                out.push(Node::Topic(index.doc_leafs[d as usize] as u32));
+            }
+        }
+        (Edge::Entities(sel), Node::Topic(t)) => {
+            let types = resolve_type_sel(index, sel)?;
+            for etype in types {
+                let counts = index.subtree_counts(etype, t as usize);
+                out.extend(counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(
+                    |(id, _)| Node::Entity { etype: etype as u32, id: id as u32 },
+                ));
+            }
+        }
+        (Edge::Entities(sel), Node::Doc(d)) => {
+            let types = resolve_type_sel(index, sel)?;
+            for &(etype, id) in &index.doc_entities[d as usize] {
+                if types.contains(&(etype as usize)) {
+                    out.push(Node::Entity { etype, id });
+                }
+            }
+        }
+        (Edge::Docs, Node::Entity { etype, id }) => {
+            out.extend(
+                index.entity_docs[etype as usize][id as usize].iter().map(|&d| Node::Doc(d)),
+            );
+        }
+        (Edge::Docs, Node::Topic(t)) => {
+            let mut in_subtree = vec![false; index.num_topics()];
+            for z in index.subtree(t as usize) {
+                in_subtree[z] = true;
+            }
+            out.extend(
+                index
+                    .doc_leafs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &leaf)| in_subtree[leaf])
+                    .map(|(d, _)| Node::Doc(d as u32)),
+            );
+        }
+        (Edge::Parent, Node::Topic(t)) => {
+            if let Some(p) = index.topics[t as usize].parent {
+                out.push(Node::Topic(p as u32));
+            }
+        }
+        (Edge::Children, Node::Topic(t)) => {
+            out.extend(index.topics[t as usize].children.iter().map(|&c| Node::Topic(c as u32)));
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Resolves the optional type selector of an `entities` edge to a type
+/// index list (all types when unset).
+fn resolve_type_sel(index: &QueryIndex, sel: &Option<String>) -> Result<Vec<usize>, QueryError> {
+    match sel {
+        Some(name) => Ok(vec![index.resolve_type(name)?]),
+        None => Ok((0..index.num_types()).collect()),
+    }
+}
+
+/// Sorted, deduplicated neighbors along any of `edges`.
+fn neighbors_multi(
+    index: &QueryIndex,
+    node: Node,
+    edges: &[Edge],
+) -> Result<Vec<Node>, QueryError> {
+    let mut out = Vec::new();
+    for edge in edges {
+        neighbors(index, node, edge, &mut out)?;
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// Keeps sources with a path (≤ `max_depth` edges) to any target.
+/// A source that is itself a target trivially qualifies.
+fn path_exists(
+    index: &QueryIndex,
+    sources: &[Node],
+    targets: &BTreeSet<Node>,
+    edges: &[Edge],
+    max_depth: usize,
+) -> Result<Vec<Node>, QueryError> {
+    let mut budget = PATH_EXPANSION_CAP;
+    let mut out = Vec::new();
+    for &source in sources {
+        if targets.contains(&source) {
+            out.push(source);
+            continue;
+        }
+        let mut visited: BTreeSet<Node> = BTreeSet::new();
+        visited.insert(source);
+        let mut frontier = vec![source];
+        let mut found = false;
+        'bfs: for _ in 0..max_depth {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                budget = budget
+                    .checked_sub(1)
+                    .ok_or_else(|| QueryError::TooLarge("path search budget exhausted".into()))?;
+                for peer in neighbors_multi(index, node, edges)? {
+                    if targets.contains(&peer) {
+                        found = true;
+                        break 'bfs;
+                    }
+                    if visited.insert(peer) {
+                        next.push(peer);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        if found {
+            out.push(source);
+        }
+    }
+    Ok(out)
+}
+
+/// Enumerates simple paths from the sources to the target set, depth-first
+/// over sorted adjacency: sources ascending, then lexicographic by node
+/// sequence — a pinned order. Stops at `limit` paths.
+fn path_enumerate(
+    index: &QueryIndex,
+    sources: &[Node],
+    targets: &BTreeSet<Node>,
+    edges: &[Edge],
+    max_depth: usize,
+    limit: usize,
+) -> Result<Vec<Vec<Node>>, QueryError> {
+    let mut budget = PATH_EXPANSION_CAP;
+    let mut paths: Vec<Vec<Node>> = Vec::new();
+    let mut current: Vec<Node> = Vec::new();
+    for &source in sources {
+        if paths.len() >= limit {
+            break;
+        }
+        current.clear();
+        current.push(source);
+        dfs(index, targets, edges, max_depth, limit, &mut budget, &mut current, &mut paths)?;
+    }
+    Ok(paths)
+}
+
+#[allow(clippy::too_many_arguments)] // recursion state; bundling would obscure the search
+fn dfs(
+    index: &QueryIndex,
+    targets: &BTreeSet<Node>,
+    edges: &[Edge],
+    depth_left: usize,
+    limit: usize,
+    budget: &mut usize,
+    current: &mut Vec<Node>,
+    paths: &mut Vec<Vec<Node>>,
+) -> Result<(), QueryError> {
+    let here = *current.last().unwrap_or(&Node::Topic(0));
+    if targets.contains(&here) {
+        paths.push(current.clone());
+        if paths.len() >= limit {
+            return Ok(());
+        }
+    }
+    if depth_left == 0 {
+        return Ok(());
+    }
+    *budget = budget
+        .checked_sub(1)
+        .ok_or_else(|| QueryError::TooLarge("path search budget exhausted".into()))?;
+    for peer in neighbors_multi(index, here, edges)? {
+        if current.contains(&peer) {
+            continue; // simple paths only
+        }
+        current.push(peer);
+        dfs(index, targets, edges, depth_left - 1, limit, budget, current, paths)?;
+        current.pop();
+        if paths.len() >= limit {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Scores the entity members of the set by the §5.2 role criteria within
+/// `topic`'s sibling group; non-entity nodes are dropped. Order is pinned:
+/// score descending by `total_cmp`, then node order ascending.
+fn rank(
+    index: &QueryIndex,
+    set: &[Node],
+    by: RankBy,
+    topic: &crate::program::TopicRef,
+    limit: Option<usize>,
+) -> Result<Vec<(Node, f64)>, QueryError> {
+    let t = index.resolve_topic(topic)?;
+    let siblings: Vec<usize> = match index.topics[t].parent {
+        Some(p) if index.topics[p].children.contains(&t) => index.topics[p].children.clone(),
+        _ => vec![t],
+    };
+    let ti = siblings.iter().position(|&z| z == t).unwrap_or(0);
+    let mut per_type: Vec<Option<Vec<Option<f64>>>> = vec![None; index.num_types()];
+    let mut scored: Vec<(Node, f64)> = Vec::new();
+    for &node in set {
+        let Node::Entity { etype, id } = node else { continue };
+        let scores = per_type[etype as usize]
+            .get_or_insert_with(|| type_scores(index, etype as usize, &siblings, ti, by));
+        if let Some(score) = scores[id as usize] {
+            scored.push((node, score));
+        }
+    }
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    if let Some(n) = limit {
+        scored.truncate(n);
+    }
+    Ok(scored)
+}
+
+/// Per-entity scores for one type within a sibling group; `None` marks
+/// zero frequency in the target subtree (dropped from rankings, matching
+/// `lesm_roles::type_b`).
+fn type_scores(
+    index: &QueryIndex,
+    etype: usize,
+    siblings: &[usize],
+    ti: usize,
+    by: RankBy,
+) -> Vec<Option<f64>> {
+    let rows: Vec<Vec<f64>> = siblings
+        .iter()
+        .map(|&z| index.subtree_counts(etype, z).iter().map(|&c| c as f64).collect())
+        .collect();
+    let n = index.num_entities(etype);
+    let mut out = vec![None; n];
+    match by {
+        RankBy::Pop => {
+            for (e, score) in erank_pop(&rows, ti, n) {
+                out[e as usize] = Some(score);
+            }
+        }
+        RankBy::Combined => {
+            for (e, score) in erank_pop_pur(&rows, ti, n) {
+                out[e as usize] = Some(score);
+            }
+        }
+        RankBy::Pur => {
+            // The purity factor alone: log(p / worst mixed probability),
+            // with the same guards and sibling semantics as
+            // `erank_pop_pur` so "pur" and "combined" agree on supports.
+            let totals: Vec<f64> = rows.iter().map(|r| r.iter().sum()).collect();
+            let nt = totals[ti].max(1e-12);
+            for e in 0..n {
+                let f = rows[ti][e];
+                if f <= 0.0 {
+                    continue;
+                }
+                let p = f / nt;
+                let mut worst_mix = p;
+                for (z, row) in rows.iter().enumerate() {
+                    if z == ti {
+                        continue;
+                    }
+                    let mix = (f + row[e]) / (totals[ti] + totals[z]).max(1e-12);
+                    if mix > worst_mix {
+                        worst_mix = mix;
+                    }
+                }
+                out[e] = Some((p / worst_mix.max(1e-300)).ln());
+            }
+        }
+    }
+    out
+}
+
+/// Renders each result item as one compact JSON object (pagination and
+/// the concatenation property are defined over these lines).
+pub fn item_lines(index: &QueryIndex, rendered: &Rendered) -> Vec<String> {
+    match rendered {
+        Rendered::Plain(nodes) => nodes.iter().map(|&n| node_json(index, n, None)).collect(),
+        Rendered::Ranked(scored) => scored
+            .iter()
+            .map(|&(n, score)| node_json(index, n, Some(score)))
+            .collect(),
+        Rendered::Paths(paths) => paths
+            .iter()
+            .map(|path| {
+                let inner: Vec<String> =
+                    path.iter().map(|&n| node_json(index, n, None)).collect();
+                format!("{{\"kind\":\"path\",\"nodes\":[{}]}}", inner.join(","))
+            })
+            .collect(),
+    }
+}
+
+fn node_json(index: &QueryIndex, node: Node, score: Option<f64>) -> String {
+    let mut out = match node {
+        Node::Topic(t) => format!(
+            "{{\"kind\":\"topic\",\"id\":{t},\"path\":{}}}",
+            json_string(&index.topics[t as usize].path)
+        ),
+        Node::Entity { etype, id } => format!(
+            "{{\"kind\":{},\"id\":{id},\"name\":{}}}",
+            json_string(&index.type_names[etype as usize]),
+            json_string(&index.entity_names[etype as usize][id as usize])
+        ),
+        Node::Doc(d) => {
+            let year = index.doc_years[d as usize]
+                .map_or("null".to_string(), |y| y.to_string());
+            format!("{{\"kind\":\"doc\",\"id\":{},\"year\":{year}}}", index.doc_gids[d as usize])
+        }
+    };
+    if let Some(s) = score {
+        out.pop();
+        out.push_str(&format!(",\"score\":{}}}", json_number(s)));
+    }
+    out
+}

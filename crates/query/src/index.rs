@@ -1,0 +1,352 @@
+//! [`QueryIndex`]: the derived, deterministic structure queries execute
+//! against.
+//!
+//! Built from [`IndexParts`] only, so every backend — owned v1 model,
+//! mapped v2 snapshot (cold section decoded once), or a front tier that
+//! merged shard contributions — constructs bit-identical state. All
+//! doc-derived quantities are set unions or integer counts; the only
+//! floating-point inference (TPFG advisor edges) runs over the identical
+//! global paper list on every backend, so its outputs are bit-identical
+//! too (DESIGN.md §11, §14).
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use crate::parts::{IndexParts, TopicMeta};
+use crate::program::TopicRef;
+use crate::QueryError;
+use lesm_corpus::synth::GenPaper;
+use lesm_relations::{AdvisingForest, CandidateGraph, PreprocessConfig, Tpfg, TpfgConfig};
+
+/// Advisor→advisee edges predicted by TPFG (`P@(1, 0.3)`, matching the
+/// `lesm advisors` CLI), adjacency per author id, ascending.
+#[derive(Debug, Default)]
+pub struct AdvisorEdges {
+    pub advisees: Vec<Vec<u32>>,
+    pub advisors: Vec<Vec<u32>>,
+}
+
+/// The immutable query index. Construction is the only expensive step;
+/// execution reads pre-sorted adjacency and integer count tables.
+#[derive(Debug)]
+pub struct QueryIndex {
+    pub(crate) type_names: Vec<String>,
+    pub(crate) entity_names: Vec<Vec<String>>,
+    pub(crate) topics: Vec<TopicMeta>,
+    /// Lookup maps (queried by key, never iterated — DESIGN.md §11).
+    name_to_id: Vec<HashMap<String, u32>>,
+    path_to_topic: HashMap<String, usize>,
+    type_by_name: HashMap<String, usize>,
+    pub(crate) doc_gids: Vec<u64>,
+    pub(crate) doc_years: Vec<Option<i32>>,
+    pub(crate) doc_leafs: Vec<usize>,
+    pub(crate) doc_entities: Vec<Vec<(u32, u32)>>,
+    /// etype → entity id → ascending local doc indices (deduplicated).
+    pub(crate) entity_docs: Vec<Vec<Vec<u32>>>,
+    /// etype → entity id → ascending co-occurring same-type entity ids.
+    pub(crate) cooccur: Vec<Vec<Vec<u32>>>,
+    /// etype → topic → entity occurrence counts (nonzero only at each
+    /// doc's leaf topic; subtree aggregates are exact integer sums).
+    pub(crate) leaf_counts: Vec<Vec<Vec<u64>>>,
+    pub(crate) author_type: Option<usize>,
+    advisor: OnceLock<AdvisorEdges>,
+}
+
+impl QueryIndex {
+    /// Builds the index from canonical parts.
+    pub fn build(parts: IndexParts) -> QueryIndex {
+        let IndexParts { type_names, entity_names, topics, docs } = parts;
+        let n_types = type_names.len();
+        let n_topics = topics.len();
+
+        let mut name_to_id: Vec<HashMap<String, u32>> = Vec::with_capacity(n_types);
+        for names in &entity_names {
+            let mut map = HashMap::with_capacity(names.len());
+            for (id, name) in names.iter().enumerate() {
+                map.entry(name.clone()).or_insert(id as u32);
+            }
+            name_to_id.push(map);
+        }
+        let mut type_by_name = HashMap::with_capacity(n_types);
+        for (t, name) in type_names.iter().enumerate() {
+            type_by_name.entry(name.clone()).or_insert(t);
+        }
+        let mut path_to_topic = HashMap::with_capacity(n_topics);
+        for (t, topic) in topics.iter().enumerate() {
+            path_to_topic.entry(topic.path.clone()).or_insert(t);
+        }
+
+        let mut doc_gids = Vec::with_capacity(docs.len());
+        let mut doc_years = Vec::with_capacity(docs.len());
+        let mut doc_leafs = Vec::with_capacity(docs.len());
+        let mut doc_entities = Vec::with_capacity(docs.len());
+        let mut entity_docs: Vec<Vec<Vec<u32>>> = entity_names
+            .iter()
+            .map(|names| vec![Vec::new(); names.len()])
+            .collect();
+        let mut leaf_counts: Vec<Vec<Vec<u64>>> = entity_names
+            .iter()
+            .map(|names| vec![vec![0u64; names.len()]; n_topics])
+            .collect();
+        let mut cooccur: Vec<Vec<Vec<u32>>> = entity_names
+            .iter()
+            .map(|names| vec![Vec::new(); names.len()])
+            .collect();
+        let mut members: Vec<u32> = Vec::new();
+        for (d, doc) in docs.into_iter().enumerate() {
+            doc_gids.push(doc.gid);
+            doc_years.push(doc.year);
+            doc_leafs.push(doc.leaf);
+            for &(t, id) in &doc.entities {
+                let (t, id) = (t as usize, id as usize);
+                leaf_counts[t][doc.leaf][id] += 1;
+                let list = &mut entity_docs[t][id];
+                if list.last() != Some(&(d as u32)) {
+                    list.push(d as u32);
+                }
+            }
+            for (t, adjacency) in cooccur.iter_mut().enumerate() {
+                members.clear();
+                members.extend(doc.entities.iter().filter(|&&(et, _)| et as usize == t).map(|&(_, id)| id));
+                members.sort_unstable();
+                members.dedup();
+                for &a in &members {
+                    for &b in &members {
+                        if a != b {
+                            adjacency[a as usize].push(b);
+                        }
+                    }
+                }
+            }
+            doc_entities.push(doc.entities);
+        }
+        for lists in &mut cooccur {
+            for list in lists {
+                list.sort_unstable();
+                list.dedup();
+            }
+        }
+        let author_type = type_by_name.get("author").copied();
+
+        QueryIndex {
+            type_names,
+            entity_names,
+            topics,
+            name_to_id,
+            path_to_topic,
+            type_by_name,
+            doc_gids,
+            doc_years,
+            doc_leafs,
+            doc_entities,
+            entity_docs,
+            cooccur,
+            leaf_counts,
+            author_type,
+            advisor: OnceLock::new(),
+        }
+    }
+
+    pub fn num_types(&self) -> usize {
+        self.type_names.len()
+    }
+
+    pub fn num_topics(&self) -> usize {
+        self.topics.len()
+    }
+
+    pub fn num_docs(&self) -> usize {
+        self.doc_gids.len()
+    }
+
+    pub fn num_entities(&self, etype: usize) -> usize {
+        self.entity_names[etype].len()
+    }
+
+    /// Resolves an entity type by catalog name.
+    pub fn resolve_type(&self, name: &str) -> Result<usize, QueryError> {
+        self.type_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| QueryError::UnknownType(name.to_string()))
+    }
+
+    /// Resolves a topic by index or hierarchy path.
+    pub fn resolve_topic(&self, r: &TopicRef) -> Result<usize, QueryError> {
+        match r {
+            TopicRef::Id(id) if *id < self.topics.len() => Ok(*id),
+            TopicRef::Id(id) => Err(QueryError::UnknownTopic(id.to_string())),
+            TopicRef::Path(p) => self
+                .path_to_topic
+                .get(p)
+                .copied()
+                .ok_or_else(|| QueryError::UnknownTopic(p.clone())),
+        }
+    }
+
+    /// Looks up an entity id by name.
+    pub fn entity_by_name(&self, etype: usize, name: &str) -> Option<u32> {
+        self.name_to_id[etype].get(name).copied()
+    }
+
+    /// The subtree rooted at `t` (inclusive), ascending. Robust against
+    /// hostile parts with cyclic child links: each topic visits once.
+    pub fn subtree(&self, t: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.topics.len()];
+        let mut out = Vec::new();
+        let mut stack = vec![t];
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            out.push(n);
+            stack.extend(self.topics[n].children.iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Integer entity counts aggregated over the subtree of `t`.
+    pub fn subtree_counts(&self, etype: usize, t: usize) -> Vec<u64> {
+        let mut out = vec![0u64; self.num_entities(etype)];
+        for z in self.subtree(t) {
+            for (e, &c) in self.leaf_counts[etype][z].iter().enumerate() {
+                out[e] += c;
+            }
+        }
+        out
+    }
+
+    /// Advisor→advisee edges, inferred lazily on first use. Corpora
+    /// without an `author` type, years, or surviving candidates yield
+    /// empty edge sets rather than errors: "no advisors found" is a valid
+    /// query answer.
+    pub fn advisor_edges(&self) -> &AdvisorEdges {
+        self.advisor.get_or_init(|| self.build_advisor_edges())
+    }
+
+    fn build_advisor_edges(&self) -> AdvisorEdges {
+        let Some(author) = self.author_type else {
+            return AdvisorEdges::default();
+        };
+        let n_authors = self.num_entities(author);
+        let mut edges = AdvisorEdges {
+            advisees: vec![Vec::new(); n_authors],
+            advisors: vec![Vec::new(); n_authors],
+        };
+        // Mirrors `corpus_to_papers`: docs in ascending global order,
+        // keeping only those with a year and at least one author.
+        let papers: Vec<GenPaper> = self
+            .doc_entities
+            .iter()
+            .zip(&self.doc_years)
+            .filter_map(|(ents, year)| {
+                let year = (*year)?;
+                let authors: Vec<u32> = ents
+                    .iter()
+                    .filter(|&&(t, _)| t as usize == author)
+                    .map(|&(_, id)| id)
+                    .collect();
+                if authors.is_empty() {
+                    None
+                } else {
+                    Some(GenPaper { year, authors })
+                }
+            })
+            .collect();
+        if papers.is_empty() {
+            return edges;
+        }
+        let Ok(graph) = CandidateGraph::build(&papers, n_authors, &PreprocessConfig::default())
+        else {
+            return edges;
+        };
+        let Ok(result) = Tpfg::infer(&graph, &TpfgConfig::default()) else {
+            return edges;
+        };
+        let forest = AdvisingForest::from_result(&result, 1, 0.3);
+        for node in &forest.nodes {
+            for &child in &node.children {
+                edges.advisees[node.author as usize].push(child as u32);
+                edges.advisors[child].push(node.author);
+            }
+        }
+        for list in edges.advisees.iter_mut().chain(edges.advisors.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parts::DocRecord;
+
+    pub(crate) fn tiny_parts() -> IndexParts {
+        IndexParts {
+            type_names: vec!["author".into(), "venue".into()],
+            entity_names: vec![
+                vec!["alice".into(), "bob".into(), "carol".into()],
+                vec!["vldb".into()],
+            ],
+            topics: vec![
+                TopicMeta { parent: None, children: vec![1, 2], path: "o".into() },
+                TopicMeta { parent: Some(0), children: vec![], path: "o/1".into() },
+                TopicMeta { parent: Some(0), children: vec![], path: "o/2".into() },
+            ],
+            docs: vec![
+                DocRecord {
+                    gid: 0,
+                    year: Some(2000),
+                    leaf: 1,
+                    entities: vec![(0, 0), (0, 1), (1, 0)],
+                },
+                DocRecord { gid: 1, year: Some(2004), leaf: 2, entities: vec![(0, 1), (0, 2)] },
+                DocRecord { gid: 2, year: Some(2006), leaf: 1, entities: vec![(0, 0), (0, 0)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn adjacency_and_counts_are_exact() {
+        let idx = QueryIndex::build(tiny_parts());
+        assert_eq!(idx.cooccur[0][1], vec![0, 2]);
+        assert_eq!(idx.entity_docs[0][0], vec![0, 2]);
+        // alice occurs once in doc 0 (leaf 1) and twice in doc 2 (leaf 1).
+        assert_eq!(idx.leaf_counts[0][1][0], 3);
+        assert_eq!(idx.subtree_counts(0, 0), vec![3, 2, 1]);
+        assert_eq!(idx.subtree(0), vec![0, 1, 2]);
+        assert_eq!(idx.subtree(1), vec![1]);
+    }
+
+    #[test]
+    fn resolution_is_typed() {
+        let idx = QueryIndex::build(tiny_parts());
+        assert_eq!(idx.resolve_type("venue").unwrap(), 1);
+        assert!(matches!(idx.resolve_type("nope"), Err(QueryError::UnknownType(_))));
+        assert_eq!(idx.resolve_topic(&TopicRef::Path("o/2".into())).unwrap(), 2);
+        assert!(idx.resolve_topic(&TopicRef::Id(9)).is_err());
+        assert_eq!(idx.entity_by_name(0, "carol"), Some(2));
+    }
+
+    #[test]
+    fn cyclic_topic_links_terminate() {
+        let mut parts = tiny_parts();
+        parts.topics[1].children = vec![0]; // hostile cycle
+        let idx = QueryIndex::build(parts);
+        assert_eq!(idx.subtree(0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn advisor_edges_default_empty_without_signal() {
+        let mut parts = tiny_parts();
+        for d in &mut parts.docs {
+            d.year = None;
+        }
+        let idx = QueryIndex::build(parts);
+        assert!(idx.advisor_edges().advisees.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,585 @@
+//! The typed query program: a deterministic pipeline of steps parsed from a
+//! compact JSON representation.
+//!
+//! A request body looks like:
+//!
+//! ```json
+//! {"steps": [
+//!    {"filter": {"type": "author", "name": "alice"}},
+//!    {"traverse": {"edge": "advisees"}},
+//!    {"filter": {"topic": "o/1", "years": {"min": 2006}}},
+//!    {"rank": {"by": "combined", "topic": "o/1", "limit": 10}}
+//!  ],
+//!  "page": 20}
+//! ```
+//!
+//! Parsing is strict: unknown step names, unknown fields, and out-of-range
+//! caps are typed errors, never silently ignored — a hostile or typo'd
+//! program must fail the same way on every replica (DESIGN.md §11).
+
+use crate::json::{parse_json, Json};
+use crate::QueryError;
+
+/// Maximum steps per program.
+pub const MAX_STEPS: usize = 16;
+/// Maximum `path` search depth.
+pub const MAX_PATH_DEPTH: usize = 8;
+/// Maximum enumerated paths per `path` step.
+pub const MAX_PATH_LIMIT: usize = 1000;
+/// Maximum names per filter.
+pub const MAX_NAMES: usize = 64;
+/// Maximum page size.
+pub const MAX_PAGE: usize = 1000;
+
+/// Node-kind selector in a filter (`"type"` field).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KindSel {
+    /// An entity type, by catalog name (e.g. `"author"`).
+    Entity(String),
+    Topic,
+    Doc,
+}
+
+/// A topic reference: numeric index or hierarchy path (e.g. `"o/1/2"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopicRef {
+    Id(usize),
+    Path(String),
+}
+
+/// A typed edge the engine can follow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edge {
+    /// Entity → same-type entities sharing a document.
+    Coauthor,
+    /// Advisor → advisee (TPFG prediction, author type only).
+    Advisees,
+    /// Advisee → advisor (reverse of [`Edge::Advisees`]).
+    Advisors,
+    /// Entity → leaf topics of its documents.
+    Topics,
+    /// Topic/doc → member entities, optionally restricted to one type name.
+    Entities(Option<String>),
+    /// Entity/topic → documents.
+    Docs,
+    /// Topic → parent topic.
+    Parent,
+    /// Topic → child topics.
+    Children,
+}
+
+impl Edge {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Edge::Coauthor => "coauthor",
+            Edge::Advisees => "advisees",
+            Edge::Advisors => "advisors",
+            Edge::Topics => "topics",
+            Edge::Entities(_) => "entities",
+            Edge::Docs => "docs",
+            Edge::Parent => "parent",
+            Edge::Children => "children",
+        }
+    }
+}
+
+/// Predicates of a `filter` step (also the target spec of a `path` step).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FilterSpec {
+    pub kind: Option<KindSel>,
+    pub names: Vec<String>,
+    /// Inclusive year bounds; `None` side is unbounded.
+    pub years: Option<(Option<i64>, Option<i64>)>,
+    pub topic: Option<TopicRef>,
+    /// Minimum popularity score `p(e|topic)`; requires `topic`.
+    pub min_score: Option<f64>,
+}
+
+/// `path` result mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathMode {
+    /// Keep source nodes with a path to the target set.
+    Exists,
+    /// Enumerate the paths themselves.
+    Paths,
+}
+
+/// Ranking criterion (§5.2 entity roles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankBy {
+    Pop,
+    Pur,
+    Combined,
+}
+
+/// One pipeline step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    Filter(FilterSpec),
+    Traverse { edge: Edge },
+    Path { to: FilterSpec, edges: Vec<Edge>, max_depth: usize, mode: PathMode, limit: usize },
+    Rank { by: RankBy, topic: TopicRef, limit: Option<usize> },
+}
+
+/// A parsed query request: the program plus pagination intent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    pub steps: Vec<Step>,
+    /// Page size; `None` returns everything in one response.
+    pub page: Option<usize>,
+    /// Resume cursor (raw, validated by the executor).
+    pub cursor: Option<String>,
+}
+
+fn bad(what: impl Into<String>) -> QueryError {
+    QueryError::Program(what.into())
+}
+
+fn obj<'a>(v: &'a Json, ctx: &str) -> Result<&'a [(String, Json)], QueryError> {
+    v.as_obj().ok_or_else(|| bad(format!("{ctx} must be an object, got {}", v.type_name())))
+}
+
+fn str_field(v: &Json, ctx: &str) -> Result<String, QueryError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("{ctx} must be a string, got {}", v.type_name())))
+}
+
+fn usize_field(v: &Json, ctx: &str, max: usize) -> Result<usize, QueryError> {
+    let n = v
+        .as_i64()
+        .ok_or_else(|| bad(format!("{ctx} must be an integer, got {}", v.type_name())))?;
+    if n < 0 {
+        return Err(bad(format!("{ctx} must be non-negative")));
+    }
+    let n = n as usize;
+    if n > max {
+        return Err(bad(format!("{ctx} exceeds the cap of {max}")));
+    }
+    Ok(n)
+}
+
+fn topic_ref(v: &Json, ctx: &str) -> Result<TopicRef, QueryError> {
+    match v {
+        Json::Num(_) => Ok(TopicRef::Id(usize_field(v, ctx, usize::MAX)?)),
+        Json::Str(s) => Ok(TopicRef::Path(s.clone())),
+        other => Err(bad(format!("{ctx} must be a topic index or path, got {}", other.type_name()))),
+    }
+}
+
+/// Parses a full request body (steps + page/cursor).
+pub fn parse_request(body: &str) -> Result<QueryRequest, QueryError> {
+    let root = parse_json(body).map_err(QueryError::Json)?;
+    let pairs = obj(&root, "request")?;
+    let mut steps = None;
+    let mut page = None;
+    let mut cursor = None;
+    for (k, v) in pairs {
+        match k.as_str() {
+            "steps" => steps = Some(parse_steps(v)?),
+            "page" => {
+                let n = usize_field(v, "page", MAX_PAGE)?;
+                if n == 0 {
+                    return Err(bad("page must be at least 1"));
+                }
+                page = Some(n);
+            }
+            "cursor" => cursor = Some(str_field(v, "cursor")?),
+            other => return Err(bad(format!("unknown request field {other:?}"))),
+        }
+    }
+    let steps = steps.ok_or_else(|| bad("request is missing \"steps\""))?;
+    if page.is_some() && cursor.is_some() {
+        return Err(bad("pass either \"page\" or \"cursor\", not both (the cursor encodes the page size)"));
+    }
+    Ok(QueryRequest { steps, page, cursor })
+}
+
+fn parse_steps(v: &Json) -> Result<Vec<Step>, QueryError> {
+    let arr = v.as_arr().ok_or_else(|| bad("\"steps\" must be an array"))?;
+    if arr.is_empty() {
+        return Err(bad("\"steps\" must not be empty"));
+    }
+    if arr.len() > MAX_STEPS {
+        return Err(bad(format!("more than {MAX_STEPS} steps")));
+    }
+    let steps: Vec<Step> = arr.iter().map(parse_step).collect::<Result<_, _>>()?;
+    // A pipeline must start from a seeded universe, and terminal steps
+    // (rank, path enumeration) change the result shape, so nothing may
+    // follow them.
+    match &steps[0] {
+        Step::Filter(spec) if spec.kind.is_some() => {}
+        Step::Filter(_) => return Err(bad("the first filter must name a \"type\" to seed the node set")),
+        _ => return Err(bad("programs must start with a filter step")),
+    }
+    for (i, step) in steps.iter().enumerate() {
+        let last = i + 1 == steps.len();
+        match step {
+            Step::Rank { .. } if !last => return Err(bad("rank must be the last step")),
+            Step::Path { mode: PathMode::Paths, .. } if !last => {
+                return Err(bad("a path step with mode \"paths\" must be the last step"))
+            }
+            _ => {}
+        }
+    }
+    Ok(steps)
+}
+
+fn parse_step(v: &Json) -> Result<Step, QueryError> {
+    let pairs = obj(v, "step")?;
+    if pairs.len() != 1 {
+        return Err(bad("each step must have exactly one key (filter/traverse/path/rank)"));
+    }
+    let (name, body) = &pairs[0];
+    match name.as_str() {
+        "filter" => Ok(Step::Filter(parse_filter(body, "filter")?)),
+        "traverse" => parse_traverse(body),
+        "path" => parse_path(body),
+        "rank" => parse_rank(body),
+        other => Err(bad(format!("unknown step {other:?}"))),
+    }
+}
+
+fn parse_filter(v: &Json, ctx: &str) -> Result<FilterSpec, QueryError> {
+    let pairs = obj(v, ctx)?;
+    let mut spec = FilterSpec::default();
+    for (k, val) in pairs {
+        match k.as_str() {
+            "type" => {
+                let t = str_field(val, "filter type")?;
+                spec.kind = Some(match t.as_str() {
+                    "topic" => KindSel::Topic,
+                    "doc" => KindSel::Doc,
+                    _ => KindSel::Entity(t),
+                });
+            }
+            "name" => spec.names.push(str_field(val, "filter name")?),
+            "names" => {
+                let arr = val.as_arr().ok_or_else(|| bad("\"names\" must be an array"))?;
+                for item in arr {
+                    spec.names.push(str_field(item, "filter names entry")?);
+                }
+            }
+            "years" => {
+                let ypairs = obj(val, "years")?;
+                let mut min = None;
+                let mut max = None;
+                for (yk, yv) in ypairs {
+                    let bound = yv
+                        .as_i64()
+                        .ok_or_else(|| bad(format!("years {yk} must be an integer")))?;
+                    match yk.as_str() {
+                        "min" => min = Some(bound),
+                        "max" => max = Some(bound),
+                        other => return Err(bad(format!("unknown years field {other:?}"))),
+                    }
+                }
+                if min.is_none() && max.is_none() {
+                    return Err(bad("years needs a min and/or max"));
+                }
+                if let (Some(lo), Some(hi)) = (min, max) {
+                    if lo > hi {
+                        return Err(bad("years min exceeds max"));
+                    }
+                }
+                spec.years = Some((min, max));
+            }
+            "topic" => spec.topic = Some(topic_ref(val, "filter topic")?),
+            "min_score" => {
+                let s = val
+                    .as_f64()
+                    .ok_or_else(|| bad("min_score must be a number"))?;
+                if !(0.0..=1.0).contains(&s) {
+                    return Err(bad("min_score must be in [0, 1]"));
+                }
+                spec.min_score = Some(s);
+            }
+            other => return Err(bad(format!("unknown filter field {other:?}"))),
+        }
+    }
+    if spec.names.len() > MAX_NAMES {
+        return Err(bad(format!("more than {MAX_NAMES} names in one filter")));
+    }
+    if spec.min_score.is_some() && spec.topic.is_none() {
+        return Err(bad("min_score requires a topic"));
+    }
+    if spec.kind.is_none()
+        && spec.names.is_empty()
+        && spec.years.is_none()
+        && spec.topic.is_none()
+    {
+        return Err(bad(format!("{ctx} has no predicates")));
+    }
+    Ok(spec)
+}
+
+fn parse_edge(name: &str, etype: Option<String>) -> Result<Edge, QueryError> {
+    match name {
+        "coauthor" => Ok(Edge::Coauthor),
+        "advisees" => Ok(Edge::Advisees),
+        "advisors" => Ok(Edge::Advisors),
+        "topics" => Ok(Edge::Topics),
+        "entities" => Ok(Edge::Entities(etype)),
+        "docs" => Ok(Edge::Docs),
+        "parent" => Ok(Edge::Parent),
+        "children" => Ok(Edge::Children),
+        other => Err(bad(format!("unknown edge {other:?}"))),
+    }
+}
+
+fn parse_traverse(v: &Json) -> Result<Step, QueryError> {
+    let pairs = obj(v, "traverse")?;
+    let mut edge_name = None;
+    let mut etype = None;
+    for (k, val) in pairs {
+        match k.as_str() {
+            "edge" => edge_name = Some(str_field(val, "traverse edge")?),
+            "type" => etype = Some(str_field(val, "traverse type")?),
+            other => return Err(bad(format!("unknown traverse field {other:?}"))),
+        }
+    }
+    let name = edge_name.ok_or_else(|| bad("traverse is missing \"edge\""))?;
+    if etype.is_some() && name != "entities" {
+        return Err(bad("traverse \"type\" only applies to the \"entities\" edge"));
+    }
+    Ok(Step::Traverse { edge: parse_edge(&name, etype)? })
+}
+
+fn parse_path(v: &Json) -> Result<Step, QueryError> {
+    let pairs = obj(v, "path")?;
+    let mut to = None;
+    let mut edges: Option<Vec<Edge>> = None;
+    let mut max_depth = None;
+    let mut mode = PathMode::Exists;
+    let mut limit = 100usize;
+    for (k, val) in pairs {
+        match k.as_str() {
+            "to" => to = Some(parse_filter(val, "path target")?),
+            "edges" => {
+                let arr = val.as_arr().ok_or_else(|| bad("path edges must be an array"))?;
+                let parsed: Vec<Edge> = arr
+                    .iter()
+                    .map(|e| parse_edge(&str_field(e, "path edge")?, None))
+                    .collect::<Result<_, _>>()?;
+                if parsed.is_empty() {
+                    return Err(bad("path edges must not be empty"));
+                }
+                edges = Some(parsed);
+            }
+            "max_depth" => max_depth = Some(usize_field(val, "max_depth", MAX_PATH_DEPTH)?),
+            "mode" => {
+                mode = match str_field(val, "path mode")?.as_str() {
+                    "exists" => PathMode::Exists,
+                    "paths" => PathMode::Paths,
+                    other => return Err(bad(format!("unknown path mode {other:?}"))),
+                }
+            }
+            "limit" => {
+                limit = usize_field(val, "path limit", MAX_PATH_LIMIT)?;
+                if limit == 0 {
+                    return Err(bad("path limit must be at least 1"));
+                }
+            }
+            other => return Err(bad(format!("unknown path field {other:?}"))),
+        }
+    }
+    let to = to.ok_or_else(|| bad("path is missing \"to\""))?;
+    if to.kind.is_none() {
+        return Err(bad("path target must name a \"type\""));
+    }
+    let edges = edges.ok_or_else(|| bad("path is missing \"edges\""))?;
+    let max_depth = max_depth.ok_or_else(|| bad("path is missing \"max_depth\""))?;
+    if max_depth == 0 {
+        return Err(bad("max_depth must be at least 1"));
+    }
+    Ok(Step::Path { to, edges, max_depth, mode, limit })
+}
+
+fn parse_rank(v: &Json) -> Result<Step, QueryError> {
+    let pairs = obj(v, "rank")?;
+    let mut by = None;
+    let mut topic = None;
+    let mut limit = None;
+    for (k, val) in pairs {
+        match k.as_str() {
+            "by" => {
+                by = Some(match str_field(val, "rank by")?.as_str() {
+                    "pop" => RankBy::Pop,
+                    "pur" => RankBy::Pur,
+                    "combined" => RankBy::Combined,
+                    other => return Err(bad(format!("unknown rank criterion {other:?}"))),
+                })
+            }
+            "topic" => topic = Some(topic_ref(val, "rank topic")?),
+            "limit" => {
+                let n = usize_field(val, "rank limit", MAX_PAGE)?;
+                if n == 0 {
+                    return Err(bad("rank limit must be at least 1"));
+                }
+                limit = Some(n);
+            }
+            other => return Err(bad(format!("unknown rank field {other:?}"))),
+        }
+    }
+    Ok(Step::Rank {
+        by: by.ok_or_else(|| bad("rank is missing \"by\""))?,
+        topic: topic.ok_or_else(|| bad("rank is missing \"topic\""))?,
+        limit,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Canonical serialization: a stable byte representation of the parsed steps,
+// independent of the submitted JSON's whitespace and field order. Cursors
+// hash these bytes so a cursor can only resume the exact program that
+// produced it.
+// ---------------------------------------------------------------------------
+
+fn push_filter(out: &mut String, spec: &FilterSpec) {
+    out.push_str("filter(");
+    match &spec.kind {
+        Some(KindSel::Entity(name)) => {
+            out.push_str("type=");
+            out.push_str(name);
+        }
+        Some(KindSel::Topic) => out.push_str("type=#topic"),
+        Some(KindSel::Doc) => out.push_str("type=#doc"),
+        None => {}
+    }
+    for name in &spec.names {
+        out.push_str(";name=");
+        out.push_str(name);
+    }
+    if let Some((min, max)) = &spec.years {
+        out.push_str(";years=");
+        if let Some(lo) = min {
+            out.push_str(&lo.to_string());
+        }
+        out.push_str("..");
+        if let Some(hi) = max {
+            out.push_str(&hi.to_string());
+        }
+    }
+    if let Some(t) = &spec.topic {
+        out.push_str(";topic=");
+        match t {
+            TopicRef::Id(id) => out.push_str(&id.to_string()),
+            TopicRef::Path(p) => out.push_str(p),
+        }
+    }
+    if let Some(s) = spec.min_score {
+        out.push_str(&format!(";min_score={}", s.to_bits()));
+    }
+    out.push(')');
+}
+
+/// Renders the program's canonical form (hashed into cursors).
+pub fn canonical_steps(steps: &[Step]) -> String {
+    let mut out = String::new();
+    for step in steps {
+        if !out.is_empty() {
+            out.push('|');
+        }
+        match step {
+            Step::Filter(spec) => push_filter(&mut out, spec),
+            Step::Traverse { edge } => {
+                out.push_str("traverse(");
+                out.push_str(edge.name());
+                if let Edge::Entities(Some(t)) = edge {
+                    out.push_str(";type=");
+                    out.push_str(t);
+                }
+                out.push(')');
+            }
+            Step::Path { to, edges, max_depth, mode, limit } => {
+                out.push_str("path(to=");
+                push_filter(&mut out, to);
+                out.push_str(";edges=");
+                for (i, e) in edges.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(e.name());
+                }
+                out.push_str(&format!(
+                    ";max_depth={max_depth};mode={};limit={limit})",
+                    match mode {
+                        PathMode::Exists => "exists",
+                        PathMode::Paths => "paths",
+                    }
+                ));
+            }
+            Step::Rank { by, topic, limit } => {
+                out.push_str("rank(by=");
+                out.push_str(match by {
+                    RankBy::Pop => "pop",
+                    RankBy::Pur => "pur",
+                    RankBy::Combined => "combined",
+                });
+                out.push_str(";topic=");
+                match topic {
+                    TopicRef::Id(id) => out.push_str(&id.to_string()),
+                    TopicRef::Path(p) => out.push_str(p),
+                }
+                if let Some(n) = limit {
+                    out.push_str(&format!(";limit={n}"));
+                }
+                out.push(')');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_program() {
+        let req = parse_request(
+            r#"{"steps": [
+                {"filter": {"type": "author", "name": "alice"}},
+                {"traverse": {"edge": "advisees"}},
+                {"filter": {"topic": "o/1", "years": {"min": 2006}}},
+                {"rank": {"by": "combined", "topic": "o/1", "limit": 10}}
+            ], "page": 20}"#,
+        )
+        .unwrap();
+        assert_eq!(req.steps.len(), 4);
+        assert_eq!(req.page, Some(20));
+        assert!(matches!(req.steps[1], Step::Traverse { edge: Edge::Advisees }));
+    }
+
+    #[test]
+    fn canonical_form_ignores_field_order_and_whitespace() {
+        let a = parse_request(r#"{"steps":[{"filter":{"type":"author","years":{"min":2000}}}]}"#)
+            .unwrap();
+        let b = parse_request(
+            r#"{ "steps" : [ { "filter" : { "years" : { "min" : 2000 }, "type" : "author" } } ] }"#,
+        )
+        .unwrap();
+        assert_eq!(canonical_steps(&a.steps), canonical_steps(&b.steps));
+    }
+
+    #[test]
+    fn strict_rejection_of_malformed_programs() {
+        for bad in [
+            r#"{}"#,
+            r#"{"steps": []}"#,
+            r#"{"steps": [{"warp": {}}]}"#,
+            r#"{"steps": [{"filter": {"type": "author"}, "rank": {}}]}"#,
+            r#"{"steps": [{"traverse": {"edge": "coauthor"}}]}"#,
+            r#"{"steps": [{"filter": {"name": "x"}}]}"#,
+            r#"{"steps": [{"filter": {"type": "author"}}, {"rank": {"by": "pop", "topic": 0}}, {"traverse": {"edge": "coauthor"}}]}"#,
+            r#"{"steps": [{"filter": {"type": "author"}}], "page": 0}"#,
+            r#"{"steps": [{"filter": {"type": "author"}}], "page": 10, "cursor": "q1.x.0.10"}"#,
+            r#"{"steps": [{"filter": {"type": "author", "min_score": 0.5}}]}"#,
+            r#"{"steps": [{"filter": {"type": "author", "years": {"min": 2010, "max": 2000}}}]}"#,
+            r#"{"steps": [{"filter": {"type": "author"}}, {"path": {"to": {"type": "author"}, "edges": ["coauthor"], "max_depth": 99}}]}"#,
+            r#"{"steps": [{"filter": {"type": "author"}}, {"traverse": {"edge": "coauthor", "type": "venue"}}]}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+}

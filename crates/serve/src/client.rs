@@ -40,6 +40,28 @@ pub fn http_get(addr: &str, target: &str, timeout: Duration) -> std::io::Result<
     read_response(&mut BufReader::new(stream))
 }
 
+/// Issues `POST {target}` with a body (framed by `Content-Length`)
+/// against `addr`. Used for `POST /query`.
+pub fn http_post(
+    addr: &str,
+    target: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<FetchedResponse> {
+    let stream = connect(addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
 fn connect(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
     use std::net::ToSocketAddrs;
     let mut last = None;

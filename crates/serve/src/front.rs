@@ -18,8 +18,15 @@
 //!   order is total, the merged page is byte-identical to the unsharded
 //!   answer for any shard count (DESIGN.md §11, §13).
 //!
+//! * `POST /query` needs the whole document set at once (traversals
+//!   cross shard boundaries), so the front instead fetches every shard's
+//!   `/internal/qparts` contribution once, merges them into the exact
+//!   parts an unsharded server extracts, and runs the same query engine
+//!   locally (see `ServerState::query_state`; DESIGN.md §14).
+//!
 //! Fronts also answer `/internal/search` (returning merged lines *with*
-//! prefixes), so fronts compose over fronts.
+//! prefixes) and `/internal/qparts` (returning the merged parts), so
+//! fronts compose over fronts.
 
 use crate::cache::FnvHasher;
 use crate::client::{http_get, FetchedResponse};
@@ -151,6 +158,32 @@ impl Front {
             body.push('\n');
         }
         Response::ok(body)
+    }
+
+    /// Fetches `/internal/qparts` from **every** shard and merges the
+    /// contributions into the parts an unsharded server would extract:
+    /// replicated metadata from the first shard, document records
+    /// re-sorted by global id. Any unreachable or malformed shard aborts
+    /// with the 503 to send — a partial index would silently answer
+    /// queries wrong, which is worse than failing loudly.
+    pub fn fetch_parts(&self) -> Result<lesm_query::IndexParts, Response> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for addr in &self.shards {
+            let fetched = http_get(addr, "/internal/qparts", self.timeout)
+                .map_err(|e| Response::error(503, &format!("shard unavailable: {e}")))?;
+            if fetched.status != 200 {
+                return Err(Response::error(
+                    503,
+                    &format!("shard {addr} answered {}", fetched.status),
+                ));
+            }
+            let p = lesm_query::IndexParts::parse_text(&fetched.text()).map_err(|e| {
+                Response::error(503, &format!("shard {addr} sent bad parts: {e}"))
+            })?;
+            parts.push(p);
+        }
+        lesm_query::IndexParts::merge(parts)
+            .map_err(|e| Response::error(503, &format!("parts merge failed: {e}")))
     }
 }
 

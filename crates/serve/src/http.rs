@@ -2,9 +2,10 @@
 //!
 //! Hand-rolled over `std::io` in the same spirit as the workspace's
 //! vendored stand-ins — the request line and headers are parsed with
-//! explicit size caps, bodies are ignored (every endpoint is `GET`), and
-//! responses always close the connection (`Connection: close`), which
-//! keeps the worker-pool accounting trivial.
+//! explicit size caps, bodies are read only up to a hard cap (`POST
+//! /query` is the single body-carrying endpoint), and responses always
+//! close the connection (`Connection: close`), which keeps the
+//! worker-pool accounting trivial.
 
 use std::io::{BufRead, Write};
 
@@ -12,6 +13,8 @@ use std::io::{BufRead, Write};
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Cap on the number of header lines.
 const MAX_HEADERS: usize = 100;
+/// Cap on a request body (`POST /query` payloads), in bytes.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
 
 /// A parsed request head.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,16 +25,30 @@ pub struct Request {
     pub path: String,
     /// Raw query string (no leading `?`; empty when absent).
     pub raw_query: String,
+    /// Request body (empty for bodyless requests; UTF-8, lossy).
+    pub body: String,
 }
 
 impl Request {
-    /// The request target as received (path plus `?query` when present) —
-    /// the response-cache key.
+    /// The request target as received (path plus `?query` when present).
     pub fn target(&self) -> String {
         if self.raw_query.is_empty() {
             self.path.clone()
         } else {
             format!("{}?{}", self.path, self.raw_query)
+        }
+    }
+
+    /// The response-cache key: the target, plus the body for
+    /// body-carrying requests so distinct `POST /query` payloads never
+    /// collide. Body-carrying keys start `/query\n`, a prefix no
+    /// cacheable GET endpoint routes to, so the two key spaces are
+    /// disjoint.
+    pub fn cache_key(&self) -> String {
+        if self.body.is_empty() {
+            self.target()
+        } else {
+            format!("{}\n{}", self.target(), self.body)
         }
     }
 
@@ -53,6 +70,10 @@ pub enum HttpParseError {
     BadRequestLine(String),
     /// The head exceeded [`MAX_HEAD_BYTES`] or [`MAX_HEADERS`].
     TooLarge,
+    /// A `Content-Length` header did not parse as an integer.
+    BadContentLength,
+    /// The declared body length exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge,
 }
 
 impl std::fmt::Display for HttpParseError {
@@ -61,6 +82,8 @@ impl std::fmt::Display for HttpParseError {
             HttpParseError::Incomplete => write!(f, "connection closed mid-request"),
             HttpParseError::BadRequestLine(line) => write!(f, "bad request line {line:?}"),
             HttpParseError::TooLarge => write!(f, "request head too large"),
+            HttpParseError::BadContentLength => write!(f, "bad content-length header"),
+            HttpParseError::BodyTooLarge => write!(f, "request body too large"),
         }
     }
 }
@@ -115,24 +138,49 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpParseErr
         _ => return Err(HttpParseError::BadRequestLine(request_line)),
     };
     let _ = version;
-    // Drain headers up to the blank line; contents are irrelevant to the
-    // fixed GET endpoints but must be consumed for well-formed clients.
+    // Drain headers up to the blank line. Only `Content-Length` is
+    // interpreted (it frames the body of `POST /query`); everything else
+    // must still be consumed for well-formed clients.
+    let mut content_length = 0usize;
     for _ in 0..MAX_HEADERS {
         line.clear();
         if read_line(reader, &mut line, &mut head_bytes)? == 0 {
             return Err(HttpParseError::Incomplete);
         }
         if line == "\r\n" || line == "\n" {
+            let body = read_body(reader, content_length)?;
             let (raw_path, raw_query) =
                 target.split_once('?').unwrap_or((target.as_str(), ""));
             return Ok(Request {
                 method,
                 path: percent_decode(raw_path),
                 raw_query: raw_query.to_string(),
+                body,
             });
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    value.trim().parse().map_err(|_| HttpParseError::BadContentLength)?;
+            }
         }
     }
     Err(HttpParseError::TooLarge)
+}
+
+/// Reads exactly `content_length` body bytes (lossy UTF-8), enforcing
+/// [`MAX_BODY_BYTES`] *before* allocating or reading anything.
+fn read_body<R: BufRead>(reader: &mut R, content_length: usize) -> Result<String, HttpParseError> {
+    if content_length == 0 {
+        return Ok(String::new());
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpParseError::BodyTooLarge);
+    }
+    let mut buf = vec![0u8; content_length];
+    reader.read_exact(&mut buf).map_err(|_| HttpParseError::Incomplete)?;
+    Ok(String::from_utf8_lossy(&buf).into_owned())
 }
 
 fn read_line<R: BufRead>(
@@ -223,6 +271,33 @@ mod tests {
         assert_eq!(req.query_param("top").as_deref(), Some("5"));
         assert_eq!(req.query_param("missing"), None);
         assert_eq!(req.target(), "/search?q=query+processing&top=5");
+        assert!(req.body.is_empty());
+        assert_eq!(req.cache_key(), req.target());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let raw = "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\":[]}\ntrailing ignored";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.body, "{\"a\":[]}\n");
+        assert_eq!(req.cache_key(), "/query\n{\"a\":[]}\n");
+    }
+
+    #[test]
+    fn body_limits_are_typed() {
+        let huge = format!("POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(parse(&huge), Err(HttpParseError::BodyTooLarge)));
+        assert!(matches!(
+            parse("POST /query HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpParseError::BadContentLength)
+        ));
+        // Declared length longer than the stream: incomplete, not a hang.
+        assert!(matches!(
+            parse("POST /query HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"),
+            Err(HttpParseError::Incomplete)
+        ));
     }
 
     #[test]

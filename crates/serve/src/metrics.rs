@@ -20,20 +20,24 @@ pub enum Endpoint {
     Healthz,
     /// `GET /metrics`.
     Metrics,
-    /// `GET /internal/search` (shard fan-out traffic from a front tier).
+    /// `GET /internal/search` and `GET /internal/qparts` (shard fan-out
+    /// traffic from a front tier).
     Internal,
+    /// `POST /query`.
+    Query,
     /// Anything else (404/405/400 traffic).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 7] = [
+    const ALL: [Endpoint; 8] = [
         Endpoint::Search,
         Endpoint::Topics,
         Endpoint::Hierarchy,
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Internal,
+        Endpoint::Query,
         Endpoint::Other,
     ];
 
@@ -45,7 +49,8 @@ impl Endpoint {
             Endpoint::Healthz => 3,
             Endpoint::Metrics => 4,
             Endpoint::Internal => 5,
-            Endpoint::Other => 6,
+            Endpoint::Query => 6,
+            Endpoint::Other => 7,
         }
     }
 
@@ -58,6 +63,7 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Internal => "internal",
+            Endpoint::Query => "query",
             Endpoint::Other => "other",
         }
     }
@@ -76,7 +82,7 @@ struct EndpointCounters {
 /// All server counters.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    endpoints: [EndpointCounters; 7],
+    endpoints: [EndpointCounters; 8],
     shed: AtomicU64,
 }
 
@@ -213,6 +219,7 @@ mod tests {
         assert!(text.contains("lesm_request_latency_us_max{endpoint=\"search\"} 150"));
         assert!(text.contains("lesm_requests_total{endpoint=\"hierarchy\"} 0"));
         assert!(text.contains("lesm_requests_total{endpoint=\"internal\"} 0"));
+        assert!(text.contains("lesm_requests_total{endpoint=\"query\"} 0"));
         m.record_shed();
         m.record_shed();
         assert_eq!(m.shed(), 2);

@@ -113,6 +113,27 @@ impl Model {
             Model::Mapped(m) => hierarchy_to_json_view(m, top_n),
         }
     }
+
+    /// Extracts the canonical [`lesm_query::IndexParts`] for the query
+    /// engine. The owned path reads the model directly; the mapped path
+    /// fully decodes the cold section once (query-index construction is a
+    /// cold, memoized event — see `ServerState`) and keys documents by
+    /// their **global** ids, so owned-vs-mapped and sharded-vs-unsharded
+    /// builds are byte-identical downstream (DESIGN.md §14).
+    pub fn query_parts(&self) -> Result<lesm_query::IndexParts, String> {
+        match self {
+            Model::Owned(s) => {
+                lesm_query::IndexParts::from_model(&s.corpus, &s.mined, None)
+                    .map_err(|e| e.to_string())
+            }
+            Model::Mapped(m) => {
+                let ids: Vec<u64> = (0..m.num_docs()).map(|d| m.doc_id(d)).collect();
+                let snap = m.to_snapshot().map_err(|e| e.to_string())?;
+                lesm_query::IndexParts::from_model(&snap.corpus, &snap.mined, Some(&ids))
+                    .map_err(|e| e.to_string())
+            }
+        }
+    }
 }
 
 /// Query text → known token ids (mirrors `lesm_core::search::search`).

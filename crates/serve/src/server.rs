@@ -32,6 +32,7 @@ use crate::metrics::{Endpoint, Metrics};
 use crate::query::Model;
 use crate::snapshot::Snapshot;
 use crate::ServeError;
+use lesm_query::QueryIndex;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -89,11 +90,22 @@ enum Backend {
     Front(Front),
 }
 
+/// The memoized query-engine state: the canonical parts serialization
+/// (served verbatim at `/internal/qparts`) and the index built from the
+/// same parts (executed by `POST /query`). Built lazily on first use —
+/// local backends extract parts from the model, fronts fan out to every
+/// shard's `/internal/qparts` and merge — and invalidated on hot-swap.
+struct QueryState {
+    parts_text: String,
+    index: QueryIndex,
+}
+
 struct ServerState {
     backend: Backend,
     cache: ShardedLruCache<Response>,
     metrics: Metrics,
     top_n: usize,
+    query: RwLock<Option<Arc<QueryState>>>,
 }
 
 impl ServerState {
@@ -107,6 +119,33 @@ impl ServerState {
             }
             Backend::Front(_) => None,
         }
+    }
+
+    /// The query state, building and memoizing it on first use. Failures
+    /// (front with an unreachable shard, a model that fails to decode)
+    /// are returned as the response to send and are *not* memoized, so a
+    /// recovered shard serves the next request normally. Two workers
+    /// racing the first build both compute the identical state; the last
+    /// write wins, which is harmless because the build is deterministic.
+    fn query_state(&self) -> Result<Arc<QueryState>, Response> {
+        if let Some(qs) = self.query.read().unwrap_or_else(|p| p.into_inner()).as_ref() {
+            return Ok(Arc::clone(qs));
+        }
+        let parts = match &self.backend {
+            Backend::Local(_) => {
+                let model =
+                    self.model().ok_or_else(|| Response::error(404, "no such endpoint"))?;
+                model
+                    .query_parts()
+                    .map_err(|e| Response::error(500, &format!("query index build failed: {e}")))?
+            }
+            Backend::Front(front) => front.fetch_parts()?,
+        };
+        let parts_text = parts.to_text();
+        let index = QueryIndex::build(parts);
+        let qs = Arc::new(QueryState { parts_text, index });
+        *self.query.write().unwrap_or_else(|p| p.into_inner()) = Some(Arc::clone(&qs));
+        Ok(qs)
     }
 }
 
@@ -153,6 +192,9 @@ impl Server {
                             *slot.write().unwrap_or_else(|p| p.into_inner()) = Arc::new(model);
                         }
                         state.cache.clear();
+                        // The query index is a pure function of the model:
+                        // drop it with the old version.
+                        *state.query.write().unwrap_or_else(|p| p.into_inner()) = None;
                         active = next;
                     }
                     Err(_) => continue,
@@ -217,6 +259,7 @@ impl Server {
             cache: ShardedLruCache::new(config.cache_capacity, config.cache_shards),
             metrics: Metrics::new(),
             top_n: config.top_n,
+            query: RwLock::new(None),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = sync_channel::<TcpStream>(config.queue_depth);
@@ -336,6 +379,12 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, config: &Serve
         Err(HttpParseError::TooLarge) => {
             (Endpoint::Other, Arc::new(Response::error(400, "request head too large")))
         }
+        Err(HttpParseError::BodyTooLarge) => {
+            (Endpoint::Other, Arc::new(Response::error(400, "request body too large")))
+        }
+        Err(HttpParseError::BadContentLength) => {
+            (Endpoint::Other, Arc::new(Response::error(400, "bad content-length header")))
+        }
         Err(HttpParseError::BadRequestLine(line)) => {
             (Endpoint::Other, Arc::new(Response::error(400, &format!("bad request line: {line}"))))
         }
@@ -356,12 +405,21 @@ fn route(req: &Request, state: &Arc<ServerState>) -> (Endpoint, Arc<Response>) {
         "/hierarchy" => Endpoint::Hierarchy,
         "/healthz" => Endpoint::Healthz,
         "/metrics" => Endpoint::Metrics,
-        "/internal/search" => Endpoint::Internal,
+        "/internal/search" | "/internal/qparts" => Endpoint::Internal,
+        "/query" => Endpoint::Query,
         p if p.starts_with("/topics/") => Endpoint::Topics,
         _ => Endpoint::Other,
     };
-    if req.method != "GET" {
-        return (endpoint, Arc::new(Response::error(405, "only GET is supported")));
+    // `/query` takes its program in the body, so it is the one POST
+    // endpoint; everything else stays GET-only.
+    let expected = if endpoint == Endpoint::Query { "POST" } else { "GET" };
+    if req.method != expected {
+        let message = if endpoint == Endpoint::Query {
+            "use POST for /query"
+        } else {
+            "only GET is supported"
+        };
+        return (endpoint, Arc::new(Response::error(405, message)));
     }
     match endpoint {
         Endpoint::Healthz => (endpoint, Arc::new(Response::ok("ok\n"))),
@@ -372,11 +430,12 @@ fn route(req: &Request, state: &Arc<ServerState>) -> (Endpoint, Arc<Response>) {
 }
 
 /// Serves a query endpoint through the response cache. Only successful
-/// responses are cached; the key is the full request target, so distinct
-/// queries never collide. Hits hand back the cached `Arc` — no byte of
-/// the response is copied until it is written to the socket.
+/// responses are cached; the key is the full request target — plus the
+/// body for `POST /query` — so distinct queries never collide. Hits hand
+/// back the cached `Arc` — no byte of the response is copied until it is
+/// written to the socket.
 fn cached(endpoint: Endpoint, req: &Request, state: &Arc<ServerState>) -> Arc<Response> {
-    let key = req.target();
+    let key = req.cache_key();
     if let Some(hit) = state.cache.get(&key) {
         state.metrics.record_cache_hit(endpoint);
         return hit;
@@ -390,6 +449,20 @@ fn cached(endpoint: Endpoint, req: &Request, state: &Arc<ServerState>) -> Arc<Re
 }
 
 fn compute(endpoint: Endpoint, req: &Request, state: &Arc<ServerState>) -> Response {
+    // The query engine runs the same code path on every backend: a local
+    // server indexes its own model, a front indexes the shard-merged
+    // parts, and `run_query` over either index is byte-identical to the
+    // unsharded answer (DESIGN.md §14).
+    match endpoint {
+        Endpoint::Query => return handle_query(req, state),
+        Endpoint::Internal if req.path == "/internal/qparts" => {
+            return match state.query_state() {
+                Ok(qs) => Response::ok(qs.parts_text.clone()),
+                Err(response) => response,
+            };
+        }
+        _ => {}
+    }
     if let Backend::Front(front) = &state.backend {
         return match endpoint {
             Endpoint::Search => front.search(req, state.top_n, false),
@@ -409,6 +482,22 @@ fn compute(endpoint: Endpoint, req: &Request, state: &Arc<ServerState>) -> Respo
         Endpoint::Topics => handle_topic(req, &model, state.top_n),
         Endpoint::Hierarchy => Response::json(model.hierarchy_json(state.top_n)),
         _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// Executes `POST /query`: parse, run, render — all inside
+/// `lesm_query::run_query`, which is a pure function of (index, body).
+/// Malformed programs and cursors are the client's fault (400, typed
+/// message); only an index that cannot be built is a server error.
+fn handle_query(req: &Request, state: &Arc<ServerState>) -> Response {
+    let qs = match state.query_state() {
+        Ok(qs) => qs,
+        Err(response) => return response,
+    };
+    match lesm_query::run_query(&qs.index, &req.body) {
+        Ok(body) => Response::json(body),
+        Err(e) if e.is_request_error() => Response::error(400, &e.to_string()),
+        Err(e) => Response::error(500, &e.to_string()),
     }
 }
 

@@ -1,0 +1,267 @@
+//! End-to-end tests for `POST /query` (DESIGN.md §14).
+//!
+//! The determinism contract under test: the same query body — including
+//! cursor resumptions — answers byte-identically on an owned-snapshot
+//! backend, a v2 zero-copy mapped backend, 1 vs 4 workers, a front tier
+//! over 1/2/4 shards, and across two restarts of the same server. Error
+//! paths (malformed bodies, wrong method, oversized payloads) are part
+//! of the contract and compared the same way.
+
+use lesm_core::pipeline::{LatentStructureMiner, MinedStructure, MinerConfig};
+use lesm_corpus::synth::{PapersConfig, SyntheticPapers};
+use lesm_corpus::Corpus;
+use lesm_serve::metrics::Endpoint;
+use lesm_serve::server::{Server, ServerConfig, ServerHandle};
+use lesm_serve::{load_snapshot, save_snapshot, ShardBy};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn fixture(seed: u64) -> (Corpus, MinedStructure) {
+    let papers = SyntheticPapers::generate(&PapersConfig::dblp(80, seed)).expect("synth corpus");
+    let mut config = MinerConfig::default();
+    config.hierarchy.max_depth = 1;
+    config.phrase_min_support = 2;
+    config.threads = 2;
+    let mined = LatentStructureMiner::mine(&papers.corpus, &config).expect("mine");
+    (papers.corpus, mined)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lesm-query-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Minimal HTTP/1.1 POST client: one request, reads to EOF. `(status, body)`.
+fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let header_end = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("response head");
+    let head = std::str::from_utf8(&raw[..header_end]).expect("utf-8 head");
+    let status: u16 =
+        head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status code");
+    (status, raw[header_end + 4..].to_vec())
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let header_end = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("response head");
+    let head = std::str::from_utf8(&raw[..header_end]).expect("utf-8 head");
+    let status: u16 =
+        head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status code");
+    (status, raw[header_end + 4..].to_vec())
+}
+
+/// The query mix: success and error paths alike. Programs use type-only
+/// seeds so they are valid against any mined fixture.
+const BODIES: &[&str] = &[
+    // Valid programs.
+    r#"{"steps":[{"filter":{"type":"author"}}],"page":7}"#,
+    r#"{"steps":[{"filter":{"type":"doc","years":{"min":2003,"max":2010}}}],"page":5}"#,
+    r#"{"steps":[{"filter":{"type":"author"}},{"traverse":{"edge":"coauthor"}},{"traverse":{"edge":"topics"}}]}"#,
+    r#"{"steps":[{"filter":{"type":"topic"}},{"traverse":{"edge":"children"}},{"traverse":{"edge":"entities","type":"venue"}}],"page":9}"#,
+    r#"{"steps":[{"filter":{"type":"author"}},{"rank":{"by":"combined","topic":0,"limit":10}}]}"#,
+    r#"{"steps":[{"filter":{"type":"venue"}},{"traverse":{"edge":"docs"}}],"page":11}"#,
+    r#"{"steps":[{"filter":{"type":"author"}},{"path":{"to":{"type":"topic"},"edges":["topics","parent"],"max_depth":3}}],"page":13}"#,
+    // Typed request errors (all must be 400, byte-identical everywhere).
+    r#"{"#,
+    r#"{"steps":[]}"#,
+    r#"{"steps":[{"warp":{}}]}"#,
+    r#"{"steps":[{"filter":{"type":"no-such-type"}}]}"#,
+    r#"{"steps":[{"filter":{"type":"author","topic":"zzz/9"}}]}"#,
+    r#"{"steps":[{"filter":{"type":"author"}}],"cursor":"q1.zzzz.0.5"}"#,
+    r#"{"steps":[{"filter":{"type":"author"}}],"page":0}"#,
+];
+
+/// Collects `(status, body)` for the full mix plus a two-page cursor walk.
+fn collect(addr: SocketAddr) -> Vec<(u16, Vec<u8>)> {
+    let mut out: Vec<(u16, Vec<u8>)> = BODIES.iter().map(|b| post(addr, "/query", b)).collect();
+    // Cursor walk: page 1 of the author scan, then resume from its cursor.
+    let (status, first) = out[0].clone();
+    assert_eq!(status, 200, "author scan must succeed: {}", String::from_utf8_lossy(&first));
+    let text = String::from_utf8(first).expect("utf-8 response");
+    let cursor = text
+        .split("\"next_cursor\":\"")
+        .nth(1)
+        .and_then(|t| t.split('"').next())
+        .expect("page 7 over 80 docs of authors must leave a next page");
+    let resume = format!(r#"{{"steps":[{{"filter":{{"type":"author"}}}}],"cursor":"{cursor}"}}"#);
+    out.push(post(addr, "/query", &resume));
+    out
+}
+
+fn start_owned(corpus: &Corpus, mined: &MinedStructure, workers: usize) -> ServerHandle {
+    Server::start(
+        load_snapshot(&save_snapshot(corpus, mined)).expect("round-trip"),
+        ServerConfig { workers, ..ServerConfig::default() },
+    )
+    .expect("bind owned")
+}
+
+#[test]
+fn query_responses_byte_identical_across_backends_workers_and_shards() {
+    let (corpus, mined) = fixture(9);
+
+    // Baseline: one unsharded owned-snapshot server, 2 workers.
+    let baseline_handle = start_owned(&corpus, &mined, 2);
+    let baseline = collect(baseline_handle.addr());
+    baseline_handle.shutdown();
+    assert!(baseline.iter().any(|(s, _)| *s == 200));
+    assert!(baseline.iter().any(|(s, _)| *s == 400));
+
+    let mut variants: Vec<(String, ServerHandle, Option<PathBuf>)> = Vec::new();
+
+    // Worker-count variants over the owned backend.
+    for workers in [1usize, 4] {
+        variants.push((format!("owned-{workers}w"), start_owned(&corpus, &mined, workers), None));
+    }
+
+    // v2 zero-copy mapped backend.
+    let dir = tmp_dir("v2");
+    let v2_path = dir.join("model.lesm");
+    lesm_serve::save_snapshot_v2_file(v2_path.to_str().expect("utf-8 path"), &corpus, &mined)
+        .expect("save v2");
+    let mapped = lesm_serve::load_model_file(v2_path.to_str().expect("utf-8 path")).expect("map");
+    variants.push((
+        "mapped-v2".into(),
+        Server::start_model(mapped, ServerConfig { workers: 2, ..ServerConfig::default() })
+            .expect("bind mapped"),
+        Some(dir),
+    ));
+
+    // Front tier over 1/2/4 shards: /query fans /internal/qparts out to
+    // every shard and executes over the merged parts.
+    for shards in [1usize, 2, 4] {
+        let dir = tmp_dir(&format!("shards-{shards}"));
+        lesm_serve::write_shards(&corpus, &mined, ShardBy::EntityRange, shards, &dir)
+            .expect("write shards");
+        let handle = Server::start_sharded(
+            &dir.join("manifest.json"),
+            ServerConfig { workers: 2, ..ServerConfig::default() },
+        )
+        .expect("boot sharded tier");
+        variants.push((format!("front-{shards}shards"), handle, Some(dir)));
+    }
+
+    for (name, handle, dir) in variants {
+        let got = collect(handle.addr());
+        for (i, (g, want)) in got.iter().zip(&baseline).enumerate() {
+            assert_eq!(
+                g,
+                want,
+                "{name}: query {i} differs, got {:?}, want {:?}",
+                String::from_utf8_lossy(&g.1),
+                String::from_utf8_lossy(&want.1),
+            );
+        }
+        handle.shutdown();
+        if let Some(dir) = dir {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn query_pages_are_byte_identical_across_restarts() {
+    let (corpus, mined) = fixture(23);
+    let bytes = save_snapshot(&corpus, &mined);
+
+    let run = || {
+        let handle = Server::start(
+            load_snapshot(&bytes).expect("load"),
+            ServerConfig { workers: 2, ..ServerConfig::default() },
+        )
+        .expect("bind");
+        let pages = collect(handle.addr());
+        handle.shutdown();
+        pages
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "restarting the server changed some /query response");
+}
+
+#[test]
+fn query_method_and_size_limits() {
+    let (corpus, mined) = fixture(9);
+    let handle = start_owned(&corpus, &mined, 2);
+    let addr = handle.addr();
+
+    // /query is POST-only.
+    let (status, body) = get(addr, "/query");
+    assert_eq!(status, 405);
+    assert_eq!(body, b"use POST for /query\n");
+
+    // Other endpoints still reject POST.
+    let (status, _) = post(addr, "/hierarchy", "{}");
+    assert_eq!(status, 405);
+
+    // A body over MAX_BODY_BYTES is a typed 400, not a hang or a panic.
+    // The server answers from the headers alone, so the client's body
+    // write can race the close — tolerate a failed write and still read
+    // whatever response made it out.
+    let huge = format!(
+        r#"{{"steps":[{{"filter":{{"type":"author","name":"{}"}}}}]}}"#,
+        "x".repeat(lesm_serve::http::MAX_BODY_BYTES)
+    );
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let _ = write!(
+        stream,
+        "POST /query HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{huge}",
+        huge.len()
+    );
+    let mut raw = Vec::new();
+    let _ = stream.read_to_end(&mut raw);
+    let head = String::from_utf8_lossy(&raw);
+    assert!(head.starts_with("HTTP/1.1 400 "), "oversized body must get a 400, got {head:?}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn query_endpoint_records_cache_and_request_metrics() {
+    let (corpus, mined) = fixture(9);
+    let handle = start_owned(&corpus, &mined, 2);
+    let addr = handle.addr();
+    let body = r#"{"steps":[{"filter":{"type":"author"}}],"page":3}"#;
+
+    let (s1, b1) = post(addr, "/query", body);
+    let (s2, b2) = post(addr, "/query", body);
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(b1, b2, "cached response must be byte-identical to the computed one");
+
+    let m = handle.metrics();
+    assert_eq!(m.requests(Endpoint::Query), 2);
+    assert_eq!(m.cache_misses(Endpoint::Query), 1, "first request must miss");
+    assert_eq!(m.cache_hits(Endpoint::Query), 1, "second request must hit");
+
+    // A different body is a different cache key.
+    let other = r#"{"steps":[{"filter":{"type":"venue"}}],"page":3}"#;
+    let (s3, _) = post(addr, "/query", other);
+    assert_eq!(s3, 200);
+    assert_eq!(m.cache_misses(Endpoint::Query), 2);
+
+    // The exposition format carries the query row.
+    let (status, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(text).expect("utf-8 metrics");
+    assert!(text.contains("lesm_requests_total{endpoint=\"query\"} 3"), "{text}");
+    handle.shutdown();
+}

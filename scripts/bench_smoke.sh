@@ -22,6 +22,7 @@ serve_out="${3:-BENCH_serve.json}"
 strod_out="${4:-BENCH_strod.json}"
 linalg_out="${5:-BENCH_linalg.json}"
 replay_out="${6:-BENCH_replay.json}"
+query_out="${7:-BENCH_query.json}"
 # cargo runs bench binaries from the package dir, so the JSON paths must be
 # absolute for all records to land in one file.
 case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
@@ -30,6 +31,7 @@ case "$serve_out" in /*) ;; *) serve_out="$PWD/$serve_out" ;; esac
 case "$strod_out" in /*) ;; *) strod_out="$PWD/$strod_out" ;; esac
 case "$linalg_out" in /*) ;; *) linalg_out="$PWD/$linalg_out" ;; esac
 case "$replay_out" in /*) ;; *) replay_out="$PWD/$replay_out" ;; esac
+case "$query_out" in /*) ;; *) query_out="$PWD/$query_out" ;; esac
 : > "$out"
 export LESM_BENCH_FAST=1
 export LESM_BENCH_JSON="$out"
@@ -74,6 +76,18 @@ cargo bench -p lesm-bench --bench bench_replay
 
 echo "wrote $(wc -l < "$replay_out") bench records to $replay_out"
 
+# Typed-query engine (DESIGN.md §14): the four program families
+# (filter-only, 2-hop traverse, path enumeration, rank + cursor
+# pagination) through `lesm_query::run_query` over the 50k-document
+# replay model, byte-identity asserted on every iteration. Full sampling
+# for cross-PR comparability.
+: > "$query_out"
+export LESM_BENCH_JSON="$query_out"
+
+cargo bench -p lesm-bench --bench bench_query
+
+echo "wrote $(wc -l < "$query_out") bench records to $query_out"
+
 # STROD trajectory: moment construction, the power method, and the
 # end-to-end fit (the allocation-free kernel rewrite's numbers). Fast mode:
 # the end-to-end fit over 3k documents is too slow for full sampling in a
@@ -101,6 +115,6 @@ echo "wrote $(wc -l < "$linalg_out") bench records to $linalg_out"
 # Informational regression tripwire: compare every fresh median against
 # the committed baseline of the same file. Warns (never fails) on >20%
 # regressions — see scripts/bench_check.sh.
-for f in "$out" "$em_out" "$serve_out" "$strod_out" "$linalg_out" "$replay_out"; do
+for f in "$out" "$em_out" "$serve_out" "$strod_out" "$linalg_out" "$replay_out" "$query_out"; do
     scripts/bench_check.sh "$f"
 done

@@ -4,7 +4,9 @@
 # Builds the `lesm-fuzz` binary and drives a bounded batch of hostile
 # (corpus shape × config mutation) cases through the full
 # mine → export → snapshot → load → search chain, plus the non-finite
-# snapshot, CLI-argument, and TSV-loader batteries. The binary prints a
+# snapshot, CLI-argument, TSV-loader, and hostile-query-program
+# (lesm-query: malformed JSON, unknown steps, cyclic traversals,
+# depth/limit extremes, invalid cursors) batteries. The binary prints a
 # one-line JSON summary and exits non-zero if any case panics, emits a
 # non-finite float, or produces unbalanced JSON — so this script is safe
 # to gate on.
