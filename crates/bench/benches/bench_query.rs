@@ -80,7 +80,7 @@ fn main() {
     let source = author_in(&parts, 0);
     let target = author_in(&parts, parts.docs.len() / 2);
     let leaf = parts.docs[0].leaf;
-    let index = QueryIndex::build(parts);
+    let index = QueryIndex::build(parts).expect("build index");
 
     let families: Vec<(&str, String)> = vec![
         (

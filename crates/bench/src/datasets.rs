@@ -41,6 +41,14 @@ pub fn replay_model(
     (papers.corpus, mined)
 }
 
+/// The replay corpus alone (same `dblp_large` preset as [`replay_model`])
+/// for benchmarks that mine it themselves, e.g. `bench_update`.
+pub fn replay_corpus(n_docs: usize, seed: u64) -> lesm_corpus::Corpus {
+    let papers = SyntheticPapers::generate(&PapersConfig::dblp_large(n_docs, seed))
+        .expect("valid preset");
+    papers.corpus
+}
+
 /// NEWS-like corpus: 16 flat top stories with noisy person/location links.
 pub fn news(n_docs: usize, seed: u64) -> SyntheticPapers {
     SyntheticPapers::generate(&PapersConfig::news(n_docs, seed)).expect("valid preset")

@@ -10,6 +10,10 @@
 //!   structure as a binary snapshot artifact;
 //! * `lesm serve <snapshot.lesm> --addr HOST:PORT --workers N` — serve
 //!   `/search`, `/topics/{id}` and `/hierarchy` from a snapshot;
+//! * `lesm update <store_dir | snapshot.lesm> <new.tsv>` — append
+//!   documents to an existing model and refresh it by warm-started
+//!   incremental EM, publishing into the store (hot-swap) or over the
+//!   snapshot file;
 //! * `lesm search <corpus.tsv | snapshot.lesm> <query…>` — topic-aware
 //!   document search (snapshot inputs, detected by magic bytes, skip
 //!   re-mining entirely);
@@ -117,6 +121,26 @@ pub enum Command {
         input: String,
         /// Query text.
         query: String,
+    },
+    /// Incrementally update a snapshot or store with appended documents
+    /// (warm-start EM; see DESIGN.md §15).
+    Update {
+        /// A versioned store directory or a `.lesm` snapshot path.
+        target: String,
+        /// TSV file with the documents to append.
+        delta: String,
+        /// Children per topic (must match the base mine).
+        k: usize,
+        /// Hierarchy depth (must match the base mine).
+        depth: usize,
+        /// Worker threads (`0` = all available cores).
+        threads: usize,
+        /// Warm-start EM iteration budget.
+        update_iters: usize,
+        /// Warm-start EM relative-improvement tolerance.
+        update_tol: f64,
+        /// Delta chain length that forces compaction to a full artifact.
+        max_delta_chain: u64,
     },
     /// Typed structural query against a snapshot (`lesm-query` engine).
     Query {
@@ -284,6 +308,50 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let input = it.next().ok_or("advisors needs an input path")?.clone();
             Ok(Command::Advisors { input })
         }
+        "update" => {
+            let target =
+                it.next().ok_or("update needs a store directory or snapshot path")?.clone();
+            let delta = it.next().ok_or("update needs a delta TSV path")?.clone();
+            let mut k = 4usize;
+            let mut depth = 2usize;
+            let mut threads = 0usize;
+            let mut update_iters = 30usize;
+            let mut update_tol = 1e-5f64;
+            let mut max_delta_chain = 4u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--k" => k = next_value(&mut it, flag)?,
+                    "--depth" => depth = next_value(&mut it, flag)?,
+                    "--threads" => threads = next_value(&mut it, flag)?,
+                    "--update-iters" => update_iters = next_value(&mut it, flag)?,
+                    "--update-tol" => update_tol = next_value(&mut it, flag)?,
+                    "--max-delta-chain" => max_delta_chain = next_value(&mut it, flag)?,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            if k == 0 || depth == 0 {
+                return Err("--k and --depth must be positive".into());
+            }
+            if update_iters == 0 {
+                return Err("--update-iters must be >= 1".into());
+            }
+            if update_tol < 0.0 || !update_tol.is_finite() {
+                return Err("--update-tol must be a finite non-negative number".into());
+            }
+            if max_delta_chain == 0 {
+                return Err("--max-delta-chain must be >= 1".into());
+            }
+            Ok(Command::Update {
+                target,
+                delta,
+                k,
+                depth,
+                threads,
+                update_iters,
+                update_tol,
+                max_delta_chain,
+            })
+        }
         "query" => {
             let snapshot = it.next().ok_or("query needs a snapshot path")?.clone();
             let query = it
@@ -330,6 +398,10 @@ USAGE:
   lesm serve <snapshot.lesm | manifest.json | store_dir>
              [--addr HOST:PORT] [--workers N] [--cache N] [--queue N]
              [--shutdown-file PATH]       serve queries
+  lesm update <store_dir | snapshot.lesm> <new.tsv> [--k K] [--depth D]
+            [--threads T] [--update-iters N] [--update-tol TOL]
+            [--max-delta-chain C]           append documents and refresh the
+                                          model by warm-started incremental EM
   lesm search <corpus.tsv | snapshot.lesm> <query...>
                                           topic-aware document search
   lesm query <snapshot.lesm> <query.json | '{...}'>
@@ -355,6 +427,15 @@ waiting, and shuts down gracefully once the `--shutdown-file` path
 exists. Serving a shard manifest boots one local server per shard plus a
 front that merges byte-identically to an unsharded server; serving a
 store directory hot-swaps to each newly published snapshot version.
+`update` appends the TSV documents to the model's corpus (append-only:
+every existing id stays stable), warm-starts EM from the previous fit
+under the `--update-iters`/`--update-tol` budget, and publishes the
+result — into the store as the next version (a serving `lesm serve
+store_dir` hot-swaps to it), or atomically over the snapshot file. The
+artifact records its delta lineage; once a chain of updates exceeds
+`--max-delta-chain`, the artifact is written compacted (no lineage) and
+the chain restarts. Same base + same update sequence = byte-identical
+artifacts and responses, for any `--threads`.
 
 TSV format (one doc per line):
   title text<TAB>etype=name|etype=name<TAB>year
@@ -566,8 +647,104 @@ pub fn run_query_input(snapshot: &str, query: &str) -> Result<String, String> {
     };
     let model = lesm_serve::load_model_file(snapshot).map_err(|e| e.to_string())?;
     let parts = model.query_parts()?;
-    let index = lesm_query::QueryIndex::build(parts);
+    let index = lesm_query::QueryIndex::build(parts).map_err(|e| e.to_string())?;
     lesm_query::run_query(&index, &body).map_err(|e| e.to_string())
+}
+
+/// Runs `update`: loads the base model from a store directory (its
+/// `CURRENT` version) or a `.lesm` snapshot file, appends the delta TSV
+/// documents to its corpus, refines the structure by warm-started
+/// incremental EM under the given budget, and publishes the result — as
+/// the store's next version, or atomically over the snapshot file. The
+/// published artifact is always format v2 and carries delta lineage
+/// unless the update chain exceeded `max_delta_chain`, in which case it
+/// is written compacted (no lineage) and the chain restarts.
+///
+/// Determinism: the same base plus the same delta file produces a
+/// byte-identical artifact, for any `threads` value.
+#[allow(clippy::too_many_arguments)]
+pub fn run_update(
+    target: &str,
+    delta_tsv: &str,
+    k: usize,
+    depth: usize,
+    threads: usize,
+    update_iters: usize,
+    update_tol: f64,
+    max_delta_chain: u64,
+) -> Result<String, String> {
+    let path = std::path::Path::new(target);
+    let is_store = lesm_serve::store::is_store_dir(path);
+    let (base_name, model) = if is_store {
+        lesm_serve::store::load_current(path).map_err(|e| e.to_string())?
+    } else {
+        let name =
+            path.file_name().and_then(|n| n.to_str()).unwrap_or(target).to_string();
+        (name, lesm_serve::load_model_file(target).map_err(|e| e.to_string())?)
+    };
+    // Lineage only travels on v2 artifacts; a v1 base starts a new chain.
+    let base_chain = match &model {
+        lesm_serve::Model::Mapped(m) => m.delta_info().map_or(0, |d| d.chain_depth),
+        lesm_serve::Model::Owned(_) => 0,
+    };
+    let snap = match model {
+        lesm_serve::Model::Owned(snap) => *snap,
+        lesm_serve::Model::Mapped(m) => m.to_snapshot().map_err(|e| e.to_string())?,
+    };
+    let lesm_serve::Snapshot { corpus: mut merged, mined: base } = snap;
+    let base_docs = merged.num_docs();
+    let base_words = merged.num_words();
+    let base_entities: Vec<u64> =
+        (0..merged.entities.num_types()).map(|t| merged.entities.count(t) as u64).collect();
+
+    let file = std::fs::File::open(delta_tsv)
+        .map_err(|e| format!("cannot open {delta_tsv}: {e}"))?;
+    let appended = lesm_corpus::append_tsv(
+        &mut merged,
+        std::io::BufReader::new(file),
+        &LoadOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let budget = lesm_core::UpdateBudget { iters: update_iters, tol: update_tol };
+    let config = cli_miner_config(k, depth, threads, 0.0);
+    let updated = LatentStructureMiner::update(&merged, &base, base_docs, &config, &budget)
+        .map_err(|e| e.to_string())?;
+
+    let chain_depth = base_chain + 1;
+    let compact = chain_depth > max_delta_chain;
+    let bytes = if compact {
+        lesm_serve::save_snapshot_v2(&merged, &updated)
+    } else {
+        let lineage = lesm_serve::DeltaInfo {
+            base_artifact: base_name.clone(),
+            base_docs: base_docs as u64,
+            base_words: base_words as u64,
+            base_entities,
+            chain_depth,
+        };
+        lesm_serve::save_snapshot_v2_with_lineage(&merged, &updated, None, Some(&lineage))
+    };
+    let published = if is_store {
+        lesm_serve::store::publish(path, &bytes).map_err(|e| e.to_string())?
+    } else {
+        // Atomic in-place replace: a concurrent reader sees the old or the
+        // new artifact in full, never a torn file.
+        let tmp = format!("{target}.tmp");
+        std::fs::write(&tmp, &bytes).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+        std::fs::rename(&tmp, target).map_err(|e| format!("cannot replace {target}: {e}"))?;
+        base_name.clone()
+    };
+    Ok(format!(
+        "updated {base_name} -> {published}: +{appended} docs ({} total), {}, {} bytes",
+        merged.num_docs(),
+        if compact {
+            "compacted (chain reset)".to_string()
+        } else {
+            format!("delta chain depth {chain_depth}")
+        },
+        bytes.len()
+    ))
 }
 
 /// Runs `advisors`; returns the rendered advising forest.

@@ -107,6 +107,28 @@ fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Update {
+            target,
+            delta,
+            k,
+            depth,
+            threads,
+            update_iters,
+            update_tol,
+            max_delta_chain,
+        } => {
+            let summary = lesm_cli::run_update(
+                &target,
+                &delta,
+                k,
+                depth,
+                threads,
+                update_iters,
+                update_tol,
+                max_delta_chain,
+            )?;
+            emit(&format!("{summary}\n"))
+        }
         Command::Query { snapshot, query } => {
             let response = lesm_cli::run_query_input(&snapshot, &query)?;
             emit(&format!("{response}\n"))

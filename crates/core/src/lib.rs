@@ -24,8 +24,10 @@ pub mod export;
 pub mod pipeline;
 pub mod search;
 pub mod synthmodel;
+pub mod update;
 
 pub use export::hierarchy_to_json;
+pub use lesm_hier::UpdateBudget;
 pub use search::{search, SearchHit};
 pub use pipeline::{MinedStructure, MinerConfig, LatentStructureMiner};
 pub use synthmodel::model_from_truth;
@@ -37,6 +39,8 @@ pub enum CoreError {
     Hier(lesm_hier::HierError),
     /// Phrase mining failed.
     Phrase(lesm_phrases::PhraseError),
+    /// An incremental update was inconsistent with its base structure.
+    Update(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -44,6 +48,7 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::Hier(e) => write!(f, "hierarchy construction: {e}"),
             CoreError::Phrase(e) => write!(f, "phrase mining: {e}"),
+            CoreError::Update(m) => write!(f, "incremental update: {m}"),
         }
     }
 }

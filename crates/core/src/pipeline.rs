@@ -141,12 +141,45 @@ impl LatentStructureMiner {
             config.threads,
         );
 
+        let derived = derive_artifacts(&hierarchy, &segments, term_type, config);
+        Ok(MinedStructure {
+            hierarchy,
+            topic_phrases: derived.topic_phrases,
+            topic_entities: derived.topic_entities,
+            phrase_topic_freq: derived.ptf,
+            segments,
+            doc_topic: derived.doc_topic,
+        })
+    }
+}
+
+/// The per-topic artifacts derived from a hierarchy plus a segmented
+/// corpus (pipeline steps 4-7). Shared between [`LatentStructureMiner::mine`]
+/// and the incremental [`LatentStructureMiner::update`] path so both produce
+/// byte-identical artifacts for the same `(hierarchy, segments)` inputs.
+pub(crate) struct DerivedArtifacts {
+    pub ptf: Vec<HashMap<Vec<u32>, f64>>,
+    pub topic_phrases: Vec<Vec<TopicalPhrase>>,
+    pub topic_entities: Vec<Vec<Vec<(u32, f64)>>>,
+    pub doc_topic: Vec<Vec<f64>>,
+}
+
+/// Derives topical frequencies, ranked phrases, ranked entities, and
+/// per-document topic attributions from a constructed hierarchy and the
+/// bag-of-phrases segmentation of every document.
+pub(crate) fn derive_artifacts(
+    hierarchy: &TopicHierarchy,
+    segments: &[Vec<Vec<u32>>],
+    term_type: usize,
+    config: &MinerConfig,
+) -> DerivedArtifacts {
+    {
         // 4. Topical frequency estimation, top-down (Definition 3 / eq. 4.3):
         //    the root owns the raw corpus counts; each expanded node splits
         //    its phrases among children by the children's term-type phi.
         let n_topics = hierarchy.len();
         let mut ptf: Vec<HashMap<Vec<u32>, f64>> = vec![HashMap::new(); n_topics];
-        for doc_segs in &segments {
+        for doc_segs in segments {
             for seg in doc_segs {
                 if !seg.is_empty() {
                     *ptf[0].entry(seg.clone()).or_insert(0.0) += 1.0;
@@ -233,7 +266,7 @@ impl LatentStructureMiner {
 
         // 7. Document topic attribution via topical phrase frequencies
         //    (eqs. 5.4-5.5, applied top-down).
-        let mut doc_topic = vec![vec![0.0f64; n_topics]; corpus.num_docs()];
+        let mut doc_topic = vec![vec![0.0f64; n_topics]; segments.len()];
         for (d, doc_segs) in segments.iter().enumerate() {
             doc_topic[d][0] = 1.0;
             // Process expanded topics in index order (parents first).
@@ -269,25 +302,18 @@ impl LatentStructureMiner {
             }
         }
 
-        Ok(MinedStructure {
-            hierarchy,
-            topic_phrases,
-            topic_entities,
-            phrase_topic_freq: ptf,
-            segments,
-            doc_topic,
-        })
+        DerivedArtifacts { ptf, topic_phrases, topic_entities, doc_topic }
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use lesm_corpus::synth::{PapersConfig, SyntheticPapers};
     use lesm_hier::em::{EmConfig, WeightMode};
     use lesm_hier::hierarchy::ChildCount;
 
-    fn small_corpus() -> SyntheticPapers {
+    pub(crate) fn small_corpus() -> SyntheticPapers {
         let mut cfg = PapersConfig::dblp(400, 21);
         cfg.hierarchy.branching = vec![2, 2];
         cfg.hierarchy.words_per_topic = 14;
@@ -297,7 +323,7 @@ mod tests {
         SyntheticPapers::generate(&cfg).unwrap()
     }
 
-    fn miner_config() -> MinerConfig {
+    pub(crate) fn miner_config() -> MinerConfig {
         MinerConfig {
             hierarchy: CathyConfig {
                 children: ChildCount::Fixed(2),

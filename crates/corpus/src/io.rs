@@ -37,6 +37,25 @@ impl Default for LoadOptions {
 /// format). Blank lines and `#` comments are skipped.
 pub fn load_tsv<R: BufRead>(reader: R, options: &LoadOptions) -> Result<Corpus, CorpusError> {
     let mut corpus = Corpus::new();
+    append_tsv(&mut corpus, reader, options)?;
+    Ok(corpus)
+}
+
+/// Appends TSV documents to an existing corpus — the incremental-update
+/// ingest path. Interning is append-only, so every word, entity, and
+/// entity-type id the base corpus assigned stays stable; new surface
+/// forms receive fresh ids after the existing ranges. Returns the number
+/// of documents appended.
+///
+/// On error the corpus may retain documents appended before the failing
+/// line; callers that need all-or-nothing semantics should append into a
+/// clone.
+pub fn append_tsv<R: BufRead>(
+    corpus: &mut Corpus,
+    reader: R,
+    options: &LoadOptions,
+) -> Result<usize, CorpusError> {
+    let docs_before = corpus.docs.len();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| {
             CorpusError::InvalidConfig(format!("I/O error at line {}: {e}", lineno + 1))
@@ -84,7 +103,7 @@ pub fn load_tsv<R: BufRead>(reader: R, options: &LoadOptions) -> Result<Corpus, 
             }
         }
     }
-    Ok(corpus)
+    Ok(corpus.docs.len() - docs_before)
 }
 
 /// Writes a corpus back to the TSV format [`load_tsv`] reads.
@@ -174,6 +193,27 @@ plain text only
             assert_eq!(back.docs[d].year, c.docs[d].year);
             assert_eq!(back.docs[d].entities.len(), c.docs[d].entities.len());
         }
+    }
+
+    #[test]
+    fn append_tsv_keeps_base_ids_stable_and_extends_the_ranges() {
+        let mut c = load_tsv(SAMPLE.as_bytes(), &LoadOptions::default()).unwrap();
+        let base_docs = c.num_docs();
+        let base_words = c.num_words();
+        let base_authors = c.entities.count(0);
+        let query_id = c.vocab.get("query").unwrap();
+        let delta = "query rewriting engines\tauthor=alice|author=dave\t2010\n";
+        let appended =
+            append_tsv(&mut c, delta.as_bytes(), &LoadOptions::default()).unwrap();
+        assert_eq!(appended, 1);
+        assert_eq!(c.num_docs(), base_docs + 1);
+        // Old ids unchanged; new surface forms extend the ranges.
+        assert_eq!(c.vocab.get("query"), Some(query_id));
+        assert!(c.num_words() > base_words);
+        assert_eq!(c.entities.count(0), base_authors + 1);
+        // "alice" resolved to her existing id.
+        assert_eq!(c.docs[base_docs].entities[0], c.docs[0].entities[0]);
+        assert_eq!(c.docs[base_docs].year, Some(2010));
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod text;
 pub mod vocab;
 
 pub use doc::{Corpus, Doc, EntityCatalog, EntityRef};
-pub use io::{load_tsv, LoadOptions};
+pub use io::{append_tsv, load_tsv, LoadOptions};
 pub use vocab::Vocabulary;
 
 /// Errors produced by corpus construction.

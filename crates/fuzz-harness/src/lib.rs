@@ -30,5 +30,5 @@ pub use runner::{
     run_advisors_cases,
     run_batch, run_case, run_cli_arg_cases, run_nonfinite_snapshot_cases, run_query_cases,
     run_server_case,
-    run_tsv_cases, CaseFailure, CaseOutcome,
+    run_tsv_cases, run_update_cases, CaseFailure, CaseOutcome,
 };

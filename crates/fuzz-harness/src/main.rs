@@ -5,6 +5,7 @@
 
 use lesm_fuzz::{
     run_batch, run_cli_arg_cases, run_nonfinite_snapshot_cases, run_query_cases, run_tsv_cases,
+    run_update_cases,
 };
 
 fn main() {
@@ -34,6 +35,7 @@ fn main() {
     failures.extend(run_cli_arg_cases());
     failures.extend(run_tsv_cases());
     failures.extend(run_query_cases());
+    failures.extend(run_update_cases());
 
     println!(
         "{{\"chain_cases\": {cases}, \"completed\": {completed}, \"typed_errors\": {typed}, \

@@ -403,7 +403,10 @@ pub fn run_query_cases() -> Vec<CaseFailure> {
     cyclic.topics[2].children = vec![1];
     cyclic.topics[2].parent = Some(1);
     let indexes =
-        vec![("dense", QueryIndex::build(dense)), ("cyclic-topics", QueryIndex::build(cyclic))];
+        vec![
+        ("dense", QueryIndex::build(dense).expect("build dense index")),
+        ("cyclic-topics", QueryIndex::build(cyclic).expect("build cyclic index")),
+    ];
 
     let over_steps = format!(
         r#"{{"steps":[{{"filter":{{"type":"author"}}}}{}]}}"#,
@@ -522,6 +525,169 @@ pub fn run_query_cases() -> Vec<CaseFailure> {
         }
     });
     failures
+}
+
+/// Drives hostile delta TSVs through the full incremental-mining chain:
+/// `append_tsv → LatentStructureMiner::update (warm-start EM) → v2
+/// snapshot with delta lineage → load → serve`. Contract: every stage
+/// either completes or returns a typed error (`CorpusError`/`CoreError`/
+/// `SnapshotError`) — never a panic — and any artifact the chain does
+/// produce must load, carry its lineage intact, and answer requests.
+pub fn run_update_cases() -> Vec<CaseFailure> {
+    use lesm_corpus::synth::{PapersConfig, SyntheticPapers};
+
+    // One healthy base model, mined once and shared by every delta case.
+    let base_corpus = match SyntheticPapers::generate(&PapersConfig::dblp(60, 11)) {
+        Ok(p) => p.corpus,
+        Err(e) => {
+            return vec![CaseFailure {
+                id: 0,
+                label: "update/base-synth".into(),
+                detail: format!("base corpus generation failed: {e}"),
+            }]
+        }
+    };
+    let mut config = lesm_core::pipeline::MinerConfig::default();
+    config.hierarchy.max_depth = 1;
+    config.phrase_min_support = 2;
+    config.threads = 2;
+    let base = match LatentStructureMiner::mine(&base_corpus, &config) {
+        Ok(m) => m,
+        Err(e) => {
+            return vec![CaseFailure {
+                id: 0,
+                label: "update/base-mine".into(),
+                detail: format!("base mine failed: {e}"),
+            }]
+        }
+    };
+
+    // A base document re-encoded as a TSV line, for duplicate-doc deltas.
+    let mut base_tsv = Vec::new();
+    let _ = lesm_corpus::io::write_tsv(&base_corpus, &mut base_tsv);
+    let base_line = String::from_utf8_lossy(&base_tsv)
+        .lines()
+        .next()
+        .unwrap_or("")
+        .to_string();
+    // A token already interned in the base vocabulary, for collisions.
+    let known = base_corpus.vocab.render(&[0]);
+
+    let deltas: Vec<(&str, String)> = vec![
+        ("empty-delta", String::new()),
+        ("blank-lines", "\n\n\n".into()),
+        ("duplicate-docs", format!("{base_line}\n{base_line}\n{base_line}\n")),
+        (
+            "vocab-collisions",
+            format!("{known} {known} brand new term\tauthor={known}|author={known}\t2009\n"),
+        ),
+        ("year-overflow", "some delta text\tauthor=a\t99999999999999999999\n".into()),
+        ("year-extremes", "tok\tauthor=x\t-2147483648\ntok\tauthor=x\t2147483647\n".into()),
+        ("malformed-extra-fields", "a\tb\tc\td\te\n".into()),
+        ("new-entity-type", "tok tok tok\tspaceship=zorp\t2001\n".into()),
+    ];
+
+    let mut failures = Vec::new();
+    with_quiet_panics(|| {
+        for (id, (label, tsv)) in deltas.iter().enumerate() {
+            let fail = |detail: String| CaseFailure {
+                id,
+                label: format!("update/{label}"),
+                detail,
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                drive_update(&base_corpus, &base, tsv)
+            }));
+            match outcome {
+                Err(payload) => failures.push(fail(panic_message(payload))),
+                Ok(Err(detail)) => failures.push(fail(detail)),
+                Ok(Ok(_typed_or_completed)) => {}
+            }
+        }
+    });
+    failures
+}
+
+/// One hostile-delta chain. `Ok(true)` = completed end to end, `Ok(false)`
+/// = a stage rejected the delta with a typed error (also within contract),
+/// `Err` = contract violation.
+fn drive_update(
+    base_corpus: &Corpus,
+    base: &MinedStructure,
+    delta_tsv: &str,
+) -> Result<bool, String> {
+    let mut merged = base_corpus.clone();
+    let base_docs = merged.num_docs();
+    let appended =
+        match lesm_corpus::append_tsv(&mut merged, delta_tsv.as_bytes(), &lesm_corpus::LoadOptions::default()) {
+            Ok(n) => n,
+            Err(_) => return Ok(false), // typed CorpusError
+        };
+
+    let mut config = lesm_core::pipeline::MinerConfig::default();
+    config.hierarchy.max_depth = 1;
+    config.phrase_min_support = 2;
+    config.threads = 2;
+    let budget = lesm_core::UpdateBudget { iters: 5, tol: 1e-3 };
+    let updated =
+        match LatentStructureMiner::update(&merged, base, base_docs, &config, &budget) {
+            Ok(u) => u,
+            Err(_) => return Ok(false), // typed CoreError
+        };
+    check_finite(&updated)?;
+
+    let lineage = lesm_serve::DeltaInfo {
+        base_artifact: "fuzz-base.lesm".into(),
+        base_docs: base_docs as u64,
+        base_words: base_corpus.num_words() as u64,
+        base_entities: (0..base_corpus.entities.num_types())
+            .map(|t| base_corpus.entities.count(t) as u64)
+            .collect(),
+        chain_depth: 1,
+    };
+    let bytes = lesm_serve::save_snapshot_v2_with_lineage(&merged, &updated, None, Some(&lineage));
+    let mapped = lesm_serve::MappedSnapshot::from_bytes(&bytes)
+        .map_err(|e| format!("artifact produced by update does not load: {e}"))?;
+    if mapped.delta_info() != Some(&lineage) {
+        return Err("delta lineage did not round-trip through the artifact".into());
+    }
+    if mapped.num_docs() != merged.num_docs() {
+        return Err(format!(
+            "artifact has {} docs, the merged corpus ({} base + {appended} appended) has {}",
+            mapped.num_docs(),
+            base_docs,
+            merged.num_docs()
+        ));
+    }
+
+    // Serve the updated artifact and poke it with hostile requests.
+    let server_config = lesm_serve::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_capacity: 4,
+        ..lesm_serve::ServerConfig::default()
+    };
+    let handle = lesm_serve::Server::start_model(
+        lesm_serve::Model::Mapped(Box::new(mapped)),
+        server_config,
+    )
+    .map_err(|e| format!("Server::start_model: {e}"))?;
+    let addr = handle.addr();
+    for target in ["/healthz", "/hierarchy", "/search?q=word", "/search?q=", "/topics/999999"] {
+        match http_get(&addr.to_string(), target) {
+            Ok(resp) if resp.starts_with("HTTP/1.1 ") => {}
+            Ok(resp) => {
+                handle.shutdown();
+                return Err(format!("{target}: malformed response {resp:?}"));
+            }
+            Err(e) => {
+                handle.shutdown();
+                return Err(format!("{target}: {e}"));
+            }
+        }
+    }
+    handle.shutdown();
+    Ok(true)
 }
 
 /// Feeds hostile TSV bytes through the corpus loader; loading must return

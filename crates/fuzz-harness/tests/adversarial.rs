@@ -100,6 +100,19 @@ fn query_engine_never_panics_on_hostile_programs() {
     );
 }
 
+/// Hostile delta TSVs through the full `update → snapshot → serve` chain
+/// (incremental mining, DESIGN.md §15): no panics, typed errors only, and
+/// any produced artifact loads with its lineage intact and serves.
+#[test]
+fn incremental_update_chain_holds_the_contract() {
+    let failures = lesm_fuzz::run_update_cases();
+    assert!(
+        failures.is_empty(),
+        "hostile deltas violated the update contract:\n{}",
+        failures.iter().map(|f| format!("  {f}")).collect::<Vec<_>>().join("\n")
+    );
+}
+
 #[test]
 fn advisors_path_never_panics() {
     let failures = lesm_fuzz::run_advisors_cases();

@@ -265,6 +265,10 @@ pub struct EdgeState {
     parent_phi: Arc<Vec<Vec<f64>>>,
     /// The same importance flattened by global node id (hot-loop view).
     parent_flat: Vec<f64>,
+    /// Raw (unnormalized) weighted degrees per type. Kept so
+    /// [`EdgeState::append_delta`] can fold delta-network degrees in and
+    /// re-derive `parent_phi` without revisiting the base edges.
+    degrees: Vec<Vec<f64>>,
 }
 
 impl EdgeState {
@@ -298,7 +302,8 @@ impl EdgeState {
             pair_links[tp[e]] += 1;
         }
         // Parent-topic importance: normalized weighted degree per type.
-        let mut parent_phi = net.weighted_degrees();
+        let degrees = net.weighted_degrees();
+        let mut parent_phi = degrees.clone();
         for row in &mut parent_phi {
             let s: f64 = row.iter().sum();
             if s > 0.0 {
@@ -322,7 +327,92 @@ impl EdgeState {
             pair_links,
             parent_phi: Arc::new(parent_phi),
             parent_flat,
+            degrees,
         }
+    }
+
+    /// Appends the edges of a delta network to the flatten **without
+    /// rebuilding it**: existing per-edge arrays are remapped to the
+    /// enlarged node space in place, delta edges are appended after them,
+    /// and the per-pair totals and parent-topic importance are updated
+    /// incrementally. The delta must cover the same node types and at
+    /// least as many nodes per type (node ids are append-only across an
+    /// update, matching the corpus interning contract).
+    ///
+    /// Edge order after the call is "all base edges, then all delta edges"
+    /// — a pure function of the (base, delta) pair, so repeated identical
+    /// updates stay bit-deterministic.
+    pub fn append_delta(&mut self, delta: &TypedNetwork) -> Result<(), HierError> {
+        if delta.num_types() != self.t_count {
+            return Err(HierError::InvalidConfig(format!(
+                "delta network has {} node types, base flatten has {}",
+                delta.num_types(),
+                self.t_count
+            )));
+        }
+        for (x, (&new_n, &old_n)) in
+            delta.node_counts.iter().zip(&self.node_counts).enumerate()
+        {
+            if new_n < old_n {
+                return Err(HierError::InvalidConfig(format!(
+                    "delta network shrinks type {x}: {new_n} nodes < base {old_n}"
+                )));
+            }
+        }
+        let t_count = self.t_count;
+        let mut new_base = Vec::with_capacity(t_count);
+        let mut new_total = 0usize;
+        for &n in &delta.node_counts {
+            new_base.push(new_total);
+            new_total += n;
+        }
+        // Remap existing endpoints: the type of each endpoint is recovered
+        // from the edge's type-pair key, the local index from the old base.
+        for e in 0..self.w.len() {
+            let (tx, ty) = (self.tp[e] / t_count, self.tp[e] % t_count);
+            let i = self.ni[e] as usize - self.node_base[tx];
+            let j = self.nj[e] as usize - self.node_base[ty];
+            self.ni[e] = (new_base[tx] + i) as u32;
+            self.nj[e] = (new_base[ty] + j) as u32;
+        }
+        // Append the delta edges and fold their pair totals.
+        for blk in &delta.blocks {
+            let key = blk.tx * t_count + blk.ty;
+            for &(i, j, wt) in &blk.edges {
+                self.ni.push((new_base[blk.tx] + i as usize) as u32);
+                self.nj.push((new_base[blk.ty] + j as usize) as u32);
+                self.tp.push(key);
+                self.w.push(wt);
+                self.pair_weight[key] += wt;
+                self.pair_links[key] += 1;
+            }
+        }
+        // Fold delta degrees into the raw totals, then re-derive the
+        // normalized parent importance for the enlarged node space.
+        let delta_deg = delta.weighted_degrees();
+        for (x, row) in self.degrees.iter_mut().enumerate() {
+            row.resize(delta.node_counts[x], 0.0);
+            for (d, &v) in row.iter_mut().zip(&delta_deg[x]) {
+                *d += v;
+            }
+        }
+        let mut parent_phi = self.degrees.clone();
+        for row in &mut parent_phi {
+            let s: f64 = row.iter().sum();
+            if s > 0.0 {
+                row.iter_mut().for_each(|x| *x /= s);
+            }
+        }
+        let mut parent_flat = Vec::with_capacity(new_total);
+        for row in &parent_phi {
+            parent_flat.extend_from_slice(row);
+        }
+        self.node_counts = delta.node_counts.clone();
+        self.node_base = new_base;
+        self.total_nodes = new_total;
+        self.parent_phi = Arc::new(parent_phi);
+        self.parent_flat = parent_flat;
+        Ok(())
     }
 
     /// Number of flattened links.
@@ -516,6 +606,134 @@ impl CathyHinEm {
                 best = fit_alpha(state, config, &alpha, Some(best), &mut scratch);
             }
         }
+        Ok(best.into_em_fit(state, alpha))
+    }
+
+    /// Warm-starts EM from a previous fit of (an earlier version of) the
+    /// same network — the incremental-update path. The previous `φ`, `φ0`,
+    /// and `ρ` seed the arena; nodes that appeared since the previous fit
+    /// receive a uniform share and each `(type, subtopic)` row is
+    /// renormalized, so new nodes can attract mass from iteration one
+    /// (an all-zero row would starve them forever: the M-step numerators
+    /// only flow through existing `φ` products). The previous `α` is kept,
+    /// rescaled to the Theorem 3.2 constraint under the updated link
+    /// counts.
+    ///
+    /// No RNG is consumed and no restarts run — a warm fit is one
+    /// deterministic continuation under the convergence budget in
+    /// `config.iters` / `config.tol`, so the same (previous fit, delta)
+    /// pair always produces the same bits.
+    pub fn fit_warm(
+        state: &EdgeState,
+        config: &EmConfig,
+        prev: &EmFit,
+    ) -> Result<EmFit, HierError> {
+        if config.k == 0 {
+            return Err(HierError::InvalidConfig("k must be >= 1".into()));
+        }
+        if state.num_links() == 0 {
+            return Err(HierError::EmptyNetwork);
+        }
+        let k = prev.k;
+        if config.k != k {
+            return Err(HierError::InvalidConfig(format!(
+                "warm start requires config.k == previous fit k ({} != {k})",
+                config.k
+            )));
+        }
+        let t_count = state.t_count;
+        if prev.phi.len() != t_count {
+            return Err(HierError::InvalidConfig(format!(
+                "previous fit covers {} node types, network has {t_count}",
+                prev.phi.len()
+            )));
+        }
+        if prev.rho.len() != k + 1 {
+            return Err(HierError::InvalidConfig(format!(
+                "previous fit rho has {} entries, expected {}",
+                prev.rho.len(),
+                k + 1
+            )));
+        }
+        for (x, rows) in prev.phi.iter().enumerate() {
+            if rows.len() != k {
+                return Err(HierError::InvalidConfig(format!(
+                    "previous fit phi[{x}] has {} subtopics, expected {k}",
+                    rows.len()
+                )));
+            }
+            for row in rows {
+                if row.len() > state.node_counts[x] {
+                    return Err(HierError::InvalidConfig(format!(
+                        "previous fit knows {} nodes of type {x}, network has only {}",
+                        row.len(),
+                        state.node_counts[x]
+                    )));
+                }
+            }
+        }
+        if prev.alpha.len() != t_count * t_count {
+            return Err(HierError::InvalidConfig(format!(
+                "previous fit alpha has {} entries, expected {}",
+                prev.alpha.len(),
+                t_count * t_count
+            )));
+        }
+
+        // Seed the arena from the previous fit.
+        let mut arena = ParamArena::new(k, state.total_nodes);
+        {
+            let (phi, phi0, rho) = arena.split_mut();
+            for x in 0..t_count {
+                let count = state.node_counts[x];
+                // Uniform share for nodes the previous fit has not seen.
+                let fresh = 1.0 / count as f64;
+                for z in 0..k {
+                    let row = &prev.phi[x][z];
+                    let mut s = 0.0;
+                    for i in 0..count {
+                        let v = row.get(i).copied().unwrap_or(fresh);
+                        phi[(state.node_base[x] + i) * k + z] = v;
+                        s += v;
+                    }
+                    if s > 0.0 {
+                        for i in 0..count {
+                            phi[(state.node_base[x] + i) * k + z] /= s;
+                        }
+                    }
+                }
+            }
+            if config.background {
+                if config.learn_background {
+                    for x in 0..t_count {
+                        let base = state.node_base[x];
+                        let count = state.node_counts[x];
+                        let row = &prev.phi0[x];
+                        for i in 0..count {
+                            phi0[base + i] =
+                                row.get(i).copied().unwrap_or(state.parent_flat[base + i]);
+                        }
+                        normalize(&mut phi0[base..base + count]);
+                    }
+                } else {
+                    // Pinned mode: φ0 is the parent importance of the
+                    // *updated* network, same as a cold start would use.
+                    phi0.copy_from_slice(&state.parent_flat);
+                }
+            }
+            rho.copy_from_slice(&prev.rho);
+        }
+        let mut alpha = prev.alpha.clone();
+        rescale_alpha(&mut alpha, &state.pair_links);
+        let mut scratch = EmScratch { reduce: lesm_par::ReduceScratch::new(), acc: Vec::new() };
+        let warm = ArenaFit {
+            arena,
+            theta: Vec::new(),
+            objective: f64::NEG_INFINITY,
+            objective_trace: Vec::new(),
+            loglik: 0.0,
+        };
+        let best = fit_alpha(state, config, &alpha, Some(warm), &mut scratch);
         Ok(best.into_em_fit(state, alpha))
     }
 }
@@ -1432,6 +1650,133 @@ mod tests {
         // The exit condition actually held at the last recorded step.
         let (prev, last) = (early.objective_trace[n - 2], early.objective_trace[n - 1]);
         assert!((last - prev).abs() <= tol * prev.abs());
+    }
+
+    /// A delta for [`two_communities_hin`]: one new author (id 4) and one
+    /// new term (id 8) attaching to community B, plus a reinforcing edge
+    /// between existing nodes.
+    fn hin_delta() -> TypedNetwork {
+        let mut b = NetworkBuilder::new(vec!["author".into(), "term".into()], vec![5, 9]);
+        b.add(1, 8, 1, 4, 7.0);
+        b.add(1, 8, 1, 5, 7.0);
+        b.add(0, 4, 1, 8, 5.0);
+        b.add(0, 4, 1, 4, 5.0);
+        b.add(1, 4, 1, 5, 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn append_delta_grows_the_flatten_without_rebuilding() {
+        let net = two_communities_hin();
+        let mut state = EdgeState::new(&net);
+        let (links0, nodes0) = (state.num_links(), state.total_nodes());
+        let flattens = EdgeState::flattens_on_this_thread();
+        state.append_delta(&hin_delta()).unwrap();
+        assert_eq!(EdgeState::flattens_on_this_thread(), flattens, "no re-flatten");
+        assert_eq!(state.num_links(), links0 + hin_delta().num_links());
+        assert_eq!(state.total_nodes(), nodes0 + 2);
+        // The appended flatten still fits cleanly.
+        let fit = CathyHinEm::fit_prepared(&state, &cfg(2, true)).unwrap();
+        for x in 0..2 {
+            for z in 0..2 {
+                let s: f64 = fit.phi[x][z].iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "phi[{x}][{z}] sums to {s}");
+            }
+        }
+        assert_eq!(fit.phi[0][0].len(), 5);
+        assert_eq!(fit.phi[1][0].len(), 9);
+    }
+
+    #[test]
+    fn append_delta_rejects_mismatched_shapes() {
+        let mut state = EdgeState::new(&two_communities_hin());
+        // Wrong type count.
+        let other = NetworkBuilder::new(vec!["term".into()], vec![8]).build();
+        assert!(state.append_delta(&other).is_err());
+        // Shrinking node space.
+        let small = NetworkBuilder::new(
+            vec!["author".into(), "term".into()],
+            vec![2, 8],
+        )
+        .build();
+        assert!(state.append_delta(&small).is_err());
+    }
+
+    #[test]
+    fn append_delta_is_bit_deterministic() {
+        let fit_of = || {
+            let mut state = EdgeState::new(&two_communities_hin());
+            state.append_delta(&hin_delta()).unwrap();
+            CathyHinEm::fit_prepared(&state, &cfg(2, true)).unwrap()
+        };
+        let (a, b) = (fit_of(), fit_of());
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.phi, b.phi);
+        assert_eq!(a.rho, b.rho);
+    }
+
+    #[test]
+    fn empty_delta_leaves_fit_bits_unchanged() {
+        let net = two_communities_hin();
+        let mut state = EdgeState::new(&net);
+        let before = CathyHinEm::fit_prepared(&state, &cfg(2, true)).unwrap();
+        // Same node space, no edges.
+        let empty =
+            NetworkBuilder::new(vec!["author".into(), "term".into()], vec![4, 8]).build();
+        state.append_delta(&empty).unwrap();
+        let after = CathyHinEm::fit_prepared(&state, &cfg(2, true)).unwrap();
+        assert_eq!(before.objective.to_bits(), after.objective.to_bits());
+        assert_eq!(before.phi, after.phi);
+    }
+
+    #[test]
+    fn fit_warm_continues_deterministically_and_covers_new_nodes() {
+        let net = two_communities_hin();
+        let mut state = EdgeState::new(&net);
+        let base = CathyHinEm::fit_prepared(&state, &cfg(2, true)).unwrap();
+        state.append_delta(&hin_delta()).unwrap();
+        let budget = EmConfig { iters: 20, tol: 1e-6, ..cfg(2, true) };
+        let warm_a = CathyHinEm::fit_warm(&state, &budget, &base).unwrap();
+        let warm_b = CathyHinEm::fit_warm(&state, &budget, &base).unwrap();
+        assert_eq!(warm_a.objective.to_bits(), warm_b.objective.to_bits());
+        assert_eq!(warm_a.phi, warm_b.phi);
+        // New nodes are represented and every row is still a distribution.
+        assert_eq!(warm_a.phi[0][0].len(), 5);
+        assert_eq!(warm_a.phi[1][0].len(), 9);
+        for x in 0..2 {
+            for z in 0..2 {
+                let s: f64 = warm_a.phi[x][z].iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "phi[{x}][{z}] sums to {s}");
+            }
+        }
+        // The new term attaches to community B's subtopic with real mass.
+        let z_b = if warm_a.phi[1][0][4..8].iter().sum::<f64>() > 0.5 { 0 } else { 1 };
+        assert!(
+            warm_a.phi[1][z_b][8] > warm_a.phi[1][1 - z_b][8],
+            "new term did not follow its community"
+        );
+        // Warm trace stays monotone (it is still EM).
+        for w in warm_a.objective_trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6 * (1.0 + w[0].abs()));
+        }
+    }
+
+    #[test]
+    fn fit_warm_validates_previous_fit_shape() {
+        let net = two_communities_hin();
+        let state = EdgeState::new(&net);
+        let base = CathyHinEm::fit_prepared(&state, &cfg(2, true)).unwrap();
+        // k mismatch between config and previous fit.
+        assert!(CathyHinEm::fit_warm(&state, &cfg(3, true), &base).is_err());
+        // Previous fit knows more nodes than the network has.
+        let small = {
+            let mut b = NetworkBuilder::new(vec!["author".into(), "term".into()], vec![2, 3]);
+            b.add(0, 0, 1, 0, 1.0);
+            b.add(0, 1, 1, 2, 1.0);
+            b.build()
+        };
+        let small_state = EdgeState::new(&small);
+        assert!(CathyHinEm::fit_warm(&small_state, &cfg(2, true), &base).is_err());
     }
 
     #[test]

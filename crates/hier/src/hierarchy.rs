@@ -83,6 +83,52 @@ pub struct TopicHierarchy {
     pub alphas: Vec<Option<Vec<f64>>>,
 }
 
+/// Convergence budget for an incremental update refit ([`TopicHierarchy::update`]).
+/// Warm starts converge in far fewer iterations than cold fits, so the
+/// budget is deliberately separate from [`EmConfig::iters`]/[`EmConfig::tol`]
+/// (the CLI surfaces it as `--update-iters` / `--update-tol`).
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateBudget {
+    /// Upper bound on warm EM iterations per topic.
+    pub iters: usize,
+    /// Relative-improvement early-exit tolerance (0 disables).
+    pub tol: f64,
+}
+
+impl Default for UpdateBudget {
+    fn default() -> Self {
+        Self { iters: 30, tol: 1e-5 }
+    }
+}
+
+/// Concatenates `base`'s blocks with `delta`'s over `delta`'s (enlarged)
+/// node space. Duplicate `(i, j)` pairs across the two networks are kept
+/// as separate links — the Poisson objective treats `w1·ln s + w2·ln s`
+/// and `(w1+w2)·ln s` identically, and keeping them separate preserves
+/// the append-only edge order the determinism contract relies on.
+fn merge_networks(
+    base: &TypedNetwork,
+    delta: &TypedNetwork,
+) -> Result<TypedNetwork, HierError> {
+    if base.type_names != delta.type_names {
+        return Err(HierError::InvalidConfig(format!(
+            "delta network types {:?} do not match base types {:?}",
+            delta.type_names, base.type_names
+        )));
+    }
+    for (x, (&new_n, &old_n)) in delta.node_counts.iter().zip(&base.node_counts).enumerate() {
+        if new_n < old_n {
+            return Err(HierError::InvalidConfig(format!(
+                "delta network shrinks type {x}: {new_n} nodes < base {old_n}"
+            )));
+        }
+    }
+    let mut merged = TypedNetwork::new(delta.type_names.clone(), delta.node_counts.clone());
+    merged.blocks.extend(base.blocks.iter().cloned());
+    merged.blocks.extend(delta.blocks.iter().cloned());
+    Ok(merged)
+}
+
 impl TopicHierarchy {
     /// Recursively constructs a hierarchy from a root network.
     pub fn construct(root_net: TypedNetwork, config: &CathyConfig) -> Result<Self, HierError> {
@@ -166,6 +212,120 @@ impl TopicHierarchy {
             }
         }
         Ok(hierarchy)
+    }
+
+    /// Incrementally refits a hierarchy after documents were appended:
+    /// the delta network's edges are folded into the base root's flatten
+    /// via [`EdgeState::append_delta`] (no rebuild) and every expanded
+    /// topic is re-fit with [`CathyHinEm::fit_warm`] under `budget`,
+    /// seeded from the base fit.
+    ///
+    /// The tree *shape* follows the base: each topic keeps its base `k`
+    /// (no BIC re-selection — [`ChildCount::Auto`] is resolved by the base
+    /// fit), and a base-expanded topic whose refreshed subnetwork falls
+    /// under `min_links` becomes a leaf. Child networks are re-extracted
+    /// from the updated parent network by expected weight, exactly as
+    /// [`TopicHierarchy::construct`] does.
+    ///
+    /// Determinism: no RNG is consumed anywhere on this path (warm fits
+    /// are single continuations), and the root edge order is the base
+    /// flatten followed by the delta edges — a pure function of the
+    /// (base hierarchy, delta network) pair. The same base + the same
+    /// update sequence therefore produces bit-identical hierarchies,
+    /// regardless of thread count or process restarts.
+    pub fn update(
+        base: &TopicHierarchy,
+        root_delta: &TypedNetwork,
+        config: &CathyConfig,
+        budget: &UpdateBudget,
+    ) -> Result<Self, HierError> {
+        if base.topics.is_empty() {
+            return Err(HierError::InvalidConfig("base hierarchy is empty".into()));
+        }
+        let merged_root = merge_networks(&base.topics[0].network, root_delta)?;
+        let n_types = merged_root.num_types();
+        let mut root_phi = merged_root.weighted_degrees();
+        for row in &mut root_phi {
+            let s: f64 = row.iter().sum();
+            if s > 0.0 {
+                row.iter_mut().for_each(|x| *x /= s);
+            }
+        }
+        let mut out = TopicHierarchy {
+            type_names: merged_root.type_names.clone(),
+            topics: vec![HierTopic {
+                parent: None,
+                children: vec![],
+                level: 0,
+                path: "o".into(),
+                phi: root_phi,
+                rho: 1.0,
+                network: merged_root,
+            }],
+            fits: vec![None],
+            alphas: vec![None],
+        };
+        // Frontier of (updated topic, corresponding base topic) pairs.
+        let mut frontier = vec![(0usize, 0usize)];
+        for level in 0..config.max_depth {
+            let mut next = Vec::new();
+            for &(node, base_idx) in &frontier {
+                // Only topics the base expanded are re-expanded; their k is
+                // pinned by the base fit.
+                let Some(prev_fit) = base.fits.get(base_idx).and_then(Option::as_ref) else {
+                    continue;
+                };
+                if out.topics[node].network.num_links() < config.min_links {
+                    continue;
+                }
+                let state = if node == 0 {
+                    // Root: extend the base flatten with the delta edges
+                    // instead of re-flattening the merged network.
+                    let mut s = EdgeState::new(&base.topics[0].network);
+                    s.append_delta(root_delta)?;
+                    s
+                } else {
+                    EdgeState::new(&out.topics[node].network)
+                };
+                if state.num_links() == 0 {
+                    continue;
+                }
+                let k = prev_fit.k;
+                let em_cfg =
+                    EmConfig { k, iters: budget.iters, tol: budget.tol, ..config.em.clone() };
+                let fit = CathyHinEm::fit_warm(&state, &em_cfg, prev_fit)?;
+                for z in 0..k {
+                    let subnet =
+                        fit.subnetwork(&out.topics[node].network, z, config.subnet_threshold);
+                    let child_idx = out.topics.len();
+                    let path = format!("{}/{}", out.topics[node].path, z + 1);
+                    let phi: Vec<Vec<f64>> =
+                        (0..n_types).map(|x| fit.phi[x][z].clone()).collect();
+                    out.topics.push(HierTopic {
+                        parent: Some(node),
+                        children: vec![],
+                        level: level + 1,
+                        path,
+                        phi,
+                        rho: fit.rho[z + 1],
+                        network: subnet,
+                    });
+                    out.fits.push(None);
+                    out.alphas.push(None);
+                    out.topics[node].children.push(child_idx);
+                    if let Some(&base_child) = base.topics[base_idx].children.get(z) {
+                        next.push((child_idx, base_child));
+                    }
+                }
+                out.alphas[node] = Some(fit.alpha.clone());
+                out.fits[node] = Some(fit);
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        Ok(out)
     }
 
     /// Convenience: CATHY on a text-only corpus (§3.1) — builds the term
@@ -335,6 +495,82 @@ mod tests {
         let mut cfg = config();
         cfg.max_depth = 0;
         assert!(TopicHierarchy::construct(nested_network(), &cfg).is_err());
+    }
+
+    /// A small delta for [`nested_network`]: one new term (id 16) joining
+    /// the first sub-block plus a reinforcing edge among existing nodes.
+    fn nested_delta() -> TypedNetwork {
+        let mut b = NetworkBuilder::new(vec!["term".into()], vec![17]);
+        b.add(0, 16, 0, 0, 15.0);
+        b.add(0, 16, 0, 1, 15.0);
+        b.add(0, 16, 0, 2, 10.0);
+        b.add(0, 0, 0, 1, 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn update_follows_base_shape_and_covers_new_nodes() {
+        let base = TopicHierarchy::construct(nested_network(), &config()).unwrap();
+        let budget = UpdateBudget { iters: 25, tol: 1e-6 };
+        let up = TopicHierarchy::update(&base, &nested_delta(), &config(), &budget).unwrap();
+        // Same tree shape: k is pinned per topic by the base fits.
+        assert_eq!(up.len(), base.len());
+        for (t, bt) in up.topics.iter().zip(&base.topics) {
+            assert_eq!(t.children.len(), bt.children.len(), "shape drifted at {}", t.path);
+            assert_eq!(t.path, bt.path);
+        }
+        // The enlarged node space is visible at every updated topic.
+        assert_eq!(up.topics[0].phi[0].len(), 17);
+        let c0 = up.topics[0].children[0];
+        assert_eq!(up.topics[c0].phi[0].len(), 17);
+        // The new term carries meaningful mass in whichever level-1 topic
+        // owns the low supergroup.
+        let c1 = up.topics[0].children[1];
+        let low = if up.topics[c0].phi[0][..8].iter().sum::<f64>()
+            > up.topics[c1].phi[0][..8].iter().sum::<f64>()
+        {
+            c0
+        } else {
+            c1
+        };
+        assert!(
+            up.topics[low].phi[0][16] > 1e-4,
+            "new node got no mass: {}",
+            up.topics[low].phi[0][16]
+        );
+    }
+
+    #[test]
+    fn update_is_bit_deterministic() {
+        let base = TopicHierarchy::construct(nested_network(), &config()).unwrap();
+        let budget = UpdateBudget::default();
+        let a = TopicHierarchy::update(&base, &nested_delta(), &config(), &budget).unwrap();
+        let b = TopicHierarchy::update(&base, &nested_delta(), &config(), &budget).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (ta, tb) in a.topics.iter().zip(&b.topics) {
+            assert_eq!(ta.phi, tb.phi);
+            assert_eq!(ta.rho.to_bits(), tb.rho.to_bits());
+        }
+        // Thread count must not change the bits either (lesm-par contract).
+        let mut cfg4 = config();
+        cfg4.em.threads = 4;
+        let c = TopicHierarchy::update(&base, &nested_delta(), &cfg4, &budget).unwrap();
+        for (ta, tc) in a.topics.iter().zip(&c.topics) {
+            assert_eq!(ta.phi, tc.phi);
+        }
+    }
+
+    #[test]
+    fn update_rejects_mismatched_delta() {
+        let base = TopicHierarchy::construct(nested_network(), &config()).unwrap();
+        let budget = UpdateBudget::default();
+        let wrong_type =
+            NetworkBuilder::new(vec!["author".into()], vec![17]).build();
+        assert!(
+            TopicHierarchy::update(&base, &wrong_type, &config(), &budget).is_err()
+        );
+        let shrunk = NetworkBuilder::new(vec!["term".into()], vec![4]).build();
+        assert!(TopicHierarchy::update(&base, &shrunk, &config(), &budget).is_err());
     }
 
     #[test]

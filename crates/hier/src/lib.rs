@@ -29,7 +29,7 @@ pub mod select;
 
 pub use cv::{select_k_cv, CvConfig};
 pub use em::{CathyHinEm, EdgeState, EmConfig, EmFit, WeightMode};
-pub use hierarchy::{CathyConfig, HierTopic, TopicHierarchy};
+pub use hierarchy::{CathyConfig, HierTopic, TopicHierarchy, UpdateBudget};
 pub use select::{bic_score, select_k, select_k_prepared};
 
 /// Errors produced by hierarchy construction.

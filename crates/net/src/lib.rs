@@ -259,6 +259,18 @@ pub fn co_occurrence_network(corpus: &Corpus) -> TypedNetwork {
 /// counts for every type pair; venue–venue links are naturally absent when
 /// each document carries one venue.
 pub fn collapsed_network(corpus: &Corpus) -> TypedNetwork {
+    collapsed_network_from(corpus, 0)
+}
+
+/// The delta variant of [`collapsed_network`]: collapses only the
+/// documents at index `from_doc` onward, over the **full** corpus node
+/// space (all interned words and entities, including ones only earlier
+/// documents mention). Because interning is append-only, the network
+/// built from an updated corpus's tail is exactly the edge set the new
+/// documents add to the base collapse — the input
+/// `lesm_hier::EdgeState::append_delta` and `TopicHierarchy::update`
+/// expect.
+pub fn collapsed_network_from(corpus: &Corpus, from_doc: usize) -> TypedNetwork {
     let n_etypes = corpus.entities.num_types();
     let term_type = n_etypes;
     let mut names: Vec<String> = (0..n_etypes)
@@ -271,7 +283,7 @@ pub fn collapsed_network(corpus: &Corpus) -> TypedNetwork {
 
     let mut terms: Vec<u32> = Vec::new();
     let mut seen: HashMap<u32, u32> = HashMap::new();
-    for doc in &corpus.docs {
+    for doc in corpus.docs.iter().skip(from_doc) {
         terms.clear();
         seen.clear();
         for &w in &doc.tokens {
@@ -371,6 +383,36 @@ mod tests {
         assert_eq!(aa.edges[0], (0, 1, 1.0));
         // no venue-venue block (one venue per doc).
         assert!(g.block(1, 1).is_none());
+    }
+
+    #[test]
+    fn collapsed_network_from_covers_only_the_tail_over_the_full_node_space() {
+        let mut c = tiny_corpus();
+        let base_docs = c.docs.len();
+        let author = 0usize;
+        let d2 = c.push_text("query planning");
+        c.link_entity(d2, author, "carol").unwrap();
+        let delta = collapsed_network_from(&c, base_docs);
+        // Full node space: every interned word and entity, old and new.
+        assert_eq!(delta.node_counts[2], c.num_words());
+        assert_eq!(delta.node_counts[0], c.entities.count(0));
+        delta.validate().unwrap();
+        // Only the tail document's co-occurrences are present.
+        let q = c.vocab.get("query").unwrap();
+        let p = c.vocab.get("processing").unwrap();
+        let plan = c.vocab.get("planning").unwrap();
+        let tt = delta.block(2, 2).unwrap();
+        assert!(tt.edges.iter().any(|&(i, j, _)| (i, j) == (q.min(plan), q.max(plan))));
+        assert!(!tt.edges.iter().any(|&(i, j, _)| (i, j) == (q.min(p), q.max(p))));
+        // from_doc = 0 is exactly the full collapse.
+        let full = collapsed_network(&c);
+        let again = collapsed_network_from(&c, 0);
+        assert_eq!(full.num_links(), again.num_links());
+        assert_eq!(full.total_weight(), again.total_weight());
+        // Past-the-end tail is an empty (but well-formed) network.
+        let empty = collapsed_network_from(&c, c.docs.len());
+        assert_eq!(empty.num_links(), 0);
+        assert_eq!(empty.node_counts, full.node_counts);
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// response. The single entry point used by serve, the CLI, and benches.
 pub fn run_query(index: &QueryIndex, body: &str) -> Result<String, QueryError> {
     let req = parse_request(body)?;
-    let hash = fnv1a64(canonical_steps(&req.steps).as_bytes());
+    // The cursor stamp binds both the program AND the model content: a
+    // cursor from another program or from a hot-swapped-out model version
+    // is a typed BadCursor, never a silent resume at the same offset in a
+    // different result list.
+    let hash = fnv1a64(canonical_steps(&req.steps).as_bytes()) ^ index.model_stamp;
     let lines = item_lines(index, &execute(index, &req.steps)?);
     let (offset, page) = match (&req.cursor, req.page) {
         (Some(cursor), _) => {
@@ -104,7 +108,7 @@ fn decode_cursor(cursor: &str, hash: u64) -> Result<(usize, usize), QueryError> 
     }
     let stamp = u64::from_str_radix(stamp, 16).map_err(|_| bad("malformed program hash"))?;
     if stamp != hash {
-        return Err(bad("cursor belongs to a different program"));
+        return Err(bad("cursor belongs to a different program or model version"));
     }
     let offset: usize = fields
         .next()

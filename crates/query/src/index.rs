@@ -49,15 +49,46 @@ pub struct QueryIndex {
     /// doc's leaf topic; subtree aggregates are exact integer sums).
     pub(crate) leaf_counts: Vec<Vec<Vec<u64>>>,
     pub(crate) author_type: Option<usize>,
+    /// FNV-1a 64 over the canonical parts serialization. Folded into
+    /// every cursor's stamp so a cursor minted against one model version
+    /// is a typed [`QueryError::BadCursor`] against any other — a page
+    /// stream can never silently interleave two hot-swapped models. It is
+    /// content-derived, not an epoch, so cursors survive restarts and
+    /// rebuilds of the *same* model (DESIGN.md §14).
+    pub(crate) model_stamp: u64,
     advisor: OnceLock<AdvisorEdges>,
 }
 
+/// Checks that a count fits the engine's `u32` node-id space. The
+/// traversal engine seeds frontiers with `0..n as u32` ranges; an
+/// unchecked cast past `u32::MAX` would silently wrap and drop every
+/// node above the wrap point, so the bound is enforced once, here, at
+/// build time.
+fn checked_id_range(n: usize, what: &str) -> Result<(), QueryError> {
+    if u32::try_from(n).is_err() {
+        return Err(QueryError::IndexOverflow(format!(
+            "{what} count {n} exceeds the u32 node-id range"
+        )));
+    }
+    Ok(())
+}
+
 impl QueryIndex {
-    /// Builds the index from canonical parts.
-    pub fn build(parts: IndexParts) -> QueryIndex {
+    /// Builds the index from canonical parts. Fails with
+    /// [`QueryError::IndexOverflow`] if any id range (documents, topics,
+    /// or one type's entities) does not fit the engine's `u32` node ids.
+    pub fn build(parts: IndexParts) -> Result<QueryIndex, QueryError> {
+        let model_stamp = crate::engine::fnv1a64(parts.to_text().as_bytes());
         let IndexParts { type_names, entity_names, topics, docs } = parts;
         let n_types = type_names.len();
         let n_topics = topics.len();
+        checked_id_range(docs.len(), "document")?;
+        checked_id_range(n_topics, "topic")?;
+        checked_id_range(n_types, "entity type")?;
+        for (t, names) in entity_names.iter().enumerate() {
+            let type_name = type_names.get(t).map(String::as_str).unwrap_or("?");
+            checked_id_range(names.len(), &format!("entity (type {type_name:?})"))?;
+        }
 
         let mut name_to_id: Vec<HashMap<String, u32>> = Vec::with_capacity(n_types);
         for names in &entity_names {
@@ -128,7 +159,7 @@ impl QueryIndex {
         }
         let author_type = type_by_name.get("author").copied();
 
-        QueryIndex {
+        Ok(QueryIndex {
             type_names,
             entity_names,
             topics,
@@ -143,8 +174,9 @@ impl QueryIndex {
             cooccur,
             leaf_counts,
             author_type,
+            model_stamp,
             advisor: OnceLock::new(),
-        }
+        })
     }
 
     pub fn num_types(&self) -> usize {
@@ -312,7 +344,7 @@ mod tests {
 
     #[test]
     fn adjacency_and_counts_are_exact() {
-        let idx = QueryIndex::build(tiny_parts());
+        let idx = QueryIndex::build(tiny_parts()).unwrap();
         assert_eq!(idx.cooccur[0][1], vec![0, 2]);
         assert_eq!(idx.entity_docs[0][0], vec![0, 2]);
         // alice occurs once in doc 0 (leaf 1) and twice in doc 2 (leaf 1).
@@ -324,7 +356,7 @@ mod tests {
 
     #[test]
     fn resolution_is_typed() {
-        let idx = QueryIndex::build(tiny_parts());
+        let idx = QueryIndex::build(tiny_parts()).unwrap();
         assert_eq!(idx.resolve_type("venue").unwrap(), 1);
         assert!(matches!(idx.resolve_type("nope"), Err(QueryError::UnknownType(_))));
         assert_eq!(idx.resolve_topic(&TopicRef::Path("o/2".into())).unwrap(), 2);
@@ -333,10 +365,27 @@ mod tests {
     }
 
     #[test]
+    fn oversized_id_ranges_are_a_typed_build_error() {
+        // The guard itself: anything past u32::MAX must refuse.
+        assert!(super::checked_id_range(u32::MAX as usize, "document").is_ok());
+        let r = super::checked_id_range(u32::MAX as usize + 1, "document");
+        match r {
+            Err(QueryError::IndexOverflow(m)) => {
+                assert!(m.contains("document"), "{m}");
+            }
+            other => panic!("expected IndexOverflow, got {other:?}"),
+        }
+        // Overflow is a server-state error (HTTP 500), not a request error.
+        assert!(!QueryError::IndexOverflow(String::new()).is_request_error());
+        // In-range parts still build.
+        assert!(QueryIndex::build(tiny_parts()).is_ok());
+    }
+
+    #[test]
     fn cyclic_topic_links_terminate() {
         let mut parts = tiny_parts();
         parts.topics[1].children = vec![0]; // hostile cycle
-        let idx = QueryIndex::build(parts);
+        let idx = QueryIndex::build(parts).unwrap();
         assert_eq!(idx.subtree(0), vec![0, 1, 2]);
     }
 
@@ -346,7 +395,7 @@ mod tests {
         for d in &mut parts.docs {
             d.year = None;
         }
-        let idx = QueryIndex::build(parts);
+        let idx = QueryIndex::build(parts).unwrap();
         assert!(idx.advisor_edges().advisees.iter().all(Vec::is_empty));
     }
 }

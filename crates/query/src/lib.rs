@@ -12,7 +12,11 @@
 //! end-to-end: identical programs yield byte-identical responses on the
 //! owned model, the v2 zero-copy snapshot, and a sharded front tier, and
 //! cursors encode only a resume position — never wall-clock or
-//! randomness. See DESIGN.md §14 for the model and the argument.
+//! randomness. Each cursor is stamped with a content hash of both the
+//! program and the indexed model, so a cursor outlives restarts and
+//! rebuilds of the same model but is a typed [`QueryError::BadCursor`]
+//! after a hot-swap replaces the model underneath a page stream. See
+//! DESIGN.md §14 for the model and the argument.
 
 // DESIGN.md §10: library code must surface typed errors, not unwraps.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -45,6 +49,10 @@ pub enum QueryError {
     BadCursor(String),
     /// A bounded search exceeded its budget.
     TooLarge(String),
+    /// The model is too large to index: an id range does not fit the
+    /// engine's `u32` node ids. Raised at [`QueryIndex::build`] time so
+    /// traversal never silently truncates ids.
+    IndexOverflow(String),
     /// Malformed internal state (e.g. a bad shard parts payload).
     Internal(String),
 }
@@ -58,6 +66,7 @@ impl std::fmt::Display for QueryError {
             QueryError::UnknownTopic(t) => write!(f, "unknown topic {t:?}"),
             QueryError::BadCursor(m) => write!(f, "bad cursor: {m}"),
             QueryError::TooLarge(m) => write!(f, "query too large: {m}"),
+            QueryError::IndexOverflow(m) => write!(f, "model too large to index: {m}"),
             QueryError::Internal(m) => write!(f, "internal: {m}"),
         }
     }
@@ -69,7 +78,7 @@ impl QueryError {
     /// Whether the error blames the request (HTTP 400) rather than the
     /// server's own state (HTTP 500).
     pub fn is_request_error(&self) -> bool {
-        !matches!(self, QueryError::Internal(_))
+        !matches!(self, QueryError::Internal(_) | QueryError::IndexOverflow(_))
     }
 }
 
@@ -82,7 +91,7 @@ mod tests {
     /// A small but structurally rich fixture: 3 topics, 2 entity types,
     /// 6 docs with years, enough for every edge kind to fire.
     fn fixture() -> QueryIndex {
-        QueryIndex::build(fixture_parts())
+        QueryIndex::build(fixture_parts()).expect("build fixture index")
     }
 
     fn run(body: &str) -> Result<String, QueryError> {
@@ -278,6 +287,35 @@ mod tests {
     }
 
     #[test]
+    fn cursor_is_rejected_by_a_different_model_version() {
+        // Mint a cursor against the fixture, then "hot-swap" to a model
+        // that differs by one appended doc: resuming the same program's
+        // cursor must be a typed BadCursor — never a silent resume at the
+        // old offset over a different result list.
+        let first = run_query(
+            &fixture(),
+            &format!(r#"{{"steps": {PAGED_STEPS}, "page": 2}}"#),
+        )
+        .unwrap();
+        let cursor = extract_cursor(&first).unwrap();
+        let mut parts = fixture_parts();
+        parts.docs.push(DocRecord {
+            gid: 99,
+            year: None,
+            leaf: 1,
+            entities: vec![(0, 0), (0, 1)],
+        });
+        let swapped = QueryIndex::build(parts).unwrap();
+        let body = format!(r#"{{"steps": {PAGED_STEPS}, "cursor": "{cursor}"}}"#);
+        match run_query(&swapped, &body) {
+            Err(QueryError::BadCursor(m)) => {
+                assert!(m.contains("model version"), "unexpected message: {m}");
+            }
+            other => panic!("stale cursor must be a typed BadCursor, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn sharded_parts_merge_matches_single_build() {
         // Split the fixture docs across 3 "shards", merge, and compare a
         // doc-derived query byte-for-byte with the unsharded build.
@@ -298,8 +336,8 @@ mod tests {
         for p in &mut shards {
             *p = IndexParts::parse_text(&p.to_text()).unwrap();
         }
-        let merged = QueryIndex::build(IndexParts::merge(shards).unwrap());
-        let single = QueryIndex::build(parts);
+        let merged = QueryIndex::build(IndexParts::merge(shards).unwrap()).unwrap();
+        let single = QueryIndex::build(parts).unwrap();
         let body = r#"{"steps": [
             {"filter": {"type": "author", "years": {"min": 2001}}},
             {"traverse": {"edge": "coauthor"}},

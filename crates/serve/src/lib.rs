@@ -49,7 +49,8 @@ pub use snapshot::{
 };
 pub use v2::{
     describe_artifact, describe_artifact_file, save_snapshot_v2, save_snapshot_v2_file,
-    save_snapshot_v2_with_ids, snapshot_version_file, MappedSnapshot, FORMAT_VERSION_V2,
+    save_snapshot_v2_with_ids, save_snapshot_v2_with_lineage, snapshot_version_file, DeltaInfo,
+    MappedSnapshot, FORMAT_VERSION_V2,
 };
 
 /// Typed failures loading or saving snapshot artifacts.

@@ -142,7 +142,8 @@ impl ServerState {
             Backend::Front(front) => front.fetch_parts()?,
         };
         let parts_text = parts.to_text();
-        let index = QueryIndex::build(parts);
+        let index = QueryIndex::build(parts)
+            .map_err(|e| Response::error(500, &format!("query index build failed: {e}")))?;
         let qs = Arc::new(QueryState { parts_text, index });
         *self.query.write().unwrap_or_else(|p| p.into_inner()) = Some(Arc::clone(&qs));
         Ok(qs)

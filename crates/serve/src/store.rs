@@ -15,25 +15,50 @@
 //! and swaps its in-memory model when the pointer changes; artifacts are
 //! never mutated in place, so an in-flight request keeps the model it
 //! started with.
+//!
+//! Crash consistency: the artifact is fsynced before the pointer moves,
+//! the tmp pointer is fsynced before the rename, and the store directory
+//! is fsynced after it — so a `CURRENT` that survives a crash only ever
+//! names a fully durable artifact.
 
 use crate::query::{load_model_file, Model};
 use crate::SnapshotError;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// The pointer file name.
 pub const CURRENT: &str = "CURRENT";
 
+/// Writes `bytes` to `path` and fsyncs the file before returning, so the
+/// contents are durable before any pointer can reference them.
+fn write_synced(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let mut f = std::fs::File::create(path).map_err(SnapshotError::Io)?;
+    f.write_all(bytes).map_err(SnapshotError::Io)?;
+    f.sync_all().map_err(SnapshotError::Io)?;
+    Ok(())
+}
+
+/// Fsyncs the directory itself so a rename inside it is durable.
+fn sync_dir(dir: &Path) -> Result<(), SnapshotError> {
+    std::fs::File::open(dir).map_err(SnapshotError::Io)?.sync_all().map_err(SnapshotError::Io)
+}
+
 /// Publishes `bytes` as the next version in `dir` (creating the store on
 /// first use) and repoints `CURRENT` at it. Returns the artifact file
 /// name, e.g. `v0003.lesm`.
+///
+/// Ordering contract: artifact fsync → tmp-pointer fsync → rename →
+/// directory fsync. Every prefix of that sequence leaves the store in a
+/// state where `CURRENT` (old or new) names a readable artifact.
 pub fn publish(dir: &Path, bytes: &[u8]) -> Result<String, SnapshotError> {
     std::fs::create_dir_all(dir).map_err(SnapshotError::Io)?;
     let next = 1 + latest_version(dir)?.unwrap_or(0);
     let name = format!("v{next:04}.lesm");
-    std::fs::write(dir.join(&name), bytes).map_err(SnapshotError::Io)?;
+    write_synced(&dir.join(&name), bytes)?;
     let tmp = dir.join(format!("{CURRENT}.tmp"));
-    std::fs::write(&tmp, format!("{name}\n")).map_err(SnapshotError::Io)?;
+    write_synced(&tmp, format!("{name}\n").as_bytes())?;
     std::fs::rename(&tmp, dir.join(CURRENT)).map_err(SnapshotError::Io)?;
+    sync_dir(dir)?;
     Ok(name)
 }
 
@@ -107,6 +132,55 @@ mod tests {
         // Old versions remain readable (rollback is re-pointing CURRENT).
         assert_eq!(std::fs::read(dir.join("v0001.lesm")).expect("v1"), b"one");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A reader racing a stream of publishes must never observe a
+    /// `CURRENT` pointer naming a file it cannot read back in full:
+    /// artifacts are synced and pointer repointing is atomic, so every
+    /// observed version resolves to complete bytes.
+    #[test]
+    fn reader_never_observes_pointer_to_unreadable_version() {
+        let dir = tmp_dir("race");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        publish(&dir, &payload(1)).expect("seed publish");
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let reader_dir = dir.clone();
+            let reader = scope.spawn(|| {
+                let dir = reader_dir;
+                let mut observed = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let Some(name) = current_version(&dir).expect("pointer readable") else {
+                        panic!("CURRENT vanished mid-publish");
+                    };
+                    let bytes = std::fs::read(dir.join(&name))
+                        .unwrap_or_else(|e| panic!("{name} named by CURRENT is unreadable: {e}"));
+                    let n: u32 = name
+                        .trim_start_matches('v')
+                        .trim_end_matches(".lesm")
+                        .parse()
+                        .expect("version number");
+                    assert_eq!(bytes, payload(n), "{name} is torn");
+                    observed += 1;
+                }
+                observed
+            });
+            for n in 2..=40u32 {
+                publish(&dir, &payload(n)).expect("publish");
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            assert!(reader.join().expect("reader thread") > 0, "reader never ran");
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Deterministic artifact body for version `n` (reader checks it back).
+    fn payload(n: u32) -> Vec<u8> {
+        let mut bytes = vec![0u8; 256];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i as u32).wrapping_mul(n) as u8;
+        }
+        bytes
     }
 
     #[test]

@@ -37,6 +37,12 @@
 //! the model (EM fits, per-topic phi/networks, entity links, segments)
 //! lives in a single *cold* section in the v1 wire encoding, decoded only
 //! by [`MappedSnapshot::to_snapshot`] — never on the load hot path.
+//!
+//! Incrementally updated artifacts carry one extra *optional* section,
+//! `delta-lineage` (id 11, [`DeltaInfo`]): the artifact stays full and
+//! self-contained, the section only records which base artifact it was
+//! derived from and the base's append-only id ranges. Readers that don't
+//! know the id skip it (the section table tolerates unknown ids).
 
 use crate::mapping::Mapping;
 use crate::snapshot::{self, Snapshot, MAGIC};
@@ -62,6 +68,7 @@ const SEC_PTF: u32 = 7;
 const SEC_DOC_TOPIC: u32 = 8;
 const SEC_DOC_IDS: u32 = 9;
 const SEC_COLD: u32 = 10;
+const SEC_DELTA: u32 = 11;
 const N_SECTIONS: usize = 10;
 
 const HEADER_LEN: usize = 16;
@@ -81,8 +88,33 @@ fn v2_section_name(id: u32) -> &'static str {
         SEC_DOC_TOPIC => "doc-topic",
         SEC_DOC_IDS => "doc-ids",
         SEC_COLD => "cold",
+        SEC_DELTA => "delta-lineage",
         _ => "unknown",
     }
+}
+
+/// Delta lineage carried by an incrementally updated artifact (section
+/// `delta-lineage`, id 11). The artifact itself is always *full* — every
+/// section covers all documents — so readers need no base artifact to
+/// serve it; the lineage records which base it was derived from and how
+/// much of each append-only id range the base already covered, and drives
+/// the compaction policy (an update whose chain would exceed the
+/// configured depth is written without this section, resetting the chain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaInfo {
+    /// File name of the base artifact this delta was mined against
+    /// (e.g. `v0007.lesm`).
+    pub base_artifact: String,
+    /// Documents the base already covered; ids `>= base_docs` are appended.
+    pub base_docs: u64,
+    /// Words the base vocabulary already interned.
+    pub base_words: u64,
+    /// Per-entity-type catalog sizes in the base (aligned with the
+    /// artifact's entity types).
+    pub base_entities: Vec<u64>,
+    /// Length of the update chain ending at this artifact (1 = first
+    /// update on a full base).
+    pub chain_depth: u64,
 }
 
 /// 4-lane FNV-1a over 8-byte words. The independent lanes break the
@@ -181,14 +213,28 @@ pub fn save_snapshot_v2_with_ids(
     mined: &MinedStructure,
     doc_ids: Option<&[u64]>,
 ) -> Vec<u8> {
+    save_snapshot_v2_with_lineage(corpus, mined, doc_ids, None)
+}
+
+/// Serializes a v2 artifact, optionally stamping it with delta lineage
+/// (see [`DeltaInfo`]). Artifacts written without lineage are compacted
+/// full artifacts; readers treat both identically apart from
+/// [`MappedSnapshot::delta_info`].
+pub fn save_snapshot_v2_with_lineage(
+    corpus: &Corpus,
+    mined: &MinedStructure,
+    doc_ids: Option<&[u64]>,
+    delta: Option<&DeltaInfo>,
+) -> Vec<u8> {
+    let n_sections = N_SECTIONS + usize::from(delta.is_some());
     let mut w = ArenaWriter { buf: Vec::new() };
     w.bytes(&MAGIC);
     w.u32(FORMAT_VERSION_V2);
-    w.u32(N_SECTIONS as u32);
+    w.u32(n_sections as u32);
     w.u32(0);
     // Placeholder table, patched once section extents are known.
-    w.buf.resize(HEADER_LEN + N_SECTIONS * TABLE_ENTRY_LEN, 0);
-    let mut table: Vec<(u32, u64, u64)> = Vec::with_capacity(N_SECTIONS);
+    w.buf.resize(HEADER_LEN + n_sections * TABLE_ENTRY_LEN, 0);
+    let mut table: Vec<(u32, u64, u64)> = Vec::with_capacity(n_sections);
 
     // --- vocab ---
     let start = w.begin_section();
@@ -440,6 +486,21 @@ pub fn save_snapshot_v2_with_ids(
     }
     table.push((SEC_COLD, start as u64, (w.buf.len() - start) as u64));
 
+    // --- delta lineage (optional; incremental updates only) ---
+    if let Some(d) = delta {
+        let start = w.begin_section();
+        w.u64(d.base_docs);
+        w.u64(d.base_words);
+        w.u64(d.chain_depth);
+        w.u64(d.base_entities.len() as u64);
+        for &c in &d.base_entities {
+            w.u64(c);
+        }
+        w.u64(d.base_artifact.len() as u64);
+        w.bytes(d.base_artifact.as_bytes());
+        table.push((SEC_DELTA, start as u64, (w.buf.len() - start) as u64));
+    }
+
     // Patch the table, pad the body to a whole number of words, append
     // the checksum trailer.
     // lesm-lint: allow(D2) — `table` is a Vec built in fixed section order, not a hash map
@@ -534,6 +595,8 @@ struct Layout {
     // cold
     cold_off: usize,
     cold_len: usize,
+    // delta lineage (absent on compacted full artifacts)
+    delta: Option<DeltaInfo>,
 }
 
 /// Bounds-checked sequential reader over one section of the mapping.
@@ -745,8 +808,18 @@ impl MappedSnapshot {
         let (cold_off, cold_len) = find(SEC_COLD)?;
         layout.cold_off = cold_off;
         layout.cold_len = cold_len;
+        if let Some(s) = sections.iter().find(|s| s.id == SEC_DELTA) {
+            layout.delta =
+                Some(parse_delta(&map, (s.offset as usize, s.len as usize), &layout)?);
+        }
 
         Ok(MappedSnapshot { map: Arc::new(map), layout, sections })
+    }
+
+    /// Delta lineage for incrementally updated artifacts; `None` on full
+    /// (compacted) artifacts.
+    pub fn delta_info(&self) -> Option<&DeltaInfo> {
+        self.layout.delta.as_ref()
     }
 
     /// The parsed section table (for `lesm snapshot inspect`).
@@ -1464,6 +1537,71 @@ fn parse_doc_ids(
     }
     layout.doc_ids = c.array(n, 8, 8, "doc ids")?;
     Ok(())
+}
+
+/// Decodes and validates the optional delta-lineage section. Runs after
+/// every mandatory section so the base ranges can be checked against the
+/// artifact's own (superset) ranges.
+fn parse_delta(
+    map: &Mapping,
+    (off, len): (usize, usize),
+    layout: &Layout,
+) -> Result<DeltaInfo, SnapshotError> {
+    let mut c = Cursor::new(map, off, len);
+    let base_docs = c.u64()?;
+    let base_words = c.u64()?;
+    let chain_depth = c.u64()?;
+    if chain_depth == 0 {
+        return Err(SnapshotError::Malformed {
+            offset: off,
+            what: "delta lineage chain depth is 0".to_string(),
+        });
+    }
+    if base_docs > layout.n_docs as u64 || base_words > layout.n_words as u64 {
+        return Err(SnapshotError::Malformed {
+            offset: off,
+            what: format!(
+                "delta lineage base ranges ({base_docs} docs, {base_words} words) exceed \
+                 the artifact's ({} docs, {} words)",
+                layout.n_docs, layout.n_words
+            ),
+        });
+    }
+    let nt = c.count("delta lineage entity types")?;
+    if nt != layout.n_types {
+        return Err(SnapshotError::Malformed {
+            offset: off,
+            what: format!(
+                "delta lineage has {nt} entity types, entities section {}",
+                layout.n_types
+            ),
+        });
+    }
+    let counts = c.array(nt, 8, 8, "delta lineage entity counts")?;
+    let base_entities: Vec<u64> = map.view_u64(counts.off, counts.count).to_vec();
+    let type_bounds = map.view_u64(layout.type_bounds.off, layout.type_bounds.count);
+    for (t, &have) in base_entities.iter().enumerate() {
+        let total = type_bounds[t + 1] - type_bounds[t];
+        if have > total {
+            return Err(SnapshotError::Malformed {
+                offset: counts.off,
+                what: format!(
+                    "delta lineage base entity count {have} for type {t} exceeds the \
+                     artifact's {total}"
+                ),
+            });
+        }
+    }
+    let name_len = c.count("delta lineage base name")?;
+    let name_ref = c.array(name_len, 1, 1, "delta lineage base name")?;
+    let name_bytes = &map.bytes()[name_ref.off..name_ref.off + name_ref.count];
+    let base_artifact = std::str::from_utf8(name_bytes)
+        .map_err(|_| SnapshotError::Malformed {
+            offset: name_ref.off,
+            what: "delta lineage base name is not valid UTF-8".to_string(),
+        })?
+        .to_string();
+    Ok(DeltaInfo { base_artifact, base_docs, base_words, base_entities, chain_depth })
 }
 
 // ---------------------------------------------------------------------------

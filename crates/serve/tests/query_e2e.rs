@@ -198,6 +198,77 @@ fn query_pages_are_byte_identical_across_restarts() {
 }
 
 #[test]
+fn stale_cursor_after_hot_swap_is_a_typed_error_never_an_interleave() {
+    // Regression: a paginated /query stream that spans a store hot-swap
+    // must either complete against the model it started on or fail with
+    // the typed cursor error — pages from two model versions must never
+    // interleave. The cursor's stamp binds the model content, and the
+    // swap clears the response cache, so the stale resume recomputes
+    // against the new index and is rejected.
+    let (corpus_a, mined_a) = fixture(9);
+    let (corpus_b, mined_b) = fixture(23);
+    let dir = tmp_dir("cursor-swap");
+    lesm_serve::store::publish(&dir, &lesm_serve::save_snapshot_v2(&corpus_a, &mined_a))
+        .expect("publish v1");
+    let handle = Server::start_store(
+        &dir,
+        ServerConfig { workers: 2, ..ServerConfig::default() },
+    )
+    .expect("serve store");
+    let addr = handle.addr();
+
+    // Page 1 against model A, and one successful same-model resume.
+    let scan = r#"{"steps":[{"filter":{"type":"author"}}],"page":7}"#;
+    let (status, first) = post(addr, "/query", scan);
+    assert_eq!(status, 200);
+    let text = String::from_utf8(first).expect("utf-8 response");
+    let cursor = text
+        .split("\"next_cursor\":\"")
+        .nth(1)
+        .and_then(|t| t.split('"').next())
+        .expect("author scan must leave a next page");
+    let resume = format!(r#"{{"steps":[{{"filter":{{"type":"author"}}}}],"cursor":"{cursor}"}}"#);
+    let (status, page2_a) = post(addr, "/query", &resume);
+    assert_eq!(status, 200, "same-model resume must succeed");
+
+    // Hot-swap to model B and wait for the watcher to pick it up.
+    lesm_serve::store::publish(&dir, &lesm_serve::save_snapshot_v2(&corpus_b, &mined_b))
+        .expect("publish v2");
+    let expected_b = lesm_core::export::hierarchy_to_json(&corpus_b, &mined_b, 10).into_bytes();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while get(addr, "/hierarchy").1 != expected_b {
+        assert!(std::time::Instant::now() < deadline, "hot swap never happened");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The pre-swap cursor must now be a typed 400 — not page 2 of model
+    // A (a stale cache hit) and not page 2 of model B (an interleave).
+    let (status, body) = post(addr, "/query", &resume);
+    let body_text = String::from_utf8_lossy(&body).to_string();
+    assert_eq!(status, 400, "stale cursor must be rejected, got: {body_text}");
+    assert!(body_text.contains("bad cursor"), "unexpected body: {body_text}");
+    assert!(body_text.contains("model version"), "unexpected body: {body_text}");
+    assert_ne!(body, page2_a, "must not serve the old model's page after the swap");
+
+    // A fresh stream against the new model pages normally.
+    let (status, fresh) = post(addr, "/query", scan);
+    assert_eq!(status, 200);
+    let fresh = String::from_utf8(fresh).expect("utf-8 response");
+    let new_cursor = fresh
+        .split("\"next_cursor\":\"")
+        .nth(1)
+        .and_then(|t| t.split('"').next())
+        .expect("new model's scan must page");
+    assert_ne!(new_cursor, cursor, "stamp must differ across model versions");
+    let resume_b =
+        format!(r#"{{"steps":[{{"filter":{{"type":"author"}}}}],"cursor":"{new_cursor}"}}"#);
+    assert_eq!(post(addr, "/query", &resume_b).0, 200, "new-model resume must succeed");
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn query_method_and_size_limits() {
     let (corpus, mined) = fixture(9);
     let handle = start_owned(&corpus, &mined, 2);

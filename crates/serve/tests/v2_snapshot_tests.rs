@@ -26,7 +26,8 @@ use lesm_phrases::TopicalPhrase;
 use lesm_serve::query::{hierarchy_to_json_view, render_topic_view};
 use lesm_serve::{
     describe_artifact, load_model_file, load_snapshot, save_snapshot, save_snapshot_v2,
-    save_snapshot_v2_with_ids, MappedSnapshot, Model, SnapshotError,
+    save_snapshot_v2_with_ids, save_snapshot_v2_with_lineage, DeltaInfo, MappedSnapshot, Model,
+    SnapshotError,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -297,6 +298,83 @@ fn describe_artifact_reports_both_formats() {
     match describe_artifact(b"id\ttext\tauthors\n0\thello\ta") {
         Err(SnapshotError::BadMagic { .. }) => {}
         other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn delta_lineage_round_trips_and_is_optional() {
+    let (corpus, mined) = synthetic_structure(
+        &["mining".into(), "latent".into(), "structures".into()],
+        &[1.0f64.to_bits(), 0.25f64.to_bits()],
+    );
+    let lineage = DeltaInfo {
+        base_artifact: "v0007.lesm".into(),
+        base_docs: 2,
+        base_words: 2,
+        base_entities: vec![1],
+        chain_depth: 3,
+    };
+    let with = save_snapshot_v2_with_lineage(&corpus, &mined, None, Some(&lineage));
+    let mapped = MappedSnapshot::from_bytes(&with).expect("load delta artifact");
+    assert_eq!(mapped.delta_info(), Some(&lineage));
+    // The artifact stays full: all data sections decode exactly as the
+    // lineage-free artifact does.
+    let plain = save_snapshot_v2(&corpus, &mined);
+    let snap = mapped.to_snapshot().expect("decode delta artifact");
+    assert_eq!(plain, save_snapshot_v2(&snap.corpus, &snap.mined));
+    assert_eq!(MappedSnapshot::from_bytes(&plain).expect("load").delta_info(), None);
+    // Inspection names the extra section.
+    let d = describe_artifact(&with).expect("describe");
+    assert!(d.contains("delta-lineage"), "{d}");
+    assert!(d.contains("sections: 11"), "{d}");
+}
+
+#[test]
+fn invalid_delta_lineage_is_a_typed_load_error() {
+    let (corpus, mined) = synthetic_structure(
+        &["mining".into(), "latent".into()],
+        &[1.0f64.to_bits()],
+    );
+    let cases = [
+        // Base ranges exceeding the artifact's own ranges.
+        DeltaInfo {
+            base_artifact: "v0001.lesm".into(),
+            base_docs: 99,
+            base_words: 0,
+            base_entities: vec![0],
+            chain_depth: 1,
+        },
+        // Zero chain depth.
+        DeltaInfo {
+            base_artifact: "v0001.lesm".into(),
+            base_docs: 1,
+            base_words: 1,
+            base_entities: vec![0],
+            chain_depth: 0,
+        },
+        // Entity-type arity mismatch.
+        DeltaInfo {
+            base_artifact: "v0001.lesm".into(),
+            base_docs: 1,
+            base_words: 1,
+            base_entities: vec![0, 0],
+            chain_depth: 1,
+        },
+        // Base entity count exceeding the catalog.
+        DeltaInfo {
+            base_artifact: "v0001.lesm".into(),
+            base_docs: 1,
+            base_words: 1,
+            base_entities: vec![99],
+            chain_depth: 1,
+        },
+    ];
+    for lineage in &cases {
+        let bytes = save_snapshot_v2_with_lineage(&corpus, &mined, None, Some(lineage));
+        match MappedSnapshot::from_bytes(&bytes) {
+            Err(SnapshotError::Malformed { .. }) => {}
+            other => panic!("lineage {lineage:?}: expected Malformed, got {other:?}"),
+        }
     }
 }
 

@@ -23,6 +23,7 @@ strod_out="${4:-BENCH_strod.json}"
 linalg_out="${5:-BENCH_linalg.json}"
 replay_out="${6:-BENCH_replay.json}"
 query_out="${7:-BENCH_query.json}"
+update_out="${8:-BENCH_update.json}"
 # cargo runs bench binaries from the package dir, so the JSON paths must be
 # absolute for all records to land in one file.
 case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
@@ -32,6 +33,7 @@ case "$strod_out" in /*) ;; *) strod_out="$PWD/$strod_out" ;; esac
 case "$linalg_out" in /*) ;; *) linalg_out="$PWD/$linalg_out" ;; esac
 case "$replay_out" in /*) ;; *) replay_out="$PWD/$replay_out" ;; esac
 case "$query_out" in /*) ;; *) query_out="$PWD/$query_out" ;; esac
+case "$update_out" in /*) ;; *) update_out="$PWD/$update_out" ;; esac
 : > "$out"
 export LESM_BENCH_FAST=1
 export LESM_BENCH_JSON="$out"
@@ -88,6 +90,20 @@ cargo bench -p lesm-bench --bench bench_query
 
 echo "wrote $(wc -l < "$query_out") bench records to $query_out"
 
+# Incremental mining (DESIGN.md §15): warm-started `lesm update` over a
+# +1% document delta vs a cold full re-mine of the merged corpus, v2
+# artifact byte-identity asserted on every iteration. Fast mode: the full
+# re-mine baseline is deliberately expensive — that gap is the headline
+# number (target: incremental >= 10x under the re-mine median).
+: > "$update_out"
+export LESM_BENCH_JSON="$update_out"
+export LESM_BENCH_FAST=1
+
+cargo bench -p lesm-bench --bench bench_update
+
+echo "wrote $(wc -l < "$update_out") bench records to $update_out"
+unset LESM_BENCH_FAST
+
 # STROD trajectory: moment construction, the power method, and the
 # end-to-end fit (the allocation-free kernel rewrite's numbers). Fast mode:
 # the end-to-end fit over 3k documents is too slow for full sampling in a
@@ -115,6 +131,6 @@ echo "wrote $(wc -l < "$linalg_out") bench records to $linalg_out"
 # Informational regression tripwire: compare every fresh median against
 # the committed baseline of the same file. Warns (never fails) on >20%
 # regressions — see scripts/bench_check.sh.
-for f in "$out" "$em_out" "$serve_out" "$strod_out" "$linalg_out" "$replay_out" "$query_out"; do
+for f in "$out" "$em_out" "$serve_out" "$strod_out" "$linalg_out" "$replay_out" "$query_out" "$update_out"; do
     scripts/bench_check.sh "$f"
 done
