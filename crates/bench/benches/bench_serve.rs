@@ -24,7 +24,7 @@ fn snapshot_bytes() -> Vec<u8> {
     config.hierarchy.max_depth = 1;
     config.phrase_min_support = 2;
     let mined = LatentStructureMiner::mine(&papers.corpus, &config).expect("mine");
-    save_snapshot(&papers.corpus, &mined)
+    save_snapshot(&papers.corpus, &mined).expect("save")
 }
 
 fn start_server(bytes: &[u8], cache_capacity: usize) -> ServerHandle {

@@ -87,7 +87,7 @@ fn main() {
         let start = Instant::now();
         let mined = LatentStructureMiner::mine(&full, &config).expect("re-mine");
         remine_times.push(start.elapsed().as_nanos());
-        let bytes = lesm_serve::save_snapshot_v2(&full, &mined);
+        let bytes = lesm_serve::save_snapshot_v2(&full, &mined).expect("save");
         match &remine_reference {
             None => remine_reference = Some(bytes),
             Some(first) => {
@@ -104,7 +104,7 @@ fn main() {
         let updated = LatentStructureMiner::update(&full, &base, base_docs, &config, &budget)
             .expect("incremental update");
         update_times.push(start.elapsed().as_nanos());
-        let bytes = lesm_serve::save_snapshot_v2(&full, &updated);
+        let bytes = lesm_serve::save_snapshot_v2(&full, &updated).expect("save");
         match &update_reference {
             None => update_reference = Some(bytes),
             Some(first) => {

@@ -714,7 +714,7 @@ pub fn run_update(
     let chain_depth = base_chain + 1;
     let compact = chain_depth > max_delta_chain;
     let bytes = if compact {
-        lesm_serve::save_snapshot_v2(&merged, &updated)
+        lesm_serve::save_snapshot_v2(&merged, &updated).map_err(|e| e.to_string())?
     } else {
         let lineage = lesm_serve::DeltaInfo {
             base_artifact: base_name.clone(),
@@ -724,6 +724,7 @@ pub fn run_update(
             chain_depth,
         };
         lesm_serve::save_snapshot_v2_with_lineage(&merged, &updated, None, Some(&lineage))
+            .map_err(|e| e.to_string())?
     };
     let published = if is_store {
         lesm_serve::store::publish(path, &bytes).map_err(|e| e.to_string())?

@@ -82,9 +82,10 @@ pub fn check_snapshot_roundtrip(
     mined: &MinedStructure,
     json: &str,
 ) -> Result<(), String> {
-    let bytes = lesm_serve::save_snapshot(corpus, mined);
+    let bytes = lesm_serve::save_snapshot(corpus, mined).map_err(|e| format!("save_snapshot: {e}"))?;
     let snap = lesm_serve::load_snapshot(&bytes).map_err(|e| format!("load_snapshot: {e}"))?;
-    let again = lesm_serve::save_snapshot(&snap.corpus, &snap.mined);
+    let again = lesm_serve::save_snapshot(&snap.corpus, &snap.mined)
+        .map_err(|e| format!("save_snapshot (re-save): {e}"))?;
     if again != bytes {
         return Err(format!(
             "snapshot re-save differs: {} vs {} bytes",

@@ -165,7 +165,10 @@ pub fn run_server_case(id: usize) -> Result<Vec<String>, CaseFailure> {
         Ok(Err(_)) => return Ok(Vec::new()),
         Ok(Ok(m)) => m,
     };
-    let bytes = lesm_serve::save_snapshot(&corpus, &mined);
+    let bytes = match lesm_serve::save_snapshot(&corpus, &mined) {
+        Ok(b) => b,
+        Err(e) => return Err(fail(format!("save_snapshot: {e}"))),
+    };
     let snap = match lesm_serve::load_snapshot(&bytes) {
         Ok(s) => s,
         Err(e) => return Err(fail(format!("load_snapshot: {e}"))),
@@ -283,7 +286,13 @@ pub fn run_nonfinite_snapshot_cases() -> Vec<CaseFailure> {
             label: format!("nonfinite-snapshot bits={bits:#018x}"),
             detail,
         };
-        let bytes = lesm_serve::save_snapshot(&corpus, &mined);
+        let bytes = match lesm_serve::save_snapshot(&corpus, &mined) {
+            Ok(b) => b,
+            Err(e) => {
+                failures.push(fail(format!("save_snapshot: {e}")));
+                continue;
+            }
+        };
         let snap = match lesm_serve::load_snapshot(&bytes) {
             Ok(s) => s,
             Err(e) => {
@@ -291,7 +300,13 @@ pub fn run_nonfinite_snapshot_cases() -> Vec<CaseFailure> {
                 continue;
             }
         };
-        let again = lesm_serve::save_snapshot(&snap.corpus, &snap.mined);
+        let again = match lesm_serve::save_snapshot(&snap.corpus, &snap.mined) {
+            Ok(b) => b,
+            Err(e) => {
+                failures.push(fail(format!("save_snapshot (re-save): {e}")));
+                continue;
+            }
+        };
         if again != bytes {
             failures.push(fail("re-save not byte-identical".into()));
             continue;
@@ -645,7 +660,8 @@ fn drive_update(
             .collect(),
         chain_depth: 1,
     };
-    let bytes = lesm_serve::save_snapshot_v2_with_lineage(&merged, &updated, None, Some(&lineage));
+    let bytes = lesm_serve::save_snapshot_v2_with_lineage(&merged, &updated, None, Some(&lineage))
+        .map_err(|e| format!("save_snapshot_v2_with_lineage: {e}"))?;
     let mapped = lesm_serve::MappedSnapshot::from_bytes(&bytes)
         .map_err(|e| format!("artifact produced by update does not load: {e}"))?;
     if mapped.delta_info() != Some(&lineage) {

@@ -1,0 +1,283 @@
+//! Pass 1 — the approximate call graph.
+//!
+//! Resolution is by name, deliberately over-approximate: `.method(x)`
+//! links to *every* workspace fn called `method`, `Type::method(x)`
+//! prefers fns whose `impl` type matches `Type`, and a bare `name(x)`
+//! links to every fn called `name`. Two dampers keep the
+//! over-approximation from collapsing into "everything calls
+//! everything": ubiquitous `std` method names (`new`, `len`, `iter`,
+//! `push`, …) never resolve through bare or receiver calls, and
+//! capitalized bare calls (`Some(…)`, `Vec::from` handled separately)
+//! are treated as tuple constructors, not calls. Missing an edge can
+//! hide a taint path; inventing one only costs a pragma — so every
+//! ambiguity resolves toward *more* edges for non-ubiquitous names.
+
+use crate::lexer::TokenKind;
+use crate::rules::{Cx, FileClass};
+use crate::source::Workspace;
+use crate::symbols::SymbolTable;
+
+/// Method/function names so common in `std` that name-resolution on
+/// them would wire the whole workspace together. Receiver and bare
+/// calls on these names are dropped; `Type::name(…)` still resolves
+/// when `Type` matches a workspace `impl`.
+const UBIQUITOUS: &[&[u8]] = &[
+    b"as_bytes", b"as_mut", b"as_mut_ptr", b"as_ptr", b"as_ref", b"as_slice",
+    b"as_str", b"binary_search", b"binary_search_by", b"borrow", b"borrow_mut",
+    b"chain", b"chars", b"clamp", b"clear", b"clone", b"cloned", b"cmp",
+    b"collect", b"contains", b"contains_key", b"copied", b"count", b"default",
+    b"drain", b"entry", b"enumerate", b"eq", b"extend", b"filter", b"filter_map",
+    b"find", b"flat_map", b"flatten", b"fold", b"from", b"get", b"get_mut",
+    b"get_or_insert_with", b"hash", b"insert", b"into", b"into_iter", b"is_empty",
+    b"is_none", b"is_some", b"iter", b"iter_mut", b"join", b"keys", b"last",
+    b"len", b"lines", b"map", b"map_err", b"max", b"max_by", b"max_by_key",
+    b"min", b"min_by", b"min_by_key", b"new", b"next", b"ok", b"ok_or",
+    b"ok_or_else", b"parse", b"partial_cmp", b"pop", b"position", b"push",
+    b"push_str", b"read", b"remove", b"repeat", b"replace", b"resize", b"rev",
+    b"reverse", b"rotate_left", b"rotate_right", b"skip", b"sort", b"sort_by",
+    b"sort_by_key", b"sort_unstable", b"sort_unstable_by", b"sort_unstable_by_key",
+    b"split", b"split_at", b"split_whitespace", b"starts_with", b"ends_with",
+    b"step_by", b"sum", b"take", b"then", b"then_with", b"to_owned", b"to_string",
+    b"to_vec", b"trim", b"truncate", b"try_into", b"unwrap_or", b"unwrap_or_default",
+    b"unwrap_or_else", b"values", b"values_mut", b"windows", b"with_capacity",
+    b"write", b"write_all", b"zip",
+];
+
+/// Keywords that can directly precede `(` without being a call.
+const CALL_KEYWORDS: &[&[u8]] = &[
+    b"if", b"while", b"match", b"for", b"loop", b"return", b"in", b"as",
+    b"where", b"fn", b"let", b"else", b"move", b"unsafe", b"impl", b"dyn",
+    b"pub", b"crate", b"super", b"self", b"Self", b"ref", b"mut", b"box",
+    b"await", b"yield", b"use", b"extern",
+];
+
+fn is_ubiquitous(name: &[u8]) -> bool {
+    UBIQUITOUS.contains(&name)
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// The other endpoint (index into [`SymbolTable::fns`]).
+    pub other: usize,
+    /// 1-based line of the call site (in the *caller's* file).
+    pub line: u32,
+}
+
+/// Caller→callee and callee→caller adjacency, indexed like
+/// [`SymbolTable::fns`].
+pub struct CallGraph {
+    /// Per fn: resolved callees.
+    pub callees: Vec<Vec<Edge>>,
+    /// Per fn: resolved callers (the reverse edges).
+    pub callers: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Builds the graph by scanning every library file for call-shaped
+    /// token patterns and resolving them through `syms`.
+    pub fn build(ws: &Workspace, syms: &SymbolTable) -> CallGraph {
+        let n = syms.fns.len();
+        let mut callees: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        for (fi, file) in ws.files.iter().enumerate() {
+            if file.class != FileClass::Lib {
+                continue;
+            }
+            let cx = file.cx();
+            scan_calls(&cx, fi, syms, &mut callees, &mut callers);
+        }
+        for adj in callees.iter_mut().chain(callers.iter_mut()) {
+            adj.sort_by_key(|e| (e.other, e.line));
+            adj.dedup_by_key(|e| e.other);
+        }
+        CallGraph { callees, callers }
+    }
+}
+
+/// If the ident at `i` starts a call (possibly through a turbofish),
+/// returns `true`: `name(` or `name::<…>(`.
+fn is_call_head(cx: &Cx, i: usize) -> bool {
+    if cx.is_punct(i + 1, b"(") {
+        return true;
+    }
+    // Turbofish: name ::< … > (
+    if cx.is_punct(i + 1, b":") && cx.is_punct(i + 2, b":") && cx.is_punct(i + 3, b"<") {
+        let mut angle = 0i32;
+        let mut j = i + 3;
+        while j < cx.sig.len() && j < i + 64 {
+            match cx.text(j) {
+                b"<" => angle += 1,
+                b">" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        return cx.is_punct(j + 1, b"(");
+                    }
+                }
+                b";" | b"{" => return false,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    false
+}
+
+fn scan_calls(
+    cx: &Cx,
+    file: usize,
+    syms: &SymbolTable,
+    callees: &mut [Vec<Edge>],
+    callers: &mut [Vec<Edge>],
+) {
+    for i in 0..cx.sig.len() {
+        if cx.sig[i].kind != TokenKind::Ident || !cx.live(i) || !is_call_head(cx, i) {
+            continue;
+        }
+        let name = cx.text(i);
+        if CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        // The declaration itself (`fn name(`) is not a call.
+        if i > 0 && cx.is_ident(i - 1) && cx.text(i - 1) == b"fn" {
+            continue;
+        }
+        let Some(caller) = syms.enclosing_fn(file, i) else { continue };
+        if syms.fns[caller].in_test {
+            continue;
+        }
+        let line = cx.line(i);
+
+        // Shape of the call: receiver method, path-qualified, or bare.
+        let after_path_sep =
+            i >= 2 && cx.is_punct(i - 1, b":") && cx.is_punct(i - 2, b":");
+        let targets: Vec<usize> = if i > 0 && cx.is_punct(i - 1, b".") {
+            // `.name(` — receiver call.
+            if is_ubiquitous(name) {
+                continue;
+            }
+            syms.named(name).to_vec()
+        } else if after_path_sep && i >= 3 && cx.is_ident(i - 3) {
+            // `Qual::name(` — prefer methods of a matching impl type.
+            let qual = cx.text(i - 3);
+            let all = syms.named(name);
+            let matching: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&f| {
+                    let st = syms.fns[f].self_type.as_deref().map(str::as_bytes);
+                    st == Some(qual)
+                        || (qual == b"Self"
+                            && st.is_some()
+                            && st
+                                == syms.fns[caller]
+                                    .self_type
+                                    .as_deref()
+                                    .map(str::as_bytes))
+                })
+                .collect();
+            if !matching.is_empty() {
+                matching
+            } else if is_ubiquitous(name) {
+                continue; // `Vec::new(…)` etc.: no workspace impl matched.
+            } else {
+                all.to_vec()
+            }
+        } else if after_path_sep {
+            // `::name(` after a closing `>` or similar — resolve by name.
+            if is_ubiquitous(name) {
+                continue;
+            }
+            syms.named(name).to_vec()
+        } else {
+            // Bare `name(` — capitalized idents are tuple constructors.
+            if is_ubiquitous(name) || name.first().is_some_and(u8::is_ascii_uppercase) {
+                continue;
+            }
+            syms.named(name).to_vec()
+        };
+
+        for callee in targets {
+            if callee == caller || syms.fns[callee].in_test {
+                continue;
+            }
+            callees[caller].push(Edge { other: callee, line });
+            callers[callee].push(Edge { other: caller, line });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    fn graph(files: Vec<(&str, &str)>) -> (SymbolTable, CallGraph) {
+        let ws = Workspace::from_sources(
+            files
+                .into_iter()
+                .map(|(p, s)| (p.to_string(), s.as_bytes().to_vec()))
+                .collect(),
+        );
+        let syms = SymbolTable::build(&ws);
+        let graph = CallGraph::build(&ws, &syms);
+        (syms, graph)
+    }
+
+    fn idx(syms: &SymbolTable, name: &str) -> usize {
+        syms.named(name.as_bytes())[0]
+    }
+
+    #[test]
+    fn bare_call_links_across_files() {
+        let (syms, g) = graph(vec![
+            ("crates/core/src/a.rs", "pub fn top() { helper_step(1); }\n"),
+            ("crates/hier/src/b.rs", "pub fn helper_step(x: u32) {}\n"),
+        ]);
+        let top = idx(&syms, "top");
+        let helper = idx(&syms, "helper_step");
+        assert!(g.callees[top].iter().any(|e| e.other == helper));
+        assert!(g.callers[helper].iter().any(|e| e.other == top));
+    }
+
+    #[test]
+    fn ubiquitous_names_do_not_link() {
+        let (syms, g) = graph(vec![
+            ("crates/core/src/a.rs", "pub fn top(v: &[u8]) { v.len(); }\n"),
+            ("crates/hier/src/b.rs", "pub fn len() -> usize { 0 }\n"),
+        ]);
+        assert!(g.callees[idx(&syms, "top")].is_empty());
+    }
+
+    #[test]
+    fn qualified_call_prefers_matching_impl() {
+        let (syms, g) = graph(vec![(
+            "crates/core/src/a.rs",
+            "struct A; struct B;\nimpl A { fn go(x: u32) {} }\nimpl B { fn go(x: u32) {} }\npub fn top() { A::go(1); }\n",
+        )]);
+        let top = idx(&syms, "top");
+        assert_eq!(g.callees[top].len(), 1);
+        let callee = g.callees[top][0].other;
+        assert_eq!(syms.fns[callee].self_type.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn turbofish_call_resolves() {
+        let (syms, g) = graph(vec![(
+            "crates/core/src/a.rs",
+            "fn kernel<const N: usize>(x: u32) {}\npub fn top() { kernel::<4>(1); }\n",
+        )]);
+        assert!(g.callees[idx(&syms, "top")]
+            .iter()
+            .any(|e| e.other == idx(&syms, "kernel")));
+    }
+
+    #[test]
+    fn test_fns_stay_out_of_the_graph() {
+        let (syms, g) = graph(vec![(
+            "crates/core/src/a.rs",
+            "pub fn prod() {}\n#[cfg(test)]\nmod tests { fn t() { super::prod(); } }\n",
+        )]);
+        assert!(g.callers[idx(&syms, "prod")].is_empty());
+    }
+}

@@ -1,0 +1,273 @@
+//! Pass 4 — wire truncation (rule W1).
+//!
+//! The serve and query crates write snapshot sections, cursor offsets,
+//! and HTTP framing: every integer that crosses that boundary is a
+//! contract. A lossy `as` cast there silently truncates at scale — the
+//! exact bug class behind the `IndexOverflow` hardening — so inside
+//! `crates/serve/src/` and `crates/query/src/` (library files only;
+//! tests are exempt wholesale):
+//!
+//! - `… as u8/u16/u32/i8/i16/i32/f32` fires: narrowing must go through
+//!   `try_into` with a typed error. In-range integer literals
+//!   (`7 as u32`) are exempt — nothing to lose.
+//! - `float as integer` fires (including through `floor`/`ceil`/
+//!   `round`/`trunc`): saturating float casts are value-dependent;
+//!   wire code must make rounding explicit and checked.
+//!
+//! Widening casts (`u32 as usize`, `u32 as u64`) stay legal — they are
+//! lossless on every supported target and the query engine uses them
+//! heavily for indexing. The escape hatch, as always, is a reasoned
+//! `lesm-lint: allow(W1)` pragma.
+
+use crate::lexer::TokenKind;
+use crate::pragma;
+use crate::rules::{FileClass, RuleId, Violation};
+use crate::source::Workspace;
+use crate::FileViolation;
+
+/// Crate prefixes whose library sources write wire formats.
+const WIRE_PREFIXES: &[&str] = &["crates/serve/src/", "crates/query/src/"];
+
+/// Cast targets that can drop bits from any non-literal source.
+const NARROW_TARGETS: &[&[u8]] =
+    &[b"u8", b"u16", b"u32", b"i8", b"i16", b"i32", b"f32"];
+
+/// Integer cast targets checked for float-valued sources.
+const INT_TARGETS: &[&[u8]] =
+    &[b"u64", b"usize", b"i64", b"isize", b"u128", b"i128"];
+
+/// Runs the wire-truncation pass over a loaded workspace.
+pub fn run(ws: &Workspace) -> Vec<FileViolation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.class != FileClass::Lib
+            || !WIRE_PREFIXES.iter().any(|p| file.rel.starts_with(p))
+        {
+            continue;
+        }
+        let cx = file.cx();
+        for i in 0..cx.sig.len() {
+            if !cx.is_ident(i) || !cx.live(i) || cx.text(i) != b"as" {
+                continue;
+            }
+            // `use x as y;` renames, it does not cast.
+            if in_use_statement(&cx, i) {
+                continue;
+            }
+            if !cx.is_ident(i + 1) {
+                continue; // `as *const T` etc. — pointer casts are U2 turf.
+            }
+            let target = cx.text(i + 1);
+            let lossy = if NARROW_TARGETS.contains(&target) {
+                !literal_fits(&cx, i, target)
+            } else if INT_TARGETS.contains(&target) {
+                float_source(&cx, i)
+            } else {
+                false
+            };
+            if !lossy {
+                continue;
+            }
+            let line = cx.line(i);
+            if pragma::suppresses(&file.pragmas, RuleId::W1, line) {
+                continue;
+            }
+            out.push(FileViolation {
+                path: file.rel.clone(),
+                violation: Violation {
+                    rule: RuleId::W1,
+                    line,
+                    note: format!(
+                        "lossy `as {}` cast on a wire path; use `try_into` with a \
+                         typed error (or `From` where lossless)",
+                        String::from_utf8_lossy(target)
+                    ),
+                    snippet: file.snippet(line),
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Walks back (bounded) for a `use` keyword with no statement boundary
+/// in between — then this `as` is a rename.
+fn in_use_statement(cx: &crate::rules::Cx, i: usize) -> bool {
+    let lo = i.saturating_sub(24);
+    for j in (lo..i).rev() {
+        match cx.text(j) {
+            b";" | b"{" | b"}" | b"(" | b")" | b"=" => return false,
+            b"use" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// True when the cast source is an integer literal whose value fits the
+/// target type — `0 as u32` or `0xFF as u8` lose nothing.
+fn literal_fits(cx: &crate::rules::Cx, as_tok: usize, target: &[u8]) -> bool {
+    if as_tok == 0 || cx.sig[as_tok - 1].kind != TokenKind::Number {
+        return false;
+    }
+    let Some(v) = parse_int(cx.text(as_tok - 1)) else { return false };
+    let max: u128 = match target {
+        b"u8" => u8::MAX as u128,
+        b"u16" => u16::MAX as u128,
+        b"u32" => u32::MAX as u128,
+        b"i8" => i8::MAX as u128,
+        b"i16" => i16::MAX as u128,
+        b"i32" => i32::MAX as u128,
+        // `1.5 as f32` style float-literal casts stay flagged: the
+        // fits-check only vouches for integers.
+        _ => return false,
+    };
+    v <= max
+}
+
+/// Parses an integer literal (decimal/hex/octal/binary, `_` separators,
+/// type suffix). `None` for float-shaped literals.
+fn parse_int(text: &[u8]) -> Option<u128> {
+    let s: String = String::from_utf8_lossy(text).replace('_', "");
+    // Strip a type suffix like `u32` / `i64` / `usize`.
+    let body = strip_suffix(&s);
+    if body.contains('.') || (body.starts_with(|c: char| c.is_ascii_digit()) && body.contains(['e', 'E']) && !body.starts_with("0x") && !body.starts_with("0X")) {
+        return None;
+    }
+    if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u128::from_str_radix(hex, 16).ok()
+    } else if let Some(oct) = body.strip_prefix("0o").or_else(|| body.strip_prefix("0O")) {
+        u128::from_str_radix(oct, 8).ok()
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        u128::from_str_radix(bin, 2).ok()
+    } else {
+        body.parse().ok()
+    }
+}
+
+/// Removes a trailing integer type suffix (`123u32` → `123`).
+fn strip_suffix(s: &str) -> &str {
+    for suf in [
+        "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64",
+        "i128", "isize",
+    ] {
+        if let Some(body) = s.strip_suffix(suf) {
+            if !body.is_empty() {
+                return body;
+            }
+        }
+    }
+    s
+}
+
+/// True when the cast source is visibly float-valued: a float literal,
+/// or a `floor()`/`ceil()`/`round()`/`trunc()` call result.
+fn float_source(cx: &crate::rules::Cx, as_tok: usize) -> bool {
+    if as_tok == 0 {
+        return false;
+    }
+    let prev = as_tok - 1;
+    if cx.sig[prev].kind == TokenKind::Number {
+        let t = cx.text(prev);
+        return t.contains(&b'.')
+            || t.ends_with(b"f32")
+            || t.ends_with(b"f64")
+            || (!t.starts_with(b"0x") && !t.starts_with(b"0X") && t.iter().any(|&b| b == b'e' || b == b'E'));
+    }
+    // `(expr).floor() as u64` — walk back over the call parens to the
+    // method name.
+    if cx.is_punct(prev, b")") {
+        let mut depth = 0i32;
+        let lo = prev.saturating_sub(256);
+        for j in (lo..=prev).rev() {
+            match cx.text(j) {
+                b")" => depth += 1,
+                b"(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j >= 1
+                            && matches!(
+                                cx.text(j - 1),
+                                b"floor" | b"ceil" | b"round" | b"trunc"
+                            );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    fn casts(path: &str, src: &str) -> Vec<FileViolation> {
+        let ws = Workspace::from_sources(vec![(path.to_string(), src.as_bytes().to_vec())]);
+        run(&ws)
+    }
+
+    #[test]
+    fn narrowing_in_wire_crate_fires() {
+        let v = casts(
+            "crates/serve/src/v2x.rs",
+            "pub fn n(x: usize) -> u32 { x as u32 }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].violation.rule, RuleId::W1);
+    }
+
+    #[test]
+    fn widening_is_silent() {
+        let v = casts(
+            "crates/query/src/eng.rs",
+            "pub fn w(x: u32) -> usize { x as usize }\npub fn w2(x: u32) -> u64 { x as u64 }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn in_range_literal_is_silent_out_of_range_fires() {
+        let ok = casts("crates/serve/src/s.rs", "pub fn k() -> u8 { 255 as u8 }\n");
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = casts("crates/serve/src/s.rs", "pub fn k() -> u8 { 256 as u8 }\n");
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn float_to_int_fires() {
+        let v = casts(
+            "crates/serve/src/s.rs",
+            "pub fn f(x: f64) -> u64 { (x * 8.0).floor() as u64 }\n",
+        );
+        assert_eq!(v.len(), 1);
+        let lit = casts("crates/serve/src/s.rs", "pub fn g() -> u64 { 1.5 as u64 }\n");
+        assert_eq!(lit.len(), 1);
+    }
+
+    #[test]
+    fn non_wire_crate_is_silent() {
+        let v = casts("crates/hier/src/em2.rs", "pub fn n(x: usize) -> u32 { x as u32 }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn use_rename_and_tests_are_exempt() {
+        let v = casts(
+            "crates/serve/src/s.rs",
+            "use std::io::Error as IoErr;\npub fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t(x: usize) -> u32 { x as u32 }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn pragma_silences_w1() {
+        let v = casts(
+            "crates/serve/src/s.rs",
+            "pub fn n(x: usize) -> u32 {\n    // lesm-lint: allow(W1) — x is a section id, bounded by header checks\n    x as u32\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

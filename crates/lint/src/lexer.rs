@@ -241,9 +241,17 @@ impl<'a> Lexer<'a> {
                     self.push(TokenKind::Lifetime, start, self.i, line);
                 }
             }
+            Some(b) if b != b'\'' && b != b'\n' && self.peek(2) == Some(b'\'') => {
+                // Punctuation char literal: `'"'`, `'('`, `' '`, `','` —
+                // three bytes, closing quote included. Without this the
+                // quote would leak as `Punct` and the `"` of `'"'` would
+                // open a phantom string, desyncing everything after it.
+                self.i += 3;
+                self.push(TokenKind::Char, start, self.i, line);
+            }
             _ => {
-                // `'''`, a stray quote at EOF, `'(`… — not meaningful to
-                // any rule; emit the quote as punctuation and move on.
+                // `'''`, a stray quote at EOF… — not meaningful to any
+                // rule; emit the quote as punctuation and move on.
                 self.push(TokenKind::Punct, start, self.i + 1, line);
                 self.i += 1;
             }
@@ -395,6 +403,24 @@ mod tests {
         assert!(toks.iter().any(|(k, s)| *k == TokenKind::Lifetime && s == "'a"));
         assert!(toks.iter().any(|(k, s)| *k == TokenKind::Char && s == "'z'"));
         assert!(toks.iter().any(|(k, s)| *k == TokenKind::Char && s == "'\\n'"));
+    }
+
+    #[test]
+    fn punctuation_char_literals_do_not_desync() {
+        // `'"'` must lex as one Char token; the `"` inside it must not
+        // open a string that swallows the rest of the file.
+        let toks = kinds("match c { '\"' => quote(), _ => other() } trailing");
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Char && s == "'\"'"));
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "trailing"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Str));
+        let toks = kinds("let p = '('; let sp = ' '; let c = ','; end");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(chars, ["'('", "' '", "','"]);
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "end"));
     }
 
     #[test]

@@ -6,9 +6,13 @@
 //! tests. This crate enforces them at the *source* level, on every
 //! build: a hand-rolled lexer ([`lexer`]), a `#[cfg(test)]` scope
 //! tracker ([`scope`]), and a rule engine ([`rules`]) checking the
-//! static-analysis contract of DESIGN.md §11. The sole escape hatch is
-//! the `// lesm-lint: allow(rule) — reason` pragma ([`pragma`]), whose
-//! reason is mandatory.
+//! static-analysis contract of DESIGN.md §11. On top of the per-file
+//! token rules sits the multi-pass workspace analyzer of DESIGN.md §16:
+//! a symbol table ([`symbols`]) and approximate call graph
+//! ([`callgraph`]) feeding determinism taint ([`taint`]), the unsafe
+//! audit ([`unsafe_audit`]), and wire-truncation checking ([`casts`]).
+//! The sole escape hatch is the `// lesm-lint: allow(rule) — reason`
+//! pragma ([`pragma`]), whose reason is mandatory.
 //!
 //! The linter must itself satisfy the contract it enforces, so this
 //! crate uses no `HashMap`, no `unwrap`, and returns typed errors.
@@ -16,15 +20,22 @@
 // DESIGN.md §10: library code must surface typed errors, not unwraps.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod callgraph;
+pub mod casts;
 pub mod lexer;
 pub mod pragma;
 pub mod rules;
 pub mod scope;
+pub mod source;
+pub mod symbols;
+pub mod taint;
+pub mod unsafe_audit;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub use rules::{check_source, FileClass, RuleId, Violation};
+pub use source::Workspace;
 
 /// A violation annotated with the file it was found in.
 #[derive(Debug, Clone)]
@@ -48,6 +59,60 @@ impl fmt::Display for FileViolation {
             v.snippet
         )
     }
+}
+
+impl FileViolation {
+    /// One JSON object, fields always in the order
+    /// `file`, `line`, `rule`, `note`, `snippet` — the machine-readable
+    /// contract of `--format json`.
+    pub fn to_json(&self) -> String {
+        let v = &self.violation;
+        format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"note\":{},\"snippet\":{}}}",
+            json_str(&self.path),
+            v.line,
+            json_str(v.rule.as_str()),
+            json_str(&v.note),
+            json_str(&v.snippet)
+        )
+    }
+}
+
+/// Escapes a string for JSON output (hand-rolled: this crate takes no
+/// dependencies).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a violation list as a JSON array, one object per line.
+pub fn render_json(violations: &[FileViolation]) -> String {
+    if violations.is_empty() {
+        return "[]\n".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&v.to_json());
+        out.push_str(if i + 1 < violations.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
 }
 
 /// Why a lint run could not complete.
@@ -142,22 +207,116 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
     Ok(())
 }
 
-/// Lints one file on disk. `rel` is the workspace-relative path used
-/// for classification and reporting.
-pub fn lint_file(root: &Path, rel: &str) -> Result<Vec<FileViolation>, LintError> {
-    let Some(class) = classify(rel) else { return Ok(Vec::new()) };
-    let abs = root.join(rel);
-    let src = std::fs::read(&abs).map_err(|source| LintError::Io { path: abs, source })?;
-    Ok(check_source(&src, class)
-        .into_iter()
-        .map(|violation| FileViolation { path: rel.to_string(), violation })
-        .collect())
+/// One analyzer pass, selectable via `lesm-lint --passes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Per-file token rules: D1–D3, R1, R2, P0.
+    Tokens,
+    /// Call-graph determinism taint: D4.
+    Taint,
+    /// Unsafe audit: U1–U3.
+    Unsafe,
+    /// Wire truncation: W1.
+    Casts,
 }
 
-/// Lints the whole workspace rooted at `root`: every governed `.rs`
-/// file under `crates/` and `src/`. Results are sorted by path, then
-/// line.
-pub fn lint_workspace(root: &Path) -> Result<Vec<FileViolation>, LintError> {
+impl Pass {
+    /// Every pass, in canonical execution order.
+    pub const ALL: [Pass; 4] = [Pass::Tokens, Pass::Taint, Pass::Unsafe, Pass::Casts];
+
+    /// The `--passes` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Tokens => "tokens",
+            Pass::Taint => "taint",
+            Pass::Unsafe => "unsafe",
+            Pass::Casts => "casts",
+        }
+    }
+}
+
+/// Parses a `--passes` spec: `all` or a comma list of pass names.
+/// Duplicates collapse; execution order is always canonical.
+pub fn parse_passes(spec: &str) -> Result<Vec<Pass>, String> {
+    if spec.trim() == "all" {
+        return Ok(Pass::ALL.to_vec());
+    }
+    let mut wanted = Vec::new();
+    for name in spec.split(',') {
+        let name = name.trim();
+        let pass = Pass::ALL
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| {
+                format!("unknown pass `{name}` (expected: tokens, taint, unsafe, casts, all)")
+            })?;
+        if !wanted.contains(&pass) {
+            wanted.push(pass);
+        }
+    }
+    if wanted.is_empty() {
+        return Err("empty pass list".to_string());
+    }
+    Ok(Pass::ALL.into_iter().filter(|p| wanted.contains(p)).collect())
+}
+
+/// Runs one pass over a loaded workspace. Results are unsorted; callers
+/// go through [`audit`] for the canonical ordering.
+pub fn run_pass(ws: &Workspace, pass: Pass) -> Vec<FileViolation> {
+    match pass {
+        Pass::Tokens => {
+            let mut out = Vec::new();
+            for file in &ws.files {
+                out.extend(check_source(&file.src, file.class).into_iter().map(
+                    |violation| FileViolation { path: file.rel.clone(), violation },
+                ));
+            }
+            out
+        }
+        Pass::Taint => {
+            let syms = symbols::SymbolTable::build(ws);
+            let graph = callgraph::CallGraph::build(ws, &syms);
+            taint::run(ws, &syms, &graph)
+        }
+        Pass::Unsafe => {
+            let syms = symbols::SymbolTable::build(ws);
+            let graph = callgraph::CallGraph::build(ws, &syms);
+            unsafe_audit::run(ws, &syms, &graph)
+        }
+        Pass::Casts => casts::run(ws),
+    }
+}
+
+/// Runs the requested passes and returns the merged findings, sorted by
+/// path, line, rule — the linter's output is itself deterministic.
+pub fn audit(ws: &Workspace, passes: &[Pass]) -> Vec<FileViolation> {
+    let mut out = Vec::new();
+    for &pass in passes {
+        out.extend(run_pass(ws, pass));
+    }
+    audit_merge(out)
+}
+
+/// Sorts raw pass findings into the canonical report order (path, line,
+/// rule, note) and drops exact duplicates. [`audit`] in two halves, for
+/// callers that drive [`run_pass`] themselves (the CLI times each pass).
+pub fn audit_merge(mut out: Vec<FileViolation>) -> Vec<FileViolation> {
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.violation.line, a.violation.rule.as_str(), a.violation.note.as_str())
+            .cmp(&(b.path.as_str(), b.violation.line, b.violation.rule.as_str(), b.violation.note.as_str()))
+    });
+    out.dedup_by(|a, b| {
+        a.path == b.path
+            && a.violation.line == b.violation.line
+            && a.violation.rule == b.violation.rule
+            && a.violation.note == b.violation.note
+    });
+    out
+}
+
+/// Lists every governed `.rs` file under `root` as sorted
+/// workspace-relative paths with `/` separators.
+pub fn governed_files(root: &Path) -> Result<Vec<String>, LintError> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(LintError::NotAWorkspace(root.to_path_buf()));
@@ -168,15 +327,35 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<FileViolation>, LintError> {
     if src_dir.is_dir() {
         walk(&src_dir, &mut files)?;
     }
-    let mut out = Vec::new();
-    for abs in files {
-        let rel = match abs.strip_prefix(root) {
+    Ok(files
+        .into_iter()
+        .map(|abs| match abs.strip_prefix(root) {
             Ok(r) => r.to_string_lossy().replace('\\', "/"),
             Err(_) => abs.to_string_lossy().replace('\\', "/"),
-        };
-        out.extend(lint_file(root, &rel)?);
-    }
-    Ok(out)
+        })
+        .collect())
+}
+
+/// Lints one file on disk with the per-file token rules only. `rel` is
+/// the workspace-relative path used for classification and reporting.
+/// The workspace passes (taint, unsafe, casts) need the whole tree in
+/// view — use [`Workspace::load`] + [`audit`] for those.
+pub fn lint_file(root: &Path, rel: &str) -> Result<Vec<FileViolation>, LintError> {
+    let Some(class) = classify(rel) else { return Ok(Vec::new()) };
+    let abs = root.join(rel);
+    let src = std::fs::read(&abs).map_err(|source| LintError::Io { path: abs, source })?;
+    Ok(check_source(&src, class)
+        .into_iter()
+        .map(|violation| FileViolation { path: rel.to_string(), violation })
+        .collect())
+}
+
+/// Runs the full pass pipeline over the workspace rooted at `root`:
+/// every governed `.rs` file under `crates/` and `src/`, all four
+/// passes. Results are sorted by path, then line.
+pub fn lint_workspace(root: &Path) -> Result<Vec<FileViolation>, LintError> {
+    let ws = Workspace::load(root)?;
+    Ok(audit(&ws, &Pass::ALL))
 }
 
 /// Locates the workspace root: walks up from `start` until a directory

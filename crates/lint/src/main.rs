@@ -1,36 +1,77 @@
 //! `lesm-lint` — command-line front end for the workspace auditor.
 //!
 //! ```text
-//! lesm-lint --workspace [--root DIR]   # lint every governed file
-//! lesm-lint [--root DIR] FILE...       # lint specific files (workspace-relative)
+//! lesm-lint --workspace [--root DIR]   # audit every governed file
+//! lesm-lint [--root DIR] FILE...       # audit specific files (workspace-relative)
+//!
+//! --passes LIST    comma list of tokens,taint,unsafe,casts (default: all)
+//! --format FMT     human (default) or json
+//! --timing         print per-pass wall time to stderr
 //! ```
+//!
+//! File mode still loads the whole workspace — the taint pass needs the
+//! full call graph even to judge one file — and then reports only the
+//! violations landing in the named files.
 //!
 //! Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+use lesm_lint::{FileViolation, Pass, Workspace};
+
+enum Format {
+    Human,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
     let mut workspace = false;
     let mut files: Vec<String> = Vec::new();
+    let mut passes: Vec<Pass> = Pass::ALL.to_vec();
+    let mut format = Format::Human;
+    let mut timing = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => workspace = true,
+            "--timing" => timing = true,
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory argument"),
             },
+            "--passes" => match it.next() {
+                Some(spec) => match lesm_lint::parse_passes(spec) {
+                    Ok(p) => passes = p,
+                    Err(e) => return usage(&e),
+                },
+                None => return usage("--passes needs a comma list (tokens,taint,unsafe,casts | all)"),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some(other) => return usage(&format!("unknown format `{other}` (human | json)")),
+                None => return usage("--format needs an argument (human | json)"),
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: lesm-lint (--workspace | FILE...) [--root DIR]\n\n\
+                    "usage: lesm-lint (--workspace | FILE...) [--root DIR] [--passes LIST] \
+                     [--format human|json] [--timing]\n\n\
                      Audits lesm workspace sources against the determinism & robustness\n\
-                     contract (DESIGN.md §11). Rules: D1 no partial_cmp ordering; D2 no\n\
-                     un-canonicalized HashMap/HashSet iteration; D3 no ambient\n\
-                     nondeterminism; R1 no unwrap/expect/panic in library code; R2 no\n\
-                     console output in library code; P0 malformed allow-pragma.\n\n\
+                     contract (DESIGN.md §11, §16) in four passes:\n\n\
+                     tokens  D1 no partial_cmp ordering; D2 no un-canonicalized HashMap/\n\
+                     \x20       HashSet iteration; D3 no ambient nondeterminism; R1 no unwrap/\n\
+                     \x20       panic in library code; R2 no console output in library code;\n\
+                     \x20       P0 malformed allow-pragma\n\
+                     taint   D4 ambient/hash-order values reaching pub APIs or wire paths\n\
+                     \x20       through the call graph\n\
+                     unsafe  U1 unsafe needs adjacent // SAFETY:; U2 raw-memory primitives\n\
+                     \x20       confined to allowlisted modules; U3 #[target_feature] fns\n\
+                     \x20       non-pub and runtime-gated\n\
+                     casts   W1 lossy `as` casts on wire paths (serve/query)\n\n\
                      Escape hatch: // lesm-lint: allow(RULE) — mandatory reason"
                 );
                 return ExitCode::SUCCESS;
@@ -59,46 +100,56 @@ fn main() -> ExitCode {
         }
     };
 
-    let result = if workspace {
-        lesm_lint::lint_workspace(&root)
-    } else {
-        let mut all = Vec::new();
-        let mut err = None;
-        for f in &files {
-            match lesm_lint::lint_file(&root, f) {
-                Ok(vs) => all.extend(vs),
-                Err(e) => {
-                    err = Some(e);
-                    break;
-                }
-            }
-        }
-        match err {
-            Some(e) => Err(e),
-            None => Ok(all),
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("lesm-lint: {e}");
+            return ExitCode::from(2);
         }
     };
 
-    match result {
-        Ok(violations) if violations.is_empty() => {
-            println!("lesm-lint: clean ({})", if workspace { "workspace" } else { "files" });
-            ExitCode::SUCCESS
+    // The library stays clock-free (its own D3/D4 rules); only this
+    // binary, which never feeds timing into any output byte stream,
+    // reads the monotonic clock — and only onto stderr.
+    let mut all: Vec<FileViolation> = Vec::new();
+    for &pass in &passes {
+        let t0 = Instant::now();
+        all.extend(lesm_lint::run_pass(&ws, pass));
+        if timing {
+            eprintln!(
+                "lesm-lint: pass {:<6} {:>8.2} ms",
+                pass.name(),
+                t0.elapsed().as_secs_f64() * 1e3
+            );
         }
-        Ok(violations) => {
+    }
+    let mut violations = lesm_lint::audit_merge(all);
+    if !files.is_empty() {
+        let wanted: Vec<String> = files.iter().map(|f| f.replace('\\', "/")).collect();
+        violations.retain(|v| wanted.iter().any(|w| w == &v.path));
+    }
+
+    match format {
+        Format::Json => {
+            print!("{}", lesm_lint::render_json(&violations));
+        }
+        Format::Human if violations.is_empty() => {
+            println!("lesm-lint: clean ({})", if workspace { "workspace" } else { "files" });
+        }
+        Format::Human => {
             for v in &violations {
                 println!("{v}");
             }
             println!("\nlesm-lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
-        }
-        Err(e) => {
-            eprintln!("lesm-lint: {e}");
-            ExitCode::from(2)
         }
     }
+    if violations.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE }
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("lesm-lint: {msg}\nusage: lesm-lint (--workspace | FILE...) [--root DIR]");
+    eprintln!(
+        "lesm-lint: {msg}\nusage: lesm-lint (--workspace | FILE...) [--root DIR] \
+         [--passes LIST] [--format human|json] [--timing]"
+    );
     ExitCode::from(2)
 }

@@ -17,6 +17,12 @@
 //! | R2   | no `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in library code |
 //! | P0   | malformed `lesm-lint:` pragma (missing reason, unknown rule) |
 //!
+//! The workspace-level passes (DESIGN.md §16) add D4 (determinism
+//! taint, [`crate::taint`]), U1–U3 (unsafe audit,
+//! [`crate::unsafe_audit`]) and W1 (wire truncation, [`crate::casts`]);
+//! this module only hosts their [`RuleId`]s and the shared site
+//! detectors ([`ambient_sites`], [`d2_sites`]).
+//!
 //! D2 recognizes two canonicalization idioms and lets them pass without
 //! a pragma, because they make iteration order irrelevant:
 //!
@@ -43,10 +49,21 @@ pub enum RuleId {
     D2,
     /// Ambient nondeterminism.
     D3,
+    /// Determinism taint: an ambient/iteration-order value flowing to a
+    /// pub API or wire/response sink (DESIGN.md §16).
+    D4,
     /// Panicking constructs in library code.
     R1,
     /// Console output in library code.
     R2,
+    /// `unsafe` without an adjacent `// SAFETY:` argument.
+    U1,
+    /// Raw-pointer primitives outside the allowlisted modules.
+    U2,
+    /// `#[target_feature]` hygiene: non-pub, runtime-detection-gated.
+    U3,
+    /// Lossy `as` narrowing cast in a wire crate.
+    W1,
     /// Malformed pragma.
     P0,
 }
@@ -58,8 +75,13 @@ impl RuleId {
             "D1" => Some(Self::D1),
             "D2" => Some(Self::D2),
             "D3" => Some(Self::D3),
+            "D4" => Some(Self::D4),
             "R1" => Some(Self::R1),
             "R2" => Some(Self::R2),
+            "U1" => Some(Self::U1),
+            "U2" => Some(Self::U2),
+            "U3" => Some(Self::U3),
+            "W1" => Some(Self::W1),
             _ => None,
         }
     }
@@ -70,8 +92,13 @@ impl RuleId {
             Self::D1 => "D1",
             Self::D2 => "D2",
             Self::D3 => "D3",
+            Self::D4 => "D4",
             Self::R1 => "R1",
             Self::R2 => "R2",
+            Self::U1 => "U1",
+            Self::U2 => "U2",
+            Self::U3 => "U3",
+            Self::W1 => "W1",
             Self::P0 => "P0",
         }
     }
@@ -105,6 +132,8 @@ fn rule_applies(rule: RuleId, class: FileClass) -> bool {
     match rule {
         RuleId::D1 | RuleId::P0 => true,
         RuleId::D2 | RuleId::D3 | RuleId::R1 | RuleId::R2 => class == FileClass::Lib,
+        // Workspace-level pass rules: never emitted by check_source.
+        RuleId::D4 | RuleId::U1 | RuleId::U2 | RuleId::U3 | RuleId::W1 => false,
     }
 }
 
@@ -164,35 +193,37 @@ pub fn check_source(src: &[u8], class: FileClass) -> Vec<Violation> {
     out
 }
 
-/// Shared per-file state for the rule passes.
-struct Cx<'a> {
-    src: &'a [u8],
-    sig: &'a [Token],
-    in_test: &'a [bool],
+/// Shared per-file state for the rule passes. Also used by the
+/// workspace-level passes (taint, unsafe audit, casts), which construct
+/// it from preloaded [`crate::source::SourceFile`]s.
+pub(crate) struct Cx<'a> {
+    pub(crate) src: &'a [u8],
+    pub(crate) sig: &'a [Token],
+    pub(crate) in_test: &'a [bool],
 }
 
 impl<'a> Cx<'a> {
-    fn text(&self, i: usize) -> &'a [u8] {
+    pub(crate) fn text(&self, i: usize) -> &'a [u8] {
         match self.sig.get(i) {
             Some(t) => t.text(self.src),
             None => b"",
         }
     }
-    fn is_punct(&self, i: usize, p: &[u8]) -> bool {
+    pub(crate) fn is_punct(&self, i: usize, p: &[u8]) -> bool {
         self.sig.get(i).is_some_and(|t| t.kind == TokenKind::Punct) && self.text(i) == p
     }
-    fn is_ident(&self, i: usize) -> bool {
+    pub(crate) fn is_ident(&self, i: usize) -> bool {
         self.sig.get(i).is_some_and(|t| t.kind == TokenKind::Ident)
     }
-    fn live(&self, i: usize) -> bool {
+    pub(crate) fn live(&self, i: usize) -> bool {
         !self.in_test.get(i).copied().unwrap_or(false)
     }
-    fn line(&self, i: usize) -> u32 {
+    pub(crate) fn line(&self, i: usize) -> u32 {
         self.sig.get(i).map(|t| t.line).unwrap_or(0)
     }
 }
 
-fn line_starts(src: &[u8]) -> Vec<usize> {
+pub(crate) fn line_starts(src: &[u8]) -> Vec<usize> {
     let mut starts = vec![0usize];
     for (i, &b) in src.iter().enumerate() {
         if b == b'\n' {
@@ -202,7 +233,7 @@ fn line_starts(src: &[u8]) -> Vec<usize> {
     starts
 }
 
-fn snippet_at(src: &[u8], lines: &[usize], line: u32) -> String {
+pub(crate) fn snippet_at(src: &[u8], lines: &[usize], line: u32) -> String {
     let idx = (line as usize).saturating_sub(1);
     let Some(&start) = lines.get(idx) else { return String::new() };
     let end = lines.get(idx + 1).map(|&e| e.saturating_sub(1)).unwrap_or(src.len());
@@ -300,13 +331,16 @@ fn rule_r2(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>) {
 
 // ---------------------------------------------------------------- D3
 
-fn rule_d3(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>) {
+/// Token indices of ambient-nondeterminism reads: the D3 pattern set.
+/// Shared with the taint pass, which seeds on the same sites.
+pub(crate) fn ambient_sites(cx: &Cx) -> Vec<usize> {
     let path2 = |i: usize, a: &[u8], b: &[u8]| {
         cx.text(i) == a
             && cx.is_punct(i + 1, b":")
             && cx.is_punct(i + 2, b":")
             && cx.text(i + 3) == b
     };
+    let mut sites = Vec::new();
     for i in 0..cx.sig.len() {
         if !cx.live(i) || !cx.is_ident(i) {
             continue;
@@ -318,16 +352,59 @@ fn rule_d3(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>) {
             || path2(i, b"rand", b"random")
             || cx.text(i) == b"thread_rng";
         if hit {
-            push(
-                cx,
-                lines,
-                out,
-                RuleId::D3,
-                i,
-                "ambient nondeterminism: thread clocks/env/RNG state makes output depend on \
-                 when and where the library runs — take the value as a parameter instead",
-            );
+            sites.push(i);
         }
+    }
+    sites
+}
+
+/// Token indices of address-of-as-integer reads (`p.as_ptr() … as usize`,
+/// `ptr::addr_of!`): allocation addresses vary run to run (ASLR), so a
+/// pointer laundered into an integer is an ambient source for the taint
+/// pass. Not a standalone rule — pointer *use* is U2's business.
+pub(crate) fn address_of_sites(cx: &Cx) -> Vec<usize> {
+    let mut sites = Vec::new();
+    for i in 0..cx.sig.len() {
+        if !cx.live(i) || !cx.is_ident(i) {
+            continue;
+        }
+        let t = cx.text(i);
+        if matches!(t, b"addr_of" | b"addr_of_mut") {
+            sites.push(i);
+            continue;
+        }
+        if matches!(t, b"as_ptr" | b"as_mut_ptr") {
+            // `…as_ptr() as usize` within the same expression tail.
+            let mut j = i + 1;
+            while j < cx.sig.len() && j < i + 10 {
+                if cx.is_punct(j, b";") || cx.is_punct(j, b"{") || cx.is_punct(j, b"}") {
+                    break;
+                }
+                if cx.is_ident(j)
+                    && cx.text(j) == b"as"
+                    && matches!(cx.text(j + 1), b"usize" | b"u64" | b"isize" | b"i64")
+                {
+                    sites.push(i);
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    sites
+}
+
+fn rule_d3(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>) {
+    for i in ambient_sites(cx) {
+        push(
+            cx,
+            lines,
+            out,
+            RuleId::D3,
+            i,
+            "ambient nondeterminism: thread clocks/env/RNG state makes output depend on \
+             when and where the library runs — take the value as a parameter instead",
+        );
     }
 }
 
@@ -368,9 +445,19 @@ enum TypeShape {
 }
 
 fn rule_d2(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>) {
+    for i in d2_sites(cx) {
+        push(cx, lines, out, RuleId::D2, i, D2_NOTE);
+    }
+}
+
+/// Token indices of un-canonicalized `HashMap`/`HashSet` iterations (the
+/// D2 pattern, minus pragma handling). Shared with the taint pass, which
+/// treats the same sites as order-nondeterminism seeds.
+pub(crate) fn d2_sites(cx: &Cx) -> Vec<usize> {
+    let mut sites = Vec::new();
     let binds = collect_bindings(cx);
     if binds.direct.is_empty() && binds.containers.is_empty() {
-        return;
+        return sites;
     }
     let mut for_expr_ranges: Vec<(usize, usize)> = Vec::new();
 
@@ -389,7 +476,7 @@ fn rule_d2(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>) {
             // body sorts what the loop built.
             let canon_after = stmt_after_block_sorts(cx, body_open);
             if !canon_inline && !canon_after {
-                push(cx, lines, out, RuleId::D2, i, D2_NOTE);
+                sites.push(i);
             }
         }
     }
@@ -412,9 +499,10 @@ fn rule_d2(cx: &Cx, lines: &[usize], out: &mut Vec<Violation>) {
             continue;
         }
         if !statement_is_canonicalized(cx, i) {
-            push(cx, lines, out, RuleId::D2, i, D2_NOTE);
+            sites.push(i);
         }
     }
+    sites
 }
 
 const D2_NOTE: &str = "HashMap/HashSet iteration order is arbitrary — collect and sort by key \

@@ -1,0 +1,94 @@
+//! Preloaded workspace sources for the multi-pass analyzer.
+//!
+//! The per-file token rules (DESIGN.md §11) can lex on demand, but the
+//! workspace passes (§16) — symbol graph, taint, unsafe audit, casts —
+//! need every governed file in memory at once, lexed exactly once, with
+//! test scopes and pragmas precomputed. [`Workspace`] is that store:
+//! files sorted by path, each carrying its significant-token stream,
+//! per-token test flags, and parsed pragmas.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::pragma::{self, Pragma};
+use crate::rules::{Cx, FileClass};
+use crate::scope::test_scopes;
+use crate::{classify, LintError};
+use std::path::Path;
+
+/// One governed source file, fully lexed and annotated.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// How the file ships (decides which rules bind).
+    pub class: FileClass,
+    /// Raw bytes.
+    pub src: Vec<u8>,
+    /// Every token, including comments (pragma scanning).
+    pub tokens: Vec<Token>,
+    /// Significant tokens only (comments stripped).
+    pub sig: Vec<Token>,
+    /// Per-`sig`-token test-scope flags.
+    pub in_test: Vec<bool>,
+    /// Parsed `lesm-lint:` pragmas.
+    pub pragmas: Vec<Pragma>,
+    /// Byte offsets of line starts (snippet rendering).
+    pub lines: Vec<usize>,
+}
+
+impl SourceFile {
+    fn new(rel: String, class: FileClass, src: Vec<u8>) -> Self {
+        let tokens = lex(&src);
+        let sig: Vec<Token> = tokens
+            .iter()
+            .copied()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .collect();
+        let in_test = test_scopes(&src, &sig);
+        let pragmas = pragma::collect(&src, &tokens);
+        let lines = crate::rules::line_starts(&src);
+        SourceFile { rel, class, src, tokens, sig, in_test, pragmas, lines }
+    }
+
+    /// The rule-engine view of this file.
+    pub(crate) fn cx(&self) -> Cx<'_> {
+        Cx { src: &self.src, sig: &self.sig, in_test: &self.in_test }
+    }
+
+    /// Renders the (trimmed, capped) source line for a violation.
+    pub(crate) fn snippet(&self, line: u32) -> String {
+        crate::rules::snippet_at(&self.src, &self.lines, line)
+    }
+}
+
+/// Every governed file of a workspace, ready for the pass pipeline.
+pub struct Workspace {
+    /// Files sorted by relative path.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Loads all governed `.rs` files under `root` (same walk and
+    /// classification as [`crate::lint_workspace`] always used).
+    pub fn load(root: &Path) -> Result<Self, LintError> {
+        let rels = crate::governed_files(root)?;
+        let mut files = Vec::with_capacity(rels.len());
+        for rel in rels {
+            let Some(class) = classify(&rel) else { continue };
+            let abs = root.join(&rel);
+            let src =
+                std::fs::read(&abs).map_err(|source| LintError::Io { path: abs, source })?;
+            files.push(SourceFile::new(rel, class, src));
+        }
+        Ok(Workspace { files })
+    }
+
+    /// Builds a workspace from in-memory sources (fixtures). Paths that
+    /// [`classify`] rejects are skipped, exactly as on disk.
+    pub fn from_sources(sources: Vec<(String, Vec<u8>)>) -> Self {
+        let mut files: Vec<SourceFile> = sources
+            .into_iter()
+            .filter_map(|(rel, src)| classify(&rel).map(|class| SourceFile::new(rel, class, src)))
+            .collect();
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Workspace { files }
+    }
+}

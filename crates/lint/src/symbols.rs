@@ -1,0 +1,402 @@
+//! Pass 1 — the workspace symbol table.
+//!
+//! A single sweep over every library file's significant tokens collects
+//! all function items: name, declaration line, visibility, enclosing
+//! `impl` type, inline-module path, body token range, and whether the
+//! fn carries `#[target_feature]`. The table is deliberately
+//! *approximate* — it tracks braces, attributes and `impl`/`mod`
+//! headers the way the scope tracker does, not the way rustc does — but
+//! it is total (any byte soup produces a table, never a panic) and
+//! over-inclusive in the directions the downstream passes need:
+//! when in doubt a fn is recorded, and name lookups return every
+//! candidate.
+//!
+//! Binary-class files (`cli`, `bench`, `fuzz-harness`, `src/bin`) stay
+//! out of the table: libraries cannot call into binaries, and letting
+//! bin fns shadow lib fn names would fabricate call edges.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokenKind;
+use crate::rules::{Cx, FileClass};
+use crate::source::Workspace;
+
+/// Item visibility, as far as tokens can tell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// No `pub`.
+    Private,
+    /// `pub(crate)` / `pub(super)` / `pub(in …)`.
+    Scoped,
+    /// Bare `pub` — part of the crate's public API surface.
+    Pub,
+}
+
+/// One function item.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Function name.
+    pub name: String,
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Visibility.
+    pub vis: Vis,
+    /// Declared inside a `#[cfg(test)]` / `mod tests` region.
+    pub in_test: bool,
+    /// Significant-token index range of the body: `[open, close]`
+    /// braces inclusive. `None` for bodyless declarations (trait
+    /// methods, `extern` fns).
+    pub body: Option<(usize, usize)>,
+    /// Enclosing `impl` type name (last path segment), if any.
+    pub self_type: Option<String>,
+    /// Inline `mod` path within the file (`""` at file scope).
+    pub module: String,
+    /// Carries `#[target_feature(…)]`.
+    pub target_feature: bool,
+}
+
+/// The workspace-wide function table with name and position indexes.
+pub struct SymbolTable {
+    /// All functions, in (file, token) order.
+    pub fns: Vec<FnSym>,
+    /// name → indexes into `fns`.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Per file: `(body_start, body_end, fn index)` sorted by start.
+    bodies: Vec<Vec<(usize, usize, usize)>>,
+}
+
+impl SymbolTable {
+    /// Builds the table over every library-class file of `ws`.
+    pub fn build(ws: &Workspace) -> SymbolTable {
+        let mut fns = Vec::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            if file.class != FileClass::Lib {
+                continue;
+            }
+            scan_file(&file.cx(), fi, &mut fns);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut bodies: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); ws.files.len()];
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+            if let Some((s, e)) = f.body {
+                if let Some(slot) = bodies.get_mut(f.file) {
+                    slot.push((s, e, i));
+                }
+            }
+        }
+        for b in &mut bodies {
+            b.sort_unstable();
+        }
+        SymbolTable { fns, by_name, bodies }
+    }
+
+    /// Every function with this name (over-approximate resolution).
+    pub fn named(&self, name: &[u8]) -> &[usize] {
+        match std::str::from_utf8(name).ok().and_then(|n| self.by_name.get(n)) {
+            Some(v) => v,
+            None => &[],
+        }
+    }
+
+    /// The innermost function whose body contains sig token `tok` of
+    /// file `file`.
+    pub fn enclosing_fn(&self, file: usize, tok: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (start, fn idx)
+        for &(s, e, idx) in self.bodies.get(file)?.iter() {
+            if s > tok {
+                break;
+            }
+            if tok <= e && best.is_none_or(|(bs, _)| s >= bs) {
+                best = Some((s, idx));
+            }
+        }
+        best.map(|(_, idx)| idx)
+    }
+}
+
+/// Attribute group scan: returns (index one past the closing `]`,
+/// whether the attribute mentions `target_feature`).
+fn scan_attr(cx: &Cx, open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut tf = false;
+    let mut j = open;
+    while j < cx.sig.len() {
+        match cx.sig[j].kind {
+            TokenKind::Punct => match cx.text(j) {
+                b"[" | b"(" | b"{" => depth += 1,
+                b"]" | b")" | b"}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return (j + 1, tf);
+                    }
+                }
+                _ => {}
+            },
+            TokenKind::Ident if cx.text(j) == b"target_feature" => tf = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (cx.sig.len(), tf)
+}
+
+/// Parses the type name out of an `impl` header starting right after the
+/// `impl` keyword: skips the generic parameter list, then takes the last
+/// path segment before `{`/`where` — preferring the `for Type` side of a
+/// trait impl.
+fn impl_type_name(cx: &Cx, start: usize) -> Option<String> {
+    let mut j = start;
+    // Generic parameters directly after `impl`.
+    if cx.is_punct(j, b"<") {
+        let mut angle = 0i32;
+        while j < cx.sig.len() && j < start + 128 {
+            match cx.text(j) {
+                b"<" => angle += 1,
+                b">" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    let mut last_ident: Option<String> = None;
+    let mut angle = 0i32;
+    while j < cx.sig.len() && j < start + 160 {
+        match cx.sig[j].kind {
+            TokenKind::Punct => match cx.text(j) {
+                b"<" => angle += 1,
+                b">" => angle = (angle - 1).max(0),
+                b"{" | b";" if angle == 0 => break,
+                _ => {}
+            },
+            TokenKind::Ident if angle == 0 => match cx.text(j) {
+                b"for" => last_ident = None, // restart on the `for Type` side
+                b"where" => break,
+                b"dyn" | b"mut" | b"const" | b"unsafe" => {}
+                t => last_ident = Some(String::from_utf8_lossy(t).into_owned()),
+            },
+            _ => {}
+        }
+        j += 1;
+    }
+    last_ident
+}
+
+/// From the token after a fn's name, finds the body open brace: the
+/// first `{` at bracket depth 0, unless a `;` (bodyless) comes first.
+fn find_body_open(cx: &Cx, start: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < cx.sig.len() && j < start + 2048 {
+        match cx.text(j) {
+            b"(" | b"[" => depth += 1,
+            b")" | b"]" => depth -= 1,
+            b"{" if depth <= 0 => return Some(j),
+            b";" if depth <= 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Matching close brace for the `{` at `open`.
+fn find_body_close(cx: &Cx, open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < cx.sig.len() {
+        match cx.text(j) {
+            b"{" => depth += 1,
+            b"}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    cx.sig.len().saturating_sub(1)
+}
+
+fn scan_file(cx: &Cx, file: usize, out: &mut Vec<FnSym>) {
+    let mut depth = 0usize;
+    let mut impl_stack: Vec<(usize, Option<String>)> = Vec::new();
+    let mut mod_stack: Vec<(usize, String)> = Vec::new();
+    let mut pending_vis = Vis::Private;
+    let mut pending_tf = false;
+    let mut pending_impl: Option<Option<String>> = None;
+    let mut pending_mod: Option<String> = None;
+    let mut i = 0;
+    while i < cx.sig.len() {
+        match cx.sig[i].kind {
+            TokenKind::Punct => match cx.text(i) {
+                b"#" => {
+                    let mut j = i + 1;
+                    if cx.is_punct(j, b"!") {
+                        j += 1;
+                    }
+                    if cx.is_punct(j, b"[") {
+                        let (end, tf) = scan_attr(cx, j);
+                        pending_tf |= tf;
+                        i = end;
+                        continue;
+                    }
+                }
+                b"{" => {
+                    depth += 1;
+                    if let Some(ty) = pending_impl.take() {
+                        impl_stack.push((depth, ty));
+                    }
+                    if let Some(m) = pending_mod.take() {
+                        mod_stack.push((depth, m));
+                    }
+                    pending_vis = Vis::Private;
+                    pending_tf = false;
+                }
+                b"}" => {
+                    if impl_stack.last().is_some_and(|&(d, _)| d == depth) {
+                        impl_stack.pop();
+                    }
+                    if mod_stack.last().is_some_and(|&(d, _)| d == depth) {
+                        mod_stack.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                b";" => {
+                    pending_vis = Vis::Private;
+                    pending_tf = false;
+                    pending_impl = None;
+                    pending_mod = None;
+                }
+                _ => {}
+            },
+            TokenKind::Ident => match cx.text(i) {
+                b"pub" => {
+                    pending_vis =
+                        if cx.is_punct(i + 1, b"(") { Vis::Scoped } else { Vis::Pub };
+                }
+                b"impl" => {
+                    pending_impl = Some(impl_type_name(cx, i + 1));
+                }
+                b"mod" if cx.is_ident(i + 1) => {
+                    pending_mod =
+                        Some(String::from_utf8_lossy(cx.text(i + 1)).into_owned());
+                }
+                b"fn" if cx.is_ident(i + 1) => {
+                    let name = String::from_utf8_lossy(cx.text(i + 1)).into_owned();
+                    let body_open = find_body_open(cx, i + 2);
+                    let body = body_open.map(|o| (o, find_body_close(cx, o)));
+                    out.push(FnSym {
+                        name,
+                        file,
+                        line: cx.line(i),
+                        vis: pending_vis,
+                        in_test: !cx.live(i),
+                        body,
+                        self_type: impl_stack.last().and_then(|(_, t)| t.clone()),
+                        module: mod_stack
+                            .iter()
+                            .map(|(_, m)| m.as_str())
+                            .collect::<Vec<_>>()
+                            .join("::"),
+                        target_feature: pending_tf,
+                    });
+                    pending_vis = Vis::Private;
+                    pending_tf = false;
+                    i += 2;
+                    continue;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    fn table(src: &str) -> (Workspace, SymbolTable) {
+        let ws = Workspace::from_sources(vec![(
+            "crates/core/src/demo.rs".to_string(),
+            src.as_bytes().to_vec(),
+        )]);
+        let t = SymbolTable::build(&ws);
+        (ws, t)
+    }
+
+    #[test]
+    fn free_fns_and_visibility() {
+        let (_ws, t) = table(
+            "pub fn api() {}\npub(crate) fn scoped() {}\nfn private() {}\n",
+        );
+        let names: Vec<(&str, Vis)> =
+            t.fns.iter().map(|f| (f.name.as_str(), f.vis)).collect();
+        assert_eq!(
+            names,
+            [("api", Vis::Pub), ("scoped", Vis::Scoped), ("private", Vis::Private)]
+        );
+    }
+
+    #[test]
+    fn impl_methods_carry_their_type() {
+        let (_ws, t) = table(
+            "struct S;\nimpl S { pub fn m(&self) {} }\nimpl std::fmt::Display for S { fn fmt(&self) {} }\n",
+        );
+        let m = &t.fns[t.named(b"m")[0]];
+        assert_eq!(m.self_type.as_deref(), Some("S"));
+        let f = &t.fns[t.named(b"fmt")[0]];
+        assert_eq!(f.self_type.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn generic_impl_and_inline_modules() {
+        let (_ws, t) = table(
+            "mod inner { impl<T: Clone> Wrapper<T> { fn get(&self) {} } }\n",
+        );
+        let g = &t.fns[t.named(b"get")[0]];
+        assert_eq!(g.self_type.as_deref(), Some("Wrapper"));
+        assert_eq!(g.module, "inner");
+    }
+
+    #[test]
+    fn test_scope_and_target_feature_flags() {
+        let (_ws, t) = table(
+            "#[cfg(target_arch = \"x86_64\")]\n#[target_feature(enable = \"avx2\")]\nfn kernel() {}\n#[cfg(test)]\nmod tests { fn helper() {} }\n",
+        );
+        let k = &t.fns[t.named(b"kernel")[0]];
+        assert!(k.target_feature && !k.in_test);
+        let h = &t.fns[t.named(b"helper")[0]];
+        assert!(h.in_test && !h.target_feature);
+    }
+
+    #[test]
+    fn enclosing_fn_is_innermost() {
+        let (ws, t) = table("fn outer() { fn inner() { work(); } more(); }\n");
+        let cx = ws.files[0].cx();
+        let work_tok = (0..cx.sig.len()).find(|&i| cx.text(i) == b"work").unwrap();
+        let more_tok = (0..cx.sig.len()).find(|&i| cx.text(i) == b"more").unwrap();
+        assert_eq!(t.fns[t.enclosing_fn(0, work_tok).unwrap()].name, "inner");
+        assert_eq!(t.fns[t.enclosing_fn(0, more_tok).unwrap()].name, "outer");
+    }
+
+    #[test]
+    fn bodyless_decls_have_no_body() {
+        let (_ws, t) = table("trait T { fn decl(&self); fn with_default(&self) {} }\n");
+        assert!(t.fns[t.named(b"decl")[0]].body.is_none());
+        assert!(t.fns[t.named(b"with_default")[0]].body.is_some());
+    }
+}

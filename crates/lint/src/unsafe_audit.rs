@@ -1,0 +1,248 @@
+//! Pass 3 — the unsafe audit (rules U1–U3).
+//!
+//! - **U1** — every `unsafe` keyword in live (non-test) code needs a
+//!   `// SAFETY:` comment on the same line or within the four lines
+//!   above it. The comment is the proof obligation; the rule only
+//!   checks it exists, not that it is right.
+//! - **U2** — the raw-memory primitives (`from_raw_parts`,
+//!   `copy_nonoverlapping`, `transmute`, volatile/unaligned access) are
+//!   confined to the allowlisted modules that own a safety argument:
+//!   the zero-copy snapshot view (`serve::mapping`) and the `linalg`
+//!   AVX2 shims. Anywhere else they are a violation even *with* a
+//!   SAFETY comment — new unsafe surface needs a new allowlist entry,
+//!   which is a reviewed decision, not a local one.
+//! - **U3** — `#[target_feature]` fns must be non-`pub` (callers
+//!   cannot be trusted to check CPU features), and every resolved call
+//!   site must sit inside a fn whose body mentions
+//!   `is_x86_feature_detected` — the runtime gate that makes the call
+//!   sound.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::CallGraph;
+use crate::lexer::TokenKind;
+use crate::pragma;
+use crate::rules::{RuleId, Violation};
+use crate::source::Workspace;
+use crate::symbols::{SymbolTable, Vis};
+use crate::FileViolation;
+
+/// How far above the `unsafe` keyword a SAFETY comment may sit.
+const SAFETY_WINDOW: u32 = 4;
+
+/// Files allowed to use the raw-memory primitives of U2.
+const UNSAFE_ALLOWLIST: &[&str] =
+    &["crates/serve/src/mapping.rs", "crates/linalg/src/lib.rs"];
+
+/// Raw-memory primitives confined by U2.
+const RAW_PRIMITIVES: &[&[u8]] = &[
+    b"from_raw_parts",
+    b"from_raw_parts_mut",
+    b"copy_nonoverlapping",
+    b"transmute",
+    b"read_volatile",
+    b"write_volatile",
+    b"read_unaligned",
+    b"write_unaligned",
+];
+
+/// Runs the unsafe audit over a loaded workspace.
+pub fn run(ws: &Workspace, syms: &SymbolTable, graph: &CallGraph) -> Vec<FileViolation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let cx = file.cx();
+        // Lines carrying a SAFETY: comment anywhere in the file.
+        let safety_lines: BTreeSet<u32> = file
+            .tokens
+            .iter()
+            .filter(|t| {
+                matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                    && t.text(&file.src).windows(7).any(|w| w == b"SAFETY:")
+            })
+            .map(|t| t.line)
+            .collect();
+        let allowlisted = UNSAFE_ALLOWLIST.contains(&file.rel.as_str());
+        for i in 0..cx.sig.len() {
+            if !cx.is_ident(i) || !cx.live(i) {
+                continue;
+            }
+            let line = cx.line(i);
+            match cx.text(i) {
+                b"unsafe" => {
+                    let lo = line.saturating_sub(SAFETY_WINDOW);
+                    let documented = safety_lines.range(lo..=line).next().is_some();
+                    if !documented && !pragma::suppresses(&file.pragmas, RuleId::U1, line) {
+                        out.push(FileViolation {
+                            path: file.rel.clone(),
+                            violation: Violation {
+                                rule: RuleId::U1,
+                                line,
+                                note: "`unsafe` without an adjacent `// SAFETY:` comment \
+                                       stating the proof obligation"
+                                    .into(),
+                                snippet: file.snippet(line),
+                            },
+                        });
+                    }
+                }
+                t if RAW_PRIMITIVES.contains(&t)
+                    && !allowlisted
+                    && !pragma::suppresses(&file.pragmas, RuleId::U2, line) =>
+                {
+                    out.push(FileViolation {
+                        path: file.rel.clone(),
+                        violation: Violation {
+                            rule: RuleId::U2,
+                            line,
+                            note: format!(
+                                "raw-memory primitive `{}` outside the allowlisted \
+                                 unsafe modules (serve::mapping, linalg)",
+                                String::from_utf8_lossy(t)
+                            ),
+                            snippet: file.snippet(line),
+                        },
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // U3: target_feature fns — non-pub, and every call runtime-gated.
+    for (fi, sym) in syms.fns.iter().enumerate() {
+        if !sym.target_feature || sym.in_test {
+            continue;
+        }
+        let decl_file = &ws.files[sym.file];
+        if sym.vis == Vis::Pub
+            && !pragma::suppresses(&decl_file.pragmas, RuleId::U3, sym.line)
+        {
+            out.push(FileViolation {
+                path: decl_file.rel.clone(),
+                violation: Violation {
+                    rule: RuleId::U3,
+                    line: sym.line,
+                    note: format!(
+                        "`#[target_feature]` fn `{}` is pub; keep it private behind a \
+                         runtime-detection wrapper",
+                        sym.name
+                    ),
+                    snippet: decl_file.snippet(sym.line),
+                },
+            });
+        }
+        for e in &graph.callers[fi] {
+            let caller = &syms.fns[e.other];
+            let cfile = &ws.files[caller.file];
+            if caller_is_gated(ws, syms, e.other) {
+                continue;
+            }
+            if pragma::suppresses(&cfile.pragmas, RuleId::U3, e.line) {
+                continue;
+            }
+            out.push(FileViolation {
+                path: cfile.rel.clone(),
+                violation: Violation {
+                    rule: RuleId::U3,
+                    line: e.line,
+                    note: format!(
+                        "call to `#[target_feature]` fn `{}` in `{}` without an \
+                         `is_x86_feature_detected` gate in the calling fn",
+                        sym.name, caller.name
+                    ),
+                    snippet: cfile.snippet(e.line),
+                },
+            });
+        }
+    }
+    out
+}
+
+/// True when the caller's body mentions the runtime feature gate.
+fn caller_is_gated(ws: &Workspace, syms: &SymbolTable, caller: usize) -> bool {
+    let sym = &syms.fns[caller];
+    let Some((start, end)) = sym.body else { return false };
+    let cx = ws.files[sym.file].cx();
+    (start..=end.min(cx.sig.len().saturating_sub(1)))
+        .any(|i| cx.is_ident(i) && cx.text(i) == b"is_x86_feature_detected")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::source::Workspace;
+
+    fn audit(files: Vec<(&str, &str)>) -> Vec<FileViolation> {
+        let ws = Workspace::from_sources(
+            files
+                .into_iter()
+                .map(|(p, s)| (p.to_string(), s.as_bytes().to_vec()))
+                .collect(),
+        );
+        let syms = SymbolTable::build(&ws);
+        let graph = CallGraph::build(&ws, &syms);
+        run(&ws, &syms, &graph)
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_fires_u1() {
+        let v = audit(vec![(
+            "crates/core/src/u.rs",
+            "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        )]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].violation.rule, RuleId::U1);
+    }
+
+    #[test]
+    fn safety_comment_above_silences_u1() {
+        let v = audit(vec![(
+            "crates/core/src/u.rs",
+            "// SAFETY: caller guarantees p is valid for reads.\npub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn raw_primitive_outside_allowlist_fires_u2() {
+        let v = audit(vec![(
+            "crates/core/src/u.rs",
+            "// SAFETY: len checked by caller.\npub fn f(p: *const u8, n: usize) -> &'static [u8] { unsafe { std::slice::from_raw_parts(p, n) } }\n",
+        )]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].violation.rule, RuleId::U2);
+    }
+
+    #[test]
+    fn allowlisted_module_passes_u2() {
+        let v = audit(vec![(
+            "crates/serve/src/mapping.rs",
+            "// SAFETY: len checked by caller.\npub fn f(p: *const u8, n: usize) -> &'static [u8] { unsafe { std::slice::from_raw_parts(p, n) } }\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn pub_target_feature_fn_fires_u3() {
+        let v = audit(vec![(
+            "crates/core/src/u.rs",
+            "#[target_feature(enable = \"avx2\")]\n// SAFETY: caller must check avx2.\npub unsafe fn kernel() {}\n",
+        )]);
+        assert!(v.iter().any(|v| v.violation.rule == RuleId::U3), "{v:?}");
+    }
+
+    #[test]
+    fn ungated_call_fires_u3_and_gated_call_passes() {
+        let fired = audit(vec![(
+            "crates/core/src/u.rs",
+            "#[target_feature(enable = \"avx2\")]\n// SAFETY: callers gate on avx2.\nunsafe fn kernel() {}\nfn fast() {\n    // SAFETY: gate omitted on purpose.\n    unsafe { kernel() }\n}\n",
+        )]);
+        assert!(fired.iter().any(|v| v.violation.rule == RuleId::U3), "{fired:?}");
+        let gated = audit(vec![(
+            "crates/core/src/u.rs",
+            "#[target_feature(enable = \"avx2\")]\n// SAFETY: callers gate on avx2.\nunsafe fn kernel() {}\nfn fast() {\n    if is_x86_feature_detected!(\"avx2\") {\n        // SAFETY: gated on the line above.\n        unsafe { kernel() }\n    }\n}\n",
+        )]);
+        assert!(gated.iter().all(|v| v.violation.rule != RuleId::U3), "{gated:?}");
+    }
+}

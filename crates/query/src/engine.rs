@@ -11,7 +11,7 @@
 //! wall-clock, randomness, or server identity — so a page stream can be
 //! resumed on any replica, after any restart.
 
-use crate::index::QueryIndex;
+use crate::index::{id32, QueryIndex};
 use crate::program::{
     canonical_steps, parse_request, Edge, FilterSpec, KindSel, PathMode, RankBy, Step, MAX_PAGE,
 };
@@ -181,11 +181,11 @@ pub fn execute(index: &QueryIndex, steps: &[Step]) -> Result<Rendered, QueryErro
 /// All nodes of one kind, ascending.
 fn seed(index: &QueryIndex, kind: &KindSel) -> Result<Vec<Node>, QueryError> {
     Ok(match kind {
-        KindSel::Topic => (0..index.num_topics() as u32).map(Node::Topic).collect(),
-        KindSel::Doc => (0..index.num_docs() as u32).map(Node::Doc).collect(),
+        KindSel::Topic => (0..id32(index.num_topics())).map(Node::Topic).collect(),
+        KindSel::Doc => (0..id32(index.num_docs())).map(Node::Doc).collect(),
         KindSel::Entity(name) => {
-            let etype = index.resolve_type(name)? as u32;
-            (0..index.num_entities(etype as usize) as u32)
+            let etype = id32(index.resolve_type(name)?);
+            (0..id32(index.num_entities(etype as usize)))
                 .map(|id| Node::Entity { etype, id })
                 .collect()
         }
@@ -204,7 +204,7 @@ fn apply_filter(
     if !seeded {
         if let Some(kind) = &spec.kind {
             let keep_etype = match kind {
-                KindSel::Entity(name) => Some(index.resolve_type(name)? as u32),
+                KindSel::Entity(name) => Some(id32(index.resolve_type(name)?)),
                 _ => None,
             };
             set.retain(|n| match (kind, n) {
@@ -321,7 +321,7 @@ fn neighbors(
         }
         (Edge::Topics, Node::Entity { etype, id }) => {
             for &d in &index.entity_docs[etype as usize][id as usize] {
-                out.push(Node::Topic(index.doc_leafs[d as usize] as u32));
+                out.push(Node::Topic(id32(index.doc_leafs[d as usize])));
             }
         }
         (Edge::Entities(sel), Node::Topic(t)) => {
@@ -329,7 +329,7 @@ fn neighbors(
             for etype in types {
                 let counts = index.subtree_counts(etype, t as usize);
                 out.extend(counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(
-                    |(id, _)| Node::Entity { etype: etype as u32, id: id as u32 },
+                    |(id, _)| Node::Entity { etype: id32(etype), id: id32(id) },
                 ));
             }
         }
@@ -357,16 +357,16 @@ fn neighbors(
                     .iter()
                     .enumerate()
                     .filter(|&(_, &leaf)| in_subtree[leaf])
-                    .map(|(d, _)| Node::Doc(d as u32)),
+                    .map(|(d, _)| Node::Doc(id32(d))),
             );
         }
         (Edge::Parent, Node::Topic(t)) => {
             if let Some(p) = index.topics[t as usize].parent {
-                out.push(Node::Topic(p as u32));
+                out.push(Node::Topic(id32(p)));
             }
         }
         (Edge::Children, Node::Topic(t)) => {
-            out.extend(index.topics[t as usize].children.iter().map(|&c| Node::Topic(c as u32)));
+            out.extend(index.topics[t as usize].children.iter().map(|&c| Node::Topic(id32(c))));
         }
         _ => {}
     }

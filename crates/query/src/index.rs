@@ -64,13 +64,24 @@ pub struct QueryIndex {
 /// unchecked cast past `u32::MAX` would silently wrap and drop every
 /// node above the wrap point, so the bound is enforced once, here, at
 /// build time.
-fn checked_id_range(n: usize, what: &str) -> Result<(), QueryError> {
+pub(crate) fn checked_id_range(n: usize, what: &str) -> Result<(), QueryError> {
     if u32::try_from(n).is_err() {
         return Err(QueryError::IndexOverflow(format!(
             "{what} count {n} exceeds the u32 node-id range"
         )));
     }
     Ok(())
+}
+
+/// Converts an index position from a [`checked_id_range`]-validated id
+/// space (documents, topics, entity types, one type's entities) to a
+/// `u32` node id. This is the crate's sole narrowing point: every
+/// caller indexes a space whose size was proven `<= u32::MAX` at build
+/// time, so the cast cannot truncate.
+pub(crate) fn id32(i: usize) -> u32 {
+    debug_assert!(u32::try_from(i).is_ok(), "id {i} escaped checked_id_range validation");
+    // lesm-lint: allow(W1) — sole narrowing point; inputs come from id spaces proven <= u32::MAX by checked_id_range at build
+    i as u32
 }
 
 impl QueryIndex {
@@ -94,7 +105,7 @@ impl QueryIndex {
         for names in &entity_names {
             let mut map = HashMap::with_capacity(names.len());
             for (id, name) in names.iter().enumerate() {
-                map.entry(name.clone()).or_insert(id as u32);
+                map.entry(name.clone()).or_insert(id32(id));
             }
             name_to_id.push(map);
         }
@@ -132,8 +143,8 @@ impl QueryIndex {
                 let (t, id) = (t as usize, id as usize);
                 leaf_counts[t][doc.leaf][id] += 1;
                 let list = &mut entity_docs[t][id];
-                if list.last() != Some(&(d as u32)) {
-                    list.push(d as u32);
+                if list.last() != Some(&id32(d)) {
+                    list.push(id32(d));
                 }
             }
             for (t, adjacency) in cooccur.iter_mut().enumerate() {
@@ -300,7 +311,7 @@ impl QueryIndex {
         let forest = AdvisingForest::from_result(&result, 1, 0.3);
         for node in &forest.nodes {
             for &child in &node.children {
-                edges.advisees[node.author as usize].push(child as u32);
+                edges.advisees[node.author as usize].push(id32(child));
                 edges.advisors[child].push(node.author);
             }
         }

@@ -74,6 +74,16 @@ impl IndexParts {
             }
         }
         let n_types = corpus.entities.num_types();
+        // Prove every id space fits the u32 wire fields before any
+        // narrowing below; id32() relies on these bounds.
+        crate::index::checked_id_range(n_types, "entity type")?;
+        for t in 0..n_types {
+            let type_name = corpus.entities.type_name(t).unwrap_or("?");
+            crate::index::checked_id_range(
+                corpus.entities.count(t),
+                &format!("entity (type {type_name:?})"),
+            )?;
+        }
         let type_names: Vec<String> = (0..n_types)
             .map(|t| corpus.entities.type_name(t).unwrap_or("").to_string())
             .collect();
@@ -81,7 +91,7 @@ impl IndexParts {
             .map(|t| {
                 let count = corpus.entities.count(t);
                 let table = corpus.entities.table(t);
-                (0..count as u32)
+                (0..crate::index::id32(count))
                     .map(|id| {
                         table
                             .and_then(|v| v.name(id))
@@ -109,7 +119,7 @@ impl IndexParts {
                 gid: ids.map_or(d as u64, |ids| ids[d]),
                 year: doc.year,
                 leaf: mined.doc_leaf(d),
-                entities: doc.entities.iter().map(|e| (e.etype as u32, e.id)).collect(),
+                entities: doc.entities.iter().map(|e| (crate::index::id32(e.etype), e.id)).collect(),
             })
             .collect();
         docs.sort_by_key(|d| d.gid);

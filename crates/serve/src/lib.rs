@@ -94,6 +94,20 @@ pub enum SnapshotError {
         /// Human-readable description.
         what: String,
     },
+    /// A count or id exceeds the wire format's 32-bit field — writing
+    /// would silently truncate, so the save refuses instead.
+    TooLarge {
+        /// Which field overflowed.
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+}
+
+/// Converts a count/id to the wire's `u32`, refusing values the field
+/// cannot hold instead of truncating them.
+pub(crate) fn wire_u32(value: usize, what: &'static str) -> Result<u32, SnapshotError> {
+    u32::try_from(value).map_err(|_| SnapshotError::TooLarge { what, value })
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -116,6 +130,9 @@ impl std::fmt::Display for SnapshotError {
             ),
             SnapshotError::Malformed { offset, what } => {
                 write!(f, "malformed snapshot at byte {offset}: {what}")
+            }
+            SnapshotError::TooLarge { what, value } => {
+                write!(f, "cannot save snapshot: {what} is {value}, over the u32 wire limit")
             }
         }
     }

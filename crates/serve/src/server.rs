@@ -369,7 +369,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, config: &Serve
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
-    // lesm-lint: allow(D3) — wall-clock guards the per-connection timeout; it never reaches a response body
+    // lesm-lint: allow(D3, D4) — wall-clock guards the per-connection timeout; it never reaches a response body
     let started = Instant::now();
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,

@@ -169,7 +169,7 @@ pub fn write_shards(
         ShardManifest { by: by.name().to_string(), files: Vec::new(), docs: Vec::new() };
     for (i, shard) in shards.iter().enumerate() {
         let file = format!("shard-{i:04}.lesm");
-        let bytes = save_snapshot_v2_with_ids(&shard.corpus, &shard.mined, Some(&shard.global_ids));
+        let bytes = save_snapshot_v2_with_ids(&shard.corpus, &shard.mined, Some(&shard.global_ids))?;
         std::fs::write(out_dir.join(&file), bytes).map_err(SnapshotError::Io)?;
         manifest.docs.push(shard.global_ids.len());
         manifest.files.push(file);

@@ -80,10 +80,12 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Serializes a corpus + mined structure into snapshot bytes.
-pub fn save_snapshot(corpus: &Corpus, mined: &MinedStructure) -> Vec<u8> {
+/// Serializes a corpus + mined structure into snapshot bytes. Fails
+/// with [`SnapshotError::TooLarge`] if any id or count overflows its
+/// 32-bit wire field — the save refuses rather than truncating.
+pub fn save_snapshot(corpus: &Corpus, mined: &MinedStructure) -> Result<Vec<u8>, SnapshotError> {
     let mut corpus_w = ByteWriter::new();
-    encode_corpus(&mut corpus_w, corpus);
+    encode_corpus(&mut corpus_w, corpus)?;
     let corpus_bytes = corpus_w.into_bytes();
     let mut structure_w = ByteWriter::new();
     encode_structure(&mut structure_w, mined);
@@ -97,7 +99,7 @@ pub fn save_snapshot(corpus: &Corpus, mined: &MinedStructure) -> Vec<u8> {
     let mut out = ByteWriter::new();
     out.put_raw(&MAGIC);
     out.put_u32(FORMAT_VERSION);
-    out.put_u32(payloads.len() as u32);
+    out.put_u32(crate::wire_u32(payloads.len(), "section count")?);
     let table_start = out.len();
     let entry_size = 4 + 8 + 8;
     let mut offset = table_start + payloads.len() * entry_size;
@@ -113,7 +115,7 @@ pub fn save_snapshot(corpus: &Corpus, mined: &MinedStructure) -> Vec<u8> {
     let mut bytes = out.into_bytes();
     let checksum = fnv1a64(&bytes);
     bytes.extend_from_slice(&checksum.to_le_bytes());
-    bytes
+    Ok(bytes)
 }
 
 /// Writes a snapshot artifact to `path`.
@@ -122,7 +124,7 @@ pub fn save_snapshot_file(
     corpus: &Corpus,
     mined: &MinedStructure,
 ) -> Result<(), SnapshotError> {
-    std::fs::write(path, save_snapshot(corpus, mined)).map_err(SnapshotError::Io)
+    std::fs::write(path, save_snapshot(corpus, mined)?).map_err(SnapshotError::Io)
 }
 
 /// Parses snapshot bytes back into a [`Snapshot`].
@@ -203,7 +205,7 @@ pub fn load_snapshot_file(path: &str) -> Result<Snapshot, SnapshotError> {
 // Corpus section
 // ---------------------------------------------------------------------------
 
-fn encode_corpus(w: &mut ByteWriter, corpus: &Corpus) {
+fn encode_corpus(w: &mut ByteWriter, corpus: &Corpus) -> Result<(), SnapshotError> {
     w.put_usize(corpus.vocab.len());
     for (_, name) in corpus.vocab.iter() {
         w.put_str(name);
@@ -224,12 +226,13 @@ fn encode_corpus(w: &mut ByteWriter, corpus: &Corpus) {
         w.put_u32_seq(&doc.tokens);
         w.put_usize(doc.entities.len());
         for e in &doc.entities {
-            w.put_u32(e.etype as u32);
+            w.put_u32(crate::wire_u32(e.etype, "entity type id")?);
             w.put_u32(e.id);
         }
         w.put_option(doc.label.as_ref(), |w, &l| w.put_u32(l));
         w.put_option(doc.year.as_ref(), |w, &y| w.put_i32(y));
     }
+    Ok(())
 }
 
 fn decode_corpus(r: &mut ByteReader) -> Result<Corpus, SnapshotError> {

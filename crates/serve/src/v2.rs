@@ -190,8 +190,10 @@ impl ArenaWriter {
 }
 
 /// Serializes a corpus + mined structure as a v2 artifact with identity
-/// document ids (document `d` is globally `d`).
-pub fn save_snapshot_v2(corpus: &Corpus, mined: &MinedStructure) -> Vec<u8> {
+/// document ids (document `d` is globally `d`). Fails with
+/// [`SnapshotError::TooLarge`] if any id or count overflows its 32-bit
+/// wire field — the save refuses rather than truncating.
+pub fn save_snapshot_v2(corpus: &Corpus, mined: &MinedStructure) -> Result<Vec<u8>, SnapshotError> {
     save_snapshot_v2_with_ids(corpus, mined, None)
 }
 
@@ -201,7 +203,7 @@ pub fn save_snapshot_v2_file(
     corpus: &Corpus,
     mined: &MinedStructure,
 ) -> Result<(), SnapshotError> {
-    std::fs::write(path, save_snapshot_v2(corpus, mined)).map_err(SnapshotError::Io)
+    std::fs::write(path, save_snapshot_v2(corpus, mined)?).map_err(SnapshotError::Io)
 }
 
 /// Serializes a v2 artifact. `doc_ids`, when given, maps the local
@@ -212,7 +214,7 @@ pub fn save_snapshot_v2_with_ids(
     corpus: &Corpus,
     mined: &MinedStructure,
     doc_ids: Option<&[u64]>,
-) -> Vec<u8> {
+) -> Result<Vec<u8>, SnapshotError> {
     save_snapshot_v2_with_lineage(corpus, mined, doc_ids, None)
 }
 
@@ -225,12 +227,12 @@ pub fn save_snapshot_v2_with_lineage(
     mined: &MinedStructure,
     doc_ids: Option<&[u64]>,
     delta: Option<&DeltaInfo>,
-) -> Vec<u8> {
+) -> Result<Vec<u8>, SnapshotError> {
     let n_sections = N_SECTIONS + usize::from(delta.is_some());
     let mut w = ArenaWriter { buf: Vec::new() };
     w.bytes(&MAGIC);
     w.u32(FORMAT_VERSION_V2);
-    w.u32(n_sections as u32);
+    w.u32(crate::wire_u32(n_sections, "section count")?);
     w.u32(0);
     // Placeholder table, patched once section extents are known.
     w.buf.resize(HEADER_LEN + n_sections * TABLE_ENTRY_LEN, 0);
@@ -240,14 +242,15 @@ pub fn save_snapshot_v2_with_lineage(
     let start = w.begin_section();
     {
         let n = corpus.vocab.len();
+        let n32 = crate::wire_u32(n, "vocab size")?;
         w.u64(n as u64);
-        w.bounds((0..n as u32).map(|id| corpus.vocab.name_or_unk(id).len()));
-        for id in 0..n as u32 {
+        w.bounds((0..n32).map(|id| corpus.vocab.name_or_unk(id).len()));
+        for id in 0..n32 {
             let name = corpus.vocab.name_or_unk(id);
             w.bytes(name.as_bytes());
         }
         w.align(4);
-        let mut sorted: Vec<u32> = (0..n as u32).collect();
+        let mut sorted: Vec<u32> = (0..n32).collect();
         sorted.sort_unstable_by(|&a, &b| {
             corpus.vocab.name_or_unk(a).cmp(corpus.vocab.name_or_unk(b)).then(a.cmp(&b))
         });
@@ -274,13 +277,13 @@ pub fn save_snapshot_v2_with_lineage(
         w.u64(0);
         let mut acc = 0u64;
         for t in 0..nt {
-            for id in 0..corpus.entities.count(t) as u32 {
+            for id in 0..crate::wire_u32(corpus.entities.count(t), "entity count")? {
                 acc += ent_name(t, id).len() as u64;
                 w.u64(acc);
             }
         }
         for t in 0..nt {
-            for id in 0..corpus.entities.count(t) as u32 {
+            for id in 0..crate::wire_u32(corpus.entities.count(t), "entity count")? {
                 w.bytes(ent_name(t, id).as_bytes());
             }
         }
@@ -469,7 +472,7 @@ pub fn save_snapshot_v2_with_lineage(
         for doc in &corpus.docs {
             cw.put_usize(doc.entities.len());
             for e in &doc.entities {
-                cw.put_u32(e.etype as u32);
+                cw.put_u32(crate::wire_u32(e.etype, "entity type id")?);
                 cw.put_u32(e.id);
             }
             cw.put_option(doc.label.as_ref(), |w, &l| w.put_u32(l));
@@ -518,7 +521,7 @@ pub fn save_snapshot_v2_with_lineage(
         .collect();
     let checksum = checksum_words(&words);
     w.buf.extend_from_slice(&checksum.to_le_bytes());
-    w.buf
+    Ok(w.buf)
 }
 
 // ---------------------------------------------------------------------------
@@ -1129,13 +1132,13 @@ impl MappedSnapshot {
 
         // Corpus: hot arenas + cold per-doc extras.
         let mut corpus = Corpus::new();
-        for w in 0..self.layout.n_words as u32 {
+        for w in 0..crate::wire_u32(self.layout.n_words, "vocab size")? {
             corpus.vocab.intern(self.word_or_unk(w));
         }
         for t in 0..self.layout.n_types {
             let (a, b) = self.span(self.layout.type_bounds, t);
             let ty = corpus.entities.add_type(self.type_name(t).unwrap_or(""));
-            for id in 0..(b - a) as u32 {
+            for id in 0..crate::wire_u32(b - a, "entity count")? {
                 corpus.entities.intern(ty, self.entity_name(t, id)).map_err(|e| {
                     SnapshotError::Malformed {
                         offset: self.layout.cold_off,

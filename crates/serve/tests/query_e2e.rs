@@ -108,7 +108,7 @@ fn collect(addr: SocketAddr) -> Vec<(u16, Vec<u8>)> {
 
 fn start_owned(corpus: &Corpus, mined: &MinedStructure, workers: usize) -> ServerHandle {
     Server::start(
-        load_snapshot(&save_snapshot(corpus, mined)).expect("round-trip"),
+        load_snapshot(&save_snapshot(corpus, mined).expect("save")).expect("round-trip"),
         ServerConfig { workers, ..ServerConfig::default() },
     )
     .expect("bind owned")
@@ -180,7 +180,7 @@ fn query_responses_byte_identical_across_backends_workers_and_shards() {
 #[test]
 fn query_pages_are_byte_identical_across_restarts() {
     let (corpus, mined) = fixture(23);
-    let bytes = save_snapshot(&corpus, &mined);
+    let bytes = save_snapshot(&corpus, &mined).expect("save");
 
     let run = || {
         let handle = Server::start(
@@ -208,7 +208,7 @@ fn stale_cursor_after_hot_swap_is_a_typed_error_never_an_interleave() {
     let (corpus_a, mined_a) = fixture(9);
     let (corpus_b, mined_b) = fixture(23);
     let dir = tmp_dir("cursor-swap");
-    lesm_serve::store::publish(&dir, &lesm_serve::save_snapshot_v2(&corpus_a, &mined_a))
+    lesm_serve::store::publish(&dir, &lesm_serve::save_snapshot_v2(&corpus_a, &mined_a).expect("save"))
         .expect("publish v1");
     let handle = Server::start_store(
         &dir,
@@ -232,7 +232,7 @@ fn stale_cursor_after_hot_swap_is_a_typed_error_never_an_interleave() {
     assert_eq!(status, 200, "same-model resume must succeed");
 
     // Hot-swap to model B and wait for the watcher to pick it up.
-    lesm_serve::store::publish(&dir, &lesm_serve::save_snapshot_v2(&corpus_b, &mined_b))
+    lesm_serve::store::publish(&dir, &lesm_serve::save_snapshot_v2(&corpus_b, &mined_b).expect("save"))
         .expect("publish v2");
     let expected_b = lesm_core::export::hierarchy_to_json(&corpus_b, &mined_b, 10).into_bytes();
     let deadline = std::time::Instant::now() + Duration::from_secs(10);

@@ -23,7 +23,7 @@ fn fixture() -> (Corpus, MinedStructure) {
 }
 
 fn start(corpus: &Corpus, mined: &MinedStructure, workers: usize) -> ServerHandle {
-    let snap = load_snapshot(&save_snapshot(corpus, mined)).expect("round-trip");
+    let snap = load_snapshot(&save_snapshot(corpus, mined).expect("save")).expect("round-trip");
     let config = ServerConfig { workers, ..ServerConfig::default() };
     Server::start(snap, config).expect("bind ephemeral port")
 }
@@ -176,7 +176,7 @@ fn health_metrics_and_errors_are_served() {
 #[test]
 fn shutdown_file_stops_the_server() {
     let (corpus, mined) = fixture();
-    let snap = load_snapshot(&save_snapshot(&corpus, &mined)).expect("round-trip");
+    let snap = load_snapshot(&save_snapshot(&corpus, &mined).expect("save")).expect("round-trip");
     let dir = std::env::temp_dir().join(format!("lesm-serve-e2e-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let stop_file = dir.join("stop");

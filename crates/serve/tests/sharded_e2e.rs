@@ -87,7 +87,7 @@ fn sharded_responses_are_byte_identical_to_a_single_server() {
 
     // Baseline: one unsharded server over the owned snapshot.
     let baseline_handle = Server::start(
-        load_snapshot(&save_snapshot(&corpus, &mined)).expect("round-trip"),
+        load_snapshot(&save_snapshot(&corpus, &mined).expect("save")).expect("round-trip"),
         ServerConfig { workers: 2, ..ServerConfig::default() },
     )
     .expect("bind baseline");
@@ -132,7 +132,7 @@ fn hot_swap_serves_the_new_version_without_restart() {
     let (corpus_b, mined_b) = fixture(23);
     let dir = tmp_dir("store");
 
-    lesm_serve::store::publish(&dir, &save_snapshot_v2(&corpus_a, &mined_a)).expect("publish v1");
+    lesm_serve::store::publish(&dir, &save_snapshot_v2(&corpus_a, &mined_a).expect("save")).expect("publish v1");
     let handle = Server::start_store(
         &dir,
         ServerConfig { workers: 2, ..ServerConfig::default() },
@@ -155,7 +155,7 @@ fn hot_swap_serves_the_new_version_without_restart() {
     assert_eq!(get(addr, "/hierarchy"), before, "corrupt publish must be ignored");
 
     // A good publish swaps within the watcher's poll interval.
-    lesm_serve::store::publish(&dir, &save_snapshot_v2(&corpus_b, &mined_b)).expect("publish v3");
+    lesm_serve::store::publish(&dir, &save_snapshot_v2(&corpus_b, &mined_b).expect("save")).expect("publish v3");
     let expected_b = lesm_core::export::hierarchy_to_json(&corpus_b, &mined_b, 10).into_bytes();
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
@@ -177,7 +177,7 @@ fn hot_swap_serves_the_new_version_without_restart() {
 fn full_accept_queue_sheds_with_503_and_recovers() {
     let (corpus, mined) = fixture(9);
     let handle = Server::start(
-        load_snapshot(&save_snapshot(&corpus, &mined)).expect("round-trip"),
+        load_snapshot(&save_snapshot(&corpus, &mined).expect("save")).expect("round-trip"),
         ServerConfig {
             workers: 1,
             queue_depth: 1,
@@ -241,7 +241,7 @@ fn front_composes_over_fronts() {
     .expect("outer front");
 
     let baseline = Server::start(
-        load_snapshot(&save_snapshot(&corpus, &mined)).expect("round-trip"),
+        load_snapshot(&save_snapshot(&corpus, &mined).expect("save")).expect("round-trip"),
         ServerConfig { workers: 2, ..ServerConfig::default() },
     )
     .expect("baseline");

@@ -95,9 +95,9 @@ fn synthetic_structure(words: &[String], score_bits: &[u64]) -> (Corpus, MinedSt
 
 /// Byte-level round-trip check: save, load, re-save, compare artifacts.
 fn assert_round_trip(corpus: &Corpus, mined: &MinedStructure) -> Vec<u8> {
-    let bytes = save_snapshot(corpus, mined);
+    let bytes = save_snapshot(corpus, mined).expect("save");
     let snap = load_snapshot(&bytes).expect("load back what we saved");
-    let again = save_snapshot(&snap.corpus, &snap.mined);
+    let again = save_snapshot(&snap.corpus, &snap.mined).expect("save");
     assert_eq!(bytes, again, "save(load(save(m))) differs from save(m)");
     bytes
 }
@@ -105,10 +105,10 @@ fn assert_round_trip(corpus: &Corpus, mined: &MinedStructure) -> Vec<u8> {
 #[test]
 fn real_mined_structure_round_trips_bit_identically() {
     let (corpus, mined) = mined_fixture();
-    let bytes = save_snapshot(&corpus, &mined);
+    let bytes = save_snapshot(&corpus, &mined).expect("save");
     let snap = load_snapshot(&bytes).expect("load");
     // Re-saving the loaded value reproduces the artifact bit-for-bit.
-    assert_eq!(bytes, save_snapshot(&snap.corpus, &snap.mined));
+    assert_eq!(bytes, save_snapshot(&snap.corpus, &snap.mined).expect("save"));
     // Every served view matches the offline original exactly.
     assert_eq!(
         hierarchy_to_json(&corpus, &mined, 10),
@@ -151,7 +151,7 @@ fn truncated_artifacts_report_typed_errors_never_panic() {
 #[test]
 fn bad_magic_is_reported_with_the_found_bytes() {
     let (corpus, mined) = synthetic_structure(&["x".into()], &[1.0f64.to_bits()]);
-    let mut bytes = save_snapshot(&corpus, &mined);
+    let mut bytes = save_snapshot(&corpus, &mined).expect("save");
     bytes[0] = b'X';
     match load_snapshot(&bytes) {
         Err(SnapshotError::BadMagic { found }) => assert_eq!(&found, b"XESM"),
@@ -167,7 +167,7 @@ fn bad_magic_is_reported_with_the_found_bytes() {
 #[test]
 fn version_skew_is_reported_before_the_checksum() {
     let (corpus, mined) = synthetic_structure(&["x".into()], &[1.0f64.to_bits()]);
-    let mut bytes = save_snapshot(&corpus, &mined);
+    let mut bytes = save_snapshot(&corpus, &mined).expect("save");
     // Bump the version field without fixing the trailer: the loader must
     // still say "version mismatch", not "checksum mismatch".
     bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
@@ -186,7 +186,7 @@ fn payload_corruption_fails_the_checksum() {
         &["mining".into(), "latent".into()],
         &[1.0f64.to_bits()],
     );
-    let mut bytes = save_snapshot(&corpus, &mined);
+    let mut bytes = save_snapshot(&corpus, &mined).expect("save");
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xff;
     match load_snapshot(&bytes) {
@@ -211,9 +211,9 @@ proptest! {
         score_bits in vec(0u64..=u64::MAX, 1..6),
     ) {
         let (corpus, mined) = synthetic_structure(&words, &score_bits);
-        let bytes = save_snapshot(&corpus, &mined);
+        let bytes = save_snapshot(&corpus, &mined).expect("save");
         let snap = load_snapshot(&bytes).expect("load");
-        prop_assert_eq!(bytes, save_snapshot(&snap.corpus, &snap.mined));
+        prop_assert_eq!(bytes, save_snapshot(&snap.corpus, &snap.mined).expect("save"));
     }
 
     #[test]
@@ -225,7 +225,7 @@ proptest! {
             &["mining".into(), "latent".into()],
             &[0.5f64.to_bits(), 2.0f64.to_bits()],
         );
-        let mut bytes = save_snapshot(&corpus, &mined);
+        let mut bytes = save_snapshot(&corpus, &mined).expect("save");
         let pos = pos_seed % bytes.len();
         bytes[pos] ^= flip;
         // FNV-1a absorbs bytes through bijective steps, so any single-byte

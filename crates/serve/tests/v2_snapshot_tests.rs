@@ -108,17 +108,17 @@ fn synthetic_structure(words: &[String], score_bits: &[u64]) -> (Corpus, MinedSt
 /// v1 wire form) bit-identically to the original, and re-saving v2
 /// reproduces the v2 artifact bit-for-bit.
 fn assert_v2_round_trip(corpus: &Corpus, mined: &MinedStructure) -> Vec<u8> {
-    let bytes = save_snapshot_v2(corpus, mined);
+    let bytes = save_snapshot_v2(corpus, mined).expect("save");
     let mapped = MappedSnapshot::from_bytes(&bytes).expect("load v2 back");
     let snap = mapped.to_snapshot().expect("full decode");
     assert_eq!(
-        save_snapshot(corpus, mined),
-        save_snapshot(&snap.corpus, &snap.mined),
+        save_snapshot(corpus, mined).expect("save"),
+        save_snapshot(&snap.corpus, &snap.mined).expect("save"),
         "v2 round-trip changed the value"
     );
     assert_eq!(
         bytes,
-        save_snapshot_v2(&snap.corpus, &snap.mined),
+        save_snapshot_v2(&snap.corpus, &snap.mined).expect("save"),
         "re-saving the round-tripped value changed the v2 artifact"
     );
     bytes
@@ -133,7 +133,7 @@ fn real_mined_structure_round_trips_through_v2() {
 #[test]
 fn view_queries_are_byte_identical_to_the_owned_path() {
     let (corpus, mined) = mined_fixture();
-    let bytes = save_snapshot_v2(&corpus, &mined);
+    let bytes = save_snapshot_v2(&corpus, &mined).expect("save");
     let mapped = MappedSnapshot::from_bytes(&bytes).expect("load v2");
 
     // Hierarchy JSON.
@@ -148,7 +148,7 @@ fn view_queries_are_byte_identical_to_the_owned_path() {
         );
     }
     // Search, including multi-word, unknown-word, and empty queries.
-    let owned = Model::Owned(Box::new(load_snapshot(&save_snapshot(&corpus, &mined)).expect("v1 load")));
+    let owned = Model::Owned(Box::new(load_snapshot(&save_snapshot(&corpus, &mined).expect("save")).expect("v1 load")));
     let mapped = Model::Mapped(Box::new(mapped));
     let some_word = corpus.vocab.name_or_unk(0).to_string();
     for query in ["mining", &some_word, "mining latent", "zzz-unknown", ""] {
@@ -173,7 +173,7 @@ fn shard_doc_ids_rename_rendered_documents() {
         &[1.0f64.to_bits(), 0.25f64.to_bits()],
     );
     let ids: Vec<u64> = vec![100, 205, 310];
-    let bytes = save_snapshot_v2_with_ids(&corpus, &mined, Some(&ids));
+    let bytes = save_snapshot_v2_with_ids(&corpus, &mined, Some(&ids)).expect("save");
     let mapped = MappedSnapshot::from_bytes(&bytes).expect("load v2");
     for (d, &g) in ids.iter().enumerate() {
         assert_eq!(mapped.doc_id(d), g);
@@ -196,8 +196,8 @@ fn v1_still_loads_and_cross_version_errors_are_typed() {
         &["mining".into(), "latent".into()],
         &[1.0f64.to_bits(), 0.25f64.to_bits()],
     );
-    let v1 = save_snapshot(&corpus, &mined);
-    let v2 = save_snapshot_v2(&corpus, &mined);
+    let v1 = save_snapshot(&corpus, &mined).expect("save");
+    let v2 = save_snapshot_v2(&corpus, &mined).expect("save");
 
     // v1 loads through the v1 loader, as before.
     assert!(load_snapshot(&v1).is_ok());
@@ -252,7 +252,7 @@ fn truncated_v2_artifacts_report_typed_errors_never_panic() {
 #[test]
 fn misaligned_buffers_load_through_the_aligned_copy() {
     let (corpus, mined) = mined_fixture();
-    let bytes = save_snapshot_v2(&corpus, &mined);
+    let bytes = save_snapshot_v2(&corpus, &mined).expect("save");
     let reference = hierarchy_to_json(&corpus, &mined, 10);
     // Shift the artifact to every misalignment of an 8-byte window; the
     // loader must still produce identical views.
@@ -268,8 +268,8 @@ fn misaligned_buffers_load_through_the_aligned_copy() {
 #[test]
 fn describe_artifact_reports_both_formats() {
     let (corpus, mined) = synthetic_structure(&["x".into()], &[1.0f64.to_bits()]);
-    let v1 = save_snapshot(&corpus, &mined);
-    let v2 = save_snapshot_v2(&corpus, &mined);
+    let v1 = save_snapshot(&corpus, &mined).expect("save");
+    let v2 = save_snapshot_v2(&corpus, &mined).expect("save");
 
     let d1 = describe_artifact(&v1).expect("describe v1");
     assert!(d1.contains("format version: 1"), "{d1}");
@@ -314,14 +314,14 @@ fn delta_lineage_round_trips_and_is_optional() {
         base_entities: vec![1],
         chain_depth: 3,
     };
-    let with = save_snapshot_v2_with_lineage(&corpus, &mined, None, Some(&lineage));
+    let with = save_snapshot_v2_with_lineage(&corpus, &mined, None, Some(&lineage)).expect("save");
     let mapped = MappedSnapshot::from_bytes(&with).expect("load delta artifact");
     assert_eq!(mapped.delta_info(), Some(&lineage));
     // The artifact stays full: all data sections decode exactly as the
     // lineage-free artifact does.
-    let plain = save_snapshot_v2(&corpus, &mined);
+    let plain = save_snapshot_v2(&corpus, &mined).expect("save");
     let snap = mapped.to_snapshot().expect("decode delta artifact");
-    assert_eq!(plain, save_snapshot_v2(&snap.corpus, &snap.mined));
+    assert_eq!(plain, save_snapshot_v2(&snap.corpus, &snap.mined).expect("save"));
     assert_eq!(MappedSnapshot::from_bytes(&plain).expect("load").delta_info(), None);
     // Inspection names the extra section.
     let d = describe_artifact(&with).expect("describe");
@@ -370,7 +370,7 @@ fn invalid_delta_lineage_is_a_typed_load_error() {
         },
     ];
     for lineage in &cases {
-        let bytes = save_snapshot_v2_with_lineage(&corpus, &mined, None, Some(lineage));
+        let bytes = save_snapshot_v2_with_lineage(&corpus, &mined, None, Some(lineage)).expect("save");
         match MappedSnapshot::from_bytes(&bytes) {
             Err(SnapshotError::Malformed { .. }) => {}
             other => panic!("lineage {lineage:?}: expected Malformed, got {other:?}"),
@@ -392,12 +392,12 @@ proptest! {
         score_bits in vec(0u64..=u64::MAX, 1..6),
     ) {
         let (corpus, mined) = synthetic_structure(&words, &score_bits);
-        let bytes = save_snapshot_v2(&corpus, &mined);
+        let bytes = save_snapshot_v2(&corpus, &mined).expect("save");
         let mapped = MappedSnapshot::from_bytes(&bytes).expect("load v2");
         let snap = mapped.to_snapshot().expect("decode");
         prop_assert_eq!(
-            save_snapshot(&corpus, &mined),
-            save_snapshot(&snap.corpus, &snap.mined)
+            save_snapshot(&corpus, &mined).expect("save"),
+            save_snapshot(&snap.corpus, &snap.mined).expect("save")
         );
         // View rendering stays identical even for hostile vocab/scores.
         prop_assert_eq!(
@@ -415,7 +415,7 @@ proptest! {
             &["mining".into(), "latent".into()],
             &[0.5f64.to_bits(), 2.0f64.to_bits()],
         );
-        let mut bytes = save_snapshot_v2(&corpus, &mined);
+        let mut bytes = save_snapshot_v2(&corpus, &mined).expect("save");
         let pos = pos_seed % bytes.len();
         bytes[pos] ^= flip;
         // Every lane of the word checksum absorbs its words through

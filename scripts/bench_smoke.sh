@@ -12,9 +12,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Preflight: never burn bench time on a tree that violates the
-# determinism contract (DESIGN.md §11) — nondeterministic code makes
-# cross-run bench comparisons meaningless.
-cargo run --release -q -p lesm-lint -- --root "$PWD" --workspace
+# determinism contract — nondeterministic code makes cross-run bench
+# comparisons meaningless. Runs the full pass set (token rules plus the
+# call-graph taint / unsafe / wire-cast passes, DESIGN.md §11 + §16).
+cargo run --release -q -p lesm-lint -- --root "$PWD" --workspace --passes all --timing
 
 out="${1:-BENCH_par.json}"
 em_out="${2:-BENCH_em_core.json}"

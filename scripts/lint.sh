@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Audit every governed workspace source against the determinism &
-# robustness contract (DESIGN.md §11). Exit 0 clean, 1 violations,
-# 2 usage/I-O error. Pass extra args through, e.g.:
+# Audit the workspace against the determinism & robustness contract:
+# the per-file token rules (DESIGN.md §11) plus the call-graph taint,
+# unsafe, and wire-cast passes (DESIGN.md §16). Exit 0 clean, 1
+# violations, 2 usage/I-O error. Pass extra args through, e.g.:
 #   scripts/lint.sh crates/core/src/em.rs
+#   scripts/lint.sh --passes taint,casts --workspace
+#   scripts/lint.sh --format json --workspace
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -11,8 +11,8 @@ cargo build --release
 echo "== clippy (-D warnings)"
 cargo clippy --workspace -- -D warnings
 
-echo "== lesm-lint (--workspace)"
-cargo run --release -q -p lesm-lint -- --root "$PWD" --workspace
+echo "== lesm-lint (--workspace, all passes)"
+cargo run --release -q -p lesm-lint -- --root "$PWD" --workspace --timing
 
 echo "== tests"
 cargo test -q
